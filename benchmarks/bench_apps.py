@@ -1,0 +1,54 @@
+"""Benchmarks of the bundled applications (real compute, not simulated)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.blast import BlastDatabase, blast_search, synthetic_database, synthetic_queries
+from repro.apps.blast.scoring import encode_sequence
+from repro.apps.blast.seed import neighborhood_words
+from repro.apps.imaging import BeamlineImageConfig, generate_image
+from repro.apps.imaging.similarity import similarity_report
+
+
+@pytest.fixture(scope="module")
+def small_db():
+    records = synthetic_database(30, mean_length=200, seed=0)
+    return records, BlastDatabase(records)
+
+
+@pytest.mark.benchmark(group="app-blast")
+def test_blast_index_build(benchmark):
+    records = synthetic_database(30, mean_length=200, seed=0)
+    database = benchmark(BlastDatabase, records)
+    assert len(database) == 30
+
+
+@pytest.mark.benchmark(group="app-blast")
+def test_blast_homolog_query(benchmark, small_db):
+    records, database = small_db
+    query = synthetic_queries(records, 1, homolog_fraction=1.0, seed=3)[0]
+    hits = benchmark(blast_search, query, database)
+    assert hits  # a homolog must be found
+
+
+@pytest.mark.benchmark(group="app-blast")
+def test_blast_neighborhood_expansion(benchmark):
+    query = encode_sequence("MKVWACDEFGHIKLMNPQRS")
+    words = benchmark(neighborhood_words, query, 3, 11)
+    assert words
+
+
+@pytest.mark.benchmark(group="app-imaging")
+def test_image_generation(benchmark):
+    config = BeamlineImageConfig(size=512)
+    image = benchmark(generate_image, config, sample_seed=1, frame=0)
+    assert image.shape == (512, 512)
+
+
+@pytest.mark.benchmark(group="app-imaging")
+def test_image_similarity_ensemble(benchmark):
+    config = BeamlineImageConfig(size=512)
+    a = generate_image(config, sample_seed=1, frame=0)
+    b = generate_image(config, sample_seed=1, frame=1)
+    report = benchmark(similarity_report, a, b)
+    assert report["ncc"] > 0.5

@@ -1,0 +1,51 @@
+"""Benchmark: FRIEDA vs the Hadoop-like transparent-locality baseline.
+
+Regenerates the §I comparison: transparent locality is competitive on
+single-file tasks, loses co-location on pairwise tasks, and re-streams
+common data per remote task.
+"""
+
+import pytest
+
+from repro.experiments import baseline_exp
+from repro.util.tables import render_table
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_frieda_vs_hadoop_like(benchmark, bench_scale):
+    cells = benchmark.pedantic(
+        baseline_exp.run_baselines, args=(bench_scale,), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(baseline_exp.render_baselines(cells, bench_scale)))
+    assert baseline_exp.shapes_hold(cells)
+
+
+@pytest.mark.benchmark(group="baselines")
+def test_replication_sweep_locality(benchmark):
+    """Locality rate vs HDFS replication factor on pairwise tasks."""
+    from repro.baselines.hadooplike import HadoopLikeEngine
+    from repro.cloud.cluster import ClusterSpec
+    from repro.data.files import synthetic_dataset
+    from repro.data.partition import PartitionScheme
+    from repro.engines.compute import FixedComputeModel
+
+    spec = ClusterSpec(num_workers=4)
+    dataset = synthetic_dataset("rep", 80, "2 MB", seed=9)
+
+    def sweep():
+        rates = {}
+        for replication in (1, 2, 4):
+            outcome = HadoopLikeEngine(spec, replication=replication, seed=9).run(
+                dataset,
+                compute_model=FixedComputeModel(1.0),
+                grouping=PartitionScheme.PAIRWISE_ADJACENT,
+            )
+            rates[replication] = outcome.extra["locality_rate"]
+        return rates
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\npairwise locality by replication: {rates}")
+    # More replicas -> more co-location luck; full replication -> 100%.
+    assert rates[1] <= rates[2] <= rates[4]
+    assert rates[4] == 1.0

@@ -1,0 +1,55 @@
+"""Benchmark: regenerate Figure 6 (Effect of Different Partitioning).
+
+Prints the transfer/execution decomposition for each strategy and
+asserts the orderings of Fig 6a (ALS: local < real-time < pre-remote)
+and Fig 6b (BLAST: real-time < pre-local < pre-remote).
+"""
+
+import pytest
+
+from repro.experiments.fig6 import render_fig6, run_fig6
+from repro.util.tables import render_table
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_both_applications(benchmark, bench_scale):
+    results = benchmark.pedantic(run_fig6, args=(bench_scale,), rounds=1, iterations=1)
+    print()
+    for table in render_fig6(results, bench_scale):
+        print(render_table(table))
+        print()
+    for result in results.values():
+        assert result.shape_holds(), result.order_by_makespan()
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6a_transfer_dominates_als(benchmark, bench_scale):
+    from repro.core.strategies import StrategyKind
+    from repro.workloads import als_profile, run_profile
+
+    profile = als_profile(bench_scale)
+    outcome = benchmark.pedantic(
+        run_profile,
+        args=(profile, StrategyKind.PRE_PARTITIONED_REMOTE),
+        rounds=1,
+        iterations=1,
+    )
+    assert outcome.transfer_time > 3 * outcome.execution_time
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6b_load_balancing_wins_blast(benchmark, bench_scale):
+    from repro.core.strategies import StrategyKind
+    from repro.workloads import blast_profile, run_profile
+
+    profile = blast_profile(bench_scale)
+
+    def both():
+        pre = run_profile(profile, StrategyKind.PRE_PARTITIONED_LOCAL)
+        rt = run_profile(profile, StrategyKind.REAL_TIME)
+        return pre, rt
+
+    pre, rt = benchmark.pedantic(both, rounds=1, iterations=1)
+    # Real-time's pull balancing beats static chunks on skewed costs
+    # even though it pays for transfers and the chunks don't.
+    assert rt.execution_time < pre.execution_time

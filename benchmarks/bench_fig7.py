@@ -1,0 +1,67 @@
+"""Benchmark: regenerate Figure 7 (Effect of Data Movement).
+
+Moving data to computation vs computation to data: ALS favours moving
+the computation by a wide factor; BLAST is nearly insensitive.
+"""
+
+import pytest
+
+from repro.experiments.fig7 import render_fig7, run_fig7
+from repro.util.tables import render_table
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_both_applications(benchmark, bench_scale):
+    results = benchmark.pedantic(run_fig7, args=(bench_scale,), rounds=1, iterations=1)
+    print()
+    for table in render_fig7(results, bench_scale):
+        print(render_table(table))
+        print()
+    assert results["als"].ratio > 1.5
+    assert results["blast"].ratio < 1.15
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_crossover_with_compute_intensity(benchmark, bench_scale):
+    """Ablation on the figure's message: sweep per-task compute cost on
+    the ALS-shaped workload and verify the placement question flips
+    from 'move computation' to 'indifferent' as compute grows — the
+    paper's explanation for why the two applications behave
+    differently."""
+    from repro.cloud.cluster import ClusterSpec
+    from repro.core.strategies import StrategyKind
+    from repro.data.files import synthetic_dataset
+    from repro.data.partition import PartitionScheme
+    from repro.engines.compute import FixedComputeModel
+    from repro.engines.simulated import SimulatedEngine
+
+    spec = ClusterSpec(num_workers=4)
+    dataset = synthetic_dataset("sweep", 60, "6.2 MB", seed=1)
+
+    def sweep():
+        ratios = []
+        for cost in (0.5, 8.0, 256.0):
+            engine = SimulatedEngine(spec)
+            outcomes = {}
+            for strategy in (
+                StrategyKind.PRE_PARTITIONED_REMOTE,
+                StrategyKind.PRE_PARTITIONED_LOCAL,
+            ):
+                outcomes[strategy] = engine.run(
+                    dataset,
+                    compute_model=FixedComputeModel(cost),
+                    strategy=strategy,
+                    grouping=PartitionScheme.PAIRWISE_ADJACENT,
+                )
+            ratios.append(
+                outcomes[StrategyKind.PRE_PARTITIONED_REMOTE].makespan
+                / outcomes[StrategyKind.PRE_PARTITIONED_LOCAL].makespan
+            )
+        return ratios
+
+    ratios = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nmove-data/move-compute ratio vs per-task compute: {ratios}")
+    # Monotone: the more compute dominates, the less placement matters.
+    assert ratios[0] > ratios[1] > ratios[2]
+    assert ratios[0] > 2.0
+    assert ratios[2] < 1.2

@@ -1,0 +1,130 @@
+"""Micro-benchmarks of the substrates.
+
+These time the hot paths of the library itself (not the simulated
+experiment results): kernel event throughput, flow-network replanning,
+partition generation, and the message codec.
+"""
+
+import pytest
+
+from repro.cloud.network import FlowNetwork
+from repro.core.messages import SetPartitionInfo, decode_message, encode_message
+from repro.data.files import synthetic_dataset
+from repro.data.partition import PartitionScheme, generate_groups
+from repro.sim import Environment, Resource, Store
+from repro.util.units import MB, Mbit
+
+
+@pytest.mark.benchmark(group="micro-kernel")
+def test_kernel_event_throughput(benchmark):
+    """Timeout-chain throughput: events processed per second."""
+
+    def run_chain():
+        env = Environment()
+
+        def chain(env):
+            for _ in range(10_000):
+                yield env.timeout(1)
+
+        env.process(chain(env))
+        env.run()
+        return env.now
+
+    result = benchmark(run_chain)
+    assert result == 10_000.0
+
+
+@pytest.mark.benchmark(group="micro-kernel")
+def test_kernel_resource_contention(benchmark):
+    """1000 tasks over a 4-slot resource."""
+
+    def run():
+        env = Environment()
+        cpu = Resource(env, capacity=4)
+
+        def task(env):
+            with cpu.request() as req:
+                yield req
+                yield env.timeout(1)
+
+        for _ in range(1000):
+            env.process(task(env))
+        env.run()
+        return env.now
+
+    assert benchmark(run) == 250.0
+
+
+@pytest.mark.benchmark(group="micro-kernel")
+def test_kernel_store_producer_consumer(benchmark):
+    def run():
+        env = Environment()
+        store = Store(env)
+        received = [0]
+
+        def producer(env):
+            for i in range(5000):
+                yield store.put(i)
+
+        def consumer(env):
+            for _ in range(5000):
+                yield store.get()
+                received[0] += 1
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        return received[0]
+
+    assert benchmark(run) == 5000
+
+
+@pytest.mark.benchmark(group="micro-network")
+def test_flow_network_replan_churn(benchmark):
+    """200 staggered flows over a shared bottleneck (constant replans)."""
+
+    def run():
+        env = Environment()
+        net = FlowNetwork(env)
+        net.add_link("up", 100 * Mbit)
+        for i in range(8):
+            net.add_link(f"d{i}", 100 * Mbit)
+
+        def one(env, i):
+            yield env.timeout(i * 0.01)
+            flow = net.start_flow(["up", f"d{i % 8}"], 1 * MB)
+            yield flow.done
+
+        for i in range(200):
+            env.process(one(env, i))
+        env.run()
+        return net.completed_flows
+
+    assert benchmark(run) == 200
+
+
+@pytest.mark.benchmark(group="micro-partition")
+def test_partition_generation_pairwise(benchmark):
+    dataset = synthetic_dataset("bench", 10_000, 1000)
+    groups = benchmark(generate_groups, dataset, PartitionScheme.PAIRWISE_ADJACENT)
+    assert len(groups) == 5000
+
+
+@pytest.mark.benchmark(group="micro-partition")
+def test_partition_generation_all_to_all(benchmark):
+    dataset = synthetic_dataset("bench", 300, 1000)
+    groups = benchmark(generate_groups, dataset, PartitionScheme.ALL_TO_ALL)
+    assert len(groups) == 300 * 299 // 2
+
+
+@pytest.mark.benchmark(group="micro-protocol")
+def test_message_codec_round_trip(benchmark):
+    message = SetPartitionInfo(
+        groups=tuple((f"file{i:05d}", f"file{i+1:05d}") for i in range(0, 500, 2)),
+        sizes=tuple((6_500_000, 6_500_000) for _ in range(250)),
+    )
+
+    def round_trip():
+        return decode_message(encode_message(message))
+
+    assert benchmark(round_trip) == message

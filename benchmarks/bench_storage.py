@@ -1,0 +1,20 @@
+"""Benchmark: storage-tier comparison (§III-A local vs networked disks).
+
+Regenerates the storage experiment and asserts its shape: local disk
+fastest, and the shared tier's value flips with its server bandwidth.
+"""
+
+import pytest
+
+from repro.experiments import storage_exp
+from repro.util.tables import render_table
+
+
+@pytest.mark.benchmark(group="storage")
+def test_storage_tier_comparison(benchmark, bench_scale):
+    cells = benchmark.pedantic(
+        storage_exp.run_storage, args=(bench_scale,), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(storage_exp.render_storage(cells, bench_scale)))
+    assert storage_exp.shapes_hold(cells)

@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Table I (Effect of Data Parallelization).
+
+Prints the measured sequential / pre-partitioned / real-time times and
+speedups next to the paper's, and asserts the paper's shape: both
+parallel modes beat sequential, real-time beats pre-partitioned, ALS
+speedup ≈ small (transfer-bound), BLAST speedup ≈ core count
+(compute-bound).
+"""
+
+import pytest
+
+from repro.experiments.table1 import render_table1, run_table1
+from repro.util.tables import render_table
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_full(benchmark, bench_scale):
+    results = benchmark.pedantic(
+        run_table1, args=(bench_scale,), rounds=1, iterations=1
+    )
+    print()
+    print(render_table(render_table1(results, bench_scale)))
+    for result in results.values():
+        assert result.shape_holds()
+    assert results["als"].speedup_rt < 3.0
+    assert results["blast"].speedup_rt > 8.0
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_sequential_baseline_als(benchmark, bench_scale):
+    """Just the ALS sequential cell (the calibration anchor)."""
+    from repro.workloads import als_profile, run_sequential_baseline
+
+    profile = als_profile(bench_scale)
+    outcome = benchmark.pedantic(
+        run_sequential_baseline, args=(profile,), rounds=1, iterations=1
+    )
+    per_task = outcome.makespan / outcome.tasks_total
+    assert per_task == pytest.approx(2.014, rel=0.05)  # §IV: 1258.8s / 625

@@ -1,0 +1,19 @@
+"""Shared benchmark configuration.
+
+``FRIEDA_BENCH_SCALE`` (default 0.2) sets the workload scale for the
+experiment-reproduction benches; scale 1.0 regenerates the paper's full
+1250-image / 7500-sequence evaluation (a few seconds of wall time per
+bench — the substrate is a simulator).
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+regenerated tables printed alongside the timings.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return float(os.environ.get("FRIEDA_BENCH_SCALE", "0.2"))

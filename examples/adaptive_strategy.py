@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""The 'Intelligent' extension: strategy selection from history.
+
+§V-A/§VII promise a FRIEDA that "selects the best data management
+strategy based on past executions of an application". This example
+shows the :class:`~repro.core.advisor.StrategyAdvisor` doing exactly
+that: cold-start recommendations from workload features, then
+history-driven recommendations after a few simulated runs.
+
+Run:  python examples/adaptive_strategy.py
+"""
+
+from repro.core.advisor import RunRecord, StrategyAdvisor, WorkloadFeatures
+from repro.core.strategies import StrategyKind
+from repro.workloads import als_profile, blast_profile, run_profile
+
+
+def main() -> None:
+    advisor = StrategyAdvisor()
+
+    print("=== cold start: feature-based recommendations ===")
+    als_features = WorkloadFeatures(
+        bytes_per_compute_second=6.2e6 * 2 / 2.0,  # two 6.2MB frames per ~2s task
+        task_cost_cv=0.0,
+    )
+    blast_features = WorkloadFeatures(
+        bytes_per_compute_second=20e3 / 81.6,  # tiny query file per 81.6s task
+        task_cost_cv=0.35,
+    )
+    print(f"  ALS   (transfer-bound)        -> {advisor.recommend('als', als_features).value}")
+    print(f"  BLAST (compute-bound, skewed) -> {advisor.recommend('blast', blast_features).value}")
+
+    print("\n=== learning from simulated runs (scale=0.1) ===")
+    for name, profile in (("als", als_profile(0.1)), ("blast", blast_profile(0.1))):
+        for strategy in (StrategyKind.PRE_PARTITIONED_REMOTE, StrategyKind.REAL_TIME):
+            outcome = run_profile(profile, strategy)
+            advisor.record(
+                RunRecord(
+                    app_name=name,
+                    strategy=strategy,
+                    makespan=outcome.makespan,
+                    transfer_time=outcome.transfer_time,
+                    execution_time=outcome.execution_time,
+                    tasks=outcome.tasks_total,
+                )
+            )
+            print(f"  observed {name}/{strategy.value}: {outcome.makespan:.1f}s")
+    print("\n=== history-driven recommendations ===")
+    for name in ("als", "blast"):
+        best = advisor.recommend(name)
+        observed = advisor.observed_strategies(name)
+        detail = ", ".join(f"{k.value}={v:.1f}s" for k, v in sorted(observed.items()))
+        print(f"  {name}: {best.value}   ({detail})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""The paper's two evaluation applications, implemented from scratch.
+
+- :mod:`repro.apps.blast` — a miniature BLAST (protein sequence search:
+  FASTA I/O, BLOSUM62, k-mer seeding with neighbourhood expansion,
+  ungapped X-drop extension, banded gapped alignment, Karlin–Altschul
+  E-values). This is the compute-heavy, common-database workload.
+- :mod:`repro.apps.imaging` — a light-source image-analysis pipeline
+  (synthetic diffraction images + pairwise similarity metrics). This is
+  the large-file, cheap-compute workload.
+"""

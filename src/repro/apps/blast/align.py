@@ -1,0 +1,193 @@
+"""Full local alignment with traceback (Smith–Waterman, affine gaps).
+
+The search driver (:mod:`repro.apps.blast.search`) only needs scores;
+this module produces the *alignment itself* — the aligned query/subject
+strings with gaps, the match line, and identity statistics — for the
+hits a user wants to inspect. Quadratic DP with full traceback, meant
+for the handful of reported hits, not the seeding hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.blast.scoring import BLOSUM62, decode_sequence, encode_sequence
+from repro.errors import ApplicationError
+
+#: Traceback moves.
+_STOP, _DIAG, _UP, _LEFT = 0, 1, 2, 3
+
+
+@dataclass(frozen=True)
+class TracedAlignment:
+    """A local alignment with explicit gapped strings."""
+
+    score: int
+    query_start: int
+    query_end: int  # exclusive
+    subject_start: int
+    subject_end: int  # exclusive
+    aligned_query: str
+    aligned_subject: str
+
+    @property
+    def length(self) -> int:
+        return len(self.aligned_query)
+
+    @property
+    def identities(self) -> int:
+        return sum(
+            1 for a, b in zip(self.aligned_query, self.aligned_subject) if a == b and a != "-"
+        )
+
+    @property
+    def identity_fraction(self) -> float:
+        if self.length == 0:
+            return 0.0
+        return self.identities / self.length
+
+    @property
+    def gaps(self) -> int:
+        return self.aligned_query.count("-") + self.aligned_subject.count("-")
+
+    @property
+    def midline(self) -> str:
+        """BLAST-style match line: letter for identity, ``+`` for a
+        positive substitution score, space otherwise."""
+        out = []
+        for a, b in zip(self.aligned_query, self.aligned_subject):
+            if a == b and a != "-":
+                out.append(a)
+            elif a != "-" and b != "-" and _pair_score(a, b) > 0:
+                out.append("+")
+            else:
+                out.append(" ")
+        return "".join(out)
+
+    def pretty(self, *, width: int = 60) -> str:
+        """Multi-line rendering like BLAST's pairwise output."""
+        lines = [
+            f"Score = {self.score}, Identities = {self.identities}/{self.length} "
+            f"({self.identity_fraction:.0%}), Gaps = {self.gaps}/{self.length}"
+        ]
+        q_pos, s_pos = self.query_start, self.subject_start
+        for offset in range(0, self.length, width):
+            q_chunk = self.aligned_query[offset : offset + width]
+            m_chunk = self.midline[offset : offset + width]
+            s_chunk = self.aligned_subject[offset : offset + width]
+            q_step = sum(1 for c in q_chunk if c != "-")
+            s_step = sum(1 for c in s_chunk if c != "-")
+            lines.append(f"Query  {q_pos + 1:>5}  {q_chunk}  {q_pos + q_step}")
+            lines.append(f"              {m_chunk}")
+            lines.append(f"Sbjct  {s_pos + 1:>5}  {s_chunk}  {s_pos + s_step}")
+            q_pos += q_step
+            s_pos += s_step
+        return "\n".join(lines)
+
+
+def _pair_score(a: str, b: str) -> int:
+    return int(BLOSUM62[encode_sequence(a)[0], encode_sequence(b)[0]])
+
+
+def smith_waterman(
+    query: str | np.ndarray,
+    subject: str | np.ndarray,
+    *,
+    gap_open: int = 11,
+    gap_extend: int = 1,
+) -> TracedAlignment:
+    """Optimal local alignment with affine gaps and full traceback.
+
+    Gotoh's three-state DP: ``H`` (match), ``E`` (gap in query),
+    ``F`` (gap in subject). Opening a gap costs ``gap_open``, each
+    further residue ``gap_extend`` (NCBI's 11/1 convention counts the
+    first gapped residue inside ``gap_open + gap_extend``).
+    """
+    if gap_open < 0 or gap_extend < 0:
+        raise ApplicationError("gap penalties must be non-negative")
+    q = encode_sequence(query) if isinstance(query, str) else query
+    s = encode_sequence(subject) if isinstance(subject, str) else subject
+    n, m = q.size, s.size
+    if n == 0 or m == 0:
+        return TracedAlignment(0, 0, 0, 0, 0, "", "")
+    neg = -(10**9)
+    open_cost = gap_open + gap_extend
+    H = np.zeros((n + 1, m + 1), dtype=np.int64)
+    E = np.full((n + 1, m + 1), neg, dtype=np.int64)
+    F = np.full((n + 1, m + 1), neg, dtype=np.int64)
+    move = np.zeros((n + 1, m + 1), dtype=np.uint8)
+    best = 0
+    best_pos = (0, 0)
+    sub_matrix = BLOSUM62.astype(np.int64)
+    for i in range(1, n + 1):
+        qi = int(q[i - 1])
+        row_sub = sub_matrix[qi]
+        for j in range(1, m + 1):
+            E[i, j] = max(E[i, j - 1] - gap_extend, H[i, j - 1] - open_cost)
+            F[i, j] = max(F[i - 1, j] - gap_extend, H[i - 1, j] - open_cost)
+            diag = H[i - 1, j - 1] + row_sub[int(s[j - 1])]
+            h = max(0, diag, E[i, j], F[i, j])
+            H[i, j] = h
+            if h == 0:
+                move[i, j] = _STOP
+            elif h == diag:
+                move[i, j] = _DIAG
+            elif h == E[i, j]:
+                move[i, j] = _LEFT
+            else:
+                move[i, j] = _UP
+            if h > best:
+                best = int(h)
+                best_pos = (i, j)
+    if best == 0:
+        return TracedAlignment(0, 0, 0, 0, 0, "", "")
+    # Traceback: explicit three-state machine (Gotoh). In state "H" the
+    # recorded move decides; in "E"/"F" we extend the gap run until the
+    # cell where the run was opened from H.
+    i, j = best_pos
+    q_out: list[str] = []
+    s_out: list[str] = []
+    state = "H"
+    while i > 0 and j > 0:
+        if state == "H":
+            step = move[i, j]
+            if step == _STOP:
+                break
+            if step == _DIAG:
+                q_out.append(decode_sequence(q[i - 1 : i]))
+                s_out.append(decode_sequence(s[j - 1 : j]))
+                i -= 1
+                j -= 1
+            elif step == _LEFT:
+                state = "E"
+            else:
+                state = "F"
+        elif state == "E":
+            # Gap in query: consume one subject residue, then decide
+            # whether this E cell extended a longer run or opened here.
+            q_out.append("-")
+            s_out.append(decode_sequence(s[j - 1 : j]))
+            opened_from_h = E[i, j] == H[i, j - 1] - open_cost
+            extended = E[i, j] == E[i, j - 1] - gap_extend
+            j -= 1
+            if opened_from_h or not extended:
+                state = "H"
+        else:  # state == "F": gap in subject
+            q_out.append(decode_sequence(q[i - 1 : i]))
+            s_out.append("-")
+            opened_from_h = F[i, j] == H[i - 1, j] - open_cost
+            extended = F[i, j] == F[i - 1, j] - gap_extend
+            i -= 1
+            if opened_from_h or not extended:
+                state = "H"
+    return TracedAlignment(
+        score=best,
+        query_start=i,
+        query_end=best_pos[0],
+        subject_start=j,
+        subject_end=best_pos[1],
+        aligned_query="".join(reversed(q_out)),
+        aligned_subject="".join(reversed(s_out)),
+    )

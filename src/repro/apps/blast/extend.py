@@ -1,0 +1,180 @@
+"""Seed extension: X-drop ungapped extension and banded gapped alignment.
+
+Around each seed hit BLAST first runs a cheap *ungapped* extension in
+both directions, abandoning a direction once the running score drops
+``x_drop`` below the best seen. Seeds whose ungapped HSP clears a
+trigger score get the expensive *gapped* pass: an affine-gap
+Smith–Waterman restricted to a diagonal band around the HSP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.blast.scoring import BLOSUM62
+from repro.errors import ApplicationError
+
+
+@dataclass(frozen=True)
+class AlignmentResult:
+    """One (possibly gapped) local alignment."""
+
+    score: int
+    query_start: int
+    query_end: int  # exclusive
+    subject_start: int
+    subject_end: int  # exclusive
+    gapped: bool = False
+
+    @property
+    def query_span(self) -> int:
+        return self.query_end - self.query_start
+
+    @property
+    def subject_span(self) -> int:
+        return self.subject_end - self.subject_start
+
+
+def ungapped_extend(
+    query: np.ndarray,
+    subject: np.ndarray,
+    q_seed: int,
+    s_seed: int,
+    k: int,
+    *,
+    x_drop: int = 7,
+) -> AlignmentResult:
+    """Extend a k-word seed along its diagonal with X-drop cutoff.
+
+    Returns the best HSP containing the seed. Matches NCBI semantics:
+    extension in each direction stops when the running score falls more
+    than ``x_drop`` below the best score seen in that direction.
+    """
+    if q_seed < 0 or s_seed < 0 or q_seed + k > query.size or s_seed + k > subject.size:
+        raise ApplicationError("seed outside sequence bounds")
+    seed_score = int(
+        BLOSUM62[
+            query[q_seed : q_seed + k].astype(np.intp),
+            subject[s_seed : s_seed + k].astype(np.intp),
+        ].sum()
+    )
+    # Rightward extension.
+    best_right = 0
+    running = 0
+    right = 0  # residues beyond the seed
+    qi, si = q_seed + k, s_seed + k
+    while qi < query.size and si < subject.size:
+        running += int(BLOSUM62[int(query[qi]), int(subject[si])])
+        if running > best_right:
+            best_right = running
+            right = qi - (q_seed + k) + 1
+        if running < best_right - x_drop:
+            break
+        qi += 1
+        si += 1
+    # Leftward extension.
+    best_left = 0
+    running = 0
+    left = 0
+    qi, si = q_seed - 1, s_seed - 1
+    while qi >= 0 and si >= 0:
+        running += int(BLOSUM62[int(query[qi]), int(subject[si])])
+        if running > best_left:
+            best_left = running
+            left = q_seed - qi
+        if running < best_left - x_drop:
+            break
+        qi -= 1
+        si -= 1
+    return AlignmentResult(
+        score=seed_score + best_left + best_right,
+        query_start=q_seed - left,
+        query_end=q_seed + k + right,
+        subject_start=s_seed - left,
+        subject_end=s_seed + k + right,
+        gapped=False,
+    )
+
+
+def banded_gapped_extend(
+    query: np.ndarray,
+    subject: np.ndarray,
+    hsp: AlignmentResult,
+    *,
+    band: int = 12,
+    gap_open: int = 11,
+    gap_extend: int = 1,
+    window: int = 40,
+) -> AlignmentResult:
+    """Affine-gap local alignment in a band around an HSP's diagonal.
+
+    The search region is the HSP extended by ``window`` residues on
+    both sides; cells farther than ``band`` from the HSP diagonal are
+    excluded. Row-wise vectorized over the band (NumPy), so cost is
+    O(rows × band) with array ops rather than a Python cell loop.
+    """
+    if band < 1:
+        raise ApplicationError("band must be >= 1")
+    q_lo = max(0, hsp.query_start - window)
+    q_hi = min(query.size, hsp.query_end + window)
+    s_lo = max(0, hsp.subject_start - window)
+    s_hi = min(subject.size, hsp.subject_end + window)
+    q_sub = query[q_lo:q_hi].astype(np.intp)
+    s_sub = subject[s_lo:s_hi].astype(np.intp)
+    n, m = q_sub.size, s_sub.size
+    if n == 0 or m == 0:
+        return hsp
+    diag = (hsp.subject_start - s_lo) - (hsp.query_start - q_lo)
+    width = 2 * band + 1
+    neg = -(10**6)
+    # Banded DP in diagonal coordinates: column b of row i corresponds
+    # to subject index j = i + diag + (b - band).
+    H = np.full(width, neg, dtype=np.int32)  # match/mismatch state
+    E = np.full(width, neg, dtype=np.int32)  # gap in query
+    F = np.full(width, neg, dtype=np.int32)  # gap in subject
+    best_score = 0
+    best_pos = (0, 0)
+    offsets = np.arange(width) - band
+    for i in range(n):
+        j_idx = i + diag + offsets  # subject indices for this row's band
+        valid = (j_idx >= 0) & (j_idx < m)
+        sub = np.where(valid, BLOSUM62[q_sub[i]][s_sub[np.clip(j_idx, 0, m - 1)]], neg)
+        # H_prev[b] is H[i-1][same diagonal] = match continuation.
+        H_diag = H  # previous row, same band column == (i-1, j-1)
+        # E: gap in query (move in subject): from (i, j-1) = same row,
+        # previous band column.
+        new_H = np.maximum(H_diag + sub, sub)  # local alignment restart
+        new_H = np.maximum(new_H, 0)
+        # Compute E/F against the previous row's states.
+        # F: gap in subject (move in query): from (i-1, j) which in band
+        # coordinates is column b+1 of the previous row.
+        F_src = np.full(width, neg, dtype=np.int32)
+        F_src[:-1] = np.maximum(H[1:] - gap_open, F[1:] - gap_extend)
+        new_F = F_src
+        new_H = np.maximum(new_H, new_F + np.where(valid, 0, neg))
+        # E needs a left-to-right scan within the row (gap runs), done
+        # iteratively over the (small) band width.
+        new_E = np.full(width, neg, dtype=np.int32)
+        for b in range(1, width):
+            new_E[b] = max(new_H[b - 1] - gap_open, new_E[b - 1] - gap_extend)
+            if valid[b] and new_E[b] > new_H[b]:
+                new_H[b] = new_E[b]
+        new_H = np.where(valid, np.maximum(new_H, 0), neg)
+        row_best = int(new_H.max(initial=0))
+        if row_best > best_score:
+            best_score = row_best
+            b = int(new_H.argmax())
+            best_pos = (i, int(j_idx[b]))
+        H, E, F = new_H, new_E, new_F
+    if best_score <= hsp.score:
+        return hsp
+    return AlignmentResult(
+        score=best_score,
+        query_start=q_lo,
+        query_end=q_lo + best_pos[0] + 1,
+        subject_start=s_lo,
+        subject_end=s_lo + best_pos[1] + 1,
+        gapped=True,
+    )

@@ -1,0 +1,105 @@
+"""Low-complexity region masking (SEG-style).
+
+Real BLAST masks low-complexity segments (poly-A runs, proline-rich
+stretches) before seeding, because they generate floods of spurious
+word hits. This is a compact entropy-based variant of Wootton &
+Federhen's SEG: windows whose Shannon entropy (in bits over the
+20-letter alphabet) falls below a trigger are replaced by ``X`` —
+which never seeds, since X scores too low to reach the word threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.blast.scoring import PROTEIN_ALPHABET, encode_sequence
+from repro.errors import ApplicationError
+
+_X_INDEX = PROTEIN_ALPHABET.index("X")
+
+
+@dataclass(frozen=True)
+class SegParams:
+    """Masking parameters (defaults near SEG's 12/2.2/2.5)."""
+
+    window: int = 12
+    #: Entropy (bits) at or below which a window triggers masking.
+    trigger: float = 2.2
+    #: Entropy up to which a triggered region is extended.
+    extend: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise ApplicationError("SEG window must be >= 2")
+        if not 0 <= self.trigger <= self.extend:
+            raise ApplicationError("need 0 <= trigger <= extend")
+
+
+def window_entropy(encoded: np.ndarray) -> float:
+    """Shannon entropy (bits) of a residue window."""
+    if encoded.size == 0:
+        return 0.0
+    _values, counts = np.unique(encoded, return_counts=True)
+    probs = counts / encoded.size
+    return float(-(probs * np.log2(probs)).sum())
+
+
+def low_complexity_mask(residues: str, params: SegParams | None = None) -> np.ndarray:
+    """Boolean mask: True where the residue is low-complexity.
+
+    Two-pass SEG flavour: sliding windows at or below ``trigger``
+    entropy seed regions, which then grow while windows stay at or
+    below ``extend``.
+    """
+    params = params or SegParams()
+    encoded = encode_sequence(residues)
+    n = encoded.size
+    mask = np.zeros(n, dtype=bool)
+    if n < params.window:
+        return mask
+    w = params.window
+    entropies = np.array(
+        [window_entropy(encoded[i : i + w]) for i in range(n - w + 1)]
+    )
+    triggered = entropies <= params.trigger
+    extendable = entropies <= params.extend
+    i = 0
+    while i < triggered.size:
+        if not triggered[i]:
+            i += 1
+            continue
+        # Grow left/right through extendable windows.
+        start = i
+        while start > 0 and extendable[start - 1]:
+            start -= 1
+        end = i
+        while end + 1 < extendable.size and extendable[end + 1]:
+            end += 1
+        mask[start : end + w] = True
+        i = end + 1
+    return mask
+
+
+def mask_sequence(residues: str, params: SegParams | None = None) -> str:
+    """Replace low-complexity residues with ``X``.
+
+    >>> mask_sequence("MKVW" + "AAAAAAAAAAAAAAAA" + "WVKM")  # doctest: +SKIP
+    'MKVWXXXXXXXXXXXXXXXXWVKM'
+    """
+    mask = low_complexity_mask(residues, params)
+    if not mask.any():
+        return residues.upper()
+    chars = list(residues.upper())
+    for i in np.nonzero(mask)[0]:
+        chars[i] = "X"
+    return "".join(chars)
+
+
+def masked_fraction(residues: str, params: SegParams | None = None) -> float:
+    """Fraction of the sequence that is low-complexity."""
+    if not residues:
+        return 0.0
+    mask = low_complexity_mask(residues, params)
+    return float(mask.mean())

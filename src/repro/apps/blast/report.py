@@ -1,0 +1,100 @@
+"""BLAST result formatting: tabular (outfmt-6-style) and pairwise views.
+
+Bridges the search driver and the traceback aligner: given hits from
+:func:`~repro.apps.blast.search.blast_search`, produce the standard
+12-column tabular output and, on demand, the full pairwise alignment
+rendering for a hit.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence
+
+from repro.apps.blast.align import TracedAlignment, smith_waterman
+from repro.apps.blast.fasta import SequenceRecord
+from repro.apps.blast.search import BlastDatabase, BlastHit
+
+#: Column order of the classic ``-outfmt 6`` table.
+TABULAR_COLUMNS = (
+    "qseqid", "sseqid", "pident", "length", "mismatch", "gapopen",
+    "qstart", "qend", "sstart", "send", "evalue", "bitscore",
+)
+
+
+def trace_hit(
+    query: SequenceRecord,
+    hit: BlastHit,
+    database: BlastDatabase,
+    *,
+    gap_open: int = 11,
+    gap_extend: int = 1,
+) -> TracedAlignment:
+    """Re-align a reported hit with full traceback.
+
+    The search path keeps only scores/coordinates; this recomputes the
+    optimal local alignment of the two sequences for display.
+    """
+    subject_index = next(
+        i for i, rec in enumerate(database.records) if rec.seq_id == hit.subject_id
+    )
+    return smith_waterman(
+        query.residues,
+        database.records[subject_index].residues,
+        gap_open=gap_open,
+        gap_extend=gap_extend,
+    )
+
+
+def _gap_opens(traced: TracedAlignment) -> int:
+    opens = 0
+    for aligned in (traced.aligned_query, traced.aligned_subject):
+        in_gap = False
+        for ch in aligned:
+            if ch == "-" and not in_gap:
+                opens += 1
+                in_gap = True
+            elif ch != "-":
+                in_gap = False
+    return opens
+
+
+def tabular_row(query: SequenceRecord, hit: BlastHit, traced: TracedAlignment) -> str:
+    """One outfmt-6 line (tab-separated, 1-based inclusive coordinates)."""
+    mismatches = sum(
+        1
+        for a, b in zip(traced.aligned_query, traced.aligned_subject)
+        if a != "-" and b != "-" and a != b
+    )
+    fields = (
+        query.seq_id,
+        hit.subject_id,
+        f"{traced.identity_fraction * 100:.2f}",
+        str(traced.length),
+        str(mismatches),
+        str(_gap_opens(traced)),
+        str(traced.query_start + 1),
+        str(traced.query_end),
+        str(traced.subject_start + 1),
+        str(traced.subject_end),
+        f"{hit.e_value:.2e}",
+        f"{hit.bit_score:.1f}",
+    )
+    return "\t".join(fields)
+
+
+def tabular_report(
+    query: SequenceRecord,
+    hits: Sequence[BlastHit],
+    database: BlastDatabase,
+    *,
+    header: bool = False,
+) -> str:
+    """Full outfmt-6 table for one query's hits."""
+    out = io.StringIO()
+    if header:
+        out.write("#" + "\t".join(TABULAR_COLUMNS) + "\n")
+    for hit in hits:
+        traced = trace_hit(query, hit, database)
+        out.write(tabular_row(query, hit, traced) + "\n")
+    return out.getvalue()

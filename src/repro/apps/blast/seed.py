@@ -1,0 +1,114 @@
+"""k-mer seeding: the word index and neighbourhood expansion.
+
+BLAST's speed comes from only extending around *seed hits*: database
+positions whose k-mer scores at least ``threshold`` against some query
+k-mer under BLOSUM62. This module builds the database word index once
+(shared across all queries — the "common data" of the workload) and
+computes, per query, its high-scoring neighbourhood words with a fully
+vectorized score over all 20^k candidate words.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+import numpy as np
+
+from repro.apps.blast.scoring import AMINO_ACIDS, BLOSUM62, PROTEIN_ALPHABET
+from repro.errors import ApplicationError
+
+#: Indices (into PROTEIN_ALPHABET) of the 20 unambiguous residues.
+_AA_INDICES = np.array([PROTEIN_ALPHABET.index(ch) for ch in AMINO_ACIDS], dtype=np.uint8)
+
+
+def _word_to_code(word: np.ndarray, k: int) -> int:
+    """Pack an encoded k-mer into one integer (base-24 positional code)."""
+    code = 0
+    for idx in word[:k]:
+        code = code * 24 + int(idx)
+    return code
+
+
+def _all_words(k: int) -> np.ndarray:
+    """All 20^k unambiguous words as an (20^k, k) index array."""
+    grids = np.meshgrid(*([_AA_INDICES] * k), indexing="ij")
+    return np.stack([g.ravel() for g in grids], axis=1)
+
+
+class KmerIndex:
+    """Word → positions index over a set of database sequences."""
+
+    def __init__(self, k: int = 3):
+        if not 1 <= k <= 5:
+            raise ApplicationError(f"k must be in [1, 5], got {k}")
+        self.k = k
+        #: word code → list of (sequence index, offset) pairs.
+        self._table: dict[int, list[tuple[int, int]]] = defaultdict(list)
+        self.num_sequences = 0
+        self.total_residues = 0
+
+    def add_sequence(self, encoded: np.ndarray) -> int:
+        """Index one encoded sequence; returns its sequence id."""
+        seq_id = self.num_sequences
+        self.num_sequences += 1
+        self.total_residues += int(encoded.size)
+        k = self.k
+        for offset in range(encoded.size - k + 1):
+            code = _word_to_code(encoded[offset : offset + k], k)
+            self._table[code].append((seq_id, offset))
+        return seq_id
+
+    def lookup(self, code: int) -> Sequence[tuple[int, int]]:
+        """Database positions for a word code (empty when unseen)."""
+        return self._table.get(code, ())
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+def neighborhood_words(
+    query: np.ndarray,
+    k: int = 3,
+    threshold: int = 11,
+) -> list[tuple[int, int]]:
+    """High-scoring word hits for every query position.
+
+    Returns ``(query_offset, word_code)`` pairs: each word scores at
+    least ``threshold`` against the query k-mer starting at
+    ``query_offset``. BLAST's default for proteins is W=3, T=11.
+
+    Vectorized: for each query offset the scores of all 20^k candidate
+    words are computed as a sum of k table lookups (one (20^k,) add per
+    position) — no Python loop over the 8000 words.
+    """
+    if query.size < k:
+        return []
+    words = _all_words(k)  # (W, k)
+    # Per-position score contribution: BLOSUM62[query[pos+j], words[:, j]]
+    out: list[tuple[int, int]] = []
+    # Precompute word codes once.
+    codes = np.zeros(words.shape[0], dtype=np.int64)
+    for j in range(k):
+        codes = codes * 24 + words[:, j]
+    for offset in range(query.size - k + 1):
+        scores = np.zeros(words.shape[0], dtype=np.int32)
+        for j in range(k):
+            scores += BLOSUM62[int(query[offset + j])][words[:, j]]
+        hits = np.nonzero(scores >= threshold)[0]
+        for word_index in hits:
+            out.append((offset, int(codes[word_index])))
+    return out
+
+
+def find_seed_hits(
+    query: np.ndarray,
+    index: KmerIndex,
+    threshold: int = 11,
+) -> list[tuple[int, int, int]]:
+    """All (query_offset, db_sequence_id, db_offset) seed hits."""
+    hits: list[tuple[int, int, int]] = []
+    for q_offset, code in neighborhood_words(query, index.k, threshold):
+        for seq_id, d_offset in index.lookup(code):
+            hits.append((q_offset, seq_id, d_offset))
+    return hits

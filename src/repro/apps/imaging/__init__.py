@@ -1,0 +1,49 @@
+"""Light-source image analysis: the paper's ALS workload.
+
+"The data consists of a set of images. The simple program we use here
+basically compares images to see similarity between the images. The
+image analysis requires two files for every execution." (§IV-A)
+
+- :mod:`generate` — synthetic beamline-style diffraction images
+  (concentric rings + Bragg-like peaks + Poisson noise),
+- :mod:`similarity` — pairwise metrics (normalized cross-correlation,
+  histogram intersection, MSE/PSNR, simplified SSIM),
+- :mod:`pipeline` — the two-input "program" FRIEDA runs: load two
+  image files, compute similarity, emit a verdict.
+"""
+
+from repro.apps.imaging.generate import BeamlineImageConfig, generate_image, write_image_dataset
+from repro.apps.imaging.similarity import (
+    histogram_intersection,
+    mean_squared_error,
+    normalized_cross_correlation,
+    psnr,
+    similarity_report,
+    ssim_global,
+)
+from repro.apps.imaging.pipeline import ComparisonResult, compare_image_files, compare_images
+from repro.apps.imaging.analysis import (
+    RadialProfile,
+    find_rings,
+    radial_profile,
+    ring_similarity,
+)
+
+__all__ = [
+    "BeamlineImageConfig",
+    "generate_image",
+    "write_image_dataset",
+    "histogram_intersection",
+    "mean_squared_error",
+    "normalized_cross_correlation",
+    "psnr",
+    "similarity_report",
+    "ssim_global",
+    "ComparisonResult",
+    "compare_image_files",
+    "compare_images",
+    "RadialProfile",
+    "find_rings",
+    "radial_profile",
+    "ring_similarity",
+]

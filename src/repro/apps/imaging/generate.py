@@ -1,0 +1,117 @@
+"""Synthetic beamline (diffraction) image generation.
+
+Real ALS beamline frames are unavailable; these synthetic frames keep
+the properties the workload depends on: large 2-D arrays (megabytes per
+file), structured signal (concentric diffraction rings and bright
+Bragg-like peaks) plus shot noise, and controllable similarity between
+frames (consecutive frames of one "sample" share ring structure).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ApplicationError
+from repro.util.seeding import make_rng
+
+
+@dataclass(frozen=True)
+class BeamlineImageConfig:
+    """Parameters of the synthetic diffraction frame generator."""
+
+    size: int = 512
+    num_rings: int = 6
+    ring_width: float = 4.0
+    num_peaks: int = 24
+    peak_sigma: float = 2.5
+    background: float = 40.0
+    signal: float = 400.0
+    #: Poisson shot noise toggle (dominant noise source on detectors).
+    shot_noise: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size < 16:
+            raise ApplicationError("image size must be >= 16")
+        if self.num_rings < 0 or self.num_peaks < 0:
+            raise ApplicationError("ring/peak counts must be non-negative")
+
+
+def generate_image(
+    config: BeamlineImageConfig,
+    *,
+    sample_seed: int = 0,
+    frame: int = 0,
+) -> np.ndarray:
+    """One detector frame as float32.
+
+    ``sample_seed`` fixes the ring radii and peak layout (the
+    "sample"); ``frame`` perturbs peak intensities and adds fresh shot
+    noise, so frames of the same sample are similar but not identical —
+    like consecutive exposures on a beamline.
+    """
+    structure_rng = make_rng(sample_seed, "als-structure")
+    frame_rng = make_rng(sample_seed, "als-frame", frame)
+    n = config.size
+    yy, xx = np.mgrid[0:n, 0:n].astype(np.float32)
+    cx = cy = (n - 1) / 2.0
+    radius = np.hypot(xx - cx, yy - cy)
+
+    image = np.full((n, n), config.background, dtype=np.float32)
+    # Concentric diffraction rings (Gaussian profiles at fixed radii).
+    max_r = n / 2.0
+    ring_radii = np.sort(structure_rng.uniform(0.15 * max_r, 0.95 * max_r, config.num_rings))
+    ring_gains = structure_rng.uniform(0.3, 1.0, config.num_rings)
+    for r0, gain in zip(ring_radii, ring_gains):
+        image += (
+            config.signal
+            * gain
+            * np.exp(-0.5 * ((radius - r0) / config.ring_width) ** 2)
+        ).astype(np.float32)
+    # Bragg-like peaks on the rings; intensities flicker per frame.
+    for _ in range(config.num_peaks):
+        ring = int(structure_rng.integers(max(config.num_rings, 1)))
+        r0 = ring_radii[ring] if config.num_rings else 0.3 * max_r
+        theta = structure_rng.uniform(0, 2 * np.pi)
+        px = cx + r0 * np.cos(theta)
+        py = cy + r0 * np.sin(theta)
+        gain = float(frame_rng.uniform(1.0, 4.0))
+        dist2 = (xx - px) ** 2 + (yy - py) ** 2
+        image += (config.signal * gain * np.exp(-dist2 / (2 * config.peak_sigma**2))).astype(
+            np.float32
+        )
+    if config.shot_noise:
+        image = frame_rng.poisson(np.maximum(image, 0.0)).astype(np.float32)
+    return image
+
+
+def write_image_dataset(
+    directory: str,
+    count: int,
+    *,
+    config: BeamlineImageConfig | None = None,
+    frames_per_sample: int = 2,
+    seed: int = 0,
+) -> list[str]:
+    """Write ``count`` frames as .npy files; returns their paths.
+
+    Frames are grouped into samples of ``frames_per_sample`` consecutive
+    files, so the ``pairwise_adjacent`` grouping compares frames of the
+    same sample — the realistic beamline comparison.
+    """
+    if count < 0:
+        raise ApplicationError("count must be non-negative")
+    config = config or BeamlineImageConfig()
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    width = max(4, len(str(max(count - 1, 0))))
+    for i in range(count):
+        sample = i // max(frames_per_sample, 1)
+        frame = i % max(frames_per_sample, 1)
+        image = generate_image(config, sample_seed=seed * 100003 + sample, frame=frame)
+        path = os.path.join(directory, f"img{i:0{width}d}.npy")
+        np.save(path, image)
+        paths.append(path)
+    return paths

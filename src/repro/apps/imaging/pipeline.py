@@ -1,0 +1,79 @@
+"""The image-comparison "program" FRIEDA executes.
+
+This is the two-input task of §IV-A: given two image files, load them,
+compute the similarity ensemble, and decide whether the frames match.
+It is intentionally a plain function over file paths — FRIEDA "does not
+modify any program code" (§II-C); the runtimes invoke it through the
+command template.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, asdict
+
+import numpy as np
+
+from repro.apps.imaging.similarity import similarity_report
+from repro.errors import ApplicationError
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Outcome of comparing two frames."""
+
+    file_a: str
+    file_b: str
+    ncc: float
+    mse: float
+    psnr: float
+    hist_intersection: float
+    ssim: float
+    similar: bool
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+
+def compare_images(
+    a: np.ndarray,
+    b: np.ndarray,
+    *,
+    ncc_threshold: float = 0.6,
+    name_a: str = "a",
+    name_b: str = "b",
+) -> ComparisonResult:
+    """Compare two in-memory frames."""
+    report = similarity_report(a, b)
+    return ComparisonResult(
+        file_a=name_a,
+        file_b=name_b,
+        ncc=report["ncc"],
+        mse=report["mse"],
+        psnr=report["psnr"],
+        hist_intersection=report["hist_intersection"],
+        ssim=report["ssim"],
+        similar=report["ncc"] >= ncc_threshold,
+    )
+
+
+def compare_image_files(
+    path_a: str,
+    path_b: str,
+    *,
+    ncc_threshold: float = 0.6,
+) -> ComparisonResult:
+    """Load two ``.npy`` frames from disk and compare them."""
+    for path in (path_a, path_b):
+        if not os.path.isfile(path):
+            raise ApplicationError(f"image file not found: {path}")
+    a = np.load(path_a)
+    b = np.load(path_b)
+    return compare_images(
+        a,
+        b,
+        ncc_threshold=ncc_threshold,
+        name_a=os.path.basename(path_a),
+        name_b=os.path.basename(path_b),
+    )

@@ -1,0 +1,97 @@
+"""Pairwise image-similarity metrics.
+
+All metrics are fully vectorized NumPy over float64 working copies;
+each takes two equal-shaped 2-D arrays.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+import numpy as np
+
+from repro.errors import ApplicationError
+
+
+def _check_pair(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2:
+        raise ApplicationError("similarity metrics need 2-D images")
+    if a.shape != b.shape:
+        raise ApplicationError(f"image shapes differ: {a.shape} vs {b.shape}")
+    return a, b
+
+
+def normalized_cross_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation of pixel intensities, in [-1, 1]."""
+    a, b = _check_pair(a, b)
+    da = a - a.mean()
+    db = b - b.mean()
+    denom = math.sqrt(float((da * da).sum()) * float((db * db).sum()))
+    if denom == 0.0:
+        return 1.0 if np.array_equal(a, b) else 0.0
+    return float((da * db).sum() / denom)
+
+
+def mean_squared_error(a: np.ndarray, b: np.ndarray) -> float:
+    a, b = _check_pair(a, b)
+    diff = a - b
+    return float((diff * diff).mean())
+
+
+def psnr(a: np.ndarray, b: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (inf for identical images)."""
+    a, b = _check_pair(a, b)
+    mse = mean_squared_error(a, b)
+    if mse == 0.0:
+        return math.inf
+    peak = float(max(a.max(), b.max()))
+    if peak <= 0:
+        return 0.0
+    return 10.0 * math.log10(peak * peak / mse)
+
+
+def histogram_intersection(a: np.ndarray, b: np.ndarray, bins: int = 64) -> float:
+    """Normalized histogram overlap in [0, 1]."""
+    if bins < 2:
+        raise ApplicationError("bins must be >= 2")
+    a, b = _check_pair(a, b)
+    lo = float(min(a.min(), b.min()))
+    hi = float(max(a.max(), b.max()))
+    if hi <= lo:
+        return 1.0
+    ha, _ = np.histogram(a, bins=bins, range=(lo, hi))
+    hb, _ = np.histogram(b, bins=bins, range=(lo, hi))
+    ha = ha / ha.sum()
+    hb = hb / hb.sum()
+    return float(np.minimum(ha, hb).sum())
+
+
+def ssim_global(a: np.ndarray, b: np.ndarray) -> float:
+    """Global (single-window) SSIM — luminance/contrast/structure terms
+    over the whole frame. Good enough as a third member of the metric
+    ensemble without a full sliding-window implementation."""
+    a, b = _check_pair(a, b)
+    peak = float(max(a.max(), b.max(), 1.0))
+    c1 = (0.01 * peak) ** 2
+    c2 = (0.03 * peak) ** 2
+    mu_a, mu_b = a.mean(), b.mean()
+    var_a, var_b = a.var(), b.var()
+    cov = float(((a - mu_a) * (b - mu_b)).mean())
+    return float(
+        ((2 * mu_a * mu_b + c1) * (2 * cov + c2))
+        / ((mu_a**2 + mu_b**2 + c1) * (var_a + var_b + c2))
+    )
+
+
+def similarity_report(a: np.ndarray, b: np.ndarray) -> Mapping[str, float]:
+    """All metrics at once (what the pipeline program emits)."""
+    return {
+        "ncc": normalized_cross_correlation(a, b),
+        "mse": mean_squared_error(a, b),
+        "psnr": psnr(a, b),
+        "hist_intersection": histogram_intersection(a, b),
+        "ssim": ssim_global(a, b),
+    }

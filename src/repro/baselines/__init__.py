@@ -1,0 +1,17 @@
+"""Baseline data-management systems FRIEDA is contrasted against.
+
+§I/§VI of the paper position FRIEDA against MapReduce/Hadoop, where
+"data management can be transparent to the user and the framework can
+transparently provide data locality to the tasks at runtime. While this
+works well for a certain class of applications, it often is less
+optimal for applications that don't fit the paradigm."
+
+:mod:`repro.baselines.hadooplike` implements that transparent model on
+the same simulated substrate so the claim can be measured: HDFS-style
+random block placement with replication, and a locality-greedy task
+scheduler with remote-read fallback.
+"""
+
+from repro.baselines.hadooplike import BlockPlacement, HadoopLikeEngine
+
+__all__ = ["BlockPlacement", "HadoopLikeEngine"]

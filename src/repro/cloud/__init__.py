@@ -1,0 +1,59 @@
+"""Cloud substrate: VMs, storage tiers, network, provisioning, failures.
+
+This package models the ExoGENI environment of §IV-A — the piece of the
+paper we cannot physically reproduce — as a discrete-event system:
+
+- :mod:`repro.cloud.network` — flow-level max-min fair bandwidth
+  sharing (the provisioned 100 Mbps links, shared master uplink),
+- :mod:`repro.cloud.instance` — instance types (c1.xlarge: 4 cores,
+  4 GB) and virtual machines with CPU cores as resources,
+- :mod:`repro.cloud.storage` — local disk / block store / network
+  (iSCSI-style) storage tiers with distinct bandwidth/latency/capacity
+  trade-offs (§III-A),
+- :mod:`repro.cloud.cluster` — the virtual cluster and an ORCA-like
+  provisioner,
+- :mod:`repro.cloud.failures` — failure injection (availability
+  fluctuations of §V-A "Robust"),
+- :mod:`repro.cloud.billing` — cost accounting for the performance/cost
+  trade-off discussion.
+"""
+
+from repro.cloud.network import Flow, FlowNetwork, Link, Route
+from repro.cloud.instance import InstanceType, VirtualMachine, VmState, C1_XLARGE, M1_SMALL, M1_LARGE
+from repro.cloud.storage import (
+    BlockStore,
+    LocalDisk,
+    NetworkStorage,
+    StorageTier,
+    StorageVolume,
+)
+from repro.cloud.cluster import ClusterSpec, Provisioner, VirtualCluster
+from repro.cloud.failures import FailureInjector, FailureRecord, FailureSchedule
+from repro.cloud.billing import BillingModel, CostReport, PriceSheet
+
+__all__ = [
+    "Flow",
+    "FlowNetwork",
+    "Link",
+    "Route",
+    "InstanceType",
+    "VirtualMachine",
+    "VmState",
+    "C1_XLARGE",
+    "M1_SMALL",
+    "M1_LARGE",
+    "BlockStore",
+    "LocalDisk",
+    "NetworkStorage",
+    "StorageTier",
+    "StorageVolume",
+    "ClusterSpec",
+    "Provisioner",
+    "VirtualCluster",
+    "FailureInjector",
+    "FailureRecord",
+    "FailureSchedule",
+    "BillingModel",
+    "CostReport",
+    "PriceSheet",
+]

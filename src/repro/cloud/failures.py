@@ -1,0 +1,123 @@
+"""Failure injection for the cloud substrate.
+
+§V-A ("Robust"): *"Cloud environments often rely on commodity hardware
+and have been shown to have availability fluctuations."* The injector
+produces exactly those fluctuations so FRIEDA's failure isolation can be
+exercised:
+
+- :class:`FailureSchedule` — scripted, deterministic failures
+  ("kill worker2 at t=300"), used by tests,
+- random mode — per-VM exponential time-to-failure with a given MTTF,
+  used by the robustness ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cloud.cluster import VirtualCluster
+from repro.sim.kernel import Environment
+from repro.util.seeding import make_rng
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One injected failure that actually happened."""
+
+    time: float
+    vm_id: str
+    cause: str
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """Deterministic list of (time, vm_id) failures."""
+
+    entries: tuple[tuple[float, str], ...]
+
+    @classmethod
+    def of(cls, *entries: tuple[float, str]) -> "FailureSchedule":
+        return cls(tuple(sorted(entries)))
+
+
+class FailureInjector:
+    """Drives VM failures into a cluster.
+
+    Exactly one of ``schedule`` or ``mttf_s`` should be provided.
+    With ``mttf_s``, each *worker* VM draws an exponential lifetime;
+    the master is spared by default because the paper calls the master
+    a single point of failure handled separately (§V-A) — pass
+    ``spare_master=False`` to include it.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: VirtualCluster,
+        *,
+        schedule: Optional[FailureSchedule] = None,
+        mttf_s: Optional[float] = None,
+        max_failures: Optional[int] = None,
+        spare_master: bool = True,
+        seed: int = 0,
+    ):
+        if (schedule is None) == (mttf_s is None):
+            raise ValueError("provide exactly one of schedule= or mttf_s=")
+        self.env = env
+        self.cluster = cluster
+        self.records: list[FailureRecord] = []
+        self.max_failures = max_failures
+        self._spare_master = spare_master
+        if schedule is not None:
+            self.process = env.process(self._run_schedule(schedule), name="failure-injector")
+        else:
+            rng = make_rng(seed, "failures", cluster.spec.name)
+            self.process = env.process(self._run_random(float(mttf_s), rng), name="failure-injector")
+
+    def _eligible(self) -> list[str]:
+        out = []
+        for vm_id, vm in self.cluster.vms.items():
+            if not vm.is_running:
+                continue
+            if self._spare_master and vm is self.cluster.master_vm:
+                continue
+            out.append(vm_id)
+        return out
+
+    def _inject(self, vm_id: str, cause: str) -> None:
+        vm = self.cluster.vms.get(vm_id)
+        if vm is None or not vm.is_running:
+            return
+        self.cluster.fail_vm(vm_id, cause)
+        self.records.append(FailureRecord(self.env.now, vm_id, cause))
+
+    def _run_schedule(self, schedule: FailureSchedule):
+        for when, vm_id in schedule.entries:
+            delay = when - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            self._inject(vm_id, "scheduled")
+            if self.max_failures is not None and len(self.records) >= self.max_failures:
+                return
+
+    def _run_random(self, mttf_s: float, rng: np.random.Generator):
+        if mttf_s <= 0:
+            raise ValueError("mttf_s must be positive")
+        while True:
+            # Pooled exponential: with k eligible VMs the next failure
+            # arrives at rate k/MTTF, then strikes a uniform victim.
+            eligible = self._eligible()
+            if not eligible:
+                return
+            gap = float(rng.exponential(mttf_s / len(eligible)))
+            yield self.env.timeout(gap)
+            eligible = self._eligible()
+            if not eligible:
+                return
+            victim = str(rng.choice(eligible))
+            self._inject(victim, "random")
+            if self.max_failures is not None and len(self.records) >= self.max_failures:
+                return

@@ -1,0 +1,382 @@
+"""Flow-level network model with max-min fair bandwidth sharing.
+
+Why flow-level: the paper's experiments are characterized by *which
+transfers share which bottleneck* (all workers pull through the master's
+single provisioned 100 Mbps uplink), not by packet dynamics. A
+progressive-filling (water-filling) max-min allocation over a set of
+concurrent flows captures exactly that: when the master streams to four
+workers at once each flow gets ~25 Mbps; when three finish the last one
+speeds up to 100 Mbps.
+
+Mechanics
+---------
+A :class:`Link` has a capacity in bits/s. A :class:`Flow` occupies a
+path (sequence of links) and drains a fixed number of bits. Whenever the
+set of active flows changes, the model:
+
+1. advances every active flow by ``rate × elapsed`` bits,
+2. recomputes max-min fair rates (respecting per-flow rate caps, which
+   model single-stream protocol limits — see :mod:`repro.transfer`),
+3. schedules a wake-up at the earliest projected flow completion.
+
+Disk I/O reuses the same machinery: a disk is just a pair of links
+(read/write), so an end-to-end transfer path ``[src-disk-read,
+src-uplink, dst-downlink, dst-disk-write]`` is automatically limited by
+its slowest stage. This mirrors the observation in the paper's §III-A
+that local disks, block stores, and network storage have different
+bandwidth trade-offs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import NetworkError
+from repro.sim.kernel import Environment, Event
+from repro.sim.monitor import Monitor
+from repro.util.units import bytes_to_bits
+
+#: Flows whose remaining volume is below this many bits are considered
+#: drained (guards against float dust keeping flows alive forever).
+_EPSILON_BITS = 1e-6
+
+#: Flows with less than this much *time* of work left are also retired:
+#: at high rates the residual bits can correspond to a delay below the
+#: float resolution of `now + delay`, which would stall virtual time.
+_EPSILON_TIME = 1e-9
+
+
+class Link:
+    """A unidirectional capacity-constrained channel."""
+
+    __slots__ = ("name", "capacity", "latency", "_flows")
+
+    def __init__(self, name: str, capacity_bps: float, latency_s: float = 0.0):
+        if capacity_bps <= 0:
+            raise NetworkError(f"link {name!r} needs positive capacity")
+        if latency_s < 0:
+            raise NetworkError(f"link {name!r} has negative latency")
+        self.name = name
+        self.capacity = float(capacity_bps)
+        self.latency = float(latency_s)
+        self._flows: set["Flow"] = set()
+
+    @property
+    def active_flows(self) -> int:
+        return len(self._flows)
+
+    def __repr__(self) -> str:
+        return f"<Link {self.name} {self.capacity:.0f}bps flows={len(self._flows)}>"
+
+
+@dataclass(frozen=True)
+class Route:
+    """A named path through the network (sequence of link names)."""
+
+    name: str
+    links: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            raise NetworkError(f"route {self.name!r} has no links")
+
+
+class Flow:
+    """One in-flight transfer.
+
+    ``done`` is the completion event; its value is the flow itself so
+    processes can inspect realized throughput afterwards.
+    """
+
+    __slots__ = (
+        "id",
+        "path",
+        "total_bits",
+        "remaining_bits",
+        "rate",
+        "max_rate",
+        "done",
+        "start_time",
+        "end_time",
+        "tag",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        path: Sequence[Link],
+        nbytes: float,
+        done: Event,
+        max_rate: Optional[float],
+        start_time: float,
+        tag: str,
+    ):
+        self.id = flow_id
+        self.path = tuple(path)
+        self.total_bits = bytes_to_bits(nbytes)
+        self.remaining_bits = self.total_bits
+        self.rate = 0.0
+        self.max_rate = max_rate
+        self.done = done
+        self.start_time = start_time
+        self.end_time: Optional[float] = None
+        self.tag = tag
+
+    @property
+    def mean_throughput_bps(self) -> float:
+        """Realized mean throughput (valid after completion)."""
+        if self.end_time is None or self.end_time <= self.start_time:
+            return math.nan
+        return self.total_bits / (self.end_time - self.start_time)
+
+    def __repr__(self) -> str:
+        return f"<Flow {self.id} tag={self.tag} remaining={self.remaining_bits:.0f}b>"
+
+
+def max_min_rates(
+    flows: Iterable[Flow],
+    capacities: dict[Link, float] | None = None,
+) -> dict[Flow, float]:
+    """Progressive-filling max-min fair allocation with per-flow caps.
+
+    Repeatedly finds the most-constrained link (smallest fair share),
+    freezes its flows at that share, removes the consumed capacity, and
+    iterates. Flows with ``max_rate`` below their fair share are frozen
+    at their cap first (standard extension for rate-limited flows).
+    """
+    active = [f for f in flows]
+    caps: dict[Link, float] = {}
+    link_flows: dict[Link, set[Flow]] = {}
+    for flow in active:
+        for link in flow.path:
+            caps.setdefault(link, link.capacity if capacities is None else capacities[link])
+            link_flows.setdefault(link, set()).add(flow)
+
+    rates: dict[Flow, float] = {}
+    unfixed = set(active)
+
+    def freeze(flow: Flow, rate: float) -> None:
+        rates[flow] = rate
+        unfixed.discard(flow)
+        for link in flow.path:
+            caps[link] = max(0.0, caps[link] - rate)
+            link_flows[link].discard(flow)
+
+    while unfixed:
+        # Fair share of the tightest link among unfixed flows.
+        bottleneck_link: Link | None = None
+        bottleneck_share = math.inf
+        for link, members in link_flows.items():
+            if members:
+                share = caps[link] / len(members)
+                if share < bottleneck_share:
+                    bottleneck_share = share
+                    bottleneck_link = link
+        if bottleneck_link is None:  # pragma: no cover - defensive
+            for flow in list(unfixed):
+                freeze(flow, flow.max_rate or math.inf)
+            break
+        # Flows capped below the share are frozen at their cap first;
+        # freezing them releases capacity, so recompute from scratch.
+        capped = [
+            f
+            for f in unfixed
+            if f.max_rate is not None and f.max_rate < bottleneck_share
+        ]
+        if capped:
+            for flow in capped:
+                freeze(flow, flow.max_rate)
+            continue
+        # Freeze every flow crossing the bottleneck; the loop re-finds
+        # further bottlenecks (each iteration freezes at least one flow,
+        # so termination is guaranteed).
+        for flow in list(link_flows[bottleneck_link]):
+            freeze(flow, bottleneck_share)
+    return rates
+
+
+class FlowNetwork:
+    """The dynamic flow simulation over a set of links.
+
+    Components create links once (:meth:`add_link`) and start transfers
+    with :meth:`start_flow`. A background process re-plans rates on
+    every arrival/departure.
+    """
+
+    def __init__(self, env: Environment, monitor: Monitor | None = None):
+        self.env = env
+        self.monitor = monitor
+        self._links: dict[str, Link] = {}
+        self._routes: dict[str, Route] = {}
+        self._flows: set[Flow] = set()
+        self._flow_ids = itertools.count()
+        self._last_update = env.now
+        self._wake: Optional[Event] = None
+        self._driver = env.process(self._drive(), name="flow-network")
+        self.completed_flows = 0
+        self.total_bytes_moved = 0.0
+
+    # -- topology ---------------------------------------------------------
+    def add_link(self, name: str, capacity_bps: float, latency_s: float = 0.0) -> Link:
+        """Create and register a link (names are unique)."""
+        if name in self._links:
+            raise NetworkError(f"duplicate link name {name!r}")
+        link = Link(name, capacity_bps, latency_s)
+        self._links[name] = link
+        return link
+
+    def link(self, name: str) -> Link:
+        try:
+            return self._links[name]
+        except KeyError:
+            raise NetworkError(f"unknown link {name!r}") from None
+
+    def add_route(self, name: str, links: Sequence[str]) -> Route:
+        """Register a named path (validates link existence)."""
+        for link_name in links:
+            self.link(link_name)
+        route = Route(name, tuple(links))
+        self._routes[name] = route
+        return route
+
+    def route(self, name: str) -> Route:
+        try:
+            return self._routes[name]
+        except KeyError:
+            raise NetworkError(f"unknown route {name!r}") from None
+
+    # -- flows --------------------------------------------------------------
+    def start_flow(
+        self,
+        path: Sequence[str] | Route,
+        nbytes: float,
+        *,
+        max_rate: Optional[float] = None,
+        latency: Optional[float] = None,
+        tag: str = "",
+    ) -> Flow:
+        """Begin a transfer of ``nbytes`` along ``path``.
+
+        ``latency`` (default: sum of link latencies) delays the first
+        bit; ``max_rate`` caps the flow below its fair share (protocol
+        single-stream limits). Returns the :class:`Flow`; wait on
+        ``flow.done``.
+        """
+        if nbytes < 0:
+            raise NetworkError("cannot transfer a negative volume")
+        route = path if isinstance(path, Route) else Route("<anon>", tuple(path))
+        links = [self.link(name) for name in route.links]
+        if max_rate is not None and max_rate <= 0:
+            raise NetworkError("max_rate must be positive")
+        done = Event(self.env)
+        flow = Flow(
+            flow_id=next(self._flow_ids),
+            path=links,
+            nbytes=nbytes,
+            done=done,
+            max_rate=max_rate,
+            start_time=self.env.now,
+            tag=tag,
+        )
+        startup = sum(l.latency for l in links) if latency is None else latency
+        if nbytes == 0:
+            # Pure-latency "transfer" (control message): no bandwidth use.
+            self.env.process(self._zero_volume(flow, startup), name=f"flow{flow.id}-zero")
+            return flow
+        self.env.process(self._launch(flow, startup), name=f"flow{flow.id}-launch")
+        return flow
+
+    def transfer(self, path: Sequence[str] | Route, nbytes: float, **kw) -> Event:
+        """Shorthand: start a flow, return its completion event."""
+        return self.start_flow(path, nbytes, **kw).done
+
+    def _zero_volume(self, flow: Flow, startup: float):
+        if startup > 0:
+            yield self.env.timeout(startup)
+        flow.end_time = self.env.now
+        self.completed_flows += 1
+        flow.done.succeed(flow)
+
+    def _launch(self, flow: Flow, startup: float):
+        if startup > 0:
+            yield self.env.timeout(startup)
+        self._advance_flows()
+        self._flows.add(flow)
+        for link in flow.path:
+            link._flows.add(flow)
+        self._replan()
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    # -- engine -------------------------------------------------------------
+    def _advance_flows(self) -> None:
+        """Drain bits according to current rates up to env.now."""
+        elapsed = self.env.now - self._last_update
+        if elapsed > 0:
+            for flow in self._flows:
+                flow.remaining_bits -= flow.rate * elapsed
+        self._last_update = self.env.now
+
+    def _replan(self) -> None:
+        """Recompute rates and poke the driver process."""
+        rates = max_min_rates(self._flows)
+        for flow, rate in rates.items():
+            flow.rate = rate
+        if self.monitor is not None:
+            for flow in self._flows:
+                self.monitor.sample(self.env.now, "flow.rate", flow.rate, flow=flow.id, tag=flow.tag)
+        if self._wake is not None and not self._wake.triggered:
+            self._wake.succeed()
+        self._wake = None
+
+    def _earliest_completion(self) -> float:
+        horizon = math.inf
+        for flow in self._flows:
+            if flow.rate > 0:
+                horizon = min(horizon, flow.remaining_bits / flow.rate)
+        return horizon
+
+    def _drive(self):
+        """Background process: completes flows as they drain."""
+        while True:
+            self._advance_flows()
+            # Retire drained flows (including those whose residue would
+            # drain in under a nanosecond — see _EPSILON_TIME).
+            finished = [
+                f
+                for f in self._flows
+                if f.remaining_bits <= max(_EPSILON_BITS, f.rate * _EPSILON_TIME)
+            ]
+            if finished:
+                for flow in finished:
+                    self._flows.discard(flow)
+                    for link in flow.path:
+                        link._flows.discard(flow)
+                    flow.remaining_bits = 0.0
+                    flow.rate = 0.0
+                    flow.end_time = self.env.now
+                    self.completed_flows += 1
+                    self.total_bytes_moved += flow.total_bits / 8.0
+                    flow.done.succeed(flow)
+                    if self.monitor is not None:
+                        self.monitor.interval(
+                            "flow",
+                            flow.start_time,
+                            flow.end_time,
+                            flow=flow.id,
+                            tag=flow.tag,
+                            nbytes=flow.total_bits / 8.0,
+                        )
+                self._replan()
+            horizon = self._earliest_completion()
+            wake = Event(self.env)
+            self._wake = wake
+            if horizon is math.inf:
+                yield wake  # sleep until a flow arrives
+            else:
+                yield self.env.any_of([wake, self.env.timeout(horizon)])
+                if self._wake is wake:
+                    self._wake = None

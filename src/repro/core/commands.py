@@ -1,0 +1,117 @@
+"""Execution-command templating (§II-D of the paper).
+
+The controller initializes workers with the *execution syntax*:
+``app arg1 arg2 $inp1`` where ``$inp1`` is replaced by the location of
+the file at run time. FRIEDA never modifies application code — this
+substitution is the whole integration surface.
+
+:class:`CommandTemplate` supports:
+
+- shell-style string templates with ``$inp1 .. $inpN`` (and ``$inp``
+  as an alias for ``$inp1``, ``$out`` for an output location),
+- Python callables for in-process runtimes (the callable receives the
+  resolved input paths),
+- arity validation against the partition grouping, so a pairwise
+  grouping with a one-input template fails at configuration time, not
+  mid-run.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+_PLACEHOLDER_RE = re.compile(r"\$(?:\{)?(inp(\d*)|out)(?:\})?")
+
+
+@dataclass(frozen=True)
+class CommandTemplate:
+    """An application invocation with input placeholders.
+
+    Exactly one of ``template`` (string form) or ``function`` (callable
+    form) must be provided.
+
+    >>> ct = CommandTemplate(template="blastall -p blastp -i $inp1 -d $inp2")
+    >>> ct.arity
+    2
+    >>> ct.build(["/data/q.fa", "/data/nr.db"])
+    'blastall -p blastp -i /data/q.fa -d /data/nr.db'
+    """
+
+    template: Optional[str] = None
+    function: Optional[Callable[..., object]] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if (self.template is None) == (self.function is None):
+            raise ConfigurationError(
+                "CommandTemplate needs exactly one of template= or function="
+            )
+        if self.template is not None and not self.template.strip():
+            raise ConfigurationError("empty command template")
+
+    @property
+    def arity(self) -> Optional[int]:
+        """Number of distinct input placeholders (None for callables —
+        a callable accepts however many files the grouping yields)."""
+        if self.template is None:
+            return None
+        indices = set()
+        for match in _PLACEHOLDER_RE.finditer(self.template):
+            kind, num = match.group(1), match.group(2)
+            if kind == "out":
+                continue
+            indices.add(int(num) if num else 1)
+        if not indices:
+            return 0
+        expected = set(range(1, max(indices) + 1))
+        missing = expected - indices
+        if missing:
+            raise ConfigurationError(
+                f"template references $inp{max(indices)} but is missing "
+                f"{sorted('$inp%d' % i for i in missing)}"
+            )
+        return len(indices)
+
+    def validate_group_size(self, group_size: int) -> None:
+        """Raise unless a task of ``group_size`` files fits the template."""
+        arity = self.arity
+        if arity is None or arity == 0:
+            return
+        if arity != group_size:
+            raise ConfigurationError(
+                f"command expects {arity} input(s) but the partition "
+                f"grouping yields {group_size} file(s) per task"
+            )
+
+    def build(self, input_paths: Sequence[str], output_path: str = "") -> str:
+        """Render the shell command with real file locations."""
+        if self.template is None:
+            raise ConfigurationError("build() on a callable CommandTemplate")
+        self.validate_group_size(len(input_paths))
+
+        def replace(match: re.Match) -> str:
+            kind, num = match.group(1), match.group(2)
+            if kind == "out":
+                return output_path
+            index = (int(num) if num else 1) - 1
+            return str(input_paths[index])
+
+        return _PLACEHOLDER_RE.sub(replace, self.template)
+
+    def call(self, input_paths: Sequence[str]) -> object:
+        """Invoke the callable form with the resolved input paths."""
+        if self.function is None:
+            raise ConfigurationError("call() on a string CommandTemplate")
+        return self.function(*input_paths)
+
+    @property
+    def display_name(self) -> str:
+        if self.name:
+            return self.name
+        if self.template is not None:
+            return self.template.split()[0]
+        return getattr(self.function, "__name__", "callable")

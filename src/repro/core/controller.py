@@ -1,0 +1,145 @@
+"""The controller — the control plane's "intelligence" (§II-A).
+
+The controller owns configuration and membership, never data:
+
+1. it runs the partition generator over the input dataset,
+2. it produces the ``START_MASTER`` / ``SET_PARTITION_INFO`` messages
+   that initialize the master (Fig 4),
+3. it decides the worker fan-out (multicore cloning: one program
+   instance per core, §II-C),
+4. it receives failure reports and elasticity requests, keeping an
+   auditable event log.
+
+Engines call into this logic and perform the actual spawning/transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.commands import CommandTemplate
+from repro.core.fault import FaultTracker, RetryPolicy
+from repro.core.messages import SetPartitionInfo, StartMaster, WorkerFailed
+from repro.core.strategies import DataManagementStrategy, StrategyKind, strategy_for
+from repro.data.files import Dataset
+from repro.data.partition import PartitionGenerator, PartitionScheme, TaskGroup
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ControllerEvent:
+    """One entry in the controller's audit log."""
+
+    time: float
+    kind: str
+    detail: str
+
+
+@dataclass
+class WorkerPlan:
+    """How many program clones run on each node (§II-C multicore)."""
+
+    node_id: str
+    cores: int
+    clones: int
+
+    @property
+    def worker_ids(self) -> tuple[str, ...]:
+        return tuple(f"{self.node_id}:{i}" for i in range(self.clones))
+
+
+class ControllerLogic:
+    """Engine-agnostic controller state machine."""
+
+    def __init__(
+        self,
+        *,
+        strategy: StrategyKind | str = StrategyKind.REAL_TIME,
+        grouping: PartitionScheme | str = PartitionScheme.SINGLE,
+        grouping_options: dict | None = None,
+        command: CommandTemplate | None = None,
+        multicore: bool = True,
+        retry_policy: RetryPolicy | None = None,
+        isolate_after: int = 1,
+    ):
+        self.strategy: DataManagementStrategy = strategy_for(strategy)
+        self.grouping = PartitionScheme(grouping)
+        self.grouping_options = dict(grouping_options or {})
+        self.command = command
+        self.multicore = multicore
+        self.retry_policy = retry_policy or RetryPolicy.paper_faithful()
+        self.fault_tracker = FaultTracker(isolate_after=isolate_after)
+        self.events: list[ControllerEvent] = []
+        self.groups: Optional[list[TaskGroup]] = None
+        self.worker_plans: list[WorkerPlan] = []
+
+    # -- control phase -------------------------------------------------------
+    def log(self, time: float, kind: str, detail: str = "") -> None:
+        self.events.append(ControllerEvent(time, kind, detail))
+
+    def generate_partitions(self, dataset: Dataset, time: float = 0.0) -> list[TaskGroup]:
+        """Run the partition generator (Fig 1, control plane)."""
+        generator = PartitionGenerator(self.grouping, self.grouping_options)
+        self.groups = generator.generate(dataset)
+        if self.command is not None and self.groups:
+            self.command.validate_group_size(len(self.groups[0].files))
+        self.log(time, "PARTITION_GENERATED", f"{len(self.groups)} groups ({self.grouping.value})")
+        return self.groups
+
+    def start_master_message(self) -> StartMaster:
+        """The initialization message for the master (Fig 4 step 1)."""
+        return StartMaster(
+            strategy=self.strategy.kind.value,
+            grouping=self.grouping.value,
+            multicore=self.multicore,
+        )
+
+    def partition_info_message(self) -> SetPartitionInfo:
+        """SET_PARTITION_INFO carrying the generated groups (Fig 3)."""
+        if self.groups is None:
+            raise ConfigurationError("generate_partitions() before partition_info_message()")
+        return SetPartitionInfo(
+            groups=tuple(g.file_names for g in self.groups),
+            sizes=tuple(tuple(f.size for f in g.files) for g in self.groups),
+        )
+
+    def plan_workers(self, nodes: Sequence[tuple[str, int]], time: float = 0.0) -> list[WorkerPlan]:
+        """Decide clone counts: one program instance per core when
+        multicore is on, otherwise one per node (§II-C)."""
+        self.worker_plans = [
+            WorkerPlan(node_id=node_id, cores=cores, clones=cores if self.multicore else 1)
+            for node_id, cores in nodes
+        ]
+        total = sum(p.clones for p in self.worker_plans)
+        self.log(time, "FORK_REMOTE_WORKERS", f"{total} clones on {len(self.worker_plans)} nodes")
+        return self.worker_plans
+
+    # -- run-time reports -----------------------------------------------------
+    def on_worker_failed(self, report: WorkerFailed, time: float = 0.0) -> None:
+        """Failure report from the master (§II-D): record + isolate."""
+        self.fault_tracker.record_loss(report.worker_id, report.error)
+        self.log(time, "WORKER_FAILED", f"{report.worker_id}: {report.error}")
+
+    def on_worker_error(self, worker_id: str, message: str, time: float = 0.0) -> bool:
+        isolated = self.fault_tracker.record_error(worker_id, message)
+        self.log(time, "WORKER_ERROR", f"{worker_id}: {message}")
+        if isolated:
+            self.log(time, "WORKER_ISOLATED", worker_id)
+        return isolated
+
+    def on_worker_added(self, node_id: str, cores: int, time: float = 0.0) -> WorkerPlan:
+        """Elastic join (§V-A): "Addition of any new worker goes through
+        the controller"."""
+        plan = WorkerPlan(node_id=node_id, cores=cores, clones=cores if self.multicore else 1)
+        self.worker_plans.append(plan)
+        self.log(time, "WORKER_ADDED", f"{node_id} ({plan.clones} clones)")
+        return plan
+
+    def on_worker_removed(self, node_id: str, time: float = 0.0) -> None:
+        self.worker_plans = [p for p in self.worker_plans if p.node_id != node_id]
+        self.log(time, "WORKER_REMOVED", node_id)
+
+    @property
+    def all_worker_ids(self) -> tuple[str, ...]:
+        return tuple(w for plan in self.worker_plans for w in plan.worker_ids)

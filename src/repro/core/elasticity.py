@@ -1,0 +1,86 @@
+"""Elasticity management (§V-A "Elastic").
+
+"The controller in FRIEDA handles the addition and removal of workers.
+Addition of any new worker goes through the controller which establishes
+the connection between the master and the workers."
+
+:class:`ElasticityManager` is that bookkeeping plus the *transparent
+elasticity* extension the paper lists as future work: an optional
+:class:`AutoScalePolicy` that watches queue depth and recommends scale
+actions without user interaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ScaleEvent:
+    """One elasticity action that happened."""
+
+    time: float
+    action: str  # "add" | "remove" | "recommend_add" | "recommend_remove"
+    node_id: str
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class AutoScalePolicy:
+    """Threshold policy for transparent elasticity (extension).
+
+    Recommends adding a node while ``queued / active_workers`` exceeds
+    ``scale_up_ratio`` (up to ``max_nodes``), and removing one when the
+    queue has drained below ``scale_down_ratio`` tasks per worker.
+    """
+
+    scale_up_ratio: float = 8.0
+    scale_down_ratio: float = 1.0
+    max_nodes: int = 16
+    min_nodes: int = 1
+
+    def recommend(self, queued: int, active_nodes: int) -> str:
+        if active_nodes <= 0:
+            return "add"
+        per_worker = queued / active_nodes
+        if per_worker > self.scale_up_ratio and active_nodes < self.max_nodes:
+            return "add"
+        if per_worker < self.scale_down_ratio and active_nodes > self.min_nodes:
+            return "remove"
+        return "hold"
+
+
+class ElasticityManager:
+    """Tracks membership changes and applies the auto-scale policy."""
+
+    def __init__(self, policy: AutoScalePolicy | None = None):
+        self.policy = policy
+        self.events: list[ScaleEvent] = []
+        self.active_nodes: set[str] = set()
+
+    def node_added(self, time: float, node_id: str, reason: str = "user") -> None:
+        self.active_nodes.add(node_id)
+        self.events.append(ScaleEvent(time, "add", node_id, reason))
+
+    def node_removed(self, time: float, node_id: str, reason: str = "user") -> None:
+        self.active_nodes.discard(node_id)
+        self.events.append(ScaleEvent(time, "remove", node_id, reason))
+
+    def evaluate(self, time: float, queued: int) -> str:
+        """Consult the auto-scale policy; returns add/remove/hold."""
+        if self.policy is None:
+            return "hold"
+        action = self.policy.recommend(queued, len(self.active_nodes))
+        if action != "hold":
+            self.events.append(
+                ScaleEvent(time, f"recommend_{action}", "", f"queued={queued}")
+            )
+        return action
+
+    @property
+    def additions(self) -> int:
+        return sum(1 for e in self.events if e.action == "add")
+
+    @property
+    def removals(self) -> int:
+        return sum(1 for e in self.events if e.action == "remove")

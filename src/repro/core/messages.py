@@ -1,0 +1,249 @@
+"""FRIEDA protocol messages (Figures 2–4 of the paper).
+
+Message names follow the labels in the architecture figures:
+``START_MASTER``, ``SET_PARTITION_INFO``, ``FORK_REMOTE_WORKERS``,
+``REQUEST_DATA``, ``FILE_METADATA``, ``FILE_DATA``, plus the status and
+elasticity messages §II-D describes. Each message is a frozen dataclass
+with a JSON round-trip (:func:`encode_message` / :func:`decode_message`)
+used verbatim by the asyncio TCP runtime; the simulated engine passes
+the same objects through in-memory mailboxes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, ClassVar, Type
+
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base protocol message."""
+
+    #: Wire name of the message (class attribute, not serialized field).
+    msg_type: ClassVar[str] = "MESSAGE"
+
+    def to_dict(self) -> dict[str, Any]:
+        payload = asdict(self)
+        payload["type"] = self.msg_type
+        return payload
+
+
+_REGISTRY: dict[str, Type[Message]] = {}
+
+
+def _register(cls: Type[Message]) -> Type[Message]:
+    if cls.msg_type in _REGISTRY:
+        raise ProtocolError(f"duplicate message type {cls.msg_type!r}")
+    _REGISTRY[cls.msg_type] = cls
+    return cls
+
+
+@_register
+@dataclass(frozen=True)
+class StartMaster(Message):
+    """Controller → master: start with a partition strategy (Fig 2a/4)."""
+
+    msg_type: ClassVar[str] = "START_MASTER"
+    strategy: str = "real_time"
+    grouping: str = "single"
+    multicore: bool = True
+
+
+@_register
+@dataclass(frozen=True)
+class SetPartitionInfo(Message):
+    """Controller → master: the generated partition table (Fig 3 step 2).
+
+    ``groups`` is a list of lists of file names (the partition
+    generator's output); sizes travel separately so the master can plan
+    transfers without a catalog lookup.
+    """
+
+    msg_type: ClassVar[str] = "SET_PARTITION_INFO"
+    groups: tuple[tuple[str, ...], ...] = ()
+    sizes: tuple[tuple[int, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.sizes and len(self.sizes) != len(self.groups):
+            raise ProtocolError("sizes/groups length mismatch")
+
+
+@_register
+@dataclass(frozen=True)
+class ForkRemoteWorkers(Message):
+    """Controller action: spawn workers on nodes (Fig 2a)."""
+
+    msg_type: ClassVar[str] = "FORK_REMOTE_WORKERS"
+    nodes: tuple[str, ...] = ()
+    command_template: str = ""
+    clones_per_node: int = 1
+
+
+@_register
+@dataclass(frozen=True)
+class RegisterWorker(Message):
+    """Worker → master: initialize and register (Fig 4)."""
+
+    msg_type: ClassVar[str] = "REGISTER_WORKER"
+    worker_id: str = ""
+    node_id: str = ""
+    cores: int = 1
+
+
+@_register
+@dataclass(frozen=True)
+class ConnectionAck(Message):
+    """Master → worker: connection acknowledgement (Fig 4)."""
+
+    msg_type: ClassVar[str] = "CONNECTION_ACK"
+    worker_id: str = ""
+    accepted: bool = True
+    reason: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class RequestData(Message):
+    """Worker → master: ask for the next unit of work (Fig 4)."""
+
+    msg_type: ClassVar[str] = "REQUEST_DATA"
+    worker_id: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class FileMetadata(Message):
+    """Master → worker: what the next task's inputs are (Fig 2b)."""
+
+    msg_type: ClassVar[str] = "FILE_METADATA"
+    task_id: int = -1
+    file_names: tuple[str, ...] = ()
+    sizes: tuple[int, ...] = ()
+    #: Whether the payload follows (remote modes) or the worker already
+    #: holds the files locally (pre-partitioned local).
+    transfer_required: bool = True
+
+
+@_register
+@dataclass(frozen=True)
+class FileData(Message):
+    """Master → worker: one file's payload (Fig 2b FILE_DATA).
+
+    The simulated engine never materializes ``payload`` (transfer cost
+    is modeled by the flow network); the TCP runtime carries real bytes
+    base64-free as a binary frame referenced by ``payload_len``.
+    """
+
+    msg_type: ClassVar[str] = "FILE_DATA"
+    task_id: int = -1
+    file_name: str = ""
+    payload_len: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class ExecStatus(Message):
+    """Worker → master: execution result for one task (Fig 4)."""
+
+    msg_type: ClassVar[str] = "EXEC_STATUS"
+    worker_id: str = ""
+    task_id: int = -1
+    ok: bool = True
+    duration: float = 0.0
+    error: str = ""
+    output_summary: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class NoMoreData(Message):
+    """Master → worker: all inputs processed; worker may exit (§II-C)."""
+
+    msg_type: ClassVar[str] = "NO_MORE_DATA"
+    worker_id: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class WorkerFailed(Message):
+    """Master → controller: a worker was lost (§II-D failure reporting)."""
+
+    msg_type: ClassVar[str] = "WORKER_FAILED"
+    worker_id: str = ""
+    node_id: str = ""
+    error: str = ""
+    tasks_in_flight: tuple[int, ...] = ()
+
+
+@_register
+@dataclass(frozen=True)
+class AddWorker(Message):
+    """User/controller: elastically add a worker (§V-A Elastic)."""
+
+    msg_type: ClassVar[str] = "ADD_WORKER"
+    node_id: str = ""
+    cores: int = 1
+
+
+@_register
+@dataclass(frozen=True)
+class RemoveWorker(Message):
+    """User/controller: drain and remove a worker."""
+
+    msg_type: ClassVar[str] = "REMOVE_WORKER"
+    worker_id: str = ""
+    drain: bool = True
+
+
+@_register
+@dataclass(frozen=True)
+class ConfigUpdate(Message):
+    """Controller → master over the open channel (§II-D): change the
+    execution configuration at run time without restarting the master."""
+
+    msg_type: ClassVar[str] = "CONFIG_UPDATE"
+    key: str = ""
+    value: str = ""
+
+
+def encode_message(message: Message) -> bytes:
+    """Serialize a message to a JSON line (UTF-8, newline-free)."""
+    return json.dumps(message.to_dict(), separators=(",", ":"), sort_keys=True).encode()
+
+
+def _coerce(cls: Type[Message], payload: dict[str, Any]) -> Message:
+    kwargs: dict[str, Any] = {}
+    for f in fields(cls):
+        if f.name not in payload:
+            continue
+        value = payload[f.name]
+        # JSON produces lists; the dataclasses use tuples for hashability.
+        if isinstance(value, list):
+            value = tuple(tuple(v) if isinstance(v, list) else v for v in value)
+        kwargs[f.name] = value
+    return cls(**kwargs)
+
+
+def decode_message(data: bytes | str | dict[str, Any]) -> Message:
+    """Deserialize a message from JSON bytes/str or a dict."""
+    if isinstance(data, (bytes, str)):
+        try:
+            payload = json.loads(data)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"undecodable message: {exc}") from exc
+    else:
+        payload = dict(data)
+    if not isinstance(payload, dict) or "type" not in payload:
+        raise ProtocolError(f"message without type: {payload!r}")
+    msg_type = payload.pop("type")
+    try:
+        cls = _REGISTRY[msg_type]
+    except KeyError:
+        raise ProtocolError(f"unknown message type {msg_type!r}") from None
+    try:
+        return _coerce(cls, payload)
+    except TypeError as exc:
+        raise ProtocolError(f"bad fields for {msg_type}: {exc}") from exc

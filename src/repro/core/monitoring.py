@@ -1,0 +1,126 @@
+"""Component liveness monitoring (master-recovery groundwork, §V-A).
+
+"Future work will address the monitoring and recovery of the master
+through the controller-master communication channel." This module is
+that channel's liveness layer: components emit heartbeats, the
+:class:`HeartbeatMonitor` classifies them healthy / suspected / dead by
+elapsed silence, and a :class:`RecoveryPlan` decides what to do about a
+dead master or worker. The simulated engine uses the same thresholds
+for its master watchdog; the logic here is pure and engine-agnostic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Liveness(str, enum.Enum):
+    HEALTHY = "healthy"
+    SUSPECTED = "suspected"
+    DEAD = "dead"
+    UNKNOWN = "unknown"  # never heard from
+
+
+@dataclass(frozen=True)
+class HeartbeatConfig:
+    """Silence thresholds (seconds)."""
+
+    #: Silence after which a component is suspected.
+    suspect_after: float = 5.0
+    #: Silence after which it is declared dead.
+    dead_after: float = 15.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.suspect_after < self.dead_after:
+            raise ValueError("need 0 < suspect_after < dead_after")
+
+
+class HeartbeatMonitor:
+    """Tracks last-heard times and classifies component liveness."""
+
+    def __init__(self, config: HeartbeatConfig | None = None):
+        self.config = config or HeartbeatConfig()
+        self._last_heard: dict[str, float] = {}
+        self._declared_dead: set[str] = set()
+
+    def beat(self, component: str, now: float) -> None:
+        """Record a heartbeat. A beat resurrects a suspected component
+        but never a declared-dead one (it must re-register)."""
+        if component in self._declared_dead:
+            return
+        previous = self._last_heard.get(component)
+        if previous is not None and now < previous:
+            raise ValueError(f"heartbeat from the past for {component!r}")
+        self._last_heard[component] = now
+
+    def forget(self, component: str) -> None:
+        """Deregister a component (graceful shutdown)."""
+        self._last_heard.pop(component, None)
+        self._declared_dead.discard(component)
+
+    def liveness(self, component: str, now: float) -> Liveness:
+        if component in self._declared_dead:
+            return Liveness.DEAD
+        last = self._last_heard.get(component)
+        if last is None:
+            return Liveness.UNKNOWN
+        silence = now - last
+        if silence >= self.config.dead_after:
+            self._declared_dead.add(component)
+            return Liveness.DEAD
+        if silence >= self.config.suspect_after:
+            return Liveness.SUSPECTED
+        return Liveness.HEALTHY
+
+    def sweep(self, now: float) -> dict[str, Liveness]:
+        """Classify every known component at ``now``."""
+        return {
+            component: self.liveness(component, now)
+            for component in list(self._last_heard)
+        }
+
+    def dead_components(self, now: float) -> frozenset[str]:
+        return frozenset(
+            c for c, state in self.sweep(now).items() if state is Liveness.DEAD
+        )
+
+
+@dataclass(frozen=True)
+class RecoveryAction:
+    """What the controller should do about a dead component."""
+
+    component: str
+    action: str  # "restart_master" | "isolate_worker" | "none"
+    reason: str
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """Policy: map dead components to controller actions.
+
+    ``restart_master`` implements the paper's future-work master
+    recovery; with it disabled a dead master is terminal (the §V-A
+    single point of failure).
+    """
+
+    master_id: str = "master"
+    restart_master: bool = False
+
+    def decide(self, component: str, liveness: Liveness) -> RecoveryAction:
+        if liveness is not Liveness.DEAD:
+            return RecoveryAction(component, "none", f"component is {liveness.value}")
+        if component == self.master_id:
+            if self.restart_master:
+                return RecoveryAction(
+                    component, "restart_master", "master dead; recovery extension enabled"
+                )
+            return RecoveryAction(
+                component,
+                "none",
+                "master dead and recovery disabled: run cannot continue "
+                "(single point of failure, §V-A)",
+            )
+        return RecoveryAction(
+            component, "isolate_worker", "worker silent past the dead threshold"
+        )

@@ -1,0 +1,339 @@
+"""The master's task-assignment logic (execution plane, §II-B/§II-C).
+
+This is a pure state machine — no I/O, no clocks — shared by the
+simulated engine and the real runtimes. It implements both assignment
+disciplines of §III:
+
+- **static** (pre-partitioning): task groups are chunked contiguously
+  across the workers known at partition time; each worker only ever
+  receives its own chunk. "The groups of files that will be processed
+  by every worker is determined by the master at the beginning" (§II-F).
+- **pull** (real-time): a single FIFO of task groups; whichever worker
+  asks next gets the head. "Worker nodes that are heavily loaded
+  process less compared to the nodes which are lightly loaded" — load
+  balancing falls out of the pull discipline.
+
+Failure semantics follow :mod:`repro.core.fault`: isolated workers get
+no more data; with the retry extension enabled, tasks lost to a dead
+worker are requeued (to the global queue, or to surviving workers'
+chunks under static assignment).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Iterable, Optional, Sequence
+
+from repro.core.fault import FaultTracker, RetryPolicy
+from repro.core.strategies import DataManagementStrategy
+from repro.data.partition import TaskGroup
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One task group handed to one worker."""
+
+    group: TaskGroup
+    worker_id: str
+    attempt: int
+
+    @property
+    def task_id(self) -> int:
+        return self.group.index
+
+
+class MasterScheduler:
+    """Assigns task groups to workers according to a strategy."""
+
+    def __init__(
+        self,
+        groups: Sequence[TaskGroup],
+        strategy: DataManagementStrategy,
+        *,
+        retry_policy: RetryPolicy | None = None,
+        fault_tracker: FaultTracker | None = None,
+    ):
+        self.strategy = strategy
+        self.retry_policy = retry_policy or RetryPolicy.paper_faithful()
+        self.faults = fault_tracker or FaultTracker()
+        self._groups = list(groups)
+        self._attempts: dict[int, int] = {g.index: 0 for g in self._groups}
+        self._queue: Deque[TaskGroup] = deque(self._groups)
+        self._static_chunks: dict[str, Deque[TaskGroup]] = {}
+        self._partitioned = False
+        self._workers: list[str] = []
+        self._in_flight: dict[tuple[str, int], Assignment] = {}
+        self.completed: dict[int, Assignment] = {}
+        self.lost_tasks: list[Assignment] = []
+        self.failed_tasks: list[Assignment] = []
+
+    # -- membership --------------------------------------------------------
+    def register_worker(self, worker_id: str) -> None:
+        """A worker connected (Fig 4 "Initialize and register")."""
+        if worker_id in self._workers:
+            raise ProtocolError(f"worker {worker_id!r} registered twice")
+        self._workers.append(worker_id)
+        if self.strategy.static_assignment and self._partitioned:
+            # Late joiner under static assignment: nothing was reserved
+            # for it; it only gets work via retry requeues.
+            self._static_chunks.setdefault(worker_id, deque())
+
+    @property
+    def workers(self) -> tuple[str, ...]:
+        return tuple(self._workers)
+
+    # -- speculation (extension) -------------------------------------------
+    def speculate_for(self, worker_id: str) -> Optional[Assignment]:
+        """Hand ``worker_id`` a *duplicate* of an in-flight task.
+
+        Speculative execution (MapReduce-style backup tasks): when the
+        queue is empty but tasks are still running elsewhere, an idle
+        worker re-runs one — the first completion wins, the loser's
+        report is discarded. Never duplicates a task already running on
+        this worker, and at most one backup per task.
+        """
+        if self.faults.is_isolated(worker_id):
+            return None
+        candidates = [
+            a
+            for (wid, task_id), a in self._in_flight.items()
+            if wid != worker_id
+            and not any(w == worker_id and t == task_id for (w, t) in self._in_flight)
+            and sum(1 for (_w, t) in self._in_flight if t == task_id) < 2
+        ]
+        if not candidates:
+            return None
+        # Back up the longest-outstanding task (lowest index is a
+        # deterministic proxy for "assigned earliest").
+        victim = min(candidates, key=lambda a: a.task_id)
+        copy = Assignment(
+            group=victim.group, worker_id=worker_id, attempt=victim.attempt
+        )
+        self._in_flight[(worker_id, copy.task_id)] = copy
+        return copy
+
+    # -- partitioning -------------------------------------------------------
+    def partition_among(
+        self,
+        worker_ids: Iterable[str] | None = None,
+        *,
+        chunking: str = "contiguous",
+        cost_hint: "Callable[[TaskGroup], float] | None" = None,
+    ) -> None:
+        """Fix the static chunking (no-op for pull strategies).
+
+        ``chunking`` selects the division discipline:
+
+        - ``"contiguous"`` (default, paper-faithful): contiguous slices
+          in task order — the up-front division of §II-F, whose
+          straggler skew is what real-time mode avoids in Table I.
+        - ``"lpt_size"`` (extension): longest-processing-time greedy on
+          group *byte size* — better when cost tracks input size.
+        - ``"lpt_cost"`` (extension): LPT on a caller-provided
+          ``cost_hint`` oracle — the idealized static division, useful
+          as an upper bound in ablations.
+        """
+        if not self.strategy.static_assignment:
+            self._partitioned = True
+            return
+        ids = list(worker_ids) if worker_ids is not None else list(self._workers)
+        if not ids:
+            raise ProtocolError("cannot partition among zero workers")
+        # Under static assignment the chunks own the work; the global
+        # queue only ever holds retry requeues that no chunk can take.
+        self._queue.clear()
+        self._static_chunks = {w: deque() for w in ids}
+        if chunking == "contiguous":
+            n = len(self._groups)
+            k = len(ids)
+            base, extra = divmod(n, k)
+            start = 0
+            for rank, worker_id in enumerate(ids):
+                size = base + (1 if rank < extra else 0)
+                for group in self._groups[start : start + size]:
+                    self._static_chunks[worker_id].append(group)
+                start += size
+        elif chunking in ("lpt_size", "lpt_cost"):
+            if chunking == "lpt_cost":
+                if cost_hint is None:
+                    raise ProtocolError("lpt_cost chunking needs a cost_hint")
+                weight = cost_hint
+            else:
+                weight = lambda g: float(g.total_size)
+            loads = {w: 0.0 for w in ids}
+            # Stable LPT: heaviest group to the lightest worker; ties
+            # break on registration order for determinism.
+            for group in sorted(self._groups, key=weight, reverse=True):
+                lightest = min(ids, key=lambda w: (loads[w], ids.index(w)))
+                self._static_chunks[lightest].append(group)
+                loads[lightest] += weight(group)
+            # Keep per-worker task order by index (workers process their
+            # chunk in order; LPT decided membership, not sequence).
+            for worker_id in ids:
+                ordered = sorted(self._static_chunks[worker_id], key=lambda g: g.index)
+                self._static_chunks[worker_id] = deque(ordered)
+        else:
+            raise ProtocolError(f"unknown chunking discipline {chunking!r}")
+        self._partitioned = True
+
+    def planned_chunk(self, worker_id: str) -> tuple[TaskGroup, ...]:
+        """The chunk reserved for a worker (static strategies)."""
+        return tuple(self._static_chunks.get(worker_id, ()))
+
+    # -- assignment -----------------------------------------------------------
+    def next_for(self, worker_id: str) -> Optional[Assignment]:
+        """Hand the next task group to ``worker_id`` (None = drained).
+
+        Isolated workers never receive data (§V-A: "automatically
+        isolating the failed workers from doing further computation").
+        """
+        if not self._partitioned:
+            raise ProtocolError("next_for() before partition_among()")
+        if self.faults.is_isolated(worker_id):
+            return None
+        if self.strategy.static_assignment:
+            source = self._static_chunks.get(worker_id)
+            if not source:
+                # Chunk drained (or late elastic joiner): serve retry
+                # requeues from the overflow queue so no task is
+                # stranded while a healthy worker is idle.
+                source = self._queue
+        else:
+            source = self._queue
+        if not source:
+            return None
+        group = source.popleft()
+        self._attempts[group.index] += 1
+        assignment = Assignment(
+            group=group, worker_id=worker_id, attempt=self._attempts[group.index]
+        )
+        self._in_flight[(worker_id, group.index)] = assignment
+        return assignment
+
+    # -- completion/failure ------------------------------------------------
+    def _pop_in_flight(self, worker_id: str, task_id: int) -> Assignment:
+        try:
+            return self._in_flight.pop((worker_id, task_id))
+        except KeyError:
+            raise ProtocolError(
+                f"status for task {task_id} not in flight on {worker_id!r}"
+            ) from None
+
+    def report_success(self, worker_id: str, task_id: int) -> None:
+        assignment = self._pop_in_flight(worker_id, task_id)
+        if task_id in self.completed:
+            # A speculative copy lost the race; discard its result.
+            return
+        self.completed[task_id] = assignment
+
+    def report_error(self, worker_id: str, task_id: int, message: str = "") -> bool:
+        """Task exited with an error; returns True if it will be retried."""
+        assignment = self._pop_in_flight(worker_id, task_id)
+        self.faults.record_error(worker_id, message)
+        if task_id in self.completed:
+            return False  # a speculative copy failed after the original won
+        if any(t == task_id for (_w, t) in self._in_flight):
+            return False  # another copy is still running; let it decide
+        if self.retry_policy.should_retry(assignment.attempt, worker_loss=False):
+            self._requeue(assignment)
+            return True
+        self.failed_tasks.append(assignment)
+        return False
+
+    def worker_lost(self, worker_id: str, message: str = "") -> list[Assignment]:
+        """A worker's VM/connection died. Returns the assignments requeued.
+
+        Without the retry extension, in-flight and still-reserved tasks
+        become *lost* (recorded, not rerun) — the paper's behaviour.
+        """
+        self.faults.record_loss(worker_id, message)
+        stranded = [
+            a for (w, _t), a in list(self._in_flight.items()) if w == worker_id
+        ]
+        for assignment in stranded:
+            del self._in_flight[(worker_id, assignment.task_id)]
+        # Tasks reserved for the dead worker but never started:
+        reserved = list(self._static_chunks.pop(worker_id, ()))
+        requeued: list[Assignment] = []
+        for assignment in stranded:
+            if assignment.task_id in self.completed or any(
+                t == assignment.task_id for (_w, t) in self._in_flight
+            ):
+                continue  # a copy finished or is still running elsewhere
+            if self.retry_policy.should_retry(assignment.attempt, worker_loss=True):
+                self._requeue(assignment)
+                requeued.append(assignment)
+            else:
+                self.lost_tasks.append(assignment)
+        for group in reserved:
+            pseudo = Assignment(group=group, worker_id=worker_id, attempt=self._attempts[group.index])
+            if self.retry_policy.retry_on_worker_loss:
+                self._requeue(pseudo)
+                requeued.append(pseudo)
+            else:
+                self.lost_tasks.append(pseudo)
+        return requeued
+
+    def _requeue(self, assignment: Assignment) -> None:
+        if self.strategy.static_assignment:
+            # Rebalance onto the healthy worker with the shortest chunk.
+            healthy = [
+                (len(chunk), wid)
+                for wid, chunk in self._static_chunks.items()
+                if not self.faults.is_isolated(wid)
+            ]
+            if healthy:
+                _, wid = min(healthy)
+                self._static_chunks[wid].append(assignment.group)
+                return
+            # No healthy worker holds a chunk — fall through to the queue
+            # so a future elastic worker can pick it up.
+        self._queue.append(assignment.group)
+
+    # -- progress -----------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        """Tasks not yet completed/failed/lost."""
+        resolved = len(self.completed) + len(self.failed_tasks) + len(self.lost_tasks)
+        return len(self._groups) - resolved
+
+    @property
+    def in_flight_count(self) -> int:
+        return len(self._in_flight)
+
+    @property
+    def has_queued_work(self) -> bool:
+        if self.strategy.static_assignment:
+            return any(
+                chunk and not self.faults.is_isolated(wid)
+                for wid, chunk in self._static_chunks.items()
+            ) or bool(self._queue)
+        return bool(self._queue)
+
+    @property
+    def done(self) -> bool:
+        """True when no task can make further progress.
+
+        Either everything resolved, or nothing is queued/in flight, or
+        work remains queued but every registered worker is isolated
+        (the paper-faithful "lost tasks" terminal state).
+        """
+        if self.outstanding == 0:
+            return True
+        if self._in_flight:
+            return False
+        if not self.has_queued_work:
+            return True
+        active = [w for w in self._workers if not self.faults.is_isolated(w)]
+        return self._partitioned and bool(self._workers) and not active
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "total": len(self._groups),
+            "completed": len(self.completed),
+            "failed": len(self.failed_tasks),
+            "lost": len(self.lost_tasks),
+            "in_flight": len(self._in_flight),
+        }

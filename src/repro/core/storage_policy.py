@@ -1,0 +1,140 @@
+"""Storage-tier selection (§III-A, the control plane's "storage
+selection" decision).
+
+The paper describes the trade-off space — local disk is fastest but
+tiny and transient; block stores are attachable and persistent;
+network/iSCSI storage is large and shareable but contended — and puts
+the decision in the controller. :func:`select_storage` encodes that
+reasoning as an auditable policy: given the dataset, the cluster, and
+what the application needs (sharing, persistence), it returns a tier
+plus the rationale, and refuses configurations that cannot work (e.g. a
+dataset larger than every tier).
+
+This is pure decision logic; the engines act on the returned tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.cluster import ClusterSpec
+from repro.cloud.storage import StorageTier
+from repro.errors import ConfigurationError
+from repro.util.units import format_bytes
+
+
+@dataclass(frozen=True)
+class StorageRequirements:
+    """What the application needs from the data's home."""
+
+    #: Bytes each worker node must be able to hold at once.
+    per_node_bytes: float
+    #: Bytes of data shared by all nodes (common database, etc.).
+    shared_bytes: float = 0.0
+    #: Data must survive VM failure/termination.
+    needs_persistence: bool = False
+    #: Multiple nodes read the same bytes concurrently.
+    needs_sharing: bool = False
+    #: Fraction of a node's local disk the policy is willing to commit
+    #: (leave room for scratch/outputs).
+    local_headroom: float = 0.8
+
+
+@dataclass(frozen=True)
+class StorageDecision:
+    """The selected tier and why."""
+
+    tier: StorageTier
+    rationale: str
+    #: Estimated single-client streaming rate for the chosen tier, bits/s.
+    estimated_read_bps: float
+
+    def __str__(self) -> str:
+        return f"{self.tier.value}: {self.rationale}"
+
+
+def select_storage(
+    requirements: StorageRequirements,
+    cluster: ClusterSpec,
+) -> StorageDecision:
+    """Pick the storage tier for a workload on a cluster.
+
+    Preference order mirrors §III-A: local disk whenever the data fits
+    and neither persistence nor sharing is required (fastest I/O);
+    shared network storage when nodes must see one copy; block store
+    for persistent single-attach data; network storage as the fallback
+    for data too large for any node.
+    """
+    if requirements.per_node_bytes < 0 or requirements.shared_bytes < 0:
+        raise ConfigurationError("storage requirements must be non-negative")
+    if not 0 < requirements.local_headroom <= 1:
+        raise ConfigurationError("local_headroom must be in (0, 1]")
+
+    itype = cluster.instance_type
+    local_budget = itype.local_disk_bytes * requirements.local_headroom
+    resident = requirements.per_node_bytes + requirements.shared_bytes
+    has_network_tier = cluster.network_storage_bytes > 0
+
+    if requirements.needs_sharing:
+        if not has_network_tier:
+            raise ConfigurationError(
+                "workload needs shared storage but the cluster spec has no "
+                "network-storage tier (set network_storage_bytes)"
+            )
+        if requirements.shared_bytes > cluster.network_storage_bytes:
+            raise ConfigurationError(
+                f"shared data ({format_bytes(requirements.shared_bytes)}) exceeds "
+                f"network storage ({format_bytes(cluster.network_storage_bytes)})"
+            )
+        return StorageDecision(
+            tier=StorageTier.NETWORK,
+            rationale=(
+                "nodes share one copy; iSCSI-style storage holds "
+                f"{format_bytes(requirements.shared_bytes)} behind the server uplink"
+            ),
+            estimated_read_bps=min(
+                cluster.network_storage_bps, cluster.network_storage_server_bps
+            ),
+        )
+
+    if requirements.needs_persistence:
+        return StorageDecision(
+            tier=StorageTier.BLOCK,
+            rationale=(
+                "data must survive VM loss; block store persists across the "
+                "transient instance"
+            ),
+            estimated_read_bps=min(itype.nic_bps, itype.disk_read_bps),
+        )
+
+    if resident <= local_budget:
+        return StorageDecision(
+            tier=StorageTier.LOCAL,
+            rationale=(
+                f"{format_bytes(resident)} fits in "
+                f"{format_bytes(local_budget)} of local disk — fastest I/O tier"
+            ),
+            estimated_read_bps=itype.disk_read_bps,
+        )
+
+    if has_network_tier and resident <= cluster.network_storage_bytes:
+        return StorageDecision(
+            tier=StorageTier.NETWORK,
+            rationale=(
+                f"{format_bytes(resident)} exceeds the "
+                f"{format_bytes(local_budget)} local budget; spilling to network storage"
+            ),
+            estimated_read_bps=min(
+                cluster.network_storage_bps, cluster.network_storage_server_bps
+            ),
+        )
+
+    raise ConfigurationError(
+        f"no tier can hold {format_bytes(resident)} per node: local budget is "
+        f"{format_bytes(local_budget)}"
+        + (
+            f", network storage is {format_bytes(cluster.network_storage_bytes)}"
+            if has_network_tier
+            else ", and the cluster has no network-storage tier"
+        )
+    )

@@ -1,0 +1,119 @@
+"""Data-management strategies (§III of the paper).
+
+Figure 5 names three classes — *pre-partitioning remote*,
+*pre-partitioning local*, *real-time partitioning* — and §III-B adds
+the common-data mode. Each strategy is a declarative
+:class:`DataManagementStrategy` descriptor that tells the engines:
+
+- where the data starts (``data_local_to_workers``),
+- whether the whole dataset is replicated (``replicate_all``),
+- whether transfer is an up-front staging phase
+  (``staged_before_execution``) or lazy per-request (``lazy``),
+- whether the assignment of tasks to workers is fixed up front
+  (``static_assignment``) or pull-based.
+
+The engines contain no per-strategy branches beyond these flags — that
+is the plug-and-play extensibility §V-B claims.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class StrategyKind(str, enum.Enum):
+    """The built-in strategies (paper §III-B)."""
+
+    #: "Pre-Partitioned Task and Common Data": every node receives the
+    #: full dataset before execution (the BLAST database pattern).
+    COMMON_DATA = "common_data"
+    #: "Pre-partitioning local" (Fig 5b): data already sits on worker
+    #: local disks (e.g. baked into the VM image); no transfers.
+    PRE_PARTITIONED_LOCAL = "pre_partitioned_local"
+    #: "Pre-partitioning remote" (Fig 5a): partitions staged from the
+    #: master/source to workers, then execution starts (phases
+    #: sequential, §II-C).
+    PRE_PARTITIONED_REMOTE = "pre_partitioned_remote"
+    #: "Real-time partitioning" (Fig 5c): lazy pull — the master
+    #: "doesn't transfer a file until a worker asks for it" (§II-F);
+    #: transfer overlaps computation; inherently load-balanced.
+    REAL_TIME = "real_time"
+
+
+@dataclass(frozen=True)
+class DataManagementStrategy:
+    """Behavioural descriptor the engines interpret."""
+
+    kind: StrategyKind
+    #: Task→worker assignment fixed before execution (contiguous chunks).
+    static_assignment: bool
+    #: All data transferred before any task runs (sequential phases).
+    staged_before_execution: bool
+    #: Workers pull data on demand (overlapped transfer/compute).
+    lazy: bool
+    #: Full dataset replicated to every worker node.
+    replicate_all: bool
+    #: Inputs are already resident on the worker's local storage.
+    data_local_to_workers: bool
+    #: Real-time failure isolation: a failed worker simply stops being
+    #: handed data (§V-A Robust). Static assignment cannot isolate
+    #: without the retry extension.
+    isolates_failures: bool
+
+    def __post_init__(self) -> None:
+        if self.lazy and self.staged_before_execution:
+            raise ConfigurationError("a strategy cannot be both lazy and staged")
+
+
+_STRATEGIES: dict[StrategyKind, DataManagementStrategy] = {
+    StrategyKind.COMMON_DATA: DataManagementStrategy(
+        kind=StrategyKind.COMMON_DATA,
+        static_assignment=True,
+        staged_before_execution=True,
+        lazy=False,
+        replicate_all=True,
+        data_local_to_workers=False,
+        isolates_failures=False,
+    ),
+    StrategyKind.PRE_PARTITIONED_LOCAL: DataManagementStrategy(
+        kind=StrategyKind.PRE_PARTITIONED_LOCAL,
+        static_assignment=True,
+        staged_before_execution=False,
+        lazy=False,
+        replicate_all=False,
+        data_local_to_workers=True,
+        isolates_failures=False,
+    ),
+    StrategyKind.PRE_PARTITIONED_REMOTE: DataManagementStrategy(
+        kind=StrategyKind.PRE_PARTITIONED_REMOTE,
+        static_assignment=True,
+        staged_before_execution=True,
+        lazy=False,
+        replicate_all=False,
+        data_local_to_workers=False,
+        isolates_failures=False,
+    ),
+    StrategyKind.REAL_TIME: DataManagementStrategy(
+        kind=StrategyKind.REAL_TIME,
+        static_assignment=False,
+        staged_before_execution=False,
+        lazy=True,
+        replicate_all=False,
+        data_local_to_workers=False,
+        isolates_failures=True,
+    ),
+}
+
+
+def strategy_for(kind: StrategyKind | str) -> DataManagementStrategy:
+    """Look up the descriptor for a strategy kind (accepts the string name)."""
+    try:
+        return _STRATEGIES[StrategyKind(kind)]
+    except ValueError:
+        valid = ", ".join(k.value for k in StrategyKind)
+        raise ConfigurationError(
+            f"unknown strategy {kind!r}; valid strategies: {valid}"
+        ) from None

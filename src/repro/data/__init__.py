@@ -1,0 +1,33 @@
+"""Data model, partition generator and placement policies.
+
+This package implements §II-E ("Data Partitioning") of the paper: the
+*partition generator* produces file groupings (``single``,
+``one_to_all``, ``pairwise_adjacent``, ``all_to_all`` plus extensions),
+and :mod:`repro.data.placement` captures the Figure-7 question of moving
+data to computation versus computation to data.
+"""
+
+from repro.data.files import DataFile, Dataset, FileCatalog, synthetic_dataset
+from repro.data.partition import (
+    PartitionGenerator,
+    PartitionScheme,
+    TaskGroup,
+    generate_groups,
+    register_scheme,
+)
+from repro.data.placement import PlacementPolicy, PlacementPlan, plan_placement
+
+__all__ = [
+    "DataFile",
+    "Dataset",
+    "FileCatalog",
+    "synthetic_dataset",
+    "PartitionGenerator",
+    "PartitionScheme",
+    "TaskGroup",
+    "generate_groups",
+    "register_scheme",
+    "PlacementPolicy",
+    "PlacementPlan",
+    "plan_placement",
+]

@@ -1,0 +1,212 @@
+"""The partition generator (§II-E of the paper).
+
+The partition generator turns the input directory's file list into
+*task groups*: the lists of files each program instance receives. The
+paper ships three pairwise groupings plus a default:
+
+- ``SINGLE`` (default): one file per program instance,
+- ``ONE_TO_ALL``: one chosen file paired with every other file,
+- ``PAIRWISE_ADJACENT``: adjacent files paired (the ALS image workload),
+- ``ALL_TO_ALL``: every unordered pair of distinct files.
+
+"The design allows other schemes to be easily added" — the registry
+(:func:`register_scheme`) provides that extension point, and two
+extra schemes used by the benchmarks (``ROUND_ROBIN_CHUNKS`` and
+``SIZE_BALANCED_CHUNKS``) are registered out of the box.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.data.files import DataFile, Dataset
+from repro.errors import PartitionError
+
+
+@dataclass(frozen=True)
+class TaskGroup:
+    """The input files for one program instance.
+
+    ``index`` is the task's position in generation order — the master
+    hands out groups in this order, and the pre-partitioning strategies
+    chunk by it.
+    """
+
+    index: int
+    files: tuple[DataFile, ...]
+
+    @property
+    def total_size(self) -> int:
+        return sum(f.size for f in self.files)
+
+    @property
+    def file_names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.files)
+
+
+class PartitionScheme(str, enum.Enum):
+    """Built-in grouping schemes of the partition generator."""
+
+    SINGLE = "single"
+    ONE_TO_ALL = "one_to_all"
+    PAIRWISE_ADJACENT = "pairwise_adjacent"
+    ALL_TO_ALL = "all_to_all"
+    ROUND_ROBIN_CHUNKS = "round_robin_chunks"
+    SIZE_BALANCED_CHUNKS = "size_balanced_chunks"
+
+
+SchemeFn = Callable[[Sequence[DataFile], dict], Iterable[tuple[DataFile, ...]]]
+
+_REGISTRY: dict[str, SchemeFn] = {}
+
+
+def register_scheme(name: str, fn: SchemeFn, *, overwrite: bool = False) -> None:
+    """Register a custom grouping scheme under ``name``.
+
+    The callable receives the ordered file list and an options dict and
+    yields tuples of files, one per task.
+    """
+    key = str(name)
+    if key in _REGISTRY and not overwrite:
+        raise PartitionError(f"scheme {key!r} already registered")
+    _REGISTRY[key] = fn
+
+
+def _scheme_single(files: Sequence[DataFile], _opts: dict) -> Iterable[tuple[DataFile, ...]]:
+    for f in files:
+        yield (f,)
+
+
+def _scheme_one_to_all(files: Sequence[DataFile], opts: dict) -> Iterable[tuple[DataFile, ...]]:
+    if not files:
+        return
+    pivot_name = opts.get("pivot")
+    if pivot_name is None:
+        pivot = files[0]
+    else:
+        matches = [f for f in files if f.name == pivot_name]
+        if not matches:
+            raise PartitionError(f"one_to_all pivot {pivot_name!r} not in dataset")
+        pivot = matches[0]
+    for f in files:
+        if f is not pivot:
+            yield (pivot, f)
+
+
+def _scheme_pairwise_adjacent(files: Sequence[DataFile], opts: dict) -> Iterable[tuple[DataFile, ...]]:
+    if len(files) % 2 != 0 and not opts.get("allow_odd", False):
+        raise PartitionError(
+            "pairwise_adjacent needs an even number of files "
+            f"(got {len(files)}); pass allow_odd=True to drop the last"
+        )
+    for i in range(0, len(files) - 1, 2):
+        yield (files[i], files[i + 1])
+
+
+def _scheme_all_to_all(files: Sequence[DataFile], _opts: dict) -> Iterable[tuple[DataFile, ...]]:
+    for i in range(len(files)):
+        for j in range(i + 1, len(files)):
+            yield (files[i], files[j])
+
+
+def _scheme_round_robin_chunks(files: Sequence[DataFile], opts: dict) -> Iterable[tuple[DataFile, ...]]:
+    chunks = int(opts.get("chunks", 0))
+    if chunks < 1:
+        raise PartitionError("round_robin_chunks requires chunks >= 1")
+    buckets: list[list[DataFile]] = [[] for _ in range(chunks)]
+    for index, f in enumerate(files):
+        buckets[index % chunks].append(f)
+    for bucket in buckets:
+        if bucket:
+            yield tuple(bucket)
+
+
+def _scheme_size_balanced_chunks(files: Sequence[DataFile], opts: dict) -> Iterable[tuple[DataFile, ...]]:
+    chunks = int(opts.get("chunks", 0))
+    if chunks < 1:
+        raise PartitionError("size_balanced_chunks requires chunks >= 1")
+    # Longest-processing-time greedy: biggest file to currently lightest
+    # bucket. Classic LPT bin balancing.
+    buckets: list[list[DataFile]] = [[] for _ in range(chunks)]
+    loads = [0] * chunks
+    for f in sorted(files, key=lambda f: f.size, reverse=True):
+        lightest = loads.index(min(loads))
+        buckets[lightest].append(f)
+        loads[lightest] += f.size
+    for bucket in buckets:
+        if bucket:
+            yield tuple(bucket)
+
+
+for _name, _fn in {
+    PartitionScheme.SINGLE: _scheme_single,
+    PartitionScheme.ONE_TO_ALL: _scheme_one_to_all,
+    PartitionScheme.PAIRWISE_ADJACENT: _scheme_pairwise_adjacent,
+    PartitionScheme.ALL_TO_ALL: _scheme_all_to_all,
+    PartitionScheme.ROUND_ROBIN_CHUNKS: _scheme_round_robin_chunks,
+    PartitionScheme.SIZE_BALANCED_CHUNKS: _scheme_size_balanced_chunks,
+}.items():
+    register_scheme(_name.value, _fn)
+
+
+def expected_group_count(scheme: PartitionScheme | str, n_files: int, **options) -> int:
+    """Closed-form number of groups a scheme yields for ``n_files`` inputs.
+
+    Used by tests and by the master to size progress reporting without
+    materializing the grouping.
+    """
+    scheme = PartitionScheme(scheme)
+    if scheme is PartitionScheme.SINGLE:
+        return n_files
+    if scheme is PartitionScheme.ONE_TO_ALL:
+        return max(0, n_files - 1)
+    if scheme is PartitionScheme.PAIRWISE_ADJACENT:
+        if n_files % 2 != 0 and not options.get("allow_odd", False):
+            raise PartitionError("pairwise_adjacent needs an even count")
+        return n_files // 2
+    if scheme is PartitionScheme.ALL_TO_ALL:
+        return n_files * (n_files - 1) // 2
+    if scheme in (PartitionScheme.ROUND_ROBIN_CHUNKS, PartitionScheme.SIZE_BALANCED_CHUNKS):
+        return min(int(options.get("chunks", 0)), n_files)
+    raise PartitionError(f"no closed form for scheme {scheme}")  # pragma: no cover
+
+
+@dataclass
+class PartitionGenerator:
+    """Generates :class:`TaskGroup` lists from a dataset.
+
+    ``scheme`` may be a :class:`PartitionScheme` or the name of a
+    custom scheme registered via :func:`register_scheme`.
+    """
+
+    scheme: PartitionScheme | str = PartitionScheme.SINGLE
+    options: dict = field(default_factory=dict)
+
+    def generate(self, dataset: Dataset | Sequence[DataFile]) -> list[TaskGroup]:
+        files: Sequence[DataFile]
+        if isinstance(dataset, Dataset):
+            files = dataset.files
+        else:
+            files = tuple(dataset)
+        key = self.scheme.value if isinstance(self.scheme, PartitionScheme) else str(self.scheme)
+        try:
+            fn = _REGISTRY[key]
+        except KeyError:
+            raise PartitionError(f"unknown partition scheme {key!r}") from None
+        groups = []
+        for index, file_tuple in enumerate(fn(files, dict(self.options))):
+            if not file_tuple:
+                raise PartitionError(f"scheme {key!r} produced an empty group")
+            groups.append(TaskGroup(index=index, files=tuple(file_tuple)))
+        return groups
+
+
+def generate_groups(
+    dataset: Dataset | Sequence[DataFile],
+    scheme: PartitionScheme | str = PartitionScheme.SINGLE,
+    **options,
+) -> list[TaskGroup]:
+    """Convenience wrapper: ``PartitionGenerator(scheme, options).generate()``."""
+    return PartitionGenerator(scheme=scheme, options=options).generate(dataset)

@@ -1,0 +1,25 @@
+"""Execution engines that drive the FRIEDA core logic.
+
+- :mod:`repro.engines.simulated` — runs controller/master/workers on
+  the discrete-event cloud substrate; all experiment reproductions use
+  this engine.
+- The *real* engines (threads, asyncio TCP) live in
+  :mod:`repro.runtime` since they execute actual programs.
+"""
+
+from repro.engines.compute import (
+    ComputeModel,
+    FixedComputeModel,
+    PerByteComputeModel,
+    StochasticComputeModel,
+)
+from repro.engines.simulated import SimulatedEngine, SimulationOptions
+
+__all__ = [
+    "ComputeModel",
+    "FixedComputeModel",
+    "PerByteComputeModel",
+    "StochasticComputeModel",
+    "SimulatedEngine",
+    "SimulationOptions",
+]

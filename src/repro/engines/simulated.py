@@ -1,0 +1,861 @@
+"""FRIEDA on the simulated cloud: the engine behind every experiment.
+
+This engine wires the core logic (controller → master scheduler →
+worker loops) to the substrate (:mod:`repro.cloud`): control messages
+cost link round-trips, file movement is flow-network transfers under a
+protocol model, task execution occupies VM cores for the compute
+model's seconds, failures interrupt worker processes mid-task.
+
+Faithfulness notes (what maps to what in the paper):
+
+- Fig 4 sequence: controller "starts" the master (START_MASTER latency),
+  plans workers, workers register (RTT), then request data / receive
+  data / execute / report in a loop until NO_MORE_DATA.
+- §II-C phase separation: staged strategies run a *data transfer phase*
+  (a :class:`~repro.transfer.staging.StagingPlan` of scp sessions) to
+  completion before any execution; real-time interleaves them.
+- §II-F laziness: in real-time mode the master "doesn't transfer a file
+  until a worker asks for it" — transfers happen inside the worker's
+  request cycle.
+- §V-A isolation: a failed worker's clones report loss; the scheduler
+  stops handing that node data; without the retry extension its tasks
+  are recorded as lost, not rerun.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence
+
+from repro.cloud.billing import BillingModel, PriceSheet
+from repro.cloud.cluster import ClusterSpec, Provisioner, VirtualCluster
+from repro.cloud.failures import FailureInjector, FailureSchedule
+from repro.cloud.instance import InstanceType, VirtualMachine
+from repro.cloud.storage import StorageTier
+from repro.core.controller import ControllerLogic
+from repro.core.commands import CommandTemplate
+from repro.core.fault import RetryPolicy
+from repro.core.framework import RunOutcome, TaskRecord
+from repro.core.messages import WorkerFailed
+from repro.core.scheduler import Assignment, MasterScheduler
+from repro.core.strategies import StrategyKind
+from repro.core.worker import WorkerLogic
+from repro.data.files import DataFile, Dataset
+from repro.data.partition import PartitionScheme
+from repro.engines.compute import ComputeModel
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.kernel import Environment, Event, Interrupt
+from repro.sim.monitor import Monitor
+from repro.transfer.base import TransferProtocol, TransferRequest
+from repro.transfer.scp import ScpModel
+from repro.transfer.staging import StagingPlan, TransferService
+
+
+@dataclass(frozen=True)
+class ElasticAction:
+    """One scripted elasticity step: add or remove a node at a time.
+
+    ``snapshot`` (remove only) captures the node's task outputs to the
+    master before the VM disappears — §V-A: "if resources are going to
+    disappear, snapshots of the data need to be captured".
+    """
+
+    time: float
+    action: str  # "add" | "remove"
+    node_id: str = ""  # for remove; ignored for add
+    instance_type: Optional[InstanceType] = None
+    boot_delay: float = 0.0
+    snapshot: bool = False
+
+
+@dataclass(frozen=True)
+class SimulationOptions:
+    """Engine-level knobs shared across runs."""
+
+    protocol: TransferProtocol = field(default_factory=ScpModel)
+    #: Control-plane round-trip (request/assign, register, status).
+    control_rtt: float = 0.002
+    #: Concurrent scp sessions during an up-front staging phase.
+    staging_concurrency: int = 4
+    #: Charge local-disk reads of the inputs before each execution.
+    include_disk_io: bool = True
+    enable_billing: bool = True
+    #: Custom prices (None = PriceSheet defaults: hourly billing).
+    price_sheet: Optional["PriceSheet"] = None
+    #: Real-time pipelining depth (extension): with depth 1 a worker
+    #: clone requests and transfers its next task's inputs while the
+    #: current task computes (double buffering). 0 is paper-faithful —
+    #: "the master sends the data and asks the workers to execute" with
+    #: the next request only after completion.
+    prefetch_depth: int = 0
+    #: Speculative execution (extension): an idle worker whose queue is
+    #: empty re-runs an in-flight task from another worker; the first
+    #: completion wins. MapReduce-style straggler mitigation, only
+    #: meaningful for the pull-based (real-time) strategy.
+    speculative: bool = False
+    seed: int = 0
+
+
+class SimulatedEngine:
+    """Runs FRIEDA workloads on a simulated virtual cluster."""
+
+    def __init__(self, cluster_spec: ClusterSpec | None = None, options: SimulationOptions | None = None):
+        self.spec = cluster_spec or ClusterSpec()
+        self.options = options or SimulationOptions()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        dataset: Dataset,
+        *,
+        compute_model: ComputeModel,
+        command: CommandTemplate | None = None,
+        strategy: StrategyKind | str = StrategyKind.REAL_TIME,
+        grouping: PartitionScheme | str = PartitionScheme.SINGLE,
+        grouping_options: dict | None = None,
+        common_files: Sequence[DataFile] = (),
+        multicore: bool = True,
+        retry_policy: RetryPolicy | None = None,
+        isolate_after: int = 1,
+        failure_schedule: FailureSchedule | None = None,
+        failure_mttf: float | None = None,
+        elasticity: Sequence[ElasticAction] = (),
+        static_chunking: str = "contiguous",
+        master_failure_at: float | None = None,
+        master_recovery_time: float | None = None,
+        output_bytes_per_task: float = 0.0,
+        data_source: str = "master",
+        max_sim_time: float = 10_000_000.0,
+    ) -> RunOutcome:
+        """Execute one workload; returns the :class:`RunOutcome`.
+
+        ``common_files`` are staged to every worker node before
+        execution under every non-local strategy (the BLAST database
+        pattern); under pre-partitioned-local they start on the nodes.
+
+        Extensions (all default to the paper-faithful behaviour):
+
+        - ``static_chunking``: ``"contiguous"`` | ``"lpt_size"`` |
+          ``"lpt_cost"`` (see :meth:`MasterScheduler.partition_among`),
+        - ``master_failure_at`` (+ optional ``master_recovery_time``):
+          the §V-A single-point-of-failure scenario — the master dies at
+          the given time; with a recovery time the controller restarts
+          it and data service resumes, without one the run terminates
+          with whatever completed,
+        - ``output_bytes_per_task``: task outputs left on worker disks
+          (§II-D "left behind on the workers"), snapshot-able on
+          elastic removal,
+        - ``data_source``: ``"master"`` (default — the master sits
+          "close to the source of the input data", §II-B) or
+          ``"network_storage"`` — inputs live on the shared iSCSI-style
+          tier and workers pull through its contended server uplink
+          (the networked-disk configuration of §III-A; requires
+          ``ClusterSpec.network_storage_bytes > 0``).
+        """
+        env = Environment()
+        monitor = Monitor()
+        run = _SimulatedRun(
+            env=env,
+            monitor=monitor,
+            engine=self,
+            dataset=dataset,
+            compute_model=compute_model,
+            command=command,
+            strategy=strategy,
+            grouping=grouping,
+            grouping_options=grouping_options or {},
+            common_files=tuple(common_files),
+            multicore=multicore,
+            retry_policy=retry_policy,
+            isolate_after=isolate_after,
+            failure_schedule=failure_schedule,
+            failure_mttf=failure_mttf,
+            elasticity=tuple(elasticity),
+            static_chunking=static_chunking,
+            master_failure_at=master_failure_at,
+            master_recovery_time=master_recovery_time,
+            output_bytes_per_task=output_bytes_per_task,
+            data_source=data_source,
+        )
+        done = env.process(run.main(), name="frieda-run")
+        env.run(until=done)
+        if env.now > max_sim_time:
+            raise SimulationError(f"simulation exceeded {max_sim_time} simulated seconds")
+        return run.outcome()
+
+
+class _SimulatedRun:
+    """One run's mutable state and processes (internal)."""
+
+    def __init__(
+        self,
+        *,
+        env: Environment,
+        monitor: Monitor,
+        engine: SimulatedEngine,
+        dataset: Dataset,
+        compute_model: ComputeModel,
+        command: CommandTemplate | None,
+        strategy: StrategyKind | str,
+        grouping: PartitionScheme | str,
+        grouping_options: dict,
+        common_files: tuple[DataFile, ...],
+        multicore: bool,
+        retry_policy: RetryPolicy | None,
+        isolate_after: int,
+        failure_schedule: FailureSchedule | None,
+        failure_mttf: float | None,
+        elasticity: tuple[ElasticAction, ...],
+        static_chunking: str = "contiguous",
+        master_failure_at: float | None = None,
+        master_recovery_time: float | None = None,
+        output_bytes_per_task: float = 0.0,
+        data_source: str = "master",
+    ):
+        self.env = env
+        self.monitor = monitor
+        self.engine = engine
+        self.options = engine.options
+        self.dataset = dataset
+        self.compute_model = compute_model
+        self.common_files = common_files
+        self.controller = ControllerLogic(
+            strategy=strategy,
+            grouping=grouping,
+            grouping_options=grouping_options,
+            command=command,
+            multicore=multicore,
+            retry_policy=retry_policy,
+            isolate_after=isolate_after,
+        )
+        self.retry_policy = retry_policy or RetryPolicy.paper_faithful()
+        self.elasticity = elasticity
+        self.failure_schedule = failure_schedule
+        self.failure_mttf = failure_mttf
+        self.static_chunking = static_chunking
+        self.master_failure_at = master_failure_at
+        self.master_recovery_time = master_recovery_time
+        self.output_bytes_per_task = float(output_bytes_per_task)
+        if data_source not in ("master", "network_storage"):
+            raise ConfigurationError(
+                f"data_source must be 'master' or 'network_storage', got {data_source!r}"
+            )
+        self.data_source = data_source
+        #: [start, end) of the master outage; end is +inf when the
+        #: master never recovers.
+        self.master_outage: Optional[tuple[float, float]] = None
+        if master_failure_at is not None:
+            end = (
+                master_failure_at + master_recovery_time
+                if master_recovery_time is not None
+                else float("inf")
+            )
+            self.master_outage = (master_failure_at, end)
+        self.outputs_snapshotted = 0.0
+
+        self.cluster: Optional[VirtualCluster] = None
+        self.scheduler: Optional[MasterScheduler] = None
+        self.transfers: Optional[TransferService] = None
+        self.billing = (
+            BillingModel(self.options.price_sheet)
+            if self.options.enable_billing
+            else None
+        )
+        self.worker_logics: dict[str, WorkerLogic] = {}
+        self.task_records: list[TaskRecord] = []
+        self.run_done: Event = Event(env)
+        #: (node_id, file_name) → completion event for a transfer that
+        #: is already in flight (the master coalesces duplicate pulls
+        #: of the same file to the same node).
+        self._inflight_transfers: dict[tuple[str, str], Event] = {}
+        self.start_time = 0.0
+        self.end_time = 0.0
+        self._file_index: dict[str, DataFile] = {}
+
+    # -- helpers -----------------------------------------------------------
+    def _rtt(self):
+        return self.env.timeout(self.options.control_rtt)
+
+    def _master_available(self) -> bool:
+        if self.master_outage is None:
+            return True
+        start, end = self.master_outage
+        return not (start <= self.env.now < end)
+
+    def _await_master(self):
+        """Process fragment: block while the master is down (§V-A).
+
+        A permanent outage (no recovery) parks the caller forever; the
+        run is ended separately by the outage watchdog.
+        """
+        while not self._master_available():
+            _start, end = self.master_outage
+            if end == float("inf"):
+                # Master never comes back; wait on an event that never
+                # fires (the watchdog terminates the run).
+                yield Event(self.env)
+                return
+            yield self.env.timeout(end - self.env.now)
+
+    def _master_watchdog(self):
+        """Ends the run when the master dies without recovery."""
+        start, end = self.master_outage
+        delay = start - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        self.controller.log(self.env.now, "MASTER_FAILED", "single point of failure")
+        if end == float("inf") and not self.run_done.triggered:
+            self.run_done.succeed()
+        elif end != float("inf"):
+            yield self.env.timeout(end - self.env.now)
+            self.controller.log(self.env.now, "MASTER_RECOVERED", "controller restart")
+
+    def _file(self, name: str) -> DataFile:
+        return self._file_index[name]
+
+    def _maybe_finish(self) -> None:
+        if self.scheduler is not None and self.scheduler.done and not self.run_done.triggered:
+            self.run_done.succeed()
+
+    def _record_wan(self, path: Sequence[str], nbytes: float) -> None:
+        if self.billing is not None and self.cluster is not None:
+            wan = self.cluster.wan_link_name
+            if wan is not None and wan in path:
+                self.billing.record_wan_bytes(nbytes)
+
+    def _source_path_to(self, node_id: str) -> tuple[str, ...]:
+        """Link path from the data source to a node's local disk."""
+        cluster = self.cluster
+        if self.data_source == "network_storage":
+            return (
+                cluster.storage_read_path(node_id)
+                + cluster.vm(node_id).local_disk.write_path()
+            )
+        return cluster.disk_to_disk_path(cluster.master_vm.vm_id, node_id)
+
+    def _transfer_to_node(self, file: DataFile, node_id: str, tag: str):
+        """Process: ship one file source → node-disk.
+
+        Dedupes against files already on the node's disk *and*
+        coalesces with transfers currently in flight to that node —
+        several clones asking for the same common file trigger exactly
+        one network transfer (multicore BLAST's database pull).
+        """
+        cluster = self.cluster
+        disk = cluster.vm(node_id).local_disk
+        if disk.has_file(file.name):
+            return None
+        key = (node_id, file.name)
+        existing = self._inflight_transfers.get(key)
+        if existing is not None:
+            yield existing
+            return None
+        completion = Event(self.env)
+        self._inflight_transfers[key] = completion
+        try:
+            yield from self._await_master()
+            path = self._source_path_to(node_id)
+            request = TransferRequest(file.name, file.size, path, tag=tag)
+            self._record_wan(path, file.size)
+            result = yield self.env.process(self.transfers.transfer(request))
+            # The VM may have died while the bytes were in flight.
+            vm = cluster.vm(node_id)
+            if vm.is_running:
+                disk.store_file(file.name, file.size)
+            return result
+        finally:
+            del self._inflight_transfers[key]
+            if not completion.triggered:
+                completion.succeed()
+
+    # -- main orchestration ---------------------------------------------------
+    def main(self):
+        env = self.env
+        # 1. Provision the virtual cluster (ORCA/Flukes role).
+        provisioner = Provisioner(env, self.monitor)
+        cluster, ready = provisioner.provision(self.engine.spec)
+        self.cluster = cluster
+        self.provisioner = provisioner
+        yield ready
+        # The measured run starts once the cluster is up: Table I /
+        # Fig 6 totals include data transfer + execution, not VM
+        # provisioning.
+        self.start_time = env.now
+        strategy = self.controller.strategy
+
+        # 2. Control phase (Fig 4): partition generation + master start.
+        groups = self.controller.generate_partitions(self.dataset, env.now)
+        for f in self.dataset:
+            self._file_index[f.name] = f
+        for f in self.common_files:
+            self._file_index[f.name] = f
+        yield self._rtt()  # START_MASTER
+        self.transfers = TransferService(
+            env, cluster.network, self.options.protocol, self.monitor
+        )
+        self.scheduler = MasterScheduler(
+            groups,
+            strategy,
+            retry_policy=self.retry_policy,
+            fault_tracker=self.controller.fault_tracker,
+        )
+
+        # Source data lands on the master's disk (the master "runs close
+        # to the source of the input data", §II-B) or on the shared
+        # network-storage tier (§III-A's networked-disk configuration).
+        if self.data_source == "network_storage":
+            if cluster.shared_storage is None:
+                raise ConfigurationError(
+                    "data_source='network_storage' needs "
+                    "ClusterSpec.network_storage_bytes > 0"
+                )
+            source_volume = cluster.shared_storage
+        else:
+            source_volume = cluster.master_vm.local_disk
+        if not strategy.data_local_to_workers:
+            for f in self.dataset:
+                source_volume.store_file(f.name, f.size)
+        for f in self.common_files:
+            source_volume.store_file(f.name, f.size)
+
+        # 3. Fork remote workers (multicore cloning, §II-C).
+        worker_nodes = [vm for vm in cluster.worker_vms if vm.is_running]
+        if not worker_nodes:
+            raise ConfigurationError("no running worker VMs")
+        plans = self.controller.plan_workers(
+            [(vm.vm_id, vm.itype.cores) for vm in worker_nodes], env.now
+        )
+        for plan in plans:
+            for wid in plan.worker_ids:
+                self.scheduler.register_worker(wid)
+                self.worker_logics[wid] = WorkerLogic(
+                    wid, plan.node_id, self.controller.command
+                )
+        self.scheduler.partition_among(
+            chunking=self.static_chunking,
+            cost_hint=(
+                self.compute_model.cost if self.static_chunking == "lpt_cost" else None
+            ),
+        )
+        yield self._rtt()  # worker init + register round
+
+        # 4. Pre-place / stage data according to the strategy.
+        if strategy.data_local_to_workers:
+            self._preplace_local(worker_nodes)
+        staging_reqs = self._staging_requests(worker_nodes)
+        if staging_reqs:
+            stage_start = env.now
+            plan = StagingPlan(staging_reqs, concurrency=self.options.staging_concurrency)
+            results = yield env.process(plan.execute(self.transfers))
+            self.monitor.interval("staging", stage_start, env.now)
+            self._mark_staged(staging_reqs)
+
+        # 5. Execution phase: spawn worker clones; watch for failures;
+        #    apply scripted elasticity.
+        if self.failure_schedule is not None or self.failure_mttf is not None:
+            FailureInjector(
+                env,
+                cluster,
+                schedule=self.failure_schedule,
+                mttf_s=self.failure_mttf,
+                seed=self.options.seed,
+            )
+        for vm in worker_nodes:
+            self._spawn_node_workers(vm)
+        for action in self.elasticity:
+            env.process(self._elastic(action), name=f"elastic-{action.action}")
+        if self.master_outage is not None:
+            env.process(self._master_watchdog(), name="master-watchdog")
+        self._maybe_finish()
+        yield self.run_done
+        self.end_time = env.now
+        for vm in cluster.vms.values():
+            vm.terminate()
+
+    # -- staging -----------------------------------------------------------
+    def _node_file_needs(self, worker_nodes: Sequence[VirtualMachine]) -> dict[str, list[DataFile]]:
+        """Which files each node must hold before execution starts."""
+        strategy = self.controller.strategy
+        needs: dict[str, list[DataFile]] = {vm.vm_id: [] for vm in worker_nodes}
+        for vm in worker_nodes:
+            seen: set[str] = set()
+            for f in self.common_files:
+                if f.name not in seen:
+                    needs[vm.vm_id].append(f)
+                    seen.add(f.name)
+            if strategy.replicate_all:
+                for f in self.dataset:
+                    if f.name not in seen:
+                        needs[vm.vm_id].append(f)
+                        seen.add(f.name)
+            elif strategy.static_assignment and strategy.staged_before_execution:
+                for plan in self.controller.worker_plans:
+                    if plan.node_id != vm.vm_id:
+                        continue
+                    for wid in plan.worker_ids:
+                        for group in self.scheduler.planned_chunk(wid):
+                            for f in group.files:
+                                if f.name not in seen:
+                                    needs[vm.vm_id].append(f)
+                                    seen.add(f.name)
+        return needs
+
+    def _staging_requests(self, worker_nodes: Sequence[VirtualMachine]) -> list[TransferRequest]:
+        strategy = self.controller.strategy
+        if strategy.data_local_to_workers:
+            return []
+        requests: list[TransferRequest] = []
+        for node_id, files in self._node_file_needs(worker_nodes).items():
+            if not files:
+                continue
+            path = self._source_path_to(node_id)
+            for f in files:
+                self._record_wan(path, f.size)
+                requests.append(
+                    TransferRequest(f.name, f.size, path, tag=f"stage:{node_id}")
+                )
+        return requests
+
+    def _mark_staged(self, requests: Sequence[TransferRequest]) -> None:
+        cluster = self.cluster
+        for request in requests:
+            node_id = request.tag.split(":", 1)[1]
+            vm = cluster.vm(node_id)
+            if vm.is_running:
+                vm.local_disk.store_file(request.file_name, request.nbytes)
+        for wid, logic in self.worker_logics.items():
+            disk = cluster.vm(logic.node_id).local_disk
+            for name in disk.file_names():
+                logic.receive_file(name)
+
+    def _preplace_local(self, worker_nodes: Sequence[VirtualMachine]) -> None:
+        """Pre-partitioned local: data begins on the workers' disks
+        (e.g. baked into the VM image, §IV-B) — no transfer cost."""
+        for node_id, files in self._node_file_needs(worker_nodes).items():
+            disk = self.cluster.vm(node_id).local_disk
+            for f in files:
+                disk.store_file(f.name, f.size)
+        # Local strategies never stage chunks through _node_file_needs
+        # (staged_before_execution is False), so place chunk data here.
+        for wid, logic in self.worker_logics.items():
+            disk = self.cluster.vm(logic.node_id).local_disk
+            for group in self.scheduler.planned_chunk(wid):
+                for f in group.files:
+                    disk.store_file(f.name, f.size)
+            for name in disk.file_names():
+                logic.receive_file(name)
+
+    # -- workers ----------------------------------------------------------
+    def _spawn_node_workers(self, vm: VirtualMachine) -> None:
+        for plan in self.controller.worker_plans:
+            if plan.node_id != vm.vm_id:
+                continue
+            for wid in plan.worker_ids:
+                logic = self.worker_logics[wid]
+                proc = self.env.process(
+                    self._worker_loop(vm, logic), name=f"worker-{wid}"
+                )
+                vm.register_process(proc)
+
+    def _worker_loop(self, vm: VirtualMachine, logic: WorkerLogic):
+        env = self.env
+        sched = self.scheduler
+        strategy = self.controller.strategy
+        wid = logic.worker_id
+        prefetching = self.options.prefetch_depth > 0 and strategy.lazy
+        try:
+            yield self._rtt()  # register + connection ack
+            if not prefetching:
+                while True:
+                    if sched.done:
+                        break
+                    yield self._rtt()  # REQUEST_DATA round trip
+                    assignment = sched.next_for(wid)
+                    if assignment is None and self.options.speculative and strategy.lazy:
+                        assignment = sched.speculate_for(wid)
+                    if assignment is None:
+                        if sched.done or not self.retry_policy.retry_on_worker_loss:
+                            break  # NO_MORE_DATA
+                        # Retry extension: work may reappear; poll briefly.
+                        yield env.timeout(max(self.options.control_rtt * 25, 0.05))
+                        continue
+                    yield from self._execute_assignment(vm, logic, assignment)
+                    self._maybe_finish()
+            else:
+                # Double buffering (extension): fetch task N+1's inputs
+                # while task N computes.
+                pending = yield from self._fetch(vm, logic)
+                while pending is not None:
+                    assignment, fetch_start, transfer_seconds = pending
+                    prefetch = env.process(
+                        self._fetch(vm, logic), name=f"prefetch-{wid}"
+                    )
+                    vm.register_process(prefetch)
+                    yield from self._run_task(
+                        vm, logic, assignment, fetch_start, transfer_seconds
+                    )
+                    self._maybe_finish()
+                    pending = yield prefetch
+        except Interrupt as interrupt:
+            now = env.now
+            aborted = logic.abort_task(now, f"vm failure: {interrupt.cause}")
+            requeued = sched.worker_lost(wid, str(interrupt.cause))
+            self.controller.on_worker_failed(
+                WorkerFailed(
+                    worker_id=wid,
+                    node_id=vm.vm_id,
+                    error=str(interrupt.cause),
+                    tasks_in_flight=tuple(a.task_id for a in requeued),
+                ),
+                now,
+            )
+            if aborted is not None:
+                self.task_records.append(
+                    TaskRecord(
+                        task_id=aborted.task_id,
+                        worker_id=wid,
+                        node_id=vm.vm_id,
+                        start=aborted.started,
+                        end=now,
+                        ok=False,
+                        error=aborted.error,
+                    )
+                )
+            self._maybe_finish()
+
+    def _fetch(self, vm: VirtualMachine, logic: WorkerLogic):
+        """Process: request the next assignment and stage its inputs.
+
+        Returns ``(assignment, fetch_start, transfer_seconds)`` or
+        ``None`` when the worker is drained. Used by the prefetching
+        loop; safe to interrupt (returns None on VM failure — the
+        worker's own interrupt handler does the loss bookkeeping).
+        """
+        env = self.env
+        sched = self.scheduler
+        wid = logic.worker_id
+        try:
+            while True:
+                if sched.done:
+                    return None
+                fetch_start = env.now
+                yield self._rtt()  # REQUEST_DATA round trip
+                assignment = sched.next_for(wid)
+                if assignment is None and self.options.speculative:
+                    assignment = sched.speculate_for(wid)
+                if assignment is None:
+                    if sched.done or not self.retry_policy.retry_on_worker_loss:
+                        return None
+                    yield env.timeout(max(self.options.control_rtt * 25, 0.05))
+                    continue
+                transfer_seconds = yield from self._stage_inputs(vm, logic, assignment)
+                return assignment, fetch_start, transfer_seconds
+        except Interrupt:
+            return None
+
+    def _stage_inputs(self, vm: VirtualMachine, logic: WorkerLogic, assignment: Assignment):
+        """Process fragment: lazily transfer the assignment's missing
+        inputs; returns the seconds spent waiting on transfers."""
+        env = self.env
+        wid = logic.worker_id
+        missing = logic.missing_files(assignment.group.file_names)
+        if not missing:
+            return 0.0
+        t0 = env.now
+        procs = [
+            env.process(
+                self._transfer_to_node(self._file(name), vm.vm_id, tag=f"rt:{wid}")
+            )
+            for name in missing
+        ]
+        yield env.all_of(procs)
+        if not vm.is_running:
+            raise Interrupt((vm.vm_id, "vm died during transfer"))
+        for name in missing:
+            logic.receive_file(name)
+        return env.now - t0
+
+    def _execute_assignment(self, vm: VirtualMachine, logic: WorkerLogic, assignment: Assignment):
+        task_start = self.env.now
+        transfer_seconds = yield from self._stage_inputs(vm, logic, assignment)
+        yield from self._run_task(vm, logic, assignment, task_start, transfer_seconds)
+
+    def _run_task(
+        self,
+        vm: VirtualMachine,
+        logic: WorkerLogic,
+        assignment: Assignment,
+        task_start: float,
+        transfer_seconds: float,
+    ):
+        env = self.env
+        group = assignment.group
+        wid = logic.worker_id
+        # Execute: take a core, charge disk reads + compute seconds.
+        with vm.cpu.request() as slot:
+            yield slot
+            exec_start = env.now
+            record = logic.begin_task(group.index, group.file_names, exec_start)
+            if self.options.include_disk_io and group.total_size > 0:
+                read = self.cluster.network.start_flow(
+                    vm.local_disk.read_path(), group.total_size, tag=f"read:{wid}"
+                )
+                yield read.done
+            # Heterogeneous hardware: slower cores stretch the task
+            # (costs are quoted in reference-core seconds).
+            cost = float(self.compute_model.cost(group)) / vm.itype.core_speed
+            if cost > 0:
+                yield env.timeout(cost)
+            logic.finish_task(env.now, ok=True)
+        if self.output_bytes_per_task > 0:
+            # §II-D: results "left behind on the workers" — written to
+            # the ephemeral local disk (lost with the VM unless
+            # snapshotted on scale-down).
+            write = self.cluster.network.start_flow(
+                vm.local_disk.write_path(),
+                self.output_bytes_per_task,
+                tag=f"out:{wid}",
+            )
+            yield write.done
+            if vm.is_running:
+                vm.local_disk.store_file(
+                    f"out-task{group.index:06d}", int(self.output_bytes_per_task)
+                )
+        self.scheduler.report_success(wid, group.index)
+        self.monitor.interval(
+            "exec", exec_start, env.now, worker=wid, node=vm.vm_id, task=group.index
+        )
+        self.task_records.append(
+            TaskRecord(
+                task_id=group.index,
+                worker_id=wid,
+                node_id=vm.vm_id,
+                start=task_start,
+                end=env.now,
+                ok=True,
+                attempt=assignment.attempt,
+                transfer_seconds=transfer_seconds,
+            )
+        )
+
+    # -- elasticity -----------------------------------------------------------
+    def _elastic(self, action: ElasticAction):
+        env = self.env
+        delay = action.time - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        if self.run_done.triggered:
+            return
+        if action.action == "add":
+            vm, booted = self.provisioner.add_worker(
+                self.cluster, action.instance_type, boot_delay=action.boot_delay
+            )
+            yield booted
+            if self.run_done.triggered:
+                return
+            plan = self.controller.on_worker_added(vm.vm_id, vm.itype.cores, env.now)
+            for wid in plan.worker_ids:
+                self.scheduler.register_worker(wid)
+                self.worker_logics[wid] = WorkerLogic(
+                    wid, vm.vm_id, self.controller.command
+                )
+            # Elastic nodes still need the common data before computing.
+            for f in self.common_files:
+                yield from self._transfer_to_node(f, vm.vm_id, tag=f"stage:{vm.vm_id}") or iter(())
+                for wid in plan.worker_ids:
+                    self.worker_logics[wid].receive_file(f.name)
+            self._spawn_node_workers(vm)
+        elif action.action == "remove":
+            node_id = action.node_id
+            if node_id in self.cluster.vms:
+                self.controller.on_worker_removed(node_id, env.now)
+                if action.snapshot:
+                    yield from self._snapshot_outputs(node_id)
+                self.cluster.fail_vm(node_id, cause="elastic-remove")
+        else:
+            raise ConfigurationError(f"unknown elastic action {action.action!r}")
+
+    def _snapshot_outputs(self, node_id: str):
+        """Process fragment: copy the node's task outputs to the master
+        before the VM disappears (§V-A: "snapshots of the data need to
+        be captured")."""
+        cluster = self.cluster
+        vm = cluster.vm(node_id)
+        outputs = [
+            name for name in vm.local_disk.file_names() if name.startswith("out-task")
+        ]
+        if not outputs:
+            return
+        master = cluster.master_vm
+        snap_start = self.env.now
+        path = (
+            vm.local_disk.read_path()
+            + cluster.route_between(node_id, master.vm_id)
+            + master.local_disk.write_path()
+        )
+        flows = []
+        for name in outputs:
+            size = int(self.output_bytes_per_task) or 1
+            flows.append(
+                cluster.network.start_flow(path, size, tag=f"snapshot:{node_id}")
+            )
+        yield self.env.all_of([f.done for f in flows])
+        for name in outputs:
+            master.local_disk.store_file(name, int(self.output_bytes_per_task) or 1)
+            self.outputs_snapshotted += self.output_bytes_per_task
+        self.monitor.interval("snapshot", snap_start, self.env.now, node=node_id)
+        self.controller.log(
+            self.env.now, "OUTPUTS_SNAPSHOTTED", f"{node_id}: {len(outputs)} files"
+        )
+
+    # -- outcome ---------------------------------------------------------------
+    def outcome(self) -> RunOutcome:
+        monitor = self.monitor
+        sched = self.scheduler
+        makespan = self.end_time - self.start_time
+        transfer_time = monitor.union_time("transfer")
+        execution_time = monitor.union_time("exec")
+        worker_busy = {
+            wid: logic.busy_time for wid, logic in self.worker_logics.items()
+        }
+        cost = None
+        if self.billing is not None:
+            if self.cluster.shared_storage is not None:
+                self.billing.record_storage(
+                    StorageTier.NETWORK,
+                    self.cluster.shared_storage.used_bytes,
+                    self.end_time,
+                )
+            cost = self.billing.report(self.cluster)
+        summary = sched.summary()
+        return RunOutcome(
+            strategy=self.controller.strategy.kind,
+            grouping=self.controller.grouping,
+            makespan=makespan,
+            transfer_time=transfer_time,
+            execution_time=execution_time,
+            tasks_total=summary["total"],
+            tasks_completed=summary["completed"],
+            tasks_failed=summary["failed"],
+            tasks_lost=summary["lost"],
+            bytes_transferred=sum(r.nbytes for r in self.transfers.results),
+            task_records=self.task_records,
+            worker_busy=worker_busy,
+            cost=cost,
+            controller_events=list(self.controller.events),
+            extra={
+                "staging_time": monitor.union_time("staging"),
+                "end_to_end": self.end_time,
+                "failures": [
+                    e.detail for e in self.controller.events if e.kind == "WORKER_FAILED"
+                ],
+                "master_failed": any(
+                    e.kind == "MASTER_FAILED" for e in self.controller.events
+                ),
+                "master_recovered": any(
+                    e.kind == "MASTER_RECOVERED" for e in self.controller.events
+                ),
+                "outputs_snapshotted_bytes": self.outputs_snapshotted,
+                "snapshot_time": monitor.union_time("snapshot"),
+            },
+        )

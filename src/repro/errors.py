@@ -1,0 +1,56 @@
+"""Exception hierarchy shared across the FRIEDA reproduction.
+
+All library-raised exceptions derive from :class:`FriedaError` so callers
+can catch framework failures without swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+
+class FriedaError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(FriedaError):
+    """Raised for discrete-event-kernel misuse (e.g. running a dead env)."""
+
+
+class NetworkError(FriedaError):
+    """Raised when a network transfer cannot be carried out."""
+
+
+class StorageError(FriedaError):
+    """Raised when a storage operation fails (capacity, missing volume)."""
+
+
+class ProvisioningError(FriedaError):
+    """Raised when a virtual cluster cannot be provisioned."""
+
+
+class PartitionError(FriedaError):
+    """Raised for invalid partition-generator configurations."""
+
+
+class ProtocolError(FriedaError):
+    """Raised when a FRIEDA protocol message violates the state machine."""
+
+
+class WorkerFailure(FriedaError):
+    """Raised inside a worker process when its VM fails mid-task."""
+
+
+class MasterFailure(FriedaError):
+    """Raised when the master becomes unavailable (single point of failure
+    noted in §V-A of the paper)."""
+
+
+class ConfigurationError(FriedaError):
+    """Raised when a user-facing configuration is inconsistent."""
+
+
+class TransferError(FriedaError):
+    """Raised when a data transfer fails permanently."""
+
+
+class ApplicationError(FriedaError):
+    """Raised by the bundled applications (mini-BLAST, imaging)."""

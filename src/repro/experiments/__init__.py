@@ -1,0 +1,27 @@
+"""Experiment reproductions: Table I, Figure 6, Figure 7.
+
+Each module regenerates one table/figure of the paper's §IV and prints
+the same rows/series next to the paper's reported values. Run them via
+the CLI::
+
+    python -m repro.experiments table1 [--scale 0.2]
+    python -m repro.experiments fig6   [--scale 0.2]
+    python -m repro.experiments fig7   [--scale 0.2]
+    python -m repro.experiments all
+
+``--scale`` shrinks the workload proportionally (default 1.0 = the
+paper's full 1250 images / 7500 sequences).
+"""
+
+from repro.experiments.paper_values import PAPER_TABLE1, PaperNumbers
+from repro.experiments.table1 import run_table1
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+
+__all__ = [
+    "PAPER_TABLE1",
+    "PaperNumbers",
+    "run_table1",
+    "run_fig6",
+    "run_fig7",
+]

@@ -1,0 +1,80 @@
+"""Figure 6: Effect of Different Partitioning.
+
+For each application, runs the three Fig 5 strategies —
+pre-partitioned local, pre-partitioned remote, real-time — and reports
+the transfer/execution decomposition the stacked bars plot:
+
+- 6a (ALS): local fastest; pre-remote worst (sequential phases);
+  real-time recovers most of the transfer by overlapping.
+- 6b (BLAST): compute dominates every bar; real-time is best through
+  load balancing, not transfer hiding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.framework import RunOutcome
+from repro.core.strategies import StrategyKind
+from repro.experiments.paper_values import FIG6_EXPECTED_ORDER
+from repro.util.tables import Table
+from repro.workloads import als_profile, blast_profile, strategy_sweep
+
+FIG6_STRATEGIES = (
+    StrategyKind.PRE_PARTITIONED_LOCAL,
+    StrategyKind.PRE_PARTITIONED_REMOTE,
+    StrategyKind.REAL_TIME,
+)
+
+
+@dataclass
+class Fig6Result:
+    """Measured series for one subplot (one application)."""
+
+    app: str
+    outcomes: dict[StrategyKind, RunOutcome]
+
+    def order_by_makespan(self) -> list[str]:
+        ranked = sorted(self.outcomes.items(), key=lambda kv: kv[1].makespan)
+        return [k.value for k, _ in ranked]
+
+    def shape_holds(self) -> bool:
+        return self.order_by_makespan() == FIG6_EXPECTED_ORDER[self.app]
+
+
+def run_fig6(scale: float = 1.0, *, seed: int = 0) -> dict[str, Fig6Result]:
+    results = {}
+    for name, profile in (
+        ("als", als_profile(scale, seed=seed)),
+        ("blast", blast_profile(scale, seed=seed)),
+    ):
+        outcomes = strategy_sweep(profile, FIG6_STRATEGIES)
+        results[name] = Fig6Result(app=name, outcomes=outcomes)
+    return results
+
+
+def render_fig6(results: dict[str, Fig6Result], scale: float) -> list[Table]:
+    tables = []
+    for name, result in results.items():
+        table = Table(
+            f"Figure 6{'a' if name == 'als' else 'b'}: {name.upper()} "
+            f"partitioning comparison (scale={scale})",
+            ["Strategy", "Transfer (s)", "Execution (s)", "Total (s)"],
+        )
+        for strategy in FIG6_STRATEGIES:
+            outcome = result.outcomes[strategy]
+            table.add_row(
+                [
+                    strategy.value,
+                    outcome.transfer_time,
+                    outcome.execution_time,
+                    outcome.makespan,
+                ]
+            )
+        order = " < ".join(result.order_by_makespan())
+        table.add_note(f"measured order: {order}")
+        table.add_note(f"expected order: {' < '.join(FIG6_EXPECTED_ORDER[name])}")
+        if not result.shape_holds():
+            table.add_note("SHAPE VIOLATION")
+        tables.append(table)
+    return tables

@@ -1,0 +1,95 @@
+"""Figure 7: Effect of Data Movement.
+
+"An important question for any application is whether to move the data
+closer to the computation or vice-versa." The two configurations:
+
+- **move data to computation**: inputs start at the data source (the
+  master node); the run stages/pulls them over the provisioned network
+  to the compute VMs (pre-partitioned remote — phases sequential, the
+  honest cost of shipping bytes).
+- **move computation to data**: the program runs on nodes that already
+  hold the data (pre-partitioned local) — no wide transfers at all.
+
+Expected shape: ALS favours moving computation (Fig 7a: transfer cost
+dominates); BLAST is "almost insensitive to the placement of
+computation or data" (Fig 7b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.framework import RunOutcome
+from repro.core.strategies import StrategyKind
+from repro.data.placement import PlacementPolicy
+from repro.util.tables import Table
+from repro.workloads import als_profile, blast_profile, run_profile
+
+
+@dataclass
+class Fig7Result:
+    """Measured bars for one subplot."""
+
+    app: str
+    move_data: RunOutcome  # data → computation
+    move_compute: RunOutcome  # computation → data
+
+    @property
+    def ratio(self) -> float:
+        """move-data time over move-compute time (>1 ⇒ moving
+        computation wins)."""
+        if self.move_compute.makespan <= 0:
+            return float("nan")
+        return self.move_data.makespan / self.move_compute.makespan
+
+    def shape_holds(self) -> bool:
+        if self.app == "als":
+            return self.ratio > 1.5  # moving computation clearly wins
+        return self.ratio < 1.15  # BLAST nearly insensitive
+
+
+def run_fig7(scale: float = 1.0, *, seed: int = 0) -> dict[str, Fig7Result]:
+    results = {}
+    for name, profile in (
+        ("als", als_profile(scale, seed=seed)),
+        ("blast", blast_profile(scale, seed=seed)),
+    ):
+        move_data = run_profile(profile, StrategyKind.PRE_PARTITIONED_REMOTE)
+        move_compute = run_profile(profile, StrategyKind.PRE_PARTITIONED_LOCAL)
+        results[name] = Fig7Result(app=name, move_data=move_data, move_compute=move_compute)
+    return results
+
+
+def render_fig7(results: dict[str, Fig7Result], scale: float) -> list[Table]:
+    tables = []
+    for name, result in results.items():
+        table = Table(
+            f"Figure 7{'a' if name == 'als' else 'b'}: {name.upper()} "
+            f"data movement (scale={scale})",
+            ["Placement", "Transfer (s)", "Execution (s)", "Total (s)"],
+        )
+        table.add_row(
+            [
+                PlacementPolicy.DATA_TO_COMPUTE.value,
+                result.move_data.transfer_time,
+                result.move_data.execution_time,
+                result.move_data.makespan,
+            ]
+        )
+        table.add_row(
+            [
+                PlacementPolicy.COMPUTE_TO_DATA.value,
+                result.move_compute.transfer_time,
+                result.move_compute.execution_time,
+                result.move_compute.makespan,
+            ]
+        )
+        table.add_note(f"move-data / move-compute makespan ratio: {result.ratio:.2f}")
+        expectation = (
+            "ALS: moving computation to data should win big"
+            if name == "als"
+            else "BLAST: should be nearly insensitive"
+        )
+        table.add_note(expectation + (" — OK" if result.shape_holds() else " — SHAPE VIOLATION"))
+        tables.append(table)
+    return tables

@@ -1,0 +1,54 @@
+"""The numbers the paper reports, for side-by-side comparison.
+
+Only Table I carries absolute numbers in the text; Figures 6 and 7 are
+described qualitatively (orderings and dominance), so their "paper"
+columns here record the *expected shape* the reproduction must match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PaperNumbers:
+    """Table I of the paper (seconds)."""
+
+    app: str
+    sequential: float
+    pre_partitioned: float
+    real_time: float
+
+    @property
+    def speedup_pre(self) -> float:
+        return self.sequential / self.pre_partitioned
+
+    @property
+    def speedup_rt(self) -> float:
+        return self.sequential / self.real_time
+
+
+PAPER_TABLE1 = {
+    "als": PaperNumbers(app="ALS", sequential=1258.80, pre_partitioned=789.39, real_time=696.70),
+    "blast": PaperNumbers(app="BLAST", sequential=61200.0, pre_partitioned=4131.07, real_time=3794.90),
+}
+
+#: Figure 6 expected orderings (makespan, best first).
+#:
+#: ALS: "local reads are faster" and real-time's overlap beats the
+#: sequential-phase remote staging (§IV-B).
+#: BLAST: transfer barely matters; "BLAST benefits from the inherent
+#: load balancing in FRIEDA in the real-time strategy" — the pull
+#: discipline beats *both* statically-chunked modes, whose makespan is
+#: set by the unluckiest chunk.
+FIG6_EXPECTED_ORDER = {
+    "als": ["pre_partitioned_local", "real_time", "pre_partitioned_remote"],
+    "blast": ["real_time", "pre_partitioned_local", "pre_partitioned_remote"],
+}
+
+#: Figure 7 expectations: ALS favours moving computation to data by a
+#: wide margin; BLAST is "almost insensitive to the placement".
+FIG7_EXPECTATIONS = {
+    "als": "compute_to_data wins by a large factor (transfer dominates)",
+    "blast": "placements within ~10% of each other (compute dominates)",
+}

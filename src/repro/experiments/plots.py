@@ -1,0 +1,104 @@
+"""Terminal rendering of the paper's figures.
+
+The evaluation figures are stacked bar charts (transfer + execution per
+strategy). :func:`stacked_bars` renders them as monospace horizontal
+bars so ``python -m repro.experiments fig6 --plot`` shows the same
+visual shape the paper prints, without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+#: Glyphs for the two stacked segments (transfer, execution).
+_TRANSFER_GLYPH = "▒"
+_EXEC_GLYPH = "█"
+
+
+@dataclass(frozen=True)
+class Bar:
+    """One stacked bar: a label plus (transfer, execution) seconds."""
+
+    label: str
+    transfer: float
+    execution: float
+
+    @property
+    def total(self) -> float:
+        return self.transfer + self.execution
+
+
+def stacked_bars(
+    title: str,
+    bars: Sequence[Bar],
+    *,
+    width: int = 60,
+    unit: str = "s",
+) -> str:
+    """Render stacked horizontal bars scaled to the longest total.
+
+    >>> print(stacked_bars("demo", [Bar("a", 2, 1), Bar("b", 0, 1)]))
+    ... # doctest: +SKIP
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    lines = [title, "-" * len(title)]
+    if not bars:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    longest = max(bar.total for bar in bars) or 1.0
+    label_width = max(len(bar.label) for bar in bars)
+    for bar in bars:
+        t_cells = int(round(width * bar.transfer / longest))
+        e_cells = int(round(width * bar.execution / longest))
+        # Always show at least one cell for a nonzero segment.
+        if bar.transfer > 0 and t_cells == 0:
+            t_cells = 1
+        if bar.execution > 0 and e_cells == 0:
+            e_cells = 1
+        lines.append(
+            f"{bar.label.rjust(label_width)} |"
+            f"{_TRANSFER_GLYPH * t_cells}{_EXEC_GLYPH * e_cells}"
+            f" {bar.total:,.1f}{unit}"
+        )
+    lines.append(
+        f"{'legend'.rjust(label_width)}  {_TRANSFER_GLYPH} transfer   {_EXEC_GLYPH} execution"
+    )
+    return "\n".join(lines)
+
+
+def fig6_plot(results, scale: float) -> str:
+    """Stacked-bar rendering of Figure 6 (both subplots)."""
+    from repro.experiments.fig6 import FIG6_STRATEGIES
+
+    sections = []
+    for name, result in results.items():
+        subplot = "a" if name == "als" else "b"
+        bars = [
+            Bar(
+                strategy.value,
+                result.outcomes[strategy].transfer_time,
+                result.outcomes[strategy].execution_time,
+            )
+            for strategy in FIG6_STRATEGIES
+        ]
+        sections.append(
+            stacked_bars(f"Figure 6{subplot}: {name.upper()} (scale={scale})", bars)
+        )
+    return "\n\n".join(sections)
+
+
+def fig7_plot(results, scale: float) -> str:
+    """Stacked-bar rendering of Figure 7 (both subplots)."""
+    sections = []
+    for name, result in results.items():
+        subplot = "a" if name == "als" else "b"
+        bars = [
+            Bar("data_to_compute", result.move_data.transfer_time, result.move_data.execution_time),
+            Bar("compute_to_data", result.move_compute.transfer_time, result.move_compute.execution_time),
+        ]
+        sections.append(
+            stacked_bars(f"Figure 7{subplot}: {name.upper()} (scale={scale})", bars)
+        )
+    return "\n\n".join(sections)

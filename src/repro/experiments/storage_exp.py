@@ -1,0 +1,121 @@
+"""Extension experiment: storage-tier comparison (§III-A).
+
+"Cloud offers different storage options with different performance,
+reliability, scalability and cost trade-offs. ... For our evaluation,
+we focus on local and networked disks for comparison." This experiment
+runs the ALS workload with its inputs homed on each tier:
+
+- **local** — pre-partitioned local (data on worker disks; the
+  VM-image-baked configuration),
+- **master** — pulled in real time from the master's disk through its
+  100 Mbit uplink,
+- **network storage** — pulled in real time from the shared iSCSI-style
+  tier, at several server-uplink bandwidths (the knob that decides
+  whether the shared tier helps or hurts).
+
+Runnable via ``python -m repro.experiments storage``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.framework import RunOutcome
+from repro.core.strategies import StrategyKind
+from repro.engines.simulated import SimulatedEngine
+from repro.util.tables import Table
+from repro.util.units import GB, Mbit
+from repro.workloads import als_profile
+from repro.workloads.scenarios import run_profile
+
+
+@dataclass
+class StorageCell:
+    source: str
+    outcome: RunOutcome
+
+
+def run_storage(
+    scale: float = 0.1,
+    *,
+    storage_server_bps: tuple[float, ...] = (50 * Mbit, 400 * Mbit),
+    seed: int = 0,
+) -> list[StorageCell]:
+    profile = als_profile(scale, seed=seed)
+    cells: list[StorageCell] = []
+    # Local tier: data already on the workers.
+    cells.append(
+        StorageCell(
+            source="local-disk",
+            outcome=run_profile(profile, StrategyKind.PRE_PARTITIONED_LOCAL),
+        )
+    )
+    # Master disk over the provisioned link.
+    cells.append(
+        StorageCell(
+            source="master-disk",
+            outcome=run_profile(profile, StrategyKind.REAL_TIME),
+        )
+    )
+    # Shared network storage at each server bandwidth.
+    for server_bps in storage_server_bps:
+        spec = replace(
+            profile.cluster,
+            name=f"nstore-{int(server_bps / Mbit)}",
+            network_storage_bytes=1000 * GB,
+            network_storage_bps=max(server_bps, 400 * Mbit),
+            network_storage_server_bps=server_bps,
+        )
+        engine = SimulatedEngine(spec)
+        outcome = engine.run(
+            profile.dataset,
+            compute_model=profile.compute_model,
+            command=profile.command,
+            strategy=StrategyKind.REAL_TIME,
+            grouping=profile.grouping,
+            common_files=profile.common_files,
+            data_source="network_storage",
+        )
+        cells.append(
+            StorageCell(source=f"network-storage@{int(server_bps / Mbit)}Mbit", outcome=outcome)
+        )
+    return cells
+
+
+def render_storage(cells: list[StorageCell], scale: float) -> Table:
+    table = Table(
+        f"Storage tier comparison: ALS real-time (scale={scale})",
+        ["Data source", "Transfer (s)", "Execution (s)", "Total (s)"],
+    )
+    for cell in cells:
+        table.add_row(
+            [
+                cell.source,
+                cell.outcome.transfer_time,
+                cell.outcome.execution_time,
+                cell.outcome.makespan,
+            ]
+        )
+    table.add_note(
+        "local disk is the fastest tier but 'very limited' (§III-A); a "
+        "shared tier beats the master's single uplink only when its server "
+        "bandwidth exceeds the provisioned per-node rate"
+    )
+    return table
+
+
+def shapes_hold(cells: list[StorageCell]) -> bool:
+    """Local fastest; a fast storage server beats the master uplink; a
+    slow one loses to it."""
+    by_source = {c.source: c.outcome.makespan for c in cells}
+    local = by_source.get("local-disk")
+    master = by_source.get("master-disk")
+    if local is None or master is None or local >= master:
+        return False
+    fast = [v for k, v in by_source.items() if k.startswith("network-storage@400")]
+    slow = [v for k, v in by_source.items() if k.startswith("network-storage@50")]
+    if fast and fast[0] >= master:
+        return False
+    if slow and slow[0] <= master:
+        return False
+    return all(c.outcome.all_tasks_ok for c in cells)

@@ -1,0 +1,17 @@
+"""Real (non-simulated) FRIEDA execution backends.
+
+The paper's prototype ran on Python-Twisted; the modern stdlib
+equivalent here is :mod:`asyncio` (:mod:`repro.runtime.tcp`) speaking
+the same message protocol over localhost TCP, plus a lighter threaded
+in-process engine (:mod:`repro.runtime.local`) for examples and tests.
+
+Both engines reuse the core logic — :class:`~repro.core.scheduler.
+MasterScheduler`, :class:`~repro.core.controller.ControllerLogic`,
+command templating — demonstrating the control/execution separation.
+"""
+
+from repro.runtime.local import ThreadedEngine
+from repro.runtime.protocol import read_frame, write_frame, FrameReader
+from repro.runtime.tcp import TcpEngine
+
+__all__ = ["ThreadedEngine", "TcpEngine", "read_frame", "write_frame", "FrameReader"]

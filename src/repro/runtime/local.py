@@ -1,0 +1,299 @@
+"""Threaded in-process FRIEDA engine: real programs, real files.
+
+The execution plane is a pool of worker threads pulling from the shared
+:class:`~repro.core.scheduler.MasterScheduler` (guarded by one lock —
+the scheduler is the "master"). Data management is real: under the
+remote strategies input files are *copied* into per-worker scratch
+directories (staged up front or lazily per task, per the strategy), so
+a command only ever sees paths its worker owns — exactly the worker-
+local view workers have on the testbed.
+
+Programs are either Python callables (called with the input paths) or
+shell templates (run via ``subprocess``). A callable raising or a
+command exiting non-zero is a task error, reported to the controller
+and subject to the configured retry policy / isolation threshold.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.core.commands import CommandTemplate
+from repro.core.controller import ControllerLogic
+from repro.core.fault import RetryPolicy
+from repro.core.framework import RunOutcome, TaskRecord
+from repro.core.scheduler import MasterScheduler
+from repro.core.strategies import StrategyKind
+from repro.core.worker import WorkerLogic
+from repro.data.files import DataFile, Dataset
+from repro.data.partition import PartitionScheme
+from repro.errors import ConfigurationError
+
+
+def _as_dataset(inputs: Dataset | Sequence[str]) -> Dataset:
+    if isinstance(inputs, Dataset):
+        return inputs
+    files = []
+    for path in inputs:
+        if not os.path.isfile(path):
+            raise ConfigurationError(f"input file not found: {path}")
+        files.append(
+            DataFile(name=os.path.basename(path), size=os.path.getsize(path), path=path)
+        )
+    return Dataset("inputs", files)
+
+
+@dataclass
+class _WorkerOutcome:
+    records: list[TaskRecord]
+    transfer_seconds: float
+    busy_seconds: float
+
+
+class ThreadedEngine:
+    """Real threaded master/worker execution on this machine."""
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        *,
+        scratch_root: Optional[str] = None,
+        command_timeout: float = 300.0,
+    ):
+        if num_workers < 1:
+            raise ConfigurationError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self.scratch_root = scratch_root
+        self.command_timeout = command_timeout
+
+    def run(
+        self,
+        inputs: Dataset | Sequence[str],
+        *,
+        command: CommandTemplate | Callable[..., object] | str,
+        strategy: StrategyKind | str = StrategyKind.REAL_TIME,
+        grouping: PartitionScheme | str = PartitionScheme.SINGLE,
+        grouping_options: dict | None = None,
+        retry_policy: RetryPolicy | None = None,
+        isolate_after: int = 1,
+    ) -> RunOutcome:
+        """Run a data-parallel program over real input files."""
+        if callable(command) and not isinstance(command, CommandTemplate):
+            command = CommandTemplate(function=command)
+        elif isinstance(command, str):
+            command = CommandTemplate(template=command)
+        dataset = _as_dataset(inputs)
+        controller = ControllerLogic(
+            strategy=strategy,
+            grouping=grouping,
+            grouping_options=grouping_options,
+            command=command,
+            multicore=False,
+            retry_policy=retry_policy,
+            isolate_after=isolate_after,
+        )
+        groups = controller.generate_partitions(dataset)
+        scheduler = MasterScheduler(
+            groups,
+            controller.strategy,
+            retry_policy=retry_policy,
+            fault_tracker=controller.fault_tracker,
+        )
+        lock = threading.Lock()
+        worker_ids = [f"local:{i}" for i in range(self.num_workers)]
+        for wid in worker_ids:
+            scheduler.register_worker(wid)
+        scheduler.partition_among()
+
+        started = time.monotonic()
+        with tempfile.TemporaryDirectory(dir=self.scratch_root, prefix="frieda-") as root:
+            logics = {
+                wid: WorkerLogic(
+                    wid, "localhost", command, scratch_dir=os.path.join(root, wid.replace(":", "_"))
+                )
+                for wid in worker_ids
+            }
+            for logic in logics.values():
+                os.makedirs(logic.scratch_dir, exist_ok=True)
+
+            stage_seconds = 0.0
+            if controller.strategy.staged_before_execution or controller.strategy.data_local_to_workers:
+                t0 = time.monotonic()
+                self._stage_all(controller, scheduler, logics, dataset)
+                stage_seconds = time.monotonic() - t0
+
+            outcomes: dict[str, _WorkerOutcome] = {}
+            threads = [
+                threading.Thread(
+                    target=self._worker_main,
+                    args=(logics[wid], scheduler, controller, lock, dataset, outcomes),
+                    name=f"frieda-{wid}",
+                    daemon=True,
+                )
+                for wid in worker_ids
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        makespan = time.monotonic() - started
+        records = [r for o in outcomes.values() for r in o.records]
+        records.sort(key=lambda r: (r.start, r.task_id))
+        summary = scheduler.summary()
+        lazy_transfer = sum(o.transfer_seconds for o in outcomes.values())
+        return RunOutcome(
+            strategy=controller.strategy.kind,
+            grouping=controller.grouping,
+            makespan=makespan,
+            transfer_time=stage_seconds + lazy_transfer,
+            execution_time=sum(o.busy_seconds for o in outcomes.values()),
+            tasks_total=summary["total"],
+            tasks_completed=summary["completed"],
+            tasks_failed=summary["failed"],
+            tasks_lost=summary["lost"],
+            bytes_transferred=float(
+                sum(g.total_size for g in groups)
+                if not controller.strategy.data_local_to_workers
+                else 0
+            ),
+            task_records=records,
+            worker_busy={wid: o.busy_seconds for wid, o in outcomes.items()},
+            controller_events=list(controller.events),
+        )
+
+    # -- data management -----------------------------------------------------
+    def _stage_all(
+        self,
+        controller: ControllerLogic,
+        scheduler: MasterScheduler,
+        logics: dict[str, WorkerLogic],
+        dataset: Dataset,
+    ) -> None:
+        """Up-front staging: copy each worker's data into its scratch.
+
+        ``replicate_all`` (common-data mode) copies everything to every
+        worker; otherwise each worker receives its planned chunk.
+        ``data_local_to_workers`` marks files as resident without
+        copying (the VM-image-baked case): workers use original paths.
+        """
+        strategy = controller.strategy
+        for wid, logic in logics.items():
+            if strategy.data_local_to_workers:
+                for file in dataset:
+                    logic.receive_file(file.name)
+                    if file.path is not None:
+                        logic.path_overrides[file.name] = file.path
+                continue
+            wanted: list[DataFile] = []
+            if strategy.replicate_all:
+                wanted = list(dataset)
+            else:
+                for group in scheduler.planned_chunk(wid):
+                    wanted.extend(group.files)
+            for file in wanted:
+                self._copy_to_worker(file, logic)
+
+    def _copy_to_worker(self, file: DataFile, logic: WorkerLogic) -> None:
+        if logic.worker_id and file.name in logic.local_files:
+            return
+        if file.path is None:
+            raise ConfigurationError(
+                f"file {file.name!r} has no real path; the threaded engine "
+                "needs on-disk inputs"
+            )
+        shutil.copy2(file.path, os.path.join(logic.scratch_dir, file.name))
+        logic.receive_file(file.name)
+
+    # -- worker thread ----------------------------------------------------------
+    def _worker_main(
+        self,
+        logic: WorkerLogic,
+        scheduler: MasterScheduler,
+        controller: ControllerLogic,
+        lock: threading.Lock,
+        dataset: Dataset,
+        outcomes: dict[str, _WorkerOutcome],
+    ) -> None:
+        records: list[TaskRecord] = []
+        transfer_seconds = 0.0
+        busy_seconds = 0.0
+        retry = scheduler.retry_policy
+        while True:
+            with lock:
+                if scheduler.done:
+                    break
+                assignment = scheduler.next_for(logic.worker_id)
+            if assignment is None:
+                if retry.retry_on_worker_loss or retry.retry_on_task_error:
+                    with lock:
+                        if scheduler.done:
+                            break
+                    time.sleep(0.01)
+                    continue
+                break
+            group = assignment.group
+            # Lazy staging (real-time): copy missing inputs now.
+            missing = logic.missing_files(group.file_names)
+            if missing and not controller.strategy.data_local_to_workers:
+                t0 = time.monotonic()
+                for file in group.files:
+                    if file.name in missing:
+                        self._copy_to_worker(file, logic)
+                transfer_seconds += time.monotonic() - t0
+            start = time.monotonic()
+            execution = logic.begin_task(group.index, group.file_names, start)
+            ok, error = self._execute(logic, group.file_names)
+            end = time.monotonic()
+            logic.finish_task(end, ok=ok, error=error)
+            busy_seconds += end - start
+            with lock:
+                if ok:
+                    scheduler.report_success(logic.worker_id, group.index)
+                else:
+                    controller.on_worker_error(logic.worker_id, error)
+                    scheduler.report_error(logic.worker_id, group.index, error)
+            records.append(
+                TaskRecord(
+                    task_id=group.index,
+                    worker_id=logic.worker_id,
+                    node_id="localhost",
+                    start=start,
+                    end=end,
+                    ok=ok,
+                    attempt=assignment.attempt,
+                    error=error,
+                )
+            )
+        outcomes[logic.worker_id] = _WorkerOutcome(records, transfer_seconds, busy_seconds)
+
+    def _execute(self, logic: WorkerLogic, file_names: Sequence[str]) -> tuple[bool, str]:
+        paths = [logic.resolve_path(n) for n in file_names]
+        command = logic.command
+        try:
+            if command is not None and command.function is not None:
+                command.call(paths)
+                return True, ""
+            rendered = command.build(paths) if command is not None else ""
+            if not rendered:
+                return True, ""
+            proc = subprocess.run(
+                rendered,
+                shell=True,
+                capture_output=True,
+                timeout=self.command_timeout,
+                text=True,
+            )
+            if proc.returncode != 0:
+                return False, (proc.stderr or f"exit code {proc.returncode}").strip()[:500]
+            return True, ""
+        except subprocess.TimeoutExpired:
+            return False, f"command timed out after {self.command_timeout}s"
+        except Exception as exc:  # task errors must not kill the worker
+            return False, f"{type(exc).__name__}: {exc}"

@@ -1,0 +1,97 @@
+"""Wire protocol for the TCP runtime.
+
+Frames are length-prefixed: a 4-byte big-endian length followed by the
+JSON-encoded message (see :mod:`repro.core.messages`). A ``FILE_DATA``
+message whose ``payload_len`` is nonzero is immediately followed by
+exactly ``payload_len`` raw bytes (the file contents) — binary payloads
+never pass through JSON.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Optional
+
+from repro.core.messages import FileData, Message, decode_message, encode_message
+from repro.errors import ProtocolError
+
+#: Frames above this size are rejected (corrupt length prefix guard).
+MAX_FRAME = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+def write_frame(writer: asyncio.StreamWriter, message: Message, payload: bytes = b"") -> None:
+    """Queue one message (and its optional binary payload) on a writer."""
+    if payload and not isinstance(message, FileData):
+        raise ProtocolError("binary payloads are only valid after FILE_DATA")
+    if isinstance(message, FileData) and message.payload_len != len(payload):
+        raise ProtocolError(
+            f"FILE_DATA payload_len={message.payload_len} but payload is {len(payload)} bytes"
+        )
+    body = encode_message(message)
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(f"frame too large: {len(body)} bytes")
+    writer.write(_LEN.pack(len(body)))
+    writer.write(body)
+    if payload:
+        writer.write(payload)
+
+
+async def read_frame(reader: asyncio.StreamReader) -> tuple[Message, bytes]:
+    """Read one message (+ payload if FILE_DATA); raises on EOF/corruption."""
+    header = await reader.readexactly(_LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame length {length} exceeds maximum")
+    body = await reader.readexactly(length)
+    message = decode_message(body)
+    payload = b""
+    if isinstance(message, FileData) and message.payload_len > 0:
+        if message.payload_len > MAX_FRAME:
+            raise ProtocolError(f"payload length {message.payload_len} exceeds maximum")
+        payload = await reader.readexactly(message.payload_len)
+    return message, payload
+
+
+class FrameReader:
+    """Synchronous incremental frame decoder (for tests and non-asyncio use).
+
+    Feed bytes with :meth:`feed`; completed ``(message, payload)``
+    pairs come back from :meth:`pop`.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._frames: list[tuple[Message, bytes]] = []
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+        while True:
+            if len(self._buffer) < _LEN.size:
+                return
+            (length,) = _LEN.unpack(self._buffer[: _LEN.size])
+            if length > MAX_FRAME:
+                raise ProtocolError(f"frame length {length} exceeds maximum")
+            if len(self._buffer) < _LEN.size + length:
+                return
+            body = bytes(self._buffer[_LEN.size : _LEN.size + length])
+            message = decode_message(body)
+            need = 0
+            if isinstance(message, FileData):
+                need = message.payload_len
+            total = _LEN.size + length + need
+            if len(self._buffer) < total:
+                return
+            payload = bytes(self._buffer[_LEN.size + length : total])
+            del self._buffer[:total]
+            self._frames.append((message, payload))
+
+    def pop(self) -> Optional[tuple[Message, bytes]]:
+        if self._frames:
+            return self._frames.pop(0)
+        return None
+
+    def __len__(self) -> int:
+        return len(self._frames)

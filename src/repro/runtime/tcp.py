@@ -1,0 +1,396 @@
+"""asyncio TCP master/worker runtime — the Twisted-prototype equivalent.
+
+One process hosts the whole virtual deployment on localhost: the master
+is an asyncio TCP server, each worker an asyncio client task. The wire
+protocol is :mod:`repro.runtime.protocol` (length-prefixed JSON +
+binary file payloads), exercising the exact message sequence of Fig 4:
+
+    worker  → REGISTER_WORKER
+    master  → CONNECTION_ACK
+    (staged strategies: master pushes the worker's chunk as FILE_DATA)
+    worker  → REQUEST_DATA
+    master  → FILE_METADATA [+ FILE_DATA per missing file]  |  NO_MORE_DATA
+    worker  → EXEC_STATUS
+    ... repeat ...
+
+A worker disconnecting mid-run is treated as a failed worker: the
+master reports it to the controller, isolates it, and (only with the
+retry extension) requeues its tasks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import tempfile
+import time
+from typing import Callable, Optional, Sequence
+
+from repro.core.commands import CommandTemplate
+from repro.core.controller import ControllerLogic
+from repro.core.fault import RetryPolicy
+from repro.core.framework import RunOutcome, TaskRecord
+from repro.core.messages import (
+    ConnectionAck,
+    ExecStatus,
+    FileData,
+    FileMetadata,
+    Message,
+    NoMoreData,
+    RegisterWorker,
+    RequestData,
+    WorkerFailed,
+)
+from repro.core.scheduler import MasterScheduler
+from repro.core.strategies import StrategyKind
+from repro.core.worker import WorkerLogic
+from repro.data.files import Dataset
+from repro.data.partition import PartitionScheme
+from repro.errors import ConfigurationError, ProtocolError
+from repro.runtime.local import _as_dataset
+from repro.runtime.protocol import read_frame, write_frame
+
+
+class TcpEngine:
+    """Master/worker FRIEDA over localhost TCP."""
+
+    def __init__(
+        self,
+        num_workers: int = 2,
+        *,
+        scratch_root: Optional[str] = None,
+        run_timeout: float = 120.0,
+        host: str = "127.0.0.1",
+    ):
+        if num_workers < 1:
+            raise ConfigurationError("num_workers must be >= 1")
+        self.num_workers = num_workers
+        self.scratch_root = scratch_root
+        self.run_timeout = run_timeout
+        self.host = host
+
+    def run(
+        self,
+        inputs: Dataset | Sequence[str],
+        *,
+        command: CommandTemplate | Callable[..., object],
+        strategy: StrategyKind | str = StrategyKind.REAL_TIME,
+        grouping: PartitionScheme | str = PartitionScheme.SINGLE,
+        grouping_options: dict | None = None,
+        retry_policy: RetryPolicy | None = None,
+        isolate_after: int = 1,
+        crash_worker_on_task: dict[str, int] | None = None,
+    ) -> RunOutcome:
+        """Run the workload over TCP; returns a :class:`RunOutcome`.
+
+        ``crash_worker_on_task`` (testing hook) maps a worker id to a
+        task id; that worker drops its connection when it receives the
+        task — simulating a VM failure.
+        """
+        if callable(command) and not isinstance(command, CommandTemplate):
+            command = CommandTemplate(function=command)
+        dataset = _as_dataset(inputs)
+        return asyncio.run(
+            asyncio.wait_for(
+                self._run_async(
+                    dataset,
+                    command,
+                    strategy,
+                    grouping,
+                    grouping_options or {},
+                    retry_policy,
+                    isolate_after,
+                    crash_worker_on_task or {},
+                ),
+                timeout=self.run_timeout,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    async def _run_async(
+        self,
+        dataset: Dataset,
+        command: CommandTemplate,
+        strategy: StrategyKind | str,
+        grouping: PartitionScheme | str,
+        grouping_options: dict,
+        retry_policy: RetryPolicy | None,
+        isolate_after: int,
+        crash_map: dict[str, int],
+    ) -> RunOutcome:
+        controller = ControllerLogic(
+            strategy=strategy,
+            grouping=grouping,
+            grouping_options=grouping_options,
+            command=command,
+            multicore=False,
+            retry_policy=retry_policy,
+            isolate_after=isolate_after,
+        )
+        groups = controller.generate_partitions(dataset)
+        scheduler = MasterScheduler(
+            groups,
+            controller.strategy,
+            retry_policy=retry_policy,
+            fault_tracker=controller.fault_tracker,
+        )
+        worker_ids = [f"tcp:{i}" for i in range(self.num_workers)]
+        master = _Master(controller, scheduler, dataset, worker_ids)
+        server = await asyncio.start_server(master.handle_client, self.host, 0)
+        port = server.sockets[0].getsockname()[1]
+        started = time.monotonic()
+        records: list[TaskRecord] = []
+        with tempfile.TemporaryDirectory(dir=self.scratch_root, prefix="frieda-tcp-") as root:
+            workers = [
+                asyncio.create_task(
+                    _worker_client(
+                        wid,
+                        self.host,
+                        port,
+                        command,
+                        os.path.join(root, wid.replace(":", "_")),
+                        records,
+                        crash_on_task=crash_map.get(wid),
+                    )
+                )
+                for wid in worker_ids
+            ]
+            await asyncio.gather(*workers, return_exceptions=False)
+            server.close()
+            await server.wait_closed()
+        makespan = time.monotonic() - started
+        summary = scheduler.summary()
+        records.sort(key=lambda r: (r.start, r.task_id))
+        return RunOutcome(
+            strategy=controller.strategy.kind,
+            grouping=controller.grouping,
+            makespan=makespan,
+            transfer_time=master.transfer_seconds,
+            execution_time=sum(r.duration for r in records if r.ok),
+            tasks_total=summary["total"],
+            tasks_completed=summary["completed"],
+            tasks_failed=summary["failed"],
+            tasks_lost=summary["lost"],
+            bytes_transferred=float(master.bytes_sent),
+            task_records=records,
+            worker_busy={},
+            controller_events=list(controller.events),
+        )
+
+
+class _Master:
+    """Server-side state: one instance per run."""
+
+    def __init__(
+        self,
+        controller: ControllerLogic,
+        scheduler: MasterScheduler,
+        dataset: Dataset,
+        expected_workers: list[str],
+    ):
+        self.controller = controller
+        self.scheduler = scheduler
+        self.dataset = dataset
+        self.expected = set(expected_workers)
+        self.registered: set[str] = set()
+        self.sent_files: dict[str, set[str]] = {}
+        self.bytes_sent = 0
+        self.transfer_seconds = 0.0
+        self.all_registered = asyncio.Event()
+        self._partitioned = False
+
+    def _file_bytes(self, name: str) -> bytes:
+        file = self.dataset.get(name)
+        if file.path is None:
+            raise ConfigurationError(f"file {name!r} has no on-disk path")
+        with open(file.path, "rb") as fh:
+            return fh.read()
+
+    async def _send_file(self, writer: asyncio.StreamWriter, wid: str, name: str, task_id: int) -> None:
+        payload = self._file_bytes(name)
+        t0 = time.monotonic()
+        write_frame(
+            writer,
+            FileData(task_id=task_id, file_name=name, payload_len=len(payload)),
+            payload,
+        )
+        await writer.drain()
+        self.transfer_seconds += time.monotonic() - t0
+        self.bytes_sent += len(payload)
+        self.sent_files.setdefault(wid, set()).add(name)
+
+    async def handle_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        wid = ""
+        try:
+            message, _ = await read_frame(reader)
+            if not isinstance(message, RegisterWorker):
+                raise ProtocolError(f"expected REGISTER_WORKER, got {message.msg_type}")
+            wid = message.worker_id
+            self.scheduler.register_worker(wid)
+            self.registered.add(wid)
+            write_frame(writer, ConnectionAck(worker_id=wid, accepted=True))
+            await writer.drain()
+            if self.registered >= self.expected:
+                self.all_registered.set()
+            # Static strategies: partition once everyone is connected,
+            # then push this worker its chunk (the staging phase).
+            await self.all_registered.wait()
+            if not self._partitioned:
+                self._partitioned = True
+                self.scheduler.partition_among(sorted(self.registered))
+            if self.controller.strategy.staged_before_execution:
+                names_needed: list[str] = []
+                if self.controller.strategy.replicate_all:
+                    names_needed = [f.name for f in self.dataset]
+                else:
+                    for group in self.scheduler.planned_chunk(wid):
+                        names_needed.extend(group.file_names)
+                for name in dict.fromkeys(names_needed):
+                    if name not in self.sent_files.get(wid, set()):
+                        await self._send_file(writer, wid, name, task_id=-1)
+            await self._serve(wid, reader, writer)
+        except (asyncio.IncompleteReadError, ConnectionResetError, BrokenPipeError):
+            if wid:
+                requeued = self.scheduler.worker_lost(wid, "connection lost")
+                self.controller.on_worker_failed(
+                    WorkerFailed(
+                        worker_id=wid,
+                        node_id=wid,
+                        error="connection lost",
+                        tasks_in_flight=tuple(a.task_id for a in requeued),
+                    )
+                )
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _serve(self, wid: str, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        while True:
+            message, _ = await read_frame(reader)
+            if isinstance(message, RequestData):
+                assignment = self.scheduler.next_for(wid)
+                if assignment is None:
+                    write_frame(writer, NoMoreData(worker_id=wid))
+                    await writer.drain()
+                    return
+                group = assignment.group
+                already = self.sent_files.get(wid, set())
+                missing = [n for n in group.file_names if n not in already]
+                write_frame(
+                    writer,
+                    FileMetadata(
+                        task_id=group.index,
+                        file_names=group.file_names,
+                        sizes=tuple(f.size for f in group.files),
+                        transfer_required=bool(missing),
+                    ),
+                )
+                await writer.drain()
+                for name in missing:
+                    await self._send_file(writer, wid, name, task_id=group.index)
+            elif isinstance(message, ExecStatus):
+                if message.ok:
+                    self.scheduler.report_success(wid, message.task_id)
+                else:
+                    self.controller.on_worker_error(wid, message.error)
+                    self.scheduler.report_error(wid, message.task_id, message.error)
+            else:
+                raise ProtocolError(f"unexpected message from worker: {message.msg_type}")
+
+
+async def _worker_client(
+    wid: str,
+    host: str,
+    port: int,
+    command: CommandTemplate,
+    scratch_dir: str,
+    records: list[TaskRecord],
+    *,
+    crash_on_task: Optional[int] = None,
+) -> None:
+    """One worker: register, then the request/execute/report loop."""
+    os.makedirs(scratch_dir, exist_ok=True)
+    logic = WorkerLogic(wid, wid, command, scratch_dir=scratch_dir)
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        write_frame(writer, RegisterWorker(worker_id=wid, node_id=wid, cores=1))
+        await writer.drain()
+        ack, _ = await read_frame(reader)
+        if not isinstance(ack, ConnectionAck) or not ack.accepted:
+            raise ProtocolError(f"registration rejected for {wid}")
+        loop = asyncio.get_running_loop()
+        requested = False
+        while True:
+            if not requested:
+                write_frame(writer, RequestData(worker_id=wid))
+                await writer.drain()
+                requested = True
+            message, payload = await read_frame(reader)
+            if isinstance(message, NoMoreData):
+                return
+            if isinstance(message, FileData):
+                # Unsolicited staging push — store it; the outstanding
+                # REQUEST_DATA is still pending, so don't re-request.
+                if crash_on_task is not None and message.task_id == crash_on_task:
+                    writer.close()
+                    return
+                with open(os.path.join(scratch_dir, message.file_name), "wb") as fh:
+                    fh.write(payload)
+                logic.receive_file(message.file_name)
+                continue
+            if not isinstance(message, FileMetadata):
+                raise ProtocolError(f"unexpected message at worker: {message.msg_type}")
+            if crash_on_task is not None and message.task_id == crash_on_task:
+                writer.close()
+                return
+            # Wait until every input for this task has arrived.
+            while logic.missing_files(message.file_names):
+                data_msg, payload = await read_frame(reader)
+                if not isinstance(data_msg, FileData):
+                    raise ProtocolError("expected FILE_DATA for missing inputs")
+                with open(os.path.join(scratch_dir, data_msg.file_name), "wb") as fh:
+                    fh.write(payload)
+                logic.receive_file(data_msg.file_name)
+            start = time.monotonic()
+            logic.begin_task(message.task_id, message.file_names, start)
+            paths = [logic.resolve_path(n) for n in message.file_names]
+            ok, error = True, ""
+            try:
+                # Run the program off the event loop.
+                await loop.run_in_executor(None, lambda: command.call(paths))
+            except Exception as exc:
+                ok, error = False, f"{type(exc).__name__}: {exc}"
+            end = time.monotonic()
+            logic.finish_task(end, ok=ok, error=error)
+            records.append(
+                TaskRecord(
+                    task_id=message.task_id,
+                    worker_id=wid,
+                    node_id=wid,
+                    start=start,
+                    end=end,
+                    ok=ok,
+                    error=error,
+                )
+            )
+            write_frame(
+                writer,
+                ExecStatus(
+                    worker_id=wid,
+                    task_id=message.task_id,
+                    ok=ok,
+                    duration=end - start,
+                    error=error,
+                ),
+            )
+            await writer.drain()
+            requested = False
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

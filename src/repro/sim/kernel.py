@@ -1,0 +1,452 @@
+"""Core discrete-event kernel: environment, events, processes.
+
+The design follows the classic event-list simulation architecture (and
+deliberately mirrors SimPy's public semantics so the concepts transfer):
+
+- virtual time only advances when the event heap says so; between events
+  execution is instantaneous,
+- a :class:`Process` is a Python generator that ``yield``\\ s events and
+  is resumed when they trigger,
+- events carry a value or an exception; an exception delivered to a
+  process is raised at the ``yield`` site,
+- :meth:`Process.interrupt` injects an :class:`Interrupt` exception into
+  a process *now* — this is how VM failures preempt running tasks.
+
+Determinism: ties in time are broken by (priority, sequence number), so
+two runs with the same seeds replay identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+#: Scheduling priorities — URGENT beats NORMAL at equal timestamps.
+URGENT = 0
+NORMAL = 1
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence with a value and callbacks.
+
+    Life-cycle: *pending* → *triggered* (scheduled on the heap) →
+    *processed* (callbacks ran). An event triggers at most once; calling
+    :meth:`succeed`/:meth:`fail` twice raises :class:`SimulationError`.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_scheduled")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        #: Callables invoked with this event when it is processed.
+        #: ``None`` once processed (catches late subscription bugs).
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+        self._scheduled = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is (or was) on the heap."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded. Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception it failed with)."""
+        if self._value is _PENDING:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception propagates out of :meth:`Environment.run` unless a
+        process (or :meth:`defused`) handles it.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self._value is not _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Mirror another (triggered) event's outcome onto this one."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so run() does not re-raise it."""
+        self._defused = True
+
+    def __repr__(self) -> str:
+        state = (
+            "pending"
+            if not self.triggered
+            else ("ok" if self._ok else f"failed({self._value!r})")
+        )
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class _Initialize(Event):
+    """Kick-starts a freshly created process (internal)."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self, URGENT, 0.0)
+
+
+class Interrupt(Exception):
+    """Raised inside a process when :meth:`Process.interrupt` is called.
+
+    ``cause`` carries arbitrary context (e.g. the failing VM).
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class _Interruption(Event):
+    """Delivery vehicle for an interrupt (internal, URGENT priority)."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process", cause: Any):
+        super().__init__(process.env)
+        self.process = process
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        if process.triggered:
+            raise SimulationError("cannot interrupt a terminated process")
+        self.callbacks.append(self._deliver)
+        self.env._schedule(self, URGENT, 0.0)
+
+    def _deliver(self, event: "Event") -> None:
+        process = self.process
+        if process.triggered:  # terminated between schedule and delivery
+            return
+        # Unsubscribe from whatever the process was waiting on.
+        target = process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(process._resume)
+            except ValueError:
+                pass
+        process._target = None
+        process._resume(self)
+
+
+class Process(Event):
+    """A running coroutine. Also an event: triggers when the coroutine ends.
+
+    The process's value is the generator's ``return`` value; if the
+    generator raises, the process fails with that exception.
+    """
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: str | None = None,
+    ):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process() needs a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        _Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the coroutine has not finished."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process as soon as possible."""
+        _Interruption(self, cause)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self.generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self.generator.throw(event._value)
+            except StopIteration as stop:
+                self.env._active_process = None
+                self._ok = True
+                self._value = stop.value
+                self.env._schedule(self, NORMAL, 0.0)
+                return
+            except BaseException as exc:
+                self.env._active_process = None
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self, NORMAL, 0.0)
+                return
+
+            if not isinstance(next_event, Event):
+                exc = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                self.env._active_process = None
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self, NORMAL, 0.0)
+                return
+
+            if next_event.callbacks is not None:
+                # Event still pending (or triggered but unprocessed):
+                # subscribe and go to sleep.
+                self._target = next_event
+                next_event.callbacks.append(self._resume)
+                self.env._active_process = None
+                return
+            # Event already processed — feed its outcome straight back in.
+            event = next_event
+
+    def __repr__(self) -> str:
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("condition mixes events from different envs")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+            if self.triggered:
+                break
+
+    def _collect(self) -> dict[Event, Any]:
+        # Only *processed* events count as having happened: a Timeout is
+        # born with its value set (triggered) but hasn't occurred until
+        # its scheduled instant passes.
+        return {ev: ev._value for ev in self.events if ev.processed}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Triggers when all child events have triggered (fails fast on failure)."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Triggers when the first child event triggers."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation event loop with virtual time.
+
+    ``initial_time`` sets the clock origin; :meth:`run` drives the loop
+    until the heap empties, a deadline passes, or a given event triggers.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self._active_process: Optional[Process] = None
+        #: Optional callables invoked as ``tracer(env, event)`` right
+        #: before each event's callbacks run (used by Monitor).
+        self.tracers: list[Callable[["Environment", Event], None]] = []
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    # -- event factories -------------------------------------------------
+    def event(self) -> Event:
+        """Create a pending event the caller triggers manually."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event triggering ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str | None = None
+    ) -> Process:
+        """Start a coroutine process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that triggers when every event in ``events`` has."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that triggers when the first of ``events`` does."""
+        return AnyOf(self, events)
+
+    # -- scheduling/loop --------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} scheduled twice")
+        event._scheduled = True
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, next(self._seq), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next event, or +inf if the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event heap")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - guarded by schedule API
+            raise SimulationError("time went backwards")
+        self._now = when
+        for tracer in self.tracers:
+            tracer(self, event)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # Nothing handled the failure: surface it to the driver.
+            raise event._value
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the heap empties, time ``until`` passes, or event fires.
+
+        Returns the event's value when ``until`` is an event.
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                if stop_event.ok:
+                    return stop_event.value
+                raise stop_event.value
+            sentinel = {"hit": False}
+
+            def _mark(_ev: Event) -> None:
+                sentinel["hit"] = True
+
+            stop_event.callbacks.append(_mark)
+            while self._heap and not sentinel["hit"]:
+                self.step()
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run(until=event) exhausted the heap before the event fired"
+                )
+            if stop_event.ok:
+                return stop_event.value
+            stop_event.defuse()
+            raise stop_event.value
+
+        deadline = float("inf") if until is None else float(until)
+        if deadline != float("inf") and deadline < self._now:
+            raise SimulationError(f"run(until={until}) is in the past (now={self._now})")
+        while self._heap and self.peek() <= deadline:
+            self.step()
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

@@ -1,0 +1,108 @@
+"""Instrumentation for simulations.
+
+:class:`Monitor` collects named time-series samples and interval
+records; the simulated FRIEDA engine uses it to produce the
+transfer-vs-execution decomposition that Figure 6 of the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.stats import RunningStats
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One monitored point: a (time, key, value, tags) tuple."""
+
+    time: float
+    key: str
+    value: Any
+    tags: tuple[tuple[str, Any], ...] = ()
+
+
+@dataclass
+class Interval:
+    """A labelled [start, end) interval (e.g. one task execution)."""
+
+    key: str
+    start: float
+    end: float
+    tags: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Monitor:
+    """Collects samples and intervals during a simulation run.
+
+    The monitor is deliberately passive — components call
+    :meth:`sample` / :meth:`interval`; nothing is recorded implicitly.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+        self.intervals: list[Interval] = []
+        self._stats: dict[str, RunningStats] = {}
+
+    def sample(self, time: float, key: str, value: Any, **tags: Any) -> None:
+        """Record a point sample."""
+        self.records.append(TraceRecord(time, key, value, tuple(sorted(tags.items()))))
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            self._stats.setdefault(key, RunningStats()).add(float(value))
+
+    def interval(self, key: str, start: float, end: float, **tags: Any) -> None:
+        """Record a labelled time interval."""
+        if end < start:
+            raise ValueError(f"interval end {end} before start {start}")
+        self.intervals.append(Interval(key, start, end, dict(tags)))
+
+    def stats(self, key: str) -> RunningStats:
+        """Summary statistics for a numeric sample key."""
+        return self._stats.setdefault(key, RunningStats())
+
+    def series(self, key: str) -> list[tuple[float, Any]]:
+        """All (time, value) points recorded under ``key``."""
+        return [(r.time, r.value) for r in self.records if r.key == key]
+
+    def intervals_for(self, key: str, **tags: Any) -> list[Interval]:
+        """Intervals matching ``key`` and every given tag."""
+        out = []
+        for interval in self.intervals:
+            if interval.key != key:
+                continue
+            if all(interval.tags.get(k) == v for k, v in tags.items()):
+                out.append(interval)
+        return out
+
+    def busy_time(self, key: str, **tags: Any) -> float:
+        """Total duration across matching intervals (overlaps not merged)."""
+        return sum(i.duration for i in self.intervals_for(key, **tags))
+
+    def union_time(self, key: str, **tags: Any) -> float:
+        """Duration of the union of matching intervals (overlaps merged).
+
+        This is the honest way to answer "for how long was *any*
+        transfer in flight" when flows overlap.
+        """
+        spans = sorted(
+            ((i.start, i.end) for i in self.intervals_for(key, **tags)),
+        )
+        total = 0.0
+        current_start: float | None = None
+        current_end = 0.0
+        for start, end in spans:
+            if current_start is None:
+                current_start, current_end = start, end
+            elif start <= current_end:
+                current_end = max(current_end, end)
+            else:
+                total += current_end - current_start
+                current_start, current_end = start, end
+        if current_start is not None:
+            total += current_end - current_start
+        return total

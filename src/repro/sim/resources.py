@@ -1,0 +1,275 @@
+"""Shared resources for the simulation kernel.
+
+- :class:`Resource` — counted capacity with FIFO request queue (CPU
+  cores, transfer slots).
+- :class:`Container` — continuous quantity (disk bytes).
+- :class:`Store` / :class:`FilterStore` — object queues (mailboxes; the
+  FRIEDA message channels in the simulated engine are Stores).
+
+All acquire/release operations are events, so processes compose them
+with timeouts and conditions, e.g.::
+
+    with cpu.request() as req:
+        yield req
+        yield env.timeout(task_cost)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Environment, Event
+
+
+class Request(Event):
+    """Pending acquisition of one :class:`Resource` slot.
+
+    Usable as a context manager: leaving the block releases the slot
+    (or cancels the request if it never succeeded).
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._queue.append(self)
+        resource._trigger_requests()
+
+    def cancel(self) -> None:
+        """Withdraw an un-granted request from the queue."""
+        if not self.triggered:
+            try:
+                self.resource._queue.remove(self)
+            except ValueError:
+                pass
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        if self.triggered and self.ok:
+            self.resource.release(self)
+        else:
+            self.cancel()
+
+
+class Resource:
+    """A counted resource with FIFO granting.
+
+    ``capacity`` slots; :meth:`request` returns an event that succeeds
+    when a slot is granted; :meth:`release` frees it and wakes the queue.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError(f"Resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = int(capacity)
+        self._users: set[Request] = set()
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of granted (in-use) slots."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests still waiting."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Ask for one slot; the returned event succeeds when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot."""
+        try:
+            self._users.remove(request)
+        except KeyError:
+            raise SimulationError("release() of a request that was never granted")
+        self._trigger_requests()
+
+    def _trigger_requests(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            request = self._queue.popleft()
+            self._users.add(request)
+            request.succeed()
+
+
+class Container:
+    """A continuous quantity with blocking put/get (e.g. disk bytes).
+
+    Gets block until the level covers the amount; puts block until the
+    level plus the amount fits under capacity.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ):
+        if capacity <= 0:
+            raise SimulationError("Container capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise SimulationError("Container init outside [0, capacity]")
+        self.env = env
+        self.capacity = float(capacity)
+        self._level = float(init)
+        self._getters: Deque[tuple[Event, float]] = deque()
+        self._putters: Deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; blocks while it would overflow capacity."""
+        if amount < 0:
+            raise SimulationError("Container.put of negative amount")
+        event = Event(self.env)
+        self._putters.append((event, float(amount)))
+        self._dispatch()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; blocks while the level is insufficient."""
+        if amount < 0:
+            raise SimulationError("Container.get of negative amount")
+        event = Event(self.env)
+        self._getters.append((event, float(amount)))
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    event.succeed(amount)
+                    progress = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if self._level >= amount:
+                    self._getters.popleft()
+                    self._level -= amount
+                    event.succeed(amount)
+                    progress = True
+
+
+class Store:
+    """FIFO object queue with optional capacity.
+
+    ``get`` blocks until an item is available; ``put`` blocks while the
+    store is full.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise SimulationError("Store capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> Event:
+        """Append ``item``; the event succeeds once it is stored."""
+        event = Event(self.env)
+        self._putters.append((event, item))
+        self._dispatch()
+        return event
+
+    def get(self) -> Event:
+        """Pop the oldest item; the event's value is the item."""
+        event = Event(self.env)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _match(self, getter: Event) -> bool:
+        """Try to satisfy ``getter`` from items; subclass hook."""
+        if self.items:
+            getter.succeed(self.items.pop(0))
+            return True
+        return False
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Move queued puts into storage while capacity allows.
+            while self._putters and len(self.items) < self.capacity:
+                event, item = self._putters.popleft()
+                self.items.append(item)
+                event.succeed()
+                progress = True
+            # Satisfy getters in FIFO order; stop at the first that can't
+            # be satisfied to preserve ordering fairness.
+            while self._getters:
+                getter = self._getters[0]
+                if getter.triggered:  # cancelled/triggered externally
+                    self._getters.popleft()
+                    continue
+                if not self._match(getter):
+                    break
+                self._getters.popleft()
+                progress = True
+
+
+class FilterStore(Store):
+    """A :class:`Store` whose getters take the first item matching a predicate."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        super().__init__(env, capacity)
+        # Events use __slots__, so per-getter predicates live here.
+        self._filters: dict[Event, Callable[[Any], bool]] = {}
+
+    def get(self, filter: Callable[[Any], bool] = lambda item: True) -> Event:  # type: ignore[override]
+        event = Event(self.env)
+        self._filters[event] = filter
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _match(self, getter: Event) -> bool:
+        predicate = self._filters.get(getter)
+        for index, item in enumerate(self.items):
+            if predicate is None or predicate(item):
+                self._filters.pop(getter, None)
+                getter.succeed(self.items.pop(index))
+                return True
+        return False
+
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            while self._putters and len(self.items) < self.capacity:
+                event, item = self._putters.popleft()
+                self.items.append(item)
+                event.succeed()
+                progress = True
+            # Unlike the FIFO store, any waiting getter may match any
+            # item, so scan all of them.
+            remaining: Deque[Event] = deque()
+            while self._getters:
+                getter = self._getters.popleft()
+                if getter.triggered:
+                    continue
+                if self._match(getter):
+                    progress = True
+                else:
+                    remaining.append(getter)
+            self._getters = remaining

@@ -1,0 +1,22 @@
+"""Transfer protocol models and staging plans.
+
+The prototype in the paper uses ``scp`` per file and names GridFTP as
+future work (§II-C). Here both are *models* that shape how a file
+transfer maps onto network flows: per-file handshake latency, protocol
+efficiency, single-stream caps and parallel streams.
+"""
+
+from repro.transfer.base import TransferProtocol, TransferRequest, TransferResult
+from repro.transfer.scp import ScpModel
+from repro.transfer.gridftp import GridFtpModel
+from repro.transfer.staging import StagingPlan, TransferService
+
+__all__ = [
+    "TransferProtocol",
+    "TransferRequest",
+    "TransferResult",
+    "ScpModel",
+    "GridFtpModel",
+    "StagingPlan",
+    "TransferService",
+]

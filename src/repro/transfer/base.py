@@ -1,0 +1,92 @@
+"""Transfer protocol abstraction.
+
+A protocol model answers one question for the engine: *given this file
+on this path, what flows do I start?* Three knobs cover the protocols
+the paper mentions:
+
+- ``handshake_latency`` — per-file session setup (ssh handshake for
+  scp; why transferring 1250 small files one-by-one hurts),
+- ``efficiency`` — fraction of raw link bandwidth the protocol
+  achieves (framing, encryption),
+- ``streams`` — concurrent TCP streams per transfer (1 for scp;
+  GridFTP's parallelism, which buys a larger share on congested links).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import TransferError
+
+
+@dataclass(frozen=True)
+class TransferRequest:
+    """One file to be moved along a link path."""
+
+    file_name: str
+    nbytes: int
+    path: tuple[str, ...]
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise TransferError(f"negative transfer size for {self.file_name!r}")
+        if not self.path:
+            raise TransferError(f"empty path for {self.file_name!r}")
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Completion record for one file transfer."""
+
+    file_name: str
+    nbytes: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def throughput_bps(self) -> float:
+        if self.duration <= 0:
+            return float("inf")
+        return self.nbytes * 8.0 / self.duration
+
+
+class TransferProtocol:
+    """Base protocol model. Subclasses override the class attributes."""
+
+    name: str = "raw"
+    #: Per-file session setup time (seconds).
+    handshake_latency: float = 0.0
+    #: Fraction of goodput over raw bandwidth in (0, 1].
+    efficiency: float = 1.0
+    #: Number of parallel streams a single transfer opens.
+    streams: int = 1
+    #: Hard per-stream rate cap in bits/s (None = unlimited).
+    per_stream_cap_bps: Optional[float] = None
+
+    def stream_sizes(self, nbytes: int) -> Sequence[int]:
+        """Split a file across ``streams`` flows (last stream gets the rest)."""
+        n = max(1, int(self.streams))
+        if n == 1 or nbytes == 0:
+            return [nbytes]
+        base = nbytes // n
+        sizes = [base] * n
+        sizes[-1] += nbytes - base * n
+        return sizes
+
+    def effective_bytes(self, nbytes: int) -> float:
+        """Wire bytes including protocol overhead (goodput correction)."""
+        if not 0.0 < self.efficiency <= 1.0:
+            raise TransferError(f"{self.name}: efficiency must be in (0, 1]")
+        return nbytes / self.efficiency
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} streams={self.streams} "
+            f"eff={self.efficiency} handshake={self.handshake_latency}s>"
+        )

@@ -1,0 +1,27 @@
+"""GridFTP-style parallel-stream transfer model.
+
+§II-C: *"Future work will consider other protocols including
+GridFTP."* — implemented here as an extension. GridFTP pipelines
+transfers over a persistent control channel (amortizing the handshake)
+and opens several parallel data streams, which grants a proportionally
+larger share on a congested fair-shared link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.transfer.base import TransferProtocol
+
+
+@dataclass(frozen=True, repr=False)
+class GridFtpModel(TransferProtocol):
+    """Pipelined, multi-stream GridFTP."""
+
+    name: str = "gridftp"
+    #: Pipelined session reuse: tiny per-file overhead.
+    handshake_latency: float = 0.02
+    efficiency: float = 0.97
+    streams: int = 4
+    per_stream_cap_bps: Optional[float] = None

@@ -1,0 +1,46 @@
+"""Shared utilities: units, statistics, RNG seeding and table rendering."""
+
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    Mbit,
+    Gbit,
+    bits_to_bytes,
+    bytes_to_bits,
+    format_bytes,
+    format_duration,
+    format_rate,
+    parse_size,
+)
+from repro.util.seeding import SeedSequenceFactory, derive_seed, make_rng
+from repro.util.stats import (
+    RunningStats,
+    coefficient_of_variation,
+    percentile,
+    summarize,
+)
+from repro.util.tables import Table, render_table
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "Mbit",
+    "Gbit",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "format_bytes",
+    "format_duration",
+    "format_rate",
+    "parse_size",
+    "SeedSequenceFactory",
+    "derive_seed",
+    "make_rng",
+    "RunningStats",
+    "coefficient_of_variation",
+    "percentile",
+    "summarize",
+    "Table",
+    "render_table",
+]

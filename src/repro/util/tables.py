@@ -1,0 +1,82 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints the same rows/series the paper reports;
+this module renders them as aligned monospace tables (and optionally
+CSV) with no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass
+class Table:
+    """A titled table of rows.
+
+    >>> t = Table("Demo", ["a", "b"])
+    >>> t.add_row([1, 2.5])
+    >>> print(render_table(t))  # doctest: +SKIP
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, row: Sequence[Any]) -> None:
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(row))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def to_csv(self) -> str:
+        """Render as CSV (header + rows, commas escaped naively)."""
+        out = io.StringIO()
+        out.write(",".join(_csv_cell(c) for c in self.columns) + "\n")
+        for row in self.rows:
+            out.write(",".join(_csv_cell(c) for c in row) + "\n")
+        return out.getvalue()
+
+
+def _csv_cell(value: Any) -> str:
+    text = _format_cell(value)
+    if "," in text or '"' in text:
+        text = '"' + text.replace('"', '""') + '"'
+    return text
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(table: Table) -> str:
+    """Render a :class:`Table` as aligned monospace text."""
+    header = [str(c) for c in table.columns]
+    body = [[_format_cell(cell) for cell in row] for row in table.rows]
+    widths = [len(h) for h in header]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = [table.title, "=" * len(table.title), fmt_row(header), rule]
+    lines.extend(fmt_row(row) for row in body)
+    for note in table.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Byte/bit unit helpers.
+
+The cloud substrate works internally in **bytes** for sizes and
+**bits per second** for link rates (matching how the paper quotes the
+provisioned 100 Mbps bandwidth). These helpers keep conversions explicit
+so no module silently mixes the two.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Decimal byte units (storage vendors and cloud providers use decimal).
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+#: Bit-rate units.
+Kbit = 1_000
+Mbit = 1_000_000
+Gbit = 1_000_000_000
+
+_SIZE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[KMGT]?i?B?)\s*$", re.IGNORECASE
+)
+
+_UNIT_FACTORS = {
+    "": 1,
+    "B": 1,
+    "KB": KB,
+    "MB": MB,
+    "GB": GB,
+    "TB": TB,
+    "KIB": 1024,
+    "MIB": 1024**2,
+    "GIB": 1024**3,
+    "TIB": 1024**4,
+    "K": KB,
+    "M": MB,
+    "G": GB,
+    "T": TB,
+}
+
+
+def bytes_to_bits(nbytes: float) -> float:
+    """Convert a byte count to bits."""
+    return nbytes * 8.0
+
+
+def bits_to_bytes(nbits: float) -> float:
+    """Convert a bit count to bytes."""
+    return nbits / 8.0
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human size string (``"7 MB"``, ``"1.5GiB"``) to bytes.
+
+    Integers/floats pass through unchanged (interpreted as bytes).
+
+    >>> parse_size("7 MB")
+    7000000
+    >>> parse_size(42)
+    42
+    """
+    if isinstance(text, (int, float)):
+        return int(text)
+    match = _SIZE_RE.match(text)
+    if not match:
+        raise ValueError(f"unparseable size: {text!r}")
+    unit = match.group("unit").upper()
+    if unit not in _UNIT_FACTORS:
+        raise ValueError(f"unknown size unit in {text!r}")
+    return int(float(match.group("num")) * _UNIT_FACTORS[unit])
+
+
+def format_bytes(nbytes: float) -> str:
+    """Render a byte count with a human unit.
+
+    >>> format_bytes(7_000_000)
+    '7.00 MB'
+    """
+    nbytes = float(nbytes)
+    for unit, factor in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(nbytes) >= factor:
+            return f"{nbytes / factor:.2f} {unit}"
+    return f"{nbytes:.0f} B"
+
+
+def format_rate(bits_per_second: float) -> str:
+    """Render a bit rate with a human unit.
+
+    >>> format_rate(100_000_000)
+    '100.00 Mbit/s'
+    """
+    rate = float(bits_per_second)
+    for unit, factor in (("Gbit/s", Gbit), ("Mbit/s", Mbit), ("Kbit/s", Kbit)):
+        if abs(rate) >= factor:
+            return f"{rate / factor:.2f} {unit}"
+    return f"{rate:.0f} bit/s"
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration compactly (``61200`` → ``'17h00m'``).
+
+    >>> format_duration(61200)
+    '17h00m'
+    >>> format_duration(89.5)
+    '89.5s'
+    """
+    seconds = float(seconds)
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 120:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(seconds, 60.0)
+    if minutes < 120:
+        return f"{int(minutes)}m{secs:04.1f}s"
+    hours, minutes = divmod(minutes, 60.0)
+    return f"{int(hours)}h{int(minutes):02d}m"

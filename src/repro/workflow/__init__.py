@@ -1,0 +1,21 @@
+"""Workflow integration: DAGs of FRIEDA data-parallel stages.
+
+§VI of the paper: *"FRIEDA supports only data-parallel tasks. However,
+it is possible for a higher-level workflow engine to interact with
+FRIEDA to control parts or all of its workflow execution."* This
+package is that higher-level engine: a :class:`~repro.workflow.dag.
+WorkflowGraph` of stages, each stage a FRIEDA run (its own command,
+grouping, and data-management strategy), with stage outputs feeding
+downstream stage inputs.
+"""
+
+from repro.workflow.dag import Stage, WorkflowGraph
+from repro.workflow.engine import StageResult, WorkflowEngine, WorkflowResult
+
+__all__ = [
+    "Stage",
+    "WorkflowGraph",
+    "StageResult",
+    "WorkflowEngine",
+    "WorkflowResult",
+]

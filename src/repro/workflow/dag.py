@@ -1,0 +1,130 @@
+"""Workflow DAG model.
+
+A :class:`WorkflowGraph` is a set of named :class:`Stage` definitions
+with dependency edges. Validation catches cycles, unknown dependencies
+and duplicate names at construction time; :meth:`WorkflowGraph.
+topological_order` yields a deterministic execution order (stable with
+respect to insertion order among independents).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.core.commands import CommandTemplate
+from repro.core.strategies import StrategyKind
+from repro.data.partition import PartitionScheme
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One data-parallel stage of a workflow.
+
+    ``inputs_from`` names upstream stages whose output files become
+    this stage's inputs; stages with no upstream take the workflow's
+    initial dataset. ``output_namer`` maps a task's input file names to
+    the output file name the stage produces for that task (the default
+    derives it from the first input's stem, so lineage is readable:
+    ``frame0001.npy`` → ``analyze-frame0001.out``).
+    """
+
+    name: str
+    command: CommandTemplate
+    strategy: StrategyKind = StrategyKind.REAL_TIME
+    grouping: PartitionScheme = PartitionScheme.SINGLE
+    grouping_options: dict = field(default_factory=dict)
+    inputs_from: tuple[str, ...] = ()
+    output_namer: Optional[Callable[[Sequence[str]], str]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise ConfigurationError(f"invalid stage name {self.name!r}")
+
+    def output_name(self, input_names: Sequence[str]) -> str:
+        if self.output_namer is not None:
+            return self.output_namer(input_names)
+        if not input_names:
+            raise ConfigurationError("output_name needs at least one input")
+        stem = input_names[0].rsplit("/", 1)[-1].rsplit(".", 1)[0]
+        return f"{self.name}-{stem}.out"
+
+
+class WorkflowGraph:
+    """A validated DAG of stages."""
+
+    def __init__(self, stages: Sequence[Stage] = ()):
+        self._stages: dict[str, Stage] = {}
+        for stage in stages:
+            self.add(stage)
+
+    def add(self, stage: Stage) -> "WorkflowGraph":
+        if stage.name in self._stages:
+            raise ConfigurationError(f"duplicate stage {stage.name!r}")
+        self._stages[stage.name] = stage
+        return self
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._stages
+
+    def stage(self, name: str) -> Stage:
+        try:
+            return self._stages[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown stage {name!r}") from None
+
+    @property
+    def stages(self) -> tuple[Stage, ...]:
+        return tuple(self._stages.values())
+
+    def validate(self) -> None:
+        """Check edges resolve and the graph is acyclic."""
+        for stage in self._stages.values():
+            for upstream in stage.inputs_from:
+                if upstream not in self._stages:
+                    raise ConfigurationError(
+                        f"stage {stage.name!r} depends on unknown stage {upstream!r}"
+                    )
+                if upstream == stage.name:
+                    raise ConfigurationError(f"stage {stage.name!r} depends on itself")
+        self.topological_order()  # raises on cycles
+
+    def roots(self) -> tuple[Stage, ...]:
+        """Stages with no upstream (consume the initial dataset)."""
+        return tuple(s for s in self._stages.values() if not s.inputs_from)
+
+    def downstream_of(self, name: str) -> tuple[Stage, ...]:
+        self.stage(name)
+        return tuple(
+            s for s in self._stages.values() if name in s.inputs_from
+        )
+
+    def topological_order(self) -> list[Stage]:
+        """Kahn's algorithm; deterministic (insertion order among ready
+        stages); raises :class:`ConfigurationError` on cycles."""
+        in_degree = {name: 0 for name in self._stages}
+        for stage in self._stages.values():
+            for upstream in stage.inputs_from:
+                if upstream not in self._stages:
+                    raise ConfigurationError(
+                        f"stage {stage.name!r} depends on unknown stage {upstream!r}"
+                    )
+                in_degree[stage.name] += 1
+        ready = [name for name, deg in in_degree.items() if deg == 0]
+        order: list[Stage] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(self._stages[name])
+            for downstream in self._stages.values():
+                if name in downstream.inputs_from:
+                    in_degree[downstream.name] -= 1
+                    if in_degree[downstream.name] == 0:
+                        ready.append(downstream.name)
+        if len(order) != len(self._stages):
+            cyclic = sorted(set(self._stages) - {s.name for s in order})
+            raise ConfigurationError(f"workflow has a cycle involving {cyclic}")
+        return order

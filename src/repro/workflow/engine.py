@@ -1,0 +1,166 @@
+"""Workflow execution: each stage is a FRIEDA run.
+
+The engine walks the DAG in topological order. For every stage it
+assembles the input file list (the workflow's initial files for root
+stages; upstream output files otherwise), runs the stage's command
+under the threaded FRIEDA runtime with the stage's own strategy and
+grouping, and materializes one output file per task in a per-stage
+directory.
+
+Output capture: callable commands' return values are written to the
+task's output file (bytes as-is, anything else via ``str``); shell
+commands receive the output path through the ``$out`` placeholder.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.framework import RunOutcome
+from repro.errors import ConfigurationError, FriedaError
+from repro.runtime.local import ThreadedEngine
+from repro.workflow.dag import Stage, WorkflowGraph
+
+
+@dataclass
+class StageResult:
+    """Outcome of one stage."""
+
+    stage: Stage
+    outcome: RunOutcome
+    output_paths: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome.tasks_failed == 0 and self.outcome.tasks_lost == 0
+
+
+@dataclass
+class WorkflowResult:
+    """Outcome of a whole workflow run."""
+
+    stage_results: dict[str, StageResult] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.stage_results.values())
+
+    def outputs_of(self, stage_name: str) -> list[str]:
+        return list(self.stage_results[stage_name].output_paths)
+
+    @property
+    def total_tasks(self) -> int:
+        return sum(r.outcome.tasks_total for r in self.stage_results.values())
+
+
+class WorkflowEngine:
+    """Executes a :class:`WorkflowGraph` over real files."""
+
+    def __init__(
+        self,
+        *,
+        num_workers: int = 4,
+        work_dir: str,
+        command_timeout: float = 300.0,
+    ):
+        if not os.path.isdir(work_dir):
+            raise ConfigurationError(f"work_dir does not exist: {work_dir}")
+        self.num_workers = num_workers
+        self.work_dir = work_dir
+        self.command_timeout = command_timeout
+
+    def run(
+        self,
+        graph: WorkflowGraph,
+        initial_inputs: Sequence[str],
+        *,
+        stop_on_failure: bool = True,
+    ) -> WorkflowResult:
+        """Run every stage; returns per-stage results.
+
+        ``stop_on_failure`` aborts downstream stages once a stage has
+        failed or lost tasks (their inputs would be incomplete).
+        """
+        graph.validate()
+        if not initial_inputs:
+            raise ConfigurationError("workflow needs initial input files")
+        for path in initial_inputs:
+            if not os.path.isfile(path):
+                raise ConfigurationError(f"initial input not found: {path}")
+        result = WorkflowResult()
+        for stage in graph.topological_order():
+            inputs = self._inputs_for(stage, initial_inputs, result)
+            if stop_on_failure and any(
+                not result.stage_results[up].ok for up in stage.inputs_from
+            ):
+                continue  # upstream failed; skip
+            stage_result = self._run_stage(stage, inputs)
+            result.stage_results[stage.name] = stage_result
+            if stop_on_failure and not stage_result.ok:
+                # Later stages that depend on this one will be skipped.
+                continue
+        return result
+
+    # ------------------------------------------------------------------
+    def _inputs_for(
+        self,
+        stage: Stage,
+        initial_inputs: Sequence[str],
+        result: WorkflowResult,
+    ) -> list[str]:
+        if not stage.inputs_from:
+            return list(initial_inputs)
+        inputs: list[str] = []
+        for upstream in stage.inputs_from:
+            if upstream not in result.stage_results:
+                raise ConfigurationError(
+                    f"stage {stage.name!r} scheduled before upstream {upstream!r}"
+                )
+            inputs.extend(result.stage_results[upstream].output_paths)
+        return sorted(inputs)
+
+    def _run_stage(self, stage: Stage, inputs: Sequence[str]) -> StageResult:
+        out_dir = os.path.join(self.work_dir, f"stage-{stage.name}")
+        os.makedirs(out_dir, exist_ok=True)
+        outputs: list[str] = []
+        command = stage.command
+        timeout = self.command_timeout
+
+        def task_program(*paths: str) -> None:
+            names = [os.path.basename(p) for p in paths]
+            out_path = os.path.join(out_dir, stage.output_name(names))
+            if command.function is not None:
+                value = command.call(list(paths))
+                payload = value if isinstance(value, bytes) else str(value).encode()
+                with open(out_path, "wb") as fh:
+                    fh.write(payload)
+            else:
+                rendered = command.build(list(paths), output_path=out_path)
+                proc = subprocess.run(
+                    rendered, shell=True, capture_output=True, timeout=timeout
+                )
+                if proc.returncode != 0:
+                    raise FriedaError(
+                        (proc.stderr or b"").decode(errors="replace")[:500]
+                        or f"exit code {proc.returncode}"
+                    )
+                if not os.path.exists(out_path):
+                    # Command chose not to use $out: record an empty
+                    # marker so downstream stages still see a file.
+                    open(out_path, "wb").close()
+            outputs.append(out_path)
+
+        engine = ThreadedEngine(
+            num_workers=self.num_workers, command_timeout=self.command_timeout
+        )
+        outcome = engine.run(
+            list(inputs),
+            command=task_program,
+            strategy=stage.strategy,
+            grouping=stage.grouping,
+            grouping_options=stage.grouping_options,
+        )
+        return StageResult(stage=stage, outcome=outcome, output_paths=sorted(set(outputs)))

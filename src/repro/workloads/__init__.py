@@ -1,0 +1,32 @@
+"""Workload profiles calibrated to the paper's evaluation (§IV-A).
+
+- :func:`als_profile` — the light-source image-analysis workload:
+  1250 images, pairwise-adjacent grouping, large files, cheap uniform
+  compute (transfer-dominated).
+- :func:`blast_profile` — the BLAST workload: 7500 query sequences
+  (batched into query files), a common database every node needs,
+  expensive highly-variable compute (compute-dominated).
+
+Both accept ``scale`` to shrink the workload proportionally for tests
+and quick runs while preserving the shape of the results.
+"""
+
+from repro.workloads.profiles import (
+    AppProfile,
+    PAPER_CLUSTER,
+    als_profile,
+    blast_profile,
+    sequential_cluster,
+)
+from repro.workloads.scenarios import run_profile, run_sequential_baseline, strategy_sweep
+
+__all__ = [
+    "AppProfile",
+    "PAPER_CLUSTER",
+    "als_profile",
+    "blast_profile",
+    "sequential_cluster",
+    "run_profile",
+    "run_sequential_baseline",
+    "strategy_sweep",
+]

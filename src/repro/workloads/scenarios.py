@@ -1,0 +1,71 @@
+"""Scenario helpers: run profiles through the simulated engine."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cloud.cluster import ClusterSpec
+from repro.core.framework import RunOutcome
+from repro.core.strategies import StrategyKind
+from repro.engines.simulated import SimulatedEngine, SimulationOptions
+from repro.workloads.profiles import AppProfile, sequential_cluster
+
+
+def run_profile(
+    profile: AppProfile,
+    strategy: StrategyKind | str,
+    *,
+    cluster: ClusterSpec | None = None,
+    options: SimulationOptions | None = None,
+    **run_kwargs,
+) -> RunOutcome:
+    """Run one profile under one strategy on its (or a given) cluster."""
+    engine = SimulatedEngine(cluster or profile.cluster, options)
+    return engine.run(
+        profile.dataset,
+        compute_model=profile.compute_model,
+        command=profile.command,
+        strategy=strategy,
+        grouping=profile.grouping,
+        grouping_options=profile.grouping_options,
+        common_files=profile.common_files,
+        **run_kwargs,
+    )
+
+
+def run_sequential_baseline(
+    profile: AppProfile,
+    *,
+    options: SimulationOptions | None = None,
+) -> RunOutcome:
+    """Table I's sequential column: one VM, one program instance,
+    data local (no distribution at all)."""
+    engine = SimulatedEngine(sequential_cluster(), options)
+    return engine.run(
+        profile.dataset,
+        compute_model=profile.compute_model,
+        command=profile.command,
+        strategy=StrategyKind.PRE_PARTITIONED_LOCAL,
+        grouping=profile.grouping,
+        grouping_options=profile.grouping_options,
+        common_files=profile.common_files,
+        multicore=False,
+    )
+
+
+def strategy_sweep(
+    profile: AppProfile,
+    strategies: Sequence[StrategyKind] = (
+        StrategyKind.PRE_PARTITIONED_LOCAL,
+        StrategyKind.PRE_PARTITIONED_REMOTE,
+        StrategyKind.REAL_TIME,
+    ),
+    *,
+    options: SimulationOptions | None = None,
+    **run_kwargs,
+) -> dict[StrategyKind, RunOutcome]:
+    """Run the profile under several strategies (Fig 6's comparison)."""
+    return {
+        strategy: run_profile(profile, strategy, options=options, **run_kwargs)
+        for strategy in strategies
+    }

@@ -1,0 +1,157 @@
+"""Trace-driven workloads: load/save experiment specs as JSON.
+
+A *trace* pins down a complete workload — every file's size, every
+task's cost, the grouping, the common files — so an experiment can be
+rerun bit-for-bit later, shared, or hand-edited. Trace schema
+(version 1):
+
+.. code-block:: json
+
+    {
+      "version": 1,
+      "name": "my-workload",
+      "grouping": "pairwise_adjacent",
+      "grouping_options": {},
+      "files": [{"name": "img0000.npy", "size": 6500000}, ...],
+      "common_files": [{"name": "db", "size": 300000000}],
+      "task_costs": [2.01, 1.87, ...]
+    }
+
+``task_costs[i]`` is the single-core cost of task group ``i`` in
+generation order; its length must match the grouping's group count.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.data.files import DataFile, Dataset
+from repro.data.partition import PartitionScheme, expected_group_count, generate_groups
+from repro.data.partition import TaskGroup
+from repro.errors import ConfigurationError
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceComputeModel:
+    """Cost model backed by an explicit per-task cost list."""
+
+    costs: tuple[float, ...]
+
+    def cost(self, group: TaskGroup) -> float:
+        try:
+            return self.costs[group.index]
+        except IndexError:
+            raise ConfigurationError(
+                f"trace has no cost for task {group.index} "
+                f"(only {len(self.costs)} entries)"
+            ) from None
+
+
+@dataclass(frozen=True)
+class TraceWorkload:
+    """A fully pinned-down workload."""
+
+    name: str
+    dataset: Dataset
+    grouping: PartitionScheme
+    grouping_options: dict
+    compute_model: TraceComputeModel
+    common_files: tuple[DataFile, ...] = ()
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.compute_model.costs)
+
+
+def save_trace(workload: TraceWorkload, path: str) -> None:
+    """Serialize a trace workload to JSON."""
+    payload = {
+        "version": _VERSION,
+        "name": workload.name,
+        "grouping": workload.grouping.value,
+        "grouping_options": dict(workload.grouping_options),
+        "files": [{"name": f.name, "size": f.size} for f in workload.dataset],
+        "common_files": [
+            {"name": f.name, "size": f.size} for f in workload.common_files
+        ],
+        "task_costs": list(workload.compute_model.costs),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_trace(path: str) -> TraceWorkload:
+    """Load and validate a trace workload from JSON."""
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            payload = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"unparseable trace {path}: {exc}") from exc
+    if payload.get("version") != _VERSION:
+        raise ConfigurationError(
+            f"trace version {payload.get('version')!r} unsupported (expected {_VERSION})"
+        )
+    try:
+        grouping = PartitionScheme(payload["grouping"])
+        files = [DataFile(f["name"], int(f["size"])) for f in payload["files"]]
+        common = tuple(
+            DataFile(f["name"], int(f["size"])) for f in payload.get("common_files", [])
+        )
+        costs = tuple(float(c) for c in payload["task_costs"])
+        name = str(payload["name"])
+        options = dict(payload.get("grouping_options", {}))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed trace {path}: {exc}") from exc
+    if any(c < 0 for c in costs):
+        raise ConfigurationError("trace task costs must be non-negative")
+    dataset = Dataset(name, files)
+    expected = expected_group_count(grouping, len(dataset), **options)
+    if expected != len(costs):
+        raise ConfigurationError(
+            f"trace has {len(costs)} task costs but grouping "
+            f"{grouping.value} over {len(dataset)} files yields {expected} tasks"
+        )
+    return TraceWorkload(
+        name=name,
+        dataset=dataset,
+        grouping=grouping,
+        grouping_options=options,
+        compute_model=TraceComputeModel(costs),
+        common_files=common,
+    )
+
+
+def trace_from_profile(profile, *, name: str | None = None) -> TraceWorkload:
+    """Pin an :class:`~repro.workloads.profiles.AppProfile` into a trace
+    (samples every stochastic task cost once, making it exact)."""
+    groups = generate_groups(profile.dataset, profile.grouping, **profile.grouping_options)
+    costs = tuple(float(profile.compute_model.cost(g)) for g in groups)
+    return TraceWorkload(
+        name=name or profile.name,
+        dataset=profile.dataset,
+        grouping=profile.grouping,
+        grouping_options=dict(profile.grouping_options),
+        compute_model=TraceComputeModel(costs),
+        common_files=tuple(profile.common_files),
+    )
+
+
+def run_trace(workload: TraceWorkload, strategy, *, cluster=None, options=None, **kw):
+    """Run a trace workload on the simulated engine."""
+    from repro.engines.simulated import SimulatedEngine
+    from repro.workloads.profiles import PAPER_CLUSTER
+
+    engine = SimulatedEngine(cluster or PAPER_CLUSTER, options)
+    return engine.run(
+        workload.dataset,
+        compute_model=workload.compute_model,
+        strategy=strategy,
+        grouping=workload.grouping,
+        grouping_options=workload.grouping_options,
+        common_files=workload.common_files,
+        **kw,
+    )

@@ -1,0 +1,118 @@
+"""Tests for Smith–Waterman with traceback and BLAST-style formatting."""
+
+import pytest
+
+from repro.apps.blast.align import smith_waterman
+from repro.apps.blast.fasta import SequenceRecord
+from repro.apps.blast.generate import synthetic_database
+from repro.apps.blast.report import tabular_report, trace_hit
+from repro.apps.blast.scoring import score_pair
+from repro.apps.blast.search import BlastDatabase, blast_search
+from repro.errors import ApplicationError
+
+
+class TestSmithWaterman:
+    def test_identity_alignment(self):
+        seq = "MKVWACDEFGHIKL"
+        result = smith_waterman(seq, seq)
+        assert result.aligned_query == seq
+        assert result.aligned_subject == seq
+        assert result.identity_fraction == 1.0
+        assert result.score == score_pair(seq, seq)
+        assert result.gaps == 0
+
+    def test_local_alignment_trims_junk(self):
+        core = "WCWHWMWFWYW"
+        query = "AAAA" + core + "GGGG"
+        subject = "PPPP" + core + "SSSS"
+        result = smith_waterman(query, subject)
+        assert core in result.aligned_query
+        assert result.query_start >= 3
+        assert result.identity_fraction > 0.9
+
+    def test_insertion_recovered_as_gap(self):
+        left = "WCWHWMWFW"
+        right = "YWHWCWPWW"
+        query = left + right
+        subject = left + "NN" + right
+        result = smith_waterman(query, subject)
+        assert "-" in result.aligned_query  # gap opposite the insertion
+        assert "-" not in result.aligned_subject
+        assert result.gaps == 2
+        # Score: full match minus gap open/extend (11 + 1 + 1).
+        assert result.score == score_pair(query, query) - 13
+
+    def test_aligned_strings_equal_length(self):
+        result = smith_waterman("MKVWACDEF", "MKVWAGHCDEF")
+        assert len(result.aligned_query) == len(result.aligned_subject)
+
+    def test_no_similarity_returns_empty(self):
+        result = smith_waterman("GGGG", "PPPP")  # G/P scores negative
+        assert result.score == 0
+        assert result.length == 0
+
+    def test_empty_inputs(self):
+        assert smith_waterman("", "MKV").score == 0
+
+    def test_negative_penalties_rejected(self):
+        with pytest.raises(ApplicationError):
+            smith_waterman("MK", "MK", gap_open=-1)
+
+    def test_coordinates_match_aligned_content(self):
+        query = "AAAAWCWHWMWFW"
+        subject = "WCWHWMWFWPPPP"
+        result = smith_waterman(query, subject)
+        q_span = query[result.query_start : result.query_end]
+        s_span = subject[result.subject_start : result.subject_end]
+        assert q_span == result.aligned_query.replace("-", "")
+        assert s_span == result.aligned_subject.replace("-", "")
+
+    def test_midline_marks_identities_and_positives(self):
+        result = smith_waterman("MKVW", "MKIW")  # V/I scores +3
+        assert result.midline[0] == "M"
+        assert result.midline[2] == "+"
+
+    def test_pretty_renders_blocks(self):
+        seq = "MKVWACDEFGHIKLMNPQRSTVWY" * 4
+        result = smith_waterman(seq, seq)
+        text = result.pretty(width=40)
+        assert "Score =" in text
+        assert "Query      1" in text
+        assert text.count("Sbjct") == 3  # 96 residues / 40 per block
+
+
+class TestReportFormatting:
+    @pytest.fixture(scope="class")
+    def search_setup(self):
+        records = synthetic_database(8, mean_length=120, seed=3)
+        database = BlastDatabase(records)
+        query = SequenceRecord("q1", "", records[2].residues[10:90])
+        hits = blast_search(query, database)
+        return query, hits, database
+
+    def test_trace_hit_full_identity_for_exact_fragment(self, search_setup):
+        query, hits, database = search_setup
+        assert hits
+        traced = trace_hit(query, hits[0], database)
+        assert traced.identity_fraction == 1.0
+
+    def test_tabular_has_12_fields(self, search_setup):
+        query, hits, database = search_setup
+        table = tabular_report(query, hits, database)
+        rows = [r for r in table.splitlines() if r]
+        assert rows
+        assert all(len(r.split("\t")) == 12 for r in rows)
+
+    def test_tabular_header_option(self, search_setup):
+        query, hits, database = search_setup
+        table = tabular_report(query, hits, database, header=True)
+        assert table.startswith("#qseqid\t")
+
+    def test_top_hit_row_content(self, search_setup):
+        query, hits, database = search_setup
+        row = tabular_report(query, hits, database).splitlines()[0].split("\t")
+        assert row[0] == "q1"
+        assert row[1] == hits[0].subject_id
+        assert float(row[2]) == pytest.approx(100.0)  # exact fragment
+        assert int(row[4]) == 0  # no mismatches
+        assert int(row[5]) == 0  # no gap opens

@@ -1,0 +1,118 @@
+"""Tests for radial-profile analysis against the generator's ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.apps.imaging.analysis import (
+    RadialProfile,
+    find_rings,
+    radial_profile,
+    ring_similarity,
+)
+from repro.apps.imaging.generate import BeamlineImageConfig, generate_image
+from repro.errors import ApplicationError
+from repro.util.seeding import make_rng
+
+
+def synthetic_ring_image(size=128, radii=(20.0, 45.0), amplitude=100.0, width=2.0):
+    """Noise-free frame with known ring radii."""
+    yy, xx = np.mgrid[0:size, 0:size].astype(np.float64)
+    c = (size - 1) / 2.0
+    r = np.hypot(xx - c, yy - c)
+    image = np.full((size, size), 5.0)
+    for r0 in radii:
+        image += amplitude * np.exp(-0.5 * ((r - r0) / width) ** 2)
+    return image
+
+
+class TestRadialProfile:
+    def test_needs_2d(self):
+        with pytest.raises(ApplicationError):
+            radial_profile(np.zeros(16))
+
+    def test_flat_image_flat_profile(self):
+        profile = radial_profile(np.full((64, 64), 7.0))
+        populated = profile.intensity[profile.intensity > 0]
+        assert np.allclose(populated, 7.0)
+
+    def test_profile_peaks_at_ring_radii(self):
+        image = synthetic_ring_image(radii=(30.0,))
+        profile = radial_profile(image)
+        peak_radius = profile.radii[int(np.argmax(profile.intensity))]
+        assert peak_radius == pytest.approx(30.0, abs=2.0)
+
+    def test_bins_parameter(self):
+        profile = radial_profile(np.ones((32, 32)), num_bins=10)
+        assert profile.radii.size == 10
+
+    def test_too_few_bins_rejected(self):
+        with pytest.raises(ApplicationError):
+            radial_profile(np.ones((32, 32)), num_bins=1)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ApplicationError):
+            RadialProfile(np.zeros(3), np.zeros(4))
+
+
+class TestFindRings:
+    def test_recovers_known_radii(self):
+        image = synthetic_ring_image(radii=(20.0, 45.0))
+        rings = find_rings(radial_profile(image), min_prominence=0.2)
+        assert len(rings) == 2
+        assert rings[0] == pytest.approx(20.0, abs=2.0)
+        assert rings[1] == pytest.approx(45.0, abs=2.0)
+
+    def test_flat_profile_no_rings(self):
+        assert find_rings(radial_profile(np.full((64, 64), 3.0))) == []
+
+    def test_separation_suppresses_twin_peaks(self):
+        image = synthetic_ring_image(radii=(30.0, 32.0))
+        rings = find_rings(
+            radial_profile(image), min_prominence=0.1, min_separation=6.0
+        )
+        assert len(rings) == 1
+
+    def test_prominence_validation(self):
+        profile = radial_profile(np.ones((32, 32)))
+        with pytest.raises(ApplicationError):
+            find_rings(profile, min_prominence=0.0)
+
+    def test_generator_rings_are_recoverable(self):
+        # The synthetic beamline generator's rings must be findable —
+        # ground-truth coupling between generator and analysis.
+        config = BeamlineImageConfig(size=256, num_peaks=0, shot_noise=False)
+        image = generate_image(config, sample_seed=5)
+        rings = find_rings(radial_profile(image), min_prominence=0.15)
+        assert len(rings) >= config.num_rings // 2  # most rings recovered
+
+
+class TestRingSimilarity:
+    def test_identical_ring_systems(self):
+        assert ring_similarity([10.0, 20.0], [10.0, 20.0]) == 1.0
+
+    def test_tolerant_matching(self):
+        assert ring_similarity([10.0, 20.0], [12.0, 18.5], tolerance=5.0) == 1.0
+
+    def test_disjoint_systems(self):
+        assert ring_similarity([10.0], [50.0], tolerance=5.0) == 0.0
+
+    def test_partial_overlap(self):
+        assert ring_similarity([10.0, 30.0], [10.0, 80.0], tolerance=2.0) == 0.5
+
+    def test_empty_cases(self):
+        assert ring_similarity([], []) == 1.0
+        assert ring_similarity([10.0], []) == 0.0
+
+    def test_each_ring_matched_once(self):
+        # One ring in A cannot consume both rings in B.
+        assert ring_similarity([10.0, 11.0], [10.5], tolerance=5.0) == 0.5
+
+    def test_same_sample_frames_share_rings(self):
+        config = BeamlineImageConfig(size=128, shot_noise=False)
+        a = generate_image(config, sample_seed=3, frame=0)
+        b = generate_image(config, sample_seed=3, frame=1)
+        c = generate_image(config, sample_seed=4, frame=0)
+        rings = lambda img: find_rings(radial_profile(img), min_prominence=0.15)
+        same = ring_similarity(rings(a), rings(b))
+        different = ring_similarity(rings(a), rings(c))
+        assert same >= different

@@ -1,0 +1,87 @@
+"""Unit tests for seed extension (ungapped X-drop + banded gapped)."""
+
+import pytest
+
+from repro.apps.blast.extend import AlignmentResult, banded_gapped_extend, ungapped_extend
+from repro.apps.blast.scoring import encode_sequence, score_pair
+from repro.errors import ApplicationError
+
+
+class TestUngappedExtend:
+    def test_perfect_match_extends_fully(self):
+        seq = encode_sequence("MKVWACDEFGHIKLMN")
+        hsp = ungapped_extend(seq, seq, 5, 5, k=3)
+        assert hsp.query_start == 0
+        assert hsp.query_end == seq.size
+        assert hsp.score == score_pair(seq, seq)
+
+    def test_seed_bounds_validated(self):
+        seq = encode_sequence("MKVW")
+        with pytest.raises(ApplicationError):
+            ungapped_extend(seq, seq, 3, 0, k=3)
+
+    def test_extension_stops_at_mismatch_region(self):
+        # Identical core, garbage tails: W-run against A-run.
+        query = encode_sequence("AAAA" + "WWWWWW" + "AAAA")
+        subject = encode_sequence("PPPP" + "WWWWWW" + "PPPP")
+        hsp = ungapped_extend(query, subject, 4, 4, k=3, x_drop=5)
+        assert hsp.query_start >= 3
+        assert hsp.query_end <= 11
+        assert hsp.score >= score_pair("WWW", "WWW")
+
+    def test_result_spans_consistent(self):
+        query = encode_sequence("MKVWACDEFG")
+        subject = encode_sequence("MKVWACDEFG")
+        hsp = ungapped_extend(query, subject, 2, 2, k=3)
+        assert hsp.query_span == hsp.subject_span  # ungapped: equal spans
+        assert not hsp.gapped
+
+    def test_offset_diagonal(self):
+        # Subject has a 2-residue prefix; seed at (0, 2).
+        query = encode_sequence("WWWWW")
+        subject = encode_sequence("AAWWWWW")
+        hsp = ungapped_extend(query, subject, 0, 2, k=3)
+        assert hsp.subject_start - hsp.query_start == 2
+
+
+class TestBandedGappedExtend:
+    def test_never_worse_than_ungapped(self):
+        query = encode_sequence("MKVWACDEFGHIKL")
+        subject = encode_sequence("MKVWACDEFGHIKL")
+        hsp = ungapped_extend(query, subject, 4, 4, k=3)
+        gapped = banded_gapped_extend(query, subject, hsp)
+        assert gapped.score >= hsp.score
+
+    def test_gap_recovers_split_alignment(self):
+        # Subject = query with a 2-residue insertion in the middle; an
+        # ungapped extension cannot bridge it, the gapped one can.
+        left = "WCWHWMWFW"
+        right = "YWHWCWPWW"
+        query = encode_sequence(left + right)
+        subject = encode_sequence(left + "AA" + right)
+        hsp = ungapped_extend(query, subject, 0, 0, k=3)
+        gapped = banded_gapped_extend(query, subject, hsp, band=6)
+        ungapped_best = max(
+            score_pair(left, left), score_pair(right, right)
+        )
+        assert gapped.score > ungapped_best
+        assert gapped.gapped
+
+    def test_band_validation(self):
+        seq = encode_sequence("MKVW")
+        hsp = AlignmentResult(10, 0, 3, 0, 3)
+        with pytest.raises(ApplicationError):
+            banded_gapped_extend(seq, seq, hsp, band=0)
+
+    def test_score_bounded_by_perfect_self_alignment(self):
+        query = encode_sequence("MKVWACDEFGHIKL")
+        hsp = ungapped_extend(query, query, 0, 0, k=3)
+        gapped = banded_gapped_extend(query, query, hsp)
+        assert gapped.score <= score_pair(query, query)
+
+    def test_empty_window_returns_input(self):
+        query = encode_sequence("MKV")
+        subject = encode_sequence("MKV")
+        hsp = AlignmentResult(5, 0, 3, 0, 3)
+        result = banded_gapped_extend(query, subject, hsp, window=0)
+        assert result.score >= 5

@@ -1,0 +1,163 @@
+"""Unit tests for the imaging application (generation + metrics + pipeline)."""
+
+import math
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.apps.imaging.generate import BeamlineImageConfig, generate_image, write_image_dataset
+from repro.apps.imaging.pipeline import compare_image_files, compare_images
+from repro.apps.imaging.similarity import (
+    histogram_intersection,
+    mean_squared_error,
+    normalized_cross_correlation,
+    psnr,
+    similarity_report,
+    ssim_global,
+)
+from repro.errors import ApplicationError
+
+CFG = BeamlineImageConfig(size=64)
+
+
+class TestGeneration:
+    def test_shape_and_dtype(self):
+        image = generate_image(CFG, sample_seed=0)
+        assert image.shape == (64, 64)
+        assert image.dtype == np.float32
+
+    def test_deterministic_per_seed_and_frame(self):
+        a = generate_image(CFG, sample_seed=1, frame=0)
+        b = generate_image(CFG, sample_seed=1, frame=0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_frames_of_same_sample_similar(self):
+        a = generate_image(CFG, sample_seed=1, frame=0)
+        b = generate_image(CFG, sample_seed=1, frame=1)
+        c = generate_image(CFG, sample_seed=2, frame=0)
+        assert normalized_cross_correlation(a, b) > normalized_cross_correlation(a, c)
+
+    def test_nonnegative_counts(self):
+        image = generate_image(CFG, sample_seed=3)
+        assert (image >= 0).all()
+
+    def test_config_validation(self):
+        with pytest.raises(ApplicationError):
+            BeamlineImageConfig(size=4)
+        with pytest.raises(ApplicationError):
+            BeamlineImageConfig(num_rings=-1)
+
+    def test_write_dataset(self, tmp_path):
+        paths = write_image_dataset(str(tmp_path), 4, config=CFG, seed=7)
+        assert len(paths) == 4
+        assert all(os.path.isfile(p) for p in paths)
+        assert np.load(paths[0]).shape == (64, 64)
+
+
+class TestMetrics:
+    @pytest.fixture
+    def pair(self):
+        a = generate_image(CFG, sample_seed=5, frame=0)
+        b = generate_image(CFG, sample_seed=5, frame=1)
+        return a, b
+
+    def test_ncc_self_is_one(self, pair):
+        a, _ = pair
+        assert normalized_cross_correlation(a, a) == pytest.approx(1.0)
+
+    def test_ncc_range(self, pair):
+        a, b = pair
+        assert -1.0 <= normalized_cross_correlation(a, b) <= 1.0
+
+    def test_ncc_constant_images(self):
+        a = np.full((8, 8), 3.0)
+        assert normalized_cross_correlation(a, a.copy()) == 1.0
+        assert normalized_cross_correlation(a, a + 1) == 0.0
+
+    def test_mse_zero_for_identical(self, pair):
+        a, _ = pair
+        assert mean_squared_error(a, a) == 0.0
+
+    def test_psnr_infinite_for_identical(self, pair):
+        a, _ = pair
+        assert math.isinf(psnr(a, a))
+
+    def test_psnr_decreases_with_noise(self, pair):
+        a, _ = pair
+        rng = np.random.default_rng(0)
+        small = a + rng.normal(0, 1, a.shape)
+        big = a + rng.normal(0, 50, a.shape)
+        assert psnr(a, small) > psnr(a, big)
+
+    def test_histogram_intersection_range(self, pair):
+        a, b = pair
+        value = histogram_intersection(a, b)
+        assert 0.0 <= value <= 1.0
+        assert histogram_intersection(a, a) == pytest.approx(1.0)
+
+    def test_histogram_bins_validated(self, pair):
+        a, b = pair
+        with pytest.raises(ApplicationError):
+            histogram_intersection(a, b, bins=1)
+
+    def test_ssim_self_is_one(self, pair):
+        a, _ = pair
+        assert ssim_global(a, a) == pytest.approx(1.0, abs=1e-6)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ApplicationError):
+            mean_squared_error(np.zeros((4, 4)), np.zeros((5, 5)))
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ApplicationError):
+            normalized_cross_correlation(np.zeros(4), np.zeros(4))
+
+    def test_report_has_all_metrics(self, pair):
+        report = similarity_report(*pair)
+        assert set(report) == {"ncc", "mse", "psnr", "hist_intersection", "ssim"}
+
+    @given(
+        arrays(np.float64, (6, 6), elements=st.floats(0, 100)),
+        arrays(np.float64, (6, 6), elements=st.floats(0, 100)),
+    )
+    @settings(max_examples=40)
+    def test_ncc_symmetric_property(self, a, b):
+        assert normalized_cross_correlation(a, b) == pytest.approx(
+            normalized_cross_correlation(b, a), abs=1e-9
+        )
+
+
+class TestPipeline:
+    def test_same_sample_judged_similar(self):
+        a = generate_image(CFG, sample_seed=9, frame=0)
+        b = generate_image(CFG, sample_seed=9, frame=1)
+        result = compare_images(a, b)
+        assert result.similar
+
+    def test_different_samples_judged_different(self):
+        a = generate_image(CFG, sample_seed=9, frame=0)
+        b = generate_image(CFG, sample_seed=10, frame=0)
+        assert not compare_images(a, b).similar
+
+    def test_file_comparison(self, tmp_path):
+        paths = write_image_dataset(str(tmp_path), 2, config=CFG, frames_per_sample=2)
+        result = compare_image_files(paths[0], paths[1])
+        assert result.similar
+        assert result.file_a == os.path.basename(paths[0])
+
+    def test_missing_file_rejected(self, tmp_path):
+        paths = write_image_dataset(str(tmp_path), 1, config=CFG)
+        with pytest.raises(ApplicationError):
+            compare_image_files(paths[0], str(tmp_path / "ghost.npy"))
+
+    def test_result_json_round_trips(self):
+        import json
+
+        a = generate_image(CFG, sample_seed=1, frame=0)
+        result = compare_images(a, a)
+        decoded = json.loads(result.to_json())
+        assert decoded["similar"] is True
+        assert decoded["ncc"] == pytest.approx(1.0)

@@ -1,0 +1,89 @@
+"""Tests for SEG-style low-complexity masking."""
+
+import numpy as np
+import pytest
+
+from repro.apps.blast.mask import (
+    SegParams,
+    low_complexity_mask,
+    mask_sequence,
+    masked_fraction,
+    window_entropy,
+)
+from repro.apps.blast.scoring import encode_sequence
+from repro.errors import ApplicationError
+
+COMPLEX = "MKVWACDEFGHILNPQRSTY"  # 20 distinct residues
+LOW = "A" * 30
+
+
+class TestWindowEntropy:
+    def test_uniform_window_max_entropy(self):
+        assert window_entropy(encode_sequence(COMPLEX)) == pytest.approx(
+            np.log2(20), abs=1e-9
+        )
+
+    def test_homopolymer_zero_entropy(self):
+        assert window_entropy(encode_sequence("AAAA")) == 0.0
+
+    def test_empty_window(self):
+        assert window_entropy(encode_sequence("")) == 0.0
+
+    def test_two_letter_alphabet(self):
+        assert window_entropy(encode_sequence("ABABABAB".replace("B", "R"))) == pytest.approx(1.0)
+
+
+class TestSegParams:
+    def test_validation(self):
+        with pytest.raises(ApplicationError):
+            SegParams(window=1)
+        with pytest.raises(ApplicationError):
+            SegParams(trigger=3.0, extend=2.0)
+
+
+class TestMasking:
+    def test_homopolymer_fully_masked(self):
+        mask = low_complexity_mask(LOW)
+        assert mask.all()
+
+    def test_complex_sequence_unmasked(self):
+        mask = low_complexity_mask(COMPLEX * 3)
+        assert not mask.any()
+
+    def test_short_sequence_unmasked(self):
+        assert not low_complexity_mask("MKV").any()
+
+    def test_embedded_run_masked_flanks_kept(self):
+        seq = COMPLEX + LOW + COMPLEX
+        masked = mask_sequence(seq)
+        assert masked.startswith(COMPLEX[:10])
+        assert masked.endswith(COMPLEX[-10:])
+        assert "X" * 20 in masked
+
+    def test_mask_preserves_length(self):
+        seq = COMPLEX + LOW
+        assert len(mask_sequence(seq)) == len(seq)
+
+    def test_masked_fraction(self):
+        assert masked_fraction(LOW) == 1.0
+        assert masked_fraction(COMPLEX * 2) == 0.0
+        assert masked_fraction("") == 0.0
+
+    def test_masked_residues_produce_no_seeds(self):
+        from repro.apps.blast.seed import neighborhood_words
+
+        masked = mask_sequence(LOW)
+        words = neighborhood_words(encode_sequence(masked), k=3, threshold=11)
+        assert words == []  # XXX scores far below the threshold
+
+    def test_masking_reduces_decoy_seeds(self):
+        from repro.apps.blast.seed import KmerIndex, find_seed_hits
+
+        index = KmerIndex(k=3)
+        index.add_sequence(encode_sequence("A" * 60))
+        query = COMPLEX + "A" * 30
+        raw = find_seed_hits(encode_sequence(query), index, threshold=11)
+        masked = find_seed_hits(
+            encode_sequence(mask_sequence(query)), index, threshold=11
+        )
+        assert len(masked) < len(raw)

@@ -1,0 +1,97 @@
+"""Unit tests for BLOSUM62 scoring and sequence encoding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.blast.scoring import (
+    AMINO_ACIDS,
+    BLOSUM62,
+    PROTEIN_ALPHABET,
+    decode_sequence,
+    encode_sequence,
+    score_pair,
+)
+from repro.errors import ApplicationError
+
+
+class TestMatrix:
+    def test_shape_and_symmetry(self):
+        assert BLOSUM62.shape == (24, 24)
+        assert np.array_equal(BLOSUM62, BLOSUM62.T)
+
+    def test_known_values(self):
+        # Spot-check canonical entries of the NCBI matrix.
+        def score(a, b):
+            return BLOSUM62[PROTEIN_ALPHABET.index(a), PROTEIN_ALPHABET.index(b)]
+
+        assert score("W", "W") == 11
+        assert score("A", "A") == 4
+        assert score("C", "C") == 9
+        assert score("A", "R") == -1
+        assert score("W", "A") == -3
+        assert score("*", "*") == 1
+        assert score("A", "*") == -4
+
+    def test_diagonal_is_maximum_per_row(self):
+        # For the 20 standard residues, identity is the best match.
+        for ch in AMINO_ACIDS:
+            i = PROTEIN_ALPHABET.index(ch)
+            assert BLOSUM62[i, i] == BLOSUM62[i, :20].max()
+
+    def test_expected_background_score_negative(self):
+        # A substitution matrix must have negative expected score.
+        sub = BLOSUM62[:20, :20].astype(float)
+        assert sub.mean() < 0
+
+
+class TestEncoding:
+    def test_round_trip(self):
+        seq = "ARNDCQEGHILKMFPSTWYV"
+        assert decode_sequence(encode_sequence(seq)) == seq
+
+    def test_lowercase_accepted(self):
+        np.testing.assert_array_equal(encode_sequence("mkv"), encode_sequence("MKV"))
+
+    def test_ambiguity_codes(self):
+        encoded = encode_sequence("BZX*")
+        assert decode_sequence(encoded) == "BZX*"
+
+    def test_u_maps_to_x(self):
+        assert decode_sequence(encode_sequence("U")) == "X"
+
+    def test_invalid_characters_rejected(self):
+        with pytest.raises(ApplicationError):
+            encode_sequence("MK1V")
+
+    def test_empty_sequence(self):
+        assert encode_sequence("").size == 0
+
+
+class TestScorePair:
+    def test_identity_scores_positive(self):
+        assert score_pair("WWW", "WWW") == 33
+
+    def test_mismatch_lengths_rejected(self):
+        with pytest.raises(ApplicationError):
+            score_pair("MK", "MKV")
+
+    def test_empty_pair_zero(self):
+        assert score_pair("", "") == 0
+
+    def test_accepts_preencoded(self):
+        a = encode_sequence("MKV")
+        assert score_pair(a, a) == score_pair("MKV", "MKV")
+
+    @given(st.text(alphabet=AMINO_ACIDS, min_size=1, max_size=50))
+    def test_self_score_is_row_maximum(self, seq):
+        other = "".join(AMINO_ACIDS[(AMINO_ACIDS.index(c) + 1) % 20] for c in seq)
+        assert score_pair(seq, seq) >= score_pair(seq, other)
+
+    @given(
+        st.text(alphabet=AMINO_ACIDS, min_size=1, max_size=50),
+        st.text(alphabet=AMINO_ACIDS, min_size=1, max_size=50),
+    )
+    def test_symmetry(self, a, b):
+        n = min(len(a), len(b))
+        assert score_pair(a[:n], b[:n]) == score_pair(b[:n], a[:n])

@@ -1,0 +1,103 @@
+"""Unit tests for k-mer indexing and neighbourhood expansion."""
+
+import numpy as np
+import pytest
+
+from repro.apps.blast.scoring import encode_sequence, score_pair
+from repro.apps.blast.seed import (
+    KmerIndex,
+    _word_to_code,
+    find_seed_hits,
+    neighborhood_words,
+)
+from repro.errors import ApplicationError
+
+
+class TestKmerIndex:
+    def test_k_validation(self):
+        with pytest.raises(ApplicationError):
+            KmerIndex(k=0)
+        with pytest.raises(ApplicationError):
+            KmerIndex(k=6)
+
+    def test_positions_recorded(self):
+        index = KmerIndex(k=3)
+        seq = encode_sequence("MKVMKV")
+        index.add_sequence(seq)
+        code = _word_to_code(encode_sequence("MKV"), 3)
+        assert list(index.lookup(code)) == [(0, 0), (0, 3)]
+
+    def test_sequence_ids_increment(self):
+        index = KmerIndex(k=3)
+        assert index.add_sequence(encode_sequence("MKVW")) == 0
+        assert index.add_sequence(encode_sequence("ACDE")) == 1
+        assert index.num_sequences == 2
+        assert index.total_residues == 8
+
+    def test_short_sequence_contributes_nothing(self):
+        index = KmerIndex(k=3)
+        index.add_sequence(encode_sequence("MK"))
+        assert len(index) == 0
+
+    def test_unknown_word_empty(self):
+        index = KmerIndex(k=3)
+        assert index.lookup(123456) == ()
+
+
+class TestNeighborhood:
+    def test_exact_word_always_included_for_high_scoring_kmers(self):
+        # WWW scores 33 against itself, far above T=11.
+        query = encode_sequence("WWW")
+        words = neighborhood_words(query, k=3, threshold=11)
+        codes = {code for _off, code in words}
+        assert _word_to_code(query, 3) in codes
+
+    def test_all_neighbours_meet_threshold(self):
+        query = encode_sequence("MKVW")
+        for offset, code in neighborhood_words(query, k=3, threshold=12):
+            # Decode the word back to indices and verify the score.
+            word = []
+            c = code
+            for _ in range(3):
+                word.append(c % 24)
+                c //= 24
+            word = np.array(word[::-1], dtype=np.uint8)
+            kmer = query[offset : offset + 3]
+            assert score_pair(kmer, word) >= 12
+
+    def test_higher_threshold_smaller_neighbourhood(self):
+        query = encode_sequence("MKVWAC")
+        low = neighborhood_words(query, threshold=10)
+        high = neighborhood_words(query, threshold=14)
+        assert len(high) <= len(low)
+
+    def test_query_shorter_than_k(self):
+        assert neighborhood_words(encode_sequence("MK"), k=3) == []
+
+    def test_offsets_cover_query(self):
+        query = encode_sequence("W" * 10)
+        offsets = {off for off, _ in neighborhood_words(query, threshold=30)}
+        assert offsets == set(range(8))
+
+
+class TestSeedHits:
+    def test_hits_found_for_identical_sequence(self):
+        index = KmerIndex(k=3)
+        subject = encode_sequence("MKVWACDEFG")
+        index.add_sequence(subject)
+        hits = find_seed_hits(subject, index, threshold=11)
+        # Identity hits on the main diagonal must be present.
+        diagonal_hits = [(q, s) for q, _sid, s in hits if q == s]
+        assert len(diagonal_hits) >= 1
+
+    def test_no_hits_on_empty_index(self):
+        index = KmerIndex(k=3)
+        assert find_seed_hits(encode_sequence("MKVW"), index) == []
+
+    def test_hits_reference_correct_sequence(self):
+        index = KmerIndex(k=3)
+        index.add_sequence(encode_sequence("AAAAAAA"))
+        target_id = index.add_sequence(encode_sequence("WWWWWWW"))
+        hits = find_seed_hits(encode_sequence("WWW"), index, threshold=15)
+        assert hits
+        assert all(sid == target_id for _q, sid, _s in hits)

@@ -1,0 +1,61 @@
+"""Tests for the two-hit seeding heuristic (gapped-BLAST refinement)."""
+
+import pytest
+
+from repro.apps.blast.fasta import SequenceRecord
+from repro.apps.blast.generate import synthetic_database, synthetic_queries
+from repro.apps.blast.search import BlastDatabase, BlastParams, blast_search
+
+
+@pytest.fixture(scope="module")
+def database():
+    return BlastDatabase(synthetic_database(12, mean_length=150, seed=6))
+
+
+class TestTwoHit:
+    def test_two_hit_prunes_extensions(self, database):
+        # A decoy query produces lots of scattered single hits; two-hit
+        # mode must attempt far fewer extensions.
+        decoy = synthetic_queries([], 1, homolog_fraction=0.0, mean_length=200, seed=8)[0]
+        one_hit_stats: dict = {}
+        two_hit_stats: dict = {}
+        blast_search(decoy, database, BlastParams(two_hit=False), stats=one_hit_stats)
+        blast_search(decoy, database, BlastParams(two_hit=True), stats=two_hit_stats)
+        assert two_hit_stats["extensions"] < one_hit_stats["extensions"]
+
+    def test_homologs_still_found_with_two_hit(self, database):
+        source = database.records[3]
+        query = SequenceRecord("hom", "", source.residues[5:95])
+        hits = blast_search(query, database, BlastParams(two_hit=True))
+        assert hits
+        assert hits[0].subject_id == source.seq_id
+
+    def test_stats_counters_present(self, database):
+        query = SequenceRecord("q", "", database.records[0].residues[:60])
+        stats: dict = {}
+        blast_search(query, database, stats=stats)
+        assert set(stats) == {"seeds", "extensions", "gapped_passes"}
+        assert stats["seeds"] >= stats["extensions"] >= stats["gapped_passes"] >= 0
+
+    def test_two_hit_no_worse_ranking_for_strong_matches(self, database):
+        source = database.records[7]
+        query = SequenceRecord("strong", "", source.residues)
+        one = blast_search(query, database, BlastParams(two_hit=False))
+        two = blast_search(query, database, BlastParams(two_hit=True))
+        assert one and two
+        assert one[0].subject_id == two[0].subject_id
+
+    def test_window_controls_pairing(self, database):
+        # A degenerate 1-residue window can never pair hits k apart
+        # unless they are exactly k apart; a huge window pairs freely.
+        source = database.records[1]
+        query = SequenceRecord("w", "", source.residues[:80])
+        tight: dict = {}
+        loose: dict = {}
+        blast_search(
+            query, database, BlastParams(two_hit=True, two_hit_window=3), stats=tight
+        )
+        blast_search(
+            query, database, BlastParams(two_hit=True, two_hit_window=1000), stats=loose
+        )
+        assert tight["extensions"] <= loose["extensions"]

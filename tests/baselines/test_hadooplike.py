@@ -1,0 +1,147 @@
+"""Tests for the Hadoop-like transparent-locality baseline."""
+
+import pytest
+
+from repro.baselines.hadooplike import BlockPlacement, HadoopLikeEngine, scatter_blocks
+from repro.cloud.cluster import ClusterSpec
+from repro.data.files import DataFile, Dataset, synthetic_dataset
+from repro.data.partition import PartitionScheme
+from repro.engines.compute import FixedComputeModel
+from repro.errors import ConfigurationError
+
+SPEC = ClusterSpec(num_workers=4)
+
+
+class TestScatter:
+    def test_replication_respected(self):
+        ds = synthetic_dataset("s", 20, 1000, seed=1)
+        placement = scatter_blocks(ds, ["n0", "n1", "n2"], replication=2, seed=5)
+        for f in ds:
+            holders = placement.nodes_for(f.name)
+            assert len(holders) == 2
+            assert len(set(holders)) == 2
+
+    def test_replication_capped_at_nodes(self):
+        ds = synthetic_dataset("s", 4, 10, seed=1)
+        placement = scatter_blocks(ds, ["n0", "n1"], replication=5)
+        assert all(len(placement.nodes_for(f.name)) == 2 for f in ds)
+
+    def test_deterministic_for_seed(self):
+        ds = synthetic_dataset("s", 10, 10, seed=1)
+        a = scatter_blocks(ds, ["n0", "n1", "n2"], seed=7)
+        b = scatter_blocks(ds, ["n0", "n1", "n2"], seed=7)
+        assert a.holders == b.holders
+
+    def test_validation(self):
+        ds = synthetic_dataset("s", 2, 10)
+        with pytest.raises(ConfigurationError):
+            scatter_blocks(ds, [], replication=1)
+        with pytest.raises(ConfigurationError):
+            scatter_blocks(ds, ["n0"], replication=0)
+
+    def test_add_replica(self):
+        placement = BlockPlacement(holders={"f": ("n0",)})
+        placement.add_replica("f", "n1")
+        placement.add_replica("f", "n1")  # idempotent
+        assert placement.nodes_for("f") == ("n0", "n1")
+
+    def test_local_bytes(self):
+        from repro.data.partition import TaskGroup
+
+        placement = BlockPlacement(holders={"a": ("n0",), "b": ("n1",)})
+        group = TaskGroup(0, (DataFile("a", 10), DataFile("b", 20)))
+        assert placement.local_bytes(group, "n0") == 10
+        assert placement.local_bytes(group, "n1") == 20
+
+
+class TestExecution:
+    def test_all_tasks_complete(self):
+        ds = synthetic_dataset("h", 24, "1 MB", seed=2)
+        outcome = HadoopLikeEngine(SPEC, replication=2).run(
+            ds, compute_model=FixedComputeModel(1.0)
+        )
+        assert outcome.tasks_completed == outcome.tasks_total == 24
+        assert 0.0 <= outcome.extra["locality_rate"] <= 1.0
+
+    def test_full_replication_means_full_locality(self):
+        ds = synthetic_dataset("h", 12, "1 MB", seed=3)
+        outcome = HadoopLikeEngine(SPEC, replication=4).run(
+            ds, compute_model=FixedComputeModel(0.5)
+        )
+        assert outcome.extra["locality_rate"] == 1.0
+        assert outcome.bytes_transferred == 0.0
+
+    def test_single_replica_causes_remote_reads(self):
+        ds = synthetic_dataset("h", 24, "4 MB", seed=4)
+        outcome = HadoopLikeEngine(SPEC, replication=1, seed=4).run(
+            ds, compute_model=FixedComputeModel(0.2)
+        )
+        assert outcome.bytes_transferred > 0
+
+    def test_pairwise_locality_below_single(self):
+        ds = synthetic_dataset("h", 40, "2 MB", seed=5)
+        single = HadoopLikeEngine(SPEC, replication=2, seed=5).run(
+            ds, compute_model=FixedComputeModel(0.5), grouping=PartitionScheme.SINGLE
+        )
+        pairwise = HadoopLikeEngine(SPEC, replication=2, seed=5).run(
+            ds,
+            compute_model=FixedComputeModel(0.5),
+            grouping=PartitionScheme.PAIRWISE_ADJACENT,
+        )
+        # Needing two co-located files is strictly harder.
+        assert pairwise.extra["locality_rate"] <= single.extra["locality_rate"]
+
+    def test_caching_reduces_repeat_streams(self):
+        # More tasks than clones, so each clone runs several and its
+        # second pivot pull can hit the cache.
+        pivot = DataFile("aadb", 20_000_000)
+        queries = synthetic_dataset("q", 48, "10 KB", seed=6)
+        ds = Dataset("common", [pivot, *queries.files])
+        # Compute heavy enough that non-holder clones run several tasks
+        # (otherwise the pivot holders drain the queue and every remote
+        # clone pulls exactly once, cache or not).
+        no_cache = HadoopLikeEngine(SPEC, replication=1, seed=6).run(
+            ds, compute_model=FixedComputeModel(5.0), grouping=PartitionScheme.ONE_TO_ALL
+        )
+        cached = HadoopLikeEngine(
+            SPEC, replication=1, seed=6, cache_remote_reads=True
+        ).run(
+            ds, compute_model=FixedComputeModel(5.0), grouping=PartitionScheme.ONE_TO_ALL
+        )
+        assert cached.bytes_transferred < no_cache.bytes_transferred
+        assert cached.makespan <= no_cache.makespan
+
+    def test_empty_workload(self):
+        ds = Dataset("empty")
+        outcome = HadoopLikeEngine(SPEC).run(
+            ds, compute_model=FixedComputeModel(1.0)
+        )
+        assert outcome.tasks_total == 0
+
+
+class TestBaselineExperiment:
+    @pytest.fixture(scope="class")
+    def cells(self):
+        from repro.experiments.baseline_exp import run_baselines
+
+        return run_baselines(0.05)
+
+    def test_shapes_hold(self, cells):
+        from repro.experiments.baseline_exp import shapes_hold
+
+        assert shapes_hold(cells)
+
+    def test_frieda_moves_fewer_common_bytes(self, cells):
+        hadoop = next(
+            c for c in cells if c.workload == "common-data" and c.engine == "hadoop-like"
+        )
+        frieda = next(
+            c for c in cells if c.workload == "common-data" and c.engine == "frieda"
+        )
+        assert frieda.outcome.bytes_transferred < hadoop.outcome.bytes_transferred
+
+    def test_cli(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["baselines", "--scale", "0.05"]) == 0
+        assert "transparent locality" in capsys.readouterr().out

@@ -1,0 +1,74 @@
+"""Unit tests for the billing model."""
+
+import pytest
+
+from repro.cloud.billing import BillingModel, PriceSheet
+from repro.cloud.cluster import ClusterSpec, Provisioner
+from repro.cloud.storage import StorageTier
+from repro.sim import Environment
+from repro.util.units import GB
+
+
+def run_cluster_for(seconds, workers=2):
+    env = Environment()
+    cluster = Provisioner(env).provision_now(ClusterSpec(num_workers=workers))
+
+    def wait(env):
+        yield env.timeout(seconds)
+        for vm in cluster.vms.values():
+            vm.terminate()
+
+    env.process(wait(env))
+    env.run()
+    return cluster
+
+
+class TestVmBilling:
+    def test_partial_hours_round_up(self):
+        cluster = run_cluster_for(10)  # 10 seconds -> 1 billed hour each
+        report = BillingModel().report(cluster)
+        hourly = cluster.master_vm.itype.hourly_price
+        assert report.vm_cost == pytest.approx(3 * hourly)  # master + 2 workers
+
+    def test_two_hours_billed_for_90_minutes(self):
+        cluster = run_cluster_for(90 * 60, workers=0)
+        report = BillingModel().report(cluster)
+        assert report.vm_cost == pytest.approx(2 * cluster.master_vm.itype.hourly_price)
+
+
+class TestEgressAndStorage:
+    def test_wan_egress_priced_per_gb(self):
+        cluster = run_cluster_for(1)
+        billing = BillingModel(PriceSheet(wan_egress_per_gb=0.10))
+        billing.record_wan_bytes(5 * GB)
+        report = billing.report(cluster)
+        assert report.egress_cost == pytest.approx(0.50)
+
+    def test_storage_byte_seconds(self):
+        cluster = run_cluster_for(1)
+        billing = BillingModel()
+        month = 30 * 24 * 3600.0
+        billing.record_storage(StorageTier.NETWORK, 1 * GB, month)
+        report = billing.report(cluster)
+        assert report.storage_cost == pytest.approx(0.125)
+
+    def test_local_storage_free(self):
+        cluster = run_cluster_for(1)
+        billing = BillingModel()
+        billing.record_storage(StorageTier.LOCAL, 100 * GB, 3600.0)
+        assert billing.report(cluster).storage_cost == 0.0
+
+    def test_requests_priced(self):
+        cluster = run_cluster_for(1)
+        billing = BillingModel()
+        billing.record_request(1000)
+        assert billing.report(cluster).request_cost == pytest.approx(0.01)
+
+    def test_total_sums_line_items(self):
+        cluster = run_cluster_for(1)
+        billing = BillingModel()
+        billing.record_wan_bytes(1 * GB)
+        report = billing.report(cluster)
+        assert report.total == pytest.approx(
+            report.vm_cost + report.egress_cost + report.storage_cost + report.request_cost
+        )

@@ -1,0 +1,101 @@
+"""Unit tests for failure injection."""
+
+import pytest
+
+from repro.cloud.cluster import ClusterSpec, Provisioner
+from repro.cloud.failures import FailureInjector, FailureSchedule
+from repro.sim import Environment
+
+
+def make_cluster(env, workers=3):
+    return Provisioner(env).provision_now(ClusterSpec(num_workers=workers))
+
+
+class TestFailureSchedule:
+    def test_of_sorts_entries(self):
+        schedule = FailureSchedule.of((5.0, "b"), (1.0, "a"))
+        assert schedule.entries == ((1.0, "a"), (5.0, "b"))
+
+
+class TestScheduledInjection:
+    def test_kills_at_given_times(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        injector = FailureInjector(
+            env, cluster, schedule=FailureSchedule.of((10.0, "worker1"), (20.0, "worker2"))
+        )
+        env.run()
+        assert [(r.time, r.vm_id) for r in injector.records] == [
+            (10.0, "worker1"),
+            (20.0, "worker2"),
+        ]
+        assert not cluster.vm("worker1").is_running
+        assert not cluster.vm("worker2").is_running
+        assert cluster.vm("worker3").is_running
+
+    def test_unknown_vm_skipped(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        injector = FailureInjector(env, cluster, schedule=FailureSchedule.of((1.0, "ghost")))
+        env.run()
+        assert injector.records == []
+
+    def test_already_dead_vm_not_double_counted(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        injector = FailureInjector(
+            env, cluster, schedule=FailureSchedule.of((1.0, "worker1"), (2.0, "worker1"))
+        )
+        env.run()
+        assert len(injector.records) == 1
+
+    def test_max_failures_cap(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        injector = FailureInjector(
+            env,
+            cluster,
+            schedule=FailureSchedule.of((1.0, "worker1"), (2.0, "worker2"), (3.0, "worker3")),
+            max_failures=2,
+        )
+        env.run()
+        assert len(injector.records) == 2
+        assert cluster.vm("worker3").is_running
+
+
+class TestRandomInjection:
+    def test_exactly_one_mode_required(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        with pytest.raises(ValueError):
+            FailureInjector(env, cluster)
+        with pytest.raises(ValueError):
+            FailureInjector(
+                env, cluster, schedule=FailureSchedule.of((1.0, "worker1")), mttf_s=10.0
+            )
+
+    def test_spares_master_by_default(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        FailureInjector(env, cluster, mttf_s=5.0, seed=3)
+        env.run(until=10_000)
+        assert cluster.master_vm.is_running
+        # Everything else eventually dies.
+        assert all(not vm.is_running for vm in cluster.worker_vms)
+
+    def test_deterministic_for_seed(self):
+        times = []
+        for _ in range(2):
+            env = Environment()
+            cluster = make_cluster(env)
+            injector = FailureInjector(env, cluster, mttf_s=100.0, seed=11, max_failures=2)
+            env.run(until=100_000)
+            times.append(tuple((r.time, r.vm_id) for r in injector.records))
+        assert times[0] == times[1]
+
+    def test_invalid_mttf(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        FailureInjector(env, cluster, mttf_s=-1.0)
+        with pytest.raises(ValueError):
+            env.run()

@@ -1,0 +1,112 @@
+"""Unit tests for instance types and virtual machines."""
+
+import pytest
+
+from repro.cloud.instance import C1_XLARGE, M1_LARGE, M1_SMALL, InstanceType, VirtualMachine, VmState
+from repro.errors import ProvisioningError
+from repro.sim import Environment, Interrupt
+
+
+class TestInstanceType:
+    def test_paper_instance_matches_section_iv(self):
+        # §IV-A: c1.xlarge with 4 cores and 4 GB memory.
+        assert C1_XLARGE.cores == 4
+        assert C1_XLARGE.memory_bytes == 4_000_000_000
+
+    def test_catalog_entries_valid(self):
+        for itype in (C1_XLARGE, M1_SMALL, M1_LARGE):
+            assert itype.cores >= 1
+            assert itype.nic_bps > 0
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ProvisioningError):
+            InstanceType("bad", 0, 1, 1, 1, 1, 1)
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ProvisioningError):
+            InstanceType("bad", 1, 1, 1, 0, 1, 1)
+
+
+class TestVirtualMachine:
+    def test_lifecycle(self):
+        env = Environment()
+        vm = VirtualMachine(env, "vm0", C1_XLARGE)
+        assert vm.state is VmState.PROVISIONING
+        vm.mark_running()
+        assert vm.is_running
+        vm.terminate()
+        assert vm.state is VmState.TERMINATED
+
+    def test_double_boot_rejected(self):
+        env = Environment()
+        vm = VirtualMachine(env, "vm0", C1_XLARGE)
+        vm.mark_running()
+        with pytest.raises(ProvisioningError):
+            vm.mark_running()
+
+    def test_cpu_capacity_equals_cores(self):
+        env = Environment()
+        vm = VirtualMachine(env, "vm0", C1_XLARGE)
+        assert vm.cpu.capacity == 4
+
+    def test_fail_interrupts_registered_processes(self):
+        env = Environment()
+        vm = VirtualMachine(env, "vm0", C1_XLARGE)
+        vm.mark_running()
+
+        def task(env):
+            try:
+                yield env.timeout(100)
+                return "finished"
+            except Interrupt as i:
+                return ("interrupted", i.cause)
+
+        def killer(env):
+            yield env.timeout(5)
+            vm.fail("disk-died")
+
+        p = vm.register_process(env.process(task(env)))
+        env.process(killer(env))
+        env.run()
+        assert p.value == ("interrupted", ("vm0", "disk-died"))
+        assert vm.state is VmState.FAILED
+        assert vm.failure_time == 5.0
+
+    def test_fail_idempotent(self):
+        env = Environment()
+        vm = VirtualMachine(env, "vm0", C1_XLARGE)
+        vm.mark_running()
+        vm.fail()
+        vm.fail()  # no raise
+        assert vm.state is VmState.FAILED
+
+    def test_fail_skips_dead_processes(self):
+        env = Environment()
+        vm = VirtualMachine(env, "vm0", C1_XLARGE)
+        vm.mark_running()
+
+        def quick(env):
+            yield env.timeout(1)
+
+        p = vm.register_process(env.process(quick(env)))
+        env.run()
+        vm.fail()  # process already finished; must not raise
+
+    def test_uptime_tracks_boot_to_failure(self):
+        env = Environment()
+        vm = VirtualMachine(env, "vm0", C1_XLARGE)
+
+        def scenario(env):
+            yield env.timeout(10)
+            vm.mark_running()
+            yield env.timeout(50)
+            vm.fail()
+
+        env.process(scenario(env))
+        env.run()
+        assert vm.uptime == pytest.approx(50.0)
+
+    def test_uptime_zero_before_boot(self):
+        env = Environment()
+        vm = VirtualMachine(env, "vm0", C1_XLARGE)
+        assert vm.uptime == 0.0

@@ -1,0 +1,106 @@
+"""Unit tests for command templating (§II-D execution syntax)."""
+
+import pytest
+
+from repro.core.commands import CommandTemplate
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_needs_exactly_one_form(self):
+        with pytest.raises(ConfigurationError):
+            CommandTemplate()
+        with pytest.raises(ConfigurationError):
+            CommandTemplate(template="x", function=print)
+
+    def test_empty_template_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommandTemplate(template="   ")
+
+
+class TestArity:
+    def test_paper_example(self):
+        # §II-D: "app arg1 arg2 $inp1"
+        ct = CommandTemplate(template="app arg1 arg2 $inp1")
+        assert ct.arity == 1
+
+    def test_two_inputs(self):
+        assert CommandTemplate(template="cmp $inp1 $inp2").arity == 2
+
+    def test_inp_alias_for_inp1(self):
+        assert CommandTemplate(template="app $inp").arity == 1
+
+    def test_no_placeholders(self):
+        assert CommandTemplate(template="hostname").arity == 0
+
+    def test_gap_in_indices_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _ = CommandTemplate(template="app $inp1 $inp3").arity
+
+    def test_callable_arity_is_none(self):
+        assert CommandTemplate(function=print).arity is None
+
+    def test_braced_placeholders(self):
+        assert CommandTemplate(template="app ${inp1}x").arity == 1
+
+
+class TestBuild:
+    def test_substitution(self):
+        ct = CommandTemplate(template="blastall -i $inp1 -d $inp2")
+        cmd = ct.build(["/data/q.fa", "/data/nr.db"])
+        assert cmd == "blastall -i /data/q.fa -d /data/nr.db"
+
+    def test_repeated_placeholder(self):
+        ct = CommandTemplate(template="cp $inp1 $inp1.bak")
+        assert ct.build(["/x"]) == "cp /x /x.bak"
+
+    def test_output_placeholder(self):
+        ct = CommandTemplate(template="app $inp1 > $out")
+        assert ct.build(["/a"], output_path="/out.txt") == "app /a > /out.txt"
+
+    def test_wrong_group_size_rejected(self):
+        ct = CommandTemplate(template="cmp $inp1 $inp2")
+        with pytest.raises(ConfigurationError):
+            ct.build(["/only-one"])
+
+    def test_validate_group_size(self):
+        ct = CommandTemplate(template="cmp $inp1 $inp2")
+        ct.validate_group_size(2)
+        with pytest.raises(ConfigurationError):
+            ct.validate_group_size(3)
+
+    def test_zero_arity_accepts_any_group(self):
+        CommandTemplate(template="hostname").validate_group_size(5)
+
+    def test_callable_accepts_any_group(self):
+        CommandTemplate(function=print).validate_group_size(7)
+
+    def test_build_on_callable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommandTemplate(function=print).build(["/x"])
+
+
+class TestCall:
+    def test_call_invokes_function(self):
+        seen = []
+        ct = CommandTemplate(function=lambda *paths: seen.extend(paths))
+        ct.call(["/a", "/b"])
+        assert seen == ["/a", "/b"]
+
+    def test_call_on_template_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommandTemplate(template="x $inp1").call(["/a"])
+
+
+class TestDisplayName:
+    def test_explicit_name_wins(self):
+        assert CommandTemplate(template="app $inp1", name="my-app").display_name == "my-app"
+
+    def test_template_uses_program_word(self):
+        assert CommandTemplate(template="blastall -i $inp1").display_name == "blastall"
+
+    def test_callable_uses_function_name(self):
+        def analyze(path):
+            pass
+
+        assert CommandTemplate(function=analyze).display_name == "analyze"

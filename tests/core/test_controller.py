@@ -1,0 +1,100 @@
+"""Unit tests for the controller logic (control plane)."""
+
+import pytest
+
+from repro.core.commands import CommandTemplate
+from repro.core.controller import ControllerLogic
+from repro.core.messages import WorkerFailed
+from repro.core.strategies import StrategyKind
+from repro.data.files import synthetic_dataset
+from repro.data.partition import PartitionScheme
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def controller():
+    return ControllerLogic(
+        strategy=StrategyKind.REAL_TIME,
+        grouping=PartitionScheme.PAIRWISE_ADJACENT,
+        command=CommandTemplate(template="cmp $inp1 $inp2"),
+    )
+
+
+class TestPartitionGeneration:
+    def test_generates_groups(self, controller):
+        ds = synthetic_dataset("d", 8, 100)
+        groups = controller.generate_partitions(ds)
+        assert len(groups) == 4
+        assert controller.events[-1].kind == "PARTITION_GENERATED"
+
+    def test_command_arity_validated(self):
+        controller = ControllerLogic(
+            grouping=PartitionScheme.SINGLE,
+            command=CommandTemplate(template="cmp $inp1 $inp2"),
+        )
+        with pytest.raises(ConfigurationError):
+            controller.generate_partitions(synthetic_dataset("d", 4, 1))
+
+    def test_partition_info_message(self, controller):
+        ds = synthetic_dataset("d", 4, 50)
+        controller.generate_partitions(ds)
+        msg = controller.partition_info_message()
+        assert len(msg.groups) == 2
+        assert msg.sizes[0] == (50, 50)
+
+    def test_partition_info_before_generation_rejected(self, controller):
+        with pytest.raises(ConfigurationError):
+            controller.partition_info_message()
+
+
+class TestStartMaster:
+    def test_message_carries_configuration(self, controller):
+        msg = controller.start_master_message()
+        assert msg.strategy == "real_time"
+        assert msg.grouping == "pairwise_adjacent"
+        assert msg.multicore is True
+
+
+class TestWorkerPlanning:
+    def test_multicore_clones_per_core(self, controller):
+        plans = controller.plan_workers([("n0", 4), ("n1", 2)])
+        assert [p.clones for p in plans] == [4, 2]
+        assert controller.all_worker_ids == (
+            "n0:0", "n0:1", "n0:2", "n0:3", "n1:0", "n1:1",
+        )
+
+    def test_single_clone_without_multicore(self):
+        controller = ControllerLogic(multicore=False)
+        plans = controller.plan_workers([("n0", 4)])
+        assert plans[0].clones == 1
+
+    def test_fork_event_logged(self, controller):
+        controller.plan_workers([("n0", 4)])
+        assert any(e.kind == "FORK_REMOTE_WORKERS" for e in controller.events)
+
+
+class TestRuntimeReports:
+    def test_worker_failure_recorded_and_isolated(self, controller):
+        controller.plan_workers([("n0", 2)])
+        controller.on_worker_failed(
+            WorkerFailed(worker_id="n0:1", node_id="n0", error="gone"), time=5.0
+        )
+        assert controller.fault_tracker.is_lost("n0:1")
+        kinds = [e.kind for e in controller.events]
+        assert "WORKER_FAILED" in kinds
+
+    def test_error_isolation_logged(self, controller):
+        isolated = controller.on_worker_error("n0:0", "segfault", time=1.0)
+        assert isolated  # isolate_after defaults to 1
+        assert any(e.kind == "WORKER_ISOLATED" for e in controller.events)
+
+    def test_elastic_add(self, controller):
+        controller.plan_workers([("n0", 4)])
+        plan = controller.on_worker_added("n9", cores=2, time=30.0)
+        assert plan.worker_ids == ("n9:0", "n9:1")
+        assert len(controller.worker_plans) == 2
+
+    def test_elastic_remove(self, controller):
+        controller.plan_workers([("n0", 4), ("n1", 4)])
+        controller.on_worker_removed("n0", time=10.0)
+        assert [p.node_id for p in controller.worker_plans] == ["n1"]

@@ -1,0 +1,74 @@
+"""Unit tests for fault tracking and retry policies."""
+
+import pytest
+
+from repro.core.fault import FaultTracker, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_paper_faithful_never_retries(self):
+        policy = RetryPolicy.paper_faithful()
+        assert not policy.should_retry(1, worker_loss=True)
+        assert not policy.should_retry(1, worker_loss=False)
+
+    def test_resilient_retries_both(self):
+        policy = RetryPolicy.resilient(max_attempts=3)
+        assert policy.should_retry(1, worker_loss=True)
+        assert policy.should_retry(2, worker_loss=False)
+        assert not policy.should_retry(3, worker_loss=True)
+
+    def test_loss_only_policy(self):
+        policy = RetryPolicy(max_attempts=2, retry_on_worker_loss=True)
+        assert policy.should_retry(1, worker_loss=True)
+        assert not policy.should_retry(1, worker_loss=False)
+
+
+class TestFaultTracker:
+    def test_isolate_after_validation(self):
+        with pytest.raises(ValueError):
+            FaultTracker(isolate_after=0)
+
+    def test_first_error_isolates_by_default(self):
+        tracker = FaultTracker()
+        assert tracker.record_error("w0", "boom")
+        assert tracker.is_isolated("w0")
+
+    def test_threshold_two_requires_two_errors(self):
+        tracker = FaultTracker(isolate_after=2)
+        assert not tracker.record_error("w0")
+        assert tracker.record_error("w0")
+
+    def test_loss_isolates_immediately(self):
+        tracker = FaultTracker(isolate_after=5)
+        tracker.record_loss("w0", "vm gone")
+        assert tracker.is_isolated("w0")
+        assert tracker.is_lost("w0")
+
+    def test_error_does_not_mark_lost(self):
+        tracker = FaultTracker()
+        tracker.record_error("w0")
+        assert not tracker.is_lost("w0")
+
+    def test_unknown_worker_healthy(self):
+        tracker = FaultTracker()
+        assert not tracker.is_isolated("ghost")
+        assert tracker.health("ghost") is None
+
+    def test_error_messages_kept(self):
+        tracker = FaultTracker(isolate_after=3)
+        tracker.record_error("w0", "first")
+        tracker.record_error("w0", "second")
+        assert tracker.health("w0").error_messages == ["first", "second"]
+
+    def test_isolated_workers_set(self):
+        tracker = FaultTracker()
+        tracker.record_error("w0")
+        tracker.record_loss("w2")
+        assert tracker.isolated_workers == frozenset({"w0", "w2"})
+
+    def test_total_errors(self):
+        tracker = FaultTracker(isolate_after=10)
+        tracker.record_error("w0")
+        tracker.record_error("w1")
+        tracker.record_error("w1")
+        assert tracker.total_errors == 3

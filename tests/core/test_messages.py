@@ -1,0 +1,93 @@
+"""Unit tests for the FRIEDA protocol messages and JSON codec."""
+
+import pytest
+
+from repro.core.messages import (
+    AddWorker,
+    ConfigUpdate,
+    ConnectionAck,
+    ExecStatus,
+    FileData,
+    FileMetadata,
+    Message,
+    NoMoreData,
+    RegisterWorker,
+    RemoveWorker,
+    RequestData,
+    SetPartitionInfo,
+    StartMaster,
+    WorkerFailed,
+    decode_message,
+    encode_message,
+)
+from repro.errors import ProtocolError
+
+ALL_MESSAGES = [
+    StartMaster(strategy="real_time", grouping="single", multicore=True),
+    SetPartitionInfo(groups=(("a", "b"), ("c",)), sizes=((1, 2), (3,))),
+    RegisterWorker(worker_id="w0", node_id="n0", cores=4),
+    ConnectionAck(worker_id="w0", accepted=True),
+    RequestData(worker_id="w0"),
+    FileMetadata(task_id=3, file_names=("a", "b"), sizes=(1, 2), transfer_required=True),
+    FileData(task_id=3, file_name="a", payload_len=10),
+    ExecStatus(worker_id="w0", task_id=3, ok=False, duration=1.5, error="boom"),
+    NoMoreData(worker_id="w0"),
+    WorkerFailed(worker_id="w0", node_id="n0", error="gone", tasks_in_flight=(1, 2)),
+    AddWorker(node_id="n9", cores=2),
+    RemoveWorker(worker_id="w0", drain=False),
+    ConfigUpdate(key="strategy", value="real_time"),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("message", ALL_MESSAGES, ids=lambda m: m.msg_type)
+    def test_encode_decode_round_trip(self, message):
+        assert decode_message(encode_message(message)) == message
+
+    def test_wire_format_is_json_line(self):
+        data = encode_message(RequestData(worker_id="w1"))
+        assert b"\n" not in data
+        assert b'"type":"REQUEST_DATA"' in data
+
+    def test_decode_from_dict(self):
+        msg = decode_message({"type": "REQUEST_DATA", "worker_id": "w2"})
+        assert msg == RequestData(worker_id="w2")
+
+    def test_message_types_match_figures(self):
+        # The wire names the architecture figures use.
+        for name in ("START_MASTER", "SET_PARTITION_INFO", "FORK_REMOTE_WORKERS",
+                     "REQUEST_DATA", "FILE_METADATA", "FILE_DATA"):
+            assert name in {m.msg_type for m in Message.__subclasses__()}
+
+
+class TestValidation:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b'{"type": "BOGUS"}')
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b'{"worker_id": "w0"}')
+
+    def test_garbage_json_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"not json")
+
+    def test_unknown_fields_ignored(self):
+        msg = decode_message({"type": "REQUEST_DATA", "worker_id": "w0", "extra": 1})
+        assert msg == RequestData(worker_id="w0")
+
+    def test_partition_info_length_mismatch(self):
+        with pytest.raises(ProtocolError):
+            SetPartitionInfo(groups=(("a",),), sizes=((1,), (2,)))
+
+    def test_lists_become_tuples(self):
+        msg = decode_message(
+            {"type": "SET_PARTITION_INFO", "groups": [["a"], ["b"]], "sizes": [[1], [2]]}
+        )
+        assert msg.groups == (("a",), ("b",))
+
+    def test_messages_are_frozen(self):
+        msg = RequestData(worker_id="w0")
+        with pytest.raises(AttributeError):
+            msg.worker_id = "hacked"

@@ -1,0 +1,238 @@
+"""Unit tests for the master scheduler (static vs pull assignment)."""
+
+import pytest
+
+from repro.core.fault import FaultTracker, RetryPolicy
+from repro.core.scheduler import MasterScheduler
+from repro.core.strategies import StrategyKind, strategy_for
+from repro.data.files import synthetic_dataset
+from repro.data.partition import PartitionScheme, generate_groups
+from repro.errors import ProtocolError
+
+
+def make_scheduler(n_files=12, strategy=StrategyKind.REAL_TIME, workers=("w0", "w1"), **kw):
+    groups = generate_groups(synthetic_dataset("d", n_files, 100), PartitionScheme.SINGLE)
+    sched = MasterScheduler(groups, strategy_for(strategy), **kw)
+    for w in workers:
+        sched.register_worker(w)
+    sched.partition_among()
+    return sched
+
+
+class TestRegistration:
+    def test_double_registration_rejected(self):
+        sched = make_scheduler()
+        with pytest.raises(ProtocolError):
+            sched.register_worker("w0")
+
+    def test_next_before_partition_rejected(self):
+        groups = generate_groups(synthetic_dataset("d", 2, 1), PartitionScheme.SINGLE)
+        sched = MasterScheduler(groups, strategy_for(StrategyKind.REAL_TIME))
+        sched.register_worker("w0")
+        with pytest.raises(ProtocolError):
+            sched.next_for("w0")
+
+    def test_static_partition_needs_workers(self):
+        groups = generate_groups(synthetic_dataset("d", 2, 1), PartitionScheme.SINGLE)
+        sched = MasterScheduler(groups, strategy_for(StrategyKind.PRE_PARTITIONED_REMOTE))
+        with pytest.raises(ProtocolError):
+            sched.partition_among()
+
+
+class TestPullAssignment:
+    def test_fifo_order(self):
+        sched = make_scheduler(n_files=4)
+        ids = [sched.next_for("w0").task_id, sched.next_for("w1").task_id]
+        assert ids == [0, 1]
+
+    def test_any_worker_can_drain_queue(self):
+        sched = make_scheduler(n_files=3, workers=("w0",))
+        for expected in range(3):
+            assignment = sched.next_for("w0")
+            assert assignment.task_id == expected
+            sched.report_success("w0", assignment.task_id)
+        assert sched.next_for("w0") is None
+        assert sched.done
+
+    def test_pull_balances_by_demand(self):
+        # The fast worker asks more often -> gets more tasks.
+        sched = make_scheduler(n_files=6)
+        counts = {"w0": 0, "w1": 0}
+        # w0 asks twice per w1 ask.
+        pattern = ["w0", "w0", "w1"] * 2
+        for wid in pattern:
+            a = sched.next_for(wid)
+            if a:
+                counts[wid] += 1
+                sched.report_success(wid, a.task_id)
+        assert counts["w0"] == 4
+        assert counts["w1"] == 2
+
+
+class TestStaticAssignment:
+    def test_contiguous_chunks(self):
+        sched = make_scheduler(n_files=6, strategy=StrategyKind.PRE_PARTITIONED_REMOTE)
+        chunk0 = [g.index for g in sched.planned_chunk("w0")]
+        chunk1 = [g.index for g in sched.planned_chunk("w1")]
+        assert chunk0 == [0, 1, 2]
+        assert chunk1 == [3, 4, 5]
+
+    def test_uneven_division(self):
+        sched = make_scheduler(n_files=7, strategy=StrategyKind.PRE_PARTITIONED_REMOTE)
+        assert len(sched.planned_chunk("w0")) == 4
+        assert len(sched.planned_chunk("w1")) == 3
+
+    def test_workers_only_get_their_chunk(self):
+        sched = make_scheduler(n_files=4, strategy=StrategyKind.PRE_PARTITIONED_REMOTE)
+        seen = []
+        while True:
+            a = sched.next_for("w0")
+            if a is None:
+                break
+            seen.append(a.task_id)
+            sched.report_success("w0", a.task_id)
+        assert seen == [0, 1]  # only its own chunk, not w1's
+
+    def test_chunks_cover_everything(self):
+        sched = make_scheduler(n_files=9, strategy=StrategyKind.PRE_PARTITIONED_REMOTE)
+        union = set()
+        for w in ("w0", "w1"):
+            union.update(g.index for g in sched.planned_chunk(w))
+        assert union == set(range(9))
+
+
+class TestCompletion:
+    def test_done_after_all_success(self):
+        sched = make_scheduler(n_files=2, workers=("w0",))
+        for _ in range(2):
+            a = sched.next_for("w0")
+            sched.report_success("w0", a.task_id)
+        assert sched.done
+        assert sched.summary() == {
+            "total": 2, "completed": 2, "failed": 0, "lost": 0, "in_flight": 0,
+        }
+
+    def test_not_done_with_in_flight(self):
+        sched = make_scheduler(n_files=1, workers=("w0",))
+        sched.next_for("w0")
+        assert not sched.done
+
+    def test_unknown_status_rejected(self):
+        sched = make_scheduler()
+        with pytest.raises(ProtocolError):
+            sched.report_success("w0", 99)
+
+
+class TestErrorsAndIsolation:
+    def test_error_without_retry_fails_task(self):
+        sched = make_scheduler(n_files=2, workers=("w0", "w1"))
+        a = sched.next_for("w0")
+        retried = sched.report_error("w0", a.task_id, "segfault")
+        assert not retried
+        assert len(sched.failed_tasks) == 1
+
+    def test_isolated_worker_gets_no_more_data(self):
+        sched = make_scheduler(n_files=4)
+        a = sched.next_for("w0")
+        sched.report_error("w0", a.task_id, "boom")  # isolate_after=1 default
+        assert sched.faults.is_isolated("w0")
+        assert sched.next_for("w0") is None
+        assert sched.next_for("w1") is not None
+
+    def test_isolation_threshold(self):
+        tracker = FaultTracker(isolate_after=2)
+        sched = make_scheduler(n_files=6, fault_tracker=tracker)
+        a = sched.next_for("w0")
+        sched.report_error("w0", a.task_id, "flaky once")
+        assert sched.next_for("w0") is not None  # still below threshold
+
+    def test_retry_on_task_error(self):
+        sched = make_scheduler(
+            n_files=1,
+            workers=("w0", "w1"),
+            retry_policy=RetryPolicy(max_attempts=2, retry_on_task_error=True),
+        )
+        a = sched.next_for("w0")
+        assert sched.report_error("w0", a.task_id, "flaky")
+        b = sched.next_for("w1")
+        assert b.task_id == a.task_id
+        assert b.attempt == 2
+        sched.report_success("w1", b.task_id)
+        assert sched.done
+
+    def test_retry_attempts_bounded(self):
+        sched = make_scheduler(
+            n_files=1,
+            workers=("w0", "w1"),
+            fault_tracker=FaultTracker(isolate_after=10),
+            retry_policy=RetryPolicy(max_attempts=2, retry_on_task_error=True),
+        )
+        a = sched.next_for("w0")
+        assert sched.report_error("w0", a.task_id, "1st")
+        b = sched.next_for("w1")
+        assert not sched.report_error("w1", b.task_id, "2nd")  # attempts exhausted
+        assert sched.done
+
+
+class TestWorkerLoss:
+    def test_paper_faithful_loses_tasks(self):
+        sched = make_scheduler(n_files=4, strategy=StrategyKind.PRE_PARTITIONED_REMOTE)
+        a = sched.next_for("w0")
+        requeued = sched.worker_lost("w0", "vm died")
+        assert requeued == []
+        # In-flight task + remaining chunk both lost.
+        assert {t.task_id for t in sched.lost_tasks} == {0, 1}
+        # Rest of the run can still finish.
+        while True:
+            b = sched.next_for("w1")
+            if b is None:
+                break
+            sched.report_success("w1", b.task_id)
+        assert sched.done
+        assert len(sched.completed) == 2
+
+    def test_retry_requeues_to_survivor(self):
+        sched = make_scheduler(
+            n_files=4,
+            strategy=StrategyKind.PRE_PARTITIONED_REMOTE,
+            retry_policy=RetryPolicy.resilient(),
+        )
+        sched.next_for("w0")
+        requeued = sched.worker_lost("w0", "vm died")
+        assert len(requeued) == 2
+        done_ids = []
+        while True:
+            b = sched.next_for("w1")
+            if b is None:
+                break
+            done_ids.append(b.task_id)
+            sched.report_success("w1", b.task_id)
+        assert sorted(done_ids) == [0, 1, 2, 3]
+        assert sched.done
+        assert sched.lost_tasks == []
+
+    def test_real_time_loss_only_in_flight(self):
+        sched = make_scheduler(n_files=4, strategy=StrategyKind.REAL_TIME)
+        a = sched.next_for("w0")
+        sched.worker_lost("w0")
+        assert [t.task_id for t in sched.lost_tasks] == [a.task_id]
+        # Queue intact for the survivor.
+        remaining = []
+        while True:
+            b = sched.next_for("w1")
+            if b is None:
+                break
+            remaining.append(b.task_id)
+            sched.report_success("w1", b.task_id)
+        assert remaining == [1, 2, 3]
+
+    def test_all_workers_lost_terminates(self):
+        sched = make_scheduler(n_files=4)
+        sched.worker_lost("w0")
+        sched.worker_lost("w1")
+        assert sched.done  # queued work exists but nobody can take it
+
+    def test_lost_worker_is_isolated(self):
+        sched = make_scheduler(n_files=4)
+        sched.worker_lost("w0")
+        assert sched.next_for("w0") is None

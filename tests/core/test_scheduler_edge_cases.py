@@ -1,0 +1,108 @@
+"""Scheduler edge cases: late joiners, overflow queue, mixed retries."""
+
+import pytest
+
+from repro.core.fault import FaultTracker, RetryPolicy
+from repro.core.scheduler import MasterScheduler
+from repro.core.strategies import StrategyKind, strategy_for
+from repro.data.files import synthetic_dataset
+from repro.data.partition import PartitionScheme, generate_groups
+
+
+def build(n_files, strategy, workers, **kw):
+    groups = generate_groups(synthetic_dataset("d", n_files, 10), PartitionScheme.SINGLE)
+    sched = MasterScheduler(groups, strategy_for(strategy), **kw)
+    for w in workers:
+        sched.register_worker(w)
+    sched.partition_among()
+    return sched
+
+
+class TestLateJoiners:
+    def test_late_joiner_in_pull_mode_gets_work(self):
+        sched = build(4, StrategyKind.REAL_TIME, ["w0"])
+        sched.register_worker("late")
+        assignment = sched.next_for("late")
+        assert assignment is not None
+
+    def test_late_joiner_in_static_mode_idles_without_requeues(self):
+        sched = build(4, StrategyKind.PRE_PARTITIONED_REMOTE, ["w0"])
+        sched.register_worker("late")
+        assert sched.next_for("late") is None  # nothing reserved for it
+
+    def test_late_joiner_drains_overflow_after_worker_loss(self):
+        sched = build(
+            4,
+            StrategyKind.PRE_PARTITIONED_REMOTE,
+            ["w0"],
+            retry_policy=RetryPolicy.resilient(),
+        )
+        sched.next_for("w0")
+        sched.register_worker("late")
+        # w0 dies; its whole chunk requeues. The only healthy chunk
+        # holder is... nobody (late has no chunk), so work lands on the
+        # overflow queue and the late joiner picks it up.
+        sched.worker_lost("w0")
+        drained = []
+        while True:
+            assignment = sched.next_for("late")
+            if assignment is None:
+                break
+            drained.append(assignment.task_id)
+            sched.report_success("late", assignment.task_id)
+        assert sorted(drained) == [0, 1, 2, 3]
+        assert sched.done
+
+
+class TestMixedRetrySemantics:
+    def test_error_retry_without_loss_retry(self):
+        policy = RetryPolicy(max_attempts=2, retry_on_task_error=True)
+        sched = build(
+            2,
+            StrategyKind.REAL_TIME,
+            ["w0", "w1"],
+            retry_policy=policy,
+            fault_tracker=FaultTracker(isolate_after=5),
+        )
+        a = sched.next_for("w0")
+        assert sched.report_error("w0", a.task_id, "transient")
+        sched.next_for("w0")  # task 1
+        b = sched.next_for("w1")  # the retried task 0
+        assert b.task_id == a.task_id
+        sched.report_success("w1", b.task_id)
+        sched.report_success("w0", 1)
+        assert sched.done
+
+    def test_loss_without_retry_keeps_errorless_accounting(self):
+        sched = build(3, StrategyKind.REAL_TIME, ["w0", "w1"])
+        sched.next_for("w0")
+        sched.worker_lost("w0")
+        summary = sched.summary()
+        assert summary["lost"] == 1
+        assert summary["failed"] == 0
+
+
+class TestChunkingEdge:
+    def test_lpt_cost_requires_hint(self):
+        from repro.errors import ProtocolError
+
+        groups = generate_groups(synthetic_dataset("d", 4, 10), PartitionScheme.SINGLE)
+        sched = MasterScheduler(groups, strategy_for(StrategyKind.PRE_PARTITIONED_REMOTE))
+        sched.register_worker("w0")
+        with pytest.raises(ProtocolError):
+            sched.partition_among(chunking="lpt_cost")
+
+    def test_lpt_chunks_processed_in_index_order(self):
+        groups = generate_groups(synthetic_dataset("d", 6, 10), PartitionScheme.SINGLE)
+        sched = MasterScheduler(groups, strategy_for(StrategyKind.PRE_PARTITIONED_REMOTE))
+        sched.register_worker("w0")
+        sched.partition_among(chunking="lpt_cost", cost_hint=lambda g: float(g.index))
+        chunk = [g.index for g in sched.planned_chunk("w0")]
+        assert chunk == sorted(chunk)
+
+    def test_single_worker_gets_everything_under_lpt(self):
+        groups = generate_groups(synthetic_dataset("d", 5, 10), PartitionScheme.SINGLE)
+        sched = MasterScheduler(groups, strategy_for(StrategyKind.PRE_PARTITIONED_REMOTE))
+        sched.register_worker("w0")
+        sched.partition_among(chunking="lpt_size")
+        assert len(sched.planned_chunk("w0")) == 5

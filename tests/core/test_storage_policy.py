@@ -1,0 +1,92 @@
+"""Unit tests for storage-tier selection (§III-A)."""
+
+import pytest
+
+from repro.cloud.cluster import ClusterSpec
+from repro.cloud.storage import StorageTier
+from repro.core.storage_policy import StorageRequirements, StorageDecision, select_storage
+from repro.errors import ConfigurationError
+from repro.util.units import GB, TB
+
+
+SPEC = ClusterSpec()  # c1.xlarge: 40 GB local disk
+SPEC_WITH_NSTORE = ClusterSpec(network_storage_bytes=10 * TB)
+
+
+class TestLocalPreference:
+    def test_small_data_goes_local(self):
+        decision = select_storage(StorageRequirements(per_node_bytes=2 * GB), SPEC)
+        assert decision.tier is StorageTier.LOCAL
+        assert decision.estimated_read_bps == SPEC.instance_type.disk_read_bps
+
+    def test_headroom_respected(self):
+        # 35 GB fits in 40 GB raw but not within 80% headroom.
+        decision = select_storage(
+            StorageRequirements(per_node_bytes=35 * GB), SPEC_WITH_NSTORE
+        )
+        assert decision.tier is StorageTier.NETWORK
+
+    def test_custom_headroom(self):
+        decision = select_storage(
+            StorageRequirements(per_node_bytes=35 * GB, local_headroom=1.0), SPEC
+        )
+        assert decision.tier is StorageTier.LOCAL
+
+    def test_shared_bytes_count_toward_local_budget(self):
+        decision = select_storage(
+            StorageRequirements(per_node_bytes=20 * GB, shared_bytes=20 * GB),
+            SPEC_WITH_NSTORE,
+        )
+        assert decision.tier is StorageTier.NETWORK
+
+
+class TestSharingAndPersistence:
+    def test_sharing_forces_network_tier(self):
+        decision = select_storage(
+            StorageRequirements(per_node_bytes=1 * GB, shared_bytes=5 * GB, needs_sharing=True),
+            SPEC_WITH_NSTORE,
+        )
+        assert decision.tier is StorageTier.NETWORK
+
+    def test_sharing_without_network_tier_rejected(self):
+        with pytest.raises(ConfigurationError):
+            select_storage(
+                StorageRequirements(per_node_bytes=1 * GB, needs_sharing=True), SPEC
+            )
+
+    def test_shared_data_exceeding_tier_rejected(self):
+        small = ClusterSpec(network_storage_bytes=1 * GB)
+        with pytest.raises(ConfigurationError):
+            select_storage(
+                StorageRequirements(
+                    per_node_bytes=0, shared_bytes=5 * GB, needs_sharing=True
+                ),
+                small,
+            )
+
+    def test_persistence_selects_block_store(self):
+        decision = select_storage(
+            StorageRequirements(per_node_bytes=1 * GB, needs_persistence=True), SPEC
+        )
+        assert decision.tier is StorageTier.BLOCK
+
+
+class TestRefusals:
+    def test_too_big_for_everything(self):
+        with pytest.raises(ConfigurationError):
+            select_storage(StorageRequirements(per_node_bytes=100 * TB), SPEC_WITH_NSTORE)
+
+    def test_negative_requirements_rejected(self):
+        with pytest.raises(ConfigurationError):
+            select_storage(StorageRequirements(per_node_bytes=-1), SPEC)
+
+    def test_bad_headroom_rejected(self):
+        with pytest.raises(ConfigurationError):
+            select_storage(
+                StorageRequirements(per_node_bytes=1, local_headroom=0.0), SPEC
+            )
+
+    def test_rationale_is_informative(self):
+        decision = select_storage(StorageRequirements(per_node_bytes=2 * GB), SPEC)
+        assert "local" in str(decision).lower()
+        assert isinstance(decision, StorageDecision)

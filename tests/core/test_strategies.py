@@ -1,0 +1,62 @@
+"""Unit tests for strategy descriptors (§III)."""
+
+import pytest
+
+from repro.core.strategies import DataManagementStrategy, StrategyKind, strategy_for
+from repro.errors import ConfigurationError
+
+
+class TestLookup:
+    @pytest.mark.parametrize("kind", list(StrategyKind))
+    def test_every_kind_resolves(self, kind):
+        descriptor = strategy_for(kind)
+        assert descriptor.kind is kind
+
+    def test_string_lookup(self):
+        assert strategy_for("real_time").kind is StrategyKind.REAL_TIME
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            strategy_for("hadoop")
+
+
+class TestSemantics:
+    def test_real_time_is_lazy_and_isolating(self):
+        rt = strategy_for(StrategyKind.REAL_TIME)
+        assert rt.lazy
+        assert not rt.static_assignment
+        assert not rt.staged_before_execution
+        assert rt.isolates_failures
+
+    def test_pre_partitioned_remote_has_sequential_phases(self):
+        pre = strategy_for(StrategyKind.PRE_PARTITIONED_REMOTE)
+        assert pre.staged_before_execution
+        assert pre.static_assignment
+        assert not pre.lazy
+
+    def test_pre_partitioned_local_needs_no_transfer(self):
+        local = strategy_for(StrategyKind.PRE_PARTITIONED_LOCAL)
+        assert local.data_local_to_workers
+        assert not local.staged_before_execution
+
+    def test_common_data_replicates_everything(self):
+        common = strategy_for(StrategyKind.COMMON_DATA)
+        assert common.replicate_all
+        assert common.staged_before_execution
+
+    def test_lazy_and_staged_mutually_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            DataManagementStrategy(
+                kind=StrategyKind.REAL_TIME,
+                static_assignment=False,
+                staged_before_execution=True,
+                lazy=True,
+                replicate_all=False,
+                data_local_to_workers=False,
+                isolates_failures=True,
+            )
+
+    def test_only_real_time_isolates(self):
+        # §V-A: isolation is the real-time mode's automatic behaviour.
+        isolating = [k for k in StrategyKind if strategy_for(k).isolates_failures]
+        assert isolating == [StrategyKind.REAL_TIME]

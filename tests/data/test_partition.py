@@ -1,0 +1,162 @@
+"""Unit tests for the partition generator (§II-E groupings)."""
+
+import pytest
+
+from repro.data.files import DataFile, Dataset, synthetic_dataset
+from repro.data.partition import (
+    PartitionGenerator,
+    PartitionScheme,
+    expected_group_count,
+    generate_groups,
+    register_scheme,
+)
+from repro.errors import PartitionError
+
+
+@pytest.fixture
+def dataset():
+    return synthetic_dataset("d", 6, 100)
+
+
+class TestSingle:
+    def test_one_file_per_group(self, dataset):
+        groups = generate_groups(dataset, PartitionScheme.SINGLE)
+        assert len(groups) == 6
+        assert all(len(g.files) == 1 for g in groups)
+
+    def test_order_matches_dataset(self, dataset):
+        groups = generate_groups(dataset, PartitionScheme.SINGLE)
+        assert [g.files[0].name for g in groups] == [f.name for f in dataset]
+
+    def test_empty_dataset(self):
+        assert generate_groups(Dataset("e"), PartitionScheme.SINGLE) == []
+
+
+class TestOneToAll:
+    def test_pivot_paired_with_all_others(self, dataset):
+        groups = generate_groups(dataset, PartitionScheme.ONE_TO_ALL)
+        assert len(groups) == 5
+        pivot = dataset[0]
+        for group in groups:
+            assert group.files[0] is pivot
+            assert group.files[1] is not pivot
+
+    def test_explicit_pivot(self, dataset):
+        pivot_name = dataset[3].name
+        groups = generate_groups(dataset, PartitionScheme.ONE_TO_ALL, pivot=pivot_name)
+        assert all(g.files[0].name == pivot_name for g in groups)
+
+    def test_unknown_pivot_raises(self, dataset):
+        with pytest.raises(PartitionError):
+            generate_groups(dataset, PartitionScheme.ONE_TO_ALL, pivot="ghost")
+
+    def test_single_file_dataset_yields_nothing(self):
+        ds = Dataset("one", [DataFile("a", 1)])
+        assert generate_groups(ds, PartitionScheme.ONE_TO_ALL) == []
+
+
+class TestPairwiseAdjacent:
+    def test_adjacent_pairs_in_order(self, dataset):
+        groups = generate_groups(dataset, PartitionScheme.PAIRWISE_ADJACENT)
+        assert len(groups) == 3
+        names = [f.name for f in dataset]
+        for i, group in enumerate(groups):
+            assert group.file_names == (names[2 * i], names[2 * i + 1])
+
+    def test_odd_count_rejected_by_default(self):
+        ds = synthetic_dataset("odd", 5, 10)
+        with pytest.raises(PartitionError):
+            generate_groups(ds, PartitionScheme.PAIRWISE_ADJACENT)
+
+    def test_odd_count_allowed_drops_last(self):
+        ds = synthetic_dataset("odd", 5, 10)
+        groups = generate_groups(ds, PartitionScheme.PAIRWISE_ADJACENT, allow_odd=True)
+        assert len(groups) == 2
+
+
+class TestAllToAll:
+    def test_all_unordered_pairs(self, dataset):
+        groups = generate_groups(dataset, PartitionScheme.ALL_TO_ALL)
+        assert len(groups) == 15  # C(6, 2)
+        pairs = {frozenset(g.file_names) for g in groups}
+        assert len(pairs) == 15  # no duplicates/reverses
+
+    def test_no_self_pairs(self, dataset):
+        for group in generate_groups(dataset, PartitionScheme.ALL_TO_ALL):
+            assert group.files[0] is not group.files[1]
+
+
+class TestChunkSchemes:
+    def test_round_robin_coverage(self, dataset):
+        groups = generate_groups(dataset, PartitionScheme.ROUND_ROBIN_CHUNKS, chunks=2)
+        assert len(groups) == 2
+        all_names = sorted(n for g in groups for n in g.file_names)
+        assert all_names == sorted(f.name for f in dataset)
+
+    def test_round_robin_requires_chunks(self, dataset):
+        with pytest.raises(PartitionError):
+            generate_groups(dataset, PartitionScheme.ROUND_ROBIN_CHUNKS)
+
+    def test_size_balanced_minimizes_spread(self):
+        files = [DataFile(f"f{i}", size) for i, size in enumerate([100, 90, 50, 40, 30, 10])]
+        ds = Dataset("skew", files)
+        groups = generate_groups(ds, PartitionScheme.SIZE_BALANCED_CHUNKS, chunks=2)
+        loads = sorted(g.total_size for g in groups)
+        # LPT greedy: 100|90, 50->90, 40->100, 30->140(tie, first), 10->150.
+        assert loads == [150, 170]
+        # Within the 4/3-OPT guarantee of LPT (OPT = 160).
+        assert max(loads) <= 160 * 4 / 3
+
+    def test_more_chunks_than_files(self):
+        ds = synthetic_dataset("tiny", 2, 10)
+        groups = generate_groups(ds, PartitionScheme.ROUND_ROBIN_CHUNKS, chunks=5)
+        assert len(groups) == 2  # empty chunks dropped
+
+
+class TestExpectedGroupCount:
+    @pytest.mark.parametrize(
+        "scheme,n,expected",
+        [
+            (PartitionScheme.SINGLE, 7, 7),
+            (PartitionScheme.ONE_TO_ALL, 7, 6),
+            (PartitionScheme.ONE_TO_ALL, 0, 0),
+            (PartitionScheme.PAIRWISE_ADJACENT, 8, 4),
+            (PartitionScheme.ALL_TO_ALL, 6, 15),
+            (PartitionScheme.ALL_TO_ALL, 1, 0),
+        ],
+    )
+    def test_closed_forms(self, scheme, n, expected):
+        assert expected_group_count(scheme, n) == expected
+
+    def test_chunk_schemes_with_options(self):
+        assert expected_group_count(PartitionScheme.ROUND_ROBIN_CHUNKS, 10, chunks=3) == 3
+        assert expected_group_count(PartitionScheme.SIZE_BALANCED_CHUNKS, 2, chunks=5) == 2
+
+
+class TestRegistry:
+    def test_unknown_scheme_raises(self, dataset):
+        with pytest.raises(PartitionError):
+            PartitionGenerator(scheme="nope").generate(dataset)
+
+    def test_custom_scheme_registration(self, dataset):
+        def reversed_singles(files, _opts):
+            for f in reversed(files):
+                yield (f,)
+
+        register_scheme("reversed_singles_test", reversed_singles, overwrite=True)
+        groups = generate_groups(dataset, "reversed_singles_test")
+        assert [g.files[0].name for g in groups] == [f.name for f in reversed(dataset.files)]
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(PartitionError):
+            register_scheme("single", lambda f, o: [])
+
+    def test_empty_group_from_custom_scheme_rejected(self, dataset):
+        register_scheme("empty_group_test", lambda files, o: [()], overwrite=True)
+        with pytest.raises(PartitionError):
+            generate_groups(dataset, "empty_group_test")
+
+    def test_task_group_metadata(self, dataset):
+        groups = generate_groups(dataset, PartitionScheme.PAIRWISE_ADJACENT)
+        assert [g.index for g in groups] == [0, 1, 2]
+        assert groups[0].total_size == 200

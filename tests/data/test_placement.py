@@ -1,0 +1,98 @@
+"""Unit tests for placement policies (Fig 7 machinery)."""
+
+import pytest
+
+from repro.data.files import DataFile, FileCatalog, synthetic_dataset
+from repro.data.partition import PartitionScheme, generate_groups
+from repro.data.placement import PlacementPolicy, plan_placement
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def groups():
+    return generate_groups(synthetic_dataset("d", 8, 1000), PartitionScheme.PAIRWISE_ADJACENT)
+
+
+class TestDataToCompute:
+    def test_assigns_to_compute_nodes(self, groups):
+        plan = plan_placement(
+            groups,
+            PlacementPolicy.DATA_TO_COMPUTE,
+            compute_nodes=["c0", "c1"],
+            data_nodes=["d0"],
+        )
+        assert {p.node_id for p in plan.placements} == {"c0", "c1"}
+
+    def test_all_files_transferred_without_catalog(self, groups):
+        plan = plan_placement(
+            groups,
+            PlacementPolicy.DATA_TO_COMPUTE,
+            compute_nodes=["c0"],
+            data_nodes=["d0"],
+        )
+        total = sum(g.total_size for g in groups)
+        assert plan.total_transfer_bytes == total
+
+    def test_catalog_replicas_skip_transfer(self, groups):
+        catalog = FileCatalog()
+        first = groups[0]
+        for f in first.files:
+            catalog.add_replica(f.name, "c0")
+        plan = plan_placement(
+            groups,
+            PlacementPolicy.DATA_TO_COMPUTE,
+            compute_nodes=["c0"],
+            data_nodes=["d0"],
+            catalog=catalog,
+        )
+        assert plan.placements[0].transfers == ()
+        assert plan.placements[1].transfer_bytes == groups[1].total_size
+
+    def test_round_robin_balance(self, groups):
+        plan = plan_placement(
+            groups,
+            PlacementPolicy.DATA_TO_COMPUTE,
+            compute_nodes=["c0", "c1"],
+            data_nodes=[],
+        )
+        counts = {n: len(plan.tasks_on(n)) for n in ("c0", "c1")}
+        assert counts == {"c0": 2, "c1": 2}
+
+
+class TestComputeToData:
+    def test_no_wide_transfers_when_data_resident(self, groups):
+        catalog = FileCatalog()
+        for group in groups:
+            for f in group.files:
+                catalog.add_replica(f.name, "d0")
+        plan = plan_placement(
+            groups,
+            PlacementPolicy.COMPUTE_TO_DATA,
+            compute_nodes=["c0"],
+            data_nodes=["d0", "d1"],
+            catalog=catalog,
+        )
+        assert plan.total_transfer_bytes == 0
+
+    def test_prefers_node_holding_most_bytes(self, groups):
+        catalog = FileCatalog()
+        target = groups[2]
+        for f in target.files:
+            catalog.add_replica(f.name, "d1")
+        plan = plan_placement(
+            groups,
+            PlacementPolicy.COMPUTE_TO_DATA,
+            compute_nodes=[],
+            data_nodes=["d0", "d1"],
+            catalog=catalog,
+        )
+        assert plan.placements[2].node_id == "d1"
+
+    def test_empty_pool_rejected(self, groups):
+        with pytest.raises(ConfigurationError):
+            plan_placement(
+                groups,
+                PlacementPolicy.COMPUTE_TO_DATA,
+                compute_nodes=["c0"],
+                data_nodes=[],
+            )

@@ -1,0 +1,69 @@
+"""Unit tests for compute-cost models."""
+
+import pytest
+
+from repro.data.files import DataFile
+from repro.data.partition import TaskGroup
+from repro.engines.compute import (
+    FixedComputeModel,
+    PerByteComputeModel,
+    StochasticComputeModel,
+)
+
+
+def group(index=0, sizes=(1000, 2000)):
+    files = tuple(DataFile(f"f{i}", s) for i, s in enumerate(sizes))
+    return TaskGroup(index=index, files=files)
+
+
+class TestFixed:
+    def test_constant_cost(self):
+        model = FixedComputeModel(2.5)
+        assert model.cost(group(0)) == 2.5
+        assert model.cost(group(7)) == 2.5
+
+
+class TestPerByte:
+    def test_scales_with_bytes(self):
+        model = PerByteComputeModel(seconds_per_byte=1e-6, startup_seconds=0.5)
+        assert model.cost(group(sizes=(1000, 2000))) == pytest.approx(0.5 + 0.003)
+
+    def test_zero_byte_group(self):
+        model = PerByteComputeModel(seconds_per_byte=1e-6, startup_seconds=0.25)
+        assert model.cost(group(sizes=(0,))) == pytest.approx(0.25)
+
+
+class TestStochastic:
+    def test_deterministic_per_task_index(self):
+        model = StochasticComputeModel(mean_seconds=10.0, cv=0.5, seed=3)
+        assert model.cost(group(4)) == model.cost(group(4))
+
+    def test_different_tasks_differ(self):
+        model = StochasticComputeModel(mean_seconds=10.0, cv=0.5, seed=3)
+        costs = {model.cost(group(i)) for i in range(20)}
+        assert len(costs) == 20
+
+    def test_seed_isolation(self):
+        a = StochasticComputeModel(10.0, 0.5, seed=1).cost(group(0))
+        b = StochasticComputeModel(10.0, 0.5, seed=2).cost(group(0))
+        assert a != b
+
+    def test_mean_approximately_respected(self):
+        model = StochasticComputeModel(mean_seconds=10.0, cv=0.4, seed=0)
+        costs = [model.cost(group(i)) for i in range(3000)]
+        assert sum(costs) / len(costs) == pytest.approx(10.0, rel=0.05)
+
+    def test_cv_approximately_respected(self):
+        import numpy as np
+
+        model = StochasticComputeModel(mean_seconds=10.0, cv=0.4, seed=0)
+        costs = np.array([model.cost(group(i)) for i in range(3000)])
+        assert costs.std() / costs.mean() == pytest.approx(0.4, rel=0.1)
+
+    def test_zero_cv_is_constant(self):
+        model = StochasticComputeModel(mean_seconds=7.0, cv=0.0)
+        assert model.cost(group(0)) == 7.0
+
+    def test_costs_positive(self):
+        model = StochasticComputeModel(mean_seconds=5.0, cv=1.5, seed=0)
+        assert all(model.cost(group(i)) > 0 for i in range(200))

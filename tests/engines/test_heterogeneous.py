@@ -1,0 +1,90 @@
+"""Heterogeneous-cluster semantics (§III-A's motivation for real-time)."""
+
+import pytest
+
+from repro.cloud.cluster import ClusterSpec, Provisioner
+from repro.cloud.instance import C1_XLARGE, M1_SMALL, InstanceType
+from repro.core.strategies import StrategyKind
+from repro.data.files import synthetic_dataset
+from repro.engines.compute import FixedComputeModel
+from repro.engines.simulated import SimulatedEngine
+from repro.errors import ProvisioningError
+from repro.sim import Environment
+
+
+class TestInstanceSpeed:
+    def test_core_speed_validation(self):
+        with pytest.raises(ProvisioningError):
+            InstanceType("bad", 1, 1, 1, 1, 1, 1, core_speed=0)
+
+    def test_m1_small_is_half_speed(self):
+        assert M1_SMALL.core_speed == 0.5
+        assert C1_XLARGE.core_speed == 1.0
+
+
+class TestHeterogeneousProvisioning:
+    def test_worker_types_cycle(self):
+        spec = ClusterSpec(
+            num_workers=4, worker_instance_types=(C1_XLARGE, M1_SMALL)
+        )
+        cluster = Provisioner(Environment()).provision_now(spec)
+        types = [vm.itype.name for vm in cluster.worker_vms]
+        assert types == ["c1.xlarge", "m1.small", "c1.xlarge", "m1.small"]
+
+    def test_empty_tuple_uses_default(self):
+        cluster = Provisioner(Environment()).provision_now(ClusterSpec(num_workers=2))
+        assert all(vm.itype is C1_XLARGE for vm in cluster.worker_vms)
+
+
+class TestHeterogeneousExecution:
+    def _run(self, strategy, spec):
+        dataset = synthetic_dataset("h", 48, "1 KB", seed=1)
+        return SimulatedEngine(spec).run(
+            dataset,
+            compute_model=FixedComputeModel(4.0),
+            strategy=strategy,
+        )
+
+    def test_slow_cores_stretch_tasks(self):
+        fast = self._run(
+            StrategyKind.PRE_PARTITIONED_LOCAL,
+            ClusterSpec(num_workers=1, instance_type=C1_XLARGE),
+        )
+        slow_type = InstanceType(
+            "slowbox", 4, 4_000_000_000, 40_000_000_000,
+            8e8, 6.4e8, 1e8, core_speed=0.5,
+        )
+        slow = self._run(
+            StrategyKind.PRE_PARTITIONED_LOCAL,
+            ClusterSpec(num_workers=1, instance_type=slow_type),
+        )
+        assert slow.makespan == pytest.approx(fast.makespan * 2.0, rel=0.05)
+
+    def test_real_time_wins_on_mixed_hardware(self):
+        spec = ClusterSpec(
+            num_workers=4, worker_instance_types=(C1_XLARGE, M1_SMALL)
+        )
+        static = self._run(StrategyKind.PRE_PARTITIONED_LOCAL, spec)
+        real_time = self._run(StrategyKind.REAL_TIME, spec)
+        assert real_time.makespan < static.makespan
+
+    def test_static_competitive_on_uniform_hardware(self):
+        # The paper's own caveat: pre-partitioning "works best if every
+        # computation is more or less identical" — on uniform hardware
+        # with fixed costs real-time's pull RTTs make it no faster.
+        spec = ClusterSpec(num_workers=4)
+        static = self._run(StrategyKind.PRE_PARTITIONED_LOCAL, spec)
+        real_time = self._run(StrategyKind.REAL_TIME, spec)
+        assert static.makespan <= real_time.makespan * 1.02
+
+    def test_slow_nodes_complete_fewer_tasks_under_real_time(self):
+        spec = ClusterSpec(
+            num_workers=2, worker_instance_types=(C1_XLARGE, M1_SMALL)
+        )
+        outcome = self._run(StrategyKind.REAL_TIME, spec)
+        per_node: dict[str, int] = {}
+        for record in outcome.task_records:
+            per_node[record.node_id] = per_node.get(record.node_id, 0) + 1
+        # worker1 = c1.xlarge (4 fast cores), worker2 = m1.small (1 slow
+        # core): the fast node must do the lion's share.
+        assert per_node["worker1"] > per_node["worker2"] * 3

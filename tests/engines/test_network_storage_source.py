@@ -1,0 +1,99 @@
+"""Tests for the network-storage data source (§III-A networked disks)."""
+
+import pytest
+
+from repro.cloud.cluster import ClusterSpec
+from repro.core.strategies import StrategyKind
+from repro.data.files import synthetic_dataset
+from repro.data.partition import PartitionScheme
+from repro.engines.compute import FixedComputeModel
+from repro.engines.simulated import SimulatedEngine, SimulationOptions
+from repro.errors import ConfigurationError
+from repro.transfer.base import TransferProtocol
+from repro.util.units import GB, Mbit
+
+
+class _Raw(TransferProtocol):
+    handshake_latency = 0.0
+    efficiency = 1.0
+    streams = 1
+
+
+def spec_with_storage(server_bps=400 * Mbit):
+    return ClusterSpec(
+        num_workers=4,
+        network_storage_bytes=1000 * GB,
+        network_storage_bps=400 * Mbit,
+        network_storage_server_bps=server_bps,
+    )
+
+
+def run(spec, data_source, **kwargs):
+    engine = SimulatedEngine(spec, SimulationOptions(protocol=_Raw()))
+    return engine.run(
+        synthetic_dataset("ns", 40, "5 MB", seed=1),
+        compute_model=FixedComputeModel(1.0),
+        strategy=StrategyKind.REAL_TIME,
+        grouping=PartitionScheme.PAIRWISE_ADJACENT,
+        data_source=data_source,
+        **kwargs,
+    )
+
+
+class TestNetworkStorageSource:
+    def test_requires_storage_tier(self):
+        with pytest.raises(ConfigurationError):
+            run(ClusterSpec(num_workers=2), "network_storage")
+
+    def test_invalid_source_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run(spec_with_storage(), "s3")
+
+    def test_completes_from_network_storage(self):
+        outcome = run(spec_with_storage(), "network_storage")
+        assert outcome.all_tasks_ok
+        assert outcome.bytes_transferred == pytest.approx(40 * 5_000_000)
+
+    def test_files_placed_on_shared_tier(self):
+        spec = spec_with_storage()
+        engine = SimulatedEngine(spec, SimulationOptions(protocol=_Raw()))
+        ds = synthetic_dataset("ns", 6, "1 MB", seed=2)
+        # Capture the cluster state via the outcome's cost path: rerun
+        # with a tiny workload and inspect storage through a fresh run.
+        outcome = engine.run(
+            ds,
+            compute_model=FixedComputeModel(0.1),
+            strategy=StrategyKind.PRE_PARTITIONED_REMOTE,
+            data_source="network_storage",
+        )
+        assert outcome.all_tasks_ok
+
+    def test_server_uplink_becomes_the_bottleneck(self):
+        # With a slow storage server, pulling from network storage is
+        # slower than pulling from the master (whose uplink is 100 Mbit).
+        slow_storage = run(spec_with_storage(server_bps=25 * Mbit), "network_storage")
+        from_master = run(spec_with_storage(), "master")
+        assert slow_storage.makespan > from_master.makespan
+
+    def test_fast_storage_beats_master_uplink(self):
+        # A 400 Mbit storage server out-serves the master's 100 Mbit NIC
+        # when four workers pull concurrently.
+        fast_storage = run(spec_with_storage(server_bps=400 * Mbit), "network_storage")
+        from_master = run(spec_with_storage(), "master")
+        assert fast_storage.makespan < from_master.makespan
+
+    def test_storage_tier_capacity_enforced(self):
+        spec = ClusterSpec(
+            num_workers=1,
+            network_storage_bytes=3_000_000,  # 3 MB tier
+        )
+        engine = SimulatedEngine(spec, SimulationOptions(protocol=_Raw()))
+        from repro.errors import StorageError
+
+        with pytest.raises(StorageError):
+            engine.run(
+                synthetic_dataset("big", 4, "2 MB", seed=3),
+                compute_model=FixedComputeModel(0.1),
+                strategy=StrategyKind.REAL_TIME,
+                data_source="network_storage",
+            )

@@ -1,0 +1,185 @@
+"""Tests for the opt-in engine extensions: prefetch, LPT chunking,
+master outage/recovery, output snapshots on scale-down."""
+
+import pytest
+
+from repro.cloud.cluster import ClusterSpec
+from repro.core.strategies import StrategyKind
+from repro.data.files import synthetic_dataset
+from repro.data.partition import PartitionScheme
+from repro.engines.compute import FixedComputeModel, StochasticComputeModel
+from repro.engines.simulated import ElasticAction, SimulatedEngine, SimulationOptions
+
+SPEC = ClusterSpec(num_workers=4)
+
+
+def dataset(n=60, size="6 MB"):
+    return synthetic_dataset("ext", n, size, seed=1)
+
+
+class TestPrefetch:
+    def _run(self, prefetch_depth):
+        options = SimulationOptions(prefetch_depth=prefetch_depth)
+        return SimulatedEngine(SPEC, options).run(
+            dataset(),
+            compute_model=FixedComputeModel(2.0),
+            strategy=StrategyKind.REAL_TIME,
+            grouping=PartitionScheme.PAIRWISE_ADJACENT,
+        )
+
+    def test_prefetch_completes_everything(self):
+        outcome = self._run(1)
+        assert outcome.all_tasks_ok
+
+    def test_prefetch_improves_overlap(self):
+        base = self._run(0)
+        pre = self._run(1)
+        assert pre.makespan < base.makespan
+
+    def test_prefetch_ignored_for_staged_strategies(self):
+        options = SimulationOptions(prefetch_depth=1)
+        outcome = SimulatedEngine(SPEC, options).run(
+            dataset(),
+            compute_model=FixedComputeModel(2.0),
+            strategy=StrategyKind.PRE_PARTITIONED_REMOTE,
+            grouping=PartitionScheme.PAIRWISE_ADJACENT,
+        )
+        assert outcome.all_tasks_ok
+
+    def test_prefetch_with_worker_failure(self):
+        from repro.cloud.failures import FailureSchedule
+
+        options = SimulationOptions(prefetch_depth=1)
+        outcome = SimulatedEngine(SPEC, options).run(
+            dataset(n=40, size="1 KB"),
+            compute_model=FixedComputeModel(3.0),
+            strategy=StrategyKind.REAL_TIME,
+            failure_schedule=FailureSchedule.of((4.0, "worker1")),
+        )
+        # Accounting stays consistent even with an in-flight prefetch
+        # on the dying node.
+        assert outcome.tasks_completed + outcome.tasks_lost == outcome.tasks_total
+        assert outcome.tasks_lost >= 1
+
+    def test_prefetch_task_records_complete(self):
+        outcome = self._run(1)
+        assert sorted(r.task_id for r in outcome.task_records) == list(range(30))
+
+
+class TestChunkingDisciplines:
+    def _run(self, chunking, model=None):
+        return SimulatedEngine(SPEC).run(
+            dataset(),
+            compute_model=model or StochasticComputeModel(5.0, cv=0.8, seed=3),
+            strategy=StrategyKind.PRE_PARTITIONED_LOCAL,
+            grouping=PartitionScheme.PAIRWISE_ADJACENT,
+            static_chunking=chunking,
+        )
+
+    def test_lpt_cost_beats_contiguous_on_skew(self):
+        contiguous = self._run("contiguous")
+        lpt = self._run("lpt_cost")
+        assert lpt.all_tasks_ok
+        assert lpt.makespan <= contiguous.makespan
+
+    def test_lpt_size_completes(self):
+        outcome = self._run("lpt_size")
+        assert outcome.all_tasks_ok
+
+    def test_unknown_chunking_rejected(self):
+        from repro.errors import ProtocolError
+
+        with pytest.raises(ProtocolError):
+            self._run("zigzag")
+
+    def test_real_time_still_beats_oracle_static_under_uncertainty(self):
+        # Even cost-oracle LPT can't dodge the pull discipline's
+        # adaptivity... but with a *perfect* oracle and deterministic
+        # costs it should at least come close. We assert the weaker,
+        # correct property: real-time <= contiguous static.
+        rt = SimulatedEngine(SPEC).run(
+            dataset(n=60, size="1 KB"),
+            compute_model=StochasticComputeModel(5.0, cv=0.8, seed=3),
+            strategy=StrategyKind.REAL_TIME,
+        )
+        static = SimulatedEngine(SPEC).run(
+            dataset(n=60, size="1 KB"),
+            compute_model=StochasticComputeModel(5.0, cv=0.8, seed=3),
+            strategy=StrategyKind.PRE_PARTITIONED_LOCAL,
+        )
+        assert rt.makespan <= static.makespan * 1.05
+
+
+class TestMasterOutage:
+    def _run(self, **kwargs):
+        return SimulatedEngine(SPEC).run(
+            dataset(),
+            compute_model=FixedComputeModel(2.0),
+            strategy=StrategyKind.REAL_TIME,
+            grouping=PartitionScheme.PAIRWISE_ADJACENT,
+            **kwargs,
+        )
+
+    def test_recovered_outage_completes_with_delay(self):
+        base = self._run()
+        outage = self._run(master_failure_at=10.0, master_recovery_time=30.0)
+        assert outage.all_tasks_ok
+        assert outage.makespan > base.makespan
+        assert outage.extra["master_failed"]
+        assert outage.extra["master_recovered"]
+
+    def test_permanent_loss_terminates_early(self):
+        outcome = self._run(master_failure_at=10.0)
+        assert outcome.extra["master_failed"]
+        assert not outcome.extra["master_recovered"]
+        assert outcome.tasks_completed < outcome.tasks_total
+        # The run ends at the failure instant, not at a timeout.
+        assert outcome.makespan == pytest.approx(10.0, abs=0.5)
+
+    def test_local_data_unaffected_by_outage_before_it(self):
+        # With pre-partitioned-local data the master is only needed for
+        # control; an outage after partitioning barely matters.
+        outcome = SimulatedEngine(SPEC).run(
+            dataset(n=40, size="1 KB"),
+            compute_model=FixedComputeModel(2.0),
+            strategy=StrategyKind.PRE_PARTITIONED_LOCAL,
+            master_failure_at=1.0,
+            master_recovery_time=5.0,
+        )
+        assert outcome.all_tasks_ok
+
+
+class TestOutputSnapshots:
+    def _run(self, snapshot, remove_at=25.0):
+        return SimulatedEngine(SPEC).run(
+            dataset(),
+            compute_model=FixedComputeModel(2.0),
+            strategy=StrategyKind.REAL_TIME,
+            grouping=PartitionScheme.PAIRWISE_ADJACENT,
+            output_bytes_per_task=1_000_000,
+            elasticity=[
+                ElasticAction(
+                    time=remove_at, action="remove", node_id="worker2", snapshot=snapshot
+                )
+            ],
+        )
+
+    def test_snapshot_captures_outputs(self):
+        outcome = self._run(snapshot=True)
+        assert outcome.extra["outputs_snapshotted_bytes"] > 0
+        assert outcome.extra["snapshot_time"] > 0
+        kinds = [e.kind for e in outcome.controller_events]
+        assert "OUTPUTS_SNAPSHOTTED" in kinds
+
+    def test_no_snapshot_loses_outputs(self):
+        outcome = self._run(snapshot=False)
+        assert outcome.extra["outputs_snapshotted_bytes"] == 0
+
+    def test_outputs_do_not_break_completion(self):
+        outcome = SimulatedEngine(SPEC).run(
+            dataset(n=20, size="1 KB"),
+            compute_model=FixedComputeModel(0.5),
+            strategy=StrategyKind.REAL_TIME,
+            output_bytes_per_task=500_000,
+        )
+        assert outcome.all_tasks_ok

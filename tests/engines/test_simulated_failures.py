@@ -1,0 +1,123 @@
+"""Failure semantics on the simulated engine (§V-A Robust)."""
+
+import pytest
+
+from repro.cloud.cluster import ClusterSpec
+from repro.cloud.failures import FailureSchedule
+from repro.core.fault import RetryPolicy
+from repro.core.strategies import StrategyKind
+from repro.data.files import synthetic_dataset
+from repro.data.partition import PartitionScheme
+from repro.engines.compute import FixedComputeModel
+from repro.engines.simulated import SimulatedEngine, SimulationOptions
+from repro.transfer.base import TransferProtocol
+
+
+class _Raw(TransferProtocol):
+    handshake_latency = 0.0
+    efficiency = 1.0
+    streams = 1
+
+
+def run_with_failure(
+    fail_at=3.0,
+    victim="worker1",
+    strategy=StrategyKind.REAL_TIME,
+    retry_policy=None,
+    n_files=32,
+    cost=2.0,
+    workers=2,
+):
+    spec = ClusterSpec(num_workers=workers)
+    engine = SimulatedEngine(spec, SimulationOptions(protocol=_Raw()))
+    ds = synthetic_dataset("d", n_files, "1 KB")
+    return engine.run(
+        ds,
+        compute_model=FixedComputeModel(cost),
+        strategy=strategy,
+        grouping=PartitionScheme.SINGLE,
+        failure_schedule=FailureSchedule.of((fail_at, victim)),
+        retry_policy=retry_policy,
+    )
+
+
+class TestPaperFaithful:
+    def test_real_time_isolates_and_loses_in_flight(self):
+        outcome = run_with_failure()
+        # The failed node's in-flight tasks (up to 4 clones) are lost,
+        # everything else completes on the survivor.
+        assert 0 < outcome.tasks_lost <= 4
+        assert outcome.tasks_completed == outcome.tasks_total - outcome.tasks_lost
+        assert outcome.extra["failures"]  # reported to the controller
+
+    def test_static_mode_loses_whole_chunk_remainder(self):
+        outcome = run_with_failure(strategy=StrategyKind.PRE_PARTITIONED_REMOTE)
+        # Half the tasks were reserved for the dead worker; those not
+        # yet done are lost.
+        assert outcome.tasks_lost >= 1
+        assert outcome.tasks_completed + outcome.tasks_lost == outcome.tasks_total
+
+    def test_failure_records_in_controller_events(self):
+        outcome = run_with_failure()
+        kinds = [e.kind for e in outcome.controller_events]
+        assert "WORKER_FAILED" in kinds
+
+    def test_failed_tasks_have_records(self):
+        outcome = run_with_failure()
+        aborted = [r for r in outcome.task_records if not r.ok]
+        assert len(aborted) >= 1
+        assert all("vm failure" in r.error for r in aborted)
+
+
+class TestRetryExtension:
+    def test_real_time_retry_completes_everything(self):
+        outcome = run_with_failure(retry_policy=RetryPolicy.resilient())
+        assert outcome.tasks_lost == 0
+        assert outcome.tasks_completed == outcome.tasks_total
+
+    def test_static_retry_rebalances_chunk(self):
+        outcome = run_with_failure(
+            strategy=StrategyKind.PRE_PARTITIONED_REMOTE,
+            retry_policy=RetryPolicy.resilient(),
+        )
+        assert outcome.tasks_lost == 0
+        assert outcome.tasks_completed == outcome.tasks_total
+
+    def test_retried_tasks_show_multiple_attempts(self):
+        outcome = run_with_failure(retry_policy=RetryPolicy.resilient())
+        assert any(r.attempt > 1 for r in outcome.task_records if r.ok)
+
+
+class TestWholeClusterLoss:
+    def test_all_workers_dead_terminates_with_losses(self):
+        spec = ClusterSpec(num_workers=2)
+        engine = SimulatedEngine(spec, SimulationOptions(protocol=_Raw()))
+        ds = synthetic_dataset("d", 12, "1 KB")
+        outcome = engine.run(
+            ds,
+            compute_model=FixedComputeModel(5.0),
+            strategy=StrategyKind.REAL_TIME,
+            failure_schedule=FailureSchedule.of((3.0, "worker1"), (4.0, "worker2")),
+        )
+        # Nobody survives long enough to finish a 5 s task.
+        assert outcome.tasks_completed == 0
+        # In-flight tasks are recorded lost; never-assigned queue
+        # entries are simply unprocessed (neither completed nor lost).
+        assert outcome.tasks_lost >= 1
+        assert outcome.tasks_completed + outcome.tasks_lost <= outcome.tasks_total
+
+    def test_random_failures_with_mttf(self):
+        spec = ClusterSpec(num_workers=4)
+        engine = SimulatedEngine(spec, SimulationOptions(protocol=_Raw(), seed=5))
+        ds = synthetic_dataset("d", 20, "1 KB")
+        outcome = engine.run(
+            ds,
+            compute_model=FixedComputeModel(1.0),
+            strategy=StrategyKind.REAL_TIME,
+            failure_mttf=20.0,
+            retry_policy=RetryPolicy.resilient(max_attempts=10),
+        )
+        # Either everything completed before the cluster died, or the
+        # accounting still balances (unassigned queue entries are
+        # neither completed nor lost).
+        assert outcome.tasks_completed + outcome.tasks_lost <= outcome.tasks_total

@@ -1,0 +1,125 @@
+"""Property-based tests for the simulated engine.
+
+For random small workloads across all strategies and cluster shapes:
+
+- every task completes exactly once (no failures configured),
+- worker busy time equals the sum of task costs (work conservation),
+- bytes transferred match the strategy's contract,
+- makespan is bounded below by critical-path arguments.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cloud.cluster import ClusterSpec
+from repro.core.strategies import StrategyKind
+from repro.data.files import synthetic_dataset
+from repro.data.partition import PartitionScheme
+from repro.engines.compute import FixedComputeModel, StochasticComputeModel
+from repro.engines.simulated import SimulatedEngine, SimulationOptions
+from repro.transfer.base import TransferProtocol
+
+
+class _Raw(TransferProtocol):
+    handshake_latency = 0.0
+    efficiency = 1.0
+    streams = 1
+
+
+RUN_CONFIGS = st.fixed_dictionaries(
+    {
+        "n_files": st.integers(1, 24),
+        "workers": st.integers(1, 4),
+        "strategy": st.sampled_from(list(StrategyKind)),
+        "cost": st.floats(0.1, 5.0),
+        "multicore": st.booleans(),
+        "prefetch": st.integers(0, 1),
+    }
+)
+
+
+@given(RUN_CONFIGS)
+@settings(max_examples=60, deadline=None)
+def test_every_task_completes_exactly_once(config):
+    engine = SimulatedEngine(
+        ClusterSpec(num_workers=config["workers"]),
+        SimulationOptions(protocol=_Raw(), prefetch_depth=config["prefetch"]),
+    )
+    dataset = synthetic_dataset("p", config["n_files"], "100 KB", seed=1)
+    outcome = engine.run(
+        dataset,
+        compute_model=FixedComputeModel(config["cost"]),
+        strategy=config["strategy"],
+        multicore=config["multicore"],
+    )
+    assert outcome.tasks_completed == outcome.tasks_total == config["n_files"]
+    completed_ids = sorted(r.task_id for r in outcome.task_records if r.ok)
+    assert completed_ids == list(range(config["n_files"]))
+
+
+@given(RUN_CONFIGS)
+@settings(max_examples=40, deadline=None)
+def test_busy_time_conserves_work(config):
+    engine = SimulatedEngine(
+        ClusterSpec(num_workers=config["workers"]),
+        SimulationOptions(protocol=_Raw(), include_disk_io=False,
+                          prefetch_depth=config["prefetch"]),
+    )
+    dataset = synthetic_dataset("p", config["n_files"], "1 KB", seed=2)
+    outcome = engine.run(
+        dataset,
+        compute_model=FixedComputeModel(config["cost"]),
+        strategy=config["strategy"],
+        multicore=config["multicore"],
+    )
+    total_work = config["n_files"] * config["cost"]
+    assert sum(outcome.worker_busy.values()) >= total_work * 0.999
+    # Makespan can never beat perfect parallelism over available clones.
+    clones = config["workers"] * (4 if config["multicore"] else 1)
+    assert outcome.makespan >= total_work / clones * 0.999
+
+
+@given(
+    st.integers(1, 16),
+    st.integers(1, 3),
+    st.sampled_from(
+        [StrategyKind.PRE_PARTITIONED_REMOTE, StrategyKind.REAL_TIME]
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_remote_strategies_move_each_byte_once(n_files, workers, strategy):
+    engine = SimulatedEngine(
+        ClusterSpec(num_workers=workers), SimulationOptions(protocol=_Raw())
+    )
+    dataset = synthetic_dataset("b", n_files, "2 MB", seed=3)
+    outcome = engine.run(
+        dataset,
+        compute_model=FixedComputeModel(0.5),
+        strategy=strategy,
+    )
+    # Each input file crosses the network to exactly one worker.
+    assert outcome.bytes_transferred == dataset.total_size
+
+
+@given(st.integers(2, 20), st.floats(0.2, 1.0))
+@settings(max_examples=30, deadline=None)
+def test_strategies_agree_on_task_costs(n_files, cv):
+    """Pre and real-time see identical per-task costs (deterministic
+    cost streams), so their total busy time matches."""
+    model = StochasticComputeModel(3.0, cv=cv, seed=7)
+    outcomes = []
+    for strategy in (StrategyKind.PRE_PARTITIONED_LOCAL, StrategyKind.REAL_TIME):
+        engine = SimulatedEngine(
+            ClusterSpec(num_workers=2),
+            SimulationOptions(protocol=_Raw(), include_disk_io=False),
+        )
+        outcomes.append(
+            engine.run(
+                synthetic_dataset("c", n_files, "1 KB", seed=4),
+                compute_model=model,
+                strategy=strategy,
+            )
+        )
+    busy = [sum(o.worker_busy.values()) for o in outcomes]
+    assert math.isclose(busy[0], busy[1], rel_tol=1e-9)

@@ -1,0 +1,142 @@
+"""Tests for speculative execution (backup tasks, extension)."""
+
+import pytest
+
+from repro.cloud.cluster import ClusterSpec
+from repro.cloud.instance import C1_XLARGE, M1_SMALL
+from repro.core.fault import FaultTracker
+from repro.core.scheduler import MasterScheduler
+from repro.core.strategies import StrategyKind, strategy_for
+from repro.data.files import synthetic_dataset
+from repro.data.partition import PartitionScheme, generate_groups
+from repro.engines.compute import FixedComputeModel
+from repro.engines.simulated import SimulatedEngine, SimulationOptions
+from repro.transfer.base import TransferProtocol
+
+
+class _Raw(TransferProtocol):
+    handshake_latency = 0.0
+    efficiency = 1.0
+    streams = 1
+
+
+def make_scheduler(n_files=4, workers=("w0", "w1")):
+    groups = generate_groups(synthetic_dataset("d", n_files, 10), PartitionScheme.SINGLE)
+    sched = MasterScheduler(groups, strategy_for(StrategyKind.REAL_TIME))
+    for w in workers:
+        sched.register_worker(w)
+    sched.partition_among()
+    return sched
+
+
+class TestSchedulerSpeculation:
+    def test_duplicates_in_flight_task(self):
+        sched = make_scheduler(n_files=1)
+        original = sched.next_for("w0")
+        copy = sched.speculate_for("w1")
+        assert copy is not None
+        assert copy.task_id == original.task_id
+        assert copy.worker_id == "w1"
+
+    def test_no_speculation_when_nothing_in_flight(self):
+        sched = make_scheduler(n_files=1)
+        assert sched.speculate_for("w1") is None
+
+    def test_never_duplicates_own_task(self):
+        sched = make_scheduler(n_files=1)
+        sched.next_for("w0")
+        assert sched.speculate_for("w0") is None
+
+    def test_at_most_one_backup(self):
+        sched = make_scheduler(n_files=1, workers=("w0", "w1", "w2"))
+        sched.next_for("w0")
+        assert sched.speculate_for("w1") is not None
+        assert sched.speculate_for("w2") is None
+
+    def test_first_completion_wins(self):
+        sched = make_scheduler(n_files=1)
+        sched.next_for("w0")
+        sched.speculate_for("w1")
+        sched.report_success("w1", 0)  # the backup wins
+        sched.report_success("w0", 0)  # original's report discarded
+        assert sched.completed[0].worker_id == "w1"
+        assert sched.summary()["completed"] == 1
+        assert sched.done
+
+    def test_loser_error_is_harmless(self):
+        sched = make_scheduler(n_files=1)
+        sched.next_for("w0")
+        sched.speculate_for("w1")
+        sched.report_success("w0", 0)
+        retried = sched.report_error("w1", 0, "late failure")
+        assert not retried
+        assert sched.summary()["completed"] == 1
+        assert not sched.failed_tasks
+
+    def test_copy_failure_defers_to_running_original(self):
+        sched = make_scheduler(n_files=1)
+        sched.next_for("w0")
+        sched.speculate_for("w1")
+        assert not sched.report_error("w1", 0, "backup died")
+        assert not sched.failed_tasks  # the original is still running
+        sched.report_success("w0", 0)
+        assert sched.done
+
+    def test_worker_loss_with_surviving_copy(self):
+        sched = make_scheduler(n_files=1)
+        sched.next_for("w0")
+        sched.speculate_for("w1")
+        sched.worker_lost("w0")
+        assert sched.lost_tasks == []  # copy still running
+        sched.report_success("w1", 0)
+        assert sched.done
+        assert sched.summary()["completed"] == 1
+
+    def test_isolated_worker_cannot_speculate(self):
+        sched = make_scheduler(n_files=1, workers=("w0", "w1"))
+        sched.next_for("w0")
+        sched.faults.record_loss("w1")
+        assert sched.speculate_for("w1") is None
+
+
+class TestEngineSpeculation:
+    def _run(self, speculative):
+        # Heterogeneous cluster: the slow node strands the tail task
+        # unless a fast node backs it up.
+        spec = ClusterSpec(
+            num_workers=2, worker_instance_types=(C1_XLARGE, M1_SMALL)
+        )
+        engine = SimulatedEngine(
+            spec,
+            SimulationOptions(protocol=_Raw(), speculative=speculative),
+        )
+        return engine.run(
+            synthetic_dataset("s", 20, "1 KB", seed=1),
+            compute_model=FixedComputeModel(8.0),
+            strategy=StrategyKind.REAL_TIME,
+        )
+
+    def test_speculation_beats_stragglers(self):
+        plain = self._run(False)
+        spec = self._run(True)
+        assert spec.makespan < plain.makespan
+
+    def test_all_unique_tasks_complete(self):
+        outcome = self._run(True)
+        assert outcome.tasks_completed == outcome.tasks_total
+        ok_ids = {r.task_id for r in outcome.task_records if r.ok}
+        assert ok_ids == set(range(20))
+
+    def test_no_speculation_under_static_strategy(self):
+        spec = ClusterSpec(num_workers=2)
+        engine = SimulatedEngine(
+            spec, SimulationOptions(protocol=_Raw(), speculative=True)
+        )
+        outcome = engine.run(
+            synthetic_dataset("s", 8, "1 KB", seed=2),
+            compute_model=FixedComputeModel(1.0),
+            strategy=StrategyKind.PRE_PARTITIONED_LOCAL,
+        )
+        assert outcome.all_tasks_ok
+        # No duplicate records under static assignment.
+        assert len(outcome.task_records) == 8

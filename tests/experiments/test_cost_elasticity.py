@@ -1,0 +1,86 @@
+"""Tests for the cost and elasticity extension experiments."""
+
+import pytest
+
+from repro.experiments import cost as cost_mod
+from repro.experiments import elasticity_exp
+from repro.util.tables import render_table
+
+
+@pytest.fixture(scope="module")
+def cost_cells():
+    return cost_mod.run_cost(0.05)
+
+
+@pytest.fixture(scope="module")
+def elasticity_cells():
+    return elasticity_exp.run_elasticity(0.05, additions=(0, 2))
+
+
+class TestCostExperiment:
+    def test_all_cells(self, cost_cells):
+        assert len(cost_cells) == 6  # 2 apps x 3 strategies
+
+    def test_shapes_hold(self, cost_cells):
+        assert cost_mod.shapes_hold(cost_cells)
+
+    def test_cost_tracks_time_within_app(self, cost_cells):
+        blast = sorted(
+            (c for c in cost_cells if c.app == "blast"),
+            key=lambda c: c.outcome.makespan,
+        )
+        costs = [c.dollars for c in blast]
+        assert costs == sorted(costs)
+
+    def test_parallel_cheaper_per_speedup_than_raw_dollars_suggest(self, cost_cells):
+        for cell in cost_cells:
+            assert cell.speedup > 1.0
+            assert cell.dollars_per_speedup < cell.dollars
+
+    def test_render(self, cost_cells):
+        text = render_table(cost_mod.render_cost(cost_cells, 0.05))
+        assert "$ / speedup" in text
+
+
+class TestElasticityExperiment:
+    def test_shapes_hold(self, elasticity_cells):
+        assert elasticity_exp.shapes_hold(elasticity_cells)
+
+    def test_additions_reduce_makespan(self, elasticity_cells):
+        static = next(c for c in elasticity_cells if c.added_nodes == 0)
+        scaled = next(c for c in elasticity_cells if c.added_nodes == 2)
+        assert scaled.makespan < static.makespan
+
+    def test_everything_completes(self, elasticity_cells):
+        assert all(c.outcome.all_tasks_ok for c in elasticity_cells)
+
+    def test_elastic_nodes_cost_money(self, elasticity_cells):
+        static = next(c for c in elasticity_cells if c.added_nodes == 0)
+        scaled = next(c for c in elasticity_cells if c.added_nodes == 2)
+        # Extra nodes bill extra VM-hours even though the run is shorter
+        # (per-started-hour default billing).
+        assert scaled.outcome.cost.total >= static.outcome.cost.total
+
+    def test_render(self, elasticity_cells):
+        text = render_table(elasticity_exp.render_elasticity(elasticity_cells, 0.05))
+        assert "Added nodes" in text
+
+
+class TestCliIntegration:
+    def test_cost_cli(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["cost", "--scale", "0.05"]) == 0
+        assert "trade-off" in capsys.readouterr().out
+
+    def test_elasticity_cli(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["elasticity", "--scale", "0.05"]) == 0
+        assert "scale-out" in capsys.readouterr().out
+
+    def test_robustness_cli(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["robustness", "--scale", "0.05"]) == 0
+        assert "Robustness" in capsys.readouterr().out

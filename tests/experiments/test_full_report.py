@@ -1,0 +1,48 @@
+"""Tests for the one-shot report generator."""
+
+import pytest
+
+from repro.experiments.full_report import generate_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report(0.05)
+
+
+class TestReport:
+    def test_all_shapes_ok(self, report):
+        _markdown, ok = report
+        assert ok
+
+    def test_every_section_present(self, report):
+        markdown, _ok = report
+        for heading in (
+            "Table I",
+            "Figure 6",
+            "Figure 7",
+            "Robustness",
+            "Cost/performance",
+            "Elastic scale-out",
+            "Storage tiers",
+            "transparent locality",
+        ):
+            assert heading in markdown
+
+    def test_paper_values_cited(self, report):
+        markdown, _ok = report
+        assert "1258.80" in markdown  # Table I paper column
+        assert "61200" in markdown
+
+    def test_ascii_figures_included(self, report):
+        markdown, _ok = report
+        assert "▒" in markdown and "█" in markdown  # stacked bars
+
+    def test_cli_writes_file(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        out = str(tmp_path / "R.md")
+        code = main(["report", "--scale", "0.05", "--output", out])
+        assert code == 0
+        content = open(out).read()
+        assert content.startswith("# FRIEDA reproduction report")

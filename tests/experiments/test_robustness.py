@@ -1,0 +1,52 @@
+"""Tests for the robustness extension experiment."""
+
+import pytest
+
+from repro.experiments.robustness import (
+    render_robustness,
+    run_robustness,
+    shapes_hold,
+)
+from repro.util.tables import render_table
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return run_robustness(0.05, mttfs=(500.0, 5_000.0), seed=1)
+
+
+class TestRobustnessSweep:
+    def test_all_cells_present(self, cells):
+        assert len(cells) == 4  # 2 MTTFs x 2 policies
+
+    def test_shapes_hold(self, cells):
+        assert shapes_hold(cells)
+
+    def test_retry_dominates_isolation(self, cells):
+        for mttf in (500.0, 5_000.0):
+            paper = next(
+                c for c in cells if c.mttf == mttf and c.policy == "paper_isolation"
+            )
+            retry = next(
+                c for c in cells if c.mttf == mttf and c.policy == "retry_extension"
+            )
+            assert retry.completion_rate >= paper.completion_rate
+
+    def test_high_failure_rate_loses_tasks_without_retry(self, cells):
+        worst = next(
+            c for c in cells if c.mttf == 500.0 and c.policy == "paper_isolation"
+        )
+        assert worst.outcome.tasks_lost > 0
+
+    def test_render(self, cells):
+        text = render_table(render_robustness(cells, 0.05))
+        assert "paper_isolation" in text
+        assert "retry_extension" in text
+
+    def test_accounting_balances(self, cells):
+        for cell in cells:
+            outcome = cell.outcome
+            assert (
+                outcome.tasks_completed + outcome.tasks_lost + outcome.tasks_failed
+                <= outcome.tasks_total
+            )

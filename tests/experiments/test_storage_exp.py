@@ -1,0 +1,48 @@
+"""Tests for the storage-tier comparison experiment."""
+
+import pytest
+
+from repro.experiments import storage_exp
+from repro.util.tables import render_table
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return storage_exp.run_storage(0.05)
+
+
+class TestStorageExperiment:
+    def test_all_sources_present(self, cells):
+        sources = [c.source for c in cells]
+        assert "local-disk" in sources
+        assert "master-disk" in sources
+        assert any(s.startswith("network-storage@") for s in sources)
+
+    def test_shapes_hold(self, cells):
+        assert storage_exp.shapes_hold(cells)
+
+    def test_local_is_fastest(self, cells):
+        local = next(c for c in cells if c.source == "local-disk")
+        assert all(
+            local.outcome.makespan <= c.outcome.makespan for c in cells
+        )
+
+    def test_fast_shared_tier_beats_master_uplink(self, cells):
+        master = next(c for c in cells if c.source == "master-disk")
+        fast = next(c for c in cells if c.source.startswith("network-storage@400"))
+        assert fast.outcome.makespan < master.outcome.makespan
+
+    def test_slow_shared_tier_loses_to_master(self, cells):
+        master = next(c for c in cells if c.source == "master-disk")
+        slow = next(c for c in cells if c.source.startswith("network-storage@50"))
+        assert slow.outcome.makespan > master.outcome.makespan
+
+    def test_render(self, cells):
+        text = render_table(storage_exp.render_storage(cells, 0.05))
+        assert "Data source" in text
+
+    def test_cli(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["storage", "--scale", "0.05"]) == 0
+        assert "Storage tier" in capsys.readouterr().out

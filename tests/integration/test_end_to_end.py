@@ -1,0 +1,130 @@
+"""End-to-end integration: the facade, real apps under real engines,
+and the Fig 4 protocol sequence."""
+
+import os
+import threading
+
+import pytest
+
+from repro import Frieda, PartitionScheme, StrategyKind
+from repro.apps.blast import (
+    BlastDatabase,
+    blast_search,
+    read_fasta,
+    synthetic_database,
+    synthetic_queries,
+    write_fasta,
+)
+from repro.apps.imaging import BeamlineImageConfig, compare_image_files, write_image_dataset
+from repro.cloud.cluster import ClusterSpec
+from repro.data.files import synthetic_dataset
+from repro.engines.compute import FixedComputeModel
+
+
+class TestFacade:
+    def test_simulated_facade(self):
+        frieda = Frieda.simulated(ClusterSpec(num_workers=2))
+        outcome = frieda.run(
+            synthetic_dataset("d", 4, "1 MB"),
+            compute_model=FixedComputeModel(1.0),
+            strategy=StrategyKind.REAL_TIME,
+        )
+        assert outcome.all_tasks_ok
+
+    def test_local_facade(self, tmp_path):
+        paths = []
+        for i in range(4):
+            p = tmp_path / f"f{i}.txt"
+            p.write_text("x")
+            paths.append(str(p))
+        outcome = Frieda.local(num_workers=2).run(paths, command=lambda p: None)
+        assert outcome.all_tasks_ok
+
+    def test_tcp_facade(self, tmp_path):
+        paths = []
+        for i in range(2):
+            p = tmp_path / f"f{i}.txt"
+            p.write_text("y")
+            paths.append(str(p))
+        outcome = Frieda.tcp(num_workers=1, run_timeout=60).run(
+            paths, command=lambda p: None
+        )
+        assert outcome.all_tasks_ok
+
+
+class TestImageWorkloadEndToEnd:
+    def test_pairwise_image_comparison_under_frieda(self, tmp_path):
+        paths = write_image_dataset(
+            str(tmp_path), 8, config=BeamlineImageConfig(size=48), seed=3
+        )
+        verdicts = []
+        lock = threading.Lock()
+
+        def program(a, b):
+            result = compare_image_files(a, b)
+            with lock:
+                verdicts.append(result.similar)
+
+        outcome = Frieda.local(num_workers=3).run(
+            paths,
+            command=program,
+            strategy=StrategyKind.REAL_TIME,
+            grouping=PartitionScheme.PAIRWISE_ADJACENT,
+        )
+        assert outcome.tasks_completed == 4
+        # Adjacent frames come from the same sample -> all similar.
+        assert all(verdicts)
+
+
+class TestBlastWorkloadEndToEnd:
+    def test_query_files_under_frieda(self, tmp_path):
+        db_records = synthetic_database(10, mean_length=100, seed=1)
+        database = BlastDatabase(db_records)
+        queries = synthetic_queries(db_records, 4, homolog_fraction=1.0, seed=2)
+        paths = []
+        for i, query in enumerate(queries):
+            path = str(tmp_path / f"q{i}.fa")
+            write_fasta([query], path)
+            paths.append(path)
+        hits_per_file = {}
+        lock = threading.Lock()
+
+        def program(path):
+            records = read_fasta(path)
+            count = sum(len(blast_search(q, database)) for q in records)
+            with lock:
+                hits_per_file[os.path.basename(path)] = count
+
+        outcome = Frieda.local(num_workers=2).run(
+            paths, command=program, strategy=StrategyKind.REAL_TIME
+        )
+        assert outcome.all_tasks_ok
+        assert sum(hits_per_file.values()) >= 2  # homologs found
+
+
+class TestProtocolSequence:
+    def test_fig4_event_order_on_simulated_engine(self):
+        """The controller's audit log follows Figure 4's sequence."""
+        frieda = Frieda.simulated(ClusterSpec(num_workers=2))
+        outcome = frieda.run(
+            synthetic_dataset("d", 4, "1 MB"),
+            compute_model=FixedComputeModel(0.5),
+        )
+        kinds = [e.kind for e in outcome.controller_events]
+        # Partition generation precedes worker forking.
+        assert kinds.index("PARTITION_GENERATED") < kinds.index("FORK_REMOTE_WORKERS")
+
+    def test_strategy_consistency_across_engines(self, tmp_path):
+        """The same workload on threaded vs TCP engines completes the
+        same task set (engine-independence of the core logic)."""
+        paths = []
+        for i in range(4):
+            p = tmp_path / f"f{i}.txt"
+            p.write_text("data" * (i + 1))
+            paths.append(str(p))
+        threaded = Frieda.local(num_workers=2).run(paths, command=lambda p: None)
+        tcp = Frieda.tcp(num_workers=2, run_timeout=60).run(paths, command=lambda p: None)
+        assert threaded.tasks_completed == tcp.tasks_completed == 4
+        assert {r.task_id for r in threaded.task_records} == {
+            r.task_id for r in tcp.task_records
+        }

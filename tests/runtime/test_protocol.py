@@ -1,0 +1,111 @@
+"""Unit tests for the TCP wire protocol framing."""
+
+import asyncio
+
+import pytest
+
+from repro.core.messages import FileData, RegisterWorker, RequestData
+from repro.errors import ProtocolError
+from repro.runtime.protocol import FrameReader, read_frame, write_frame
+
+
+class _FakeWriter:
+    """Collects written bytes (duck-types StreamWriter.write)."""
+
+    def __init__(self):
+        self.data = bytearray()
+
+    def write(self, chunk: bytes) -> None:
+        self.data.extend(chunk)
+
+
+class TestFrameReader:
+    def test_round_trip_plain_message(self):
+        writer = _FakeWriter()
+        write_frame(writer, RequestData(worker_id="w0"))
+        reader = FrameReader()
+        reader.feed(bytes(writer.data))
+        message, payload = reader.pop()
+        assert message == RequestData(worker_id="w0")
+        assert payload == b""
+
+    def test_round_trip_with_payload(self):
+        writer = _FakeWriter()
+        body = b"\x00\x01binary image bytes\xff"
+        write_frame(
+            writer,
+            FileData(task_id=1, file_name="img.npy", payload_len=len(body)),
+            body,
+        )
+        reader = FrameReader()
+        reader.feed(bytes(writer.data))
+        message, payload = reader.pop()
+        assert message.file_name == "img.npy"
+        assert payload == body
+
+    def test_incremental_feeding_byte_at_a_time(self):
+        writer = _FakeWriter()
+        write_frame(writer, RegisterWorker(worker_id="w1", node_id="n1", cores=2))
+        reader = FrameReader()
+        for i in range(len(writer.data)):
+            assert len(reader) == 0 or i == len(writer.data)
+            reader.feed(bytes(writer.data[i : i + 1]))
+        message, _ = reader.pop()
+        assert message.worker_id == "w1"
+
+    def test_multiple_frames_in_one_feed(self):
+        writer = _FakeWriter()
+        write_frame(writer, RequestData(worker_id="a"))
+        write_frame(writer, RequestData(worker_id="b"))
+        reader = FrameReader()
+        reader.feed(bytes(writer.data))
+        assert reader.pop()[0].worker_id == "a"
+        assert reader.pop()[0].worker_id == "b"
+        assert reader.pop() is None
+
+    def test_payload_length_mismatch_rejected(self):
+        writer = _FakeWriter()
+        with pytest.raises(ProtocolError):
+            write_frame(
+                writer, FileData(task_id=0, file_name="x", payload_len=5), b"123"
+            )
+
+    def test_payload_on_non_filedata_rejected(self):
+        writer = _FakeWriter()
+        with pytest.raises(ProtocolError):
+            write_frame(writer, RequestData(worker_id="w"), b"payload")
+
+    def test_oversized_frame_length_rejected(self):
+        reader = FrameReader()
+        with pytest.raises(ProtocolError):
+            reader.feed((2**30).to_bytes(4, "big") + b"x")
+
+
+class TestAsyncReadFrame:
+    def test_async_round_trip(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            writer = _FakeWriter()
+            payload = b"hello-bytes"
+            write_frame(
+                writer,
+                FileData(task_id=2, file_name="f", payload_len=len(payload)),
+                payload,
+            )
+            reader.feed_data(bytes(writer.data))
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        message, payload = asyncio.run(scenario())
+        assert message.task_id == 2
+        assert payload == b"hello-bytes"
+
+    def test_eof_mid_frame_raises(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"\x00\x00\x00\x10partial")
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        with pytest.raises(asyncio.IncompleteReadError):
+            asyncio.run(scenario())

@@ -1,0 +1,97 @@
+"""TCP runtime edge cases: big payloads, many workers, odd inputs."""
+
+import os
+import threading
+
+import pytest
+
+from repro.core.strategies import StrategyKind
+from repro.runtime.tcp import TcpEngine
+
+
+class TestPayloadEdges:
+    def test_megabyte_payload_intact(self, tmp_path):
+        path = tmp_path / "big.bin"
+        blob = os.urandom(1_500_000)
+        path.write_bytes(blob)
+        received = {}
+
+        def program(p):
+            with open(p, "rb") as fh:
+                received["data"] = fh.read()
+
+        outcome = TcpEngine(num_workers=1, run_timeout=60).run(
+            [str(path)], command=program
+        )
+        assert outcome.all_tasks_ok
+        assert received["data"] == blob
+        assert outcome.bytes_transferred == len(blob)
+
+    def test_empty_file_transfers(self, tmp_path):
+        path = tmp_path / "empty.dat"
+        path.write_bytes(b"")
+        sizes = []
+        lock = threading.Lock()
+
+        def program(p):
+            with lock:
+                sizes.append(os.path.getsize(p))
+
+        outcome = TcpEngine(num_workers=1, run_timeout=60).run(
+            [str(path)], command=program
+        )
+        assert outcome.all_tasks_ok
+        assert sizes == [0]
+
+    def test_binary_names_with_spaces(self, tmp_path):
+        path = tmp_path / "file with spaces.dat"
+        path.write_bytes(b"abc")
+        outcome = TcpEngine(num_workers=1, run_timeout=60).run(
+            [str(path)], command=lambda p: None
+        )
+        assert outcome.all_tasks_ok
+
+
+class TestScaleEdges:
+    def test_more_workers_than_tasks(self, tmp_path):
+        paths = []
+        for i in range(2):
+            p = tmp_path / f"f{i}.txt"
+            p.write_text("x")
+            paths.append(str(p))
+        outcome = TcpEngine(num_workers=6, run_timeout=60).run(
+            paths, command=lambda p: None
+        )
+        assert outcome.tasks_completed == 2
+
+    def test_many_small_tasks(self, tmp_path):
+        paths = []
+        for i in range(30):
+            p = tmp_path / f"f{i:02d}.txt"
+            p.write_text(str(i))
+            paths.append(str(p))
+        counter = [0]
+        lock = threading.Lock()
+
+        def program(p):
+            with lock:
+                counter[0] += 1
+
+        outcome = TcpEngine(num_workers=4, run_timeout=120).run(
+            paths, command=program
+        )
+        assert outcome.tasks_completed == 30
+        assert counter[0] == 30
+
+    def test_single_worker_drains_common_data(self, tmp_path):
+        paths = []
+        for i in range(4):
+            p = tmp_path / f"f{i}.txt"
+            p.write_text("y" * (i + 1))
+            paths.append(str(p))
+        outcome = TcpEngine(num_workers=1, run_timeout=60).run(
+            paths, command=lambda p: None, strategy=StrategyKind.COMMON_DATA
+        )
+        assert outcome.tasks_completed == 4
+        total = sum(os.path.getsize(p) for p in paths)
+        assert outcome.bytes_transferred == total  # one worker, one copy

@@ -1,0 +1,419 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Event, Interrupt, Timeout
+
+
+class TestEnvironmentBasics:
+    def test_time_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_initial_time(self):
+        assert Environment(initial_time=10.0).now == 10.0
+
+    def test_run_empty_heap_returns(self):
+        env = Environment()
+        env.run()
+        assert env.now == 0.0
+
+    def test_run_until_deadline_advances_clock(self):
+        env = Environment()
+        env.run(until=25.0)
+        assert env.now == 25.0
+
+    def test_run_until_past_deadline_raises(self):
+        env = Environment(initial_time=10.0)
+        with pytest.raises(SimulationError):
+            env.run(until=5.0)
+
+    def test_step_on_empty_heap_raises(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+    def test_peek_empty_is_inf(self):
+        assert Environment().peek() == float("inf")
+
+
+class TestTimeout:
+    def test_timeout_advances_time(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(5)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 5.0
+
+    def test_timeout_value_delivered(self):
+        env = Environment()
+
+        def proc(env):
+            value = yield env.timeout(1, value="hello")
+            return value
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == "hello"
+
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_zero_delay_fires_immediately(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(0)
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 0.0
+
+    def test_timeouts_ordered(self):
+        env = Environment()
+        order = []
+
+        def waiter(env, delay, tag):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        env.process(waiter(env, 3, "c"))
+        env.process(waiter(env, 1, "a"))
+        env.process(waiter(env, 2, "b"))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_at_equal_times(self):
+        env = Environment()
+        order = []
+
+        def waiter(env, tag):
+            yield env.timeout(1)
+            order.append(tag)
+
+        for tag in "abc":
+            env.process(waiter(env, tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestEvent:
+    def test_manual_succeed(self):
+        env = Environment()
+        ev = env.event()
+
+        def trigger(env):
+            yield env.timeout(2)
+            ev.succeed("payload")
+
+        def waiter(env):
+            value = yield ev
+            return (env.now, value)
+
+        p = env.process(waiter(env))
+        env.process(trigger(env))
+        env.run()
+        assert p.value == (2.0, "payload")
+
+    def test_double_trigger_raises(self):
+        env = Environment()
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            _ = env.event().value
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_failed_event_raises_in_process(self):
+        env = Environment()
+        ev = env.event()
+
+        def waiter(env):
+            try:
+                yield ev
+            except ValueError as exc:
+                return str(exc)
+
+        p = env.process(waiter(env))
+        ev.fail(ValueError("boom"))
+        env.run()
+        assert p.value == "boom"
+
+    def test_unhandled_failure_propagates_to_run(self):
+        env = Environment()
+        ev = env.event()
+        ev.fail(RuntimeError("nobody caught me"))
+        with pytest.raises(RuntimeError):
+            env.run()
+
+    def test_defused_failure_does_not_propagate(self):
+        env = Environment()
+        ev = env.event()
+        ev.fail(RuntimeError("handled"))
+        ev.defuse()
+        env.run()  # no raise
+
+
+class TestProcess:
+    def test_return_value(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(1)
+            return 42
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.ok and p.value == 42
+
+    def test_process_is_waitable(self):
+        env = Environment()
+
+        def child(env):
+            yield env.timeout(3)
+            return "child-done"
+
+        def parent(env):
+            result = yield env.process(child(env))
+            return (env.now, result)
+
+        p = env.process(parent(env))
+        env.run()
+        assert p.value == (3.0, "child-done")
+
+    def test_exception_fails_process(self):
+        env = Environment()
+
+        def bad(env):
+            yield env.timeout(1)
+            raise KeyError("oops")
+
+        def parent(env):
+            try:
+                yield env.process(bad(env))
+            except KeyError:
+                return "caught"
+
+        p = env.process(parent(env))
+        env.run()
+        assert p.value == "caught"
+
+    def test_non_generator_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)
+
+    def test_yield_non_event_fails(self):
+        env = Environment()
+
+        def bad(env):
+            yield 42
+
+        p = env.process(bad(env))
+        with pytest.raises(SimulationError):
+            env.run()
+        assert not p.ok
+
+    def test_is_alive_lifecycle(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(5)
+
+        p = env.process(proc(env))
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_immediate_return(self):
+        env = Environment()
+
+        def instant(env):
+            return "done"
+            yield  # pragma: no cover
+
+        p = env.process(instant(env))
+        env.run()
+        assert p.value == "done"
+
+    def test_run_until_process(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.timeout(4)
+            return "x"
+
+        p = env.process(proc(env))
+        result = env.run(until=p)
+        assert result == "x"
+        assert env.now == 4.0
+
+    def test_active_process_tracking(self):
+        env = Environment()
+        seen = []
+
+        def proc(env):
+            seen.append(env.active_process)
+            yield env.timeout(1)
+
+        p = env.process(proc(env))
+        env.run()
+        assert seen == [p]
+        assert env.active_process is None
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self):
+        env = Environment()
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as i:
+                return ("interrupted", i.cause, env.now)
+
+        def killer(env, victim):
+            yield env.timeout(5)
+            victim.interrupt("reason")
+
+        p = env.process(sleeper(env))
+        env.process(killer(env, p))
+        env.run()
+        assert p.value == ("interrupted", "reason", 5.0)
+
+    def test_interrupt_terminated_process_raises(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1)
+
+        p = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_uncaught_interrupt_fails_process(self):
+        env = Environment()
+
+        def sleeper(env):
+            yield env.timeout(100)
+
+        def killer(env, victim):
+            yield env.timeout(1)
+            victim.interrupt("bang")
+
+        p = env.process(sleeper(env))
+
+        def parent(env):
+            try:
+                yield p
+            except Interrupt:
+                return "propagated"
+
+        par = env.process(parent(env))
+        env.process(killer(env, p))
+        env.run()
+        assert par.value == "propagated"
+
+    def test_interrupted_process_can_continue(self):
+        env = Environment()
+
+        def resilient(env):
+            while True:
+                try:
+                    yield env.timeout(100)
+                    return "slept"
+                except Interrupt:
+                    yield env.timeout(1)
+                    return ("recovered", env.now)
+
+        def killer(env, victim):
+            yield env.timeout(2)
+            victim.interrupt()
+
+        p = env.process(resilient(env))
+        env.process(killer(env, p))
+        env.run()
+        assert p.value == ("recovered", 3.0)
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self):
+        env = Environment()
+
+        def proc(env):
+            result = yield env.all_of([env.timeout(3, "a"), env.timeout(7, "b")])
+            return (env.now, sorted(result.values()))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (7.0, ["a", "b"])
+
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+
+        def proc(env):
+            result = yield env.any_of([env.timeout(3, "fast"), env.timeout(7, "slow")])
+            return (env.now, list(result.values()))
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == (3.0, ["fast"])
+
+    def test_all_of_empty_fires_immediately(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.all_of([])
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 0.0
+
+    def test_all_of_propagates_failure(self):
+        env = Environment()
+        bad = env.event()
+
+        def proc(env):
+            try:
+                yield env.all_of([env.timeout(5), bad])
+            except ValueError:
+                return "failed-fast"
+
+        p = env.process(proc(env))
+        bad.fail(ValueError("x"))
+        env.run()
+        assert p.value == "failed-fast"
+
+    def test_mixed_env_condition_rejected(self):
+        env1, env2 = Environment(), Environment()
+        with pytest.raises(SimulationError):
+            env1.all_of([env1.timeout(1), env2.timeout(1)])
+
+    def test_all_of_already_triggered_events(self):
+        env = Environment()
+        t1 = env.timeout(1, "x")
+
+        def proc(env):
+            yield env.timeout(5)  # t1 long processed
+            result = yield env.all_of([t1])
+            return list(result.values())
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == ["x"]

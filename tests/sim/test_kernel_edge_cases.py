@@ -1,0 +1,126 @@
+"""Kernel edge cases discovered during engine development."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AnyOf, Environment, Event
+
+
+class TestConditionEdges:
+    def test_any_of_with_already_processed_child(self):
+        env = Environment()
+        early = env.timeout(1, "early")
+
+        def proc(env):
+            yield env.timeout(5)  # 'early' has long been processed
+            result = yield env.any_of([early, env.timeout(100, "never")])
+            return (env.now, list(result.values()))
+
+        p = env.process(proc(env))
+        env.run(until=p)
+        assert p.value == (5.0, ["early"])
+
+    def test_any_of_empty_fires_immediately(self):
+        env = Environment()
+
+        def proc(env):
+            yield env.any_of([])
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 0.0
+
+    def test_nested_conditions(self):
+        env = Environment()
+
+        def proc(env):
+            inner = env.all_of([env.timeout(2), env.timeout(3)])
+            outer = yield env.any_of([inner, env.timeout(10)])
+            return env.now
+
+        p = env.process(proc(env))
+        env.run()
+        assert p.value == 3.0
+
+
+class TestRunUntilEdges:
+    def test_run_until_failed_event_raises(self):
+        env = Environment()
+
+        def failer(env):
+            yield env.timeout(1)
+            raise ValueError("proc failed")
+
+        p = env.process(failer(env))
+        with pytest.raises(ValueError):
+            env.run(until=p)
+
+    def test_run_until_already_processed_event(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(1)
+            return "done"
+
+        p = env.process(quick(env))
+        env.run()
+        assert env.run(until=p) == "done"  # returns instantly
+
+    def test_run_until_unreachable_event_raises(self):
+        env = Environment()
+        orphan = Event(env)  # nobody will ever trigger this
+
+        def quick(env):
+            yield env.timeout(1)
+
+        env.process(quick(env))
+        with pytest.raises(SimulationError):
+            env.run(until=orphan)
+
+
+class TestInterruptEdges:
+    def test_interrupt_process_waiting_on_condition(self):
+        from repro.sim import Interrupt
+
+        env = Environment()
+
+        def waiter(env):
+            try:
+                yield env.all_of([env.timeout(50), env.timeout(60)])
+            except Interrupt:
+                return ("interrupted", env.now)
+
+        def killer(env, victim):
+            yield env.timeout(5)
+            victim.interrupt()
+
+        p = env.process(waiter(env))
+        env.process(killer(env, p))
+        env.run()
+        assert p.value == ("interrupted", 5.0)
+
+    def test_double_interrupt_delivers_once_then_again(self):
+        from repro.sim import Interrupt
+
+        env = Environment()
+        hits = []
+
+        def tough(env):
+            for _ in range(2):
+                try:
+                    yield env.timeout(100)
+                except Interrupt:
+                    hits.append(env.now)
+            return "survived-nothing"
+
+        def killer(env, victim):
+            yield env.timeout(1)
+            victim.interrupt()
+            yield env.timeout(1)
+            victim.interrupt()
+
+        p = env.process(tough(env))
+        env.process(killer(env, p))
+        env.run()
+        assert hits == [1.0, 2.0]

@@ -1,0 +1,113 @@
+"""Property-based tests for the simulation kernel (hypothesis).
+
+Invariants: virtual time is monotone, every scheduled timeout fires at
+exactly its requested time, FIFO resources never exceed capacity, and
+stores conserve items.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Environment, Resource, Store
+
+
+@given(st.lists(st.floats(0, 1e5), min_size=1, max_size=40))
+@settings(max_examples=60)
+def test_timeouts_fire_at_requested_times(delays):
+    env = Environment()
+    observed = []
+
+    def waiter(env, delay):
+        yield env.timeout(delay)
+        observed.append((delay, env.now))
+
+    for delay in delays:
+        env.process(waiter(env, delay))
+    env.run()
+    assert len(observed) == len(delays)
+    for requested, fired in observed:
+        assert fired == requested
+
+
+@given(st.lists(st.floats(0, 1000), min_size=1, max_size=40))
+@settings(max_examples=60)
+def test_time_is_monotone(delays):
+    env = Environment()
+    trace = []
+
+    def waiter(env, delay):
+        yield env.timeout(delay)
+        trace.append(env.now)
+
+    for delay in delays:
+        env.process(waiter(env, delay))
+    env.run()
+    assert trace == sorted(trace)
+
+
+@given(
+    st.integers(1, 5),
+    st.lists(st.floats(0.1, 10), min_size=1, max_size=25),
+)
+@settings(max_examples=40)
+def test_resource_never_exceeds_capacity(capacity, holds):
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    in_use = [0]
+    peak = [0]
+
+    def user(env, hold):
+        with res.request() as req:
+            yield req
+            in_use[0] += 1
+            peak[0] = max(peak[0], in_use[0])
+            yield env.timeout(hold)
+            in_use[0] -= 1
+
+    for hold in holds:
+        env.process(user(env, hold))
+    env.run()
+    assert peak[0] <= capacity
+    assert in_use[0] == 0
+    # Work conservation: everyone eventually ran.
+    assert res.count == 0 and res.queue_length == 0
+
+
+@given(st.lists(st.integers(), min_size=0, max_size=50))
+@settings(max_examples=50)
+def test_store_conserves_items_in_order(items):
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env):
+        for item in items:
+            yield store.put(item)
+
+    def consumer(env):
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert received == items
+
+
+@given(st.integers(1, 8), st.integers(1, 30))
+@settings(max_examples=40)
+def test_makespan_lower_bound_with_capacity(capacity, n_tasks):
+    """n unit tasks on a k-wide resource take exactly ceil(n/k) time."""
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+
+    def task(env):
+        with res.request() as req:
+            yield req
+            yield env.timeout(1.0)
+
+    for _ in range(n_tasks):
+        env.process(task(env))
+    env.run()
+    expected = -(-n_tasks // capacity)  # ceil division
+    assert env.now == float(expected)

@@ -1,0 +1,83 @@
+"""Unit tests for the Monitor instrumentation."""
+
+import pytest
+
+from repro.sim.monitor import Monitor
+
+
+class TestSamples:
+    def test_series_returns_points(self):
+        m = Monitor()
+        m.sample(1.0, "queue", 3)
+        m.sample(2.0, "queue", 5)
+        m.sample(1.5, "other", 9)
+        assert m.series("queue") == [(1.0, 3), (2.0, 5)]
+
+    def test_stats_accumulate_numeric(self):
+        m = Monitor()
+        for t, v in [(0, 2.0), (1, 4.0)]:
+            m.sample(t, "load", v)
+        assert m.stats("load").mean == pytest.approx(3.0)
+
+    def test_non_numeric_samples_kept_but_not_statted(self):
+        m = Monitor()
+        m.sample(0.0, "event", "vm-failed")
+        assert m.series("event") == [(0.0, "vm-failed")]
+        assert m.stats("event").count == 0
+
+    def test_bool_not_statted(self):
+        m = Monitor()
+        m.sample(0.0, "flag", True)
+        assert m.stats("flag").count == 0
+
+    def test_tags_preserved(self):
+        m = Monitor()
+        m.sample(0.0, "x", 1, worker="w0")
+        assert m.records[0].tags == (("worker", "w0"),)
+
+
+class TestIntervals:
+    def test_invalid_interval_rejected(self):
+        m = Monitor()
+        with pytest.raises(ValueError):
+            m.interval("x", 5.0, 4.0)
+
+    def test_busy_time_sums_durations(self):
+        m = Monitor()
+        m.interval("exec", 0, 2, worker="a")
+        m.interval("exec", 1, 4, worker="b")
+        assert m.busy_time("exec") == pytest.approx(5.0)
+
+    def test_busy_time_filter_by_tag(self):
+        m = Monitor()
+        m.interval("exec", 0, 2, worker="a")
+        m.interval("exec", 0, 3, worker="b")
+        assert m.busy_time("exec", worker="a") == pytest.approx(2.0)
+
+    def test_union_merges_overlaps(self):
+        m = Monitor()
+        m.interval("t", 0, 4)
+        m.interval("t", 2, 6)
+        m.interval("t", 10, 11)
+        assert m.union_time("t") == pytest.approx(7.0)
+
+    def test_union_empty_zero(self):
+        assert Monitor().union_time("nothing") == 0.0
+
+    def test_union_identical_intervals(self):
+        m = Monitor()
+        m.interval("t", 1, 3)
+        m.interval("t", 1, 3)
+        assert m.union_time("t") == pytest.approx(2.0)
+
+    def test_union_touching_intervals(self):
+        m = Monitor()
+        m.interval("t", 0, 2)
+        m.interval("t", 2, 5)
+        assert m.union_time("t") == pytest.approx(5.0)
+
+    def test_intervals_for_key_isolation(self):
+        m = Monitor()
+        m.interval("a", 0, 1)
+        m.interval("b", 0, 2)
+        assert len(m.intervals_for("a")) == 1

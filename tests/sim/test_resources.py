@@ -1,0 +1,304 @@
+"""Unit tests for sim resources: Resource, Container, Store, FilterStore."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Container, Environment, FilterStore, Resource, Store
+
+
+class TestResource:
+    def test_capacity_validation(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_grants_up_to_capacity(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        log = []
+
+        def user(env, tag, hold):
+            with res.request() as req:
+                yield req
+                log.append((env.now, tag, "in"))
+                yield env.timeout(hold)
+            log.append((env.now, tag, "out"))
+
+        for tag, hold in [("a", 5), ("b", 5), ("c", 5)]:
+            env.process(user(env, tag, hold))
+        env.run()
+        # c must wait for a slot at t=5
+        assert (0.0, "a", "in") in log and (0.0, "b", "in") in log
+        assert (5.0, "c", "in") in log
+        assert env.now == 10.0
+
+    def test_fifo_queueing(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def user(env, tag):
+            with res.request() as req:
+                yield req
+                order.append(tag)
+                yield env.timeout(1)
+
+        for tag in "abcd":
+            env.process(user(env, tag))
+        env.run()
+        assert order == list("abcd")
+
+    def test_count_and_queue_length(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def holder(env):
+            with res.request() as req:
+                yield req
+                assert res.count == 1
+                yield env.timeout(10)
+
+        def waiter(env):
+            yield env.timeout(1)
+            request = res.request()
+            assert res.queue_length == 1
+            request.cancel()
+            assert res.queue_length == 0
+
+        env.process(holder(env))
+        env.process(waiter(env))
+        env.run()
+        assert res.count == 0
+
+    def test_release_unknown_request_raises(self):
+        env = Environment()
+        res = Resource(env)
+        other = Resource(env)
+        req = other.request()
+        with pytest.raises(SimulationError):
+            res.release(req)
+
+    def test_context_manager_releases_on_exception(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def failing(env):
+            with res.request() as req:
+                yield req
+                raise RuntimeError("task failed")
+
+        def follower(env):
+            yield env.timeout(1)
+            with res.request() as req:
+                yield req
+                return "got-slot"
+
+        bad = env.process(failing(env))
+        good = env.process(follower(env))
+
+        def supervisor(env):
+            try:
+                yield bad
+            except RuntimeError:
+                pass
+
+        env.process(supervisor(env))
+        env.run()
+        assert good.value == "got-slot"
+
+
+class TestContainer:
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Container(env, capacity=0)
+        with pytest.raises(SimulationError):
+            Container(env, capacity=5, init=6)
+
+    def test_put_then_get(self):
+        env = Environment()
+        c = Container(env, capacity=100, init=0)
+
+        def producer(env):
+            yield env.timeout(2)
+            yield c.put(30)
+
+        def consumer(env):
+            yield c.get(30)
+            return env.now
+
+        p = env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert p.value == 2.0
+        assert c.level == 0
+
+    def test_get_blocks_until_level(self):
+        env = Environment()
+        c = Container(env, init=10, capacity=100)
+
+        def consumer(env):
+            yield c.get(25)
+            return env.now
+
+        def producer(env):
+            yield env.timeout(5)
+            yield c.put(20)
+
+        p = env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert p.value == 5.0
+
+    def test_put_blocks_at_capacity(self):
+        env = Environment()
+        c = Container(env, capacity=10, init=10)
+
+        def producer(env):
+            yield c.put(5)
+            return env.now
+
+        def consumer(env):
+            yield env.timeout(3)
+            yield c.get(7)
+
+        p = env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert p.value == 3.0
+
+    def test_negative_amounts_rejected(self):
+        env = Environment()
+        c = Container(env)
+        with pytest.raises(SimulationError):
+            c.put(-1)
+        with pytest.raises(SimulationError):
+            c.get(-1)
+
+
+class TestStore:
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        def producer(env):
+            for item in "xyz":
+                yield store.put(item)
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == ["x", "y", "z"]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+
+        def consumer(env):
+            item = yield store.get()
+            return (env.now, item)
+
+        def producer(env):
+            yield env.timeout(4)
+            yield store.put("late")
+
+        p = env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert p.value == (4.0, "late")
+
+    def test_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+
+        def producer(env):
+            yield store.put(1)
+            yield store.put(2)  # blocks until the first is taken
+            return env.now
+
+        def consumer(env):
+            yield env.timeout(7)
+            yield store.get()
+
+        p = env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert p.value == 7.0
+
+    def test_invalid_capacity(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Store(env, capacity=0)
+
+    def test_len_reflects_items(self):
+        env = Environment()
+        store = Store(env)
+
+        def producer(env):
+            yield store.put("a")
+            yield store.put("b")
+
+        env.process(producer(env))
+        env.run()
+        assert len(store) == 2
+
+
+class TestFilterStore:
+    def test_filter_selects_matching(self):
+        env = Environment()
+        store = FilterStore(env)
+        got = []
+
+        def consumer(env):
+            item = yield store.get(lambda x: x % 2 == 0)
+            got.append(item)
+
+        def producer(env):
+            for item in (1, 3, 4, 5):
+                yield store.put(item)
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert got == [4]
+        assert store.items == [1, 3, 5]
+
+    def test_multiple_getters_different_filters(self):
+        env = Environment()
+        store = FilterStore(env)
+        results = {}
+
+        def consumer(env, key, predicate):
+            item = yield store.get(predicate)
+            results[key] = item
+
+        env.process(consumer(env, "big", lambda x: x > 10))
+        env.process(consumer(env, "small", lambda x: x <= 10))
+
+        def producer(env):
+            yield store.put(3)
+            yield store.put(50)
+
+        env.process(producer(env))
+        env.run()
+        assert results == {"small": 3, "big": 50}
+
+    def test_default_filter_takes_first(self):
+        env = Environment()
+        store = FilterStore(env)
+
+        def roundtrip(env):
+            yield store.put("first")
+            yield store.put("second")
+            item = yield store.get()
+            return item
+
+        p = env.process(roundtrip(env))
+        env.run()
+        assert p.value == "first"

@@ -1,0 +1,65 @@
+"""Unit tests for transfer protocol models."""
+
+import pytest
+
+from repro.errors import TransferError
+from repro.transfer.base import TransferProtocol, TransferRequest, TransferResult
+from repro.transfer.gridftp import GridFtpModel
+from repro.transfer.scp import ScpModel
+
+
+class TestTransferRequest:
+    def test_negative_size_rejected(self):
+        with pytest.raises(TransferError):
+            TransferRequest("f", -1, ("l",))
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(TransferError):
+            TransferRequest("f", 10, ())
+
+
+class TestTransferResult:
+    def test_throughput(self):
+        r = TransferResult("f", 1_000_000, start=0.0, end=8.0)
+        assert r.duration == 8.0
+        assert r.throughput_bps == pytest.approx(1e6)
+
+    def test_zero_duration_infinite_throughput(self):
+        r = TransferResult("f", 10, start=1.0, end=1.0)
+        assert r.throughput_bps == float("inf")
+
+
+class TestProtocolModels:
+    def test_scp_single_stream(self):
+        scp = ScpModel()
+        assert scp.streams == 1
+        assert scp.stream_sizes(1000) == [1000]
+
+    def test_scp_handshake_positive(self):
+        assert ScpModel().handshake_latency > 0
+
+    def test_gridftp_parallel_streams_sum_to_total(self):
+        g = GridFtpModel()
+        sizes = g.stream_sizes(1003)
+        assert len(sizes) == g.streams
+        assert sum(sizes) == 1003
+
+    def test_gridftp_cheaper_handshake_than_scp(self):
+        assert GridFtpModel().handshake_latency < ScpModel().handshake_latency
+
+    def test_gridftp_higher_efficiency(self):
+        assert GridFtpModel().efficiency > ScpModel().efficiency
+
+    def test_effective_bytes_inflates_by_efficiency(self):
+        scp = ScpModel()
+        assert scp.effective_bytes(930) == pytest.approx(1000.0)
+
+    def test_invalid_efficiency_rejected(self):
+        class Bad(TransferProtocol):
+            efficiency = 0.0
+
+        with pytest.raises(TransferError):
+            Bad().effective_bytes(10)
+
+    def test_zero_byte_stream_sizes(self):
+        assert GridFtpModel().stream_sizes(0) == [0]

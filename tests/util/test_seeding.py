@@ -1,0 +1,60 @@
+"""Unit tests for deterministic RNG derivation."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.util.seeding import SeedSequenceFactory, derive_seed, make_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "failures") == derive_seed(7, "failures")
+
+    def test_different_names_differ(self):
+        assert derive_seed(7, "failures") != derive_seed(7, "tasks")
+
+    def test_different_roots_differ(self):
+        assert derive_seed(7, "x") != derive_seed(8, "x")
+
+    def test_path_components_matter(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "ab")
+
+    def test_63_bit_range(self):
+        for seed in (0, 1, 2**62, 12345):
+            value = derive_seed(seed, "k")
+            assert 0 <= value < 2**63
+
+    @given(st.integers(0, 2**31), st.text(max_size=20))
+    def test_always_in_range(self, root, name):
+        assert 0 <= derive_seed(root, name) < 2**63
+
+
+class TestMakeRng:
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert make_rng(gen) is gen
+
+    def test_seeded_reproducible(self):
+        a = make_rng(5, "x").random(4)
+        b = make_rng(5, "x").random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_none_gives_fresh_stream(self):
+        # Can't assert values; just check it works.
+        assert make_rng(None).random() is not None
+
+
+class TestSeedSequenceFactory:
+    def test_independent_streams(self):
+        factory = SeedSequenceFactory(42)
+        a = factory.rng("one").random(8)
+        b = factory.rng("two").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_reproducible_across_instances(self):
+        a = SeedSequenceFactory(42).rng("x").random(4)
+        b = SeedSequenceFactory(42).rng("x").random(4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_matches_derive(self):
+        assert SeedSequenceFactory(9).seed("k") == derive_seed(9, "k")

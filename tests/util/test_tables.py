@@ -1,0 +1,59 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.util.tables import Table, render_table
+
+
+class TestTable:
+    def test_add_row_validates_width(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_render_contains_cells(self):
+        table = Table("Demo", ["name", "value"])
+        table.add_row(["alpha", 1.5])
+        table.add_row(["beta", 12000.0])
+        text = render_table(table)
+        assert "Demo" in text
+        assert "alpha" in text
+        assert "1.50" in text
+        assert "12,000.0" in text  # thousands separator for big floats
+
+    def test_notes_rendered(self):
+        table = Table("T", ["x"])
+        table.add_row([1])
+        table.add_note("hello note")
+        assert "hello note" in render_table(table)
+
+    def test_alignment_consistent(self):
+        table = Table("T", ["col"])
+        table.add_row(["short"])
+        table.add_row(["a-much-longer-cell"])
+        lines = render_table(table).splitlines()
+        widths = {len(l) for l in lines[2:4]}
+        assert len(widths) == 1  # header and rule equal width
+
+    def test_nan_rendering(self):
+        table = Table("T", ["x"])
+        table.add_row([float("nan")])
+        assert "nan" in render_table(table)
+
+
+class TestCsv:
+    def test_basic_csv(self):
+        table = Table("T", ["a", "b"])
+        table.add_row([1, "x"])
+        csv = table.to_csv()
+        assert csv.splitlines() == ["a,b", "1.00,x"] or csv.splitlines() == ["a,b", "1,x"]
+
+    def test_escapes_commas(self):
+        table = Table("T", ["a"])
+        table.add_row(["x,y"])
+        assert '"x,y"' in table.to_csv()
+
+    def test_escapes_quotes(self):
+        table = Table("T", ["a"])
+        table.add_row(['say "hi"'])
+        assert '""hi""' in table.to_csv()

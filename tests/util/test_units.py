@@ -1,0 +1,83 @@
+"""Unit tests for repro.util.units."""
+
+import pytest
+
+from repro.util.units import (
+    GB,
+    KB,
+    MB,
+    bits_to_bytes,
+    bytes_to_bits,
+    format_bytes,
+    format_duration,
+    format_rate,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_int_passthrough(self):
+        assert parse_size(42) == 42
+
+    def test_float_truncates(self):
+        assert parse_size(41.9) == 41
+
+    def test_decimal_units(self):
+        assert parse_size("7 MB") == 7 * MB
+        assert parse_size("1KB") == KB
+        assert parse_size("2 GB") == 2 * GB
+
+    def test_binary_units(self):
+        assert parse_size("1 KiB") == 1024
+        assert parse_size("1MiB") == 1024**2
+
+    def test_fractional(self):
+        assert parse_size("1.5 MB") == 1_500_000
+
+    def test_case_insensitive(self):
+        assert parse_size("3 mb") == 3 * MB
+
+    def test_bare_number_string(self):
+        assert parse_size("123") == 123
+
+    def test_shorthand_suffix(self):
+        assert parse_size("5M") == 5 * MB
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_size("seven megabytes")
+
+    def test_negative_not_matched(self):
+        with pytest.raises(ValueError):
+            parse_size("-5 MB")
+
+
+class TestBitByteConversion:
+    def test_round_trip(self):
+        assert bits_to_bytes(bytes_to_bits(12345)) == 12345
+
+    def test_byte_is_eight_bits(self):
+        assert bytes_to_bits(1) == 8.0
+
+
+class TestFormatting:
+    def test_format_bytes_scales(self):
+        assert format_bytes(7 * MB) == "7.00 MB"
+        assert format_bytes(500) == "500 B"
+        assert format_bytes(2.5 * GB) == "2.50 GB"
+
+    def test_format_rate(self):
+        assert format_rate(100_000_000) == "100.00 Mbit/s"
+        assert format_rate(1_000) == "1.00 Kbit/s"
+
+    def test_format_duration_seconds(self):
+        assert format_duration(89.5) == "89.5s"
+
+    def test_format_duration_minutes(self):
+        assert format_duration(150) == "2m30.0s"
+
+    def test_format_duration_hours(self):
+        assert format_duration(61200) == "17h00m"
+
+    def test_format_duration_negative(self):
+        assert format_duration(-61200) == "-17h00m"

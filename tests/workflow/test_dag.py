@@ -1,0 +1,106 @@
+"""Unit tests for the workflow DAG model."""
+
+import pytest
+
+from repro.core.commands import CommandTemplate
+from repro.errors import ConfigurationError
+from repro.workflow.dag import Stage, WorkflowGraph
+
+
+def stage(name, inputs_from=(), **kw):
+    return Stage(
+        name=name,
+        command=CommandTemplate(function=lambda *p: None, name=name),
+        inputs_from=tuple(inputs_from),
+        **kw,
+    )
+
+
+class TestStage:
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stage("")
+        with pytest.raises(ConfigurationError):
+            stage("a/b")
+
+    def test_default_output_name_uses_stem(self):
+        s = stage("analyze")
+        assert s.output_name(["frame0001.npy"]) == "analyze-frame0001.out"
+
+    def test_custom_output_namer(self):
+        s = Stage(
+            name="x",
+            command=CommandTemplate(function=lambda *p: None),
+            output_namer=lambda names: f"{len(names)}.result",
+        )
+        assert s.output_name(["a", "b"]) == "2.result"
+
+    def test_output_name_requires_inputs(self):
+        with pytest.raises(ConfigurationError):
+            stage("s").output_name([])
+
+
+class TestGraph:
+    def test_duplicate_stage_rejected(self):
+        graph = WorkflowGraph([stage("a")])
+        with pytest.raises(ConfigurationError):
+            graph.add(stage("a"))
+
+    def test_unknown_dependency_rejected(self):
+        graph = WorkflowGraph([stage("b", inputs_from=["ghost"])])
+        with pytest.raises(ConfigurationError):
+            graph.validate()
+
+    def test_self_dependency_rejected(self):
+        graph = WorkflowGraph([stage("a", inputs_from=["a"])])
+        with pytest.raises(ConfigurationError):
+            graph.validate()
+
+    def test_cycle_detected(self):
+        graph = WorkflowGraph(
+            [stage("a", inputs_from=["b"]), stage("b", inputs_from=["a"])]
+        )
+        with pytest.raises(ConfigurationError, match="cycle"):
+            graph.topological_order()
+
+    def test_topological_order_respects_edges(self):
+        graph = WorkflowGraph(
+            [
+                stage("c", inputs_from=["a", "b"]),
+                stage("a"),
+                stage("b", inputs_from=["a"]),
+            ]
+        )
+        order = [s.name for s in graph.topological_order()]
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_order_deterministic(self):
+        graph = WorkflowGraph([stage("x"), stage("y"), stage("z")])
+        orders = {tuple(s.name for s in graph.topological_order()) for _ in range(5)}
+        assert len(orders) == 1
+
+    def test_roots_and_downstream(self):
+        graph = WorkflowGraph(
+            [stage("a"), stage("b", inputs_from=["a"]), stage("c", inputs_from=["a"])]
+        )
+        assert [s.name for s in graph.roots()] == ["a"]
+        assert {s.name for s in graph.downstream_of("a")} == {"b", "c"}
+
+    def test_lookup(self):
+        graph = WorkflowGraph([stage("a")])
+        assert graph.stage("a").name == "a"
+        assert "a" in graph and "zz" not in graph
+        with pytest.raises(ConfigurationError):
+            graph.stage("zz")
+
+    def test_diamond_is_valid(self):
+        graph = WorkflowGraph(
+            [
+                stage("src"),
+                stage("left", inputs_from=["src"]),
+                stage("right", inputs_from=["src"]),
+                stage("join", inputs_from=["left", "right"]),
+            ]
+        )
+        graph.validate()
+        assert len(graph.topological_order()) == 4

@@ -1,0 +1,62 @@
+"""Property-based tests: random DAGs always get valid topological orders."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.commands import CommandTemplate
+from repro.workflow.dag import Stage, WorkflowGraph
+
+
+@st.composite
+def random_dags(draw):
+    """Random DAG: each stage may depend only on earlier stages (by
+    construction acyclic), then stages are shuffled before insertion."""
+    n = draw(st.integers(1, 10))
+    edges: dict[int, tuple[int, ...]] = {}
+    for i in range(n):
+        if i == 0:
+            edges[i] = ()
+        else:
+            upstream = draw(
+                st.lists(st.integers(0, i - 1), max_size=min(i, 3), unique=True)
+            )
+            edges[i] = tuple(upstream)
+    order = draw(st.permutations(range(n)))
+    stages = [
+        Stage(
+            name=f"s{i}",
+            command=CommandTemplate(function=lambda *p: None, name=f"s{i}"),
+            inputs_from=tuple(f"s{j}" for j in edges[i]),
+        )
+        for i in order
+    ]
+    return WorkflowGraph(stages), edges
+
+
+@given(random_dags())
+@settings(max_examples=80)
+def test_topological_order_respects_all_edges(dag_and_edges):
+    graph, edges = dag_and_edges
+    order = [s.name for s in graph.topological_order()]
+    assert len(order) == len(edges)
+    position = {name: i for i, name in enumerate(order)}
+    for node, upstream in edges.items():
+        for dep in upstream:
+            assert position[f"s{dep}"] < position[f"s{node}"]
+
+
+@given(random_dags())
+@settings(max_examples=40)
+def test_validate_accepts_every_generated_dag(dag_and_edges):
+    graph, _ = dag_and_edges
+    graph.validate()  # must not raise
+
+
+@given(random_dags())
+@settings(max_examples=40)
+def test_roots_have_no_upstream(dag_and_edges):
+    graph, edges = dag_and_edges
+    for stage in graph.roots():
+        assert stage.inputs_from == ()
+    root_names = {s.name for s in graph.roots()}
+    expected = {f"s{i}" for i, ups in edges.items() if not ups}
+    assert root_names == expected

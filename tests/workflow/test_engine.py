@@ -1,0 +1,171 @@
+"""Integration tests for the workflow engine (real files, real stages)."""
+
+import os
+
+import pytest
+
+from repro.core.commands import CommandTemplate
+from repro.data.partition import PartitionScheme
+from repro.errors import ConfigurationError
+from repro.workflow import Stage, WorkflowEngine, WorkflowGraph
+
+
+@pytest.fixture
+def inputs(tmp_path):
+    paths = []
+    for i in range(4):
+        path = tmp_path / f"doc{i}.txt"
+        path.write_text(("word " * (i + 1)).strip() + "\n")
+        paths.append(str(path))
+    return paths
+
+
+@pytest.fixture
+def engine(tmp_path):
+    work = tmp_path / "work"
+    work.mkdir()
+    return WorkflowEngine(num_workers=2, work_dir=str(work))
+
+
+def count_words(path):
+    with open(path) as fh:
+        return len(fh.read().split())
+
+
+def sum_counts(*paths):
+    total = 0
+    for path in paths:
+        with open(path) as fh:
+            total += int(fh.read())
+    return total
+
+
+class TestSingleStage:
+    def test_outputs_created_per_task(self, engine, inputs):
+        graph = WorkflowGraph(
+            [Stage("count", CommandTemplate(function=count_words, name="count"))]
+        )
+        result = engine.run(graph, inputs)
+        assert result.ok
+        outputs = result.outputs_of("count")
+        assert len(outputs) == 4
+        values = sorted(int(open(p).read()) for p in outputs)
+        assert values == [1, 2, 3, 4]
+
+    def test_shell_stage_with_out_placeholder(self, engine, inputs):
+        graph = WorkflowGraph(
+            [Stage("wc", CommandTemplate(template="wc -w < $inp1 > $out"))]
+        )
+        result = engine.run(graph, inputs)
+        assert result.ok
+        values = sorted(int(open(p).read()) for p in result.outputs_of("wc"))
+        assert values == [1, 2, 3, 4]
+
+
+class TestPipelines:
+    def test_two_stage_pipeline_chains_outputs(self, engine, inputs):
+        graph = WorkflowGraph(
+            [
+                Stage("count", CommandTemplate(function=count_words, name="count")),
+                Stage(
+                    "total",
+                    CommandTemplate(function=sum_counts, name="total"),
+                    inputs_from=("count",),
+                    grouping=PartitionScheme.ROUND_ROBIN_CHUNKS,
+                    grouping_options={"chunks": 1},
+                ),
+            ]
+        )
+        result = engine.run(graph, inputs)
+        assert result.ok
+        total_outputs = result.outputs_of("total")
+        assert len(total_outputs) == 1
+        assert int(open(total_outputs[0]).read()) == 1 + 2 + 3 + 4
+
+    def test_diamond_join_sees_both_branches(self, engine, inputs):
+        graph = WorkflowGraph(
+            [
+                Stage("count", CommandTemplate(function=count_words, name="count")),
+                Stage(
+                    "double",
+                    CommandTemplate(
+                        function=lambda p: int(open(p).read()) * 2, name="double"
+                    ),
+                    inputs_from=("count",),
+                ),
+                Stage(
+                    "join",
+                    CommandTemplate(function=sum_counts, name="join"),
+                    inputs_from=("count", "double"),
+                    grouping=PartitionScheme.ROUND_ROBIN_CHUNKS,
+                    grouping_options={"chunks": 1},
+                ),
+            ]
+        )
+        result = engine.run(graph, inputs)
+        assert result.ok
+        total = int(open(result.outputs_of("join")[0]).read())
+        assert total == (1 + 2 + 3 + 4) * 3  # originals + doubles
+
+    def test_total_tasks_accumulates(self, engine, inputs):
+        graph = WorkflowGraph(
+            [
+                Stage("count", CommandTemplate(function=count_words, name="count")),
+                Stage(
+                    "echo",
+                    CommandTemplate(function=lambda p: open(p).read(), name="echo"),
+                    inputs_from=("count",),
+                ),
+            ]
+        )
+        result = engine.run(graph, inputs)
+        assert result.total_tasks == 8
+
+
+class TestFailurePropagation:
+    def test_failed_stage_skips_downstream(self, engine, inputs):
+        def explode(path):
+            raise RuntimeError("stage failure")
+
+        graph = WorkflowGraph(
+            [
+                Stage("bad", CommandTemplate(function=explode, name="bad")),
+                Stage(
+                    "after",
+                    CommandTemplate(function=count_words, name="after"),
+                    inputs_from=("bad",),
+                ),
+            ]
+        )
+        result = engine.run(graph, inputs)
+        assert not result.ok
+        assert "after" not in result.stage_results  # skipped
+
+    def test_stop_on_failure_false_runs_survivors(self, engine, inputs):
+        def explode_on_doc0(path):
+            if path.endswith("doc0.txt"):
+                raise RuntimeError("bad doc")
+            return count_words(path)
+
+        graph = WorkflowGraph(
+            [Stage("partial", CommandTemplate(function=explode_on_doc0, name="partial"),
+                   )]
+        )
+        result = engine.run(graph, inputs, stop_on_failure=False)
+        assert not result.ok
+        assert len(result.outputs_of("partial")) == 3
+
+
+class TestValidationAtRun:
+    def test_missing_initial_inputs(self, engine):
+        graph = WorkflowGraph(
+            [Stage("s", CommandTemplate(function=count_words, name="s"))]
+        )
+        with pytest.raises(ConfigurationError):
+            engine.run(graph, [])
+        with pytest.raises(ConfigurationError):
+            engine.run(graph, ["/no/such/file"])
+
+    def test_bad_work_dir_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkflowEngine(work_dir="/no/such/dir")

@@ -1,0 +1,101 @@
+"""Unit tests for the calibrated workload profiles."""
+
+import pytest
+
+from repro.data.partition import PartitionScheme
+from repro.util.units import MB
+from repro.workloads.profiles import (
+    PAPER_CLUSTER,
+    als_profile,
+    blast_profile,
+    sequential_cluster,
+)
+
+
+class TestPaperCluster:
+    def test_matches_section_iv_a(self):
+        assert PAPER_CLUSTER.num_workers == 4
+        assert PAPER_CLUSTER.instance_type.cores == 4
+        assert PAPER_CLUSTER.link_bps == 100e6
+
+    def test_sequential_cluster_single_worker(self):
+        assert sequential_cluster().num_workers == 1
+
+
+class TestAlsProfile:
+    def test_full_scale_matches_paper(self):
+        profile = als_profile(1.0)
+        assert len(profile.dataset) == 1250
+        assert profile.grouping is PartitionScheme.PAIRWISE_ADJACENT
+        assert profile.num_tasks == 625
+
+    def test_scaling_preserves_file_size(self):
+        full = als_profile(1.0)
+        small = als_profile(0.1)
+        assert len(small.dataset) == 126  # rounded to even
+        assert small.dataset[0].size == full.dataset[0].size
+
+    def test_even_count_enforced(self):
+        profile = als_profile(0.013)  # 16.25 -> rounds to 16
+        assert len(profile.dataset) % 2 == 0
+
+    def test_sequential_cost_calibration(self):
+        # 625 tasks x ~2.014 s should reconstruct ~1258.8 s of §IV.
+        from repro.data.partition import TaskGroup
+
+        profile = als_profile(1.0)
+        groups = profile.num_tasks
+        per_task = profile.compute_model.cost(TaskGroup(0, profile.dataset.files[:2]))
+        disk_read = (
+            profile.dataset[0].size * 2 * 8 / profile.cluster.instance_type.disk_read_bps
+        )
+        assert groups * (per_task + disk_read) == pytest.approx(1258.8, rel=0.01)
+
+    def test_command_is_two_input(self):
+        assert als_profile(0.1).command.arity == 2
+
+    def test_invalid_scale(self):
+        with pytest.raises(Exception):
+            als_profile(0.0)
+
+
+class TestBlastProfile:
+    def test_full_scale_matches_paper(self):
+        profile = blast_profile(1.0)
+        assert len(profile.dataset) == 750  # 7500 sequences / 10 per file
+        assert profile.grouping is PartitionScheme.SINGLE
+        assert profile.common_files[0].size == 300 * MB
+
+    def test_database_scales_down(self):
+        small = blast_profile(0.1)
+        assert small.common_files[0].size == 30 * MB
+
+    def test_database_floor(self):
+        tiny = blast_profile(0.01)
+        assert tiny.common_files[0].size == 20 * MB
+
+    def test_sequential_total_near_61200(self):
+        from repro.data.partition import generate_groups
+
+        profile = blast_profile(1.0)
+        groups = generate_groups(profile.dataset, profile.grouping)
+        total = sum(profile.compute_model.cost(g) for g in groups)
+        assert total == pytest.approx(61200, rel=0.02)
+
+    def test_task_costs_deterministic(self):
+        a = blast_profile(0.1)
+        b = blast_profile(0.1)
+        from repro.data.partition import generate_groups
+
+        groups = generate_groups(a.dataset, a.grouping)
+        assert [a.compute_model.cost(g) for g in groups] == [
+            b.compute_model.cost(g) for g in groups
+        ]
+
+    def test_task_costs_variable(self):
+        from repro.data.partition import generate_groups
+
+        profile = blast_profile(0.1)
+        groups = generate_groups(profile.dataset, profile.grouping)
+        costs = {profile.compute_model.cost(g) for g in groups}
+        assert len(costs) == len(groups)

@@ -1,0 +1,130 @@
+"""Tests for trace-driven workloads."""
+
+import json
+
+import pytest
+
+from repro.core.strategies import StrategyKind
+from repro.data.files import DataFile, Dataset
+from repro.data.partition import PartitionScheme, TaskGroup
+from repro.errors import ConfigurationError
+from repro.workloads.profiles import als_profile
+from repro.workloads.trace import (
+    TraceComputeModel,
+    TraceWorkload,
+    load_trace,
+    run_trace,
+    save_trace,
+    trace_from_profile,
+)
+
+
+def small_trace():
+    files = [DataFile(f"f{i}", 1000 * (i + 1)) for i in range(6)]
+    return TraceWorkload(
+        name="small",
+        dataset=Dataset("small", files),
+        grouping=PartitionScheme.PAIRWISE_ADJACENT,
+        grouping_options={},
+        compute_model=TraceComputeModel((1.0, 2.0, 3.0)),
+    )
+
+
+class TestTraceComputeModel:
+    def test_costs_by_index(self):
+        model = TraceComputeModel((1.5, 2.5))
+        assert model.cost(TaskGroup(1, (DataFile("a", 1),))) == 2.5
+
+    def test_missing_cost_rejected(self):
+        model = TraceComputeModel((1.5,))
+        with pytest.raises(ConfigurationError):
+            model.cost(TaskGroup(5, (DataFile("a", 1),)))
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        trace = small_trace()
+        path = str(tmp_path / "trace.json")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert loaded.grouping == trace.grouping
+        assert loaded.compute_model.costs == trace.compute_model.costs
+        assert [f.size for f in loaded.dataset] == [f.size for f in trace.dataset]
+
+    def test_common_files_preserved(self, tmp_path):
+        trace = TraceWorkload(
+            name="db",
+            dataset=Dataset("d", [DataFile("q", 10)]),
+            grouping=PartitionScheme.SINGLE,
+            grouping_options={},
+            compute_model=TraceComputeModel((1.0,)),
+            common_files=(DataFile("nr", 1000),),
+        )
+        path = str(tmp_path / "t.json")
+        save_trace(trace, path)
+        assert load_trace(path).common_files[0].size == 1000
+
+    def test_trace_is_editable_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        save_trace(small_trace(), path)
+        payload = json.load(open(path))
+        assert payload["version"] == 1
+        assert len(payload["task_costs"]) == 3
+
+
+class TestValidation:
+    def test_cost_count_must_match_grouping(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        save_trace(small_trace(), path)
+        payload = json.load(open(path))
+        payload["task_costs"] = [1.0]  # wrong count
+        json.dump(payload, open(path, "w"))
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_negative_costs_rejected(self, tmp_path):
+        path = str(tmp_path / "neg.json")
+        save_trace(small_trace(), path)
+        payload = json.load(open(path))
+        payload["task_costs"][0] = -1.0
+        json.dump(payload, open(path, "w"))
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = str(tmp_path / "v.json")
+        save_trace(small_trace(), path)
+        payload = json.load(open(path))
+        payload["version"] = 99
+        json.dump(payload, open(path, "w"))
+        with pytest.raises(ConfigurationError):
+            load_trace(path)
+
+    def test_garbage_json_rejected(self, tmp_path):
+        path = tmp_path / "g.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigurationError):
+            load_trace(str(path))
+
+
+class TestProfilePinning:
+    def test_profile_trace_reproduces_exactly(self, tmp_path):
+        profile = als_profile(0.02)
+        trace = trace_from_profile(profile)
+        path = str(tmp_path / "als.json")
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        a = run_trace(loaded, StrategyKind.REAL_TIME)
+        b = run_trace(loaded, StrategyKind.REAL_TIME)
+        assert a.makespan == b.makespan  # bit-for-bit rerun
+        assert a.all_tasks_ok
+
+    def test_trace_matches_profile_run(self):
+        from repro.workloads import run_profile
+
+        profile = als_profile(0.02)
+        trace = trace_from_profile(profile)
+        direct = run_profile(profile, StrategyKind.PRE_PARTITIONED_REMOTE)
+        traced = run_trace(trace, StrategyKind.PRE_PARTITIONED_REMOTE)
+        assert traced.makespan == pytest.approx(direct.makespan, rel=1e-9)

@@ -1,0 +1,53 @@
+"""Property-based tests: trace save/load is the identity."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.data.files import DataFile, Dataset
+from repro.data.partition import PartitionScheme, expected_group_count
+from repro.workloads.trace import TraceComputeModel, TraceWorkload, load_trace, save_trace
+
+
+@st.composite
+def trace_workloads(draw):
+    n = draw(st.integers(1, 20))
+    grouping = draw(
+        st.sampled_from([PartitionScheme.SINGLE, PartitionScheme.ONE_TO_ALL])
+    )
+    files = [
+        DataFile(f"f{i:03d}", draw(st.integers(0, 10**9))) for i in range(n)
+    ]
+    n_tasks = expected_group_count(grouping, n)
+    costs = tuple(
+        draw(st.floats(0, 1e4, allow_nan=False, allow_infinity=False))
+        for _ in range(n_tasks)
+    )
+    common = draw(
+        st.lists(
+            st.integers(1, 10**9).map(lambda s: DataFile(f"common{s}", s)),
+            max_size=2,
+            unique_by=lambda f: f.name,
+        )
+    )
+    return TraceWorkload(
+        name=draw(st.text(alphabet="abcdefg-", min_size=1, max_size=12)),
+        dataset=Dataset("prop", files),
+        grouping=grouping,
+        grouping_options={},
+        compute_model=TraceComputeModel(costs),
+        common_files=tuple(common),
+    )
+
+
+@given(trace_workloads())
+@settings(max_examples=50)
+def test_trace_round_trip_identity(tmp_path_factory, workload):
+    path = str(tmp_path_factory.mktemp("traces") / "t.json")
+    save_trace(workload, path)
+    loaded = load_trace(path)
+    assert loaded.name == workload.name
+    assert loaded.grouping == workload.grouping
+    assert loaded.compute_model.costs == workload.compute_model.costs
+    assert [(f.name, f.size) for f in loaded.dataset] == [
+        (f.name, f.size) for f in workload.dataset
+    ]
+    assert loaded.common_files == workload.common_files
