@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-check bench-update
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m benchmarks.run_bench
+
+bench-check:
+	$(PYTHON) -m benchmarks.run_bench --check
+
+bench-update:
+	$(PYTHON) -m benchmarks.run_bench --update

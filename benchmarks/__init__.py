@@ -1,0 +1,5 @@
+"""Benchmark suite for the FRIEDA reproduction.
+
+``python -m benchmarks.run_bench`` runs the micro-benchmarks and
+refreshes/checks ``BENCH_micro.json`` at the repo root.
+"""

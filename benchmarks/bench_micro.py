@@ -103,6 +103,38 @@ def test_flow_network_replan_churn(benchmark):
     assert benchmark(run) == 200
 
 
+@pytest.mark.benchmark(group="micro-network")
+def test_flow_network_clustered_churn_2000(benchmark):
+    """2,000 flows over 32 disjoint rack components with batched arrivals.
+
+    Each virtual 10 ms tick admits one flow per rack, so every wake
+    coalesces 32 same-timestamp arrivals and the incremental planner
+    only re-solves the racks whose links changed.
+    """
+
+    def run():
+        env = Environment()
+        net = FlowNetwork(env)
+        racks = 32
+        for r in range(racks):
+            net.add_link(f"up{r}", 100 * Mbit)
+            for w in range(4):
+                net.add_link(f"r{r}w{w}", 100 * Mbit)
+
+        def one(env, i):
+            yield env.timeout((i // racks) * 0.01)
+            r = i % racks
+            flow = net.start_flow([f"up{r}", f"r{r}w{i % 4}"], 1 * MB)
+            yield flow.done
+
+        for i in range(2000):
+            env.process(one(env, i))
+        env.run()
+        return net.completed_flows
+
+    assert benchmark(run) == 2000
+
+
 @pytest.mark.benchmark(group="micro-partition")
 def test_partition_generation_pairwise(benchmark):
     dataset = synthetic_dataset("bench", 10_000, 1000)

@@ -1,0 +1,131 @@
+"""Run the micro-benchmarks and persist/check ``BENCH_micro.json``.
+
+Usage::
+
+    python -m benchmarks.run_bench            # run + compare vs baseline
+    python -m benchmarks.run_bench --update   # run + rewrite the baseline
+    python -m benchmarks.run_bench --check    # run + exit 1 on regression
+
+The baseline file at the repo root records the median ns/op for every
+micro-benchmark, grouped as pytest-benchmark groups them. ``--check``
+fails when any benchmark in the guarded groups (``micro-kernel`` and
+``micro-network`` — the hot paths this repo optimises) regresses more
+than ``--threshold`` (default 20%) against the committed baseline.
+Other groups are recorded but informational: partition generation and
+the codec are dominated by workload construction and too noisy to gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_micro.json"
+GUARDED_GROUPS = ("micro-kernel", "micro-network")
+
+
+def run_benchmarks(pytest_args: list[str] | None = None) -> dict:
+    """Run bench_micro.py under pytest-benchmark, return its JSON report."""
+    with tempfile.TemporaryDirectory(prefix="frieda-bench-") as tmp:
+        report = Path(tmp) / "report.json"
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks/bench_micro.py",
+            "--benchmark-only",
+            "--benchmark-json=%s" % report,
+            "-q",
+        ] + (pytest_args or [])
+        proc = subprocess.run(cmd, cwd=REPO_ROOT)
+        if proc.returncode != 0:
+            raise SystemExit(f"benchmark run failed (pytest exit {proc.returncode})")
+        return json.loads(report.read_text())
+
+
+def summarize(report: dict) -> dict:
+    """Collapse a pytest-benchmark report to {group: {test: median_ns}}."""
+    groups: dict[str, dict[str, float]] = {}
+    for bench in report["benchmarks"]:
+        group = bench.get("group") or "ungrouped"
+        name = bench["name"]
+        median_ns = bench["stats"]["median"] * 1e9
+        groups.setdefault(group, {})[name] = round(median_ns)
+    return {group: dict(sorted(tests.items())) for group, tests in sorted(groups.items())}
+
+
+def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
+    """Return regression messages for guarded groups beyond ``threshold``."""
+    failures = []
+    for group in GUARDED_GROUPS:
+        for name, base_ns in baseline.get("groups", {}).get(group, {}).items():
+            now_ns = current.get(group, {}).get(name)
+            if now_ns is None:
+                failures.append(f"{group}/{name}: present in baseline but not run")
+                continue
+            if base_ns > 0 and now_ns > base_ns * (1.0 + threshold):
+                failures.append(
+                    f"{group}/{name}: {now_ns / 1e6:.2f} ms vs baseline "
+                    f"{base_ns / 1e6:.2f} ms (+{(now_ns / base_ns - 1) * 100:.0f}%, "
+                    f"limit +{threshold * 100:.0f}%)"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--update", action="store_true", help="rewrite BENCH_micro.json")
+    parser.add_argument(
+        "--check", action="store_true", help="exit non-zero if guarded groups regress"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed fractional regression for --check (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    current = summarize(run_benchmarks())
+
+    print("median ns/op by group:")
+    for group, tests in current.items():
+        print(f"  {group}")
+        for name, ns in tests.items():
+            print(f"    {name}: {ns / 1e6:.3f} ms")
+
+    if args.update or not BASELINE_PATH.exists():
+        payload = {
+            "note": "median ns/op per micro-benchmark; refresh with "
+            "`python -m benchmarks.run_bench --update`",
+            "guarded_groups": list(GUARDED_GROUPS),
+            "groups": current,
+        }
+        if BASELINE_PATH.exists():
+            # Keep bookkeeping keys (e.g. the pre-optimisation seed
+            # numbers) across refreshes.
+            previous = json.loads(BASELINE_PATH.read_text())
+            for key, value in previous.items():
+                payload.setdefault(key, value)
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote baseline {BASELINE_PATH}")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = compare(baseline, current, args.threshold)
+    if failures:
+        print("REGRESSIONS vs committed baseline:")
+        for line in failures:
+            print(f"  {line}")
+        return 1 if args.check else 0
+    print(f"no regressions > {args.threshold * 100:.0f}% in {', '.join(GUARDED_GROUPS)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,6 +25,21 @@ src-uplink, dst-downlink, dst-disk-write]`` is automatically limited by
 its slowest stage. This mirrors the observation in the paper's §III-A
 that local disks, block stores, and network storage have different
 bandwidth trade-offs.
+
+Performance model
+-----------------
+Replanning is *incremental*: the max-min allocation decomposes over the
+connected components of the flow/link bipartite graph, so an arrival or
+departure only perturbs rates inside its own component. The planner
+tracks which links changed since the last plan and re-solves only the
+affected components, reusing frozen rates everywhere else. All
+arrivals/retirements that land at the same virtual instant are coalesced
+into a single replanning pass, and projected flow completions live in a
+lazily-invalidated heap so retiring ``k`` flows costs ``O(k log F)``
+instead of a full rescan. Both the incremental and the from-scratch
+(``incremental=False``) planner solve each component with identical,
+deterministically-ordered arithmetic, so the two replay byte-identically
+— see ``tests/cloud/test_max_min_incremental.py``.
 """
 
 from __future__ import annotations
@@ -32,6 +47,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
+from heapq import heappop, heappush
 from typing import Iterable, Optional, Sequence
 
 from repro.errors import NetworkError
@@ -102,6 +118,7 @@ class Flow:
         "start_time",
         "end_time",
         "tag",
+        "_version",
     )
 
     def __init__(
@@ -124,6 +141,10 @@ class Flow:
         self.start_time = start_time
         self.end_time: Optional[float] = None
         self.tag = tag
+        #: Bumped on every rate change/retirement; projected-completion
+        #: heap entries carry the version they were computed under, so
+        #: stale entries are recognized and skipped (lazy invalidation).
+        self._version = 0
 
     @property
     def mean_throughput_bps(self) -> float:
@@ -136,34 +157,33 @@ class Flow:
         return f"<Flow {self.id} tag={self.tag} remaining={self.remaining_bits:.0f}b>"
 
 
-def max_min_rates(
-    flows: Iterable[Flow],
+def _solve_component(
+    flows: Sequence[Flow],
     capacities: dict[Link, float] | None = None,
 ) -> dict[Flow, float]:
-    """Progressive-filling max-min fair allocation with per-flow caps.
+    """Progressive-filling max-min allocation for ONE connected component.
 
-    Repeatedly finds the most-constrained link (smallest fair share),
-    freezes its flows at that share, removes the consumed capacity, and
-    iterates. Flows with ``max_rate`` below their fair share are frozen
-    at their cap first (standard extension for rate-limited flows).
+    Iteration order over flows and links is fully determined by the
+    order of ``flows`` (dicts preserve insertion order; no set iteration
+    happens), so a given input sequence always produces bitwise-identical
+    rates. Callers must pass each component's flows in a canonical order
+    (the planner sorts by flow id) for cross-run determinism.
     """
-    active = [f for f in flows]
     caps: dict[Link, float] = {}
-    link_flows: dict[Link, set[Flow]] = {}
-    for flow in active:
+    link_flows: dict[Link, dict[Flow, None]] = {}
+    has_capped_flows = False
+    for flow in flows:
+        if flow.max_rate is not None:
+            has_capped_flows = True
         for link in flow.path:
-            caps.setdefault(link, link.capacity if capacities is None else capacities[link])
-            link_flows.setdefault(link, set()).add(flow)
+            members = link_flows.get(link)
+            if members is None:
+                caps[link] = link.capacity if capacities is None else capacities[link]
+                link_flows[link] = members = {}
+            members[flow] = None
 
     rates: dict[Flow, float] = {}
-    unfixed = set(active)
-
-    def freeze(flow: Flow, rate: float) -> None:
-        rates[flow] = rate
-        unfixed.discard(flow)
-        for link in flow.path:
-            caps[link] = max(0.0, caps[link] - rate)
-            link_flows[link].discard(flow)
+    unfixed = dict.fromkeys(flows)
 
     while unfixed:
         # Fair share of the tightest link among unfixed flows.
@@ -177,24 +197,100 @@ def max_min_rates(
                     bottleneck_link = link
         if bottleneck_link is None:  # pragma: no cover - defensive
             for flow in list(unfixed):
-                freeze(flow, flow.max_rate or math.inf)
+                rate = flow.max_rate or math.inf
+                rates[flow] = rate
+                del unfixed[flow]
+                for link in flow.path:
+                    new_cap = caps[link] - rate
+                    caps[link] = new_cap if new_cap > 0.0 else 0.0
+                    link_flows[link].pop(flow, None)
             break
         # Flows capped below the share are frozen at their cap first;
         # freezing them releases capacity, so recompute from scratch.
-        capped = [
-            f
-            for f in unfixed
-            if f.max_rate is not None and f.max_rate < bottleneck_share
-        ]
+        capped = (
+            [
+                f
+                for f in unfixed
+                if f.max_rate is not None and f.max_rate < bottleneck_share
+            ]
+            if has_capped_flows
+            else ()
+        )
         if capped:
             for flow in capped:
-                freeze(flow, flow.max_rate)
+                rate = flow.max_rate
+                rates[flow] = rate
+                del unfixed[flow]
+                for link in flow.path:
+                    new_cap = caps[link] - rate
+                    caps[link] = new_cap if new_cap > 0.0 else 0.0
+                    link_flows[link].pop(flow, None)
             continue
         # Freeze every flow crossing the bottleneck; the loop re-finds
         # further bottlenecks (each iteration freezes at least one flow,
         # so termination is guaranteed).
         for flow in list(link_flows[bottleneck_link]):
-            freeze(flow, bottleneck_share)
+            rates[flow] = bottleneck_share
+            del unfixed[flow]
+            for link in flow.path:
+                new_cap = caps[link] - bottleneck_share
+                caps[link] = new_cap if new_cap > 0.0 else 0.0
+                link_flows[link].pop(flow, None)
+    return rates
+
+
+def _components(flows: Sequence[Flow]) -> list[list[Flow]]:
+    """Partition ``flows`` into connected components of the flow/link graph.
+
+    Each component's flows appear in the order they occur in ``flows``
+    (deterministic given a deterministic input order).
+    """
+    link_members: dict[Link, list[Flow]] = {}
+    for flow in flows:
+        for link in flow.path:
+            link_members.setdefault(link, []).append(flow)
+    comp_id: dict[Flow, int] = {}
+    count = 0
+    for flow in flows:
+        if flow in comp_id:
+            continue
+        comp_id[flow] = count
+        stack = [flow]
+        while stack:
+            member = stack.pop()
+            for link in member.path:
+                for peer in link_members[link]:
+                    if peer not in comp_id:
+                        comp_id[peer] = count
+                        stack.append(peer)
+        count += 1
+    components: list[list[Flow]] = [[] for _ in range(count)]
+    for flow in flows:
+        components[comp_id[flow]].append(flow)
+    return components
+
+
+def max_min_rates(
+    flows: Iterable[Flow],
+    capacities: dict[Link, float] | None = None,
+) -> dict[Flow, float]:
+    """Progressive-filling max-min fair allocation with per-flow caps.
+
+    Repeatedly finds the most-constrained link (smallest fair share),
+    freezes its flows at that share, removes the consumed capacity, and
+    iterates. Flows with ``max_rate`` below their fair share are frozen
+    at their cap first (standard extension for rate-limited flows).
+
+    The allocation decomposes over connected components of the flow/link
+    bipartite graph; each component is solved independently (this is
+    what makes incremental replanning exact — see :class:`FlowNetwork`).
+    """
+    ordered = list(flows)
+    if not ordered:
+        return {}
+    rates: dict[Flow, float] = {}
+    for component in _components(ordered):
+        rates.update(_solve_component(component, capacities))
     return rates
 
 
@@ -202,22 +298,52 @@ class FlowNetwork:
     """The dynamic flow simulation over a set of links.
 
     Components create links once (:meth:`add_link`) and start transfers
-    with :meth:`start_flow`. A background process re-plans rates on
-    every arrival/departure.
+    with :meth:`start_flow`. A background driver process retires drained
+    flows and re-plans rates whenever the active set changes.
+
+    ``incremental=True`` (the default) re-solves only the connected
+    components touched by arrivals/departures since the last plan;
+    ``incremental=False`` re-solves every component from scratch each
+    time. Both produce byte-identical schedules (each component is
+    solved with identical arithmetic either way); the flag exists for
+    the equivalence tests and as an escape hatch.
     """
 
-    def __init__(self, env: Environment, monitor: Monitor | None = None):
+    def __init__(
+        self,
+        env: Environment,
+        monitor: Monitor | None = None,
+        *,
+        incremental: bool = True,
+    ):
         self.env = env
         self.monitor = monitor
+        self.incremental = incremental
         self._links: dict[str, Link] = {}
         self._routes: dict[str, Route] = {}
-        self._flows: set[Flow] = set()
+        #: Active flows in arrival order (dict for deterministic iteration).
+        self._flows: dict[Flow, None] = {}
         self._flow_ids = itertools.count()
         self._last_update = env.now
-        self._wake: Optional[Event] = None
+        #: Arrivals whose startup latency has elapsed, awaiting admission
+        #: by the driver (coalesces same-instant arrivals into one plan).
+        self._pending: list[Flow] = []
+        #: Links whose flow membership changed since the last plan.
+        self._dirty_links: set[Link] = set()
+        #: Lazily-invalidated min-heap of (projected_end, flow_id,
+        #: version, flow); entries whose version no longer matches the
+        #: flow are skipped on pop.
+        self._completion_heap: list[tuple[float, int, int, Flow]] = []
+        #: The driver's (recycled) wake event; other code pokes it.
+        self._wake = Event(env)
+        #: Currently armed completion alarm (a pooled Timeout) + deadline.
+        self._alarm: Optional[Event] = None
+        self._alarm_deadline = math.inf
         self._driver = env.process(self._drive(), name="flow-network")
         self.completed_flows = 0
         self.total_bytes_moved = 0.0
+        #: Number of (coalesced) replanning passes actually executed.
+        self.replans = 0
 
     # -- topology ---------------------------------------------------------
     def add_link(self, name: str, capacity_bps: float, latency_s: float = 0.0) -> Link:
@@ -284,9 +410,15 @@ class FlowNetwork:
         startup = sum(l.latency for l in links) if latency is None else latency
         if nbytes == 0:
             # Pure-latency "transfer" (control message): no bandwidth use.
-            self.env.process(self._zero_volume(flow, startup), name=f"flow{flow.id}-zero")
+            if startup > 0:
+                self.env.process(self._zero_volume(flow, startup), name=f"flow{flow.id}-zero")
+            else:
+                self._finish_zero_volume(flow)
             return flow
-        self.env.process(self._launch(flow, startup), name=f"flow{flow.id}-launch")
+        if startup > 0:
+            self.env.process(self._launch(flow, startup), name=f"flow{flow.id}-launch")
+        else:
+            self._admit(flow)
         return flow
 
     def transfer(self, path: Sequence[str] | Route, nbytes: float, **kw) -> Event:
@@ -294,24 +426,58 @@ class FlowNetwork:
         return self.start_flow(path, nbytes, **kw).done
 
     def _zero_volume(self, flow: Flow, startup: float):
-        if startup > 0:
-            yield self.env.timeout(startup)
+        yield self.env.timeout(startup)
+        self._finish_zero_volume(flow)
+
+    def _finish_zero_volume(self, flow: Flow) -> None:
         flow.end_time = self.env.now
         self.completed_flows += 1
         flow.done.succeed(flow)
+        if self.monitor is not None:
+            # Control messages carry no payload but still count: record
+            # the interval so the Monitor sees every flow, not just bulk
+            # data movements.
+            self.monitor.interval(
+                "flow",
+                flow.start_time,
+                flow.end_time,
+                flow=flow.id,
+                tag=flow.tag,
+                nbytes=0.0,
+            )
 
     def _launch(self, flow: Flow, startup: float):
-        if startup > 0:
-            yield self.env.timeout(startup)
-        self._advance_flows()
-        self._flows.add(flow)
-        for link in flow.path:
-            link._flows.add(flow)
-        self._replan()
-        return
-        yield  # pragma: no cover - makes this a generator
+        yield self.env.timeout(startup)
+        self._admit(flow)
+
+    def _admit(self, flow: Flow) -> None:
+        """Queue an arrival for the driver and wake it at this instant."""
+        self._pending.append(flow)
+        self._poke()
 
     # -- engine -------------------------------------------------------------
+    def _poke(self) -> None:
+        """Wake the driver within the current virtual instant (idempotent)."""
+        wake = self._wake
+        if not wake.triggered:
+            wake.succeed()
+
+    def _on_alarm(self, timeout: Event) -> None:
+        """A projected-completion alarm fired; stale alarms are ignored."""
+        if timeout is self._alarm:
+            self._alarm = None
+            self._alarm_deadline = math.inf
+            self._poke()
+        self.env.release_timeout(timeout)  # type: ignore[arg-type]
+
+    def _drive(self):
+        """Driver process: one service pass per wake, then sleep."""
+        wake = self._wake
+        while True:
+            yield wake
+            self._service()
+            wake.reset()
+
     def _advance_flows(self) -> None:
         """Drain bits according to current rates up to env.now."""
         elapsed = self.env.now - self._last_update
@@ -320,63 +486,135 @@ class FlowNetwork:
                 flow.remaining_bits -= flow.rate * elapsed
         self._last_update = self.env.now
 
-    def _replan(self) -> None:
-        """Recompute rates and poke the driver process."""
-        rates = max_min_rates(self._flows)
-        for flow, rate in rates.items():
-            flow.rate = rate
-        if self.monitor is not None:
-            for flow in self._flows:
-                self.monitor.sample(self.env.now, "flow.rate", flow.rate, flow=flow.id, tag=flow.tag)
-        if self._wake is not None and not self._wake.triggered:
-            self._wake.succeed()
-        self._wake = None
+    def _service(self) -> None:
+        """Advance, retire due flows, admit arrivals, replan, re-arm."""
+        now = self.env.now
+        self._advance_flows()
 
-    def _earliest_completion(self) -> float:
-        horizon = math.inf
-        for flow in self._flows:
-            if flow.rate > 0:
-                horizon = min(horizon, flow.remaining_bits / flow.rate)
-        return horizon
-
-    def _drive(self):
-        """Background process: completes flows as they drain."""
-        while True:
-            self._advance_flows()
-            # Retire drained flows (including those whose residue would
-            # drain in under a nanosecond — see _EPSILON_TIME).
-            finished = [
-                f
-                for f in self._flows
-                if f.remaining_bits <= max(_EPSILON_BITS, f.rate * _EPSILON_TIME)
-            ]
-            if finished:
-                for flow in finished:
-                    self._flows.discard(flow)
-                    for link in flow.path:
-                        link._flows.discard(flow)
-                    flow.remaining_bits = 0.0
-                    flow.rate = 0.0
-                    flow.end_time = self.env.now
-                    self.completed_flows += 1
-                    self.total_bytes_moved += flow.total_bits / 8.0
-                    flow.done.succeed(flow)
-                    if self.monitor is not None:
-                        self.monitor.interval(
-                            "flow",
-                            flow.start_time,
-                            flow.end_time,
-                            flow=flow.id,
-                            tag=flow.tag,
-                            nbytes=flow.total_bits / 8.0,
-                        )
-                self._replan()
-            horizon = self._earliest_completion()
-            wake = Event(self.env)
-            self._wake = wake
-            if horizon is math.inf:
-                yield wake  # sleep until a flow arrives
+        # Retire drained flows: pop projected completions that are due
+        # and verify against the actual remaining volume (including
+        # residue that would drain in under a nanosecond — _EPSILON_TIME).
+        heap = self._completion_heap
+        due = now + _EPSILON_TIME
+        while heap:
+            projected, flow_id, version, flow = heap[0]
+            if version != flow._version:
+                heappop(heap)  # stale: rate changed since this projection
+                continue
+            if projected > due:
+                break
+            heappop(heap)
+            if flow.remaining_bits <= max(_EPSILON_BITS, flow.rate * _EPSILON_TIME):
+                self._retire(flow, now)
             else:
-                yield self.env.any_of([wake, self.env.timeout(horizon)])
-                if self._wake is wake:
-                    self._wake = None
+                # Woken marginally early (float slack in alarm delay
+                # arithmetic): project again from the advanced state.
+                flow._version += 1
+                heappush(
+                    heap,
+                    (now + flow.remaining_bits / flow.rate, flow_id, flow._version, flow),
+                )
+
+        # Admit arrivals whose startup latency elapsed at this instant.
+        if self._pending:
+            pending, self._pending = self._pending, []
+            for flow in pending:
+                self._flows[flow] = None
+                for link in flow.path:
+                    link._flows.add(flow)
+                self._dirty_links.update(flow.path)
+
+        # One coalesced replanning pass for everything that changed.
+        if self._dirty_links:
+            self._replan(now)
+
+        # Re-arm the completion alarm if an earlier wake-up is needed.
+        while heap and heap[0][2] != heap[0][3]._version:
+            heappop(heap)
+        if heap:
+            deadline = heap[0][0]
+            if self._alarm is None or deadline < self._alarm_deadline:
+                alarm = self.env.pooled_timeout(max(0.0, deadline - now))
+                alarm.callbacks.append(self._on_alarm)
+                self._alarm = alarm
+                self._alarm_deadline = deadline
+
+    def _retire(self, flow: Flow, now: float) -> None:
+        del self._flows[flow]
+        for link in flow.path:
+            link._flows.discard(flow)
+        self._dirty_links.update(flow.path)
+        flow.remaining_bits = 0.0
+        flow.rate = 0.0
+        flow._version += 1
+        flow.end_time = now
+        self.completed_flows += 1
+        self.total_bytes_moved += flow.total_bits / 8.0
+        flow.done.succeed(flow)
+        if self.monitor is not None:
+            self.monitor.interval(
+                "flow",
+                flow.start_time,
+                flow.end_time,
+                flow=flow.id,
+                tag=flow.tag,
+                nbytes=flow.total_bits / 8.0,
+            )
+
+    def _replan(self, now: float) -> None:
+        """Recompute rates for every component touched since the last plan.
+
+        With ``incremental=False`` every component is re-solved; either
+        way each component's flows are solved in flow-id order, so the
+        two modes produce bitwise-identical rates.
+        """
+        dirty, self._dirty_links = self._dirty_links, set()
+        self.replans += 1
+        if self.incremental:
+            visited: set[Link] = set()
+            for link in sorted(dirty, key=lambda l: l.name):
+                if link in visited:
+                    continue
+                component_links, component_flows = self._component(link)
+                visited.update(component_links)
+                if component_flows:
+                    ordered = sorted(component_flows, key=lambda f: f.id)
+                    self._apply_rates(ordered, _solve_component(ordered), now)
+        else:
+            ordered_all = sorted(self._flows, key=lambda f: f.id)
+            for component in _components(ordered_all):
+                self._apply_rates(component, _solve_component(component), now)
+
+    def _component(self, start: Link) -> tuple[set[Link], set[Flow]]:
+        """Connected component of the flow/link graph containing ``start``."""
+        links = {start}
+        flows: set[Flow] = set()
+        stack = [start]
+        while stack:
+            link = stack.pop()
+            for flow in link._flows:
+                if flow not in flows:
+                    flows.add(flow)
+                    for other in flow.path:
+                        if other not in links:
+                            links.add(other)
+                            stack.append(other)
+        return links, flows
+
+    def _apply_rates(
+        self, ordered: Sequence[Flow], rates: dict[Flow, float], now: float
+    ) -> None:
+        heap = self._completion_heap
+        monitor = self.monitor
+        for flow in ordered:
+            rate = rates[flow]
+            if rate != flow.rate:
+                flow.rate = rate
+                flow._version += 1
+                if rate > 0.0:
+                    heappush(
+                        heap,
+                        (now + flow.remaining_bits / rate, flow.id, flow._version, flow),
+                    )
+            if monitor is not None:
+                monitor.sample(now, "flow.rate", rate, flow=flow.id, tag=flow.tag)

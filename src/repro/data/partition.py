@@ -128,11 +128,13 @@ def _scheme_size_balanced_chunks(files: Sequence[DataFile], opts: dict) -> Itera
     if chunks < 1:
         raise PartitionError("size_balanced_chunks requires chunks >= 1")
     # Longest-processing-time greedy: biggest file to currently lightest
-    # bucket. Classic LPT bin balancing.
+    # bucket. Classic LPT bin balancing. Ties on load break on item
+    # count, so equal-sized (including zero-sized) files spread across
+    # buckets instead of piling into the first one.
     buckets: list[list[DataFile]] = [[] for _ in range(chunks)]
     loads = [0] * chunks
     for f in sorted(files, key=lambda f: f.size, reverse=True):
-        lightest = loads.index(min(loads))
+        lightest = min(range(chunks), key=lambda i: (loads[i], len(buckets[i])))
         buckets[lightest].append(f)
         loads[lightest] += f.size
     for bucket in buckets:

@@ -101,6 +101,8 @@ class Event:
 
     def trigger(self, event: "Event") -> None:
         """Mirror another (triggered) event's outcome onto this one."""
+        if event._value is _PENDING:
+            raise SimulationError("cannot mirror an untriggered event")
         if event._ok:
             self.succeed(event._value)
         else:
@@ -109,6 +111,24 @@ class Event:
     def defuse(self) -> None:
         """Mark a failed event as handled so run() does not re-raise it."""
         self._defused = True
+
+    def reset(self) -> "Event":
+        """Return a *processed* event to the pending state for reuse.
+
+        Components that wake on the same event over and over (e.g. the
+        flow-network driver) can recycle one Event instead of allocating
+        a fresh one per cycle. Only the owner may do this, and only once
+        every other referent has observed the outcome — hence the guard
+        on ``processed``.
+        """
+        if self.callbacks is not None:
+            raise SimulationError("reset() on an event that was never processed")
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
+        self._scheduled = False
+        return self
 
     def __repr__(self) -> str:
         state = (
@@ -342,11 +362,15 @@ class Environment:
     until the heap empties, a deadline passes, or a given event triggers.
     """
 
+    #: Upper bound on the pooled-Timeout free list (see :meth:`pooled_timeout`).
+    _TIMEOUT_POOL_MAX = 128
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
+        self._timeout_pool: list[Timeout] = []
         #: Optional callables invoked as ``tracer(env, event)`` right
         #: before each event's callbacks run (used by Monitor).
         self.tracers: list[Callable[["Environment", Event], None]] = []
@@ -369,6 +393,35 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event triggering ``delay`` time units from now."""
         return Timeout(self, delay, value)
+
+    def pooled_timeout(self, delay: float, value: Any = None) -> Timeout:
+        """A :class:`Timeout` drawn from a free list when possible.
+
+        For components that schedule wake-ups in a tight loop and can
+        guarantee exclusive ownership of the timeout (no other process
+        holds a reference once it is processed), recycling avoids one
+        allocation per wake. Return the timeout with
+        :meth:`release_timeout` once it has been processed.
+        """
+        pool = self._timeout_pool
+        if pool and delay >= 0:
+            timeout = pool.pop()
+            timeout.reset()
+            timeout._ok = True
+            timeout._value = value
+            timeout.delay = delay
+            self._schedule(timeout, NORMAL, delay)
+            return timeout
+        return Timeout(self, delay, value)
+
+    def release_timeout(self, timeout: Timeout) -> None:
+        """Return a *processed* pooled timeout to the free list.
+
+        Callers must guarantee no other component still references the
+        timeout; unprocessed timeouts are silently ignored.
+        """
+        if timeout.callbacks is None and len(self._timeout_pool) < self._TIMEOUT_POOL_MAX:
+            self._timeout_pool.append(timeout)
 
     def process(
         self, generator: Generator[Event, Any, Any], name: str | None = None
@@ -402,17 +455,19 @@ class Environment:
         if not self._heap:
             raise SimulationError("step() on an empty event heap")
         when, _prio, _seq, event = heapq.heappop(self._heap)
-        if when < self._now:  # pragma: no cover - guarded by schedule API
-            raise SimulationError("time went backwards")
         self._now = when
-        for tracer in self.tracers:
-            tracer(self, event)
+        if self.tracers:
+            for tracer in self.tracers:
+                tracer(self, event)
         callbacks, event.callbacks = event.callbacks, None
+        # Snapshot the outcome first: a callback may recycle the event
+        # (Event.reset) once it has been delivered.
+        ok, value = event._ok, event._value
         for callback in callbacks:
             callback(event)
-        if not event._ok and not event._defused:
+        if not ok and not event._defused:
             # Nothing handled the failure: surface it to the driver.
-            raise event._value
+            raise value
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run until the heap empties, time ``until`` passes, or event fires.
@@ -425,14 +480,16 @@ class Environment:
                 if stop_event.ok:
                     return stop_event.value
                 raise stop_event.value
-            sentinel = {"hit": False}
+            sentinel = [False]
 
             def _mark(_ev: Event) -> None:
-                sentinel["hit"] = True
+                sentinel[0] = True
 
             stop_event.callbacks.append(_mark)
-            while self._heap and not sentinel["hit"]:
-                self.step()
+            step = self.step
+            heap = self._heap
+            while heap and not sentinel[0]:
+                step()
             if not stop_event.triggered:
                 raise SimulationError(
                     "run(until=event) exhausted the heap before the event fired"
@@ -445,8 +502,10 @@ class Environment:
         deadline = float("inf") if until is None else float(until)
         if deadline != float("inf") and deadline < self._now:
             raise SimulationError(f"run(until={until}) is in the past (now={self._now})")
-        while self._heap and self.peek() <= deadline:
-            self.step()
+        step = self.step
+        heap = self._heap
+        while heap and heap[0][0] <= deadline:
+            step()
         if deadline != float("inf"):
             self._now = deadline
         return None

@@ -177,7 +177,9 @@ class Store:
             raise SimulationError("Store capacity must be positive")
         self.env = env
         self.capacity = capacity
-        self.items: list[Any] = []
+        #: Stored items, oldest first. A deque so the FIFO pop in
+        #: :meth:`_match` is O(1) instead of list.pop(0)'s O(n).
+        self.items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[tuple[Event, Any]] = deque()
 
@@ -201,7 +203,7 @@ class Store:
     def _match(self, getter: Event) -> bool:
         """Try to satisfy ``getter`` from items; subclass hook."""
         if self.items:
-            getter.succeed(self.items.pop(0))
+            getter.succeed(self.items.popleft())
             return True
         return False
 
@@ -248,7 +250,8 @@ class FilterStore(Store):
         for index, item in enumerate(self.items):
             if predicate is None or predicate(item):
                 self._filters.pop(getter, None)
-                getter.succeed(self.items.pop(index))
+                del self.items[index]
+                getter.succeed(item)
                 return True
         return False
 

@@ -1,0 +1,204 @@
+"""Tests for the incremental max-min planner.
+
+Two halves:
+
+1. Solver edge cases — capped flows, multi-bottleneck paths, and the
+   component-decomposition property the incremental planner relies on.
+2. Equivalence — ``FlowNetwork(incremental=True)`` must produce exactly
+   the same per-flow completion times (bitwise float equality, not
+   approximate) as a from-scratch replan on every wake. Any divergence,
+   however small, means the incremental planner changed simulation
+   results rather than just speed.
+"""
+
+import random
+
+from repro.cloud.network import Flow, FlowNetwork, Link, max_min_rates
+from repro.sim import Environment
+from repro.sim.kernel import Event
+from repro.util.units import MB, Mbit
+
+
+def _flow(env, i, path, max_rate=None):
+    return Flow(i, path, 1 * MB, Event(env), max_rate, 0.0, "")
+
+
+class TestSolverEdgeCases:
+    def test_all_flows_capped_below_fair_share(self):
+        """Caps bind before the bottleneck: everyone gets exactly their cap."""
+        env = Environment()
+        link = Link("l", 100.0)
+        flows = [_flow(env, i, [link], max_rate=10.0 - i) for i in range(4)]
+        rates = max_min_rates(flows)
+        # Fair share would be 25; every cap is below it.
+        assert [rates[f] for f in flows] == [10.0, 9.0, 8.0, 7.0]
+
+    def test_flow_crossing_two_bottlenecks(self):
+        """A two-hop flow is held to its *tighter* bottleneck, and the
+        capacity it cannot use on the wider link goes to the others."""
+        env = Environment()
+        narrow = Link("narrow", 10.0)
+        wide = Link("wide", 30.0)
+        crossing = _flow(env, 0, [narrow, wide])
+        on_narrow = _flow(env, 1, [narrow])
+        wide_a = _flow(env, 2, [wide])
+        wide_b = _flow(env, 3, [wide])
+        rates = max_min_rates([crossing, on_narrow, wide_a, wide_b])
+        # narrow: 10/2 = 5 each. wide then has 30 - 5 = 25 for two flows.
+        assert rates[crossing] == 5.0
+        assert rates[on_narrow] == 5.0
+        assert rates[wide_a] == 12.5
+        assert rates[wide_b] == 12.5
+
+    def test_disjoint_components_planned_independently(self):
+        """Solving the union equals solving each link-component alone —
+        bitwise, which is what makes incremental replanning exact."""
+        env = Environment()
+        left = Link("left", 7.3)
+        right = Link("right", 11.9)
+        group_a = [_flow(env, i, [left], max_rate=None if i else 1.7) for i in range(3)]
+        group_b = [_flow(env, 10 + i, [right]) for i in range(5)]
+        union = max_min_rates(group_a + group_b)
+        alone_a = max_min_rates(group_a)
+        alone_b = max_min_rates(group_b)
+        for flow in group_a:
+            assert union[flow] == alone_a[flow]
+        for flow in group_b:
+            assert union[flow] == alone_b[flow]
+
+
+def _end_times(build, expected_flows):
+    """Run ``build`` under both planner modes; return both end-time maps."""
+    ends = {}
+    for mode in (True, False):
+        env = Environment()
+        net = FlowNetwork(env, incremental=mode)
+        flows = build(env, net)
+        env.run()
+        assert net.completed_flows == expected_flows
+        ends[mode] = {f.tag: f.end_time for f in flows}
+        assert all(t is not None for t in ends[mode].values())
+    return ends
+
+
+class TestIncrementalEquivalence:
+    """incremental=True vs incremental=False: identical completion times."""
+
+    def test_clustered_racks_churn(self):
+        """Disjoint rack components with batched same-instant arrivals."""
+
+        def build(env, net):
+            racks = 8
+            for r in range(racks):
+                net.add_link(f"up{r}", 100 * Mbit)
+                for w in range(2):
+                    net.add_link(f"r{r}w{w}", 100 * Mbit)
+            flows = []
+
+            def one(env, i):
+                yield env.timeout((i // racks) * 0.01)
+                r = i % racks
+                flows.append(
+                    net.start_flow([f"up{r}", f"r{r}w{i % 2}"], 1 * MB, tag=f"f{i}")
+                )
+
+            for i in range(160):
+                env.process(one(env, i))
+            return flows
+
+        ends = _end_times(build, 160)
+        assert ends[True] == ends[False]  # exact, not approximate
+
+    def test_shared_bottleneck_with_caps_and_latency(self):
+        """Single shared uplink, per-flow caps, and startup latency."""
+
+        def build(env, net):
+            net.add_link("up", 100 * Mbit, latency_s=0.002)
+            for i in range(6):
+                net.add_link(f"d{i}", 40 * Mbit)
+            flows = []
+
+            def one(env, i):
+                yield env.timeout(i * 0.003)
+                flows.append(
+                    net.start_flow(
+                        ["up", f"d{i % 6}"],
+                        (i % 5 + 1) * MB,
+                        max_rate=(20 * Mbit) if i % 3 == 0 else None,
+                        tag=f"f{i}",
+                    )
+                )
+
+            for i in range(60):
+                env.process(one(env, i))
+            return flows
+
+        ends = _end_times(build, 60)
+        assert ends[True] == ends[False]
+
+    def test_random_topology_seeded(self):
+        """Randomized paths/sizes/arrivals (fixed seed) — still bitwise equal."""
+
+        def build(env, net):
+            rng = random.Random(0xF21EDA)
+            names = [f"l{i}" for i in range(10)]
+            for name in names:
+                net.add_link(name, rng.choice([50, 100, 200]) * Mbit)
+            flows = []
+
+            def one(env, delay, path, nbytes, tag):
+                yield env.timeout(delay)
+                flows.append(net.start_flow(path, nbytes, tag=tag))
+
+            for i in range(120):
+                path = rng.sample(names, rng.randint(1, 3))
+                env.process(
+                    one(
+                        env,
+                        rng.randint(0, 40) * 0.005,
+                        path,
+                        rng.randint(1, 4) * MB,
+                        f"f{i}",
+                    )
+                )
+            return flows
+
+        ends = _end_times(build, 120)
+        assert ends[True] == ends[False]
+
+
+class TestCoalescing:
+    def test_same_timestamp_arrivals_replan_once(self):
+        """A batch of same-instant arrivals triggers ONE planning pass,
+        not one per flow."""
+        env = Environment()
+        net = FlowNetwork(env)
+        net.add_link("up", 100 * Mbit)
+
+        def one(env):
+            yield env.timeout(1.0)  # all 32 wake at the same instant
+            yield net.transfer(["up"], 1 * MB)
+
+        for _ in range(32):
+            env.process(one(env))
+        env.run()
+        assert net.completed_flows == 32
+        # One replan for the arrival batch, one for the (simultaneous)
+        # retirement batch. Certainly not one per flow.
+        assert net.replans <= 4
+
+    def test_staggered_arrivals_replan_per_instant(self):
+        env = Environment()
+        net = FlowNetwork(env)
+        net.add_link("up", 100 * Mbit)
+
+        def one(env, i):
+            yield env.timeout(i * 1.0)
+            yield net.transfer(["up"], 1 * MB)
+
+        for i in range(5):
+            env.process(one(env, i))
+        env.run()
+        assert net.completed_flows == 5
+        # Distinct timestamps can't coalesce: at least one plan per arrival.
+        assert net.replans >= 5

@@ -102,6 +102,30 @@ class TestSingleFlow:
         finish = _transfer(env, net, ["l"], 0)
         assert finish == pytest.approx(0.25)
 
+    def test_zero_volume_records_monitor_interval(self):
+        """Control messages (0 bytes) still show up in the flow trace."""
+        env = Environment()
+        monitor = Monitor()
+        net = FlowNetwork(env, monitor)
+        net.add_link("l", 100 * Mbit, latency_s=0.25)
+        _transfer(env, net, ["l"], 0, tag="ctrl")
+        intervals = monitor.intervals_for("flow", tag="ctrl")
+        assert len(intervals) == 1
+        assert intervals[0].tags["nbytes"] == 0.0
+        assert intervals[0].end - intervals[0].start == pytest.approx(0.25)
+
+    def test_zero_volume_instant_records_monitor_interval(self):
+        """Even a 0-byte, 0-latency transfer leaves a trace record."""
+        env = Environment()
+        monitor = Monitor()
+        net = FlowNetwork(env, monitor)
+        net.add_link("l", 100 * Mbit)
+        net.start_flow(["l"], 0, tag="ping")
+        intervals = monitor.intervals_for("flow", tag="ping")
+        assert len(intervals) == 1
+        assert intervals[0].tags["nbytes"] == 0.0
+        assert intervals[0].start == intervals[0].end == 0.0
+
     def test_negative_volume_rejected(self):
         net = FlowNetwork(Environment())
         net.add_link("l", 1e6)

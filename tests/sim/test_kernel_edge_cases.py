@@ -44,6 +44,26 @@ class TestConditionEdges:
         assert p.value == 3.0
 
 
+class TestTriggerEdges:
+    def test_trigger_from_untriggered_source_raises(self):
+        """Mirroring an event that hasn't fired yet is a usage error and
+        must say so, not blow up deep inside with a TypeError."""
+        env = Environment()
+        source = Event(env)
+        mirror = Event(env)
+        with pytest.raises(SimulationError, match="cannot mirror an untriggered event"):
+            mirror.trigger(source)
+
+    def test_trigger_mirrors_triggered_source(self):
+        env = Environment()
+        source = Event(env)
+        source.succeed("payload")
+        mirror = Event(env)
+        mirror.trigger(source)
+        env.run()
+        assert mirror.ok and mirror.value == "payload"
+
+
 class TestRunUntilEdges:
     def test_run_until_failed_event_raises(self):
         env = Environment()

@@ -248,6 +248,29 @@ class TestStore:
         env.run()
         assert len(store) == 2
 
+    def test_bulk_put_get_preserves_fifo(self):
+        """10k put/get pairs drain in order (regression: the FIFO pop
+        used to be list.pop(0), quadratic over a backlog this size)."""
+        env = Environment()
+        store = Store(env)
+        n = 10_000
+        received = []
+
+        def producer(env):
+            for i in range(n):
+                yield store.put(i)
+
+        def consumer(env):
+            for _ in range(n):
+                item = yield store.get()
+                received.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert received == list(range(n))
+        assert len(store) == 0
+
 
 class TestFilterStore:
     def test_filter_selects_matching(self):
@@ -267,7 +290,7 @@ class TestFilterStore:
         env.process(producer(env))
         env.run()
         assert got == [4]
-        assert store.items == [1, 3, 5]
+        assert list(store.items) == [1, 3, 5]
 
     def test_multiple_getters_different_filters(self):
         env = Environment()
