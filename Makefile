@@ -1,10 +1,24 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-check bench-update
+.PHONY: test lint check bench bench-check bench-update
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# frieda-lint (custom AST invariant checker) + ruff (style/pyflakes).
+# ruff is pinned in the `test` extra; when it is not installed (minimal
+# containers) the custom analyzer still gates and ruff is skipped.
+lint:
+	$(PYTHON) -m repro.analysis src --baseline lint-baseline.json
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipped (pip install -e '.[test]')"; \
+	fi
+
+# One command to gate a PR locally: invariants, tests, perf regressions.
+check: lint test bench-check
 
 bench:
 	$(PYTHON) -m benchmarks.run_bench

@@ -1,6 +1,5 @@
 """Benchmarks of the bundled applications (real compute, not simulated)."""
 
-import numpy as np
 import pytest
 
 from repro.apps.blast import BlastDatabase, blast_search, synthetic_database, synthetic_queries

@@ -14,7 +14,7 @@
 import pytest
 
 from repro.cloud.cluster import ClusterSpec
-from repro.cloud.instance import C1_XLARGE, M1_LARGE, M1_SMALL
+from repro.cloud.instance import C1_XLARGE, M1_SMALL
 from repro.core.strategies import StrategyKind
 from repro.data.files import synthetic_dataset
 from repro.data.partition import PartitionScheme

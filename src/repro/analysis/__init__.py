@@ -1,0 +1,36 @@
+"""frieda-lint: AST-based enforcement of the simulator's contracts.
+
+Rule packs (see ``python -m repro.analysis --list-rules``):
+
+- determinism (``wall-clock``, ``real-sleep``, ``global-random``,
+  ``unseeded-rng``) — no wall clocks or global RNG state in the library,
+- process safety (``dropped-event``, ``yield-non-event``,
+  ``yield-in-finally``) — the classic silent bugs in event generators,
+- boundary (``real-io``) — no real I/O inside simulation packages,
+- API misuse (``instant-trigger``, ``double-trigger``) — patterns the
+  kernel raises on at runtime, caught before any run.
+
+See DESIGN.md §"Enforced invariants" for rationale and pragma syntax.
+"""
+
+from repro.analysis.framework import (
+    SIM_PACKAGES,
+    FileContext,
+    Finding,
+    Rule,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    iter_rules,
+)
+
+__all__ = [
+    "SIM_PACKAGES",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "iter_rules",
+]

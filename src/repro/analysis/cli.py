@@ -1,0 +1,92 @@
+"""Command-line driver: ``python -m repro.analysis [paths...]``.
+
+Exit codes: 0 = clean (or all findings baselined), 1 = fresh findings,
+2 = usage error. ``make lint`` runs this over ``src/`` with the
+repository baseline (``lint-baseline.json``, kept empty).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.framework import analyze_paths, iter_python_files
+from repro.analysis.reporting import (
+    load_baseline,
+    render_json,
+    render_rules,
+    render_text,
+    save_baseline,
+    split_by_baseline,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "frieda-lint: AST-based checker for the simulator's "
+            "determinism and process-safety contracts"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="JSON baseline of accepted findings (missing file = empty)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list rule ids and descriptions, then exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        render_rules(sys.stdout)
+        return 0
+    if args.write_baseline and not args.baseline:
+        print("--write-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
+
+    files_scanned = sum(1 for _ in iter_python_files(args.paths))
+    findings = analyze_paths(args.paths)
+    fresh, known = split_by_baseline(findings, load_baseline(args.baseline))
+
+    if args.write_baseline:
+        save_baseline(args.baseline, findings)
+        print(f"wrote {len(findings)} finding(s) to {args.baseline}")
+        return 0
+
+    renderer = render_json if args.format == "json" else render_text
+    renderer(
+        fresh,
+        baselined=len(known),
+        files_scanned=files_scanned,
+        stream=sys.stdout,
+    )
+    return 1 if fresh else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

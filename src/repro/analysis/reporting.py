@@ -1,0 +1,95 @@
+"""Reporters and the findings baseline for frieda-lint.
+
+The baseline file is a JSON list of ``{"path", "rule", "line"}``
+records: findings present in the baseline are reported as *baselined*
+and do not fail the run. The intended steady state is an **empty**
+baseline — every real violation fixed or pragma'd with a justification
+— but the mechanism lets a large rule-pack land first and the cleanup
+proceed incrementally without turning the lint off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Sequence, TextIO
+
+from repro.analysis.framework import Finding, iter_rules
+
+
+def render_text(
+    findings: Sequence[Finding],
+    *,
+    baselined: int = 0,
+    files_scanned: int = 0,
+    stream: TextIO,
+) -> None:
+    for finding in findings:
+        stream.write(finding.render() + "\n")
+    summary = (
+        f"frieda-lint: {len(findings)} finding(s)"
+        f"{f' + {baselined} baselined' if baselined else ''}"
+        f" across {files_scanned} file(s)\n"
+    )
+    stream.write(summary)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    *,
+    baselined: int = 0,
+    files_scanned: int = 0,
+    stream: TextIO,
+) -> None:
+    payload = {
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "rule": f.rule,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+        "count": len(findings),
+        "baselined": baselined,
+        "files_scanned": files_scanned,
+    }
+    json.dump(payload, stream, indent=2, sort_keys=True)
+    stream.write("\n")
+
+
+def render_rules(stream: TextIO) -> None:
+    for rule in iter_rules():
+        stream.write(f"{rule.id}\n    {rule.description}\n")
+
+
+# -- baseline ---------------------------------------------------------------
+
+def load_baseline(path: str | None) -> set[tuple[str, str, int]]:
+    """Load baseline keys; a missing or empty file is an empty baseline."""
+    if path is None or not os.path.exists(path):
+        return set()
+    with open(path, "r", encoding="utf-8") as handle:
+        entries = json.load(handle)
+    return {
+        (entry["path"], entry["rule"], int(entry["line"])) for entry in entries
+    }
+
+
+def save_baseline(path: str, findings: Sequence[Finding]) -> None:
+    entries = [
+        {"path": f.path, "rule": f.rule, "line": f.line} for f in sorted(findings)
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(entries, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def split_by_baseline(
+    findings: Sequence[Finding], baseline: set[tuple[str, str, int]]
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition findings into (fresh, baselined)."""
+    fresh = [f for f in findings if f.key not in baseline]
+    known = [f for f in findings if f.key in baseline]
+    return fresh, known

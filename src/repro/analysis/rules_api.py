@@ -1,0 +1,145 @@
+"""Kernel API misuse rule pack.
+
+Since PR 1 the kernel *raises* on double-triggering an event at
+runtime; these rules catch the two patterns that cause it before any
+simulation runs:
+
+- ``instant-trigger``  ``succeed()``/``fail()``/``trigger()`` on an
+  event produced by an auto-triggering constructor (``env.timeout``,
+  ``env.process``, ``Timeout(...)``): those events are born triggered,
+  so the call is a guaranteed ``SimulationError``.
+- ``double-trigger``   two ``succeed``/``fail``/``trigger`` calls on the
+  same name in the same straight-line suite with no reassignment or
+  ``reset()`` between them.
+
+Both rules are deliberately conservative (straight-line, same-scope
+reasoning only): they exist to catch the obvious cases cheaply, and a
+miss is caught by the kernel's runtime guard anyway.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import (
+    FileContext,
+    Finding,
+    Rule,
+    function_defs,
+    register,
+    scope_walk,
+    statement_lists,
+)
+
+#: env methods whose return value is an already-triggering event.
+_AUTO_TRIGGER_METHODS = {"timeout", "pooled_timeout", "process"}
+#: Kernel constructors with the same property.
+_AUTO_TRIGGER_CONSTRUCTORS = {"Timeout", "Process"}
+#: Methods that (re)trigger an event.
+_TRIGGER_METHODS = {"succeed", "fail", "trigger"}
+
+
+def _is_auto_trigger_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr in _AUTO_TRIGGER_METHODS
+    if isinstance(node.func, ast.Name):
+        return node.func.id in _AUTO_TRIGGER_CONSTRUCTORS
+    return False
+
+
+@register
+class InstantTriggerRule(Rule):
+    id = "instant-trigger"
+    description = (
+        "succeed()/fail()/trigger() on events from auto-triggering "
+        "constructors (env.timeout/env.process/Timeout) always raises"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        # Chained form: env.timeout(5).succeed()
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _TRIGGER_METHODS
+                and _is_auto_trigger_call(node.func.value)
+            ):
+                yield ctx.finding(
+                    node,
+                    self.id,
+                    f".{node.func.attr}() on an already-triggering event",
+                )
+        # Assigned form: ev = env.timeout(5) ... ev.succeed()
+        for fn in function_defs(ctx.tree):
+            auto_names: set[str] = set()
+            nodes = sorted(
+                (n for n in scope_walk(fn) if hasattr(n, "lineno")),
+                key=lambda n: (n.lineno, n.col_offset),
+            )
+            for node in nodes:
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            if _is_auto_trigger_call(node.value):
+                                auto_names.add(target.id)
+                            else:
+                                auto_names.discard(target.id)
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                ):
+                    name = node.func.value.id
+                    if node.func.attr in _TRIGGER_METHODS and name in auto_names:
+                        yield ctx.finding(
+                            node,
+                            self.id,
+                            f".{node.func.attr}() on {name!r}, which holds an "
+                            "already-triggering event",
+                        )
+                    elif node.func.attr == "reset" and name in auto_names:
+                        auto_names.discard(name)
+
+
+@register
+class DoubleTriggerRule(Rule):
+    id = "double-trigger"
+    description = (
+        "two succeed/fail/trigger calls on the same event in one "
+        "straight-line suite; the second always raises"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for suite in statement_lists(ctx.tree):
+            triggered: set[str] = set()
+            for stmt in suite:
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            triggered.discard(target.id)
+                    continue
+                if not isinstance(stmt, ast.Expr) or not isinstance(
+                    stmt.value, ast.Call
+                ):
+                    continue
+                call = stmt.value
+                if not (
+                    isinstance(call.func, ast.Attribute)
+                    and isinstance(call.func.value, ast.Name)
+                ):
+                    continue
+                name = call.func.value.id
+                if call.func.attr == "reset":
+                    triggered.discard(name)
+                elif call.func.attr in _TRIGGER_METHODS:
+                    if name in triggered:
+                        yield ctx.finding(
+                            stmt,
+                            self.id,
+                            f"second .{call.func.attr}() on {name!r} in the "
+                            "same suite",
+                        )
+                    triggered.add(name)

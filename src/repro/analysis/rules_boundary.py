@@ -1,0 +1,96 @@
+"""Simulation/runtime boundary rule pack.
+
+Everything under :data:`~repro.analysis.framework.SIM_PACKAGES` runs in
+virtual time: a simulated transfer moves zero real bytes and a
+simulated VM failure kills no real process. Real sockets, processes,
+threads, and files belong in ``repro.runtime`` (the real execution
+plane) or at the edges (``experiments``, ``apps``). A stray ``open()``
+or ``subprocess`` call inside the simulation both breaks determinism
+(filesystem state, scheduler timing) and blurs the one boundary the
+architecture is built around, so rule ``real-io`` bans it outright.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import (
+    FileContext,
+    Finding,
+    Rule,
+    canonical_name,
+    import_aliases,
+    register,
+)
+
+#: Modules whose import inside simulation code signals real I/O or real
+#: concurrency.
+_FORBIDDEN_IMPORTS = {
+    "socket",
+    "subprocess",
+    "threading",
+    "multiprocessing",
+    "asyncio",
+    "http",
+    "urllib",
+    "requests",
+    "ftplib",
+    "paramiko",
+    "shutil",
+    "tempfile",
+}
+
+#: Call patterns that touch the real filesystem even without a
+#: forbidden import (``os`` itself is fine — ``os.path`` is pure).
+_FORBIDDEN_CALLS = {
+    "os.remove",
+    "os.unlink",
+    "os.rename",
+    "os.replace",
+    "os.rmdir",
+    "os.mkdir",
+    "os.makedirs",
+    "os.open",
+    "os.system",
+    "os.popen",
+}
+
+
+@register
+class RealIoRule(Rule):
+    id = "real-io"
+    description = (
+        "no sockets/subprocesses/threads/file I/O inside simulation "
+        "packages; real I/O lives in repro.runtime"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not ctx.is_simulation_module:
+            return
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                if isinstance(node, ast.Import):
+                    modules = [alias.name for alias in node.names]
+                else:
+                    modules = [node.module] if node.module else []
+                for module in modules:
+                    root = module.split(".")[0]
+                    if root in _FORBIDDEN_IMPORTS:
+                        yield ctx.finding(
+                            node,
+                            self.id,
+                            f"import of {module!r} in simulation module",
+                        )
+            elif isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Name) and node.func.id == "open":
+                    yield ctx.finding(
+                        node, self.id, "open() call in simulation module"
+                    )
+                    continue
+                dotted = canonical_name(node.func, aliases)
+                if dotted in _FORBIDDEN_CALLS:
+                    yield ctx.finding(
+                        node, self.id, f"{dotted}() call in simulation module"
+                    )

@@ -1,0 +1,153 @@
+"""Determinism rule pack.
+
+The reproduction's headline claim — identical seeds produce identical
+schedules — only holds if nothing inside the library consults wall
+clocks or global RNG state. These rules forbid the usual leaks:
+
+- ``wall-clock``   real-time clock reads (``time.time``, ``datetime.now``, …)
+- ``real-sleep``   ``time.sleep`` (virtual time never needs it; in the
+                   real runtime it is a busy-wait smell)
+- ``global-random`` stdlib ``random``, ``os.urandom``, and legacy
+                   ``np.random.*`` global-state calls
+- ``unseeded-rng`` ``np.random.default_rng()`` with no seed argument
+
+The sanctioned alternative is :mod:`repro.util.seeding` (explicit
+seeds, named derived streams) and the simulation clock ``env.now``.
+These rules apply to the whole library, not just the simulation
+packages: the real engines measure real elapsed time deliberately and
+say so with file pragmas, which keeps every exception auditable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import (
+    FileContext,
+    Finding,
+    Rule,
+    canonical_name,
+    dotted_name,
+    import_aliases,
+    register,
+)
+
+#: Clock reads that leak real time into results.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+}
+
+#: np.random attributes that are *not* global-state mutators.
+_NP_RANDOM_OK = {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox"}
+
+
+def _matches(dotted: str, patterns: set[str]) -> bool:
+    """True when ``dotted`` equals or ends with any dotted pattern."""
+    return any(
+        dotted == pattern or dotted.endswith("." + pattern) for pattern in patterns
+    )
+
+
+@register
+class WallClockRule(Rule):
+    id = "wall-clock"
+    description = (
+        "no real-time clock reads (time.time/monotonic/perf_counter, "
+        "datetime.now); simulation code uses env.now"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = canonical_name(node.func, aliases)
+            if dotted and _matches(dotted, _WALL_CLOCK):
+                yield ctx.finding(
+                    node, self.id, f"real-time clock read {dotted}()"
+                )
+
+
+@register
+class RealSleepRule(Rule):
+    id = "real-sleep"
+    description = "no time.sleep; use env.timeout (sim) or condition wakeups (runtime)"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = canonical_name(node.func, aliases)
+            if dotted and _matches(dotted, {"time.sleep"}):
+                yield ctx.finding(node, self.id, "time.sleep blocks on real time")
+
+
+@register
+class GlobalRandomRule(Rule):
+    id = "global-random"
+    description = (
+        "no stdlib random, os.urandom, or legacy np.random global-state "
+        "calls; use repro.util.seeding streams"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            raw = dotted_name(node.func)
+            if not raw:
+                continue
+            dotted = canonical_name(node.func, aliases) or raw
+            parts = dotted.split(".")
+            # Only trust a `random.` root that actually came from an
+            # import binding — a local object named `random` is not the
+            # stdlib module.
+            if parts[0] == "random" and len(parts) > 1 and raw.split(".")[0] in aliases:
+                yield ctx.finding(
+                    node, self.id, f"stdlib global RNG call {dotted}()"
+                )
+            elif dotted == "os.urandom":
+                yield ctx.finding(node, self.id, "os.urandom is non-deterministic")
+            elif (
+                len(parts) >= 3
+                and parts[0] in ("np", "numpy")
+                and parts[1] == "random"
+                and parts[2] not in _NP_RANDOM_OK
+            ):
+                yield ctx.finding(
+                    node, self.id, f"legacy NumPy global-state RNG call {dotted}()"
+                )
+
+
+@register
+class UnseededRngRule(Rule):
+    id = "unseeded-rng"
+    description = (
+        "np.random.default_rng() without a seed is OS-entropy seeded; "
+        "pass a seed derived via repro.util.seeding"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        aliases = import_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = canonical_name(node.func, aliases)
+            if not dotted or not _matches(dotted, {"default_rng"}):
+                continue
+            if not node.args and not node.keywords:
+                yield ctx.finding(
+                    node, self.id, "default_rng() called without a seed"
+                )

@@ -1,0 +1,172 @@
+"""Process-safety rule pack.
+
+A simulation process is a generator that ``yield``\\ s events. Three
+classic silent bugs live in that idiom:
+
+- ``dropped-event``    an event-returning call (``env.timeout``,
+  ``store.get``/``put``, ``env.process``, ``service.transfer``…) used as
+  a bare statement: the event is created and immediately forgotten, so
+  the wait/transfer it models never happens — the statement is a no-op.
+- ``yield-non-event``  yielding something that is plainly not an Event
+  (a literal, a tuple, a comparison, bare ``yield``). The kernel kills
+  the process with ``SimulationError`` at runtime; this catches it
+  before any run.
+- ``yield-in-finally`` a ``yield`` inside ``finally``: when a process is
+  interrupted or killed, the generator is closed and a yield in the
+  cleanup path raises ``RuntimeError: generator ignored GeneratorExit``.
+
+To avoid flagging ordinary data generators (``generate_groups`` yields
+:class:`TaskGroup`\\ s, perfectly legal), the rules only fire inside
+*process-like* generators — generator functions whose own scope touches
+the simulation environment (an ``env`` name/attribute or an event
+factory call).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import (
+    FileContext,
+    Finding,
+    Rule,
+    function_defs,
+    is_generator,
+    register,
+    scope_walk,
+)
+
+#: Method names whose call produces an Event (or a process generator)
+#: that is meaningless unless yielded, stored, or passed on.
+EVENT_METHODS = {
+    "timeout",
+    "pooled_timeout",
+    "process",
+    "event",
+    "all_of",
+    "any_of",
+    "get",
+    "put",
+    "request",
+    "transfer",
+}
+
+#: Direct kernel constructors with the same property.
+EVENT_CONSTRUCTORS = {"Timeout", "AllOf", "AnyOf"}
+
+#: yield values that are certainly not Event instances.
+_NON_EVENT_VALUE_TYPES = (
+    ast.Constant,
+    ast.JoinedStr,
+    ast.List,
+    ast.Tuple,
+    ast.Dict,
+    ast.Set,
+    ast.Compare,
+    ast.BoolOp,
+)
+
+
+def _mentions_env(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Heuristic: does this function's own scope touch the sim kernel?"""
+    if any(arg.arg == "env" for arg in fn.args.args):
+        return True
+    for node in scope_walk(fn):
+        if isinstance(node, ast.Name) and node.id == "env":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "env":
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in ("timeout", "pooled_timeout", "all_of", "any_of"):
+                return True
+    return False
+
+
+def process_generators(
+    ctx: FileContext,
+) -> Iterable[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Generator functions that look like simulation processes."""
+    for fn in function_defs(ctx.tree):
+        if is_generator(fn) and _mentions_env(fn):
+            yield fn
+
+
+@register
+class DroppedEventRule(Rule):
+    id = "dropped-event"
+    description = (
+        "event-returning call used as a bare statement in a process "
+        "generator; the event is created and silently discarded"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for fn in process_generators(ctx):
+            for node in scope_walk(fn):
+                if not isinstance(node, ast.Expr):
+                    continue
+                call = node.value
+                if not isinstance(call, ast.Call):
+                    continue
+                name = None
+                if isinstance(call.func, ast.Attribute) and call.func.attr in EVENT_METHODS:
+                    name = call.func.attr
+                elif isinstance(call.func, ast.Name) and call.func.id in EVENT_CONSTRUCTORS:
+                    name = call.func.id
+                if name is not None:
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        f"result of event-returning {name}() is discarded "
+                        f"in process {fn.name!r}",
+                    )
+
+
+@register
+class YieldNonEventRule(Rule):
+    id = "yield-non-event"
+    description = (
+        "process generators must yield Events; literals/tuples/bare "
+        "yield raise SimulationError at runtime"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for fn in process_generators(ctx):
+            for node in scope_walk(fn):
+                if not isinstance(node, ast.Yield):
+                    continue
+                value = node.value
+                if value is None:
+                    yield ctx.finding(
+                        node, self.id, f"bare yield in process {fn.name!r}"
+                    )
+                elif isinstance(value, _NON_EVENT_VALUE_TYPES):
+                    label = type(value).__name__.lower()
+                    yield ctx.finding(
+                        node,
+                        self.id,
+                        f"yield of non-event {label} in process {fn.name!r}",
+                    )
+
+
+@register
+class YieldInFinallyRule(Rule):
+    id = "yield-in-finally"
+    description = (
+        "no yield inside finally in a process generator; interruption "
+        "closes the generator and the yield breaks cleanup"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for fn in process_generators(ctx):
+            for node in scope_walk(fn):
+                if not isinstance(node, ast.Try) or not node.finalbody:
+                    continue
+                for stmt in node.finalbody:
+                    for sub in scope_walk(stmt):
+                        if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+                            yield ctx.finding(
+                                sub,
+                                self.id,
+                                f"yield inside finally in process {fn.name!r}",
+                            )

@@ -13,7 +13,6 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
 
 from repro.apps.blast.extend import AlignmentResult, banded_gapped_extend, ungapped_extend
 from repro.apps.blast.fasta import SequenceRecord

@@ -27,7 +27,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-import numpy as np
 
 from repro.cloud.cluster import ClusterSpec, Provisioner
 from repro.cloud.instance import VirtualMachine

@@ -21,7 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
 
 from repro.cloud.instance import C1_XLARGE, InstanceType, VirtualMachine
 from repro.cloud.network import FlowNetwork

@@ -12,7 +12,7 @@ the same objects through in-memory mailboxes.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import asdict, dataclass, fields
 from typing import Any, ClassVar, Type
 
 from repro.errors import ProtocolError

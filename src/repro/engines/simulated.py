@@ -24,7 +24,7 @@ Faithfulness notes (what maps to what in the paper):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.cloud.billing import BillingModel, PriceSheet
@@ -463,8 +463,10 @@ class _SimulatedRun:
         for vm in worker_nodes:
             self._spawn_node_workers(vm)
         for action in self.elasticity:
+            # frieda: allow[dropped-event] -- fire-and-forget daemon; joined via run_done
             env.process(self._elastic(action), name=f"elastic-{action.action}")
         if self.master_outage is not None:
+            # frieda: allow[dropped-event] -- fire-and-forget daemon; joined via run_done
             env.process(self._master_watchdog(), name="master-watchdog")
         self._maybe_finish()
         yield self.run_done

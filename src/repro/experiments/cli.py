@@ -53,7 +53,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    started = time.time()
+    started = time.time()  # frieda: allow[wall-clock] -- user-facing CLI timing
     ok = True
     if args.experiment in ("table1", "all"):
         results = run_table1(args.scale, seed=args.seed)
@@ -124,6 +124,7 @@ def main(argv: list[str] | None = None) -> int:
             fh.write(markdown)
         print(f"report written to {args.output}")
         ok &= report_ok
+    # frieda: allow[wall-clock] -- user-facing CLI timing
     print(f"[done in {time.time() - started:.1f}s wall; shapes {'OK' if ok else 'VIOLATED'}]")
     return 0 if ok else 1
 

@@ -16,6 +16,9 @@ and subject to the configured retry policy / isolation threshold.
 
 from __future__ import annotations
 
+# frieda: allow-file[wall-clock] -- real execution plane: measuring real
+# elapsed time (makespan, transfer, busy seconds) is this engine's job.
+
 import os
 import shutil
 import subprocess
@@ -106,7 +109,10 @@ class ThreadedEngine:
             retry_policy=retry_policy,
             fault_tracker=controller.fault_tracker,
         )
-        lock = threading.Lock()
+        # One condition guards all scheduler state: workers that find no
+        # runnable task sleep on it and are woken when a peer reports an
+        # outcome (the only transition that can create new work).
+        wakeup = threading.Condition()
         worker_ids = [f"local:{i}" for i in range(self.num_workers)]
         for wid in worker_ids:
             scheduler.register_worker(wid)
@@ -133,7 +139,7 @@ class ThreadedEngine:
             threads = [
                 threading.Thread(
                     target=self._worker_main,
-                    args=(logics[wid], scheduler, controller, lock, dataset, outcomes),
+                    args=(logics[wid], scheduler, controller, wakeup, dataset, outcomes),
                     name=f"frieda-{wid}",
                     daemon=True,
                 )
@@ -217,7 +223,7 @@ class ThreadedEngine:
         logic: WorkerLogic,
         scheduler: MasterScheduler,
         controller: ControllerLogic,
-        lock: threading.Lock,
+        wakeup: threading.Condition,
         dataset: Dataset,
         outcomes: dict[str, _WorkerOutcome],
     ) -> None:
@@ -226,18 +232,18 @@ class ThreadedEngine:
         busy_seconds = 0.0
         retry = scheduler.retry_policy
         while True:
-            with lock:
+            with wakeup:
                 if scheduler.done:
                     break
                 assignment = scheduler.next_for(logic.worker_id)
-            if assignment is None:
-                if retry.retry_on_worker_loss or retry.retry_on_task_error:
-                    with lock:
-                        if scheduler.done:
-                            break
-                    time.sleep(0.01)
+                if assignment is None:
+                    if not (retry.retry_on_worker_loss or retry.retry_on_task_error):
+                        break
+                    # Idle, but a peer's failure may requeue work for us:
+                    # sleep until someone reports an outcome. The timeout
+                    # is a lost-wakeup safety net, not a poll interval.
+                    wakeup.wait(timeout=1.0)
                     continue
-                break
             group = assignment.group
             # Lazy staging (real-time): copy missing inputs now.
             missing = logic.missing_files(group.file_names)
@@ -253,12 +259,15 @@ class ThreadedEngine:
             end = time.monotonic()
             logic.finish_task(end, ok=ok, error=error)
             busy_seconds += end - start
-            with lock:
+            with wakeup:
                 if ok:
                     scheduler.report_success(logic.worker_id, group.index)
                 else:
                     controller.on_worker_error(logic.worker_id, error)
                     scheduler.report_error(logic.worker_id, group.index, error)
+                # Every outcome can finish the run or requeue a task:
+                # wake idle peers so they re-check the scheduler.
+                wakeup.notify_all()
             records.append(
                 TaskRecord(
                     task_id=group.index,
@@ -271,6 +280,10 @@ class ThreadedEngine:
                     error=error,
                 )
             )
+        with wakeup:
+            # This worker is leaving (done, or out of work with retries
+            # off): wake any sleeper so it re-checks the exit condition.
+            wakeup.notify_all()
         outcomes[logic.worker_id] = _WorkerOutcome(records, transfer_seconds, busy_seconds)
 
     def _execute(self, logic: WorkerLogic, file_names: Sequence[str]) -> tuple[bool, str]:

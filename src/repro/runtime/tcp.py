@@ -20,6 +20,9 @@ retry extension) requeues its tasks.
 
 from __future__ import annotations
 
+# frieda: allow-file[wall-clock] -- real execution plane: measuring real
+# elapsed time (makespan, transfer, busy seconds) is this engine's job.
+
 import asyncio
 import os
 import tempfile

@@ -39,6 +39,9 @@ def make_rng(seed: int | np.random.Generator | None, *names: str | int) -> np.ra
     if isinstance(seed, np.random.Generator):
         return seed
     if seed is None:
+        # The one sanctioned escape hatch: callers explicitly opting out
+        # of reproducibility by passing seed=None.
+        # frieda: allow[unseeded-rng] -- explicit seed=None opt-out
         return np.random.default_rng()
     return np.random.default_rng(derive_seed(int(seed), *names) if names else int(seed))
 

@@ -1,0 +1,13 @@
+"""Bad: same event triggered twice in a straight line — always raises."""
+
+
+def double(env):
+    done = env.event()
+    done.succeed(1)
+    done.succeed(2)
+
+
+def mixed(env):
+    done = env.event()
+    done.succeed("ok")
+    done.fail(RuntimeError("boom"))

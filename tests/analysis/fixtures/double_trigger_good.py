@@ -1,0 +1,23 @@
+"""Good: one trigger per event instance (reset/reassign make new ones)."""
+
+
+def once_each(env):
+    first = env.event()
+    second = env.event()
+    first.succeed(1)
+    second.succeed(2)
+
+
+def recycled(env, wake):
+    # reset() returns a processed event to pending: retriggering is legal.
+    wake.succeed(1)
+    wake.reset()
+    wake.succeed(2)
+
+
+def branched(env, done, flag):
+    # Branches are separate suites; only one arm runs.
+    if flag:
+        done.succeed("yes")
+    else:
+        done.succeed("no")

@@ -1,0 +1,12 @@
+"""Bad: events created and dropped on the floor — silent no-ops."""
+
+
+def worker(env, store):
+    env.timeout(5.0)
+    store.get()
+    yield env.timeout(1.0)
+
+
+def spawner(env, child):
+    env.process(child())
+    yield env.timeout(1.0)

@@ -1,0 +1,16 @@
+"""Good: every event is yielded, stored, or passed on."""
+
+
+def worker(env, store):
+    yield env.timeout(5.0)
+    item = yield store.get()
+    return item
+
+
+def spawner(env, child):
+    proc = env.process(child())
+    yield proc
+
+
+def joiner(env, children):
+    yield env.all_of([env.process(c()) for c in children])

@@ -1,0 +1,15 @@
+"""Bad: draws from global RNG state."""
+
+import os
+import random
+
+import numpy as np
+
+
+def sample():
+    a = random.random()
+    b = random.randint(0, 10)
+    np.random.seed(42)
+    c = np.random.rand()
+    d = os.urandom(8)
+    return a, b, c, d

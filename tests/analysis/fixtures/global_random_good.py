@@ -1,0 +1,8 @@
+"""Good: all randomness flows through explicit seeded streams."""
+
+from repro.util.seeding import make_rng
+
+
+def sample(seed):
+    rng = make_rng(seed, "fixture")
+    return rng.random(), rng.integers(0, 10)

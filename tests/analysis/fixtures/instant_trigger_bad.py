@@ -1,0 +1,12 @@
+"""Bad: triggering events that are born triggered — always raises."""
+
+
+def chained(env):
+    env.timeout(5.0).succeed()
+
+
+def assigned(env, child):
+    done = env.timeout(5.0)
+    done.succeed("too late")
+    proc = env.process(child())
+    proc.fail(RuntimeError("boom"))

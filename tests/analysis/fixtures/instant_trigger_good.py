@@ -1,0 +1,13 @@
+"""Good: only manually created events are triggered by hand."""
+
+
+def manual(env):
+    done = env.event()
+    done.succeed("ok")
+
+
+def reassigned(env):
+    # After reassignment the name no longer holds the timeout.
+    done = env.timeout(5.0)
+    done = env.event()
+    done.succeed("ok")

@@ -1,0 +1,31 @@
+"""Every violation here is pragma'd: the analyzer must report nothing.
+
+Exercises all three pragma placements: end-of-line, standalone
+comment-above, and file-level allow-file.
+"""
+
+# frieda: allow-file[real-sleep] -- fixture exercising file-level pragmas
+
+import time
+from datetime import datetime
+
+
+def end_of_line():
+    return time.time()  # frieda: allow[wall-clock] -- fixture
+
+
+def comment_above():
+    # frieda: allow[wall-clock] -- fixture, multi-line statement
+    stamp = datetime.now(
+    )
+    return stamp
+
+
+def file_level():
+    time.sleep(0.5)
+
+
+def multi_rule(env):
+    # frieda: allow[dropped-event, wall-clock] -- fixture, two rules one line
+    env.timeout(time.time())
+    yield env.timeout(1.0)

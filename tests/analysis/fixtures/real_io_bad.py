@@ -1,0 +1,11 @@
+"""Bad (as a simulation module): real I/O and real concurrency."""
+
+import socket
+import subprocess
+import threading
+
+
+def leak(path):
+    with open(path) as handle:
+        data = handle.read()
+    return data

@@ -1,0 +1,5 @@
+"""Good (as a simulation module): pure virtual-time modelling."""
+
+
+def transfer_time(nbytes, bandwidth_bps):
+    return nbytes * 8.0 / bandwidth_bps

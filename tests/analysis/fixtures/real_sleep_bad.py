@@ -1,0 +1,9 @@
+"""Bad: blocks on real time in a poll loop."""
+
+import time
+
+
+def poll(queue):
+    while not queue:
+        time.sleep(0.01)
+    return queue.pop()

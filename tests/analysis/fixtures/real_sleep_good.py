@@ -1,0 +1,12 @@
+"""Good: waiting is virtual (sim) or condition-based (runtime)."""
+
+
+def wait_sim(env, delay):
+    yield env.timeout(delay)
+
+
+def wait_runtime(wakeup, queue):
+    with wakeup:
+        while not queue:
+            wakeup.wait(timeout=1.0)
+        return queue.pop()

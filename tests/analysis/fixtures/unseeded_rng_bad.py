@@ -1,0 +1,8 @@
+"""Bad: OS-entropy seeded generator — unreproducible by construction."""
+
+import numpy as np
+
+
+def build():
+    rng = np.random.default_rng()
+    return rng

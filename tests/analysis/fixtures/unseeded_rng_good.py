@@ -1,0 +1,9 @@
+"""Good: the generator is seeded from a derived stream."""
+
+import numpy as np
+
+from repro.util.seeding import derive_seed
+
+
+def build(root_seed):
+    return np.random.default_rng(derive_seed(root_seed, "fixture"))

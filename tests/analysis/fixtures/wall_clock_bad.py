@@ -1,0 +1,11 @@
+"""Bad: reads the real clock inside library code."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.time()
+    elapsed = time.monotonic()
+    now = datetime.now()
+    return started, elapsed, now

@@ -1,0 +1,9 @@
+"""Bad: yielding in cleanup breaks when the process is interrupted."""
+
+
+def worker(env, resource):
+    request = resource.request()
+    try:
+        yield request
+    finally:
+        yield env.timeout(1.0)

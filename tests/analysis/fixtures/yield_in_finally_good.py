@@ -1,0 +1,9 @@
+"""Good: finally does synchronous cleanup only."""
+
+
+def worker(env, resource):
+    request = resource.request()
+    try:
+        yield request
+    finally:
+        resource.release(request)

@@ -1,0 +1,8 @@
+"""Bad: yields that the kernel rejects at runtime with SimulationError."""
+
+
+def worker(env):
+    yield
+    yield 5.0
+    yield (env.timeout(1.0), env.timeout(2.0))
+    yield env.now > 3

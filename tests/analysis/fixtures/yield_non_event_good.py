@@ -1,0 +1,12 @@
+"""Good: a process yields Events (and data generators stay exempt)."""
+
+
+def worker(env):
+    yield env.timeout(1.0)
+    yield env.all_of([env.timeout(2.0), env.timeout(3.0)])
+
+
+def plain_data_generator(groups):
+    # Not a process (never touches env): yielding tuples is fine here.
+    for index, group in enumerate(groups):
+        yield index, group

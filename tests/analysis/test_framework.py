@@ -1,0 +1,227 @@
+"""Framework-level tests: pragmas, module mapping, baseline, CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.analysis import analyze_source, iter_rules
+from repro.analysis.cli import main
+from repro.analysis.framework import Finding, module_for_path, parse_pragmas
+from repro.analysis.reporting import load_baseline, save_baseline, split_by_baseline
+
+
+# -- pragmas ----------------------------------------------------------------
+
+def test_end_of_line_pragma_suppresses_only_that_line():
+    source = (
+        "import time\n"
+        "a = time.time()  # frieda: allow[wall-clock] -- justified\n"
+        "b = time.time()\n"
+    )
+    findings = analyze_source(source, module="repro.sim.x")
+    assert [(f.line, f.rule) for f in findings] == [(3, "wall-clock")]
+
+
+def test_standalone_pragma_covers_next_line():
+    source = (
+        "import time\n"
+        "# frieda: allow[wall-clock] -- multi-line call below\n"
+        "a = time.time(\n"
+        ")\n"
+    )
+    assert analyze_source(source, module="repro.sim.x") == []
+
+
+def test_file_pragma_suppresses_everywhere():
+    source = (
+        "# frieda: allow-file[wall-clock] -- measurement module\n"
+        "import time\n"
+        "a = time.time()\n"
+        "b = time.time()\n"
+    )
+    assert analyze_source(source, module="repro.sim.x") == []
+
+
+def test_pragma_is_rule_specific():
+    source = (
+        "import time\n"
+        "time.sleep(time.time())  # frieda: allow[wall-clock]\n"
+    )
+    findings = analyze_source(source, module="repro.sim.x")
+    assert [(f.line, f.rule) for f in findings] == [(2, "real-sleep")]
+
+
+def test_parse_pragmas_multiple_ids():
+    line_pragmas, file_pragmas = parse_pragmas(
+        "# frieda: allow[a, b] -- x\n# frieda: allow-file[c]\n"
+    )
+    assert line_pragmas[1] == {"a", "b"}
+    assert line_pragmas[2] == {"a", "b"}  # standalone comment covers next line
+    assert file_pragmas == {"c"}
+
+
+# -- module mapping ---------------------------------------------------------
+
+def test_module_for_path():
+    assert module_for_path("src/repro/sim/kernel.py") == "repro.sim.kernel"
+    assert module_for_path("src/repro/sim/__init__.py") == "repro.sim"
+    assert module_for_path("repro/cloud/network.py") == "repro.cloud.network"
+    assert module_for_path("somewhere/else/script.py") == "script"
+
+
+def test_synthetic_violation_in_kernel_module_is_reported():
+    # The acceptance check: seeding time.time() into a sim module makes
+    # the analyzer report it at file:line with the rule id.
+    with open("src/repro/sim/kernel.py", "r", encoding="utf-8") as handle:
+        source = handle.read()
+    tainted = source + "\n\ndef _leak():\n    import time\n    return time.time()\n"
+    findings = analyze_source(
+        tainted, path="src/repro/sim/kernel.py", module="repro.sim.kernel"
+    )
+    assert [(f.rule, f.line) for f in findings] == [
+        ("wall-clock", len(tainted.splitlines()))
+    ]
+
+
+# -- import-alias resolution ------------------------------------------------
+
+def test_aliased_import_does_not_dodge_wall_clock():
+    source = (
+        "import time as _t\n"
+        "a = _t.time()\n"
+        "b = _t.monotonic()\n"
+    )
+    findings = analyze_source(source, module="repro.sim.x")
+    assert [(f.line, f.rule) for f in findings] == [
+        (2, "wall-clock"),
+        (3, "wall-clock"),
+    ]
+
+
+def test_from_import_does_not_dodge_rules():
+    source = (
+        "from time import sleep, time as now\n"
+        "from random import shuffle\n"
+        "now()\n"
+        "sleep(1)\n"
+        "shuffle([1, 2])\n"
+    )
+    findings = analyze_source(source, module="repro.sim.x")
+    assert [(f.line, f.rule) for f in findings] == [
+        (3, "wall-clock"),
+        (4, "real-sleep"),
+        (5, "global-random"),
+    ]
+
+
+def test_local_name_random_is_not_the_stdlib_module():
+    source = (
+        "class _R:\n"
+        "    def shuffle(self, xs):\n"
+        "        return xs\n"
+        "random = _R()\n"
+        "random.shuffle([1, 2])\n"
+    )
+    assert analyze_source(source, module="repro.sim.x") == []
+
+
+# -- rules registry ---------------------------------------------------------
+
+def test_all_rule_packs_registered():
+    ids = {rule.id for rule in iter_rules()}
+    assert ids == {
+        "wall-clock",
+        "real-sleep",
+        "global-random",
+        "unseeded-rng",
+        "dropped-event",
+        "yield-non-event",
+        "yield-in-finally",
+        "real-io",
+        "instant-trigger",
+        "double-trigger",
+    }
+    assert all(rule.description for rule in iter_rules())
+
+
+# -- baseline ---------------------------------------------------------------
+
+def test_baseline_round_trip(tmp_path):
+    findings = [
+        Finding("a.py", 3, "wall-clock", "m"),
+        Finding("b.py", 7, "real-io", "m"),
+    ]
+    path = str(tmp_path / "baseline.json")
+    save_baseline(path, findings)
+    baseline = load_baseline(path)
+    assert baseline == {("a.py", "wall-clock", 3), ("b.py", "real-io", 7)}
+    fresh, known = split_by_baseline(
+        findings + [Finding("c.py", 1, "real-sleep", "m")], baseline
+    )
+    assert [f.path for f in fresh] == ["c.py"]
+    assert len(known) == 2
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(str(tmp_path / "nope.json")) == set()
+    assert load_baseline(None) == set()
+
+
+# -- CLI --------------------------------------------------------------------
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    return str(path)
+
+
+def test_cli_clean_file_exits_zero(tmp_path, capsys):
+    path = _write(tmp_path, "clean.py", "x = 1\n")
+    assert main([path]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_violation_exits_nonzero_with_location(tmp_path, capsys):
+    path = _write(tmp_path, "dirty.py", "import time\nx = time.time()\n")
+    assert main([path]) == 1
+    out = capsys.readouterr().out
+    # Findings are keyed by a path ending in the file, with line and rule.
+    assert "dirty.py:2: wall-clock:" in out
+
+
+def test_cli_json_format(tmp_path, capsys):
+    path = _write(tmp_path, "dirty.py", "import time\nx = time.time()\n")
+    assert main([path, "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+    assert payload["findings"][0]["rule"] == "wall-clock"
+    assert payload["findings"][0]["line"] == 2
+
+
+def test_cli_baseline_masks_known_findings(tmp_path, capsys):
+    path = _write(tmp_path, "dirty.py", "import time\nx = time.time()\n")
+    baseline = str(tmp_path / "baseline.json")
+    assert main([path, "--baseline", baseline, "--write-baseline"]) == 0
+    capsys.readouterr()
+    # Baselined finding no longer fails the run...
+    assert main([path, "--baseline", baseline]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+    # ...but a new violation still does.
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("y = time.time()\n")
+    assert main([path, "--baseline", baseline]) == 1
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "wall-clock" in out and "double-trigger" in out
+
+
+def test_repo_baseline_is_empty():
+    # The acceptance criterion: the committed baseline carries no debt.
+    repo_baseline = os.path.join(
+        os.path.dirname(__file__), os.pardir, os.pardir, "lint-baseline.json"
+    )
+    assert load_baseline(repo_baseline) == set()

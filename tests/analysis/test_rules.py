@@ -1,0 +1,82 @@
+"""Per-rule fixture tests: exact finding sets and pragma suppression.
+
+Each rule has a good/bad fixture pair under ``fixtures/``. The bad
+file's expected findings are asserted exactly — file, line, and rule id
+— so a rule that drifts (new false positive, missed case, shifted line
+attribution) fails loudly here.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import analyze_file
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+#: fixture stem -> list of (line, rule-id) expected from the bad file.
+EXPECTED = {
+    "wall_clock": [(8, "wall-clock"), (9, "wall-clock"), (10, "wall-clock")],
+    "real_sleep": [(8, "real-sleep")],
+    "global_random": [
+        (10, "global-random"),
+        (11, "global-random"),
+        (12, "global-random"),
+        (13, "global-random"),
+        (14, "global-random"),
+    ],
+    "unseeded_rng": [(7, "unseeded-rng")],
+    "dropped_event": [
+        (5, "dropped-event"),
+        (6, "dropped-event"),
+        (11, "dropped-event"),
+    ],
+    "yield_non_event": [
+        (5, "yield-non-event"),
+        (6, "yield-non-event"),
+        (7, "yield-non-event"),
+        (8, "yield-non-event"),
+    ],
+    "yield_in_finally": [(9, "yield-in-finally")],
+    "real_io": [(3, "real-io"), (4, "real-io"), (5, "real-io"), (9, "real-io")],
+    "instant_trigger": [
+        (5, "instant-trigger"),
+        (10, "instant-trigger"),
+        (12, "instant-trigger"),
+    ],
+    "double_trigger": [(7, "double-trigger"), (13, "double-trigger")],
+}
+
+
+def _analyze(name: str):
+    """Analyze a fixture as if it lived in a simulation package."""
+    path = os.path.join(FIXTURES, name + ".py")
+    return analyze_file(path, module=f"repro.sim.fixture_{name}")
+
+
+@pytest.mark.parametrize("stem", sorted(EXPECTED))
+def test_bad_fixture_exact_findings(stem):
+    findings = _analyze(stem + "_bad")
+    got = [(f.line, f.rule) for f in findings]
+    assert got == EXPECTED[stem], f"{stem}_bad.py findings drifted"
+    path = os.path.join(FIXTURES, stem + "_bad.py")
+    assert all(f.path == path for f in findings)
+
+
+@pytest.mark.parametrize("stem", sorted(EXPECTED))
+def test_good_fixture_clean(stem):
+    assert _analyze(stem + "_good") == []
+
+
+def test_pragma_fixture_fully_suppressed():
+    assert _analyze("pragmas") == []
+
+
+def test_real_io_only_applies_to_simulation_modules():
+    # The same file analyzed as a runtime module raises no real-io
+    # findings: real I/O is that plane's job.
+    path = os.path.join(FIXTURES, "real_io_bad.py")
+    findings = analyze_file(path, module="repro.runtime.fixture")
+    assert [f for f in findings if f.rule == "real-io"] == []

@@ -1,0 +1,44 @@
+"""Tier-1 gate: the library itself passes its own invariant checker.
+
+This is the test that makes the contracts *enforced*: any new
+wall-clock read, global RNG draw, dropped event, or boundary leak in
+``src/`` fails CI here unless it carries a justified pragma (or, as a
+last resort, a baseline entry — the committed baseline is empty and
+should stay that way).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis import analyze_paths
+from repro.analysis.reporting import load_baseline, split_by_baseline
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+)
+
+
+def _src_findings():
+    cwd = os.getcwd()
+    os.chdir(REPO_ROOT)
+    try:
+        return analyze_paths(["src"])
+    finally:
+        os.chdir(cwd)
+
+
+def test_src_has_zero_unbaselined_violations():
+    findings = _src_findings()
+    baseline = load_baseline(os.path.join(REPO_ROOT, "lint-baseline.json"))
+    fresh, _known = split_by_baseline(findings, baseline)
+    assert fresh == [], "\n" + "\n".join(f.render() for f in fresh)
+
+
+def test_baseline_carries_no_stale_debt():
+    # Every baseline entry must still correspond to a real finding;
+    # fixed violations must be removed from the baseline, not hoarded.
+    findings = {f.key for f in _src_findings()}
+    baseline = load_baseline(os.path.join(REPO_ROOT, "lint-baseline.json"))
+    stale = baseline - findings
+    assert stale == set(), f"stale baseline entries: {sorted(stale)}"

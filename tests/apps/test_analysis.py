@@ -11,7 +11,6 @@ from repro.apps.imaging.analysis import (
 )
 from repro.apps.imaging.generate import BeamlineImageConfig, generate_image
 from repro.errors import ApplicationError
-from repro.util.seeding import make_rng
 
 
 def synthetic_ring_image(size=128, radii=(20.0, 45.0), amplitude=100.0, width=2.0):

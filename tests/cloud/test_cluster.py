@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cloud.cluster import ClusterSpec, Provisioner, VirtualCluster
+from repro.cloud.cluster import ClusterSpec, Provisioner
 from repro.cloud.instance import C1_XLARGE, M1_SMALL
 from repro.errors import NetworkError, ProvisioningError
 from repro.sim import Environment

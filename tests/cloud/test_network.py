@@ -1,6 +1,5 @@
 """Unit tests for the flow-level network model."""
 
-import math
 
 import pytest
 

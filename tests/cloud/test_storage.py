@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cloud.network import FlowNetwork
-from repro.cloud.storage import BlockStore, LocalDisk, NetworkStorage, StorageTier, StorageVolume
+from repro.cloud.storage import BlockStore, LocalDisk, NetworkStorage, StorageTier
 from repro.errors import StorageError
 from repro.sim import Environment
 from repro.util.units import GB, MB, Mbit

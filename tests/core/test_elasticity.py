@@ -1,6 +1,6 @@
 """Unit tests for elasticity management."""
 
-from repro.core.elasticity import AutoScalePolicy, ElasticityManager, ScaleEvent
+from repro.core.elasticity import AutoScalePolicy, ElasticityManager
 
 
 class TestElasticityManager:

@@ -1,6 +1,5 @@
 """Unit tests for the file/dataset model."""
 
-import os
 
 import pytest
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.data.files import DataFile, FileCatalog, synthetic_dataset
+from repro.data.files import FileCatalog, synthetic_dataset
 from repro.data.partition import PartitionScheme, generate_groups
 from repro.data.placement import PlacementPolicy, plan_placement
 from repro.errors import ConfigurationError

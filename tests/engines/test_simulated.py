@@ -3,15 +3,14 @@
 import pytest
 
 from repro.cloud.cluster import ClusterSpec
-from repro.core.commands import CommandTemplate
 from repro.core.strategies import StrategyKind
 from repro.data.files import DataFile, synthetic_dataset
 from repro.data.partition import PartitionScheme
-from repro.engines.compute import FixedComputeModel, StochasticComputeModel
+from repro.engines.compute import FixedComputeModel
 from repro.engines.simulated import SimulatedEngine, SimulationOptions
 from repro.errors import StorageError
 from repro.transfer.base import TransferProtocol
-from repro.util.units import GB, MB, Mbit
+from repro.util.units import GB, MB
 
 
 class _Raw(TransferProtocol):

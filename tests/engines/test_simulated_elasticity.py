@@ -1,6 +1,5 @@
 """Elasticity on the simulated engine (§V-A Elastic)."""
 
-import pytest
 
 from repro.cloud.cluster import ClusterSpec
 from repro.cloud.instance import M1_SMALL

@@ -1,6 +1,5 @@
 """Failure semantics on the simulated engine (§V-A Robust)."""
 
-import pytest
 
 from repro.cloud.cluster import ClusterSpec
 from repro.cloud.failures import FailureSchedule

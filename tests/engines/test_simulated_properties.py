@@ -15,7 +15,6 @@ from hypothesis import given, settings, strategies as st
 from repro.cloud.cluster import ClusterSpec
 from repro.core.strategies import StrategyKind
 from repro.data.files import synthetic_dataset
-from repro.data.partition import PartitionScheme
 from repro.engines.compute import FixedComputeModel, StochasticComputeModel
 from repro.engines.simulated import SimulatedEngine, SimulationOptions
 from repro.transfer.base import TransferProtocol

@@ -1,10 +1,8 @@
 """Tests for speculative execution (backup tasks, extension)."""
 
-import pytest
 
 from repro.cloud.cluster import ClusterSpec
 from repro.cloud.instance import C1_XLARGE, M1_SMALL
-from repro.core.fault import FaultTracker
 from repro.core.scheduler import MasterScheduler
 from repro.core.strategies import StrategyKind, strategy_for
 from repro.data.files import synthetic_dataset

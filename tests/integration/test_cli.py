@@ -1,7 +1,6 @@
 """Tests for the ``python -m repro`` command line."""
 
 import json
-import os
 
 import pytest
 

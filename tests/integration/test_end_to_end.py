@@ -4,7 +4,6 @@ and the Fig 4 protocol sequence."""
 import os
 import threading
 
-import pytest
 
 from repro import Frieda, PartitionScheme, StrategyKind
 from repro.apps.blast import (

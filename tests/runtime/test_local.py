@@ -5,7 +5,6 @@ import threading
 
 import pytest
 
-from repro.core.commands import CommandTemplate
 from repro.core.fault import RetryPolicy
 from repro.core.strategies import StrategyKind
 from repro.data.partition import PartitionScheme

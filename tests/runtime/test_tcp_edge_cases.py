@@ -3,7 +3,6 @@
 import os
 import threading
 
-import pytest
 
 from repro.core.strategies import StrategyKind
 from repro.runtime.tcp import TcpEngine

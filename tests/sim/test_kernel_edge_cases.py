@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import AnyOf, Environment, Event
+from repro.sim import Environment, Event
 
 
 class TestConditionEdges:

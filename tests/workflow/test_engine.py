@@ -1,6 +1,5 @@
 """Integration tests for the workflow engine (real files, real stages)."""
 
-import os
 
 import pytest
 
