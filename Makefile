@@ -1,10 +1,14 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint check bench bench-check bench-update
+.PHONY: test lint check bench bench-check bench-update schema-check trace-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The exporter's format contract: trace-event schema + golden bytes.
+schema-check:
+	$(PYTHON) -m pytest tests/telemetry/test_export.py -x -q
 
 # frieda-lint (custom AST invariant checker) + ruff (style/pyflakes).
 # ruff is pinned in the `test` extra; when it is not installed (minimal
@@ -17,11 +21,20 @@ lint:
 		echo "ruff not installed; skipped (pip install -e '.[test]')"; \
 	fi
 
-# One command to gate a PR locally: invariants, tests, perf regressions.
-check: lint test bench-check
+# One command to gate a PR locally: invariants, tests (which include
+# the exporter schema/golden contract), perf regressions.
+check: lint test schema-check bench-check
 
 bench:
 	$(PYTHON) -m benchmarks.run_bench
+
+# Produce a small Fig 6 trace and summarize it — the quickest way to
+# see the telemetry pipeline end to end. Open trace-demo.json at
+# https://ui.perfetto.dev for the interactive view.
+trace-demo:
+	$(PYTHON) -m repro.experiments fig6 --scale 0.1 \
+		--trace trace-demo.json --metrics trace-demo-metrics.json
+	$(PYTHON) -m repro trace summarize trace-demo.json
 
 bench-check:
 	$(PYTHON) -m benchmarks.run_bench --check

@@ -138,6 +138,7 @@ def _ensure_rules_loaded() -> None:
         rules_api,
         rules_boundary,
         rules_determinism,
+        rules_hygiene,
         rules_process,
     )
 

@@ -55,6 +55,19 @@ EVENT_METHODS = {
 #: Direct kernel constructors with the same property.
 EVENT_CONSTRUCTORS = {"Timeout", "AllOf", "AnyOf"}
 
+#: Receivers whose ``event()`` is a fire-and-forget telemetry record,
+#: not a kernel Event — a bare-statement call is exactly right there.
+_TELEMETRY_RECEIVERS = {"telemetry", "tel"}
+
+
+def _is_telemetry_receiver(func: ast.Attribute) -> bool:
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id in _TELEMETRY_RECEIVERS
+    if isinstance(value, ast.Attribute):
+        return value.attr in _TELEMETRY_RECEIVERS
+    return False
+
 #: yield values that are certainly not Event instances.
 _NON_EVENT_VALUE_TYPES = (
     ast.Constant,
@@ -110,6 +123,8 @@ class DroppedEventRule(Rule):
                     continue
                 name = None
                 if isinstance(call.func, ast.Attribute) and call.func.attr in EVENT_METHODS:
+                    if _is_telemetry_receiver(call.func):
+                        continue
                     name = call.func.attr
                 elif isinstance(call.func, ast.Name) and call.func.id in EVENT_CONSTRUCTORS:
                     name = call.func.id

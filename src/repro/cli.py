@@ -13,7 +13,8 @@ Subcommands:
 - ``run`` — execute over the threaded or TCP runtime,
 - ``strategies`` — list strategies and groupings with their semantics,
 - ``advise`` — ask the adaptive advisor for a strategy given workload
-  features.
+  features,
+- ``trace`` — inspect exported trace-event JSON (``trace summarize``).
 """
 
 from __future__ import annotations
@@ -64,6 +65,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--command-timeout", type=float, default=300.0, help="per-task timeout (s)"
     )
+    run.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        default="",
+        help="record a Chrome/Perfetto trace-event JSON of the run "
+        "(threaded engine only; open in ui.perfetto.dev)",
+    )
 
     sub.add_parser("strategies", help="list strategies and groupings")
 
@@ -77,6 +85,10 @@ def _build_parser() -> argparse.ArgumentParser:
     advise.add_argument(
         "--task-cost-cv", type=float, default=0.0, help="per-task cost variability"
     )
+
+    from repro.telemetry.cli import add_trace_parser
+
+    add_trace_parser(sub)
     return parser
 
 
@@ -119,13 +131,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
         command = CommandTemplate(function=run_shell, name=args.command.split()[0])
         engine = TcpEngine(num_workers=args.workers)
 
+    telemetry = None
+    run_kwargs = {}
+    if args.trace and args.engine == "local":
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry(record=True)
+        run_kwargs["telemetry"] = telemetry
     outcome = engine.run(
         dataset,
         command=command,
         strategy=args.strategy,
         grouping=args.grouping,
         grouping_options=grouping_options,
+        **run_kwargs,
     )
+    if telemetry is not None:
+        from repro.telemetry import write_chrome_trace
+
+        write_chrome_trace(telemetry, args.trace)
+        print(f"trace written to {args.trace} ({len(telemetry.spans)} spans)")
     print(outcome.summary_line())
     if args.timeline:
         from repro.experiments.report import timeline
@@ -180,6 +205,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_strategies()
         if args.subcommand == "advise":
             return _cmd_advise(args)
+        if args.subcommand == "trace":
+            from repro.telemetry.cli import run_trace_command
+
+            return run_trace_command(args)
     except FriedaError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.cloud.cluster import VirtualCluster
 from repro.cloud.storage import StorageTier
+from repro.telemetry.metrics import MetricsRegistry, NULL_METRICS
 from repro.util.units import GB
 
 
@@ -67,22 +68,35 @@ class CostReport:
 class BillingModel:
     """Accumulates costs for a cluster run."""
 
-    def __init__(self, prices: PriceSheet | None = None):
+    def __init__(
+        self,
+        prices: PriceSheet | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.prices = prices or PriceSheet()
         self._wan_bytes = 0.0
         self._requests = 0
         self._storage_byte_seconds: dict[StorageTier, float] = {}
+        metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_wan_bytes = metrics.counter("billing.wan_bytes")
+        self._m_requests = metrics.counter("billing.requests")
+        self._metrics = metrics
 
     def record_wan_bytes(self, nbytes: float) -> None:
         self._wan_bytes += nbytes
+        self._m_wan_bytes.inc(nbytes)
 
     def record_request(self, count: int = 1) -> None:
         self._requests += count
+        self._m_requests.inc(count)
 
     def record_storage(self, tier: StorageTier, nbytes: float, seconds: float) -> None:
         self._storage_byte_seconds[tier] = (
             self._storage_byte_seconds.get(tier, 0.0) + nbytes * seconds
         )
+        self._metrics.counter(
+            "billing.storage_byte_seconds", tier=tier.value
+        ).inc(nbytes * seconds)
 
     def report(self, cluster: VirtualCluster) -> CostReport:
         """Price the run: VM uptime is read off the cluster's VMs.
@@ -103,4 +117,5 @@ class BillingModel:
         report.request_cost = self._requests * self.prices.per_request
         for tier, byte_seconds in self._storage_byte_seconds.items():
             report.storage_cost += byte_seconds * self.prices.storage_rate_per_byte_second(tier)
+        self._metrics.gauge("billing.total_usd").set(report.total)
         return report

@@ -27,7 +27,8 @@ from repro.cloud.network import FlowNetwork
 from repro.cloud.storage import LocalDisk, NetworkStorage, StorageVolume
 from repro.errors import NetworkError, ProvisioningError
 from repro.sim.kernel import Environment, Event
-from repro.sim.monitor import Monitor
+from repro.sim.monitor import Monitor, MonitorSink
+from repro.telemetry.spans import Telemetry
 from repro.util.seeding import make_rng
 from repro.util.units import Mbit
 
@@ -69,11 +70,23 @@ class ClusterSpec:
 class VirtualCluster:
     """The provisioned environment FRIEDA runs in."""
 
-    def __init__(self, env: Environment, spec: ClusterSpec, monitor: Monitor | None = None):
+    def __init__(
+        self,
+        env: Environment,
+        spec: ClusterSpec,
+        monitor: Monitor | None = None,
+        telemetry: Telemetry | None = None,
+    ):
         self.env = env
         self.spec = spec
         self.monitor = monitor or Monitor()
-        self.network = FlowNetwork(env, self.monitor)
+        if telemetry is None:
+            # Standalone construction: a private hub whose only consumer
+            # is this cluster's monitor (the engine passes a shared hub).
+            telemetry = Telemetry(clock=lambda: env.now)
+            telemetry.bind(monitor=MonitorSink(self.monitor))
+        self.telemetry = telemetry
+        self.network = FlowNetwork(env, self.monitor, telemetry=telemetry)
         self.vms: dict[str, VirtualMachine] = {}
         self.master_vm: Optional[VirtualMachine] = None
         self.shared_storage: Optional[NetworkStorage] = None
@@ -189,7 +202,8 @@ class VirtualCluster:
         vm.fail(cause)
         if vm.local_disk is not None:
             vm.local_disk.clear()  # ephemeral disk dies with the VM
-        self.monitor.sample(self.env.now, "vm.failed", vm_id, cause=cause)
+        self.telemetry.event("vm.failed", vm_id, track="control", cause=cause)
+        self.telemetry.metrics.counter("cluster.vm_failures").inc()
 
 
 class Provisioner:
@@ -199,13 +213,19 @@ class Provisioner:
     a zero mean boots everything instantaneously (useful in unit tests).
     """
 
-    def __init__(self, env: Environment, monitor: Monitor | None = None):
+    def __init__(
+        self,
+        env: Environment,
+        monitor: Monitor | None = None,
+        telemetry: Telemetry | None = None,
+    ):
         self.env = env
         self.monitor = monitor
+        self.telemetry = telemetry
 
     def provision(self, spec: ClusterSpec) -> tuple[VirtualCluster, Event]:
         """Create the cluster; returns (cluster, ready_event)."""
-        cluster = VirtualCluster(self.env, spec, self.monitor)
+        cluster = VirtualCluster(self.env, spec, self.monitor, self.telemetry)
         rng = make_rng(spec.seed, "provision", spec.name)
         master = cluster.create_vm(
             "master", spec.master_instance_type or spec.instance_type
@@ -223,8 +243,8 @@ class Provisioner:
             if spec.mean_boot_delay_s > 0:
                 yield self.env.timeout(float(rng.exponential(spec.mean_boot_delay_s)))
             vm.mark_running()
-            if self.monitor is not None:
-                self.monitor.sample(self.env.now, "vm.booted", vm.vm_id)
+            cluster.telemetry.event("vm.booted", vm.vm_id, track="control")
+            cluster.telemetry.metrics.counter("cluster.vms_booted").inc()
             return vm
 
         boots = [self.env.process(boot(vm), name=f"boot-{vm.vm_id}") for vm in [master, *workers]]
@@ -256,8 +276,8 @@ class Provisioner:
             if delay > 0:
                 yield self.env.timeout(delay)
             vm.mark_running()
-            if self.monitor is not None:
-                self.monitor.sample(self.env.now, "vm.booted", vm.vm_id, elastic=True)
+            cluster.telemetry.event("vm.booted", vm.vm_id, track="control", elastic=True)
+            cluster.telemetry.metrics.counter("cluster.vms_booted").inc()
             return vm
 
         return vm, self.env.process(boot(), name=f"boot-{vm.vm_id}")

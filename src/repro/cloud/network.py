@@ -52,7 +52,9 @@ from typing import Iterable, Optional, Sequence
 
 from repro.errors import NetworkError
 from repro.sim.kernel import Environment, Event
-from repro.sim.monitor import Monitor
+from repro.sim.monitor import Monitor, MonitorSink
+from repro.telemetry.metrics import NULL_METRICS
+from repro.telemetry.spans import Telemetry
 from repro.util.units import bytes_to_bits
 
 #: Flows whose remaining volume is below this many bits are considered
@@ -315,9 +317,21 @@ class FlowNetwork:
         monitor: Monitor | None = None,
         *,
         incremental: bool = True,
+        telemetry: Telemetry | None = None,
     ):
         self.env = env
         self.monitor = monitor
+        if telemetry is None and monitor is not None:
+            # Legacy construction: callers that hand us a bare Monitor
+            # get a private hub whose only consumer is that monitor, so
+            # flow intervals/samples land exactly where they used to.
+            telemetry = Telemetry(clock=lambda: env.now)
+            telemetry.bind(monitor=MonitorSink(monitor))
+        self.telemetry = telemetry
+        metrics = telemetry.metrics if telemetry is not None else NULL_METRICS
+        self._m_flows = metrics.counter("network.flows_completed")
+        self._m_bytes = metrics.counter("network.bytes_moved")
+        self._m_replans = metrics.counter("network.replans")
         self.incremental = incremental
         self._links: dict[str, Link] = {}
         self._routes: dict[str, Route] = {}
@@ -432,15 +446,17 @@ class FlowNetwork:
     def _finish_zero_volume(self, flow: Flow) -> None:
         flow.end_time = self.env.now
         self.completed_flows += 1
+        self._m_flows.inc()
         flow.done.succeed(flow)
-        if self.monitor is not None:
+        if self.telemetry is not None:
             # Control messages carry no payload but still count: record
-            # the interval so the Monitor sees every flow, not just bulk
-            # data movements.
-            self.monitor.interval(
+            # the span so consumers see every flow, not just bulk data
+            # movements.
+            self.telemetry.span_complete(
                 "flow",
                 flow.start_time,
                 flow.end_time,
+                track="network",
                 flow=flow.id,
                 tag=flow.tag,
                 nbytes=0.0,
@@ -550,12 +566,15 @@ class FlowNetwork:
         flow.end_time = now
         self.completed_flows += 1
         self.total_bytes_moved += flow.total_bits / 8.0
+        self._m_flows.inc()
+        self._m_bytes.inc(flow.total_bits / 8.0)
         flow.done.succeed(flow)
-        if self.monitor is not None:
-            self.monitor.interval(
+        if self.telemetry is not None:
+            self.telemetry.span_complete(
                 "flow",
                 flow.start_time,
                 flow.end_time,
+                track="network",
                 flow=flow.id,
                 tag=flow.tag,
                 nbytes=flow.total_bits / 8.0,
@@ -570,6 +589,7 @@ class FlowNetwork:
         """
         dirty, self._dirty_links = self._dirty_links, set()
         self.replans += 1
+        self._m_replans.inc()
         if self.incremental:
             visited: set[Link] = set()
             for link in sorted(dirty, key=lambda l: l.name):
@@ -605,7 +625,7 @@ class FlowNetwork:
         self, ordered: Sequence[Flow], rates: dict[Flow, float], now: float
     ) -> None:
         heap = self._completion_heap
-        monitor = self.monitor
+        telemetry = self.telemetry
         for flow in ordered:
             rate = rates[flow]
             if rate != flow.rate:
@@ -616,5 +636,8 @@ class FlowNetwork:
                         heap,
                         (now + flow.remaining_bits / rate, flow.id, flow._version, flow),
                     )
-            if monitor is not None:
-                monitor.sample(now, "flow.rate", rate, flow=flow.id, tag=flow.tag)
+            if telemetry is not None:
+                telemetry.event(
+                    "flow.rate", rate, time=now, track="network",
+                    flow=flow.id, tag=flow.tag,
+                )

@@ -77,6 +77,18 @@ class StorageVolume:
     def write_path(self) -> tuple[str, ...]:
         return (self._write_link.name,)
 
+    # -- telemetry ---------------------------------------------------------
+    def note_read(self, nbytes: float) -> None:
+        """Account a read of ``nbytes`` from this volume in the metrics
+        registry (per storage tier, matching the paper's tier
+        comparison).  The byte movement itself is modelled by the flow
+        network; this is the aggregate-counting side."""
+        telemetry = self.network.telemetry
+        if telemetry is not None:
+            telemetry.metrics.counter(
+                "storage.read_bytes", tier=self.tier.value
+            ).inc(nbytes)
+
     # -- contents ----------------------------------------------------------
     @property
     def used_bytes(self) -> int:
@@ -105,6 +117,14 @@ class StorageVolume:
             )
         self._contents[name] = size
         self._used += size
+        telemetry = self.network.telemetry
+        if telemetry is not None:
+            telemetry.metrics.counter(
+                "storage.write_bytes", tier=self.tier.value
+            ).inc(size)
+            telemetry.metrics.counter(
+                "storage.files_stored", tier=self.tier.value
+            ).inc()
 
     def remove_file(self, name: str) -> None:
         size = self._contents.pop(name, None)

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.telemetry.metrics import MetricsRegistry, NULL_METRICS
+
 
 @dataclass(frozen=True)
 class ScaleEvent:
@@ -53,18 +55,28 @@ class AutoScalePolicy:
 class ElasticityManager:
     """Tracks membership changes and applies the auto-scale policy."""
 
-    def __init__(self, policy: AutoScalePolicy | None = None):
+    def __init__(
+        self,
+        policy: AutoScalePolicy | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.policy = policy
         self.events: list[ScaleEvent] = []
         self.active_nodes: set[str] = set()
+        metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_added = metrics.counter("elasticity.added")
+        self._m_removed = metrics.counter("elasticity.removed")
+        self._metrics = metrics
 
     def node_added(self, time: float, node_id: str, reason: str = "user") -> None:
         self.active_nodes.add(node_id)
         self.events.append(ScaleEvent(time, "add", node_id, reason))
+        self._m_added.inc()
 
     def node_removed(self, time: float, node_id: str, reason: str = "user") -> None:
         self.active_nodes.discard(node_id)
         self.events.append(ScaleEvent(time, "remove", node_id, reason))
+        self._m_removed.inc()
 
     def evaluate(self, time: float, queued: int) -> str:
         """Consult the auto-scale policy; returns add/remove/hold."""
@@ -75,6 +87,7 @@ class ElasticityManager:
             self.events.append(
                 ScaleEvent(time, f"recommend_{action}", "", f"queued={queued}")
             )
+            self._metrics.counter("elasticity.recommendations", action=action).inc()
         return action
 
     @property

@@ -14,6 +14,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.telemetry.metrics import MetricsRegistry, NULL_METRICS
+
 
 class Liveness(str, enum.Enum):
     HEALTHY = "healthy"
@@ -39,10 +41,21 @@ class HeartbeatConfig:
 class HeartbeatMonitor:
     """Tracks last-heard times and classifies component liveness."""
 
-    def __init__(self, config: HeartbeatConfig | None = None):
+    def __init__(
+        self,
+        config: HeartbeatConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ):
         self.config = config or HeartbeatConfig()
         self._last_heard: dict[str, float] = {}
         self._declared_dead: set[str] = set()
+        #: Components currently classified suspected — tracked so the
+        #: metrics count state *transitions*, not repeated observations.
+        self._suspected: set[str] = set()
+        metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_beats = metrics.counter("heartbeat.beats")
+        self._m_suspected = metrics.counter("heartbeat.suspected")
+        self._m_dead = metrics.counter("heartbeat.dead")
 
     def beat(self, component: str, now: float) -> None:
         """Record a heartbeat. A beat resurrects a suspected component
@@ -53,11 +66,13 @@ class HeartbeatMonitor:
         if previous is not None and now < previous:
             raise ValueError(f"heartbeat from the past for {component!r}")
         self._last_heard[component] = now
+        self._m_beats.inc()
 
     def forget(self, component: str) -> None:
         """Deregister a component (graceful shutdown)."""
         self._last_heard.pop(component, None)
         self._declared_dead.discard(component)
+        self._suspected.discard(component)
 
     def liveness(self, component: str, now: float) -> Liveness:
         if component in self._declared_dead:
@@ -68,9 +83,15 @@ class HeartbeatMonitor:
         silence = now - last
         if silence >= self.config.dead_after:
             self._declared_dead.add(component)
+            self._suspected.discard(component)
+            self._m_dead.inc()
             return Liveness.DEAD
         if silence >= self.config.suspect_after:
+            if component not in self._suspected:
+                self._suspected.add(component)
+                self._m_suspected.inc()
             return Liveness.SUSPECTED
+        self._suspected.discard(component)
         return Liveness.HEALTHY
 
     def sweep(self, now: float) -> dict[str, Liveness]:

@@ -29,6 +29,7 @@ from repro.core.fault import FaultTracker, RetryPolicy
 from repro.core.strategies import DataManagementStrategy
 from repro.data.partition import TaskGroup
 from repro.errors import ProtocolError
+from repro.telemetry.metrics import MetricsRegistry, NULL_METRICS
 
 
 @dataclass(frozen=True)
@@ -54,10 +55,23 @@ class MasterScheduler:
         *,
         retry_policy: RetryPolicy | None = None,
         fault_tracker: FaultTracker | None = None,
+        metrics: MetricsRegistry | None = None,
     ):
         self.strategy = strategy
         self.retry_policy = retry_policy or RetryPolicy.paper_faithful()
         self.faults = fault_tracker or FaultTracker()
+        # The scheduler stays a pure state machine: metrics are plain
+        # counters, cached here so assignment paths pay one method call.
+        metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_assigned = metrics.counter("scheduler.assigned")
+        self._m_completed = metrics.counter("scheduler.completed")
+        self._m_duplicates = metrics.counter("scheduler.duplicate_results")
+        self._m_errors = metrics.counter("scheduler.task_errors")
+        self._m_retried = metrics.counter("scheduler.retried")
+        self._m_lost = metrics.counter("scheduler.tasks_lost")
+        self._m_workers_lost = metrics.counter("scheduler.workers_lost")
+        self._m_speculated = metrics.counter("scheduler.speculated")
+        self._m_partitions = metrics.counter("scheduler.partition_passes")
         self._groups = list(groups)
         self._attempts: dict[int, int] = {g.index: 0 for g in self._groups}
         self._queue: Deque[TaskGroup] = deque(self._groups)
@@ -112,6 +126,7 @@ class MasterScheduler:
             group=victim.group, worker_id=worker_id, attempt=victim.attempt
         )
         self._in_flight[(worker_id, copy.task_id)] = copy
+        self._m_speculated.inc()
         return copy
 
     # -- partitioning -------------------------------------------------------
@@ -177,6 +192,7 @@ class MasterScheduler:
         else:
             raise ProtocolError(f"unknown chunking discipline {chunking!r}")
         self._partitioned = True
+        self._m_partitions.inc()
 
     def planned_chunk(self, worker_id: str) -> tuple[TaskGroup, ...]:
         """The chunk reserved for a worker (static strategies)."""
@@ -210,6 +226,7 @@ class MasterScheduler:
             group=group, worker_id=worker_id, attempt=self._attempts[group.index]
         )
         self._in_flight[(worker_id, group.index)] = assignment
+        self._m_assigned.inc()
         return assignment
 
     # -- completion/failure ------------------------------------------------
@@ -225,19 +242,23 @@ class MasterScheduler:
         assignment = self._pop_in_flight(worker_id, task_id)
         if task_id in self.completed:
             # A speculative copy lost the race; discard its result.
+            self._m_duplicates.inc()
             return
         self.completed[task_id] = assignment
+        self._m_completed.inc()
 
     def report_error(self, worker_id: str, task_id: int, message: str = "") -> bool:
         """Task exited with an error; returns True if it will be retried."""
         assignment = self._pop_in_flight(worker_id, task_id)
         self.faults.record_error(worker_id, message)
+        self._m_errors.inc()
         if task_id in self.completed:
             return False  # a speculative copy failed after the original won
         if any(t == task_id for (_w, t) in self._in_flight):
             return False  # another copy is still running; let it decide
         if self.retry_policy.should_retry(assignment.attempt, worker_loss=False):
             self._requeue(assignment)
+            self._m_retried.inc()
             return True
         self.failed_tasks.append(assignment)
         return False
@@ -249,6 +270,7 @@ class MasterScheduler:
         become *lost* (recorded, not rerun) — the paper's behaviour.
         """
         self.faults.record_loss(worker_id, message)
+        self._m_workers_lost.inc()
         stranded = [
             a for (w, _t), a in list(self._in_flight.items()) if w == worker_id
         ]
@@ -265,15 +287,19 @@ class MasterScheduler:
             if self.retry_policy.should_retry(assignment.attempt, worker_loss=True):
                 self._requeue(assignment)
                 requeued.append(assignment)
+                self._m_retried.inc()
             else:
                 self.lost_tasks.append(assignment)
+                self._m_lost.inc()
         for group in reserved:
             pseudo = Assignment(group=group, worker_id=worker_id, attempt=self._attempts[group.index])
             if self.retry_policy.retry_on_worker_loss:
                 self._requeue(pseudo)
                 requeued.append(pseudo)
+                self._m_retried.inc()
             else:
                 self.lost_tasks.append(pseudo)
+                self._m_lost.inc()
         return requeued
 
     def _requeue(self, assignment: Assignment) -> None:

@@ -33,6 +33,7 @@ from repro.cloud.failures import FailureInjector, FailureSchedule
 from repro.cloud.instance import InstanceType, VirtualMachine
 from repro.cloud.storage import StorageTier
 from repro.core.controller import ControllerLogic
+from repro.core.elasticity import ElasticityManager
 from repro.core.commands import CommandTemplate
 from repro.core.fault import RetryPolicy
 from repro.core.framework import RunOutcome, TaskRecord
@@ -45,7 +46,8 @@ from repro.data.partition import PartitionScheme
 from repro.engines.compute import ComputeModel
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.kernel import Environment, Event, Interrupt
-from repro.sim.monitor import Monitor
+from repro.sim.monitor import Monitor, MonitorSink
+from repro.telemetry.spans import SpanHandle, Telemetry
 from repro.transfer.base import TransferProtocol, TransferRequest
 from repro.transfer.scp import ScpModel
 from repro.transfer.staging import StagingPlan, TransferService
@@ -126,6 +128,7 @@ class SimulatedEngine:
         output_bytes_per_task: float = 0.0,
         data_source: str = "master",
         max_sim_time: float = 10_000_000.0,
+        telemetry: Telemetry | None = None,
     ) -> RunOutcome:
         """Execute one workload; returns the :class:`RunOutcome`.
 
@@ -151,6 +154,14 @@ class SimulatedEngine:
           tier and workers pull through its contended server uplink
           (the networked-disk configuration of §III-A; requires
           ``ClusterSpec.network_storage_bytes > 0``).
+
+        ``telemetry`` plugs a :class:`~repro.telemetry.Telemetry` hub
+        into the run: the engine binds it to the sim clock and routes
+        the same span/event stream into this run's monitor, so one hub
+        shared across a sweep records every run (the ``--trace`` path).
+        Without it the engine builds a private hub whose only consumer
+        is the monitor, which keeps disabled-telemetry runs at the old
+        cost.
         """
         env = Environment()
         monitor = Monitor()
@@ -176,6 +187,7 @@ class SimulatedEngine:
             master_recovery_time=master_recovery_time,
             output_bytes_per_task=output_bytes_per_task,
             data_source=data_source,
+            telemetry=telemetry,
         )
         done = env.process(run.main(), name="frieda-run")
         env.run(until=done)
@@ -211,6 +223,7 @@ class _SimulatedRun:
         master_recovery_time: float | None = None,
         output_bytes_per_task: float = 0.0,
         data_source: str = "master",
+        telemetry: Telemetry | None = None,
     ):
         self.env = env
         self.monitor = monitor
@@ -253,11 +266,25 @@ class _SimulatedRun:
             self.master_outage = (master_failure_at, end)
         self.outputs_snapshotted = 0.0
 
+        # The telemetry hub: a shared one (--trace) is re-bound to this
+        # run's clock/monitor; otherwise a private hub makes the monitor
+        # the sole consumer of the span stream.
+        tel = telemetry if telemetry is not None else Telemetry(clock=lambda: env.now)
+        tel.bind(
+            clock=lambda: env.now,
+            run=f"{dataset.name}:{self.controller.strategy.kind.value}",
+            monitor=MonitorSink(monitor),
+        )
+        self.telemetry = tel
+        self._run_span: Optional[SpanHandle] = None
+        self._h_exec = tel.metrics.histogram("task.exec_seconds")
+        self.elasticity_mgr = ElasticityManager(metrics=tel.metrics)
+
         self.cluster: Optional[VirtualCluster] = None
         self.scheduler: Optional[MasterScheduler] = None
         self.transfers: Optional[TransferService] = None
         self.billing = (
-            BillingModel(self.options.price_sheet)
+            BillingModel(self.options.price_sheet, metrics=tel.metrics)
             if self.options.enable_billing
             else None
         )
@@ -304,11 +331,13 @@ class _SimulatedRun:
         if delay > 0:
             yield self.env.timeout(delay)
         self.controller.log(self.env.now, "MASTER_FAILED", "single point of failure")
+        self.telemetry.event("master.failed", track="control")
         if end == float("inf") and not self.run_done.triggered:
             self.run_done.succeed()
         elif end != float("inf"):
             yield self.env.timeout(end - self.env.now)
             self.controller.log(self.env.now, "MASTER_RECOVERED", "controller restart")
+            self.telemetry.event("master.recovered", track="control")
 
     def _file(self, name: str) -> DataFile:
         return self._file_index[name]
@@ -323,6 +352,16 @@ class _SimulatedRun:
             if wan is not None and wan in path:
                 self.billing.record_wan_bytes(nbytes)
 
+    def _note_source_read(self, nbytes: float) -> None:
+        """Attribute a source-side read to its storage tier's metrics."""
+        cluster = self.cluster
+        if cluster is None:
+            return
+        if self.data_source == "network_storage" and cluster.shared_storage is not None:
+            cluster.shared_storage.note_read(nbytes)
+        elif cluster.master_vm is not None and cluster.master_vm.local_disk is not None:
+            cluster.master_vm.local_disk.note_read(nbytes)
+
     def _source_path_to(self, node_id: str) -> tuple[str, ...]:
         """Link path from the data source to a node's local disk."""
         cluster = self.cluster
@@ -333,7 +372,13 @@ class _SimulatedRun:
             )
         return cluster.disk_to_disk_path(cluster.master_vm.vm_id, node_id)
 
-    def _transfer_to_node(self, file: DataFile, node_id: str, tag: str):
+    def _transfer_to_node(
+        self,
+        file: DataFile,
+        node_id: str,
+        tag: str,
+        parent: SpanHandle | None = None,
+    ):
         """Process: ship one file source → node-disk.
 
         Dedupes against files already on the node's disk *and*
@@ -357,7 +402,10 @@ class _SimulatedRun:
             path = self._source_path_to(node_id)
             request = TransferRequest(file.name, file.size, path, tag=tag)
             self._record_wan(path, file.size)
-            result = yield self.env.process(self.transfers.transfer(request))
+            self._note_source_read(file.size)
+            result = yield self.env.process(
+                self.transfers.transfer(request, parent=parent)
+            )
             # The VM may have died while the bytes were in flight.
             vm = cluster.vm(node_id)
             if vm.is_running:
@@ -371,12 +419,23 @@ class _SimulatedRun:
     # -- main orchestration ---------------------------------------------------
     def main(self):
         env = self.env
+        tel = self.telemetry
+        self._run_span = tel.start_span(
+            "run",
+            track="control",
+            dataset=self.dataset.name,
+            strategy=self.controller.strategy.kind.value,
+        )
         # 1. Provision the virtual cluster (ORCA/Flukes role).
-        provisioner = Provisioner(env, self.monitor)
+        provision_span = tel.start_span(
+            "provision", parent=self._run_span, track="control"
+        )
+        provisioner = Provisioner(env, self.monitor, tel)
         cluster, ready = provisioner.provision(self.engine.spec)
         self.cluster = cluster
         self.provisioner = provisioner
         yield ready
+        provision_span.end(vms=len(cluster.vms))
         # The measured run starts once the cluster is up: Table I /
         # Fig 6 totals include data transfer + execution, not VM
         # provisioning.
@@ -391,13 +450,15 @@ class _SimulatedRun:
             self._file_index[f.name] = f
         yield self._rtt()  # START_MASTER
         self.transfers = TransferService(
-            env, cluster.network, self.options.protocol, self.monitor
+            env, cluster.network, self.options.protocol, self.monitor,
+            telemetry=tel,
         )
         self.scheduler = MasterScheduler(
             groups,
             strategy,
             retry_policy=self.retry_policy,
             fault_tracker=self.controller.fault_tracker,
+            metrics=tel.metrics,
         )
 
         # Source data lands on the master's disk (the master "runs close
@@ -444,10 +505,13 @@ class _SimulatedRun:
             self._preplace_local(worker_nodes)
         staging_reqs = self._staging_requests(worker_nodes)
         if staging_reqs:
-            stage_start = env.now
+            staging_span = tel.start_span(
+                "staging", parent=self._run_span, track="control",
+                files=len(staging_reqs),
+            )
             plan = StagingPlan(staging_reqs, concurrency=self.options.staging_concurrency)
-            results = yield env.process(plan.execute(self.transfers))
-            self.monitor.interval("staging", stage_start, env.now)
+            results = yield env.process(plan.execute(self.transfers, parent=staging_span))
+            staging_span.end()
             self._mark_staged(staging_reqs)
 
         # 5. Execution phase: spawn worker clones; watch for failures;
@@ -473,6 +537,7 @@ class _SimulatedRun:
         self.end_time = env.now
         for vm in cluster.vms.values():
             vm.terminate()
+        self._run_span.end(tasks=len(self.scheduler.completed))
 
     # -- staging -----------------------------------------------------------
     def _node_file_needs(self, worker_nodes: Sequence[VirtualMachine]) -> dict[str, list[DataFile]]:
@@ -513,6 +578,7 @@ class _SimulatedRun:
             path = self._source_path_to(node_id)
             for f in files:
                 self._record_wan(path, f.size)
+                self._note_source_read(f.size)
                 requests.append(
                     TransferRequest(f.name, f.size, path, tag=f"stage:{node_id}")
                 )
@@ -571,6 +637,7 @@ class _SimulatedRun:
                 while True:
                     if sched.done:
                         break
+                    request_start = env.now
                     yield self._rtt()  # REQUEST_DATA round trip
                     assignment = sched.next_for(wid)
                     if assignment is None and self.options.speculative and strategy.lazy:
@@ -581,20 +648,24 @@ class _SimulatedRun:
                         # Retry extension: work may reappear; poll briefly.
                         yield env.timeout(max(self.options.control_rtt * 25, 0.05))
                         continue
-                    yield from self._execute_assignment(vm, logic, assignment)
+                    task_span = self._open_task_span(vm, assignment, request_start)
+                    yield from self._execute_assignment(
+                        vm, logic, assignment, span=task_span
+                    )
                     self._maybe_finish()
             else:
                 # Double buffering (extension): fetch task N+1's inputs
                 # while task N computes.
                 pending = yield from self._fetch(vm, logic)
                 while pending is not None:
-                    assignment, fetch_start, transfer_seconds = pending
+                    assignment, fetch_start, transfer_seconds, task_span = pending
                     prefetch = env.process(
                         self._fetch(vm, logic), name=f"prefetch-{wid}"
                     )
                     vm.register_process(prefetch)
                     yield from self._run_task(
-                        vm, logic, assignment, fetch_start, transfer_seconds
+                        vm, logic, assignment, fetch_start, transfer_seconds,
+                        span=task_span,
                     )
                     self._maybe_finish()
                     pending = yield prefetch
@@ -602,6 +673,10 @@ class _SimulatedRun:
             now = env.now
             aborted = logic.abort_task(now, f"vm failure: {interrupt.cause}")
             requeued = sched.worker_lost(wid, str(interrupt.cause))
+            self.telemetry.event(
+                "worker.failed", wid, track=f"worker:{wid}",
+                node=vm.vm_id, cause=str(interrupt.cause),
+            )
             self.controller.on_worker_failed(
                 WorkerFailed(
                     worker_id=wid,
@@ -625,11 +700,39 @@ class _SimulatedRun:
                 )
             self._maybe_finish()
 
+    def _open_task_span(
+        self, vm: VirtualMachine, assignment: Assignment, request_start: float
+    ) -> SpanHandle:
+        """Root span of one task's lifecycle tree, opened at the
+        REQUEST_DATA instant; the dispatch round-trip is its first
+        child, fetch/transfer/exec follow."""
+        wid = assignment.worker_id
+        span = self.telemetry.start_span(
+            "task",
+            parent=self._run_span,
+            track=f"worker:{wid}",
+            start=request_start,
+            task=assignment.task_id,
+            worker=wid,
+            node=vm.vm_id,
+            attempt=assignment.attempt,
+        )
+        self.telemetry.span_complete(
+            "dispatch",
+            request_start,
+            self.env.now,
+            parent=span,
+            track=f"worker:{wid}",
+            worker=wid,
+            task=assignment.task_id,
+        )
+        return span
+
     def _fetch(self, vm: VirtualMachine, logic: WorkerLogic):
         """Process: request the next assignment and stage its inputs.
 
-        Returns ``(assignment, fetch_start, transfer_seconds)`` or
-        ``None`` when the worker is drained. Used by the prefetching
+        Returns ``(assignment, fetch_start, transfer_seconds, span)``
+        or ``None`` when the worker is drained. Used by the prefetching
         loop; safe to interrupt (returns None on VM failure — the
         worker's own interrupt handler does the loss bookkeeping).
         """
@@ -650,12 +753,21 @@ class _SimulatedRun:
                         return None
                     yield env.timeout(max(self.options.control_rtt * 25, 0.05))
                     continue
-                transfer_seconds = yield from self._stage_inputs(vm, logic, assignment)
-                return assignment, fetch_start, transfer_seconds
+                task_span = self._open_task_span(vm, assignment, fetch_start)
+                transfer_seconds = yield from self._stage_inputs(
+                    vm, logic, assignment, parent=task_span
+                )
+                return assignment, fetch_start, transfer_seconds, task_span
         except Interrupt:
             return None
 
-    def _stage_inputs(self, vm: VirtualMachine, logic: WorkerLogic, assignment: Assignment):
+    def _stage_inputs(
+        self,
+        vm: VirtualMachine,
+        logic: WorkerLogic,
+        assignment: Assignment,
+        parent: SpanHandle | None = None,
+    ):
         """Process fragment: lazily transfer the assignment's missing
         inputs; returns the seconds spent waiting on transfers."""
         env = self.env
@@ -664,9 +776,19 @@ class _SimulatedRun:
         if not missing:
             return 0.0
         t0 = env.now
+        fetch_span = self.telemetry.start_span(
+            "fetch",
+            parent=parent,
+            track=f"worker:{wid}",
+            worker=wid,
+            task=assignment.task_id,
+            files=len(missing),
+        )
         procs = [
             env.process(
-                self._transfer_to_node(self._file(name), vm.vm_id, tag=f"rt:{wid}")
+                self._transfer_to_node(
+                    self._file(name), vm.vm_id, tag=f"rt:{wid}", parent=fetch_span
+                )
             )
             for name in missing
         ]
@@ -675,12 +797,23 @@ class _SimulatedRun:
             raise Interrupt((vm.vm_id, "vm died during transfer"))
         for name in missing:
             logic.receive_file(name)
+        fetch_span.end()
         return env.now - t0
 
-    def _execute_assignment(self, vm: VirtualMachine, logic: WorkerLogic, assignment: Assignment):
+    def _execute_assignment(
+        self,
+        vm: VirtualMachine,
+        logic: WorkerLogic,
+        assignment: Assignment,
+        span: SpanHandle | None = None,
+    ):
         task_start = self.env.now
-        transfer_seconds = yield from self._stage_inputs(vm, logic, assignment)
-        yield from self._run_task(vm, logic, assignment, task_start, transfer_seconds)
+        transfer_seconds = yield from self._stage_inputs(
+            vm, logic, assignment, parent=span
+        )
+        yield from self._run_task(
+            vm, logic, assignment, task_start, transfer_seconds, span=span
+        )
 
     def _run_task(
         self,
@@ -689,6 +822,7 @@ class _SimulatedRun:
         assignment: Assignment,
         task_start: float,
         transfer_seconds: float,
+        span: SpanHandle | None = None,
     ):
         env = self.env
         group = assignment.group
@@ -724,9 +858,22 @@ class _SimulatedRun:
                     f"out-task{group.index:06d}", int(self.output_bytes_per_task)
                 )
         self.scheduler.report_success(wid, group.index)
-        self.monitor.interval(
-            "exec", exec_start, env.now, worker=wid, node=vm.vm_id, task=group.index
+        self.telemetry.span_complete(
+            "exec",
+            exec_start,
+            env.now,
+            parent=span,
+            track=f"worker:{wid}",
+            worker=wid,
+            node=vm.vm_id,
+            task=group.index,
         )
+        self._h_exec.observe(env.now - exec_start)
+        self.telemetry.event(
+            "task.report", group.index, track=f"worker:{wid}", worker=wid
+        )
+        if span is not None:
+            span.end(ok=True)
         self.task_records.append(
             TaskRecord(
                 task_id=group.index,
@@ -755,6 +902,10 @@ class _SimulatedRun:
             yield booted
             if self.run_done.triggered:
                 return
+            self.telemetry.event(
+                "elastic.add", vm.vm_id, track="control", itype=action.instance_type
+            )
+            self.elasticity_mgr.node_added(env.now, vm.vm_id, reason="scenario")
             plan = self.controller.on_worker_added(vm.vm_id, vm.itype.cores, env.now)
             for wid in plan.worker_ids:
                 self.scheduler.register_worker(wid)
@@ -763,13 +914,19 @@ class _SimulatedRun:
                 )
             # Elastic nodes still need the common data before computing.
             for f in self.common_files:
-                yield from self._transfer_to_node(f, vm.vm_id, tag=f"stage:{vm.vm_id}") or iter(())
+                yield from self._transfer_to_node(
+                    f, vm.vm_id, tag=f"stage:{vm.vm_id}", parent=self._run_span
+                ) or iter(())
                 for wid in plan.worker_ids:
                     self.worker_logics[wid].receive_file(f.name)
             self._spawn_node_workers(vm)
         elif action.action == "remove":
             node_id = action.node_id
             if node_id in self.cluster.vms:
+                self.telemetry.event(
+                    "elastic.remove", node_id, track="control", snapshot=action.snapshot
+                )
+                self.elasticity_mgr.node_removed(env.now, node_id, reason="scenario")
                 self.controller.on_worker_removed(node_id, env.now)
                 if action.snapshot:
                     yield from self._snapshot_outputs(node_id)
@@ -805,7 +962,14 @@ class _SimulatedRun:
         for name in outputs:
             master.local_disk.store_file(name, int(self.output_bytes_per_task) or 1)
             self.outputs_snapshotted += self.output_bytes_per_task
-        self.monitor.interval("snapshot", snap_start, self.env.now, node=node_id)
+        self.telemetry.span_complete(
+            "snapshot",
+            snap_start,
+            self.env.now,
+            parent=self._run_span,
+            track="control",
+            node=node_id,
+        )
         self.controller.log(
             self.env.now, "OUTPUTS_SNAPSHOTTED", f"{node_id}: {len(outputs)} files"
         )
@@ -859,5 +1023,6 @@ class _SimulatedRun:
                 ),
                 "outputs_snapshotted_bytes": self.outputs_snapshotted,
                 "snapshot_time": monitor.union_time("snapshot"),
+                "metrics": self.telemetry.metrics.snapshot(),
             },
         )

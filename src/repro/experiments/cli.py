@@ -51,16 +51,35 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--output", default="REPORT.md", help="output path for the report subcommand"
     )
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        default=None,
+        help="record spans from every run into one Chrome/Perfetto "
+        "trace-event JSON file (open in ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="OUT.json",
+        default=None,
+        help="write the aggregated metrics registry as flat JSON",
+    )
     args = parser.parse_args(argv)
+
+    telemetry = None
+    if args.trace is not None or args.metrics is not None:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry(record=True)
 
     started = time.time()  # frieda: allow[wall-clock] -- user-facing CLI timing
     ok = True
     if args.experiment in ("table1", "all"):
-        results = run_table1(args.scale, seed=args.seed)
+        results = run_table1(args.scale, seed=args.seed, telemetry=telemetry)
         _emit([render_table1(results, args.scale)], args.csv)
         ok &= all(r.shape_holds() for r in results.values())
     if args.experiment in ("fig6", "all"):
-        results = run_fig6(args.scale, seed=args.seed)
+        results = run_fig6(args.scale, seed=args.seed, telemetry=telemetry)
         _emit(render_fig6(results, args.scale), args.csv)
         if args.plot:
             from repro.experiments.plots import fig6_plot
@@ -69,7 +88,7 @@ def main(argv: list[str] | None = None) -> int:
             print()
         ok &= all(r.shape_holds() for r in results.values())
     if args.experiment in ("fig7", "all"):
-        results = run_fig7(args.scale, seed=args.seed)
+        results = run_fig7(args.scale, seed=args.seed, telemetry=telemetry)
         _emit(render_fig7(results, args.scale), args.csv)
         if args.plot:
             from repro.experiments.plots import fig7_plot
@@ -124,6 +143,15 @@ def main(argv: list[str] | None = None) -> int:
             fh.write(markdown)
         print(f"report written to {args.output}")
         ok &= report_ok
+    if telemetry is not None:
+        from repro.telemetry import write_chrome_trace, write_metrics_json
+
+        if args.trace is not None:
+            write_chrome_trace(telemetry, args.trace)
+            print(f"trace written to {args.trace} ({len(telemetry.spans)} spans)")
+        if args.metrics is not None:
+            write_metrics_json(telemetry.metrics, args.metrics)
+            print(f"metrics written to {args.metrics}")
     # frieda: allow[wall-clock] -- user-facing CLI timing
     print(f"[done in {time.time() - started:.1f}s wall; shapes {'OK' if ok else 'VIOLATED'}]")
     return 0 if ok else 1

@@ -42,13 +42,15 @@ class Fig6Result:
         return self.order_by_makespan() == FIG6_EXPECTED_ORDER[self.app]
 
 
-def run_fig6(scale: float = 1.0, *, seed: int = 0) -> dict[str, Fig6Result]:
+def run_fig6(
+    scale: float = 1.0, *, seed: int = 0, telemetry=None
+) -> dict[str, Fig6Result]:
     results = {}
     for name, profile in (
         ("als", als_profile(scale, seed=seed)),
         ("blast", blast_profile(scale, seed=seed)),
     ):
-        outcomes = strategy_sweep(profile, FIG6_STRATEGIES)
+        outcomes = strategy_sweep(profile, FIG6_STRATEGIES, telemetry=telemetry)
         results[name] = Fig6Result(app=name, outcomes=outcomes)
     return results
 

@@ -48,14 +48,20 @@ class Fig7Result:
         return self.ratio < 1.15  # BLAST nearly insensitive
 
 
-def run_fig7(scale: float = 1.0, *, seed: int = 0) -> dict[str, Fig7Result]:
+def run_fig7(
+    scale: float = 1.0, *, seed: int = 0, telemetry=None
+) -> dict[str, Fig7Result]:
     results = {}
     for name, profile in (
         ("als", als_profile(scale, seed=seed)),
         ("blast", blast_profile(scale, seed=seed)),
     ):
-        move_data = run_profile(profile, StrategyKind.PRE_PARTITIONED_REMOTE)
-        move_compute = run_profile(profile, StrategyKind.PRE_PARTITIONED_LOCAL)
+        move_data = run_profile(
+            profile, StrategyKind.PRE_PARTITIONED_REMOTE, telemetry=telemetry
+        )
+        move_compute = run_profile(
+            profile, StrategyKind.PRE_PARTITIONED_LOCAL, telemetry=telemetry
+        )
         results[name] = Fig7Result(app=name, move_data=move_data, move_compute=move_compute)
     return results
 

@@ -49,7 +49,9 @@ class Table1Result:
         )
 
 
-def run_table1(scale: float = 1.0, *, seed: int = 0) -> dict[str, Table1Result]:
+def run_table1(
+    scale: float = 1.0, *, seed: int = 0, telemetry=None
+) -> dict[str, Table1Result]:
     """Run all six cells of Table I."""
     results = {}
     for name, profile in (
@@ -58,9 +60,13 @@ def run_table1(scale: float = 1.0, *, seed: int = 0) -> dict[str, Table1Result]:
     ):
         results[name] = Table1Result(
             app=name,
-            sequential=run_sequential_baseline(profile),
-            pre_partitioned=run_profile(profile, StrategyKind.PRE_PARTITIONED_REMOTE),
-            real_time=run_profile(profile, StrategyKind.REAL_TIME),
+            sequential=run_sequential_baseline(profile, telemetry=telemetry),
+            pre_partitioned=run_profile(
+                profile, StrategyKind.PRE_PARTITIONED_REMOTE, telemetry=telemetry
+            ),
+            real_time=run_profile(
+                profile, StrategyKind.REAL_TIME, telemetry=telemetry
+            ),
         )
     return results
 

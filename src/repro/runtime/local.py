@@ -38,6 +38,8 @@ from repro.core.worker import WorkerLogic
 from repro.data.files import DataFile, Dataset
 from repro.data.partition import PartitionScheme
 from repro.errors import ConfigurationError
+from repro.telemetry.metrics import Histogram
+from repro.telemetry.spans import NULL_TELEMETRY, SpanHandle, Telemetry
 
 
 def _as_dataset(inputs: Dataset | Sequence[str]) -> Dataset:
@@ -86,8 +88,14 @@ class ThreadedEngine:
         grouping_options: dict | None = None,
         retry_policy: RetryPolicy | None = None,
         isolate_after: int = 1,
+        telemetry: Telemetry | None = None,
     ) -> RunOutcome:
-        """Run a data-parallel program over real input files."""
+        """Run a data-parallel program over real input files.
+
+        ``telemetry`` attaches the same hub the simulated plane uses;
+        spans are stamped with wall seconds relative to run start so a
+        real run's trace opens in the same viewer as a simulated one.
+        """
         if callable(command) and not isinstance(command, CommandTemplate):
             command = CommandTemplate(function=command)
         elif isinstance(command, str):
@@ -102,12 +110,19 @@ class ThreadedEngine:
             retry_policy=retry_policy,
             isolate_after=isolate_after,
         )
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        t_base = time.monotonic()
+        tel.bind(
+            clock=lambda: time.monotonic() - t_base,
+            run=f"{dataset.name}:{controller.strategy.kind.value}",
+        )
         groups = controller.generate_partitions(dataset)
         scheduler = MasterScheduler(
             groups,
             controller.strategy,
             retry_policy=retry_policy,
             fault_tracker=controller.fault_tracker,
+            metrics=tel.metrics,
         )
         # One condition guards all scheduler state: workers that find no
         # runnable task sleep on it and are woken when a peer reports an
@@ -118,6 +133,16 @@ class ThreadedEngine:
             scheduler.register_worker(wid)
         scheduler.partition_among()
 
+        # Histogram created up front: the registry's get-or-create dict is
+        # not thread-safe, so worker threads only ever *observe*.
+        h_exec = tel.metrics.histogram("task.exec_seconds")
+        run_span = tel.start_span(
+            "run",
+            track="control",
+            dataset=dataset.name,
+            strategy=controller.strategy.kind.value,
+            workers=self.num_workers,
+        )
         started = time.monotonic()
         with tempfile.TemporaryDirectory(dir=self.scratch_root, prefix="frieda-") as root:
             logics = {
@@ -131,15 +156,29 @@ class ThreadedEngine:
 
             stage_seconds = 0.0
             if controller.strategy.staged_before_execution or controller.strategy.data_local_to_workers:
+                stage_span = tel.start_span(
+                    "staging", parent=run_span, track="control", files=len(dataset)
+                )
                 t0 = time.monotonic()
                 self._stage_all(controller, scheduler, logics, dataset)
                 stage_seconds = time.monotonic() - t0
+                stage_span.end()
 
             outcomes: dict[str, _WorkerOutcome] = {}
             threads = [
                 threading.Thread(
                     target=self._worker_main,
-                    args=(logics[wid], scheduler, controller, wakeup, dataset, outcomes),
+                    args=(
+                        logics[wid],
+                        scheduler,
+                        controller,
+                        wakeup,
+                        dataset,
+                        outcomes,
+                        tel,
+                        run_span,
+                        h_exec,
+                    ),
                     name=f"frieda-{wid}",
                     daemon=True,
                 )
@@ -153,6 +192,7 @@ class ThreadedEngine:
         records = [r for o in outcomes.values() for r in o.records]
         records.sort(key=lambda r: (r.start, r.task_id))
         summary = scheduler.summary()
+        run_span.end(tasks=summary["completed"])
         lazy_transfer = sum(o.transfer_seconds for o in outcomes.values())
         return RunOutcome(
             strategy=controller.strategy.kind,
@@ -226,7 +266,11 @@ class ThreadedEngine:
         wakeup: threading.Condition,
         dataset: Dataset,
         outcomes: dict[str, _WorkerOutcome],
+        tel: Telemetry = NULL_TELEMETRY,
+        run_span: SpanHandle | None = None,
+        h_exec: Histogram | None = None,
     ) -> None:
+        wid = logic.worker_id
         records: list[TaskRecord] = []
         transfer_seconds = 0.0
         busy_seconds = 0.0
@@ -245,26 +289,61 @@ class ThreadedEngine:
                     wakeup.wait(timeout=1.0)
                     continue
             group = assignment.group
+            task_span = tel.start_span(
+                "task",
+                parent=run_span,
+                track=f"worker:{wid}",
+                task=group.index,
+                worker=wid,
+                attempt=assignment.attempt,
+            )
             # Lazy staging (real-time): copy missing inputs now.
             missing = logic.missing_files(group.file_names)
             if missing and not controller.strategy.data_local_to_workers:
+                fetch_at = tel.clock()
                 t0 = time.monotonic()
                 for file in group.files:
                     if file.name in missing:
                         self._copy_to_worker(file, logic)
                 transfer_seconds += time.monotonic() - t0
+                tel.span_complete(
+                    "fetch",
+                    fetch_at,
+                    tel.clock(),
+                    parent=task_span,
+                    track=f"worker:{wid}",
+                    worker=wid,
+                    task=group.index,
+                    files=len(missing),
+                )
+            exec_at = tel.clock()
             start = time.monotonic()
             execution = logic.begin_task(group.index, group.file_names, start)
             ok, error = self._execute(logic, group.file_names)
             end = time.monotonic()
             logic.finish_task(end, ok=ok, error=error)
             busy_seconds += end - start
+            tel.span_complete(
+                "exec",
+                exec_at,
+                tel.clock(),
+                parent=task_span,
+                track=f"worker:{wid}",
+                worker=wid,
+                node="localhost",
+                task=group.index,
+            )
+            task_span.end(ok=ok)
             with wakeup:
                 if ok:
                     scheduler.report_success(logic.worker_id, group.index)
                 else:
                     controller.on_worker_error(logic.worker_id, error)
                     scheduler.report_error(logic.worker_id, group.index, error)
+                # Histograms mutate shared buckets — observe under the
+                # same lock that guards the scheduler.
+                if h_exec is not None:
+                    h_exec.observe(end - start)
                 # Every outcome can finish the run or requeue a task:
                 # wake idle peers so they re-check the scheduler.
                 wakeup.notify_all()

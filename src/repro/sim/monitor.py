@@ -3,6 +3,14 @@
 :class:`Monitor` collects named time-series samples and interval
 records; the simulated FRIEDA engine uses it to produce the
 transfer-vs-execution decomposition that Figure 6 of the paper plots.
+
+Since the telemetry layer landed, instrumented components emit spans
+and events through :class:`repro.telemetry.Telemetry`; the monitor
+consumes that stream through :class:`MonitorSink` — a span becomes an
+:meth:`interval` and an event becomes a :meth:`sample` under the same
+keys as before, so downstream figure code is unchanged.  Direct
+``sample``/``interval`` calls remain supported for tests and ad-hoc
+probes.
 """
 
 from __future__ import annotations
@@ -42,16 +50,25 @@ class Monitor:
 
     The monitor is deliberately passive — components call
     :meth:`sample` / :meth:`interval`; nothing is recorded implicitly.
+
+    ``records`` and ``intervals`` keep global insertion order for
+    whole-run traversals; per-key indexes maintained at append time
+    back :meth:`series` / :meth:`intervals_for` so per-key queries do
+    not rescan every record ever collected.
     """
 
     def __init__(self) -> None:
         self.records: list[TraceRecord] = []
         self.intervals: list[Interval] = []
         self._stats: dict[str, RunningStats] = {}
+        self._records_by_key: dict[str, list[TraceRecord]] = {}
+        self._intervals_by_key: dict[str, list[Interval]] = {}
 
     def sample(self, time: float, key: str, value: Any, **tags: Any) -> None:
         """Record a point sample."""
-        self.records.append(TraceRecord(time, key, value, tuple(sorted(tags.items()))))
+        record = TraceRecord(time, key, value, tuple(sorted(tags.items())))
+        self.records.append(record)
+        self._records_by_key.setdefault(key, []).append(record)
         if isinstance(value, (int, float)) and not isinstance(value, bool):
             self._stats.setdefault(key, RunningStats()).add(float(value))
 
@@ -59,25 +76,34 @@ class Monitor:
         """Record a labelled time interval."""
         if end < start:
             raise ValueError(f"interval end {end} before start {start}")
-        self.intervals.append(Interval(key, start, end, dict(tags)))
+        record = Interval(key, start, end, dict(tags))
+        self.intervals.append(record)
+        self._intervals_by_key.setdefault(key, []).append(record)
 
     def stats(self, key: str) -> RunningStats:
-        """Summary statistics for a numeric sample key."""
-        return self._stats.setdefault(key, RunningStats())
+        """Summary statistics for a numeric sample key.
+
+        A key that was never sampled yields an empty, *unregistered*
+        stats object — reading must not mutate the monitor, or probing
+        for a key's existence would create it.
+        """
+        stats = self._stats.get(key)
+        return stats if stats is not None else RunningStats()
 
     def series(self, key: str) -> list[tuple[float, Any]]:
         """All (time, value) points recorded under ``key``."""
-        return [(r.time, r.value) for r in self.records if r.key == key]
+        return [(r.time, r.value) for r in self._records_by_key.get(key, ())]
 
     def intervals_for(self, key: str, **tags: Any) -> list[Interval]:
         """Intervals matching ``key`` and every given tag."""
-        out = []
-        for interval in self.intervals:
-            if interval.key != key:
-                continue
-            if all(interval.tags.get(k) == v for k, v in tags.items()):
-                out.append(interval)
-        return out
+        matching = self._intervals_by_key.get(key, ())
+        if not tags:
+            return list(matching)
+        return [
+            interval
+            for interval in matching
+            if all(interval.tags.get(k) == v for k, v in tags.items())
+        ]
 
     def busy_time(self, key: str, **tags: Any) -> float:
         """Total duration across matching intervals (overlaps not merged)."""
@@ -106,3 +132,26 @@ class Monitor:
         if current_start is not None:
             total += current_end - current_start
         return total
+
+
+class MonitorSink:
+    """Adapts a :class:`Monitor` to the telemetry stream.
+
+    Finished spans land as intervals and instant events as samples,
+    keyed identically to the pre-telemetry direct calls ("transfer",
+    "exec", "staging", ...), which is what keeps :class:`Monitor` a
+    thin consumer: figure code reads the same intervals it always did.
+    Duck-typed against :class:`repro.telemetry.TelemetrySink` so this
+    module stays import-light.
+    """
+
+    __slots__ = ("monitor",)
+
+    def __init__(self, monitor: Monitor) -> None:
+        self.monitor = monitor
+
+    def on_span(self, span: Any) -> None:
+        self.monitor.interval(span.key, span.start, span.end, **dict(span.tags))
+
+    def on_event(self, event: Any) -> None:
+        self.monitor.sample(event.time, event.key, event.value, **dict(event.tags))

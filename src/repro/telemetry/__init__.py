@@ -1,0 +1,65 @@
+"""Unified telemetry for both execution planes.
+
+One hub (:class:`Telemetry`) carries three kinds of signal:
+
+* **spans** — [start, end] slices with explicit parent/child links,
+  forming the task-lifecycle trace tree (``spans``),
+* **events** — instant points (VM boots, failures, rate changes),
+* **metrics** — counters/gauges/fixed-bucket histograms aggregated in
+  a :class:`MetricsRegistry` (``metrics``).
+
+The simulated engine binds the hub to the virtual clock; the threaded
+runtime binds a wall clock.  The sim :class:`~repro.sim.monitor.Monitor`
+consumes the same stream through a sink adapter, so Figure 6/7 math
+keeps reading monitor intervals while ``--trace`` exports the full
+Perfetto tree.  When nothing is listening, use :data:`NULL_TELEMETRY`
+— every call is a no-op and hot paths stay untouched.
+"""
+
+from repro.telemetry.export import (
+    chrome_trace,
+    dump_chrome_trace,
+    dump_metrics_json,
+    summarize_trace,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+)
+from repro.telemetry.spans import (
+    EventRecord,
+    NULL_TELEMETRY,
+    NullTelemetry,
+    SpanHandle,
+    SpanRecord,
+    Telemetry,
+    TelemetrySink,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "SpanHandle",
+    "SpanRecord",
+    "Telemetry",
+    "TelemetrySink",
+    "chrome_trace",
+    "dump_chrome_trace",
+    "dump_metrics_json",
+    "summarize_trace",
+    "write_chrome_trace",
+    "write_metrics_json",
+]

@@ -1,0 +1,61 @@
+"""``repro trace`` subcommand implementations.
+
+Kept separate from the main CLI module so the exporter/summary logic
+is importable without argparse, and so the no-print lint exemption for
+``*.cli`` modules covers the user-facing output here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.telemetry.export import summarize_trace
+
+
+def add_trace_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "trace", help="inspect exported trace-event JSON files"
+    )
+    actions = parser.add_subparsers(dest="trace_action", required=True)
+    summarize = actions.add_parser(
+        "summarize", help="human summary of a --trace output file"
+    )
+    summarize.add_argument("path", help="trace-event JSON file to summarize")
+
+
+def run_trace_command(args: argparse.Namespace) -> int:
+    if args.trace_action == "summarize":
+        return summarize_command(args.path)
+    raise SystemExit(f"unknown trace action {args.trace_action!r}")
+
+
+def summarize_command(path: str, stream=None) -> int:
+    stream = stream if stream is not None else sys.stdout
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read trace {path}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        print(f"error: {path} is not a trace-event JSON file", file=sys.stderr)
+        return 2
+    summarize_trace(trace, stream)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace", description="trace inspection tools"
+    )
+    sub = parser.add_subparsers(dest="trace_action", required=True)
+    summarize = sub.add_parser("summarize")
+    summarize.add_argument("path")
+    return run_trace_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,175 @@
+"""Exporters: Chrome/Perfetto trace-event JSON, flat metrics JSON.
+
+The trace format is the Trace Event Format consumed by Perfetto and
+``chrome://tracing``: a ``traceEvents`` list of complete (``ph="X"``),
+instant (``ph="i"``) and metadata (``ph="M"``) events.  Runs map to
+processes and tracks to threads, both numbered in deterministic
+first-appearance order, and serialization uses sorted keys with fixed
+separators — the determinism contract is that a same-seed run exports
+byte-identical JSON.
+
+Timestamps: trace-event ``ts``/``dur`` are microseconds.  Sim time is
+seconds, so spans are scaled by 1e6 and rounded to 3 decimals (ns
+resolution), which keeps float repr stable.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, TextIO
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import Telemetry
+
+_US = 1e6
+
+
+def _ts(seconds: float) -> float:
+    return round(seconds * _US, 3)
+
+
+def chrome_trace(telemetry: Telemetry) -> dict[str, Any]:
+    """Build a Trace-Event-Format dict from a recording hub."""
+    events: list[dict[str, Any]] = []
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+
+    def pid_for(run: str) -> int:
+        pid = pids.get(run)
+        if pid is None:
+            pid = pids[run] = len(pids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": run},
+                }
+            )
+        return pid
+
+    def tid_for(run: str, track: str) -> tuple[int, int]:
+        pid = pid_for(run)
+        tid = tids.get((run, track))
+        if tid is None:
+            tid = tids[(run, track)] = len(tids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": track or "main"},
+                }
+            )
+        return pid, tid
+
+    for span in telemetry.spans:
+        pid, tid = tid_for(span.run, span.track)
+        args: dict[str, Any] = dict(span.tags)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "ph": "X",
+                "name": span.key,
+                "cat": "span",
+                "pid": pid,
+                "tid": tid,
+                "ts": _ts(span.start),
+                "dur": _ts(span.duration),
+                "args": args,
+            }
+        )
+    for ev in telemetry.events:
+        pid, tid = tid_for(ev.run, ev.track)
+        args = dict(ev.tags)
+        if ev.value is not None:
+            args["value"] = ev.value
+        events.append(
+            {
+                "ph": "i",
+                "name": ev.key,
+                "cat": "event",
+                "s": "t",
+                "pid": pid,
+                "tid": tid,
+                "ts": _ts(ev.time),
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def dump_chrome_trace(telemetry: Telemetry) -> str:
+    """Serialize deterministically (sorted keys, fixed separators)."""
+    return json.dumps(chrome_trace(telemetry), sort_keys=True, separators=(",", ":"))
+
+
+def write_chrome_trace(telemetry: Telemetry, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dump_chrome_trace(telemetry))
+        handle.write("\n")
+
+
+def dump_metrics_json(metrics: MetricsRegistry) -> str:
+    """Flat metrics snapshot as stable, human-diffable JSON."""
+    return json.dumps(metrics.snapshot(), sort_keys=True, indent=2)
+
+
+def write_metrics_json(metrics: MetricsRegistry, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dump_metrics_json(metrics))
+        handle.write("\n")
+
+
+# -- summaries ---------------------------------------------------------------
+
+def summarize_trace(trace: dict[str, Any], stream: TextIO) -> None:
+    """Render a human summary of a trace-event dict onto ``stream``.
+
+    Groups complete spans by name with count / total / max duration,
+    lists processes (runs) with their wall span, and counts instants.
+    Used by ``repro trace summarize``.
+    """
+    events = trace.get("traceEvents", [])
+    process_names: dict[int, str] = {}
+    bounds: dict[int, tuple[float, float]] = {}
+    span_agg: dict[str, list[float]] = {}
+    instants: dict[str, int] = {}
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M" and ev.get("name") == "process_name":
+            process_names[ev["pid"]] = ev.get("args", {}).get("name", "?")
+        elif ph == "X":
+            span_agg.setdefault(ev["name"], []).append(ev.get("dur", 0.0))
+            ts, dur = ev.get("ts", 0.0), ev.get("dur", 0.0)
+            lo, hi = bounds.get(ev["pid"], (ts, ts + dur))
+            bounds[ev["pid"]] = (min(lo, ts), max(hi, ts + dur))
+        elif ph == "i":
+            instants[ev["name"]] = instants.get(ev["name"], 0) + 1
+
+    stream.write(f"{len(events)} events, {len(process_names)} run(s)\n")
+    for pid in sorted(process_names):
+        lo, hi = bounds.get(pid, (0.0, 0.0))
+        stream.write(
+            f"  run {process_names[pid]}: {(hi - lo) / _US:.3f}s traced\n"
+        )
+    if span_agg:
+        stream.write("\nspans:\n")
+        header = f"  {'name':<14} {'count':>7} {'total_s':>10} {'max_s':>10}\n"
+        stream.write(header)
+        rows = sorted(
+            span_agg.items(), key=lambda kv: (-sum(kv[1]), kv[0])
+        )
+        for name, durs in rows:
+            stream.write(
+                f"  {name:<14} {len(durs):>7} {sum(durs) / _US:>10.3f}"
+                f" {max(durs) / _US:>10.3f}\n"
+            )
+    if instants:
+        stream.write("\ninstants:\n")
+        for name in sorted(instants):
+            stream.write(f"  {name:<22} {instants[name]:>5}\n")

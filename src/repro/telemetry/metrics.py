@@ -1,0 +1,217 @@
+"""Deterministic metrics: counters, gauges, fixed-bucket histograms.
+
+The registry is the aggregate half of the telemetry layer (spans are
+the event half).  Instruments are cheap mutable cells keyed by
+``name{label=value,...}``; a snapshot renders them into a plain dict
+with sorted keys so the exported JSON is byte-stable across runs.
+
+Determinism rules:
+
+* Histogram bucket boundaries are fixed at creation time (defaulting
+  to :data:`DEFAULT_BUCKETS`); observations never rebucket.
+* Snapshots sort instruments by rendered name, and label rendering
+  sorts label keys, so iteration order of the underlying dicts never
+  leaks into output.
+* No wall-clock anywhere — values are whatever the caller hands in.
+
+Thread-safety: ``inc``/``set``/``observe`` are plain read-modify-write
+operations.  The simulated plane is single-threaded so this is moot;
+the threaded runtime calls them only while holding its scheduler lock
+(see ``runtime/local.py``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterable
+
+#: Default histogram boundaries (seconds-flavoured, log-ish spacing).
+#: Fixed boundaries — rather than adaptive ones — keep exported
+#: histograms byte-identical across same-seed runs.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0,
+    100.0, 500.0, 1000.0, 5000.0,
+)
+
+
+def render_name(name: str, labels: dict[str, Any]) -> str:
+    """``name{k=v,...}`` with sorted label keys; bare name if unlabelled."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """Fixed-boundary histogram with count/sum, Prometheus-style.
+
+    ``counts[i]`` counts observations ``<= buckets[i]``; one extra
+    overflow slot at the end counts everything larger.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "sum")
+
+    def __init__(self, name: str, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(a >= b for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name} buckets must strictly increase")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use and shared thereafter.
+
+    ``counter("scheduler.assigned")`` returns the same :class:`Counter`
+    every call, so hot paths can cache the instrument once and call
+    ``inc`` without a dict lookup.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = render_name(name, labels)
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter(key)
+        return inst
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = render_name(name, labels)
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge(key)
+        return inst
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] | None = None,
+        **labels: Any,
+    ) -> Histogram:
+        key = render_name(name, labels)
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(
+                key, buckets if buckets is not None else DEFAULT_BUCKETS
+            )
+        elif buckets is not None and tuple(float(b) for b in buckets) != inst.buckets:
+            raise ValueError(f"histogram {key} re-registered with different buckets")
+        return inst
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict view with sorted keys; safe to ``json.dumps``."""
+        return {
+            "counters": {
+                k: self._counters[k].value for k in sorted(self._counters)
+            },
+            "gauges": {k: self._gauges[k].value for k in sorted(self._gauges)},
+            "histograms": {
+                k: {
+                    "buckets": list(h.buckets),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "sum": h.sum,
+                }
+                for k, h in sorted(self._histograms.items())
+            },
+        }
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for disabled telemetry."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+    count = 0
+    sum = 0.0
+    buckets: tuple[float, ...] = ()
+    counts: list[int] = []
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Registry whose instruments discard everything.
+
+    Components take ``metrics or NULL_METRICS`` so their hot paths can
+    call ``inc()`` unconditionally — a no-op method call instead of an
+    ``if`` at every site.
+    """
+
+    def counter(self, name: str, **labels: Any) -> Counter:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:  # type: ignore[override]
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(  # type: ignore[override]
+        self,
+        name: str,
+        buckets: Iterable[float] | None = None,
+        **labels: Any,
+    ) -> Histogram:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+
+#: Shared inert registry; never holds state, safe to use as a default.
+NULL_METRICS = NullMetricsRegistry()

@@ -1,0 +1,342 @@
+"""Span tracing over a pluggable clock.
+
+A *span* is a named [start, end] slice of a run with tags and an
+explicit parent, so a task's dispatch → fetch → transfer → execute →
+report chain forms one tree in the exported trace.  An *event* is an
+instant point (a sample, a state transition).
+
+Design constraints, in order:
+
+* **Determinism.**  Span ids come from a per-hub counter, timestamps
+  from the bound clock (the sim clock on the simulated plane), and
+  records are kept in emission order — same seed, same bytes out.
+* **Explicit parents.**  Simulation processes interleave arbitrarily,
+  so an ambient "current span" stack would cross-wire parents between
+  concurrent generators.  Parents are passed by handle instead.
+* **Zero cost when disabled.**  :data:`NULL_TELEMETRY` no-ops every
+  method, and a recording hub only retains records when ``record=True``
+  — sinks (e.g. the :class:`~repro.sim.monitor.Monitor` adapter) still
+  see the stream either way.
+
+The hub is plane-agnostic: the simulated engine binds ``env.now``, the
+threaded runtime binds a wall clock.  Emission (`span_complete`,
+`event`, `end_span`) is safe from worker threads — it only draws from
+an atomic counter and appends to lists — but aggregate metrics are
+not; the threaded runtime increments those under its scheduler lock.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol
+
+from repro.telemetry.metrics import MetricsRegistry, NULL_METRICS
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span, immutable once emitted."""
+
+    span_id: int
+    parent_id: int | None
+    key: str
+    start: float
+    end: float
+    tags: tuple[tuple[str, Any], ...]
+    track: str
+    run: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One instant event."""
+
+    event_id: int
+    key: str
+    time: float
+    value: Any
+    tags: tuple[tuple[str, Any], ...]
+    track: str
+    run: str
+
+
+class TelemetrySink(Protocol):
+    """Consumer of the live span/event stream (e.g. the sim Monitor)."""
+
+    def on_span(self, span: SpanRecord) -> None: ...
+
+    def on_event(self, event: EventRecord) -> None: ...
+
+
+class SpanHandle:
+    """An open span; ``end()`` (or context-manager exit) closes it.
+
+    Handles are what gets threaded through call chains as ``parent=``;
+    ending twice is a no-op so error paths can close defensively.
+    """
+
+    __slots__ = ("_hub", "span_id", "parent_id", "key", "start", "track", "_tags", "_ended")
+
+    def __init__(
+        self,
+        hub: "Telemetry",
+        span_id: int,
+        parent_id: int | None,
+        key: str,
+        start: float,
+        track: str,
+        tags: dict[str, Any],
+    ) -> None:
+        self._hub = hub
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.key = key
+        self.start = start
+        self.track = track
+        self._tags = tags
+        self._ended = False
+
+    def end(self, **extra_tags: Any) -> None:
+        self._hub.end_span(self, **extra_tags)
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.end()
+
+
+def _parent_id(parent: "SpanHandle | SpanRecord | int | None") -> int | None:
+    if parent is None or isinstance(parent, int):
+        return parent
+    return parent.span_id
+
+
+class Telemetry:
+    """The hub: allocates spans, fans records out to sinks.
+
+    ``clock`` is any zero-argument callable; :meth:`bind` rebinds it
+    (plus the run label and the per-run monitor sink) when a hub is
+    shared across several engine runs, e.g. one ``--trace`` file for a
+    whole strategy sweep.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        *,
+        record: bool = False,
+        run: str = "run",
+    ) -> None:
+        self.clock: Callable[[], float] = clock if clock is not None else lambda: 0.0
+        self.record = record
+        self.run = run
+        self.metrics = MetricsRegistry()
+        self.spans: list[SpanRecord] = []
+        self.events: list[EventRecord] = []
+        self._sinks: list[TelemetrySink] = []
+        self._monitor_sink: TelemetrySink | None = None
+        self._ids = itertools.count(1)
+
+    # -- wiring -------------------------------------------------------------
+
+    def bind(
+        self,
+        *,
+        clock: Callable[[], float] | None = None,
+        run: str | None = None,
+        monitor: TelemetrySink | None = None,
+    ) -> None:
+        """Attach this hub to a (new) run.
+
+        The monitor sink is a single replaceable slot — each engine run
+        swaps in an adapter for *its* monitor, so a hub shared across a
+        sweep never leaks one run's spans into another run's figures.
+        """
+        if clock is not None:
+            self.clock = clock
+        if run is not None:
+            self.run = run
+        if monitor is not None:
+            self._monitor_sink = monitor
+
+    def add_sink(self, sink: TelemetrySink) -> None:
+        """Register a persistent sink (kept across :meth:`bind` calls)."""
+        self._sinks.append(sink)
+
+    @property
+    def enabled(self) -> bool:
+        """True when emitting has any observable effect."""
+        return self.record or self._monitor_sink is not None or bool(self._sinks)
+
+    # -- span API -----------------------------------------------------------
+
+    def span(
+        self,
+        key: str,
+        *,
+        parent: SpanHandle | SpanRecord | int | None = None,
+        track: str = "",
+        start: float | None = None,
+        **tags: Any,
+    ) -> SpanHandle:
+        """Open a span.  Usable as a context manager for non-yielding
+        scopes; simulation processes hold the handle and call ``end()``
+        explicitly because the scope crosses ``yield``\\ s."""
+        return SpanHandle(
+            self,
+            next(self._ids),
+            _parent_id(parent),
+            key,
+            self.clock() if start is None else start,
+            track,
+            tags,
+        )
+
+    # Alias that reads better at explicit start/end call sites.
+    start_span = span
+
+    def end_span(self, handle: SpanHandle, **extra_tags: Any) -> None:
+        if handle._ended:
+            return
+        handle._ended = True
+        tags = handle._tags
+        if extra_tags:
+            tags = {**tags, **extra_tags}
+        self._emit_span(
+            SpanRecord(
+                handle.span_id,
+                handle.parent_id,
+                handle.key,
+                handle.start,
+                self.clock(),
+                tuple(sorted(tags.items())),
+                handle.track,
+                self.run,
+            )
+        )
+
+    def span_complete(
+        self,
+        key: str,
+        start: float,
+        end: float,
+        *,
+        parent: SpanHandle | SpanRecord | int | None = None,
+        track: str = "",
+        **tags: Any,
+    ) -> SpanRecord:
+        """Record a span whose start/end the caller already measured
+        (flow retirement, completed transfers)."""
+        record = SpanRecord(
+            next(self._ids),
+            _parent_id(parent),
+            key,
+            start,
+            end,
+            tuple(sorted(tags.items())),
+            track,
+            self.run,
+        )
+        self._emit_span(record)
+        return record
+
+    def event(
+        self,
+        key: str,
+        value: Any = None,
+        *,
+        time: float | None = None,
+        track: str = "",
+        **tags: Any,
+    ) -> None:
+        """Record an instant event."""
+        record = EventRecord(
+            next(self._ids),
+            key,
+            self.clock() if time is None else time,
+            value,
+            tuple(sorted(tags.items())),
+            track,
+            self.run,
+        )
+        if self.record:
+            self.events.append(record)
+        sink = self._monitor_sink
+        if sink is not None:
+            sink.on_event(record)
+        for extra in self._sinks:
+            extra.on_event(record)
+
+    # -- internals ----------------------------------------------------------
+
+    def _emit_span(self, record: SpanRecord) -> None:
+        if self.record:
+            self.spans.append(record)
+        sink = self._monitor_sink
+        if sink is not None:
+            sink.on_span(record)
+        for extra in self._sinks:
+            extra.on_span(record)
+
+
+class _NullSpanHandle(SpanHandle):
+    """Inert handle returned by :class:`NullTelemetry`; shared, never ends."""
+
+    def __init__(self) -> None:
+        super().__init__(None, 0, None, "", 0.0, "", {})  # type: ignore[arg-type]
+
+    def end(self, **extra_tags: Any) -> None:
+        pass
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpanHandle()
+
+
+class NullTelemetry(Telemetry):
+    """A hub that discards everything — the zero-cost disabled path.
+
+    Components default to this so instrumented code never branches on
+    "is telemetry on"; every method is a cheap no-op and the metrics
+    registry is :data:`~repro.telemetry.metrics.NULL_METRICS`.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.metrics = NULL_METRICS
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def bind(self, **kwargs: Any) -> None:  # type: ignore[override]
+        pass
+
+    def add_sink(self, sink: TelemetrySink) -> None:
+        raise ValueError("cannot attach sinks to NULL_TELEMETRY")
+
+    def span(self, key: str, **kwargs: Any) -> SpanHandle:  # type: ignore[override]
+        return _NULL_SPAN
+
+    start_span = span
+
+    def end_span(self, handle: SpanHandle, **extra_tags: Any) -> None:
+        pass
+
+    def span_complete(self, key: str, start: float, end: float, **kw: Any):  # type: ignore[override]
+        return None
+
+    def event(self, key: str, value: Any = None, **kwargs: Any) -> None:
+        pass
+
+
+#: Shared inert hub, safe as a default argument anywhere.
+NULL_TELEMETRY = NullTelemetry()

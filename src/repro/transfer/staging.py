@@ -17,8 +17,10 @@ from dataclasses import dataclass, field
 from repro.cloud.network import FlowNetwork
 from repro.errors import TransferError
 from repro.sim.kernel import Environment
-from repro.sim.monitor import Monitor
+from repro.sim.monitor import Monitor, MonitorSink
 from repro.sim.resources import Resource
+from repro.telemetry.metrics import NULL_METRICS
+from repro.telemetry.spans import SpanHandle, Telemetry
 from repro.transfer.base import TransferProtocol, TransferRequest, TransferResult
 
 
@@ -31,17 +33,30 @@ class TransferService:
         network: FlowNetwork,
         protocol: TransferProtocol,
         monitor: Monitor | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.env = env
         self.network = network
         self.protocol = protocol
         self.monitor = monitor
+        if telemetry is None and monitor is not None:
+            # Legacy construction: adapt the bare monitor so "transfer"
+            # intervals land exactly where they always did.
+            telemetry = Telemetry(clock=lambda: env.now)
+            telemetry.bind(monitor=MonitorSink(monitor))
+        self.telemetry = telemetry
+        metrics = telemetry.metrics if telemetry is not None else NULL_METRICS
+        self._m_count = metrics.counter("transfer.count")
+        self._m_bytes = metrics.counter("transfer.bytes")
+        self._h_seconds = metrics.histogram("transfer.seconds")
         self.results: list[TransferResult] = []
 
-    def transfer(self, request: TransferRequest):
+    def transfer(self, request: TransferRequest, parent: SpanHandle | None = None):
         """Process: move one file; returns a :class:`TransferResult`.
 
         Use as ``result = yield env.process(service.transfer(req))``.
+        ``parent`` links the emitted "transfer" span into the
+        requester's trace tree (e.g. a task's fetch span).
         """
         start = self.env.now
         if self.protocol.handshake_latency > 0:
@@ -67,10 +82,19 @@ class TransferService:
             end=self.env.now,
         )
         self.results.append(result)
-        if self.monitor is not None:
-            self.monitor.interval(
-                "transfer", start, result.end, file=request.file_name, tag=request.tag
+        if self.telemetry is not None:
+            self.telemetry.span_complete(
+                "transfer",
+                start,
+                result.end,
+                parent=parent,
+                track="network",
+                file=request.file_name,
+                tag=request.tag,
             )
+        self._m_count.inc()
+        self._m_bytes.inc(request.nbytes)
+        self._h_seconds.observe(result.end - start)
         return result
 
 
@@ -94,10 +118,11 @@ class StagingPlan:
     def total_bytes(self) -> int:
         return sum(r.nbytes for r in self.requests)
 
-    def execute(self, service: TransferService):
+    def execute(self, service: TransferService, parent: SpanHandle | None = None):
         """Process: run all transfers; returns list of results in finish order.
 
         Use as ``results = yield env.process(plan.execute(service))``.
+        ``parent`` is forwarded to each transfer's span.
         """
         if self.concurrency < 1:
             raise TransferError("staging concurrency must be >= 1")
@@ -108,7 +133,7 @@ class StagingPlan:
         def one(request: TransferRequest):
             with gate.request() as slot:
                 yield slot
-                result = yield env.process(service.transfer(request))
+                result = yield env.process(service.transfer(request, parent=parent))
             results.append(result)
             return result
 

@@ -8,6 +8,7 @@ from repro.cloud.cluster import ClusterSpec
 from repro.core.framework import RunOutcome
 from repro.core.strategies import StrategyKind
 from repro.engines.simulated import SimulatedEngine, SimulationOptions
+from repro.telemetry.spans import Telemetry
 from repro.workloads.profiles import AppProfile, sequential_cluster
 
 
@@ -37,6 +38,7 @@ def run_sequential_baseline(
     profile: AppProfile,
     *,
     options: SimulationOptions | None = None,
+    telemetry: Telemetry | None = None,
 ) -> RunOutcome:
     """Table I's sequential column: one VM, one program instance,
     data local (no distribution at all)."""
@@ -50,6 +52,7 @@ def run_sequential_baseline(
         grouping_options=profile.grouping_options,
         common_files=profile.common_files,
         multicore=False,
+        telemetry=telemetry,
     )
 
 

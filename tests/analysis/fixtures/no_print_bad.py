@@ -1,0 +1,9 @@
+"""Bad: library code writing progress to stdout."""
+
+
+def assign(scheduler, worker_id):
+    assignment = scheduler.next_for(worker_id)
+    print(f"assigned {assignment} to {worker_id}")
+    if assignment is None:
+        print("no work left")
+    return assignment

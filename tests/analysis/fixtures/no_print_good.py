@@ -1,0 +1,7 @@
+"""Good: library code reports through telemetry, not stdout."""
+
+
+def assign(scheduler, worker_id, telemetry):
+    assignment = scheduler.next_for(worker_id)
+    telemetry.event("scheduler.assigned", worker_id, track="control")
+    return assignment

@@ -141,6 +141,7 @@ def test_all_rule_packs_registered():
         "real-io",
         "instant-trigger",
         "double-trigger",
+        "no-print",
     }
     assert all(rule.description for rule in iter_rules())
 

@@ -47,6 +47,7 @@ EXPECTED = {
         (12, "instant-trigger"),
     ],
     "double_trigger": [(7, "double-trigger"), (13, "double-trigger")],
+    "no_print": [(6, "no-print"), (8, "no-print")],
 }
 
 
@@ -72,6 +73,15 @@ def test_good_fixture_clean(stem):
 
 def test_pragma_fixture_fully_suppressed():
     assert _analyze("pragmas") == []
+
+
+def test_no_print_exempts_output_surfaces():
+    # The same file analyzed as a CLI / plotting / table module is
+    # clean: stdout is exactly what those surfaces are for.
+    path = os.path.join(FIXTURES, "no_print_bad.py")
+    for module in ("repro.cli", "repro.experiments.plots", "repro.util.tables"):
+        findings = analyze_file(path, module=module)
+        assert [f for f in findings if f.rule == "no-print"] == []
 
 
 def test_real_io_only_applies_to_simulation_modules():

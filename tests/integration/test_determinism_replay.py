@@ -57,3 +57,29 @@ def test_different_seeds_diverge():
     base = _run_once(StrategyKind.REAL_TIME, seed=11, mttf=600.0)
     other = _run_once(StrategyKind.REAL_TIME, seed=12, mttf=600.0)
     assert _schedule_digest(base) != _schedule_digest(other)
+
+
+def _trace_bytes(seed: int) -> str:
+    from repro.telemetry import Telemetry, dump_chrome_trace
+
+    telemetry = Telemetry(record=True)
+    profile = als_profile(scale=0.1, seed=seed)
+    run_profile(
+        profile,
+        StrategyKind.REAL_TIME,
+        options=SimulationOptions(seed=seed),
+        failure_mttf=600.0,
+        telemetry=telemetry,
+    )
+    return dump_chrome_trace(telemetry)
+
+
+def test_same_seed_exports_byte_identical_trace():
+    # The exporter's determinism contract: span ids, pid/tid numbering,
+    # timestamp rounding, and key ordering are all pure functions of
+    # the seeded schedule.
+    assert _trace_bytes(seed=7) == _trace_bytes(seed=7)
+
+
+def test_different_seed_traces_diverge():
+    assert _trace_bytes(seed=7) != _trace_bytes(seed=8)

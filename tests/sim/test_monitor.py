@@ -35,6 +35,22 @@ class TestSamples:
         m.sample(0.0, "x", 1, worker="w0")
         assert m.records[0].tags == (("worker", "w0"),)
 
+    def test_stats_read_does_not_mutate(self):
+        # Probing an unknown key must not register it: reads are pure.
+        m = Monitor()
+        empty = m.stats("never-sampled")
+        assert empty.count == 0
+        empty.add(99.0)  # mutating the returned throwaway is harmless
+        assert m.stats("never-sampled").count == 0
+        m.sample(0.0, "real", 1.0)
+        assert m.stats("real").count == 1
+
+    def test_series_unknown_key_empty_without_registration(self):
+        m = Monitor()
+        assert m.series("ghost") == []
+        m.sample(1.0, "ghost", 5)
+        assert m.series("ghost") == [(1.0, 5)]
+
 
 class TestIntervals:
     def test_invalid_interval_rejected(self):
@@ -80,4 +96,43 @@ class TestIntervals:
         m = Monitor()
         m.interval("a", 0, 1)
         m.interval("b", 0, 2)
+        assert len(m.intervals_for("a")) == 1
+
+    def test_union_zero_length_intervals(self):
+        m = Monitor()
+        m.interval("t", 3, 3)
+        assert m.union_time("t") == 0.0
+        # A zero-length interval inside a covered range adds nothing.
+        m.interval("t", 0, 5)
+        m.interval("t", 2, 2)
+        assert m.union_time("t") == pytest.approx(5.0)
+
+    def test_union_identical_starts_different_ends(self):
+        m = Monitor()
+        m.interval("t", 1, 2)
+        m.interval("t", 1, 6)
+        m.interval("t", 1, 4)
+        assert m.union_time("t") == pytest.approx(5.0)
+
+    def test_union_zero_length_touching_nonzero(self):
+        m = Monitor()
+        m.interval("t", 2, 2)
+        m.interval("t", 2, 5)
+        assert m.union_time("t") == pytest.approx(3.0)
+
+    def test_index_matches_append_order_and_global_list(self):
+        m = Monitor()
+        m.interval("a", 0, 1, worker="w0")
+        m.interval("b", 1, 2)
+        m.interval("a", 2, 3, worker="w1")
+        by_key = m.intervals_for("a")
+        assert [i.start for i in by_key] == [0, 2]
+        assert [i for i in m.intervals if i.key == "a"] == by_key
+        assert m.intervals_for("a", worker="w1")[0].start == 2
+
+    def test_intervals_for_returns_copy(self):
+        m = Monitor()
+        m.interval("a", 0, 1)
+        listing = m.intervals_for("a")
+        listing.clear()
         assert len(m.intervals_for("a")) == 1

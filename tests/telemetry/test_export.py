@@ -1,0 +1,154 @@
+"""Exporter tests: trace-event schema, golden bytes, metrics JSON."""
+
+import io
+import json
+import os
+
+from repro.telemetry import (
+    Telemetry,
+    chrome_trace,
+    dump_chrome_trace,
+    dump_metrics_json,
+    summarize_trace,
+)
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden_trace.json")
+
+
+def build_reference_hub() -> Telemetry:
+    """A small hand-built trace: two runs, span trees, events, metrics.
+
+    Everything is explicit (fixed clock values, fixed insertion order),
+    so the exported JSON is a pure function of this code — that is what
+    the golden file pins down.
+    """
+    clock = [0.0]
+    tel = Telemetry(lambda: clock[0], record=True)
+    tel.bind(run="als:real_time")
+    run = tel.span("run", track="control", start=0.0, dataset="als")
+    task = tel.span(
+        "task", parent=run, track="worker:w0", start=1.0, task=0, worker="w0"
+    )
+    tel.span_complete(
+        "transfer", 1.5, 3.0, parent=task, track="network", file="part-0.bin"
+    )
+    tel.span_complete("exec", 3.0, 7.25, parent=task, track="worker:w0", task=0)
+    clock[0] = 7.25
+    tel.end_span(task)
+    tel.event("task.report", 0, time=7.25, track="worker:w0", worker="w0")
+    clock[0] = 7.5
+    tel.end_span(run, tasks=1)
+    tel.metrics.counter("scheduler.completed").inc()
+    tel.metrics.counter("storage.read_bytes", tier="local").inc(4096)
+    tel.metrics.gauge("billing.total_usd").set(0.42)
+    tel.metrics.histogram("task.exec_seconds", buckets=(1.0, 10.0)).observe(4.25)
+
+    tel.bind(run="als:pre_partitioned_remote")
+    with tel.span("staging", track="control", start=0.0, files=2) as staging:
+        pass
+    tel.event("vm.booted", "vm-1", time=0.5, track="control")
+    return tel
+
+
+class TestTraceSchema:
+    def setup_method(self):
+        self.trace = chrome_trace(build_reference_hub())
+
+    def test_top_level_shape(self):
+        assert set(self.trace) == {"traceEvents", "displayTimeUnit"}
+        assert self.trace["displayTimeUnit"] == "ms"
+
+    def test_every_event_has_required_fields(self):
+        for ev in self.trace["traceEvents"]:
+            assert ev["ph"] in ("X", "i", "M")
+            assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+            if ev["ph"] == "X":
+                assert set(ev) == {"ph", "name", "cat", "pid", "tid", "ts", "dur", "args"}
+                assert ev["dur"] >= 0
+            elif ev["ph"] == "i":
+                assert ev["s"] == "t"
+            else:
+                assert ev["name"] in ("process_name", "thread_name")
+
+    def test_runs_become_processes(self):
+        names = [
+            ev["args"]["name"]
+            for ev in self.trace["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "process_name"
+        ]
+        assert names == ["als:real_time", "als:pre_partitioned_remote"]
+
+    def test_tracks_become_threads_with_metadata(self):
+        threads = {
+            (ev["pid"], ev["args"]["name"])
+            for ev in self.trace["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        }
+        assert (1, "control") in threads
+        assert (1, "worker:w0") in threads
+        assert (1, "network") in threads
+        assert (2, "control") in threads
+
+    def test_timestamps_are_microseconds(self):
+        execs = [
+            ev
+            for ev in self.trace["traceEvents"]
+            if ev["ph"] == "X" and ev["name"] == "exec"
+        ]
+        (ev,) = execs
+        assert ev["ts"] == 3.0e6
+        assert ev["dur"] == 4.25e6
+
+    def test_parent_ids_preserved_in_args(self):
+        spans = {
+            ev["args"]["span_id"]: ev
+            for ev in self.trace["traceEvents"]
+            if ev["ph"] == "X"
+        }
+        transfer = next(
+            ev for ev in spans.values() if ev["name"] == "transfer"
+        )
+        task = next(ev for ev in spans.values() if ev["name"] == "task")
+        assert transfer["args"]["parent_id"] == task["args"]["span_id"]
+
+
+class TestGoldenBytes:
+    def test_export_matches_golden_file(self):
+        # Byte-exact: any drift in id allocation, rounding, key order,
+        # or separator policy shows up as a diff of this file.
+        produced = dump_chrome_trace(build_reference_hub()) + "\n"
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            assert produced == handle.read()
+
+    def test_rebuild_is_byte_identical(self):
+        assert dump_chrome_trace(build_reference_hub()) == dump_chrome_trace(
+            build_reference_hub()
+        )
+
+
+class TestMetricsJson:
+    def test_dump_is_stable_and_parseable(self):
+        tel = build_reference_hub()
+        first = dump_metrics_json(tel.metrics)
+        assert first == dump_metrics_json(tel.metrics)
+        parsed = json.loads(first)
+        assert parsed["counters"]["scheduler.completed"] == 1
+        assert parsed["counters"]["storage.read_bytes{tier=local}"] == 4096
+        assert parsed["gauges"]["billing.total_usd"] == 0.42
+        hist = parsed["histograms"]["task.exec_seconds"]
+        assert hist["counts"] == [0, 1, 0]
+
+
+class TestSummarize:
+    def test_summary_counts_and_durations(self):
+        out = io.StringIO()
+        summarize_trace(chrome_trace(build_reference_hub()), out)
+        text = out.getvalue()
+        assert "2 run(s)" in text
+        assert "run als:real_time: 7.500s traced" in text
+        assert "exec" in text and "task.report" in text
+
+    def test_empty_trace_summarizes(self):
+        out = io.StringIO()
+        summarize_trace({"traceEvents": []}, out)
+        assert "0 events, 0 run(s)" in out.getvalue()

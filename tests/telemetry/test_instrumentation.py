@@ -1,0 +1,146 @@
+"""Telemetry wired through the engines: spans, causality, metrics.
+
+These run a small simulated workload (and one threaded run) with a
+recording hub attached and assert the emitted stream has the shape the
+tentpole promises: a run-rooted span tree per task, monitor parity,
+and populated substrate/control-plane metrics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.strategies import StrategyKind
+from repro.telemetry import Telemetry
+from repro.workloads import als_profile, run_profile
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    telemetry = Telemetry(record=True)
+    outcome = run_profile(
+        als_profile(scale=0.1, seed=3),
+        StrategyKind.REAL_TIME,
+        telemetry=telemetry,
+    )
+    return telemetry, outcome
+
+
+def _by_key(telemetry, key):
+    return [s for s in telemetry.spans if s.key == key]
+
+
+class TestSpanTree:
+    def test_single_run_root(self, traced_run):
+        telemetry, outcome = traced_run
+        (run,) = _by_key(telemetry, "run")
+        assert run.parent_id is None
+        assert run.track == "control"
+        assert dict(run.tags)["tasks"] == outcome.tasks_completed
+
+    def test_task_spans_parented_to_run(self, traced_run):
+        telemetry, outcome = traced_run
+        (run,) = _by_key(telemetry, "run")
+        tasks = _by_key(telemetry, "task")
+        assert len(tasks) == outcome.tasks_completed
+        assert all(t.parent_id == run.span_id for t in tasks)
+        assert all(t.track.startswith("worker:") for t in tasks)
+
+    def test_dispatch_fetch_exec_chain_under_each_task(self, traced_run):
+        telemetry, _ = traced_run
+        task_ids = {t.span_id for t in _by_key(telemetry, "task")}
+        for key in ("dispatch", "exec"):
+            spans = _by_key(telemetry, key)
+            assert spans, key
+            assert all(s.parent_id in task_ids for s in spans), key
+        fetch_ids = {f.span_id for f in _by_key(telemetry, "fetch")}
+        assert fetch_ids  # real-time pulls inputs lazily
+        assert all(f.parent_id in task_ids for f in _by_key(telemetry, "fetch"))
+        # Transfers hang off the fetch that requested them.
+        transfers = _by_key(telemetry, "transfer")
+        assert transfers
+        assert all(t.parent_id in fetch_ids for t in transfers)
+        assert all(t.track == "network" for t in transfers)
+
+    def test_spans_ordered_and_within_run(self, traced_run):
+        telemetry, _ = traced_run
+        (run,) = _by_key(telemetry, "run")
+        for span in telemetry.spans:
+            assert span.end >= span.start
+            assert span.end <= run.end
+
+    def test_run_label_stamped(self, traced_run):
+        telemetry, _ = traced_run
+        assert {s.run for s in telemetry.spans} == {"als-images:real_time"}
+
+
+class TestMonitorParity:
+    def test_outcome_figures_still_derive_from_monitor(self, traced_run):
+        # Monitor consumes the same stream, so the Fig 6 decomposition
+        # must agree with the recorded spans.
+        telemetry, outcome = traced_run
+        execs = _by_key(telemetry, "exec")
+        assert outcome.execution_time > 0
+        assert sum(s.duration for s in execs) >= outcome.execution_time
+        assert outcome.transfer_time > 0
+
+
+class TestMetrics:
+    def test_scheduler_and_substrate_counters(self, traced_run):
+        telemetry, outcome = traced_run
+        counters = telemetry.metrics.snapshot()["counters"]
+        assert counters["scheduler.completed"] == outcome.tasks_completed
+        assert counters["scheduler.assigned"] >= outcome.tasks_completed
+        assert counters["network.flows_completed"] > 0
+        assert counters["network.bytes_moved"] > 0
+        assert counters["cluster.vms_booted"] > 0
+        assert counters["transfer.count"] == len(_by_key(telemetry, "transfer"))
+        assert any(k.startswith("storage.read_bytes") for k in counters)
+
+    def test_exec_histogram_observed_per_task(self, traced_run):
+        telemetry, outcome = traced_run
+        hist = telemetry.metrics.snapshot()["histograms"]["task.exec_seconds"]
+        assert hist["count"] == outcome.tasks_completed
+
+    def test_metrics_snapshot_in_outcome_extra(self, traced_run):
+        _, outcome = traced_run
+        assert outcome.extra["metrics"]["counters"]["scheduler.completed"] == (
+            outcome.tasks_completed
+        )
+
+
+class TestDisabledPath:
+    def test_untraced_run_keeps_monitor_based_outcome(self):
+        # No hub passed: the engine builds a private hub whose only
+        # consumer is the monitor; nothing is retained.
+        outcome = run_profile(als_profile(scale=0.1, seed=3), StrategyKind.REAL_TIME)
+        assert outcome.execution_time > 0
+        assert outcome.extra["metrics"]["counters"]["scheduler.completed"] == (
+            outcome.tasks_completed
+        )
+
+
+class TestThreadedEngine:
+    def test_threaded_runtime_emits_same_shape(self, tmp_path):
+        from repro.runtime.local import ThreadedEngine
+
+        for i in range(4):
+            (tmp_path / f"in{i}.txt").write_text("payload\n")
+        telemetry = Telemetry(record=True)
+        seen = []
+        outcome = ThreadedEngine(num_workers=2).run(
+            [str(tmp_path / f"in{i}.txt") for i in range(4)],
+            command=lambda *paths: seen.append(paths),
+            telemetry=telemetry,
+        )
+        assert outcome.tasks_completed == 4
+        (run,) = _by_key(telemetry, "run")
+        tasks = _by_key(telemetry, "task")
+        assert len(tasks) == 4
+        assert all(t.parent_id == run.span_id for t in tasks)
+        execs = _by_key(telemetry, "exec")
+        assert len(execs) == 4
+        counters = telemetry.metrics.snapshot()["counters"]
+        assert counters["scheduler.completed"] == 4
+        hist = telemetry.metrics.snapshot()["histograms"]["task.exec_seconds"]
+        assert hist["count"] == 4

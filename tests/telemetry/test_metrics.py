@@ -1,0 +1,115 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    render_name,
+)
+
+
+class TestRenderName:
+    def test_bare_name_unchanged(self):
+        assert render_name("a.b", {}) == "a.b"
+
+    def test_labels_sorted(self):
+        assert render_name("reads", {"tier": "local", "a": 1}) == "reads{a=1,tier=local}"
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.counter("x", tier="a") is not registry.counter("x", tier="b")
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10.0)
+        gauge.add(-3.0)
+        assert gauge.value == pytest.approx(7.0)
+
+
+class TestHistogram:
+    def test_buckets_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_observation_lands_in_le_bucket(self):
+        hist = Histogram("h", buckets=(1.0, 10.0))
+        hist.observe(0.5)  # <= 1.0
+        hist.observe(1.0)  # <= 1.0 (boundary included)
+        hist.observe(5.0)  # <= 10.0
+        hist.observe(99.0)  # overflow
+        assert hist.counts == [2, 1, 1]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(105.5)
+
+    def test_default_buckets_fixed(self):
+        hist = MetricsRegistry().histogram("h")
+        assert hist.buckets == DEFAULT_BUCKETS
+
+    def test_rebucketing_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+        # Same buckets (or unspecified) is fine.
+        assert registry.histogram("h", buckets=(1.0, 2.0)).buckets == (1.0, 2.0)
+        assert registry.histogram("h").buckets == (1.0, 2.0)
+
+
+class TestSnapshot:
+    def test_snapshot_shape_and_sorting(self):
+        registry = MetricsRegistry()
+        registry.counter("b").inc()
+        registry.counter("a").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        assert snap["counters"]["a"] == 2
+        assert snap["gauges"]["g"] == 1.5
+        assert snap["histograms"]["h"] == {
+            "buckets": [1.0],
+            "counts": [1, 0],
+            "count": 1,
+            "sum": 0.5,
+        }
+
+    def test_len_counts_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.gauge("b")
+        registry.histogram("c")
+        assert len(registry) == 3
+
+
+class TestNullRegistry:
+    def test_discards_everything(self):
+        NULL_METRICS.counter("x", tier="a").inc(5)
+        NULL_METRICS.gauge("y").set(3)
+        NULL_METRICS.histogram("z").observe(1.0)
+        assert len(NULL_METRICS) == 0
+        assert NULL_METRICS.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }

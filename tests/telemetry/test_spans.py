@@ -1,0 +1,173 @@
+"""Unit tests for the telemetry hub: spans, events, sinks, null path."""
+
+import pytest
+
+from repro.sim.monitor import Monitor, MonitorSink
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    SpanRecord,
+    Telemetry,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestSpanLifecycle:
+    def test_span_records_start_end_and_tags(self):
+        clock = FakeClock()
+        tel = Telemetry(clock, record=True)
+        handle = tel.span("exec", worker="w0")
+        clock.now = 5.0
+        handle.end(ok=True)
+        (span,) = tel.spans
+        assert span.key == "exec"
+        assert span.start == 0.0 and span.end == 5.0
+        assert span.tags == (("ok", True), ("worker", "w0"))
+
+    def test_context_manager_closes(self):
+        clock = FakeClock()
+        tel = Telemetry(clock, record=True)
+        with tel.span("staging"):
+            clock.now = 2.0
+        assert tel.spans[0].end == 2.0
+
+    def test_double_end_is_noop(self):
+        tel = Telemetry(FakeClock(), record=True)
+        handle = tel.span("x")
+        handle.end()
+        handle.end()
+        assert len(tel.spans) == 1
+
+    def test_parent_linkage_by_handle_and_record(self):
+        tel = Telemetry(FakeClock(), record=True)
+        root = tel.span("run")
+        child = tel.span_complete("task", 0.0, 1.0, parent=root)
+        assert isinstance(child, SpanRecord)
+        assert child.parent_id == root.span_id
+        grandchild = tel.span_complete("exec", 0.0, 0.5, parent=child)
+        assert grandchild.parent_id == child.span_id
+
+    def test_explicit_start_overrides_clock(self):
+        clock = FakeClock()
+        clock.now = 9.0
+        tel = Telemetry(clock, record=True)
+        handle = tel.span("task", start=4.0)
+        handle.end()
+        assert tel.spans[0].start == 4.0
+
+    def test_ids_are_sequential_per_hub(self):
+        tel = Telemetry(FakeClock(), record=True)
+        a = tel.span_complete("a", 0, 1)
+        b = tel.span_complete("b", 1, 2)
+        assert (a.span_id, b.span_id) == (1, 2)
+
+    def test_events_record_value_and_time(self):
+        clock = FakeClock()
+        clock.now = 3.0
+        tel = Telemetry(clock, record=True)
+        tel.event("vm.failed", "vm-2", cause="mttf")
+        (event,) = tel.events
+        assert event.time == 3.0
+        assert event.value == "vm-2"
+        assert event.tags == (("cause", "mttf"),)
+
+
+class TestBindAndSinks:
+    def test_monitor_sink_receives_span_as_interval(self):
+        monitor = Monitor()
+        tel = Telemetry(FakeClock())
+        tel.bind(monitor=MonitorSink(monitor))
+        tel.span_complete("transfer", 1.0, 4.0, file="a.bin")
+        (interval,) = monitor.intervals_for("transfer")
+        assert (interval.start, interval.end) == (1.0, 4.0)
+        assert interval.tags == {"file": "a.bin"}
+
+    def test_monitor_sink_receives_event_as_sample(self):
+        monitor = Monitor()
+        tel = Telemetry(FakeClock())
+        tel.bind(monitor=MonitorSink(monitor))
+        tel.event("queue", 7, time=2.0)
+        assert monitor.series("queue") == [(2.0, 7)]
+
+    def test_rebind_replaces_monitor_sink(self):
+        # A hub shared across a sweep must not leak run A's spans into
+        # run B's monitor.
+        first, second = Monitor(), Monitor()
+        tel = Telemetry(FakeClock())
+        tel.bind(monitor=MonitorSink(first))
+        tel.span_complete("exec", 0, 1)
+        tel.bind(monitor=MonitorSink(second))
+        tel.span_complete("exec", 1, 2)
+        assert len(first.intervals_for("exec")) == 1
+        assert len(second.intervals_for("exec")) == 1
+
+    def test_rebind_run_label_stamps_subsequent_records(self):
+        tel = Telemetry(FakeClock(), record=True)
+        tel.bind(run="als:real_time")
+        tel.span_complete("exec", 0, 1)
+        tel.bind(run="als:pre_partitioned_remote")
+        tel.span_complete("exec", 1, 2)
+        assert [s.run for s in tel.spans] == [
+            "als:real_time",
+            "als:pre_partitioned_remote",
+        ]
+
+    def test_persistent_sinks_survive_rebinding(self):
+        seen = []
+
+        class Sink:
+            def on_span(self, span):
+                seen.append(span.key)
+
+            def on_event(self, event):
+                pass
+
+        tel = Telemetry(FakeClock())
+        tel.add_sink(Sink())
+        tel.bind(monitor=MonitorSink(Monitor()))
+        tel.span_complete("a", 0, 1)
+        tel.bind(monitor=MonitorSink(Monitor()))
+        tel.span_complete("b", 1, 2)
+        assert seen == ["a", "b"]
+
+    def test_enabled_reflects_consumers(self):
+        tel = Telemetry(FakeClock())
+        assert not tel.enabled
+        tel.bind(monitor=MonitorSink(Monitor()))
+        assert tel.enabled
+        assert Telemetry(FakeClock(), record=True).enabled
+
+    def test_record_false_keeps_no_lists(self):
+        tel = Telemetry(FakeClock())
+        tel.bind(monitor=MonitorSink(Monitor()))
+        tel.span_complete("exec", 0, 1)
+        tel.event("x")
+        assert tel.spans == [] and tel.events == []
+
+
+class TestNullTelemetry:
+    def test_all_operations_are_noops(self):
+        handle = NULL_TELEMETRY.span("anything", worker="w0")
+        handle.end(ok=True)
+        with NULL_TELEMETRY.span("scoped"):
+            pass
+        assert NULL_TELEMETRY.span_complete("x", 0, 1) is None
+        NULL_TELEMETRY.event("x", 1)
+        NULL_TELEMETRY.bind(run="ignored")
+        assert not NULL_TELEMETRY.enabled
+        assert NULL_TELEMETRY.spans == [] and NULL_TELEMETRY.events == []
+
+    def test_null_metrics_attached(self):
+        counter = NULL_TELEMETRY.metrics.counter("whatever")
+        counter.inc()
+        assert len(NULL_TELEMETRY.metrics) == 0
+
+    def test_sinks_rejected(self):
+        with pytest.raises(ValueError):
+            NULL_TELEMETRY.add_sink(object())

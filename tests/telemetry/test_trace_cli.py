@@ -1,0 +1,78 @@
+"""`repro trace summarize` CLI behaviour."""
+
+import io
+import json
+
+from repro import cli as repro_cli
+from repro.telemetry.cli import summarize_command
+
+
+def _write_trace(path):
+    trace = {
+        "traceEvents": [
+            {"ph": "M", "name": "process_name", "pid": 1, "tid": 0, "args": {"name": "r"}},
+            {
+                "ph": "X",
+                "name": "exec",
+                "cat": "span",
+                "pid": 1,
+                "tid": 1,
+                "ts": 0.0,
+                "dur": 2.0e6,
+                "args": {},
+            },
+        ],
+        "displayTimeUnit": "ms",
+    }
+    path.write_text(json.dumps(trace))
+
+
+def test_summarize_command_renders(tmp_path):
+    trace = tmp_path / "t.json"
+    _write_trace(trace)
+    out = io.StringIO()
+    assert summarize_command(str(trace), stream=out) == 0
+    text = out.getvalue()
+    assert "1 run(s)" in text
+    assert "exec" in text
+
+
+def test_summarize_missing_file_is_error(tmp_path):
+    assert summarize_command(str(tmp_path / "nope.json"), stream=io.StringIO()) == 2
+
+
+def test_summarize_non_trace_json_is_error(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"not": "a trace"}')
+    assert summarize_command(str(bad), stream=io.StringIO()) == 2
+
+
+def test_main_cli_routes_trace_subcommand(tmp_path, capsys):
+    trace = tmp_path / "t.json"
+    _write_trace(trace)
+    assert repro_cli.main(["trace", "summarize", str(trace)]) == 0
+    assert "run(s)" in capsys.readouterr().out
+
+
+def test_run_subcommand_writes_trace(tmp_path, capsys):
+    for i in range(2):
+        (tmp_path / f"in{i}.txt").write_text("x\n")
+    out = tmp_path / "run-trace.json"
+    code = repro_cli.main(
+        [
+            "run",
+            str(tmp_path),
+            "--command",
+            "true $inp1",
+            "--workers",
+            "1",
+            "--pattern",
+            ".txt",
+            "--trace",
+            str(out),
+        ]
+    )
+    assert code == 0
+    trace = json.loads(out.read_text())
+    names = {ev["name"] for ev in trace["traceEvents"] if ev["ph"] == "X"}
+    assert {"run", "task", "exec"} <= names
