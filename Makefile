@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint check bench bench-check bench-update schema-check trace-demo
+.PHONY: test lint check bench bench-check bench-update schema-check trace-demo chaos
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -41,3 +41,13 @@ bench-check:
 
 bench-update:
 	$(PYTHON) -m benchmarks.run_bench --update
+
+# Seeded chaos sweep (VM failures + link faults + transfer faults) run
+# twice; the digests must match byte-for-byte or determinism regressed.
+chaos:
+	$(PYTHON) -m repro.experiments chaos --scale 0.05 | tee /tmp/frieda-chaos-1.txt
+	$(PYTHON) -m repro.experiments chaos --scale 0.05 > /tmp/frieda-chaos-2.txt
+	@grep '^chaos digest:' /tmp/frieda-chaos-1.txt > /tmp/frieda-chaos-digest-1.txt
+	@grep '^chaos digest:' /tmp/frieda-chaos-2.txt > /tmp/frieda-chaos-digest-2.txt
+	@diff /tmp/frieda-chaos-digest-1.txt /tmp/frieda-chaos-digest-2.txt \
+		&& echo "chaos sweep reproducible: digests match"

@@ -221,3 +221,90 @@ def test_message_codec_round_trip(benchmark):
         return decode_message(encode_message(message))
 
     assert benchmark(round_trip) == message
+
+
+@pytest.mark.benchmark(group="micro-faults")
+def test_transfer_service_retry_disabled_overhead(benchmark):
+    """500 clean transfers with the retry machinery present but off.
+
+    Paper-faithful policy, no fault model: the per-transfer cost of the
+    retry loop must stay within noise of the pre-retry service (the
+    wrapping adds one generator frame and two branch tests per call).
+    """
+    from repro.transfer.base import TransferProtocol, TransferRequest
+    from repro.transfer.retry import TransferRetryPolicy
+    from repro.transfer.staging import TransferService
+
+    class Raw(TransferProtocol):
+        handshake_latency = 0.0
+        efficiency = 1.0
+        streams = 1
+
+    def run():
+        env = Environment()
+        net = FlowNetwork(env)
+        net.add_link("up", 100 * Mbit)
+        service = TransferService(
+            env, net, Raw(), retry_policy=TransferRetryPolicy.paper_faithful()
+        )
+
+        def one(env, i):
+            yield env.timeout(i * 0.01)
+            yield env.process(
+                service.transfer(TransferRequest(f"f{i}", 1 * MB, ("up",)))
+            )
+
+        for i in range(500):
+            env.process(one(env, i))
+        env.run()
+        return len(service.results)
+
+    assert benchmark(run) == 500
+
+
+@pytest.mark.benchmark(group="micro-faults")
+def test_transfer_service_retry_storm(benchmark):
+    """500 transfers at 30% transient fault rate under resilient retry.
+
+    Times the full failure loop — fault draw, flow cancellation-free
+    fault return, backoff with seeded jitter, reattempt — at a rate
+    high enough that roughly half the transfers retry at least once.
+    """
+    from repro.cloud.failures import TransferFaultModel
+    from repro.transfer.base import TransferProtocol, TransferRequest
+    from repro.transfer.retry import TransferRetryPolicy
+    from repro.transfer.staging import TransferService
+
+    class Raw(TransferProtocol):
+        handshake_latency = 0.0
+        efficiency = 1.0
+        streams = 1
+
+    policy = TransferRetryPolicy(
+        max_attempts=5, backoff_base_s=0.01, jitter_fraction=0.25
+    )
+
+    def run():
+        env = Environment()
+        net = FlowNetwork(env)
+        net.add_link("up", 100 * Mbit)
+        service = TransferService(
+            env,
+            net,
+            Raw(),
+            retry_policy=policy,
+            fault_model=TransferFaultModel(0.3, seed=13),
+        )
+
+        def one(env, i):
+            yield env.timeout(i * 0.01)
+            yield env.process(
+                service.transfer(TransferRequest(f"f{i}", 1 * MB, ("up",)))
+            )
+
+        for i in range(500):
+            env.process(one(env, i))
+        env.run()
+        return len(service.results)
+
+    assert benchmark(run) == 500

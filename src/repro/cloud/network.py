@@ -68,9 +68,15 @@ _EPSILON_TIME = 1e-9
 
 
 class Link:
-    """A unidirectional capacity-constrained channel."""
+    """A unidirectional capacity-constrained channel.
 
-    __slots__ = ("name", "capacity", "latency", "_flows")
+    ``capacity`` is the *current* (possibly degraded) rate; links are
+    created at ``base_capacity`` and fault injection may lower the
+    current rate — to zero for a blackout — via
+    :meth:`FlowNetwork.set_link_capacity`.
+    """
+
+    __slots__ = ("name", "capacity", "base_capacity", "latency", "_flows")
 
     def __init__(self, name: str, capacity_bps: float, latency_s: float = 0.0):
         if capacity_bps <= 0:
@@ -79,8 +85,13 @@ class Link:
             raise NetworkError(f"link {name!r} has negative latency")
         self.name = name
         self.capacity = float(capacity_bps)
+        self.base_capacity = float(capacity_bps)
         self.latency = float(latency_s)
         self._flows: set["Flow"] = set()
+
+    @property
+    def degraded(self) -> bool:
+        return self.capacity < self.base_capacity
 
     @property
     def active_flows(self) -> int:
@@ -120,6 +131,7 @@ class Flow:
         "start_time",
         "end_time",
         "tag",
+        "cancelled",
         "_version",
     )
 
@@ -143,6 +155,10 @@ class Flow:
         self.start_time = start_time
         self.end_time: Optional[float] = None
         self.tag = tag
+        #: True when the flow was torn down before draining (timeout
+        #: guard, injected transfer fault). ``done`` still succeeds so
+        #: waiters wake up; they must check this flag.
+        self.cancelled = False
         #: Bumped on every rate change/retirement; projected-completion
         #: heap entries carry the version they were computed under, so
         #: stale entries are recognized and skipped (lazy invalidation).
@@ -332,6 +348,8 @@ class FlowNetwork:
         self._m_flows = metrics.counter("network.flows_completed")
         self._m_bytes = metrics.counter("network.bytes_moved")
         self._m_replans = metrics.counter("network.replans")
+        self._m_cancelled = metrics.counter("network.flows_cancelled")
+        self._m_capacity_changes = metrics.counter("network.capacity_changes")
         self.incremental = incremental
         self._links: dict[str, Link] = {}
         self._routes: dict[str, Route] = {}
@@ -388,6 +406,32 @@ class FlowNetwork:
         except KeyError:
             raise NetworkError(f"unknown route {name!r}") from None
 
+    def set_link_capacity(self, name: str, capacity_bps: float) -> Link:
+        """Change a link's current capacity (fault injection / repair).
+
+        ``0`` models a blackout: flows crossing the link stall at rate
+        zero and resume when capacity is restored. The change triggers
+        an incremental replan of the affected component at this instant.
+        """
+        if capacity_bps < 0:
+            raise NetworkError(f"link {name!r} capacity cannot be negative")
+        link = self.link(name)
+        if capacity_bps == link.capacity:
+            return link
+        link.capacity = float(capacity_bps)
+        self._m_capacity_changes.inc()
+        self._dirty_links.add(link)
+        self._poke()
+        if self.telemetry is not None:
+            self.telemetry.event(
+                "link.capacity", capacity_bps, track="network", link=name
+            )
+        return link
+
+    def restore_link(self, name: str) -> Link:
+        """Return a degraded link to its provisioned capacity."""
+        return self.set_link_capacity(name, self.link(name).base_capacity)
+
     # -- flows --------------------------------------------------------------
     def start_flow(
         self,
@@ -439,11 +483,59 @@ class FlowNetwork:
         """Shorthand: start a flow, return its completion event."""
         return self.start_flow(path, nbytes, **kw).done
 
+    def cancel_flow(self, flow: Flow, reason: str = "") -> bool:
+        """Tear down an in-flight flow before it drains.
+
+        Used by the transfer timeout guard: the abandoned flow must stop
+        consuming bandwidth immediately. ``flow.done`` still *succeeds*
+        (with the flow as value) so any waiter wakes up; the waiter must
+        check :attr:`Flow.cancelled`. Returns False when the flow had
+        already finished.
+        """
+        if flow.done.triggered:
+            return False
+        flow.cancelled = True
+        if flow in self._flows:
+            # Account bits drained up to this instant, then release the
+            # flow's share so the component replans without it.
+            self._advance_flows()
+            del self._flows[flow]
+            for link in flow.path:
+                link._flows.discard(flow)
+            self._dirty_links.update(flow.path)
+            self._poke()
+        else:
+            # Still in startup latency or awaiting admission.
+            try:
+                self._pending.remove(flow)
+            except ValueError:
+                pass
+        flow.rate = 0.0
+        flow._version += 1
+        flow.end_time = self.env.now
+        self._m_cancelled.inc()
+        flow.done.succeed(flow)
+        if self.telemetry is not None:
+            self.telemetry.span_complete(
+                "flow",
+                flow.start_time,
+                flow.end_time,
+                track="network",
+                flow=flow.id,
+                tag=flow.tag,
+                nbytes=(flow.total_bits - flow.remaining_bits) / 8.0,
+                cancelled=True,
+                reason=reason,
+            )
+        return True
+
     def _zero_volume(self, flow: Flow, startup: float):
         yield self.env.timeout(startup)
         self._finish_zero_volume(flow)
 
     def _finish_zero_volume(self, flow: Flow) -> None:
+        if flow.cancelled:
+            return
         flow.end_time = self.env.now
         self.completed_flows += 1
         self._m_flows.inc()
@@ -468,6 +560,8 @@ class FlowNetwork:
 
     def _admit(self, flow: Flow) -> None:
         """Queue an arrival for the driver and wake it at this instant."""
+        if flow.cancelled:
+            return  # cancelled during startup latency
         self._pending.append(flow)
         self._poke()
 
@@ -535,6 +629,8 @@ class FlowNetwork:
         if self._pending:
             pending, self._pending = self._pending, []
             for flow in pending:
+                if flow.cancelled:
+                    continue  # cancelled between admission and service
                 self._flows[flow] = None
                 for link in flow.path:
                     link._flows.add(flow)

@@ -78,9 +78,21 @@ class FaultTracker:
             raise ValueError("isolate_after must be >= 1")
         self.isolate_after = isolate_after
         self._health: dict[str, WorkerHealth] = {}
+        #: Optional callback fired exactly once per worker, on its
+        #: transition into isolation: ``on_isolate(worker_id, health)``.
+        #: The engine wires this to the elasticity manager so the
+        #: auto-scaler sees true capacity (detection → rescale).
+        self.on_isolate = None
 
     def _entry(self, worker_id: str) -> WorkerHealth:
         return self._health.setdefault(worker_id, WorkerHealth(worker_id))
+
+    def _isolate(self, entry: WorkerHealth) -> None:
+        if entry.isolated:
+            return
+        entry.isolated = True
+        if self.on_isolate is not None:
+            self.on_isolate(entry.worker_id, entry)
 
     def record_error(self, worker_id: str, message: str = "") -> bool:
         """Record a task error; returns True if the worker is now isolated."""
@@ -89,16 +101,16 @@ class FaultTracker:
         if message:
             entry.error_messages.append(message)
         if entry.errors >= self.isolate_after:
-            entry.isolated = True
+            self._isolate(entry)
         return entry.isolated
 
     def record_loss(self, worker_id: str, message: str = "") -> None:
         """Record that a worker's connection/VM is gone."""
         entry = self._entry(worker_id)
         entry.lost = True
-        entry.isolated = True
         if message:
             entry.error_messages.append(message)
+        self._isolate(entry)
 
     def is_isolated(self, worker_id: str) -> bool:
         entry = self._health.get(worker_id)

@@ -56,15 +56,23 @@ class HeartbeatMonitor:
         self._m_beats = metrics.counter("heartbeat.beats")
         self._m_suspected = metrics.counter("heartbeat.suspected")
         self._m_dead = metrics.counter("heartbeat.dead")
+        self._m_stale = metrics.counter("heartbeat.stale")
 
     def beat(self, component: str, now: float) -> None:
         """Record a heartbeat. A beat resurrects a suspected component
-        but never a declared-dead one (it must re-register)."""
+        but never a declared-dead one (it must re-register).
+
+        Out-of-order beats are tolerated: in the threaded runtime two
+        threads can read the clock and race to ``beat()``, so a stale
+        timestamp is benign — it carries no new information. Last-heard
+        keeps the max; stale beats are counted in ``heartbeat.stale``.
+        """
         if component in self._declared_dead:
             return
         previous = self._last_heard.get(component)
         if previous is not None and now < previous:
-            raise ValueError(f"heartbeat from the past for {component!r}")
+            self._m_stale.inc()
+            return
         self._last_heard[component] = now
         self._m_beats.inc()
 
@@ -75,6 +83,13 @@ class HeartbeatMonitor:
         self._suspected.discard(component)
 
     def liveness(self, component: str, now: float) -> Liveness:
+        """Pure classification of one component at ``now``.
+
+        Reading liveness never changes state: a component whose silence
+        crosses ``dead_after`` reads as DEAD here but is only *declared*
+        dead (sticky until re-registration, transition metrics bumped)
+        by an explicit :meth:`sweep`.
+        """
         if component in self._declared_dead:
             return Liveness.DEAD
         last = self._last_heard.get(component)
@@ -82,24 +97,33 @@ class HeartbeatMonitor:
             return Liveness.UNKNOWN
         silence = now - last
         if silence >= self.config.dead_after:
-            self._declared_dead.add(component)
-            self._suspected.discard(component)
-            self._m_dead.inc()
             return Liveness.DEAD
         if silence >= self.config.suspect_after:
-            if component not in self._suspected:
-                self._suspected.add(component)
-                self._m_suspected.inc()
             return Liveness.SUSPECTED
-        self._suspected.discard(component)
         return Liveness.HEALTHY
 
     def sweep(self, now: float) -> dict[str, Liveness]:
-        """Classify every known component at ``now``."""
-        return {
-            component: self.liveness(component, now)
-            for component in list(self._last_heard)
-        }
+        """Classify every known component at ``now`` and commit state
+        transitions: newly-dead components are declared dead (they stay
+        dead until :meth:`forget`), suspicion is entered/cleared, and
+        each *transition* — not repeated observation — is counted in
+        the ``heartbeat.suspected`` / ``heartbeat.dead`` metrics."""
+        states: dict[str, Liveness] = {}
+        for component in list(self._last_heard):
+            state = self.liveness(component, now)
+            if state is Liveness.DEAD:
+                if component not in self._declared_dead:
+                    self._declared_dead.add(component)
+                    self._suspected.discard(component)
+                    self._m_dead.inc()
+            elif state is Liveness.SUSPECTED:
+                if component not in self._suspected:
+                    self._suspected.add(component)
+                    self._m_suspected.inc()
+            else:
+                self._suspected.discard(component)
+            states[component] = state
+        return states
 
     def dead_components(self, now: float) -> frozenset[str]:
         return frozenset(

@@ -292,8 +292,13 @@ class MasterScheduler:
                 self.lost_tasks.append(assignment)
                 self._m_lost.inc()
         for group in reserved:
-            pseudo = Assignment(group=group, worker_id=worker_id, attempt=self._attempts[group.index])
-            if self.retry_policy.retry_on_worker_loss:
+            attempt = self._attempts[group.index]
+            pseudo = Assignment(group=group, worker_id=worker_id, attempt=attempt)
+            if self.retry_policy.should_retry(attempt, worker_loss=True):
+                # A lost reservation consumes an attempt (mirroring the
+                # stranded path above), so repeated worker loss exhausts
+                # max_attempts instead of requeueing forever.
+                self._attempts[group.index] = attempt + 1
                 self._requeue(pseudo)
                 requeued.append(pseudo)
                 self._m_retried.inc()

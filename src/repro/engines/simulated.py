@@ -29,13 +29,21 @@ from typing import Optional, Sequence
 
 from repro.cloud.billing import BillingModel, PriceSheet
 from repro.cloud.cluster import ClusterSpec, Provisioner, VirtualCluster
-from repro.cloud.failures import FailureInjector, FailureSchedule
+from repro.cloud.failures import (
+    FailureInjector,
+    FailureSchedule,
+    LinkFaultInjector,
+    LinkFaultSchedule,
+    TransferFaultModel,
+    is_silent_cause,
+)
 from repro.cloud.instance import InstanceType, VirtualMachine
 from repro.cloud.storage import StorageTier
 from repro.core.controller import ControllerLogic
-from repro.core.elasticity import ElasticityManager
+from repro.core.elasticity import AutoScalePolicy, ElasticityManager
 from repro.core.commands import CommandTemplate
 from repro.core.fault import RetryPolicy
+from repro.core.monitoring import HeartbeatConfig, HeartbeatMonitor, Liveness
 from repro.core.framework import RunOutcome, TaskRecord
 from repro.core.messages import WorkerFailed
 from repro.core.scheduler import Assignment, MasterScheduler
@@ -48,7 +56,8 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.sim.kernel import Environment, Event, Interrupt
 from repro.sim.monitor import Monitor, MonitorSink
 from repro.telemetry.spans import SpanHandle, Telemetry
-from repro.transfer.base import TransferProtocol, TransferRequest
+from repro.transfer.base import TransferProtocol, TransferRequest, TransferResult
+from repro.transfer.retry import TransferRetryPolicy
 from repro.transfer.scp import ScpModel
 from repro.transfer.staging import StagingPlan, TransferService
 
@@ -95,7 +104,32 @@ class SimulationOptions:
     #: completion wins. MapReduce-style straggler mitigation, only
     #: meaningful for the pull-based (real-time) strategy.
     speculative: bool = False
+    #: Liveness layer (extension, §V-A future work): > 0 makes every
+    #: worker node emit a heartbeat at this period and the master run a
+    #: sweep at the same period, so *silent* node deaths are detected
+    #: (declared dead after ``heartbeat_config.dead_after`` of silence)
+    #: and their in-flight tasks requeued/recorded. 0 disables the layer
+    #: entirely (paper-faithful: only broken connections report loss).
+    heartbeat_interval: float = 0.0
+    heartbeat_config: Optional[HeartbeatConfig] = None
+    #: Auto-scale recommendations (extension): consulted when fault
+    #: isolation shrinks the cluster, so the run's event log records
+    #: what a transparent-elasticity controller would have done.
+    autoscale_policy: Optional[AutoScalePolicy] = None
+    #: Data-movement retry (extension; default paper-faithful: one
+    #: attempt, no timeout, a lost transfer costs the whole task).
+    transfer_retry: TransferRetryPolicy = field(
+        default_factory=TransferRetryPolicy.paper_faithful
+    )
     seed: int = 0
+
+
+class _FetchFailed(Exception):
+    """Internal: a task's input transfers exhausted their retries."""
+
+    def __init__(self, files: Sequence[str]):
+        super().__init__(f"missing inputs: {', '.join(files)}")
+        self.files = tuple(files)
 
 
 class SimulatedEngine:
@@ -121,6 +155,11 @@ class SimulatedEngine:
         isolate_after: int = 1,
         failure_schedule: FailureSchedule | None = None,
         failure_mttf: float | None = None,
+        failure_silent_fraction: float = 0.0,
+        link_fault_schedule: LinkFaultSchedule | None = None,
+        link_fault_mtbf: float | None = None,
+        link_fault_outage: float = 30.0,
+        transfer_fault_rate: float = 0.0,
         elasticity: Sequence[ElasticAction] = (),
         static_chunking: str = "contiguous",
         master_failure_at: float | None = None,
@@ -153,7 +192,17 @@ class SimulatedEngine:
           ``"network_storage"`` — inputs live on the shared iSCSI-style
           tier and workers pull through its contended server uplink
           (the networked-disk configuration of §III-A; requires
-          ``ClusterSpec.network_storage_bytes > 0``).
+          ``ClusterSpec.network_storage_bytes > 0``),
+        - ``failure_silent_fraction``: with ``failure_mttf``, that
+          fraction of VM deaths are *silent* (no broken connection —
+          only the heartbeat sweep can detect them; requires
+          ``SimulationOptions.heartbeat_interval > 0``),
+        - ``link_fault_schedule`` / ``link_fault_mtbf`` (+
+          ``link_fault_outage`` mean seconds): link degradation and
+          blackout windows on the worker/master NIC links,
+        - ``transfer_fault_rate``: probability each transfer attempt
+          dies mid-stream (retried or surfaced per
+          ``SimulationOptions.transfer_retry``).
 
         ``telemetry`` plugs a :class:`~repro.telemetry.Telemetry` hub
         into the run: the engine binds it to the sim clock and routes
@@ -181,6 +230,11 @@ class SimulatedEngine:
             isolate_after=isolate_after,
             failure_schedule=failure_schedule,
             failure_mttf=failure_mttf,
+            failure_silent_fraction=failure_silent_fraction,
+            link_fault_schedule=link_fault_schedule,
+            link_fault_mtbf=link_fault_mtbf,
+            link_fault_outage=link_fault_outage,
+            transfer_fault_rate=transfer_fault_rate,
             elasticity=tuple(elasticity),
             static_chunking=static_chunking,
             master_failure_at=master_failure_at,
@@ -217,7 +271,12 @@ class _SimulatedRun:
         isolate_after: int,
         failure_schedule: FailureSchedule | None,
         failure_mttf: float | None,
-        elasticity: tuple[ElasticAction, ...],
+        failure_silent_fraction: float = 0.0,
+        link_fault_schedule: LinkFaultSchedule | None = None,
+        link_fault_mtbf: float | None = None,
+        link_fault_outage: float = 30.0,
+        transfer_fault_rate: float = 0.0,
+        elasticity: tuple[ElasticAction, ...] = (),
         static_chunking: str = "contiguous",
         master_failure_at: float | None = None,
         master_recovery_time: float | None = None,
@@ -245,6 +304,24 @@ class _SimulatedRun:
         self.elasticity = elasticity
         self.failure_schedule = failure_schedule
         self.failure_mttf = failure_mttf
+        self.failure_silent_fraction = float(failure_silent_fraction)
+        self.link_fault_schedule = link_fault_schedule
+        self.link_fault_mtbf = link_fault_mtbf
+        self.link_fault_outage = float(link_fault_outage)
+        self.transfer_fault_rate = float(transfer_fault_rate)
+        silent_possible = self.failure_silent_fraction > 0 or (
+            failure_schedule is not None and failure_schedule.has_silent
+        )
+        if silent_possible and self.options.heartbeat_interval <= 0:
+            raise ConfigurationError(
+                "silent failures are undetectable without heartbeats: "
+                "set SimulationOptions.heartbeat_interval > 0"
+            )
+        self.heartbeats: Optional[HeartbeatMonitor] = None
+        self.link_injector: Optional[LinkFaultInjector] = None
+        #: Nodes the heartbeat sweep has already declared dead (the
+        #: declaration fans out to every clone exactly once).
+        self._nodes_declared_dead: set[str] = set()
         self.static_chunking = static_chunking
         self.master_failure_at = master_failure_at
         self.master_recovery_time = master_recovery_time
@@ -278,7 +355,9 @@ class _SimulatedRun:
         self.telemetry = tel
         self._run_span: Optional[SpanHandle] = None
         self._h_exec = tel.metrics.histogram("task.exec_seconds")
-        self.elasticity_mgr = ElasticityManager(metrics=tel.metrics)
+        self.elasticity_mgr = ElasticityManager(
+            policy=self.options.autoscale_policy, metrics=tel.metrics
+        )
 
         self.cluster: Optional[VirtualCluster] = None
         self.scheduler: Optional[MasterScheduler] = None
@@ -406,9 +485,10 @@ class _SimulatedRun:
             result = yield self.env.process(
                 self.transfers.transfer(request, parent=parent)
             )
-            # The VM may have died while the bytes were in flight.
+            # The transfer may have exhausted its retries, and the VM
+            # may have died while the bytes were in flight.
             vm = cluster.vm(node_id)
-            if vm.is_running:
+            if result.ok and vm.is_running:
                 disk.store_file(file.name, file.size)
             return result
         finally:
@@ -449,9 +529,17 @@ class _SimulatedRun:
         for f in self.common_files:
             self._file_index[f.name] = f
         yield self._rtt()  # START_MASTER
+        fault_model = (
+            TransferFaultModel(self.transfer_fault_rate, seed=self.options.seed)
+            if self.transfer_fault_rate > 0
+            else None
+        )
         self.transfers = TransferService(
             env, cluster.network, self.options.protocol, self.monitor,
             telemetry=tel,
+            retry_policy=self.options.transfer_retry,
+            fault_model=fault_model,
+            seed=self.options.seed,
         )
         self.scheduler = MasterScheduler(
             groups,
@@ -460,6 +548,9 @@ class _SimulatedRun:
             fault_tracker=self.controller.fault_tracker,
             metrics=tel.metrics,
         )
+        # Detection → rescale: the moment fault isolation empties a
+        # node, the elasticity manager learns true capacity.
+        self.controller.fault_tracker.on_isolate = self._on_worker_isolated
 
         # Source data lands on the master's disk (the master "runs close
         # to the source of the input data", §II-B) or on the shared
@@ -512,16 +603,39 @@ class _SimulatedRun:
             plan = StagingPlan(staging_reqs, concurrency=self.options.staging_concurrency)
             results = yield env.process(plan.execute(self.transfers, parent=staging_span))
             staging_span.end()
-            self._mark_staged(staging_reqs)
+            self._mark_staged(results)
 
         # 5. Execution phase: spawn worker clones; watch for failures;
         #    apply scripted elasticity.
+        self.elasticity_mgr.active_nodes.update(vm.vm_id for vm in worker_nodes)
+        if self.options.heartbeat_interval > 0:
+            self.heartbeats = HeartbeatMonitor(
+                self.options.heartbeat_config, metrics=tel.metrics
+            )
+            # frieda: allow[dropped-event] -- fire-and-forget daemon; joined via run_done
+            env.process(self._heartbeat_sweep(), name="heartbeat-sweep")
         if self.failure_schedule is not None or self.failure_mttf is not None:
             FailureInjector(
                 env,
                 cluster,
                 schedule=self.failure_schedule,
                 mttf_s=self.failure_mttf,
+                silent_fraction=self.failure_silent_fraction,
+                seed=self.options.seed,
+            )
+        if self.link_fault_schedule is not None or self.link_fault_mtbf is not None:
+            nic_links = [
+                name
+                for vm_id in sorted(cluster.vms)
+                for name in (f"{vm_id}.up", f"{vm_id}.down")
+            ]
+            self.link_injector = LinkFaultInjector(
+                env,
+                cluster.network,
+                links=nic_links,
+                schedule=self.link_fault_schedule,
+                mtbf_s=self.link_fault_mtbf,
+                mean_outage_s=self.link_fault_outage,
                 seed=self.options.seed,
             )
         for vm in worker_nodes:
@@ -584,13 +698,19 @@ class _SimulatedRun:
                 )
         return requests
 
-    def _mark_staged(self, requests: Sequence[TransferRequest]) -> None:
+    def _mark_staged(self, results: Sequence[TransferResult]) -> None:
+        """Land successful staging transfers on their node disks. A
+        failed transfer leaves its file missing — the lazy fetch path
+        gets one more chance at task time, and if that fails too the
+        task degrades to a fetch error."""
         cluster = self.cluster
-        for request in requests:
-            node_id = request.tag.split(":", 1)[1]
+        for result in results:
+            if not result.ok:
+                continue
+            node_id = result.tag.split(":", 1)[1]
             vm = cluster.vm(node_id)
             if vm.is_running:
-                vm.local_disk.store_file(request.file_name, request.nbytes)
+                vm.local_disk.store_file(result.file_name, result.nbytes)
         for wid, logic in self.worker_logics.items():
             disk = cluster.vm(logic.node_id).local_disk
             for name in disk.file_names():
@@ -624,6 +744,100 @@ class _SimulatedRun:
                     self._worker_loop(vm, logic), name=f"worker-{wid}"
                 )
                 vm.register_process(proc)
+        if self.heartbeats is not None:
+            beat = self.env.process(
+                self._heartbeat_beat(vm), name=f"heartbeat-{vm.vm_id}"
+            )
+            # Registered so any VM death — crash or silent — stops the
+            # beats; for silent deaths that silence IS the only signal.
+            vm.register_process(beat)
+
+    # -- liveness (detection → recovery, extension) ------------------------
+    def _heartbeat_beat(self, vm: VirtualMachine):
+        interval = self.options.heartbeat_interval
+        try:
+            while vm.is_running and not self.run_done.triggered:
+                self.heartbeats.beat(vm.vm_id, self.env.now)
+                yield self.env.timeout(interval)
+        except Interrupt:
+            return
+
+    def _heartbeat_sweep(self):
+        """Master-side sweep: declare silent nodes dead and recover.
+
+        This closes the loop the injector's ``fail_vm`` cannot: a
+        silently-dead node never reports, so its in-flight tasks would
+        stay on the master's books forever. The sweep notices the
+        missed beats, declares the node dead, and fires the same
+        ``worker_lost`` path a broken connection would have.
+        """
+        interval = self.options.heartbeat_interval
+        while not self.run_done.triggered:
+            yield self.env.timeout(interval)
+            if self.run_done.triggered:
+                return
+            states = self.heartbeats.sweep(self.env.now)
+            for node_id, state in states.items():
+                if state is not Liveness.DEAD or node_id in self._nodes_declared_dead:
+                    continue
+                if self._node_connection_lost(node_id):
+                    # A crashed node stops beating too, but its death was
+                    # already reported over the broken connection; drop it
+                    # from monitoring instead of double-declaring.
+                    self.heartbeats.forget(node_id)
+                    continue
+                self._nodes_declared_dead.add(node_id)
+                self._declare_node_dead(node_id)
+            self._maybe_finish()
+
+    def _node_connection_lost(self, node_id: str) -> bool:
+        """Every clone on the node already reported loss (crash path)."""
+        faults = self.controller.fault_tracker
+        clones = [
+            w for w, logic in self.worker_logics.items() if logic.node_id == node_id
+        ]
+        return bool(clones) and all(faults.is_lost(w) for w in clones)
+
+    def _declare_node_dead(self, node_id: str) -> None:
+        now = self.env.now
+        self.telemetry.event("node.declared_dead", node_id, track="control")
+        self.controller.log(now, "NODE_DECLARED_DEAD", f"{node_id}: missed heartbeats")
+        faults = self.controller.fault_tracker
+        for wid, logic in self.worker_logics.items():
+            if logic.node_id != node_id or faults.is_lost(wid):
+                continue
+            requeued = self.scheduler.worker_lost(wid, "heartbeat: declared dead")
+            self.controller.on_worker_failed(
+                WorkerFailed(
+                    worker_id=wid,
+                    node_id=node_id,
+                    error="heartbeat: declared dead",
+                    tasks_in_flight=tuple(a.task_id for a in requeued),
+                ),
+                now,
+            )
+
+    def _on_worker_isolated(self, worker_id: str, health) -> None:
+        """FaultTracker callback: once every clone on a node is
+        isolated, tell the elasticity manager the node is gone and let
+        the auto-scale policy (if any) recommend a replacement."""
+        logic = self.worker_logics.get(worker_id)
+        if logic is None:
+            return
+        node_id = logic.node_id
+        faults = self.controller.fault_tracker
+        clones = [w for w, l in self.worker_logics.items() if l.node_id == node_id]
+        if not all(faults.is_isolated(w) for w in clones):
+            return
+        if node_id not in self.elasticity_mgr.active_nodes:
+            return  # scripted removal already accounted for it
+        self.elasticity_mgr.node_removed(self.env.now, node_id, reason="fault-isolation")
+        self.telemetry.event("elastic.node_lost", node_id, track="control")
+        if self.elasticity_mgr.policy is not None and self.scheduler is not None:
+            queued = max(
+                0, self.scheduler.outstanding - self.scheduler.in_flight_count
+            )
+            self.elasticity_mgr.evaluate(self.env.now, queued)
 
     def _worker_loop(self, vm: VirtualMachine, logic: WorkerLogic):
         env = self.env
@@ -672,6 +886,28 @@ class _SimulatedRun:
         except Interrupt as interrupt:
             now = env.now
             aborted = logic.abort_task(now, f"vm failure: {interrupt.cause}")
+            cause = (
+                interrupt.cause[1]
+                if isinstance(interrupt.cause, tuple) and len(interrupt.cause) == 2
+                else str(interrupt.cause)
+            )
+            if aborted is not None:
+                self.task_records.append(
+                    TaskRecord(
+                        task_id=aborted.task_id,
+                        worker_id=wid,
+                        node_id=vm.vm_id,
+                        start=aborted.started,
+                        end=now,
+                        ok=False,
+                        error=aborted.error,
+                    )
+                )
+            if is_silent_cause(cause):
+                # Silent death: the connection did not break, so nothing
+                # reports the loss. The task stays on the master's books
+                # until the heartbeat sweep declares this node dead.
+                return
             requeued = sched.worker_lost(wid, str(interrupt.cause))
             self.telemetry.event(
                 "worker.failed", wid, track=f"worker:{wid}",
@@ -686,18 +922,6 @@ class _SimulatedRun:
                 ),
                 now,
             )
-            if aborted is not None:
-                self.task_records.append(
-                    TaskRecord(
-                        task_id=aborted.task_id,
-                        worker_id=wid,
-                        node_id=vm.vm_id,
-                        start=aborted.started,
-                        end=now,
-                        ok=False,
-                        error=aborted.error,
-                    )
-                )
             self._maybe_finish()
 
     def _open_task_span(
@@ -754,9 +978,15 @@ class _SimulatedRun:
                     yield env.timeout(max(self.options.control_rtt * 25, 0.05))
                     continue
                 task_span = self._open_task_span(vm, assignment, fetch_start)
-                transfer_seconds = yield from self._stage_inputs(
-                    vm, logic, assignment, parent=task_span
-                )
+                try:
+                    transfer_seconds = yield from self._stage_inputs(
+                        vm, logic, assignment, parent=task_span
+                    )
+                except _FetchFailed as failure:
+                    self._report_fetch_failure(
+                        vm, logic, assignment, failure, fetch_start, task_span
+                    )
+                    continue
                 return assignment, fetch_start, transfer_seconds, task_span
         except Interrupt:
             return None
@@ -795,6 +1025,14 @@ class _SimulatedRun:
         yield env.all_of(procs)
         if not vm.is_running:
             raise Interrupt((vm.vm_id, "vm died during transfer"))
+        # A transfer that exhausted its retries never landed on disk;
+        # the task cannot run without its inputs.
+        still_missing = [
+            name for name in missing if not vm.local_disk.has_file(name)
+        ]
+        if still_missing:
+            fetch_span.end(ok=False, missing=len(still_missing))
+            raise _FetchFailed(still_missing)
         for name in missing:
             logic.receive_file(name)
         fetch_span.end()
@@ -808,12 +1046,54 @@ class _SimulatedRun:
         span: SpanHandle | None = None,
     ):
         task_start = self.env.now
-        transfer_seconds = yield from self._stage_inputs(
-            vm, logic, assignment, parent=span
-        )
+        try:
+            transfer_seconds = yield from self._stage_inputs(
+                vm, logic, assignment, parent=span
+            )
+        except _FetchFailed as failure:
+            self._report_fetch_failure(
+                vm, logic, assignment, failure, task_start, span
+            )
+            return
         yield from self._run_task(
             vm, logic, assignment, task_start, transfer_seconds, span=span
         )
+
+    def _report_fetch_failure(
+        self,
+        vm: VirtualMachine,
+        logic: WorkerLogic,
+        assignment: Assignment,
+        failure: _FetchFailed,
+        task_start: float,
+        span: SpanHandle | None,
+    ) -> None:
+        """Exhausted input transfers degrade to a task error: the master
+        hears a normal error report and the existing FaultTracker /
+        retry machinery decides what happens next."""
+        now = self.env.now
+        wid = logic.worker_id
+        message = "fetch failed: " + ", ".join(failure.files)
+        retried = self.scheduler.report_error(wid, assignment.task_id, message)
+        self.telemetry.event(
+            "task.fetch_failed", assignment.task_id,
+            track=f"worker:{wid}", worker=wid, retried=retried,
+        )
+        if span is not None:
+            span.end(ok=False, error="fetch-failed")
+        self.task_records.append(
+            TaskRecord(
+                task_id=assignment.task_id,
+                worker_id=wid,
+                node_id=vm.vm_id,
+                start=task_start,
+                end=now,
+                ok=False,
+                error=message,
+                attempt=assignment.attempt,
+            )
+        )
+        self._maybe_finish()
 
     def _run_task(
         self,
@@ -1004,7 +1284,7 @@ class _SimulatedRun:
             tasks_completed=summary["completed"],
             tasks_failed=summary["failed"],
             tasks_lost=summary["lost"],
-            bytes_transferred=sum(r.nbytes for r in self.transfers.results),
+            bytes_transferred=sum(r.nbytes for r in self.transfers.results if r.ok),
             task_records=self.task_records,
             worker_busy=worker_busy,
             cost=cost,
@@ -1023,6 +1303,16 @@ class _SimulatedRun:
                 ),
                 "outputs_snapshotted_bytes": self.outputs_snapshotted,
                 "snapshot_time": monitor.union_time("snapshot"),
+                "transfer_failures": sum(
+                    1 for r in self.transfers.results if not r.ok
+                ),
+                "transfer_attempts": sum(r.attempts for r in self.transfers.results),
+                "link_faults": (
+                    self.link_injector.faults_injected
+                    if self.link_injector is not None
+                    else 0
+                ),
+                "nodes_declared_dead": sorted(self._nodes_declared_dead),
                 "metrics": self.telemetry.metrics.snapshot(),
             },
         )

@@ -30,10 +30,10 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         choices=[
             "table1", "fig6", "fig7",
-            "robustness", "cost", "elasticity", "storage", "baselines",
+            "robustness", "chaos", "cost", "elasticity", "storage", "baselines",
             "report", "all",
         ],
-        help="which table/figure to regenerate (robustness/cost/"
+        help="which table/figure to regenerate (robustness/chaos/cost/"
         "elasticity/storage/baselines are ablations this reproduction "
         "adds; report writes everything to REPORT.md)",
     )
@@ -106,6 +106,21 @@ def main(argv: list[str] | None = None) -> int:
         cells = run_robustness(min(args.scale, 0.25), seed=args.seed)
         _emit([render_robustness(cells, min(args.scale, 0.25))], args.csv)
         ok &= shapes_hold(cells)
+    if args.experiment == "chaos":
+        from repro.experiments.robustness import (
+            chaos_digest,
+            chaos_shapes_hold,
+            render_chaos,
+            run_chaos_sweep,
+        )
+
+        chaos_scale = min(args.scale, 0.1)
+        chaos_cells = run_chaos_sweep(chaos_scale, seed=args.seed)
+        _emit([render_chaos(chaos_cells, chaos_scale)], args.csv)
+        # The digest line is the reproducibility contract: `make chaos`
+        # runs the sweep twice and diffs these lines byte-for-byte.
+        print(f"chaos digest: {chaos_digest(chaos_cells)}")
+        ok &= chaos_shapes_hold(chaos_cells)
     if args.experiment == "cost":
         from repro.experiments import cost as cost_mod
 

@@ -12,12 +12,14 @@ via ``python -m repro.experiments robustness``.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 from repro.core.fault import RetryPolicy
 from repro.core.framework import RunOutcome
 from repro.core.strategies import StrategyKind
 from repro.engines.simulated import SimulatedEngine, SimulationOptions
+from repro.transfer.retry import TransferRetryPolicy
 from repro.util.tables import Table
 from repro.workloads import blast_profile
 
@@ -87,6 +89,182 @@ def render_robustness(cells: list[RobustnessCell], scale: float) -> Table:
         "retry extension: lost tasks rerun on survivors (§V-A future work)"
     )
     return table
+
+
+# ---------------------------------------------------------------------------
+# Chaos sweep: every fault source at once (MTTF x link faults x policy).
+# ---------------------------------------------------------------------------
+
+#: The two ends of the recovery spectrum swept by the chaos grid. The
+#: paper-faithful end loses whatever the faults touch; the resilient end
+#: layers every extension (task retry, transfer retry, heartbeats).
+CHAOS_POLICIES: tuple[tuple[str, RetryPolicy | None, TransferRetryPolicy], ...] = (
+    ("paper_faithful", None, TransferRetryPolicy.paper_faithful()),
+    (
+        "resilient",
+        RetryPolicy.resilient(max_attempts=5),
+        TransferRetryPolicy.resilient(),
+    ),
+)
+
+
+@dataclass
+class ChaosCell:
+    """One (MTTF, link-fault MTBF, policy) measurement."""
+
+    mttf: float
+    link_mtbf: float
+    policy: str
+    outcome: RunOutcome
+
+    @property
+    def completion_rate(self) -> float:
+        if self.outcome.tasks_total == 0:
+            return 1.0
+        return self.outcome.tasks_completed / self.outcome.tasks_total
+
+
+def run_chaos_sweep(
+    scale: float = 0.05,
+    *,
+    mttfs: tuple[float, ...] = (3_000.0, 12_000.0),
+    link_mtbfs: tuple[float, ...] = (150.0,),
+    link_outage_s: float = 15.0,
+    transfer_fault_rate: float = 0.15,
+    silent_fraction: float = 0.5,
+    seed: int = 0,
+) -> list[ChaosCell]:
+    """Every fault source at once, across the recovery spectrum.
+
+    Each grid point injects random VM failures (half of them *silent*,
+    detectable only via heartbeats), link degradation/blackout windows
+    on every NIC, and transient per-transfer faults — then runs the
+    BLAST workload under the paper-faithful policy and under the full
+    resilient stack. All randomness is seeded, so for a given
+    ``(scale, seed)`` the sweep is byte-identically reproducible
+    (see :func:`chaos_digest`).
+    """
+    profile = blast_profile(scale, seed=seed)
+    cells: list[ChaosCell] = []
+    for mttf in mttfs:
+        for link_mtbf in link_mtbfs:
+            for name, task_retry, transfer_retry in CHAOS_POLICIES:
+                options = SimulationOptions(
+                    seed=seed,
+                    heartbeat_interval=5.0,
+                    transfer_retry=transfer_retry,
+                )
+                engine = SimulatedEngine(profile.cluster, options)
+                outcome = engine.run(
+                    profile.dataset,
+                    compute_model=profile.compute_model,
+                    command=profile.command,
+                    strategy=StrategyKind.REAL_TIME,
+                    grouping=profile.grouping,
+                    common_files=profile.common_files,
+                    failure_mttf=mttf,
+                    failure_silent_fraction=silent_fraction,
+                    link_fault_mtbf=link_mtbf,
+                    link_fault_outage=link_outage_s,
+                    transfer_fault_rate=transfer_fault_rate,
+                    retry_policy=task_retry,
+                )
+                cells.append(
+                    ChaosCell(
+                        mttf=mttf, link_mtbf=link_mtbf, policy=name, outcome=outcome
+                    )
+                )
+    return cells
+
+
+def chaos_digest(cells: list[ChaosCell]) -> str:
+    """SHA-256 over every outcome field chaos can move.
+
+    Two sweeps with the same ``(scale, seed)`` must produce the same
+    digest — this is the reproducibility contract ``make chaos`` checks
+    by running the sweep twice and diffing the digests.
+    """
+    lines = []
+    for cell in cells:
+        o = cell.outcome
+        lines.append(
+            "|".join(
+                str(x)
+                for x in (
+                    cell.mttf,
+                    cell.link_mtbf,
+                    cell.policy,
+                    o.tasks_total,
+                    o.tasks_completed,
+                    o.tasks_failed,
+                    o.tasks_lost,
+                    repr(o.makespan),
+                    repr(o.bytes_transferred),
+                    o.extra["transfer_attempts"],
+                    o.extra["transfer_failures"],
+                    o.extra["link_faults"],
+                    ",".join(o.extra["nodes_declared_dead"]),
+                )
+            )
+        )
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+
+def render_chaos(cells: list[ChaosCell], scale: float) -> Table:
+    table = Table(
+        f"Chaos sweep: BLAST real-time under combined faults (scale={scale})",
+        [
+            "MTTF (s)",
+            "Link MTBF (s)",
+            "Policy",
+            "Completed",
+            "Lost",
+            "Failed",
+            "Xfer attempts",
+            "Xfer failed",
+            "Link faults",
+            "Silent deaths",
+            "Makespan (s)",
+        ],
+    )
+    for cell in cells:
+        o = cell.outcome
+        table.add_row(
+            [
+                cell.mttf,
+                cell.link_mtbf,
+                cell.policy,
+                f"{o.tasks_completed}/{o.tasks_total}",
+                o.tasks_lost,
+                o.tasks_failed,
+                o.extra["transfer_attempts"],
+                o.extra["transfer_failures"],
+                o.extra["link_faults"],
+                len(o.extra["nodes_declared_dead"]),
+                o.makespan,
+            ]
+        )
+    table.add_note(
+        "faults: random VM failures (50% silent, heartbeat-detected), "
+        "link degradation/blackouts, transient transfer faults; "
+        "resilient = task retry + transfer retry/backoff/timeout"
+    )
+    return table
+
+
+def chaos_shapes_hold(cells: list[ChaosCell]) -> bool:
+    """Resilient completes everything; paper-faithful never does better."""
+    for cell in cells:
+        if cell.policy == "resilient" and cell.completion_rate < 1.0:
+            return False
+    grid = {(c.mttf, c.link_mtbf, c.policy): c for c in cells}
+    for (mttf, link_mtbf, policy), cell in grid.items():
+        if policy != "paper_faithful":
+            continue
+        resilient = grid[(mttf, link_mtbf, "resilient")]
+        if cell.completion_rate > resilient.completion_rate:
+            return False
+    return True
 
 
 def shapes_hold(cells: list[RobustnessCell]) -> bool:

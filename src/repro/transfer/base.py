@@ -38,12 +38,23 @@ class TransferRequest:
 
 @dataclass(frozen=True)
 class TransferResult:
-    """Completion record for one file transfer."""
+    """Completion record for one file transfer.
+
+    A failed transfer (retries exhausted or timed out) still yields a
+    result — ``ok=False`` with ``error`` naming the last failure — so a
+    staging batch never crashes on a lost file. ``attempts`` counts
+    tries including the first.
+    """
 
     file_name: str
     nbytes: int
     start: float
     end: float
+    ok: bool = True
+    error: str = ""
+    attempts: int = 1
+    #: Echo of the request's tag so batch callers can attribute results.
+    tag: str = ""
 
     @property
     def duration(self) -> float:

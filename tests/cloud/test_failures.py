@@ -4,6 +4,7 @@ import pytest
 
 from repro.cloud.cluster import ClusterSpec, Provisioner
 from repro.cloud.failures import FailureInjector, FailureSchedule
+from repro.errors import ConfigurationError
 from repro.sim import Environment
 
 
@@ -14,7 +15,17 @@ def make_cluster(env, workers=3):
 class TestFailureSchedule:
     def test_of_sorts_entries(self):
         schedule = FailureSchedule.of((5.0, "b"), (1.0, "a"))
-        assert schedule.entries == ((1.0, "a"), (5.0, "b"))
+        assert schedule.entries == ((1.0, "a", "crash"), (5.0, "b", "crash"))
+
+    def test_silent_mode_normalized_and_flagged(self):
+        schedule = FailureSchedule.of((1.0, "a"), (2.0, "b", "silent"))
+        assert schedule.entries == ((1.0, "a", "crash"), (2.0, "b", "silent"))
+        assert schedule.has_silent
+        assert not FailureSchedule.of((1.0, "a")).has_silent
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FailureSchedule.of((1.0, "a", "flaky"))
 
 
 class TestScheduledInjection:
@@ -99,3 +110,171 @@ class TestRandomInjection:
         FailureInjector(env, cluster, mttf_s=-1.0)
         with pytest.raises(ValueError):
             env.run()
+
+
+class TestSilentInjection:
+    def test_scheduled_silent_cause_prefix(self):
+        from repro.cloud.failures import is_silent_cause
+
+        env = Environment()
+        cluster = make_cluster(env)
+        injector = FailureInjector(
+            env, cluster, schedule=FailureSchedule.of((1.0, "worker1", "silent"))
+        )
+        env.run()
+        assert len(injector.records) == 1
+        assert is_silent_cause(injector.records[0].cause)
+        assert not cluster.vm("worker1").is_running
+
+    def test_silent_fraction_validated(self):
+        env = Environment()
+        cluster = make_cluster(env)
+        with pytest.raises(ValueError):
+            FailureInjector(env, cluster, mttf_s=10.0, silent_fraction=1.5)
+
+    def test_silent_fraction_marks_some_random_failures(self):
+        from repro.cloud.failures import is_silent_cause
+
+        env = Environment()
+        cluster = make_cluster(env, workers=6)
+        injector = FailureInjector(
+            env, cluster, mttf_s=5.0, silent_fraction=0.5, seed=7
+        )
+        env.run(until=10_000)
+        causes = [r.cause for r in injector.records]
+        assert len(causes) == 6
+        assert any(is_silent_cause(c) for c in causes)
+        assert any(not is_silent_cause(c) for c in causes)
+
+    def test_zero_fraction_preserves_seeded_stream(self):
+        """silent_fraction=0 must not consume extra RNG draws."""
+        times = []
+        for fraction in (0.0, 0.0):
+            env = Environment()
+            cluster = make_cluster(env)
+            injector = FailureInjector(
+                env, cluster, mttf_s=100.0, seed=11, max_failures=2,
+                silent_fraction=fraction,
+            )
+            env.run(until=100_000)
+            times.append(tuple((r.time, r.vm_id) for r in injector.records))
+        assert times[0] == times[1]
+
+
+class TestLinkFaultInjector:
+    def _network(self, env, links=("a", "b")):
+        from repro.cloud.network import FlowNetwork
+
+        net = FlowNetwork(env)
+        for name in links:
+            net.add_link(name, 1e6)
+        return net
+
+    def test_scheduled_window_degrades_then_heals(self):
+        from repro.cloud.failures import LinkFaultInjector, LinkFaultSchedule
+
+        env = Environment()
+        net = self._network(env)
+        injector = LinkFaultInjector(
+            env, net, schedule=LinkFaultSchedule.of((2.0, "a", 3.0, 0.5))
+        )
+        env.run(until=3.0)
+        assert net.link("a").capacity == pytest.approx(5e5)
+        assert net.link("a").degraded
+        env.run(until=6.0)
+        assert net.link("a").capacity == pytest.approx(1e6)
+        assert not net.link("a").degraded
+        assert injector.faults_injected == 1
+        record = injector.records[0]
+        assert (record.start, record.link, record.fraction) == (2.0, "a", 0.5)
+
+    def test_blackout_fraction_zero(self):
+        from repro.cloud.failures import LinkFaultInjector, LinkFaultSchedule
+
+        env = Environment()
+        net = self._network(env)
+        LinkFaultInjector(
+            env, net, schedule=LinkFaultSchedule.of((1.0, "a", 2.0, 0.0))
+        )
+        env.run(until=2.0)
+        assert net.link("a").capacity == 0.0
+        env.run()
+        assert net.link("a").capacity == 1e6
+
+    def test_overlapping_window_skipped(self):
+        from repro.cloud.failures import LinkFaultInjector, LinkFaultSchedule
+
+        env = Environment()
+        net = self._network(env)
+        injector = LinkFaultInjector(
+            env,
+            net,
+            schedule=LinkFaultSchedule.of((1.0, "a", 10.0, 0.5), (2.0, "a", 1.0, 0.0)),
+        )
+        env.run()
+        assert injector.faults_injected == 1
+
+    def test_random_mode_deterministic(self):
+        from repro.cloud.failures import LinkFaultInjector
+
+        runs = []
+        for _ in range(2):
+            env = Environment()
+            net = self._network(env)
+            injector = LinkFaultInjector(
+                env, net, links=["a", "b"], mtbf_s=50.0, seed=9, max_faults=5
+            )
+            env.run(until=10_000)
+            runs.append(
+                tuple((r.start, r.link, r.duration, r.fraction) for r in injector.records)
+            )
+        assert runs[0] == runs[1]
+        assert len(runs[0]) == 5
+
+    def test_exactly_one_mode_required(self):
+        from repro.cloud.failures import LinkFaultInjector
+
+        env = Environment()
+        net = self._network(env)
+        with pytest.raises(ValueError):
+            LinkFaultInjector(env, net)
+        with pytest.raises(ValueError):
+            LinkFaultInjector(env, net, mtbf_s=10.0)  # random needs links=
+
+    def test_schedule_validation(self):
+        from repro.cloud.failures import LinkFaultSchedule
+
+        with pytest.raises(ConfigurationError):
+            LinkFaultSchedule.of((1.0, "a", 0.0, 0.5))  # zero duration
+        with pytest.raises(ConfigurationError):
+            LinkFaultSchedule.of((1.0, "a", 1.0, 1.0))  # fraction must be < 1
+
+
+class TestTransferFaultModel:
+    def test_zero_rate_never_faults(self):
+        from repro.cloud.failures import TransferFaultModel
+
+        model = TransferFaultModel(0.0, seed=1)
+        assert all(model.draw() is None for _ in range(100))
+        assert model.faults_drawn == 0
+
+    def test_faults_at_expected_rate(self):
+        from repro.cloud.failures import TransferFaultModel
+
+        model = TransferFaultModel(0.3, seed=2)
+        draws = [model.draw() for _ in range(2000)]
+        faults = [d for d in draws if d is not None]
+        assert 0.25 < len(faults) / len(draws) < 0.35
+        assert all(0.05 <= f <= 0.95 for f in faults)
+
+    def test_deterministic_for_seed(self):
+        from repro.cloud.failures import TransferFaultModel
+
+        m1, m2 = TransferFaultModel(0.5, seed=3), TransferFaultModel(0.5, seed=3)
+        assert [m1.draw() for _ in range(50)] == [m2.draw() for _ in range(50)]
+
+    def test_rate_validated(self):
+        from repro.cloud.failures import TransferFaultModel
+
+        with pytest.raises(ValueError):
+            TransferFaultModel(1.0)

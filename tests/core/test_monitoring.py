@@ -46,21 +46,52 @@ class TestHeartbeatMonitor:
 
     def test_dead_stays_dead_despite_beats(self, monitor):
         monitor.beat("w0", 0.0)
+        monitor.sweep(20.0)  # declares w0 dead
         assert monitor.liveness("w0", 20.0) is Liveness.DEAD
         monitor.beat("w0", 21.0)  # ignored: must re-register
         assert monitor.liveness("w0", 21.5) is Liveness.DEAD
 
+    def test_liveness_is_pure(self, monitor):
+        """Reading DEAD does not declare death; only sweep() does."""
+        monitor.beat("w0", 0.0)
+        assert monitor.liveness("w0", 20.0) is Liveness.DEAD
+        monitor.beat("w0", 21.0)  # never declared, so the beat lands
+        assert monitor.liveness("w0", 21.5) is Liveness.HEALTHY
+
     def test_forget_allows_reregistration(self, monitor):
         monitor.beat("w0", 0.0)
-        monitor.liveness("w0", 20.0)  # declared dead
+        monitor.sweep(20.0)  # declared dead
         monitor.forget("w0")
         monitor.beat("w0", 30.0)
         assert monitor.liveness("w0", 31.0) is Liveness.HEALTHY
 
-    def test_time_travel_rejected(self, monitor):
+    def test_stale_beat_ignored_and_counted(self):
+        from repro.telemetry.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        monitor = HeartbeatMonitor(
+            HeartbeatConfig(suspect_after=5, dead_after=15), metrics=metrics
+        )
         monitor.beat("w0", 10.0)
-        with pytest.raises(ValueError):
-            monitor.beat("w0", 5.0)
+        monitor.beat("w0", 5.0)  # threaded-runtime clock race: benign
+        assert monitor.liveness("w0", 14.0) is Liveness.HEALTHY
+        assert metrics.counter("heartbeat.stale").value == 1
+        assert metrics.counter("heartbeat.beats").value == 1
+
+    def test_sweep_counts_transitions_not_observations(self):
+        from repro.telemetry.metrics import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        monitor = HeartbeatMonitor(
+            HeartbeatConfig(suspect_after=5, dead_after=15), metrics=metrics
+        )
+        monitor.beat("w0", 0.0)
+        monitor.sweep(6.0)
+        monitor.sweep(7.0)  # still suspected: no second increment
+        assert metrics.counter("heartbeat.suspected").value == 1
+        monitor.sweep(20.0)
+        monitor.sweep(21.0)  # still dead: no second increment
+        assert metrics.counter("heartbeat.dead").value == 1
 
     def test_sweep_classifies_everyone(self, monitor):
         monitor.beat("a", 0.0)

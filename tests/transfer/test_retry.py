@@ -1,0 +1,248 @@
+"""Retry policy, transient faults and timeouts at the transfer layer."""
+
+import pytest
+
+from repro.cloud.failures import TransferFaultModel
+from repro.cloud.network import FlowNetwork
+from repro.errors import ConfigurationError
+from repro.sim import Environment
+from repro.transfer.base import TransferProtocol, TransferRequest
+from repro.transfer.retry import TransferRetryPolicy
+from repro.transfer.staging import StagingPlan, TransferService
+from repro.util.seeding import make_rng
+from repro.util.units import MB, Mbit
+
+
+class _Raw(TransferProtocol):
+    name = "raw"
+    handshake_latency = 0.0
+    efficiency = 1.0
+    streams = 1
+    per_stream_cap_bps = None
+
+
+def build(env, *, retry_policy=None, fault_model=None):
+    net = FlowNetwork(env)
+    net.add_link("up", 100 * Mbit)
+    return net, TransferService(
+        env, net, _Raw(), retry_policy=retry_policy, fault_model=fault_model
+    )
+
+
+def run_transfer(env, service, request):
+    def proc(env):
+        result = yield env.process(service.transfer(request))
+        return result
+
+    p = env.process(proc(env))
+    env.run()
+    return p.value
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TransferRetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            TransferRetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            TransferRetryPolicy(jitter_fraction=2.0)
+        with pytest.raises(ConfigurationError):
+            TransferRetryPolicy(timeout_s=0.0)
+
+    def test_paper_faithful_disabled(self):
+        policy = TransferRetryPolicy.paper_faithful()
+        assert not policy.enabled
+        assert policy.max_attempts == 1
+
+    def test_resilient_enabled(self):
+        policy = TransferRetryPolicy.resilient()
+        assert policy.enabled
+        assert policy.max_attempts > 1
+        assert policy.timeout_s is not None
+
+    def test_backoff_exponential_and_capped(self):
+        policy = TransferRetryPolicy(
+            max_attempts=9, backoff_base_s=1.0, backoff_factor=2.0, backoff_cap_s=5.0
+        )
+        rng = make_rng(0, "test")
+        delays = [policy.backoff_s(k, rng) for k in (1, 2, 3, 4)]
+        assert delays == [1.0, 2.0, 4.0, 5.0]
+
+    def test_jitter_only_draws_when_configured(self):
+        """A jitter-free policy must leave the seeded stream untouched."""
+        rng = make_rng(0, "test")
+        before = rng.bit_generator.state["state"]["state"]
+        TransferRetryPolicy(max_attempts=3, backoff_base_s=1.0).backoff_s(1, rng)
+        assert rng.bit_generator.state["state"]["state"] == before
+        jittered = TransferRetryPolicy(
+            max_attempts=3, backoff_base_s=1.0, jitter_fraction=0.5
+        )
+        delay = jittered.backoff_s(1, rng)
+        assert rng.bit_generator.state["state"]["state"] != before
+        assert 0.5 <= delay <= 1.5
+
+
+class TestRetryLoop:
+    def test_fault_then_success(self):
+        env = Environment()
+        # fault_rate high: attempt 1 faults (seed chosen to fault first).
+        model = TransferFaultModel(0.99, seed=1)
+        _net, service = build(
+            env,
+            retry_policy=TransferRetryPolicy(max_attempts=30, backoff_base_s=0.01),
+            fault_model=model,
+        )
+        result = run_transfer(env, service, TransferRequest("f", 1 * MB, ("up",)))
+        # With 30 attempts at 1% success each, almost surely fails — the
+        # point is the loop terminates and reports attempts either way.
+        assert result.attempts >= 1
+        assert result.ok or result.attempts == 30
+
+    def test_retries_until_success_counts_attempts(self):
+        env = Environment()
+        model = TransferFaultModel(0.5, seed=3)
+        _net, service = build(
+            env,
+            retry_policy=TransferRetryPolicy(max_attempts=50, backoff_base_s=0.01),
+            fault_model=model,
+        )
+        result = run_transfer(env, service, TransferRequest("f", 1 * MB, ("up",)))
+        assert result.ok
+        assert result.attempts >= 1
+        assert result.error == ""
+
+    def test_exhausted_retries_return_failed_result(self):
+        env = Environment()
+        model = TransferFaultModel(0.999999, seed=5)
+        _net, service = build(
+            env,
+            retry_policy=TransferRetryPolicy(max_attempts=3, backoff_base_s=0.01),
+            fault_model=model,
+        )
+        result = run_transfer(env, service, TransferRequest("f", 1 * MB, ("up",)))
+        assert not result.ok
+        assert result.attempts == 3
+        assert "transient-fault" in result.error
+
+    def test_paper_faithful_single_attempt(self):
+        env = Environment()
+        model = TransferFaultModel(0.999999, seed=5)
+        _net, service = build(
+            env,
+            retry_policy=TransferRetryPolicy.paper_faithful(),
+            fault_model=model,
+        )
+        result = run_transfer(env, service, TransferRequest("f", 1 * MB, ("up",)))
+        assert not result.ok
+        assert result.attempts == 1
+
+    def test_clean_path_unchanged_without_faults(self):
+        env = Environment()
+        _net, service = build(env, retry_policy=TransferRetryPolicy.resilient())
+        result = run_transfer(env, service, TransferRequest("f", 100 * MB, ("up",)))
+        assert result.ok
+        assert result.attempts == 1
+        assert result.duration == pytest.approx(8.0, rel=1e-6)
+
+    def test_deterministic_replay(self):
+        ends = []
+        for _ in range(2):
+            env = Environment()
+            _net, service = build(
+                env,
+                retry_policy=TransferRetryPolicy(
+                    max_attempts=10, backoff_base_s=0.5, jitter_fraction=0.5
+                ),
+                fault_model=TransferFaultModel(0.6, seed=7),
+            )
+            results = [
+                run_transfer(
+                    env, service, TransferRequest(f"f{i}", 1 * MB, ("up",))
+                )
+                for i in range(5)
+            ]
+            ends.append(tuple((r.end, r.ok, r.attempts) for r in results))
+        assert ends[0] == ends[1]
+
+
+class TestTimeout:
+    def test_timeout_cancels_and_fails_attempt(self):
+        env = Environment()
+        # 100 Mbit link, 100 MB file = 8 s; 1 s timeout must kill it.
+        net, service = build(
+            env, retry_policy=TransferRetryPolicy(max_attempts=1, timeout_s=1.0)
+        )
+        result = run_transfer(env, service, TransferRequest("f", 100 * MB, ("up",)))
+        assert not result.ok
+        assert result.error == "timeout"
+        assert result.end == pytest.approx(1.0)
+        # The cancelled flow released its bandwidth (no active flows).
+        assert not net._flows
+
+    def test_timeout_within_budget_succeeds(self):
+        env = Environment()
+        _net, service = build(
+            env, retry_policy=TransferRetryPolicy(max_attempts=1, timeout_s=10.0)
+        )
+        result = run_transfer(env, service, TransferRequest("f", 100 * MB, ("up",)))
+        assert result.ok
+        assert result.end == pytest.approx(8.0, rel=1e-6)
+
+
+class TestStagingNeverCrashes:
+    def test_every_request_yields_a_result(self):
+        env = Environment()
+        _net, service = build(
+            env,
+            retry_policy=TransferRetryPolicy.paper_faithful(),
+            fault_model=TransferFaultModel(0.5, seed=11),
+        )
+        plan = StagingPlan(concurrency=2)
+        for i in range(12):
+            plan.add(TransferRequest(f"f{i}", 1 * MB, ("up",), tag=f"t{i}"))
+
+        def proc(env):
+            results = yield env.process(plan.execute(service))
+            return results
+
+        p = env.process(proc(env))
+        env.run()
+        results = p.value
+        assert len(results) == 12
+        assert {r.file_name for r in results} == {f"f{i}" for i in range(12)}
+        assert all(r.attempts == 1 for r in results)
+        assert any(not r.ok for r in results)  # seed 11 faults some
+        assert any(r.ok for r in results)
+        assert all(r.tag.startswith("t") for r in results)
+
+    def test_metrics_track_retries_and_failures(self):
+        from repro.telemetry.spans import Telemetry
+
+        env = Environment()
+        tel = Telemetry(clock=lambda: env.now)
+        net = FlowNetwork(env)
+        net.add_link("up", 100 * Mbit)
+        service = TransferService(
+            env,
+            net,
+            _Raw(),
+            telemetry=tel,
+            retry_policy=TransferRetryPolicy(max_attempts=2, backoff_base_s=0.01),
+            fault_model=TransferFaultModel(0.9, seed=2),
+        )
+
+        def proc(env):
+            for i in range(10):
+                yield env.process(
+                    service.transfer(TransferRequest(f"f{i}", 1 * MB, ("up",)))
+                )
+
+        env.process(proc(env))
+        env.run()
+        snap = tel.metrics.snapshot()["counters"]
+        assert snap["transfer.count"] == 10
+        assert snap["transfer.retries"] > 0
+        assert snap["transfer.faults"] > 0
+        failed = sum(1 for r in service.results if not r.ok)
+        assert snap["transfer.failed"] == failed
