@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint check bench bench-check bench-update schema-check trace-demo chaos
+.PHONY: test lint check bench bench-check bench-update schema-check trace-demo chaos chaos-runtime
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,8 +22,9 @@ lint:
 	fi
 
 # One command to gate a PR locally: invariants, tests (which include
-# the exporter schema/golden contract), perf regressions.
-check: lint test schema-check bench-check
+# the exporter schema/golden contract), runtime chaos parity, perf
+# regressions.
+check: lint test schema-check chaos-runtime bench-check
 
 bench:
 	$(PYTHON) -m benchmarks.run_bench
@@ -41,6 +42,14 @@ bench-check:
 
 bench-update:
 	$(PYTHON) -m benchmarks.run_bench --update
+
+# Runtime chaos: fault-path suites for the real execution planes plus
+# the cross-engine parity suite (simulated vs threaded vs TCP must
+# reach identical outcome digests under equivalent injected faults).
+chaos-runtime:
+	$(PYTHON) -m pytest tests/integration/test_chaos_parity.py \
+		tests/runtime/test_tcp_faults.py tests/runtime/test_local_faults.py \
+		tests/runtime/test_faults.py -x -q
 
 # Seeded chaos sweep (VM failures + link faults + transfer faults) run
 # twice; the digests must match byte-for-byte or determinism regressed.

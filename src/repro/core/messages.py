@@ -125,6 +125,9 @@ class FileMetadata(Message):
     #: Whether the payload follows (remote modes) or the worker already
     #: holds the files locally (pre-partitioned local).
     transfer_required: bool = True
+    #: Which attempt of the task this assignment is (1 = first try);
+    #: lets workers stamp retry attempts into their task records.
+    attempt: int = 1
 
 
 @_register
@@ -141,6 +144,9 @@ class FileData(Message):
     task_id: int = -1
     file_name: str = ""
     payload_len: int = 0
+    #: CRC32 of the payload (8 hex digits); empty disables verification
+    #: (the simulated engine never materializes payloads).
+    checksum: str = ""
 
 
 @_register
@@ -155,6 +161,40 @@ class ExecStatus(Message):
     duration: float = 0.0
     error: str = ""
     output_summary: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class Heartbeat(Message):
+    """Worker → master: liveness beat (§V-A monitoring extension).
+
+    A worker whose connection stays open but whose beats stop — a hung
+    process, a wedged VM — is *suspected* and then *declared dead* by
+    the master's :class:`~repro.core.monitoring.HeartbeatMonitor`, and
+    recovered through the same path as a broken connection.
+    """
+
+    msg_type: ClassVar[str] = "HEARTBEAT"
+    worker_id: str = ""
+    seq: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class ResendFile(Message):
+    """Worker → master: re-request a payload that failed verification.
+
+    Sent when a ``FILE_DATA`` payload's checksum does not match; the
+    master re-reads and re-sends the file. Workers bound the number of
+    re-requests per file so a persistently corrupt link degrades into a
+    worker failure instead of an infinite loop.
+    """
+
+    msg_type: ClassVar[str] = "RESEND_FILE"
+    worker_id: str = ""
+    file_name: str = ""
+    task_id: int = -1
+    reason: str = "checksum mismatch"
 
 
 @_register

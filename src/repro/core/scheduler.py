@@ -229,6 +229,60 @@ class MasterScheduler:
         self._m_assigned.inc()
         return assignment
 
+    def has_in_flight(self, worker_id: str, task_id: int) -> bool:
+        """Whether this (worker, task) pair is on the books.
+
+        A real master uses this to discard *stale* status reports: a
+        worker the heartbeat sweep already declared dead (and whose
+        task was requeued) may still deliver an ``EXEC_STATUS`` — that
+        report must be ignored, not crash the master.
+        """
+        return (worker_id, task_id) in self._in_flight
+
+    def assignment_in_flight(self, worker_id: str) -> Optional[Assignment]:
+        """The worker's current in-flight assignment, if any (earliest
+        task index when several are outstanding).
+
+        Lets a master answer a *repeated* ``REQUEST_DATA`` — a worker
+        whose reply frame was lost on the wire re-asks — by re-sending
+        the same assignment instead of drawing a new one (at-least-once
+        delivery without double-assignment).
+        """
+        mine = [a for (w, _t), a in self._in_flight.items() if w == worker_id]
+        if not mine:
+            return None
+        return min(mine, key=lambda a: a.task_id)
+
+    def abandon_outstanding(self, reason: str = "abandoned") -> list[Assignment]:
+        """Terminal accounting when no master survives to drive retries.
+
+        Every unresolved task (in flight, queued, or still reserved in
+        a static chunk) becomes *lost* — the fate of work stranded by a
+        master crash (§V-A single point of failure). Returns the newly
+        lost assignments.
+        """
+        resolved = (
+            set(self.completed)
+            | {a.task_id for a in self.failed_tasks}
+            | {a.task_id for a in self.lost_tasks}
+        )
+        in_flight = {a.task_id: a for a in self._in_flight.values()}
+        newly_lost: list[Assignment] = []
+        for group in self._groups:
+            if group.index in resolved:
+                continue
+            assignment = in_flight.get(group.index) or Assignment(
+                group=group, worker_id="", attempt=self._attempts[group.index]
+            )
+            self.lost_tasks.append(assignment)
+            newly_lost.append(assignment)
+            self._m_lost.inc()
+        self._in_flight.clear()
+        self._queue.clear()
+        for chunk in self._static_chunks.values():
+            chunk.clear()
+        return newly_lost
+
     # -- completion/failure ------------------------------------------------
     def _pop_in_flight(self, worker_id: str, task_id: int) -> Assignment:
         try:

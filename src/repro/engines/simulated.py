@@ -53,6 +53,7 @@ from repro.data.files import DataFile, Dataset
 from repro.data.partition import PartitionScheme
 from repro.engines.compute import ComputeModel
 from repro.errors import ConfigurationError, SimulationError
+from repro.runtime.faults import ANY_TASK
 from repro.sim.kernel import Environment, Event, Interrupt
 from repro.sim.monitor import Monitor, MonitorSink
 from repro.telemetry.spans import SpanHandle, Telemetry
@@ -156,6 +157,8 @@ class SimulatedEngine:
         failure_schedule: FailureSchedule | None = None,
         failure_mttf: float | None = None,
         failure_silent_fraction: float = 0.0,
+        crash_worker_on_task: dict[str, int] | None = None,
+        hang_worker_on_task: dict[str, int] | None = None,
         link_fault_schedule: LinkFaultSchedule | None = None,
         link_fault_mtbf: float | None = None,
         link_fault_outage: float = 30.0,
@@ -231,6 +234,8 @@ class SimulatedEngine:
             failure_schedule=failure_schedule,
             failure_mttf=failure_mttf,
             failure_silent_fraction=failure_silent_fraction,
+            crash_worker_on_task=crash_worker_on_task,
+            hang_worker_on_task=hang_worker_on_task,
             link_fault_schedule=link_fault_schedule,
             link_fault_mtbf=link_fault_mtbf,
             link_fault_outage=link_fault_outage,
@@ -272,6 +277,8 @@ class _SimulatedRun:
         failure_schedule: FailureSchedule | None,
         failure_mttf: float | None,
         failure_silent_fraction: float = 0.0,
+        crash_worker_on_task: dict[str, int] | None = None,
+        hang_worker_on_task: dict[str, int] | None = None,
         link_fault_schedule: LinkFaultSchedule | None = None,
         link_fault_mtbf: float | None = None,
         link_fault_outage: float = 30.0,
@@ -305,12 +312,19 @@ class _SimulatedRun:
         self.failure_schedule = failure_schedule
         self.failure_mttf = failure_mttf
         self.failure_silent_fraction = float(failure_silent_fraction)
+        #: Per-worker scripted deaths (chaos-parity twins of the real
+        #: engines' hooks): consumed on first match, delivered through
+        #: ``fail_vm`` so the ordinary interrupt path does bookkeeping.
+        self.crash_on_task = dict(crash_worker_on_task or {})
+        self.hang_on_task = dict(hang_worker_on_task or {})
         self.link_fault_schedule = link_fault_schedule
         self.link_fault_mtbf = link_fault_mtbf
         self.link_fault_outage = float(link_fault_outage)
         self.transfer_fault_rate = float(transfer_fault_rate)
-        silent_possible = self.failure_silent_fraction > 0 or (
-            failure_schedule is not None and failure_schedule.has_silent
+        silent_possible = (
+            self.failure_silent_fraction > 0
+            or bool(self.hang_on_task)
+            or (failure_schedule is not None and failure_schedule.has_silent)
         )
         if silent_possible and self.options.heartbeat_interval <= 0:
             raise ConfigurationError(
@@ -862,6 +876,12 @@ class _SimulatedRun:
                         # Retry extension: work may reappear; poll briefly.
                         yield env.timeout(max(self.options.control_rtt * 25, 0.05))
                         continue
+                    if self._maybe_inject_death(vm, wid, assignment.task_id):
+                        # The interrupt we just scheduled is delivered at
+                        # this yield; the except block below (or silence,
+                        # for hangs) takes over — twin of a real worker
+                        # dying upon receiving FILE_METADATA.
+                        yield env.timeout(0)
                     task_span = self._open_task_span(vm, assignment, request_start)
                     yield from self._execute_assignment(
                         vm, logic, assignment, span=task_span
@@ -924,6 +944,30 @@ class _SimulatedRun:
             )
             self._maybe_finish()
 
+    def _maybe_inject_death(self, vm: VirtualMachine, wid: str, task_id: int) -> bool:
+        """Scripted chaos hook: kill/wedge this VM upon drawing a task.
+
+        Returns True after scheduling the failure; the caller must then
+        yield once so the kernel delivers the interrupt. A *crash* uses
+        an ordinary cause (broken-connection bookkeeping in the
+        interrupt handler); a *hang* uses a silent cause, so only the
+        heartbeat sweep can recover it — exactly the two failure modes
+        the real engines inject.
+        """
+        crash = self.crash_on_task.get(wid)
+        if crash is not None and crash in (task_id, ANY_TASK):
+            del self.crash_on_task[wid]
+            self.cluster.fail_vm(vm.vm_id, cause=f"injected crash on task {task_id}")
+            return True
+        hang = self.hang_on_task.get(wid)
+        if hang is not None and hang in (task_id, ANY_TASK):
+            del self.hang_on_task[wid]
+            self.cluster.fail_vm(
+                vm.vm_id, cause=f"silent: injected hang on task {task_id}"
+            )
+            return True
+        return False
+
     def _open_task_span(
         self, vm: VirtualMachine, assignment: Assignment, request_start: float
     ) -> SpanHandle:
@@ -977,6 +1021,8 @@ class _SimulatedRun:
                         return None
                     yield env.timeout(max(self.options.control_rtt * 25, 0.05))
                     continue
+                if self._maybe_inject_death(vm, wid, assignment.task_id):
+                    yield env.timeout(0)  # deliver the scheduled interrupt
                 task_span = self._open_task_span(vm, assignment, fetch_start)
                 try:
                     transfer_seconds = yield from self._stage_inputs(

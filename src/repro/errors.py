@@ -35,6 +35,24 @@ class ProtocolError(FriedaError):
     """Raised when a FRIEDA protocol message violates the state machine."""
 
 
+class ChecksumError(ProtocolError):
+    """A frame's binary payload failed checksum verification.
+
+    The frame (header, body, and payload) was fully consumed before the
+    error was raised, so the stream is still correctly framed: the
+    receiver may keep reading and ask the sender for a retransmit.
+    """
+
+    def __init__(self, frame: object, expected: str, actual: str):
+        super().__init__(
+            f"payload checksum mismatch for {frame!r}: "
+            f"expected {expected}, got {actual}"
+        )
+        self.frame = frame
+        self.expected = expected
+        self.actual = actual
+
+
 class WorkerFailure(FriedaError):
     """Raised inside a worker process when its VM fails mid-task."""
 

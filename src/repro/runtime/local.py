@@ -32,12 +32,15 @@ from repro.core.commands import CommandTemplate
 from repro.core.controller import ControllerLogic
 from repro.core.fault import RetryPolicy
 from repro.core.framework import RunOutcome, TaskRecord
+from repro.core.messages import WorkerFailed
+from repro.core.monitoring import HeartbeatConfig, HeartbeatMonitor, Liveness
 from repro.core.scheduler import MasterScheduler
 from repro.core.strategies import StrategyKind
 from repro.core.worker import WorkerLogic
 from repro.data.files import DataFile, Dataset
 from repro.data.partition import PartitionScheme
 from repro.errors import ConfigurationError
+from repro.runtime.faults import ANY_TASK
 from repro.telemetry.metrics import Histogram
 from repro.telemetry.spans import NULL_TELEMETRY, SpanHandle, Telemetry
 
@@ -71,12 +74,21 @@ class ThreadedEngine:
         *,
         scratch_root: Optional[str] = None,
         command_timeout: float = 300.0,
+        heartbeat_interval: float = 0.0,
+        heartbeat_config: HeartbeatConfig | None = None,
     ):
+        """``heartbeat_interval`` > 0 turns on thread liveness: workers
+        beat between tasks and a watchdog on the main thread sweeps a
+        :class:`~repro.core.monitoring.HeartbeatMonitor`, declaring a
+        hung worker dead (a thread that *exits* abruptly is detected
+        directly, beats or not)."""
         if num_workers < 1:
             raise ConfigurationError("num_workers must be >= 1")
         self.num_workers = num_workers
         self.scratch_root = scratch_root
         self.command_timeout = command_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_config = heartbeat_config
 
     def run(
         self,
@@ -88,6 +100,8 @@ class ThreadedEngine:
         grouping_options: dict | None = None,
         retry_policy: RetryPolicy | None = None,
         isolate_after: int = 1,
+        crash_worker_on_task: dict[str, int] | None = None,
+        hang_worker_on_task: dict[str, int] | None = None,
         telemetry: Telemetry | None = None,
     ) -> RunOutcome:
         """Run a data-parallel program over real input files.
@@ -95,11 +109,25 @@ class ThreadedEngine:
         ``telemetry`` attaches the same hub the simulated plane uses;
         spans are stamped with wall seconds relative to run start so a
         real run's trace opens in the same viewer as a simulated one.
+
+        Chaos hooks (mirroring :class:`~repro.runtime.tcp.TcpEngine`):
+        ``crash_worker_on_task`` maps a worker id to a task id — the
+        worker thread dies without reporting when it draws that task
+        (:data:`~repro.runtime.faults.ANY_TASK` = its first draw);
+        ``hang_worker_on_task`` wedges the thread instead (alive, no
+        beats) and requires ``heartbeat_interval`` > 0.
         """
         if callable(command) and not isinstance(command, CommandTemplate):
             command = CommandTemplate(function=command)
         elif isinstance(command, str):
             command = CommandTemplate(template=command)
+        crash_map = crash_worker_on_task or {}
+        hang_map = hang_worker_on_task or {}
+        if hang_map and self.heartbeat_interval <= 0:
+            raise ConfigurationError(
+                "hung workers are undetectable without heartbeats: "
+                "set ThreadedEngine(heartbeat_interval=...) > 0"
+            )
         dataset = _as_dataset(inputs)
         controller = ControllerLogic(
             strategy=strategy,
@@ -164,9 +192,17 @@ class ThreadedEngine:
                 stage_seconds = time.monotonic() - t0
                 stage_span.end()
 
+            monitor = (
+                HeartbeatMonitor(self.heartbeat_config, metrics=tel.metrics)
+                if self.heartbeat_interval > 0
+                else None
+            )
+            clock = lambda: time.monotonic() - t_base  # noqa: E731
+            hang_release = threading.Event()
+            status: dict[str, str] = {}
             outcomes: dict[str, _WorkerOutcome] = {}
-            threads = [
-                threading.Thread(
+            threads = {
+                wid: threading.Thread(
                     target=self._worker_main,
                     args=(
                         logics[wid],
@@ -179,15 +215,27 @@ class ThreadedEngine:
                         run_span,
                         h_exec,
                     ),
+                    kwargs=dict(
+                        monitor=monitor,
+                        clock=clock,
+                        crash_on_task=crash_map.get(wid),
+                        hang_on_task=hang_map.get(wid),
+                        hang_release=hang_release,
+                        status=status,
+                    ),
                     name=f"frieda-{wid}",
                     daemon=True,
                 )
                 for wid in worker_ids
-            ]
-            for t in threads:
-                t.start()
-            for t in threads:
-                t.join()
+            }
+            for wid in worker_ids:
+                if monitor is not None:
+                    monitor.beat(wid, clock())
+                status[wid] = "running"
+                threads[wid].start()
+            self._watchdog(
+                threads, scheduler, controller, wakeup, monitor, clock, status, hang_release, tel
+            )
         makespan = time.monotonic() - started
         records = [r for o in outcomes.values() for r in o.records]
         records.sort(key=lambda r: (r.start, r.task_id))
@@ -213,6 +261,76 @@ class ThreadedEngine:
             worker_busy={wid: o.busy_seconds for wid, o in outcomes.items()},
             controller_events=list(controller.events),
         )
+
+    # -- supervision ---------------------------------------------------------
+    def _watchdog(
+        self,
+        threads: dict[str, threading.Thread],
+        scheduler: MasterScheduler,
+        controller: ControllerLogic,
+        wakeup: threading.Condition,
+        monitor: HeartbeatMonitor | None,
+        clock: Callable[[], float],
+        status: dict[str, str],
+        hang_release: threading.Event,
+        tel: Telemetry,
+    ) -> None:
+        """Replace the blind ``join()`` loop: watch for worker deaths.
+
+        Two detection paths, mirroring the TCP master: a thread that
+        *exits* abruptly (injected crash) is the broken-connection twin
+        and is reported immediately; a thread that stops beating while
+        still alive (injected hang) is declared dead by the heartbeat
+        sweep. Both feed the same ``worker_lost`` → requeue → isolate
+        path, then idle peers are woken to absorb the requeued work.
+        """
+        handled: set[str] = set()
+
+        def report_loss(wid: str, reason: str) -> None:
+            handled.add(wid)
+            tel.event("node.declared_dead", wid, track="control")
+            controller.log(clock(), "NODE_DECLARED_DEAD", f"{wid}: {reason}")
+            with wakeup:
+                requeued = scheduler.worker_lost(wid, reason)
+                controller.on_worker_failed(
+                    WorkerFailed(
+                        worker_id=wid,
+                        node_id="localhost",
+                        error=reason,
+                        tasks_in_flight=tuple(a.task_id for a in requeued),
+                    ),
+                    clock(),
+                )
+                wakeup.notify_all()
+
+        interval = self.heartbeat_interval if monitor is not None else 0.02
+        while True:
+            for wid, thread in threads.items():
+                if thread.is_alive() or wid in handled:
+                    continue
+                if status.get(wid) == "crashed":
+                    # Abrupt thread death — the connection-loss twin.
+                    if monitor is not None:
+                        monitor.forget(wid)
+                    report_loss(wid, "worker thread died")
+                elif monitor is not None:
+                    # Graceful drain: silence after exit is not death.
+                    handled.add(wid)
+                    monitor.forget(wid)
+            if monitor is not None:
+                for wid, state in monitor.sweep(clock()).items():
+                    if state is Liveness.DEAD and wid not in handled:
+                        report_loss(wid, "missed heartbeats")
+            with wakeup:
+                if scheduler.done:
+                    # Run resolved: release wedged threads so they exit.
+                    hang_release.set()
+                    wakeup.notify_all()
+            if not any(t.is_alive() for t in threads.values()):
+                break
+            time.sleep(min(interval, 0.05))  # frieda: allow[real-sleep] -- watchdog pacing on real threads
+        for thread in threads.values():
+            thread.join(timeout=1.0)
 
     # -- data management -----------------------------------------------------
     def _stage_all(
@@ -269,13 +387,26 @@ class ThreadedEngine:
         tel: Telemetry = NULL_TELEMETRY,
         run_span: SpanHandle | None = None,
         h_exec: Histogram | None = None,
+        monitor: HeartbeatMonitor | None = None,
+        clock: Callable[[], float] | None = None,
+        crash_on_task: Optional[int] = None,
+        hang_on_task: Optional[int] = None,
+        hang_release: threading.Event | None = None,
+        status: dict[str, str] | None = None,
     ) -> None:
         wid = logic.worker_id
         records: list[TaskRecord] = []
         transfer_seconds = 0.0
         busy_seconds = 0.0
         retry = scheduler.retry_policy
+        status = status if status is not None else {}
+        # Park timeout that keeps an idle worker alive in the monitor.
+        self_beat = monitor.config.suspect_after if monitor is not None else 2.0
         while True:
+            if monitor is not None:
+                # Beats happen between tasks: a thread wedged inside a
+                # draw-execute cycle goes silent and is declared dead.
+                monitor.beat(wid, clock())
             with wakeup:
                 if scheduler.done:
                     break
@@ -285,10 +416,27 @@ class ThreadedEngine:
                         break
                     # Idle, but a peer's failure may requeue work for us:
                     # sleep until someone reports an outcome. The timeout
-                    # is a lost-wakeup safety net, not a poll interval.
-                    wakeup.wait(timeout=1.0)
+                    # is a lost-wakeup safety net, not a poll interval —
+                    # except with heartbeats on, where a parked worker
+                    # must still wake often enough to keep beating.
+                    wakeup.wait(timeout=1.0 if monitor is None else 0.5 * self_beat)
                     continue
             group = assignment.group
+            if crash_on_task is not None and crash_on_task in (group.index, ANY_TASK):
+                # Injected VM death: exit abruptly — no report, no
+                # further beats. The watchdog notices and requeues.
+                status[wid] = "crashed"
+                outcomes[wid] = _WorkerOutcome(records, transfer_seconds, busy_seconds)
+                return
+            if hang_on_task is not None and hang_on_task in (group.index, ANY_TASK):
+                # Injected wedge: stay alive but stop beating; the
+                # heartbeat sweep declares us dead. Released (so the
+                # thread can exit) once the run resolves.
+                status[wid] = "hung"
+                outcomes[wid] = _WorkerOutcome(records, transfer_seconds, busy_seconds)
+                if hang_release is not None:
+                    hang_release.wait()
+                return
             task_span = tel.start_span(
                 "task",
                 parent=run_span,
@@ -359,6 +507,7 @@ class ThreadedEngine:
                     error=error,
                 )
             )
+        status[wid] = "completed"
         with wakeup:
             # This worker is leaving (done, or out of work with retries
             # off): wake any sleeper so it re-checks the exit condition.

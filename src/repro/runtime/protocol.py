@@ -5,21 +5,52 @@ JSON-encoded message (see :mod:`repro.core.messages`). A ``FILE_DATA``
 message whose ``payload_len`` is nonzero is immediately followed by
 exactly ``payload_len`` raw bytes (the file contents) — binary payloads
 never pass through JSON.
+
+Integrity: a ``FILE_DATA`` frame built with :func:`file_data_message`
+carries a CRC32 of its payload. :func:`read_frame` verifies it after
+fully consuming the frame and raises
+:class:`~repro.errors.ChecksumError` on mismatch — the stream stays
+correctly framed, so the receiver can keep reading and ask the sender
+for a retransmit (``RESEND_FILE``) instead of tearing the connection
+down.
 """
 
 from __future__ import annotations
 
 import asyncio
 import struct
+import zlib
 from typing import Optional
 
 from repro.core.messages import FileData, Message, decode_message, encode_message
-from repro.errors import ProtocolError
+from repro.errors import ChecksumError, ProtocolError
 
 #: Frames above this size are rejected (corrupt length prefix guard).
 MAX_FRAME = 64 * 1024 * 1024
 
 _LEN = struct.Struct(">I")
+
+
+def payload_checksum(payload: bytes) -> str:
+    """CRC32 of a binary payload as 8 lowercase hex digits."""
+    return format(zlib.crc32(payload) & 0xFFFFFFFF, "08x")
+
+
+def file_data_message(task_id: int, file_name: str, payload: bytes) -> FileData:
+    """Build a checksummed ``FILE_DATA`` header for ``payload``."""
+    return FileData(
+        task_id=task_id,
+        file_name=file_name,
+        payload_len=len(payload),
+        checksum=payload_checksum(payload),
+    )
+
+
+def _verify_payload(message: Message, payload: bytes) -> None:
+    if isinstance(message, FileData) and message.checksum:
+        actual = payload_checksum(payload)
+        if actual != message.checksum:
+            raise ChecksumError(message, expected=message.checksum, actual=actual)
 
 
 def write_frame(writer: asyncio.StreamWriter, message: Message, payload: bytes = b"") -> None:
@@ -40,7 +71,12 @@ def write_frame(writer: asyncio.StreamWriter, message: Message, payload: bytes =
 
 
 async def read_frame(reader: asyncio.StreamReader) -> tuple[Message, bytes]:
-    """Read one message (+ payload if FILE_DATA); raises on EOF/corruption."""
+    """Read one message (+ payload if FILE_DATA); raises on EOF/corruption.
+
+    A checksummed payload that fails verification raises
+    :class:`ChecksumError` *after* the whole frame has been consumed,
+    so the caller may continue reading the stream.
+    """
     header = await reader.readexactly(_LEN.size)
     (length,) = _LEN.unpack(header)
     if length > MAX_FRAME:
@@ -52,14 +88,51 @@ async def read_frame(reader: asyncio.StreamReader) -> tuple[Message, bytes]:
         if message.payload_len > MAX_FRAME:
             raise ProtocolError(f"payload length {message.payload_len} exceeds maximum")
         payload = await reader.readexactly(message.payload_len)
+    _verify_payload(message, payload)
     return message, payload
+
+
+class Channel:
+    """Frame-level view of one connection's ``(reader, writer)`` pair.
+
+    The runtime's fault-injection twin
+    (:class:`repro.runtime.faults.FaultyChannel`) subclasses this and
+    perturbs :meth:`send`, so every frame the master or a worker emits
+    flows through one seam.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+
+    async def send(self, message: Message, payload: bytes = b"") -> None:
+        write_frame(self.writer, message, payload)
+        await self.writer.drain()
+
+    async def recv(self) -> tuple[Message, bytes]:
+        return await read_frame(self.reader)
+
+    def close(self) -> None:
+        self.writer.close()
+
+    @property
+    def is_closing(self) -> bool:
+        return self.writer.is_closing()
+
+    async def wait_closed(self) -> None:
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
 
 
 class FrameReader:
     """Synchronous incremental frame decoder (for tests and non-asyncio use).
 
     Feed bytes with :meth:`feed`; completed ``(message, payload)``
-    pairs come back from :meth:`pop`.
+    pairs come back from :meth:`pop`. A checksum mismatch raises after
+    the offending frame has been consumed from the buffer; feeding
+    ``b""`` resumes decoding of any bytes already buffered.
     """
 
     def __init__(self) -> None:
@@ -86,6 +159,7 @@ class FrameReader:
                 return
             payload = bytes(self._buffer[_LEN.size + length : total])
             del self._buffer[:total]
+            _verify_payload(message, payload)
             self._frames.append((message, payload))
 
     def pop(self) -> Optional[tuple[Message, bytes]]:

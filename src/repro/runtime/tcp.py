@@ -13,9 +13,29 @@ binary file payloads), exercising the exact message sequence of Fig 4:
     worker  → EXEC_STATUS
     ... repeat ...
 
+Fault tolerance (runtime twin of the simulated engine's fault model):
+
+- **Registration window** instead of a wait-for-all barrier: the run
+  proceeds with whichever workers register inside the window; late
+  workers — including a worker rejoining after a crash under a fresh
+  id — are accepted mid-run and handed requeued work.
+- **Wire liveness**: workers emit ``HEARTBEAT`` frames; the master
+  drives a :class:`~repro.core.monitoring.HeartbeatMonitor` so a *hung*
+  worker (connection open, no beats) is declared dead and recovered
+  through the same ``worker_lost`` → requeue → isolate →
+  :class:`~repro.core.elasticity.ElasticityManager` path a broken
+  connection takes.
+- **Payload integrity**: ``FILE_DATA`` frames are checksummed; a
+  corrupt payload triggers a bounded ``RESEND_FILE`` re-request.
+- **Fault injection**: a seeded
+  :class:`~repro.runtime.faults.FaultScript` perturbs frames
+  (drop/delay/corrupt/truncate) for chaos testing.
+
 A worker disconnecting mid-run is treated as a failed worker: the
 master reports it to the controller, isolates it, and (only with the
-retry extension) requeues its tasks.
+retry extension) requeues its tasks. A master loss no longer crashes
+the run: workers unwind cleanly and the stranded tasks are accounted
+as lost.
 """
 
 from __future__ import annotations
@@ -31,6 +51,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.core.commands import CommandTemplate
 from repro.core.controller import ControllerLogic
+from repro.core.elasticity import ElasticityManager
 from repro.core.fault import RetryPolicy
 from repro.core.framework import RunOutcome, TaskRecord
 from repro.core.messages import (
@@ -38,20 +59,32 @@ from repro.core.messages import (
     ExecStatus,
     FileData,
     FileMetadata,
+    Heartbeat,
     Message,
     NoMoreData,
     RegisterWorker,
     RequestData,
+    ResendFile,
     WorkerFailed,
 )
+from repro.core.monitoring import HeartbeatConfig, HeartbeatMonitor, Liveness
 from repro.core.scheduler import MasterScheduler
 from repro.core.strategies import StrategyKind
 from repro.core.worker import WorkerLogic
 from repro.data.files import Dataset
 from repro.data.partition import PartitionScheme
-from repro.errors import ConfigurationError, ProtocolError
+from repro.errors import ChecksumError, ConfigurationError, ProtocolError
+from repro.runtime.faults import ANY_TASK, FaultScript, FaultyChannel
 from repro.runtime.local import _as_dataset
-from repro.runtime.protocol import read_frame, write_frame
+from repro.runtime.protocol import Channel, file_data_message
+from repro.telemetry.spans import NULL_TELEMETRY, Telemetry
+
+_CONNECTION_ERRORS = (
+    asyncio.IncompleteReadError,
+    ConnectionResetError,
+    BrokenPipeError,
+)
+
 
 
 class TcpEngine:
@@ -64,13 +97,35 @@ class TcpEngine:
         scratch_root: Optional[str] = None,
         run_timeout: float = 120.0,
         host: str = "127.0.0.1",
+        registration_window: float = 5.0,
+        heartbeat_interval: float = 0.0,
+        heartbeat_config: HeartbeatConfig | None = None,
+        reply_timeout: float = 0.0,
+        max_payload_retries: int = 3,
     ):
+        """``registration_window`` bounds how long the master waits for
+        the expected workers before partitioning over whoever arrived
+        (it always proceeds early once all expected workers register).
+        ``heartbeat_interval`` > 0 turns on wire liveness: workers beat
+        at that period and the master sweeps at the same period using
+        ``heartbeat_config`` thresholds. ``reply_timeout`` > 0 lets a
+        worker re-request after silence instead of blocking forever
+        (required for ``drop`` fault rules); ``max_payload_retries``
+        bounds per-file retransmits and re-requests.
+        """
         if num_workers < 1:
             raise ConfigurationError("num_workers must be >= 1")
+        if registration_window <= 0:
+            raise ConfigurationError("registration_window must be > 0")
         self.num_workers = num_workers
         self.scratch_root = scratch_root
         self.run_timeout = run_timeout
         self.host = host
+        self.registration_window = registration_window
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_config = heartbeat_config
+        self.reply_timeout = reply_timeout
+        self.max_payload_retries = max_payload_retries
 
     def run(
         self,
@@ -83,16 +138,49 @@ class TcpEngine:
         retry_policy: RetryPolicy | None = None,
         isolate_after: int = 1,
         crash_worker_on_task: dict[str, int] | None = None,
+        hang_worker_on_task: dict[str, int] | None = None,
+        crash_before_register: Sequence[str] = (),
+        respawn_after_crash: dict[str, float] | None = None,
+        crash_master_after_tasks: int | None = None,
+        fault_script: FaultScript | None = None,
+        telemetry: Telemetry | None = None,
     ) -> RunOutcome:
         """Run the workload over TCP; returns a :class:`RunOutcome`.
 
-        ``crash_worker_on_task`` (testing hook) maps a worker id to a
-        task id; that worker drops its connection when it receives the
-        task — simulating a VM failure.
+        Testing hooks (all deterministic, none active by default):
+
+        - ``crash_worker_on_task``: worker id → task id; the worker
+          drops its connection when it receives that task (VM failure).
+          Task id ``-1`` crashes on the first staging push.
+        - ``hang_worker_on_task``: worker id → task id; the worker
+          stops beating and processing but keeps its connection open (a
+          wedged process). Requires ``heartbeat_interval`` > 0.
+        - ``crash_before_register``: worker ids that die before sending
+          ``REGISTER_WORKER`` (the registration-window case).
+        - ``respawn_after_crash``: worker id → delay seconds; after
+          that worker crashes, a fresh worker (new id) reconnects and
+          is accepted mid-run (elastic rejoin).
+        - ``crash_master_after_tasks``: the master stops serving after
+          that many task completions — workers unwind cleanly and the
+          stranded tasks are accounted as lost.
+        - ``fault_script``: seeded wire perturbations
+          (:class:`~repro.runtime.faults.FaultScript`).
         """
         if callable(command) and not isinstance(command, CommandTemplate):
             command = CommandTemplate(function=command)
         dataset = _as_dataset(inputs)
+        hang_map = hang_worker_on_task or {}
+        if hang_map and self.heartbeat_interval <= 0:
+            raise ConfigurationError(
+                "hung workers are undetectable without heartbeats: "
+                "set TcpEngine(heartbeat_interval=...) > 0"
+            )
+        if fault_script is not None and self.reply_timeout <= 0:
+            if any(r.action == "drop" for r in fault_script.rules):
+                raise ConfigurationError(
+                    "dropped frames are unrecoverable without re-requests: "
+                    "set TcpEngine(reply_timeout=...) > 0"
+                )
         return asyncio.run(
             asyncio.wait_for(
                 self._run_async(
@@ -104,6 +192,12 @@ class TcpEngine:
                     retry_policy,
                     isolate_after,
                     crash_worker_on_task or {},
+                    hang_map,
+                    frozenset(crash_before_register),
+                    respawn_after_crash or {},
+                    crash_master_after_tasks,
+                    fault_script,
+                    telemetry,
                 ),
                 timeout=self.run_timeout,
             )
@@ -120,7 +214,19 @@ class TcpEngine:
         retry_policy: RetryPolicy | None,
         isolate_after: int,
         crash_map: dict[str, int],
+        hang_map: dict[str, int],
+        pre_register_crashes: frozenset[str],
+        respawn_map: dict[str, float],
+        crash_master_after_tasks: int | None,
+        fault_script: FaultScript | None,
+        telemetry: Telemetry | None,
     ) -> RunOutcome:
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        t_base = time.monotonic()
+
+        def clock() -> float:
+            return time.monotonic() - t_base
+
         controller = ControllerLogic(
             strategy=strategy,
             grouping=grouping,
@@ -130,39 +236,117 @@ class TcpEngine:
             retry_policy=retry_policy,
             isolate_after=isolate_after,
         )
+        tel.bind(clock=clock, run=f"{dataset.name}:{controller.strategy.kind.value}")
         groups = controller.generate_partitions(dataset)
         scheduler = MasterScheduler(
             groups,
             controller.strategy,
             retry_policy=retry_policy,
             fault_tracker=controller.fault_tracker,
+            metrics=tel.metrics,
         )
         worker_ids = [f"tcp:{i}" for i in range(self.num_workers)]
-        master = _Master(controller, scheduler, dataset, worker_ids)
+        expected = [w for w in worker_ids if w not in pre_register_crashes]
+        monitor = (
+            HeartbeatMonitor(self.heartbeat_config, metrics=tel.metrics)
+            if self.heartbeat_interval > 0
+            else None
+        )
+        elasticity = ElasticityManager(metrics=tel.metrics)
+        master = _Master(
+            controller,
+            scheduler,
+            dataset,
+            worker_ids,
+            clock=clock,
+            registration_window=self.registration_window,
+            heartbeats=monitor,
+            heartbeat_interval=self.heartbeat_interval,
+            elasticity=elasticity,
+            telemetry=tel,
+            fault_script=fault_script,
+            crash_after_tasks=crash_master_after_tasks,
+        )
+        controller.fault_tracker.on_isolate = master.on_worker_isolated
         server = await asyncio.start_server(master.handle_client, self.host, 0)
         port = server.sockets[0].getsockname()[1]
+        run_span = tel.start_span(
+            "run",
+            track="control",
+            dataset=dataset.name,
+            strategy=controller.strategy.kind.value,
+            workers=self.num_workers,
+        )
         started = time.monotonic()
         records: list[TaskRecord] = []
-        with tempfile.TemporaryDirectory(dir=self.scratch_root, prefix="frieda-tcp-") as root:
-            workers = [
-                asyncio.create_task(
-                    _worker_client(
-                        wid,
-                        self.host,
-                        port,
-                        command,
-                        os.path.join(root, wid.replace(":", "_")),
-                        records,
-                        crash_on_task=crash_map.get(wid),
-                    )
+        hang_release = asyncio.Event()
+        supervisor = asyncio.create_task(master.supervise())
+
+        async def release_when_done() -> None:
+            await master.run_done.wait()
+            hang_release.set()
+
+        releaser = asyncio.create_task(release_when_done())
+
+        async def lifecycle(wid: str, root: str) -> None:
+            status = await _worker_client(
+                wid,
+                self.host,
+                port,
+                command,
+                os.path.join(root, wid.replace(":", "_")),
+                records,
+                crash_on_task=crash_map.get(wid),
+                hang_on_task=hang_map.get(wid),
+                hang_release=hang_release,
+                crash_before_register=wid in pre_register_crashes,
+                heartbeat_interval=self.heartbeat_interval,
+                reply_timeout=self.reply_timeout,
+                max_payload_retries=self.max_payload_retries,
+                fault_script=fault_script,
+            )
+            delay = respawn_map.get(wid)
+            if status == "crashed" and delay is not None and not master.run_done.is_set():
+                await asyncio.sleep(delay)
+                if master.run_done.is_set():
+                    return
+                await _worker_client(
+                    f"{wid}:r1",
+                    self.host,
+                    port,
+                    command,
+                    os.path.join(root, wid.replace(":", "_") + "_r1"),
+                    records,
+                    heartbeat_interval=self.heartbeat_interval,
+                    reply_timeout=self.reply_timeout,
+                    max_payload_retries=self.max_payload_retries,
+                    fault_script=fault_script,
                 )
-                for wid in worker_ids
-            ]
-            await asyncio.gather(*workers, return_exceptions=False)
-            server.close()
-            await server.wait_closed()
+
+        with tempfile.TemporaryDirectory(dir=self.scratch_root, prefix="frieda-tcp-") as root:
+            workers = [asyncio.create_task(lifecycle(wid, root)) for wid in worker_ids]
+            try:
+                await asyncio.gather(*workers)
+            finally:
+                master.run_done.set()
+                for task in (supervisor, releaser):
+                    task.cancel()
+                await asyncio.gather(supervisor, releaser, return_exceptions=True)
+                server.close()
+                await server.wait_closed()
+        if master.error is not None:
+            raise master.error
+        if master.crashed:
+            abandoned = scheduler.abandon_outstanding("master connection lost")
+            if abandoned:
+                controller.log(
+                    clock(),
+                    "TASKS_ABANDONED",
+                    f"{len(abandoned)} tasks stranded by master loss",
+                )
         makespan = time.monotonic() - started
         summary = scheduler.summary()
+        run_span.end(tasks=summary["completed"])
         records.sort(key=lambda r: (r.start, r.task_id))
         return RunOutcome(
             strategy=controller.strategy.kind,
@@ -178,6 +362,16 @@ class TcpEngine:
             task_records=records,
             worker_busy={},
             controller_events=list(controller.events),
+            extra={
+                "heartbeat_deaths": sorted(master.declared_dead),
+                "retransmits": master.retransmits,
+                "reissued_requests": master.reissued,
+                "stale_statuses": master.stale_statuses,
+                "late_joins": sorted(master.late_joins),
+                "master_crashed": master.crashed,
+                "injected_faults": list(fault_script.injected) if fault_script else [],
+                "elasticity_events": list(elasticity.events),
+            },
         )
 
 
@@ -190,18 +384,149 @@ class _Master:
         scheduler: MasterScheduler,
         dataset: Dataset,
         expected_workers: list[str],
+        *,
+        clock: Callable[[], float],
+        registration_window: float,
+        heartbeats: HeartbeatMonitor | None,
+        heartbeat_interval: float,
+        elasticity: ElasticityManager,
+        telemetry: Telemetry,
+        fault_script: FaultScript | None = None,
+        crash_after_tasks: int | None = None,
     ):
         self.controller = controller
         self.scheduler = scheduler
         self.dataset = dataset
         self.expected = set(expected_workers)
+        self.clock = clock
+        self.registration_window = registration_window
+        self.heartbeats = heartbeats
+        self.heartbeat_interval = heartbeat_interval
+        self.elasticity = elasticity
+        self.telemetry = telemetry
+        self.fault_script = fault_script
+        self.crash_after_tasks = crash_after_tasks
         self.registered: set[str] = set()
+        self.channels: dict[str, Channel] = {}
         self.sent_files: dict[str, set[str]] = {}
         self.bytes_sent = 0
         self.transfer_seconds = 0.0
-        self.all_registered = asyncio.Event()
+        self.partition_ready = asyncio.Event()
+        self.run_done = asyncio.Event()
+        self.declared_dead: set[str] = set()
+        self.late_joins: set[str] = set()
+        self.retransmits = 0
+        self.reissued = 0
+        self.stale_statuses = 0
+        self.completed_count = 0
+        self.crashed = False
+        self.error: Optional[BaseException] = None
         self._partitioned = False
+        self._registration_changed = asyncio.Event()
 
+    # -- supervision ---------------------------------------------------
+    async def supervise(self) -> None:
+        """Registration window, then the heartbeat sweep loop."""
+        try:
+            await self._registration_phase()
+            if self.heartbeats is None:
+                return
+            while not self.run_done.is_set():
+                try:
+                    await asyncio.wait_for(
+                        self.run_done.wait(), timeout=self.heartbeat_interval
+                    )
+                except asyncio.TimeoutError:
+                    self._sweep()
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # surface master bugs to the engine
+            self.error = exc
+            self.run_done.set()
+            for channel in list(self.channels.values()):
+                channel.close()
+
+    async def _registration_phase(self) -> None:
+        try:
+            await asyncio.wait_for(
+                self._wait_all_expected(), timeout=self.registration_window
+            )
+        except asyncio.TimeoutError:
+            pass
+        while not self.registered:
+            # Nobody arrived inside the window: the run cannot start
+            # with zero workers, so wait for the first registration
+            # (the engine's run_timeout is the backstop).
+            self._registration_changed.clear()
+            await self._registration_changed.wait()
+        missing = sorted(self.expected - self.registered)
+        if missing:
+            self.controller.log(
+                self.clock(),
+                "REGISTRATION_WINDOW_CLOSED",
+                f"proceeding without {','.join(missing)}",
+            )
+        self.scheduler.partition_among(sorted(self.registered))
+        self._partitioned = True
+        self.partition_ready.set()
+
+    async def _wait_all_expected(self) -> None:
+        while not self.registered >= self.expected:
+            self._registration_changed.clear()
+            await self._registration_changed.wait()
+
+    def _sweep(self) -> None:
+        now = self.clock()
+        states = self.heartbeats.sweep(now)
+        faults = self.controller.fault_tracker
+        for wid, state in states.items():
+            if state is not Liveness.DEAD or wid in self.declared_dead:
+                continue
+            if faults.is_lost(wid):
+                # Its death was already reported over the broken
+                # connection; drop it from monitoring.
+                self.heartbeats.forget(wid)
+                continue
+            self.declared_dead.add(wid)
+            self._declare_dead(wid, now)
+        self._maybe_finish()
+
+    def _declare_dead(self, wid: str, now: float) -> None:
+        self.telemetry.event("node.declared_dead", wid, track="control")
+        self.controller.log(now, "NODE_DECLARED_DEAD", f"{wid}: missed heartbeats")
+        requeued = self.scheduler.worker_lost(wid, "heartbeat: declared dead")
+        self.controller.on_worker_failed(
+            WorkerFailed(
+                worker_id=wid,
+                node_id=wid,
+                error="heartbeat: declared dead",
+                tasks_in_flight=tuple(a.task_id for a in requeued),
+            ),
+            now,
+        )
+        channel = self.channels.get(wid)
+        if channel is not None:
+            channel.close()
+
+    def _maybe_finish(self) -> None:
+        if self._partitioned and self.scheduler.done:
+            self.run_done.set()
+
+    def on_worker_isolated(self, wid: str, health: object) -> None:
+        """FaultTracker callback: isolation is a capacity change."""
+        if wid in self.elasticity.active_nodes:
+            self.elasticity.node_removed(self.clock(), wid, reason="fault-isolation")
+            self.telemetry.event("elastic.node_lost", wid, track="control")
+
+    def _crash(self) -> None:
+        """Injected master failure: stop serving, drop every connection."""
+        self.crashed = True
+        self.controller.log(self.clock(), "MASTER_LOST", "master crashed (injected)")
+        for channel in list(self.channels.values()):
+            channel.close()
+        self.run_done.set()
+
+    # -- data ----------------------------------------------------------
     def _file_bytes(self, name: str) -> bytes:
         file = self.dataset.get(name)
         if file.path is None:
@@ -209,38 +534,78 @@ class _Master:
         with open(file.path, "rb") as fh:
             return fh.read()
 
-    async def _send_file(self, writer: asyncio.StreamWriter, wid: str, name: str, task_id: int) -> None:
-        payload = self._file_bytes(name)
+    async def _send_file(
+        self, channel: Channel, wid: str, name: str, task_id: int
+    ) -> None:
+        # Disk reads stay off the event loop so one large input cannot
+        # stall heartbeat processing for every connected worker.
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(None, self._file_bytes, name)
         t0 = time.monotonic()
-        write_frame(
-            writer,
-            FileData(task_id=task_id, file_name=name, payload_len=len(payload)),
-            payload,
-        )
-        await writer.drain()
+        await channel.send(file_data_message(task_id, name, payload), payload)
         self.transfer_seconds += time.monotonic() - t0
         self.bytes_sent += len(payload)
         self.sent_files.setdefault(wid, set()).add(name)
 
+    # -- connection handling -------------------------------------------
+    def _make_channel(self, reader, writer) -> Channel:
+        if self.fault_script is not None:
+            return FaultyChannel(reader, writer, self.fault_script, "master")
+        return Channel(reader, writer)
+
     async def handle_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        channel = self._make_channel(reader, writer)
         wid = ""
+        pump: Optional[_FramePump] = None
         try:
-            message, _ = await read_frame(reader)
+            message, _ = await channel.recv()
             if not isinstance(message, RegisterWorker):
                 raise ProtocolError(f"expected REGISTER_WORKER, got {message.msg_type}")
+            now = self.clock()
+            if self.crashed or self.run_done.is_set():
+                await channel.send(
+                    ConnectionAck(
+                        worker_id=message.worker_id,
+                        accepted=False,
+                        reason="run is over",
+                    )
+                )
+                return
+            if message.worker_id in self.registered:
+                await channel.send(
+                    ConnectionAck(
+                        worker_id=message.worker_id,
+                        accepted=False,
+                        reason="duplicate worker id; rejoin with a fresh id",
+                    )
+                )
+                return
             wid = message.worker_id
             self.scheduler.register_worker(wid)
             self.registered.add(wid)
-            write_frame(writer, ConnectionAck(worker_id=wid, accepted=True))
-            await writer.drain()
-            if self.registered >= self.expected:
-                self.all_registered.set()
-            # Static strategies: partition once everyone is connected,
-            # then push this worker its chunk (the staging phase).
-            await self.all_registered.wait()
-            if not self._partitioned:
-                self._partitioned = True
-                self.scheduler.partition_among(sorted(self.registered))
+            self.channels[wid] = channel
+            if self.heartbeats is not None:
+                self.heartbeats.beat(wid, now)
+            late = self.partition_ready.is_set()
+            self.elasticity.node_added(
+                now, wid, reason="late-join" if late else "registered"
+            )
+            if late:
+                self.late_joins.add(wid)
+                self.controller.log(now, "WORKER_JOINED_LATE", wid)
+            self._registration_changed.set()
+            await channel.send(ConnectionAck(worker_id=wid, accepted=True))
+
+            def on_frame(message: Message, wid: str = wid) -> None:
+                # Liveness is recorded at read time, independent of how
+                # busy the serving loop is: any frame is proof of life.
+                if self.heartbeats is not None:
+                    self.heartbeats.beat(wid, self.clock())
+
+            pump = _FramePump(channel, on_message=on_frame)
+            # Static strategies: partition once the registration window
+            # closes, then push this worker its chunk (staging phase).
+            await self.partition_ready.wait()
             if self.controller.strategy.staged_before_execution:
                 names_needed: list[str] = []
                 if self.controller.strategy.replicate_all:
@@ -250,10 +615,12 @@ class _Master:
                         names_needed.extend(group.file_names)
                 for name in dict.fromkeys(names_needed):
                     if name not in self.sent_files.get(wid, set()):
-                        await self._send_file(writer, wid, name, task_id=-1)
-            await self._serve(wid, reader, writer)
-        except (asyncio.IncompleteReadError, ConnectionResetError, BrokenPipeError):
-            if wid:
+                        await self._send_file(channel, wid, name, task_id=-1)
+            await self._serve(wid, channel, pump)
+        except _CONNECTION_ERRORS:
+            if wid and not self.crashed and not self.controller.fault_tracker.is_lost(wid):
+                if self.heartbeats is not None:
+                    self.heartbeats.forget(wid)
                 requeued = self.scheduler.worker_lost(wid, "connection lost")
                 self.controller.on_worker_failed(
                     WorkerFailed(
@@ -261,47 +628,170 @@ class _Master:
                         node_id=wid,
                         error="connection lost",
                         tasks_in_flight=tuple(a.task_id for a in requeued),
-                    )
+                    ),
+                    self.clock(),
                 )
+                self._maybe_finish()
         finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
+            if pump is not None:
+                pump.stop()
+                await asyncio.gather(pump.task, return_exceptions=True)
+            if self.channels.get(wid) is channel:
+                del self.channels[wid]
+            channel.close()
+            await channel.wait_closed()
 
-    async def _serve(self, wid: str, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+    def _may_get_work_later(self, wid: str) -> bool:
+        """Whether an idle worker should be parked instead of released.
+
+        Mirrors the threaded runtime: with retries on, a drained worker
+        waits for possible requeues (a peer may still die) instead of
+        exiting — unless it is isolated or the run is over.
+        """
+        retry = self.scheduler.retry_policy
+        if not (retry.retry_on_worker_loss or retry.retry_on_task_error):
+            return False
+        if self.scheduler.done or self.run_done.is_set():
+            return False
+        return not self.controller.fault_tracker.is_isolated(wid)
+
+    async def _serve(self, wid: str, channel: Channel, pump: "_FramePump") -> None:
         while True:
-            message, _ = await read_frame(reader)
+            message, _ = await pump.get()
+            now = self.clock()
             if isinstance(message, RequestData):
-                assignment = self.scheduler.next_for(wid)
+                assignment = self.scheduler.assignment_in_flight(wid)
+                if assignment is not None:
+                    # Repeated request: our reply was lost on the wire;
+                    # re-send the same assignment (at-least-once).
+                    self.reissued += 1
+                else:
+                    assignment = self.scheduler.next_for(wid)
+                    while assignment is None and self._may_get_work_later(wid):
+                        await asyncio.sleep(0.02)
+                        assignment = self.scheduler.next_for(wid)
                 if assignment is None:
-                    write_frame(writer, NoMoreData(worker_id=wid))
-                    await writer.drain()
+                    if self.heartbeats is not None:
+                        # Graceful drain: stop watching this worker so
+                        # its silence after exit is not a false death.
+                        self.heartbeats.forget(wid)
+                    await channel.send(NoMoreData(worker_id=wid))
                     return
                 group = assignment.group
                 already = self.sent_files.get(wid, set())
                 missing = [n for n in group.file_names if n not in already]
-                write_frame(
-                    writer,
+                await channel.send(
                     FileMetadata(
                         task_id=group.index,
                         file_names=group.file_names,
                         sizes=tuple(f.size for f in group.files),
                         transfer_required=bool(missing),
-                    ),
+                        attempt=assignment.attempt,
+                    )
                 )
-                await writer.drain()
                 for name in missing:
-                    await self._send_file(writer, wid, name, task_id=group.index)
+                    await self._send_file(channel, wid, name, task_id=group.index)
+            elif isinstance(message, ResendFile):
+                t0 = self.clock()
+                await self._send_file(
+                    channel, wid, message.file_name, task_id=message.task_id
+                )
+                self.retransmits += 1
+                self.telemetry.span_complete(
+                    "retransmit",
+                    t0,
+                    self.clock(),
+                    track="control",
+                    worker=wid,
+                    file=message.file_name,
+                    reason=message.reason,
+                )
             elif isinstance(message, ExecStatus):
+                if not self.scheduler.has_in_flight(wid, message.task_id):
+                    # Stale: the heartbeat sweep already declared this
+                    # worker dead and requeued the task. Ignore.
+                    self.stale_statuses += 1
+                    self.controller.log(
+                        now, "STALE_STATUS", f"{wid}: task {message.task_id}"
+                    )
+                    continue
                 if message.ok:
                     self.scheduler.report_success(wid, message.task_id)
+                    self.completed_count += 1
+                    if (
+                        self.crash_after_tasks is not None
+                        and self.completed_count >= self.crash_after_tasks
+                    ):
+                        self._crash()
+                        return
                 else:
-                    self.controller.on_worker_error(wid, message.error)
+                    self.controller.on_worker_error(wid, message.error, now)
                     self.scheduler.report_error(wid, message.task_id, message.error)
+                self._maybe_finish()
             else:
                 raise ProtocolError(f"unexpected message from worker: {message.msg_type}")
+
+
+class _FramePump:
+    """Reads frames into a queue so receives are decoupled from reads.
+
+    Two reasons to never ``recv`` directly in a serving loop: (a)
+    cancelling ``readexactly`` mid-frame (a receive timeout) would
+    desynchronize the stream, while abandoning a queue get is safe; (b)
+    liveness must not depend on how busy the consumer is — the master's
+    pump records a beat the moment any frame arrives (``on_message``)
+    even while the serving loop is staging files or parked waiting for
+    work. Checksum and connection errors travel through the queue in
+    order; ``Heartbeat`` frames are swallowed after the callback.
+    """
+
+    def __init__(
+        self,
+        channel: Channel,
+        on_message: Optional[Callable[[Message], None]] = None,
+    ):
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self._on_message = on_message
+        self.task = asyncio.create_task(self._pump(channel))
+
+    async def _pump(self, channel: Channel) -> None:
+        while True:
+            try:
+                item: tuple[Message, bytes] = await channel.recv()
+            except ChecksumError as err:
+                await self.queue.put(err)
+                continue
+            except _CONNECTION_ERRORS as err:
+                await self.queue.put(err)
+                return
+            if self._on_message is not None:
+                self._on_message(item[0])
+                if isinstance(item[0], Heartbeat):
+                    continue
+            await self.queue.put(item)
+
+    async def get(self, timeout: float = 0.0) -> tuple[Message, bytes]:
+        if timeout > 0:
+            item = await asyncio.wait_for(self.queue.get(), timeout)
+        else:
+            item = await self.queue.get()
+        if isinstance(item, BaseException):
+            raise item
+        return item
+
+    def stop(self) -> None:
+        self.task.cancel()
+
+
+async def _heartbeat_loop(channel: Channel, wid: str, interval: float) -> None:
+    seq = 0
+    try:
+        while True:
+            await channel.send(Heartbeat(worker_id=wid, seq=seq))
+            seq += 1
+            await asyncio.sleep(interval)
+    except _CONNECTION_ERRORS + (OSError,):
+        return
 
 
 async def _worker_client(
@@ -313,45 +803,151 @@ async def _worker_client(
     records: list[TaskRecord],
     *,
     crash_on_task: Optional[int] = None,
-) -> None:
-    """One worker: register, then the request/execute/report loop."""
+    hang_on_task: Optional[int] = None,
+    hang_release: asyncio.Event | None = None,
+    crash_before_register: bool = False,
+    heartbeat_interval: float = 0.0,
+    reply_timeout: float = 0.0,
+    max_payload_retries: int = 3,
+    fault_script: FaultScript | None = None,
+) -> str:
+    """One worker: register, then the request/execute/report loop.
+
+    Returns how the worker ended: ``"completed"`` (drained),
+    ``"crashed"`` (injected crash), ``"hung"`` (injected hang,
+    released at end of run), or ``"disconnected"`` (master/connection
+    loss — handled cleanly, never raises through the engine).
+    """
     os.makedirs(scratch_dir, exist_ok=True)
     logic = WorkerLogic(wid, wid, command, scratch_dir=scratch_dir)
     reader, writer = await asyncio.open_connection(host, port)
+    channel: Channel = (
+        FaultyChannel(reader, writer, fault_script, "worker")
+        if fault_script is not None
+        else Channel(reader, writer)
+    )
+    beat_task: asyncio.Task | None = None
+    pump: _FramePump | None = None
+
+    async def go_hang() -> str:
+        # A wedged process: beats stop, the connection stays open, no
+        # further frames are sent. Released when the run finishes.
+        if beat_task is not None:
+            beat_task.cancel()
+        if hang_release is not None:
+            await hang_release.wait()
+        return "hung"
+
     try:
-        write_frame(writer, RegisterWorker(worker_id=wid, node_id=wid, cores=1))
-        await writer.drain()
-        ack, _ = await read_frame(reader)
+        if crash_before_register:
+            return "crashed"  # died before REGISTER_WORKER ever went out
+        await channel.send(RegisterWorker(worker_id=wid, node_id=wid, cores=1))
+        ack, _ = await channel.recv()
         if not isinstance(ack, ConnectionAck) or not ack.accepted:
-            raise ProtocolError(f"registration rejected for {wid}")
+            reason = getattr(ack, "reason", "") or "unknown"
+            raise ProtocolError(f"registration rejected for {wid}: {reason}")
+        if heartbeat_interval > 0:
+            beat_task = asyncio.create_task(
+                _heartbeat_loop(channel, wid, heartbeat_interval)
+            )
+        pump = _FramePump(channel)
         loop = asyncio.get_running_loop()
+        resend_counts: dict[str, int] = {}
+
+        async def recv_checked(
+            expect_files_for: tuple[str, ...] = (), task_id: int = -1
+        ) -> tuple[Message, bytes]:
+            """Receive one frame, recovering from corrupt or lost ones.
+
+            A checksum mismatch re-requests the corrupt file; silence
+            past ``reply_timeout`` re-requests every still-missing file
+            of the current task. Both are bounded per file.
+            """
+            while True:
+                try:
+                    return await pump.get(reply_timeout)
+                except ChecksumError as err:
+                    frame = err.frame
+                    assert isinstance(frame, FileData)
+                    n = resend_counts.get(frame.file_name, 0) + 1
+                    resend_counts[frame.file_name] = n
+                    if n > max_payload_retries:
+                        raise ProtocolError(
+                            f"giving up on {frame.file_name!r} after "
+                            f"{max_payload_retries} retransmits"
+                        ) from err
+                    await channel.send(
+                        ResendFile(
+                            worker_id=wid,
+                            file_name=frame.file_name,
+                            task_id=frame.task_id,
+                        )
+                    )
+                except asyncio.TimeoutError:
+                    missing = logic.missing_files(expect_files_for)
+                    if not missing:
+                        raise
+                    for name in missing:
+                        n = resend_counts.get(name, 0) + 1
+                        resend_counts[name] = n
+                        if n > max_payload_retries:
+                            raise ProtocolError(
+                                f"giving up on {name!r} after "
+                                f"{max_payload_retries} re-requests"
+                            ) from None
+                        await channel.send(
+                            ResendFile(
+                                worker_id=wid,
+                                file_name=name,
+                                task_id=task_id,
+                                reason="reply timeout",
+                            )
+                        )
+
         requested = False
+        request_retries = 0
         while True:
             if not requested:
-                write_frame(writer, RequestData(worker_id=wid))
-                await writer.drain()
+                await channel.send(RequestData(worker_id=wid))
                 requested = True
-            message, payload = await read_frame(reader)
+                request_retries = 0
+            try:
+                message, payload = await recv_checked()
+            except asyncio.TimeoutError:
+                # No reply at all: our request (or its answer) was lost.
+                request_retries += 1
+                if request_retries > max_payload_retries:
+                    raise ProtocolError(
+                        f"master unresponsive after {max_payload_retries} re-requests"
+                    ) from None
+                await channel.send(RequestData(worker_id=wid))
+                continue
             if isinstance(message, NoMoreData):
-                return
+                return "completed"
             if isinstance(message, FileData):
                 # Unsolicited staging push — store it; the outstanding
                 # REQUEST_DATA is still pending, so don't re-request.
                 if crash_on_task is not None and message.task_id == crash_on_task:
-                    writer.close()
-                    return
+                    channel.close()
+                    return "crashed"
+                if hang_on_task is not None and message.task_id == hang_on_task:
+                    return await go_hang()
                 with open(os.path.join(scratch_dir, message.file_name), "wb") as fh:
                     fh.write(payload)
                 logic.receive_file(message.file_name)
                 continue
             if not isinstance(message, FileMetadata):
                 raise ProtocolError(f"unexpected message at worker: {message.msg_type}")
-            if crash_on_task is not None and message.task_id == crash_on_task:
-                writer.close()
-                return
+            if crash_on_task is not None and crash_on_task in (message.task_id, ANY_TASK):
+                channel.close()
+                return "crashed"
+            if hang_on_task is not None and hang_on_task in (message.task_id, ANY_TASK):
+                return await go_hang()
             # Wait until every input for this task has arrived.
             while logic.missing_files(message.file_names):
-                data_msg, payload = await read_frame(reader)
+                data_msg, payload = await recv_checked(
+                    expect_files_for=message.file_names, task_id=message.task_id
+                )
                 if not isinstance(data_msg, FileData):
                     raise ProtocolError("expected FILE_DATA for missing inputs")
                 with open(os.path.join(scratch_dir, data_msg.file_name), "wb") as fh:
@@ -376,24 +972,30 @@ async def _worker_client(
                     start=start,
                     end=end,
                     ok=ok,
+                    attempt=message.attempt,
                     error=error,
                 )
             )
-            write_frame(
-                writer,
+            await channel.send(
                 ExecStatus(
                     worker_id=wid,
                     task_id=message.task_id,
                     ok=ok,
                     duration=end - start,
                     error=error,
-                ),
+                )
             )
-            await writer.drain()
             requested = False
+    except _CONNECTION_ERRORS:
+        # Master loss (or our own injected truncate): unwind cleanly —
+        # the engine accounts stranded tasks as lost, no traceback.
+        return "disconnected"
     finally:
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError):
-            pass
+        if beat_task is not None:
+            beat_task.cancel()
+            await asyncio.gather(beat_task, return_exceptions=True)
+        if pump is not None:
+            pump.stop()
+            await asyncio.gather(pump.task, return_exceptions=True)
+        channel.close()
+        await channel.wait_closed()

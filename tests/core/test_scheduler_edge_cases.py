@@ -213,3 +213,67 @@ class TestChunkingEdge:
         sched.register_worker("w0")
         sched.partition_among(chunking="lpt_size")
         assert len(sched.planned_chunk("w0")) == 5
+
+
+def _pull_scheduler(n_files=4, workers=("w0", "w1")):
+    groups = generate_groups(synthetic_dataset("d", n_files, 10), PartitionScheme.SINGLE)
+    sched = MasterScheduler(groups, strategy_for(StrategyKind.REAL_TIME))
+    for w in workers:
+        sched.register_worker(w)
+    sched.partition_among()
+    return sched
+
+
+class TestInFlightBookkeeping:
+    def test_has_in_flight_tracks_assignment_lifecycle(self):
+        sched = _pull_scheduler()
+        a = sched.next_for("w0")
+        assert sched.has_in_flight("w0", a.task_id)
+        assert not sched.has_in_flight("w1", a.task_id)
+        sched.report_success("w0", a.task_id)
+        assert not sched.has_in_flight("w0", a.task_id)
+
+    def test_assignment_in_flight_resends_same_task(self):
+        # A repeated REQUEST_DATA (lost reply) must get the *same*
+        # assignment back, not a second task.
+        sched = _pull_scheduler()
+        a = sched.next_for("w0")
+        again = sched.assignment_in_flight("w0")
+        assert again is not None and again.task_id == a.task_id
+        assert sched.assignment_in_flight("w1") is None
+
+    def test_assignment_in_flight_earliest_of_several(self):
+        sched = _pull_scheduler(n_files=4, workers=("w0",))
+        first = sched.next_for("w0")
+        sched.next_for("w0")
+        assert sched.assignment_in_flight("w0").task_id == first.task_id
+
+
+class TestAbandonOutstanding:
+    def test_everything_unresolved_becomes_lost(self):
+        sched = _pull_scheduler(n_files=4)
+        a = sched.next_for("w0")
+        sched.report_success("w0", a.task_id)
+        b = sched.next_for("w1")  # in flight, never reported
+        lost = sched.abandon_outstanding("master connection lost")
+        assert {x.task_id for x in lost} == {1, 2, 3} - {a.task_id} | {b.task_id}
+        summary = sched.summary()
+        assert summary["completed"] == 1
+        assert summary["lost"] == 3
+        assert sched.done
+
+    def test_abandon_is_idempotent(self):
+        sched = _pull_scheduler(n_files=2)
+        sched.abandon_outstanding()
+        assert sched.abandon_outstanding() == []
+        assert sched.summary()["lost"] == 2
+
+    def test_abandon_covers_static_chunks(self):
+        groups = generate_groups(synthetic_dataset("d", 4, 10), PartitionScheme.SINGLE)
+        sched = MasterScheduler(
+            groups, strategy_for(StrategyKind.PRE_PARTITIONED_REMOTE)
+        )
+        sched.register_worker("w0")
+        sched.partition_among()
+        lost = sched.abandon_outstanding()
+        assert len(lost) == 4  # reserved-but-unassigned chunk work counts

@@ -233,3 +233,68 @@ class TestIsolationElasticity:
         )
         counters = outcome.extra["metrics"]["counters"]
         assert counters["elasticity.removed"] == 1
+
+
+class TestInjectedWorkerDeath:
+    """Task-keyed crash/hang hooks — the simulated twins of the real
+    engines' ``crash_worker_on_task`` / ``hang_worker_on_task``."""
+
+    def test_injected_crash_retried_on_survivor(self):
+        outcome = run_chaos(
+            n_files=6,
+            cost=2.0,
+            strategy=StrategyKind.PRE_PARTITIONED_REMOTE,
+            retry_policy=RetryPolicy.resilient(),
+            crash_worker_on_task={"worker1:0": 1},
+            multicore=False,
+        )
+        assert outcome.tasks_completed == outcome.tasks_total
+        kinds = [e.kind for e in outcome.controller_events]
+        assert "WORKER_FAILED" in kinds
+        assert "NODE_DECLARED_DEAD" not in kinds  # connection-reported
+
+    def test_injected_crash_without_retry_loses_tasks(self):
+        outcome = run_chaos(
+            n_files=6,
+            cost=2.0,
+            strategy=StrategyKind.PRE_PARTITIONED_REMOTE,
+            crash_worker_on_task={"worker1:0": 1},
+            multicore=False,
+        )
+        assert outcome.tasks_lost >= 1
+        assert outcome.tasks_completed + outcome.tasks_lost == outcome.tasks_total
+
+    def test_injected_hang_detected_by_sweep(self):
+        outcome = run_chaos(
+            n_files=6,
+            cost=2.0,
+            strategy=StrategyKind.PRE_PARTITIONED_REMOTE,
+            options=heartbeat_options(),
+            retry_policy=RetryPolicy.resilient(),
+            hang_worker_on_task={"worker1:0": 1},
+            multicore=False,
+        )
+        assert outcome.tasks_completed == outcome.tasks_total
+        assert outcome.extra["nodes_declared_dead"] == ["worker1"]
+        assert "NODE_DECLARED_DEAD" in [e.kind for e in outcome.controller_events]
+
+    def test_injected_hang_without_heartbeats_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_chaos(
+                n_files=6,
+                hang_worker_on_task={"worker1:0": 1},
+                multicore=False,
+            )
+
+    def test_any_task_sentinel_fires_on_first_draw(self):
+        from repro.runtime.faults import ANY_TASK
+
+        outcome = run_chaos(
+            n_files=6,
+            cost=2.0,
+            retry_policy=RetryPolicy.resilient(),
+            crash_worker_on_task={"worker1:0": ANY_TASK},
+            multicore=False,
+        )
+        assert outcome.tasks_completed == outcome.tasks_total
+        assert "WORKER_FAILED" in [e.kind for e in outcome.controller_events]

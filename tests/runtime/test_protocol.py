@@ -109,3 +109,73 @@ class TestAsyncReadFrame:
 
         with pytest.raises(asyncio.IncompleteReadError):
             asyncio.run(scenario())
+
+
+class TestPayloadChecksum:
+    def test_checksum_is_stable_hex(self):
+        from repro.runtime.protocol import payload_checksum
+
+        a = payload_checksum(b"abc")
+        assert a == payload_checksum(b"abc")
+        assert len(a) == 8
+        assert a != payload_checksum(b"abd")
+
+    def test_file_data_message_carries_checksum(self):
+        from repro.runtime.protocol import file_data_message, payload_checksum
+
+        msg = file_data_message(3, "f.dat", b"xyz")
+        assert msg.payload_len == 3
+        assert msg.checksum == payload_checksum(b"xyz")
+
+    def test_corrupted_payload_raises_after_frame_consumed(self):
+        # The stream must stay framed: the mismatch surfaces only after
+        # the whole frame left the buffer, so the next frame decodes.
+        from repro.errors import ChecksumError
+        from repro.runtime.protocol import FrameReader, file_data_message
+
+        good = b"payload-bytes"
+        writer = _FakeWriter()
+        write_frame(writer, file_data_message(1, "a", good), good)
+        blob = bytearray(writer.data)
+        blob[-4] ^= 0xFF  # flip one payload byte on the "wire"
+        writer2 = _FakeWriter()
+        write_frame(writer2, RequestData(worker_id="w0"), b"")
+
+        reader = FrameReader()
+        with pytest.raises(ChecksumError) as err:
+            reader.feed(bytes(blob) + bytes(writer2.data))
+        assert err.value.frame.file_name == "a"
+        reader.feed(b"")  # resume: buffered bytes still decode
+        message, _ = reader.pop()
+        assert isinstance(message, RequestData)
+
+    def test_unchecksummed_payload_still_accepted(self):
+        # Frames built without file_data_message (checksum="") skip
+        # verification — wire compatibility with bare senders.
+        payload = b"raw"
+        writer = _FakeWriter()
+        write_frame(
+            writer, FileData(task_id=1, file_name="f", payload_len=3), payload
+        )
+        reader = FrameReader()
+        reader.feed(bytes(writer.data))
+        message, got = reader.pop()
+        assert got == payload
+
+    def test_async_checksum_mismatch_raises(self):
+        from repro.errors import ChecksumError
+        from repro.runtime.protocol import file_data_message
+
+        async def scenario():
+            reader = asyncio.StreamReader()
+            writer = _FakeWriter()
+            good = b"0123456789"
+            write_frame(writer, file_data_message(7, "g", good), good)
+            blob = bytearray(writer.data)
+            blob[-1] ^= 0xFF
+            reader.feed_data(bytes(blob))
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        with pytest.raises(ChecksumError):
+            asyncio.run(scenario())
