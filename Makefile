@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint check bench bench-check bench-update schema-check trace-demo chaos chaos-runtime
+.PHONY: test lint check accel bench bench-check bench-update bench-macro bench-macro-update schema-check trace-demo chaos chaos-runtime
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,10 +23,17 @@ lint:
 
 # One command to gate a PR locally: invariants, tests (which include
 # the exporter schema/golden contract), runtime chaos parity, perf
-# regressions.
-check: lint test schema-check chaos-runtime bench-check
+# regressions, and the 1k macro tier (10k/100k are opt-in:
+# `FRIEDA_MACRO_TIERS=1k,10k make bench-macro`).
+check: lint test schema-check chaos-runtime bench-check bench-macro
 
-bench:
+# Build the optional C kernel accelerator in place. Soft-fails: without
+# a compiler the pure-Python kernel serves every caller (same
+# semantics), the benchmark baselines just won't be reachable.
+accel:
+	-$(PYTHON) setup.py build_ext --inplace
+
+bench: accel
 	$(PYTHON) -m benchmarks.run_bench
 
 # Produce a small Fig 6 trace and summarize it — the quickest way to
@@ -37,11 +44,19 @@ trace-demo:
 		--trace trace-demo.json --metrics trace-demo-metrics.json
 	$(PYTHON) -m repro trace summarize trace-demo.json
 
-bench-check:
+bench-check: accel
 	$(PYTHON) -m benchmarks.run_bench --check
 
-bench-update:
+bench-update: accel
 	$(PYTHON) -m benchmarks.run_bench --update
+
+# End-to-end simulated-plane runs at macro worker counts. Defaults to
+# the 1k tier; set FRIEDA_MACRO_TIERS=1k,10k,100k for the full family.
+bench-macro: accel
+	$(PYTHON) -m benchmarks.bench_macro
+
+bench-macro-update: accel
+	$(PYTHON) -m benchmarks.bench_macro --update
 
 # Runtime chaos: fault-path suites for the real execution planes plus
 # the cross-engine parity suite (simulated vs threaded vs TCP must

@@ -103,7 +103,10 @@ def test_flow_network_replan_churn(benchmark):
     assert benchmark(run) == 200
 
 
-@pytest.mark.benchmark(group="micro-network")
+# min_rounds: per-round spread on this bench is ~±25% on a shared
+# container; the default 5-round calibration makes the median a coin
+# flip, 15 rounds makes it reproducible.
+@pytest.mark.benchmark(group="micro-network", min_rounds=15)
 def test_flow_network_clustered_churn_2000(benchmark):
     """2,000 flows over 32 disjoint rack components with batched arrivals.
 

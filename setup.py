@@ -1,11 +1,30 @@
-"""Thin setup.py shim.
+"""Setup shim + optional C kernel accelerator build.
 
 The environment has no `wheel` package and no network, so PEP 517
 editable installs (which need bdist_wheel) fail. This shim lets
 ``pip install -e . --no-use-pep517 --no-build-isolation`` use the
 classic `setup.py develop` path. All metadata lives in pyproject.toml.
+
+It also compiles the optional C kernel accelerator in place::
+
+    python setup.py build_ext --inplace
+
+(or ``make accel``). The build is best-effort: when it fails — no
+compiler, no headers — the pure-Python kernel in
+``src/repro/sim/kernel.py`` serves every caller with identical
+semantics, just slower. ``FRIEDA_PURE_KERNEL=1`` ignores a built
+extension at import time.
 """
 
-from setuptools import setup
+from setuptools import Extension, setup
 
-setup()
+setup(
+    ext_modules=[
+        Extension(
+            "repro.sim._ckern",
+            sources=["src/repro/sim/_ckern.c"],
+            extra_compile_args=["-O2"],
+            optional=True,
+        )
+    ],
+)

@@ -34,10 +34,31 @@ departure only perturbs rates inside its own component. The planner
 tracks which links changed since the last plan and re-solves only the
 affected components, reusing frozen rates everywhere else. All
 arrivals/retirements that land at the same virtual instant are coalesced
-into a single replanning pass, and projected flow completions live in a
-lazily-invalidated heap so retiring ``k`` flows costs ``O(k log F)``
-instead of a full rescan. Both the incremental and the from-scratch
-(``incremental=False``) planner solve each component with identical,
+into a single replanning pass. Components are solved by the batched
+solvers in :mod:`repro.cloud.maxmin` — one aggregate capacity delta per
+link per freeze round — which lets large components go through NumPy
+while small ones stay on a scalar path with bit-identical results.
+
+Three structural choices keep the per-wake cost flat as flow counts
+grow:
+
+- **Drain is closed-form.** A flow's remaining volume is only a
+  function of the last rate change (``R0 - rate × (now - t0)``), so
+  nothing iterates over active flows between replans, and evaluating
+  the formula at any instant gives the same bits regardless of how
+  often intermediate code looked at it. This is what makes
+  ``incremental=True`` and ``incremental=False`` replay identically:
+  both materialize at the same rate-change instants.
+- **The completion heap holds frontiers, not futures.** Each replanned
+  component pushes only its earliest projected completion (plus exact
+  ties); later completions are discovered by the replan that the
+  earliest retirement triggers. Projections are stored per flow and
+  re-pushed verbatim, so duplicate entries are bitwise equal and the
+  heap stays O(components), not O(rate changes).
+- **Component discovery uses visit stamps.** Reachability marks links
+  and flows with a per-replan token instead of building hash sets.
+
+Both planner modes solve each component with identical,
 deterministically-ordered arithmetic, so the two replay byte-identically
 — see ``tests/cloud/test_max_min_incremental.py``.
 """
@@ -46,10 +67,13 @@ from __future__ import annotations
 
 import itertools
 import math
+import operator
 from dataclasses import dataclass
 from heapq import heappop, heappush
 from typing import Iterable, Optional, Sequence
 
+from repro.cloud.maxmin import solve_component as _solve_component_batched
+from repro.cloud.maxmin import solve_rates as _solve_rates
 from repro.errors import NetworkError
 from repro.sim.kernel import Environment, Event
 from repro.sim.monitor import Monitor, MonitorSink
@@ -66,6 +90,9 @@ _EPSILON_BITS = 1e-6
 #: float resolution of `now + delay`, which would stall virtual time.
 _EPSILON_TIME = 1e-9
 
+_LINK_NAME = operator.attrgetter("name")
+_FLOW_ID = operator.attrgetter("id")
+
 
 class Link:
     """A unidirectional capacity-constrained channel.
@@ -76,7 +103,20 @@ class Link:
     :meth:`FlowNetwork.set_link_capacity`.
     """
 
-    __slots__ = ("name", "capacity", "base_capacity", "latency", "_flows")
+    __slots__ = (
+        "name",
+        "capacity",
+        "base_capacity",
+        "latency",
+        "_flows",
+        "_visit",
+        "_s_stamp",
+        "_s_cap",
+        "_s_count",
+        "_s_kstamp",
+        "_s_frozen",
+        "_s_delta",
+    )
 
     def __init__(self, name: str, capacity_bps: float, latency_s: float = 0.0):
         if capacity_bps <= 0:
@@ -88,6 +128,16 @@ class Link:
         self.base_capacity = float(capacity_bps)
         self.latency = float(latency_s)
         self._flows: set["Flow"] = set()
+        #: Visit stamp for component discovery (see FlowNetwork._component).
+        self._visit = 0
+        # Token-validated scratch slots for the scalar max-min solver
+        # (see repro.cloud.maxmin — avoids per-solve dict building).
+        self._s_stamp = 0
+        self._s_cap = 0.0
+        self._s_count = 0
+        self._s_kstamp = 0
+        self._s_frozen = 0
+        self._s_delta = 0.0
 
     @property
     def degraded(self) -> bool:
@@ -133,6 +183,10 @@ class Flow:
         "tag",
         "cancelled",
         "_version",
+        "_rate_t0",
+        "_projected_end",
+        "_visit",
+        "_s_rate",
     )
 
     def __init__(
@@ -163,6 +217,17 @@ class Flow:
         #: heap entries carry the version they were computed under, so
         #: stale entries are recognized and skipped (lazy invalidation).
         self._version = 0
+        #: ``remaining_bits`` is exact as of this instant; between rate
+        #: changes the live value is ``remaining_bits - rate * (now -
+        #: _rate_t0)`` (closed form — no per-wake advancement loop).
+        self._rate_t0 = start_time
+        #: Projected completion under the current rate, computed once
+        #: per rate change so re-pushing it is bitwise stable.
+        self._projected_end = math.inf
+        #: Visit stamp for component discovery.
+        self._visit = 0
+        #: Solver scratch slot (repro.cloud.maxmin).
+        self._s_rate = 0.0
 
     @property
     def mean_throughput_bps(self) -> float:
@@ -181,80 +246,12 @@ def _solve_component(
 ) -> dict[Flow, float]:
     """Progressive-filling max-min allocation for ONE connected component.
 
-    Iteration order over flows and links is fully determined by the
-    order of ``flows`` (dicts preserve insertion order; no set iteration
-    happens), so a given input sequence always produces bitwise-identical
-    rates. Callers must pass each component's flows in a canonical order
+    Delegates to the batched solvers in :mod:`repro.cloud.maxmin`
+    (scalar or NumPy by component size — bit-for-bit identical either
+    way). Callers must pass each component's flows in a canonical order
     (the planner sorts by flow id) for cross-run determinism.
     """
-    caps: dict[Link, float] = {}
-    link_flows: dict[Link, dict[Flow, None]] = {}
-    has_capped_flows = False
-    for flow in flows:
-        if flow.max_rate is not None:
-            has_capped_flows = True
-        for link in flow.path:
-            members = link_flows.get(link)
-            if members is None:
-                caps[link] = link.capacity if capacities is None else capacities[link]
-                link_flows[link] = members = {}
-            members[flow] = None
-
-    rates: dict[Flow, float] = {}
-    unfixed = dict.fromkeys(flows)
-
-    while unfixed:
-        # Fair share of the tightest link among unfixed flows.
-        bottleneck_link: Link | None = None
-        bottleneck_share = math.inf
-        for link, members in link_flows.items():
-            if members:
-                share = caps[link] / len(members)
-                if share < bottleneck_share:
-                    bottleneck_share = share
-                    bottleneck_link = link
-        if bottleneck_link is None:  # pragma: no cover - defensive
-            for flow in list(unfixed):
-                rate = flow.max_rate or math.inf
-                rates[flow] = rate
-                del unfixed[flow]
-                for link in flow.path:
-                    new_cap = caps[link] - rate
-                    caps[link] = new_cap if new_cap > 0.0 else 0.0
-                    link_flows[link].pop(flow, None)
-            break
-        # Flows capped below the share are frozen at their cap first;
-        # freezing them releases capacity, so recompute from scratch.
-        capped = (
-            [
-                f
-                for f in unfixed
-                if f.max_rate is not None and f.max_rate < bottleneck_share
-            ]
-            if has_capped_flows
-            else ()
-        )
-        if capped:
-            for flow in capped:
-                rate = flow.max_rate
-                rates[flow] = rate
-                del unfixed[flow]
-                for link in flow.path:
-                    new_cap = caps[link] - rate
-                    caps[link] = new_cap if new_cap > 0.0 else 0.0
-                    link_flows[link].pop(flow, None)
-            continue
-        # Freeze every flow crossing the bottleneck; the loop re-finds
-        # further bottlenecks (each iteration freezes at least one flow,
-        # so termination is guaranteed).
-        for flow in list(link_flows[bottleneck_link]):
-            rates[flow] = bottleneck_share
-            del unfixed[flow]
-            for link in flow.path:
-                new_cap = caps[link] - bottleneck_share
-                caps[link] = new_cap if new_cap > 0.0 else 0.0
-                link_flows[link].pop(flow, None)
-    return rates
+    return _solve_component_batched(flows, capacities)
 
 
 def _components(flows: Sequence[Flow]) -> list[list[Flow]]:
@@ -356,7 +353,9 @@ class FlowNetwork:
         #: Active flows in arrival order (dict for deterministic iteration).
         self._flows: dict[Flow, None] = {}
         self._flow_ids = itertools.count()
-        self._last_update = env.now
+        #: Monotone token stamped onto links/flows during component
+        #: discovery (cheaper than per-replan visited sets).
+        self._visit_token = 0
         #: Arrivals whose startup latency has elapsed, awaiting admission
         #: by the driver (coalesces same-instant arrivals into one plan).
         self._pending: list[Flow] = []
@@ -498,7 +497,7 @@ class FlowNetwork:
         if flow in self._flows:
             # Account bits drained up to this instant, then release the
             # flow's share so the component replans without it.
-            self._advance_flows()
+            self._materialize(flow, self.env.now)
             del self._flows[flow]
             for link in flow.path:
                 link._flows.discard(flow)
@@ -588,18 +587,23 @@ class FlowNetwork:
             self._service()
             wake.reset()
 
-    def _advance_flows(self) -> None:
-        """Drain bits according to current rates up to env.now."""
-        elapsed = self.env.now - self._last_update
-        if elapsed > 0:
-            for flow in self._flows:
-                flow.remaining_bits -= flow.rate * elapsed
-        self._last_update = self.env.now
+    @staticmethod
+    def _materialize(flow: Flow, now: float) -> None:
+        """Fold drained bits into ``remaining_bits`` as of ``now``.
+
+        Closed-form over the interval since the last rate change, so the
+        result is independent of how many times anything *looked* at the
+        flow in between — the property the incremental/full equivalence
+        tests rely on.
+        """
+        rate = flow.rate
+        if rate > 0.0:
+            flow.remaining_bits -= rate * (now - flow._rate_t0)
+        flow._rate_t0 = now
 
     def _service(self) -> None:
-        """Advance, retire due flows, admit arrivals, replan, re-arm."""
+        """Retire due flows, admit arrivals, replan, re-arm the alarm."""
         now = self.env.now
-        self._advance_flows()
 
         # Retire drained flows: pop projected completions that are due
         # and verify against the actual remaining volume (including
@@ -614,16 +618,15 @@ class FlowNetwork:
             if projected > due:
                 break
             heappop(heap)
+            self._materialize(flow, now)
             if flow.remaining_bits <= max(_EPSILON_BITS, flow.rate * _EPSILON_TIME):
                 self._retire(flow, now)
             else:
                 # Woken marginally early (float slack in alarm delay
                 # arithmetic): project again from the advanced state.
                 flow._version += 1
-                heappush(
-                    heap,
-                    (now + flow.remaining_bits / flow.rate, flow_id, flow._version, flow),
-                )
+                flow._projected_end = now + flow.remaining_bits / flow.rate
+                heappush(heap, (flow._projected_end, flow_id, flow._version, flow))
 
         # Admit arrivals whose startup latency elapsed at this instant.
         if self._pending:
@@ -687,53 +690,82 @@ class FlowNetwork:
         self.replans += 1
         self._m_replans.inc()
         if self.incremental:
-            visited: set[Link] = set()
-            for link in sorted(dirty, key=lambda l: l.name):
-                if link in visited:
+            token = self._visit_token = self._visit_token + 1
+            for link in sorted(dirty, key=_LINK_NAME):
+                if link._visit == token:
                     continue
-                component_links, component_flows = self._component(link)
-                visited.update(component_links)
+                component_flows = self._component(link, token)
                 if component_flows:
-                    ordered = sorted(component_flows, key=lambda f: f.id)
-                    self._apply_rates(ordered, _solve_component(ordered), now)
+                    component_flows.sort(key=_FLOW_ID)
+                    self._apply_rates(
+                        component_flows, _solve_rates(component_flows), now
+                    )
         else:
-            ordered_all = sorted(self._flows, key=lambda f: f.id)
+            ordered_all = sorted(self._flows, key=_FLOW_ID)
             for component in _components(ordered_all):
-                self._apply_rates(component, _solve_component(component), now)
+                self._apply_rates(component, _solve_rates(component), now)
 
-    def _component(self, start: Link) -> tuple[set[Link], set[Flow]]:
-        """Connected component of the flow/link graph containing ``start``."""
-        links = {start}
-        flows: set[Flow] = set()
+    def _component(self, start: Link, token: int) -> list[Flow]:
+        """Flows of the component containing ``start``, stamped with ``token``.
+
+        Links reached are stamped too so the replan loop can skip dirty
+        links already covered by an earlier component this pass. The
+        returned order is unspecified (set iteration) — callers sort.
+        """
+        start._visit = token
         stack = [start]
+        flows: list[Flow] = []
         while stack:
             link = stack.pop()
             for flow in link._flows:
-                if flow not in flows:
-                    flows.add(flow)
+                if flow._visit != token:
+                    flow._visit = token
+                    flows.append(flow)
                     for other in flow.path:
-                        if other not in links:
-                            links.add(other)
+                        if other._visit != token:
+                            other._visit = token
                             stack.append(other)
-        return links, flows
+        return flows
 
     def _apply_rates(
-        self, ordered: Sequence[Flow], rates: dict[Flow, float], now: float
+        self, ordered: Sequence[Flow], rates: Sequence[float], now: float
     ) -> None:
+        """Install a component's new rates; push its completion frontier.
+
+        ``rates`` is parallel to ``ordered``. Only the earliest
+        projected completion (and bitwise ties) goes on the heap:
+        retiring it dirties the component, and the replan that follows
+        pushes the next frontier. Projections are stored on the flow at
+        rate-change time and re-pushed verbatim, so pushes for
+        unchanged flows are exact duplicates of live entries — both
+        planner modes therefore arm identical alarms.
+        """
         heap = self._completion_heap
         telemetry = self.telemetry
-        for flow in ordered:
-            rate = rates[flow]
+        frontier = math.inf
+        ties: list[Flow] = []
+        for flow, rate in zip(ordered, rates):
             if rate != flow.rate:
+                old_rate = flow.rate
+                if old_rate > 0.0:
+                    flow.remaining_bits -= old_rate * (now - flow._rate_t0)
+                flow._rate_t0 = now
                 flow.rate = rate
                 flow._version += 1
-                if rate > 0.0:
-                    heappush(
-                        heap,
-                        (now + flow.remaining_bits / rate, flow.id, flow._version, flow),
-                    )
+                flow._projected_end = projected = (
+                    now + flow.remaining_bits / rate if rate > 0.0 else math.inf
+                )
+            else:
+                projected = flow._projected_end
+            if projected < frontier:
+                frontier = projected
+                ties = [flow]
+            elif projected == frontier and frontier != math.inf:
+                ties.append(flow)
             if telemetry is not None:
                 telemetry.event(
                     "flow.rate", rate, time=now, track="network",
                     flow=flow.id, tag=flow.tag,
                 )
+        for flow in ties:
+            heappush(heap, (frontier, flow.id, flow._version, flow))

@@ -73,6 +73,9 @@ class ControllerLogic:
         self.events: list[ControllerEvent] = []
         self.groups: Optional[list[TaskGroup]] = None
         self.worker_plans: list[WorkerPlan] = []
+        # node_id → its plans, kept in lockstep with worker_plans so
+        # per-node lookups stay O(1) at macro worker counts.
+        self._plans_by_node: dict[str, list[WorkerPlan]] = {}
 
     # -- control phase -------------------------------------------------------
     def log(self, time: float, kind: str, detail: str = "") -> None:
@@ -111,6 +114,9 @@ class ControllerLogic:
             WorkerPlan(node_id=node_id, cores=cores, clones=cores if self.multicore else 1)
             for node_id, cores in nodes
         ]
+        self._plans_by_node = {}
+        for plan in self.worker_plans:
+            self._plans_by_node.setdefault(plan.node_id, []).append(plan)
         total = sum(p.clones for p in self.worker_plans)
         self.log(time, "FORK_REMOTE_WORKERS", f"{total} clones on {len(self.worker_plans)} nodes")
         return self.worker_plans
@@ -133,12 +139,18 @@ class ControllerLogic:
         the controller"."""
         plan = WorkerPlan(node_id=node_id, cores=cores, clones=cores if self.multicore else 1)
         self.worker_plans.append(plan)
+        self._plans_by_node.setdefault(node_id, []).append(plan)
         self.log(time, "WORKER_ADDED", f"{node_id} ({plan.clones} clones)")
         return plan
 
     def on_worker_removed(self, node_id: str, time: float = 0.0) -> None:
         self.worker_plans = [p for p in self.worker_plans if p.node_id != node_id]
+        self._plans_by_node.pop(node_id, None)
         self.log(time, "WORKER_REMOVED", node_id)
+
+    def plans_for(self, node_id: str) -> tuple[WorkerPlan, ...]:
+        """The plans hosted on one node (no scan over the whole fleet)."""
+        return tuple(self._plans_by_node.get(node_id, ()))
 
     @property
     def all_worker_ids(self) -> tuple[str, ...]:

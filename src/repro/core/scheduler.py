@@ -78,6 +78,7 @@ class MasterScheduler:
         self._static_chunks: dict[str, Deque[TaskGroup]] = {}
         self._partitioned = False
         self._workers: list[str] = []
+        self._worker_set: set[str] = set()
         self._in_flight: dict[tuple[str, int], Assignment] = {}
         self.completed: dict[int, Assignment] = {}
         self.lost_tasks: list[Assignment] = []
@@ -86,9 +87,10 @@ class MasterScheduler:
     # -- membership --------------------------------------------------------
     def register_worker(self, worker_id: str) -> None:
         """A worker connected (Fig 4 "Initialize and register")."""
-        if worker_id in self._workers:
+        if worker_id in self._worker_set:
             raise ProtocolError(f"worker {worker_id!r} registered twice")
         self._workers.append(worker_id)
+        self._worker_set.add(worker_id)
         if self.strategy.static_assignment and self._partitioned:
             # Late joiner under static assignment: nothing was reserved
             # for it; it only gets work via retry requeues.
@@ -411,8 +413,13 @@ class MasterScheduler:
             return False
         if not self.has_queued_work:
             return True
-        active = [w for w in self._workers if not self.faults.is_isolated(w)]
-        return self._partitioned and bool(self._workers) and not active
+        if not self._partitioned or not self._workers:
+            return False
+        # Terminal only when *every* worker is isolated — stop at the
+        # first healthy one, or every idle worker's poll goes O(workers).
+        return not any(
+            not self.faults.is_isolated(w) for w in self._workers
+        )
 
     def summary(self) -> dict[str, int]:
         return {

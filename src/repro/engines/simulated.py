@@ -684,9 +684,7 @@ class _SimulatedRun:
                         needs[vm.vm_id].append(f)
                         seen.add(f.name)
             elif strategy.static_assignment and strategy.staged_before_execution:
-                for plan in self.controller.worker_plans:
-                    if plan.node_id != vm.vm_id:
-                        continue
+                for plan in self.controller.plans_for(vm.vm_id):
                     for wid in plan.worker_ids:
                         for group in self.scheduler.planned_chunk(wid):
                             for f in group.files:
@@ -749,9 +747,7 @@ class _SimulatedRun:
 
     # -- workers ----------------------------------------------------------
     def _spawn_node_workers(self, vm: VirtualMachine) -> None:
-        for plan in self.controller.worker_plans:
-            if plan.node_id != vm.vm_id:
-                continue
+        for plan in self.controller.plans_for(vm.vm_id):
             for wid in plan.worker_ids:
                 logic = self.worker_logics[wid]
                 proc = self.env.process(

@@ -19,7 +19,9 @@ two runs with the same seeds replay identically.
 from __future__ import annotations
 
 import heapq
+import importlib
 import itertools
+import os
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -29,6 +31,18 @@ URGENT = 0
 NORMAL = 1
 
 _PENDING = object()
+
+_INF = float("inf")
+
+#: Calendar-queue band split: events scheduled at least this many time
+#: units ahead go into coarse far-future buckets (one O(1) append)
+#: instead of the near heap, and are merged into the heap only when
+#: virtual time approaches their bucket. This keeps the near heap sized
+#: by *imminent* work, so long-lived timers (failure MTTFs, lease
+#: renewals) at 100k-worker scale stop paying heap log-n on every
+#: schedule. A power of two so ``bucket * width`` is exact in floats;
+#: the value only affects performance, never ordering.
+_FAR_HORIZON = 64.0
 
 
 class Event:
@@ -178,37 +192,6 @@ class Interrupt(Exception):
         return self.args[0] if self.args else None
 
 
-class _Interruption(Event):
-    """Delivery vehicle for an interrupt (internal, URGENT priority)."""
-
-    __slots__ = ("process",)
-
-    def __init__(self, process: "Process", cause: Any):
-        super().__init__(process.env)
-        self.process = process
-        self._ok = False
-        self._value = Interrupt(cause)
-        self._defused = True
-        if process.triggered:
-            raise SimulationError("cannot interrupt a terminated process")
-        self.callbacks.append(self._deliver)
-        self.env._schedule(self, URGENT, 0.0)
-
-    def _deliver(self, event: "Event") -> None:
-        process = self.process
-        if process.triggered:  # terminated between schedule and delivery
-            return
-        # Unsubscribe from whatever the process was waiting on.
-        target = process._target
-        if target is not None and target.callbacks is not None:
-            try:
-                target.callbacks.remove(process._resume)
-            except ValueError:
-                pass
-        process._target = None
-        process._resume(self)
-
-
 class Process(Event):
     """A running coroutine. Also an event: triggers when the coroutine ends.
 
@@ -241,7 +224,7 @@ class Process(Event):
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process as soon as possible."""
-        _Interruption(self, cause)
+        self._interruption_cls(self, cause)
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
@@ -266,7 +249,7 @@ class Process(Event):
                 self.env._schedule(self, NORMAL, 0.0)
                 return
 
-            if not isinstance(next_event, Event):
+            if not isinstance(next_event, self._event_cls):
                 exc = SimulationError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
                 )
@@ -290,69 +273,119 @@ class Process(Event):
         return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
 
 
-class _Condition(Event):
-    """Base for AllOf/AnyOf composite events."""
+def _layered_classes(event_base: type) -> tuple[type, type, type, type]:
+    """Build the kernel classes that stay in Python over ``event_base``.
 
-    __slots__ = ("events", "_remaining")
+    Interrupt delivery and the composite conditions only touch the
+    public Event surface (``callbacks``, ``_ok``/``_value``/``_defused``
+    assignment, ``succeed``/``fail``, ``env._schedule``), so the same
+    class bodies run over either the pure-Python :class:`Event` or the C
+    accelerator's Event. Called once per kernel flavor at import time.
+    """
 
-    def __init__(self, env: "Environment", events: Iterable[Event]):
-        super().__init__(env)
-        self.events = list(events)
-        for ev in self.events:
-            if ev.env is not env:
-                raise SimulationError("condition mixes events from different envs")
-        self._remaining = len(self.events)
-        if not self.events:
-            self.succeed(self._collect())
-            return
-        for ev in self.events:
-            if ev.callbacks is None:
-                self._check(ev)
-            else:
-                ev.callbacks.append(self._check)
+    class _Interruption(event_base):
+        """Delivery vehicle for an interrupt (internal, URGENT priority)."""
+
+        __slots__ = ("process",)
+
+        def __init__(self, process: "Process", cause: Any):
+            super().__init__(process.env)
+            self.process = process
+            self._ok = False
+            self._value = Interrupt(cause)
+            self._defused = True
+            if process.triggered:
+                raise SimulationError("cannot interrupt a terminated process")
+            self.callbacks.append(self._deliver)
+            self.env._schedule(self, URGENT, 0.0)
+
+        def _deliver(self, event: "Event") -> None:
+            process = self.process
+            if process.triggered:  # terminated between schedule and delivery
+                return
+            # Unsubscribe from whatever the process was waiting on.
+            target = process._target
+            if target is not None and target.callbacks is not None:
+                try:
+                    target.callbacks.remove(process._resume)
+                except ValueError:
+                    pass
+            process._target = None
+            process._resume(self)
+
+    class _Condition(event_base):
+        """Base for AllOf/AnyOf composite events."""
+
+        __slots__ = ("events", "_remaining")
+
+        def __init__(self, env: "Environment", events: Iterable[Event]):
+            super().__init__(env)
+            self.events = list(events)
+            for ev in self.events:
+                if ev.env is not env:
+                    raise SimulationError("condition mixes events from different envs")
+            self._remaining = len(self.events)
+            if not self.events:
+                self.succeed(self._collect())
+                return
+            for ev in self.events:
+                if ev.callbacks is None:
+                    self._check(ev)
+                else:
+                    ev.callbacks.append(self._check)
+                if self.triggered:
+                    break
+
+        def _collect(self) -> dict[Event, Any]:
+            # Only *processed* events count as having happened: a Timeout
+            # is born with its value set (triggered) but hasn't occurred
+            # until its scheduled instant passes.
+            return {ev: ev._value for ev in self.events if ev.processed}
+
+        def _check(self, event: Event) -> None:
+            raise NotImplementedError
+
+    class AllOf(_Condition):
+        """Triggers when all child events have triggered (fails fast on failure)."""
+
+        __slots__ = ()
+
+        def _check(self, event: Event) -> None:
             if self.triggered:
-                break
+                return
+            if not event._ok:
+                event._defused = True
+                self.fail(event._value)
+                return
+            self._remaining -= 1
+            if self._remaining == 0:
+                self.succeed(self._collect())
 
-    def _collect(self) -> dict[Event, Any]:
-        # Only *processed* events count as having happened: a Timeout is
-        # born with its value set (triggered) but hasn't occurred until
-        # its scheduled instant passes.
-        return {ev: ev._value for ev in self.events if ev.processed}
+    class AnyOf(_Condition):
+        """Triggers when the first child event triggers."""
 
-    def _check(self, event: Event) -> None:
-        raise NotImplementedError
+        __slots__ = ()
 
-
-class AllOf(_Condition):
-    """Triggers when all child events have triggered (fails fast on failure)."""
-
-    __slots__ = ()
-
-    def _check(self, event: Event) -> None:
-        if self.triggered:
-            return
-        if not event._ok:
-            event._defused = True
-            self.fail(event._value)
-            return
-        self._remaining -= 1
-        if self._remaining == 0:
+        def _check(self, event: Event) -> None:
+            if self.triggered:
+                return
+            if not event._ok:
+                event._defused = True
+                self.fail(event._value)
+                return
             self.succeed(self._collect())
 
+    return _Interruption, _Condition, AllOf, AnyOf
 
-class AnyOf(_Condition):
-    """Triggers when the first child event triggers."""
 
-    __slots__ = ()
+_Interruption, _Condition, AllOf, AnyOf = _layered_classes(Event)
 
-    def _check(self, event: Event) -> None:
-        if self.triggered:
-            return
-        if not event._ok:
-            event._defused = True
-            self.fail(event._value)
-            return
-        self.succeed(self._collect())
+# Bound on the class, not looked up as module globals: the bottom-of-
+# module accelerator swap rebinds the module names, and the pure
+# classes (still importable as PyEvent/PyEnvironment/...) must keep
+# working as a self-contained kernel afterwards.
+Process._event_cls = Event
+Process._interruption_cls = _Interruption
 
 
 class Environment:
@@ -371,6 +404,14 @@ class Environment:
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
         self._timeout_pool: list[Timeout] = []
+        #: Calendar-queue far band: bucket index -> unsorted entries.
+        #: Entries carry the same (when, priority, seq, event) tuples as
+        #: the heap, so merging preserves the total order exactly.
+        self._far: dict[int, list[tuple[float, int, int, Event]]] = {}
+        #: Lower time bound of the earliest pending far bucket (+inf
+        #: when the far band is empty); popping from the near heap is
+        #: safe only while its head is strictly below this boundary.
+        self._far_next = _INF
         #: Optional callables invoked as ``tracer(env, event)`` right
         #: before each event's callbacks run (used by Monitor).
         self.tracers: list[Callable[["Environment", Event], None]] = []
@@ -385,14 +426,22 @@ class Environment:
         """The process currently executing, if any."""
         return self._active_process
 
+    # Self-contained class references (see the note above the class):
+    # these survive the module-level rebinding to the C accelerator.
+    _event_cls = Event
+    _timeout_cls = Timeout
+    _process_cls = Process
+    _all_of_cls = AllOf
+    _any_of_cls = AnyOf
+
     # -- event factories -------------------------------------------------
     def event(self) -> Event:
         """Create a pending event the caller triggers manually."""
-        return Event(self)
+        return self._event_cls(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event triggering ``delay`` time units from now."""
-        return Timeout(self, delay, value)
+        return self._timeout_cls(self, delay, value)
 
     def pooled_timeout(self, delay: float, value: Any = None) -> Timeout:
         """A :class:`Timeout` drawn from a free list when possible.
@@ -412,7 +461,7 @@ class Environment:
             timeout.delay = delay
             self._schedule(timeout, NORMAL, delay)
             return timeout
-        return Timeout(self, delay, value)
+        return self._timeout_cls(self, delay, value)
 
     def release_timeout(self, timeout: Timeout) -> None:
         """Return a *processed* pooled timeout to the free list.
@@ -427,34 +476,73 @@ class Environment:
         self, generator: Generator[Event, Any, Any], name: str | None = None
     ) -> Process:
         """Start a coroutine process."""
-        return Process(self, generator, name=name)
+        return self._process_cls(self, generator, name=name)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that triggers when every event in ``events`` has."""
-        return AllOf(self, events)
+        return self._all_of_cls(self, events)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
         """Event that triggers when the first of ``events`` does."""
-        return AnyOf(self, events)
+        return self._any_of_cls(self, events)
 
     # -- scheduling/loop --------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float) -> None:
         if event._scheduled:
             raise SimulationError(f"{event!r} scheduled twice")
         event._scheduled = True
-        heapq.heappush(
-            self._heap, (self._now + delay, priority, next(self._seq), event)
-        )
+        when = self._now + delay
+        if delay >= _FAR_HORIZON and when < _INF:
+            # Far band: O(1) bucket append instead of a heap push. The
+            # full ordering key rides along, so the eventual merge slots
+            # the entry exactly where a direct push would have.
+            bucket = int(when // _FAR_HORIZON)
+            entry = (when, priority, next(self._seq), event)
+            try:
+                self._far[bucket].append(entry)
+            except KeyError:
+                self._far[bucket] = [entry]
+                boundary = bucket * _FAR_HORIZON
+                if boundary < self._far_next:
+                    self._far_next = boundary
+            return
+        heapq.heappush(self._heap, (when, priority, next(self._seq), event))
+
+    def _refill(self) -> None:
+        """Merge due far buckets into the near heap.
+
+        Called whenever the heap's head is not strictly below the
+        earliest far-bucket boundary: every entry in bucket ``k`` has
+        ``when >= k * _FAR_HORIZON``, so the head can only be dispatched
+        once all buckets at or below it are merged.
+        """
+        heap = self._heap
+        far = self._far
+        while far:
+            bucket = min(far)
+            boundary = bucket * _FAR_HORIZON
+            if heap and heap[0][0] < boundary:
+                self._far_next = boundary
+                return
+            for entry in far.pop(bucket):
+                heapq.heappush(heap, entry)
+        self._far_next = _INF
 
     def peek(self) -> float:
-        """Time of the next event, or +inf if the heap is empty."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next event, or +inf if nothing is scheduled."""
+        heap = self._heap
+        if self._far_next <= (heap[0][0] if heap else _INF):
+            self._refill()
+        return heap[0][0] if heap else _INF
 
     def step(self) -> None:
         """Process exactly one event."""
-        if not self._heap:
+        heap = self._heap
+        if self._far_next <= (heap[0][0] if heap else _INF):
+            self._refill()
+        if not heap:
             raise SimulationError("step() on an empty event heap")
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        when, _prio, _seq, event = heapq.heappop(heap)
         self._now = when
         if self.tracers:
             for tracer in self.tracers:
@@ -474,7 +562,7 @@ class Environment:
 
         Returns the event's value when ``until`` is an event.
         """
-        if isinstance(until, Event):
+        if isinstance(until, self._event_cls):
             stop_event = until
             if stop_event.processed:
                 if stop_event.ok:
@@ -488,7 +576,7 @@ class Environment:
             stop_event.callbacks.append(_mark)
             step = self.step
             heap = self._heap
-            while heap and not sentinel[0]:
+            while not sentinel[0] and (heap or self._far):
                 step()
             if not stop_event.triggered:
                 raise SimulationError(
@@ -499,13 +587,92 @@ class Environment:
             stop_event.defuse()
             raise stop_event.value
 
-        deadline = float("inf") if until is None else float(until)
-        if deadline != float("inf") and deadline < self._now:
+        deadline = _INF if until is None else float(until)
+        if deadline != _INF and deadline < self._now:
             raise SimulationError(f"run(until={until}) is in the past (now={self._now})")
-        step = self.step
         heap = self._heap
-        while heap and heap[0][0] <= deadline:
-            step()
-        if deadline != float("inf"):
+        heappop, heappush = heapq.heappop, heapq.heappush
+        while True:
+            if self._far_next <= (heap[0][0] if heap else _INF):
+                self._refill()
+            if not heap or heap[0][0] > deadline:
+                break
+            # Batch dispatch: pop every entry at this instant in one
+            # cycle instead of re-entering step() per event. Ordering is
+            # still exactly (when, priority, seq): the batch comes off
+            # the heap in key order, and the guard below re-merges the
+            # un-dispatched remainder whenever a callback schedules a
+            # same-instant event (an URGENT interrupt, say) that sorts
+            # before it.
+            when = heap[0][0]
+            batch = [heappop(heap)]
+            while heap and heap[0][0] == when:
+                batch.append(heappop(heap))
+            self._now = when
+            tracers = self.tracers
+            index, size = 0, len(batch)
+            try:
+                while index < size:
+                    entry = batch[index]
+                    if heap:
+                        top = heap[0]
+                        if top[0] == when and (
+                            top[1] < entry[1]
+                            or (top[1] == entry[1] and top[2] < entry[2])
+                        ):
+                            break  # preempted: remainder re-pushed below
+                    index += 1
+                    event = entry[3]
+                    if tracers:
+                        for tracer in tracers:
+                            tracer(self, event)
+                    callbacks, event.callbacks = event.callbacks, None
+                    # Snapshot first: a callback may recycle the event.
+                    ok, value = event._ok, event._value
+                    for callback in callbacks:
+                        callback(event)
+                    if not ok and not event._defused:
+                        raise value
+            finally:
+                # Preemption or an unhandled failure left part of the
+                # batch un-dispatched: back onto the heap, unchanged.
+                for entry in batch[index:]:
+                    heappush(heap, entry)
+        if deadline != _INF:
             self._now = deadline
         return None
+
+
+# ---------------------------------------------------------------------------
+# Optional C accelerator
+# ---------------------------------------------------------------------------
+#: The pure-Python implementations stay importable under these names no
+#: matter which kernel is active (parity tests compare the two).
+PyEvent, PyTimeout, PyProcess, PyEnvironment = Event, Timeout, Process, Environment
+
+_ckern = None
+if not os.environ.get("FRIEDA_PURE_KERNEL"):
+    try:
+        _ckern = importlib.import_module("repro.sim._ckern")
+    except ImportError:
+        _ckern = None
+
+if _ckern is not None:
+    # Rebind the public kernel names to the C implementations and
+    # rebuild the Python-layered classes over the C Event base. Every
+    # downstream import (`from repro.sim.kernel import Environment`)
+    # happens after this module finishes executing, so the swap is
+    # invisible except for speed. FRIEDA_PURE_KERNEL=1 (checked above)
+    # forces the reference kernel instead.
+    Event = _ckern.Event
+    Timeout = _ckern.Timeout
+    Process = _ckern.Process
+    Environment = _ckern.Environment
+    _PENDING = _ckern.PENDING
+    _Interruption, _Condition, AllOf, AnyOf = _layered_classes(Event)
+    _ckern._register(
+        error=SimulationError,
+        interruption=_Interruption,
+        all_of=AllOf,
+        any_of=AnyOf,
+    )

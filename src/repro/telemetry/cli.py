@@ -12,7 +12,7 @@ import json
 import sys
 from typing import Sequence
 
-from repro.telemetry.export import summarize_trace
+from repro.telemetry.export import iter_trace_events, summarize_trace_events
 
 
 def add_trace_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -34,16 +34,20 @@ def run_trace_command(args: argparse.Namespace) -> int:
 
 def summarize_command(path: str, stream=None) -> int:
     stream = stream if stream is not None else sys.stdout
+    # Stream the traceEvents array instead of json.load()ing the whole
+    # file — --trace exports from macro-scale runs reach GB sizes.
     try:
         with open(path, "r", encoding="utf-8") as handle:
-            trace = json.load(handle)
-    except (OSError, json.JSONDecodeError) as exc:
+            summarize_trace_events(iter_trace_events(handle), stream)
+    except OSError as exc:
         print(f"error: cannot read trace {path}: {exc}", file=sys.stderr)
         return 2
-    if not isinstance(trace, dict) or "traceEvents" not in trace:
+    except json.JSONDecodeError as exc:
+        print(f"error: cannot read trace {path}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError:
         print(f"error: {path} is not a trace-event JSON file", file=sys.stderr)
         return 2
-    summarize_trace(trace, stream)
     return 0
 
 

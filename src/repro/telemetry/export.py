@@ -16,7 +16,7 @@ resolution), which keeps float repr stable.
 from __future__ import annotations
 
 import json
-from typing import Any, TextIO
+from typing import Any, Iterable, Iterator, TextIO
 
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.spans import Telemetry
@@ -125,33 +125,166 @@ def write_metrics_json(metrics: MetricsRegistry, path: str) -> None:
         handle.write("\n")
 
 
+# -- streaming reader --------------------------------------------------------
+
+class _TraceStream:
+    """Incremental JSON reader for trace-event files.
+
+    Keeps a bounded text window over ``handle`` and decodes one JSON
+    value at a time with :meth:`json.JSONDecoder.raw_decode`, refilling
+    the window when a value is cut off at a chunk boundary — a
+    multi-GB ``--trace`` export never has to fit in memory.
+    """
+
+    def __init__(self, handle: TextIO, chunk_size: int) -> None:
+        self._handle = handle
+        self._chunk = chunk_size
+        self._buf = ""
+        self._pos = 0
+        self._decoder = json.JSONDecoder()
+
+    def _fill(self) -> bool:
+        """Pull one more chunk; drop the consumed prefix.  False at EOF."""
+        data = self._handle.read(self._chunk)
+        if not data:
+            return False
+        if self._pos:
+            self._buf = self._buf[self._pos :]
+            self._pos = 0
+        self._buf += data
+        return True
+
+    def take(self) -> str:
+        """Consume and return the next non-whitespace character."""
+        while True:
+            buf, pos = self._buf, self._pos
+            while pos < len(buf):
+                ch = buf[pos]
+                pos += 1
+                if ch not in " \t\n\r":
+                    self._pos = pos
+                    return ch
+            self._pos = pos
+            if not self._fill():
+                raise ValueError("truncated trace file")
+
+    def value(self) -> Any:
+        """Decode the next JSON value, skipping leading whitespace."""
+        # raw_decode rejects leading whitespace; take()+pushback eats it
+        # (refilling across chunk edges) and lands on the first token.
+        self.take()
+        self._pos -= 1
+        while True:
+            try:
+                obj, end = self._decoder.raw_decode(self._buf, self._pos)
+            except json.JSONDecodeError:
+                if not self._fill():
+                    raise
+                continue
+            # A value flush against the window edge may continue in the
+            # next chunk (e.g. the number 12|34 split across reads).
+            if end == len(self._buf) and self._fill():
+                continue
+            self._pos = end
+            return obj
+
+
+def iter_trace_events(
+    handle: TextIO, *, chunk_size: int = 1 << 16
+) -> Iterator[dict[str, Any]]:
+    """Yield ``traceEvents`` entries from an open trace file one at a
+    time, without loading the file into memory.
+
+    Parses the top-level object incrementally: other keys are decoded
+    and discarded; once the ``traceEvents`` array has been streamed the
+    rest of the file is ignored.  Raises :class:`ValueError` (or its
+    subclass :class:`json.JSONDecodeError`) for files that are not
+    trace-event JSON.
+    """
+    stream = _TraceStream(handle, chunk_size)
+    if stream.take() != "{":
+        raise ValueError("not a trace-event JSON object")
+    ch = stream.take()
+    if ch == "}":
+        raise ValueError("no traceEvents array")
+    first = True
+    while True:
+        if not first:
+            if ch == "}":
+                raise ValueError("no traceEvents array")
+            if ch != ",":
+                raise ValueError("malformed trace object")
+            ch = stream.take()
+        first = False
+        if ch != '"':
+            raise ValueError("malformed trace object")
+        stream._pos -= 1  # re-include the quote
+        key = stream.value()
+        if stream.take() != ":":
+            raise ValueError("malformed trace object")
+        if key == "traceEvents":
+            if stream.take() != "[":
+                raise ValueError("traceEvents is not an array")
+            ch = stream.take()
+            if ch == "]":
+                return
+            stream._pos -= 1  # ch starts the first element
+            while True:
+                yield stream.value()
+                ch = stream.take()
+                if ch == "]":
+                    return
+                if ch != ",":
+                    raise ValueError("malformed traceEvents array")
+                ch = stream.take()
+                stream._pos -= 1  # ch starts the next element
+        stream.value()  # skip this key's value
+        ch = stream.take()
+
+
 # -- summaries ---------------------------------------------------------------
 
 def summarize_trace(trace: dict[str, Any], stream: TextIO) -> None:
-    """Render a human summary of a trace-event dict onto ``stream``.
+    """Render a human summary of an in-memory trace-event dict.
+
+    Thin wrapper over :func:`summarize_trace_events`; the CLI streams
+    from disk instead via :func:`iter_trace_events`.
+    """
+    summarize_trace_events(trace.get("traceEvents", []), stream)
+
+
+def summarize_trace_events(
+    events: Iterable[dict[str, Any]], stream: TextIO
+) -> None:
+    """Render a human summary of a trace-event stream onto ``stream``.
 
     Groups complete spans by name with count / total / max duration,
     lists processes (runs) with their wall span, and counts instants.
+    Single pass, bounded state — safe for arbitrarily large traces.
     Used by ``repro trace summarize``.
     """
-    events = trace.get("traceEvents", [])
+    count = 0
     process_names: dict[int, str] = {}
     bounds: dict[int, tuple[float, float]] = {}
-    span_agg: dict[str, list[float]] = {}
+    # Per span name: (count, total_dur, max_dur) — O(names), not O(spans).
+    span_agg: dict[str, tuple[int, float, float]] = {}
     instants: dict[str, int] = {}
     for ev in events:
+        count += 1
         ph = ev.get("ph")
         if ph == "M" and ev.get("name") == "process_name":
             process_names[ev["pid"]] = ev.get("args", {}).get("name", "?")
         elif ph == "X":
-            span_agg.setdefault(ev["name"], []).append(ev.get("dur", 0.0))
-            ts, dur = ev.get("ts", 0.0), ev.get("dur", 0.0)
+            dur = ev.get("dur", 0.0)
+            n, total, peak = span_agg.get(ev["name"], (0, 0.0, 0.0))
+            span_agg[ev["name"]] = (n + 1, total + dur, max(peak, dur))
+            ts = ev.get("ts", 0.0)
             lo, hi = bounds.get(ev["pid"], (ts, ts + dur))
             bounds[ev["pid"]] = (min(lo, ts), max(hi, ts + dur))
         elif ph == "i":
             instants[ev["name"]] = instants.get(ev["name"], 0) + 1
 
-    stream.write(f"{len(events)} events, {len(process_names)} run(s)\n")
+    stream.write(f"{count} events, {len(process_names)} run(s)\n")
     for pid in sorted(process_names):
         lo, hi = bounds.get(pid, (0.0, 0.0))
         stream.write(
@@ -162,12 +295,12 @@ def summarize_trace(trace: dict[str, Any], stream: TextIO) -> None:
         header = f"  {'name':<14} {'count':>7} {'total_s':>10} {'max_s':>10}\n"
         stream.write(header)
         rows = sorted(
-            span_agg.items(), key=lambda kv: (-sum(kv[1]), kv[0])
+            span_agg.items(), key=lambda kv: (-kv[1][1], kv[0])
         )
-        for name, durs in rows:
+        for name, (n, total, peak) in rows:
             stream.write(
-                f"  {name:<14} {len(durs):>7} {sum(durs) / _US:>10.3f}"
-                f" {max(durs) / _US:>10.3f}\n"
+                f"  {name:<14} {n:>7} {total / _US:>10.3f}"
+                f" {peak / _US:>10.3f}\n"
             )
     if instants:
         stream.write("\ninstants:\n")

@@ -65,6 +65,93 @@ class EventRecord:
     run: str
 
 
+class RecordLog:
+    """Slab-backed append log of span/event records.
+
+    Rows land in a preallocated fixed-size slab (a block of ``SLAB``
+    slots filled left to right); a full slab is flushed wholesale onto
+    the block list and a fresh one is preallocated.  Rows are plain
+    field tuples — the frozen dataclass record is only materialized
+    when someone *reads* the log (export, assertions), so the hot
+    emission path never pays dataclass ``__init__`` for records nobody
+    looks at until the run ends.  Reads present the log as an ordinary
+    sequence of records, equal to the list it replaces.
+    """
+
+    __slots__ = ("_factory", "_blocks", "_slab", "_fill")
+
+    #: Rows per slab.  Power of two, sized so a slab is a few KiB of
+    #: pointers — big enough to amortize allocation, small enough that
+    #: an idle hub wastes almost nothing.
+    SLAB = 1024
+
+    def __init__(self, factory: Callable[..., Any]) -> None:
+        self._factory = factory
+        self._blocks: list[list[Any]] = []
+        self._slab: list[Any] = [None] * self.SLAB
+        self._fill = 0
+
+    def _append_fields(self, fields: tuple) -> None:
+        slab = self._slab
+        fill = self._fill
+        slab[fill] = fields
+        fill += 1
+        if fill == self.SLAB:
+            self._blocks.append(slab)
+            self._slab = [None] * self.SLAB
+            self._fill = 0
+        else:
+            self._fill = fill
+
+    def __len__(self) -> int:
+        return len(self._blocks) * self.SLAB + self._fill
+
+    def _row(self, index: int) -> tuple:
+        block, slot = divmod(index, self.SLAB)
+        if block < len(self._blocks):
+            return self._blocks[block][slot]
+        return self._slab[slot]
+
+    def __getitem__(self, index):
+        size = len(self)
+        if isinstance(index, slice):
+            factory = self._factory
+            return [
+                factory(*self._row(i)) for i in range(*index.indices(size))
+            ]
+        if index < 0:
+            index += size
+        if not 0 <= index < size:
+            raise IndexError("record log index out of range")
+        return self._factory(*self._row(index))
+
+    def __iter__(self):
+        factory = self._factory
+        for block in self._blocks:
+            for fields in block:
+                yield factory(*fields)
+        slab = self._slab
+        for i in range(self._fill):
+            yield factory(*slab[i])
+
+    def __bool__(self) -> bool:
+        return bool(self._blocks) or self._fill > 0
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RecordLog):
+            other = list(other)
+        if isinstance(other, (list, tuple)):
+            if len(self) != len(other):
+                return False
+            return all(mine == theirs for mine, theirs in zip(self, other))
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment] - mutable log
+
+    def __repr__(self) -> str:
+        return f"RecordLog({list(self)!r})"
+
+
 class TelemetrySink(Protocol):
     """Consumer of the live span/event stream (e.g. the sim Monitor)."""
 
@@ -137,8 +224,8 @@ class Telemetry:
         self.record = record
         self.run = run
         self.metrics = MetricsRegistry()
-        self.spans: list[SpanRecord] = []
-        self.events: list[EventRecord] = []
+        self.spans: RecordLog = RecordLog(SpanRecord)
+        self.events: RecordLog = RecordLog(EventRecord)
         self._sinks: list[TelemetrySink] = []
         self._monitor_sink: TelemetrySink | None = None
         self._ids = itertools.count(1)
@@ -209,7 +296,7 @@ class Telemetry:
         if extra_tags:
             tags = {**tags, **extra_tags}
         self._emit_span(
-            SpanRecord(
+            (
                 handle.span_id,
                 handle.parent_id,
                 handle.key,
@@ -233,7 +320,7 @@ class Telemetry:
     ) -> SpanRecord:
         """Record a span whose start/end the caller already measured
         (flow retirement, completed transfers)."""
-        record = SpanRecord(
+        fields = (
             next(self._ids),
             _parent_id(parent),
             key,
@@ -243,8 +330,8 @@ class Telemetry:
             track,
             self.run,
         )
-        self._emit_span(record)
-        return record
+        self._emit_span(fields)
+        return SpanRecord(*fields)
 
     def event(
         self,
@@ -256,7 +343,7 @@ class Telemetry:
         **tags: Any,
     ) -> None:
         """Record an instant event."""
-        record = EventRecord(
+        fields = (
             next(self._ids),
             key,
             self.clock() if time is None else time,
@@ -266,23 +353,32 @@ class Telemetry:
             self.run,
         )
         if self.record:
-            self.events.append(record)
+            self.events._append_fields(fields)
         sink = self._monitor_sink
-        if sink is not None:
-            sink.on_event(record)
-        for extra in self._sinks:
-            extra.on_event(record)
+        if sink is not None or self._sinks:
+            record = EventRecord(*fields)
+            if sink is not None:
+                sink.on_event(record)
+            for extra in self._sinks:
+                extra.on_event(record)
 
     # -- internals ----------------------------------------------------------
 
-    def _emit_span(self, record: SpanRecord) -> None:
+    def _emit_span(self, fields: tuple) -> None:
+        """Record/fan out one finished span, given its raw field tuple.
+
+        The :class:`SpanRecord` is only built when a sink needs it —
+        record-only runs (``--trace`` exports) stay on the tuple path.
+        """
         if self.record:
-            self.spans.append(record)
+            self.spans._append_fields(fields)
         sink = self._monitor_sink
-        if sink is not None:
-            sink.on_span(record)
-        for extra in self._sinks:
-            extra.on_span(record)
+        if sink is not None or self._sinks:
+            record = SpanRecord(*fields)
+            if sink is not None:
+                sink.on_span(record)
+            for extra in self._sinks:
+                extra.on_span(record)
 
 
 class _NullSpanHandle(SpanHandle):

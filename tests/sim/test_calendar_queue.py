@@ -1,0 +1,168 @@
+"""Calendar-queue far band + batched dispatch: ordering is untouched.
+
+The pure-Python kernel parks events ``>= _FAR_HORIZON`` in unsorted
+calendar buckets and dispatches same-instant runs as batches, but the
+observable contract is unchanged: events fire in exact
+``(when, priority, seq)`` order, where ``seq`` is assigned at schedule
+time.  These tests drive :class:`PyEnvironment` directly (the C
+accelerator has no far band) and check the dispatch order against the
+independently computed sort key.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.kernel import (
+    NORMAL,
+    URGENT,
+    Interrupt,
+    PyEnvironment,
+    SimulationError,
+    _FAR_HORIZON,
+)
+
+
+def _scheduled_event(env, label, order, prio, delay):
+    """Schedule a bare pre-succeeded event recording its dispatch."""
+    ev = env.event()
+    ev._ok = True
+    ev._value = None
+    ev.callbacks.append(lambda _e: order.append(label))
+    env._schedule(ev, prio, delay)
+    return ev
+
+
+def test_mixed_bands_dispatch_in_when_prio_seq_order():
+    rng = random.Random(42)
+    env = PyEnvironment()
+    order: list[int] = []
+    keys = []
+    for seq in range(400):
+        # Delays straddle the far horizon; duplicate instants and both
+        # priorities are common by construction.
+        delay = rng.choice(
+            [
+                rng.randrange(0, 8) * 1.0,
+                float(rng.randrange(60, 70)),
+                _FAR_HORIZON * rng.randrange(1, 5),
+                _FAR_HORIZON * 50 + rng.randrange(0, 3),
+            ]
+        )
+        prio = rng.choice([URGENT, NORMAL, NORMAL])
+        _scheduled_event(env, seq, order, prio, delay)
+        keys.append((delay, prio, seq))
+    env.run()
+    assert order == [seq for _, _, seq in sorted(keys)]
+    assert not env._far and env._far_next == float("inf")
+
+
+def test_same_instant_batch_preserves_priority_and_seq():
+    env = PyEnvironment()
+    order: list[str] = []
+    for i in range(5):
+        _scheduled_event(env, f"n{i}", order, NORMAL, 10.0)
+    _scheduled_event(env, "u0", order, URGENT, 10.0)
+    env.run()
+    # URGENT sorts before every NORMAL at the same instant even though
+    # it was scheduled last.
+    assert order == ["u0", "n0", "n1", "n2", "n3", "n4"]
+
+
+def test_urgent_scheduled_mid_batch_preempts_remainder():
+    """A callback scheduling a same-instant URGENT event mid-batch must
+    see it dispatched before the rest of the already-popped batch."""
+    env = PyEnvironment()
+    order: list[str] = []
+
+    def first_fires(_e):
+        order.append("first")
+        _scheduled_event(env, "urgent-late", order, URGENT, 0.0)
+
+    ev = env.event()
+    ev._ok = True
+    ev._value = None
+    ev.callbacks.append(first_fires)
+    env._schedule(ev, NORMAL, 5.0)
+    for i in range(3):
+        _scheduled_event(env, f"rest{i}", order, NORMAL, 5.0)
+    env.run()
+    assert order == ["first", "urgent-late", "rest0", "rest1", "rest2"]
+
+
+def test_far_events_cross_bucket_boundaries_in_order():
+    env = PyEnvironment()
+    order: list[float] = []
+    # Same bucket, reverse scheduling order: bucket lists are unsorted,
+    # the merge into the heap must still sort them.
+    for when in [3 * _FAR_HORIZON + off for off in (9.0, 1.0, 5.0)]:
+        _scheduled_event(env, when, order, NORMAL, when)
+    # An earlier bucket scheduled after a later one.
+    _scheduled_event(env, 2 * _FAR_HORIZON, order, NORMAL, 2 * _FAR_HORIZON)
+    env.run()
+    assert order == sorted(order)
+
+
+def test_peek_and_step_see_far_band():
+    env = PyEnvironment()
+    hits = []
+    _scheduled_event(env, "far", hits, NORMAL, 1000.0)
+    assert env.peek() == 1000.0
+    env.step()
+    assert env.now == 1000.0 and hits == ["far"]
+    assert env.peek() == float("inf")
+
+
+def test_run_until_event_crosses_far_band():
+    env = PyEnvironment()
+
+    def sleeper(env):
+        yield env.timeout(10_000.0)
+        return "woke"
+
+    proc = env.process(sleeper(env))
+    assert env.run(until=proc) == "woke"
+    assert env.now == 10_000.0
+
+
+def test_run_deadline_between_buckets_leaves_far_intact():
+    env = PyEnvironment()
+    order: list[str] = []
+    _scheduled_event(env, "near", order, NORMAL, 1.0)
+    _scheduled_event(env, "far", order, NORMAL, 10 * _FAR_HORIZON)
+    env.run(until=5.0)
+    assert order == ["near"] and env.now == 5.0
+    env.run()
+    assert order == ["near", "far"]
+
+
+def test_timer_wheel_interrupt_from_far_sleep():
+    """Interrupting a process parked in a far bucket delivers promptly
+    and leaves the stale far entry harmless."""
+    env = PyEnvironment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(5 * _FAR_HORIZON)
+            log.append("overslept")
+        except Interrupt as intr:
+            log.append(("interrupted", env.now, intr.cause))
+
+    proc = env.process(sleeper(env))
+
+    def waker(env):
+        yield env.timeout(1.0)
+        proc.interrupt("wake")
+
+    env.process(waker(env))
+    env.run()
+    assert log == [("interrupted", 1.0, "wake")]
+
+
+def test_negative_delay_still_rejected():
+    env = PyEnvironment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)

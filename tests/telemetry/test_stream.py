@@ -1,0 +1,81 @@
+"""Streaming trace reader: same events as ``json.load``, bounded memory.
+
+``iter_trace_events`` re-parses a trace file through a small text
+window; every event it yields must equal what a whole-file
+``json.load`` would produce, at any chunk size — including pathological
+1-byte windows that split every token.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry.export import (
+    chrome_trace,
+    iter_trace_events,
+    summarize_trace,
+    summarize_trace_events,
+)
+from repro.telemetry.spans import Telemetry
+
+
+def _sample_trace() -> dict:
+    hub = Telemetry(record=True)
+    for i in range(5):
+        with hub.span("exec", track=f"w{i % 2}", run="run-a", task=f"t{i}"):
+            hub.event("retry", track=f"w{i % 2}", run="run-a", value=i)
+    with hub.span("stage", track="net", run="run-b"):
+        pass
+    return chrome_trace(hub)
+
+
+@pytest.mark.parametrize("chunk_size", [1, 7, 64, 1 << 16])
+def test_streamed_events_equal_json_load(chunk_size):
+    trace = _sample_trace()
+    text = json.dumps(trace)
+    streamed = list(iter_trace_events(io.StringIO(text), chunk_size=chunk_size))
+    assert streamed == trace["traceEvents"]
+
+
+def test_key_order_does_not_matter():
+    # traceEvents last, after keys the streamer has to skip over.
+    trace = _sample_trace()
+    reordered = {"displayTimeUnit": "ms", "meta": {"deep": [1, {"x": "]}"}]}}
+    reordered["traceEvents"] = trace["traceEvents"]
+    streamed = list(iter_trace_events(io.StringIO(json.dumps(reordered)), chunk_size=9))
+    assert streamed == trace["traceEvents"]
+
+
+def test_empty_trace_events_list():
+    assert list(iter_trace_events(io.StringIO('{"traceEvents": []}'))) == []
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "",
+        "[1, 2]",
+        '{"noTraceEvents": 1}',
+        '{"traceEvents": {"not": "a list"}}',
+        '{"traceEvents": [{"ph": "X"}',  # truncated mid-array
+        "not json at all",
+    ],
+)
+def test_malformed_input_raises_value_error(text):
+    with pytest.raises(ValueError):
+        list(iter_trace_events(io.StringIO(text)))
+
+
+def test_summary_identical_streaming_vs_dict_path():
+    trace = _sample_trace()
+    via_dict = io.StringIO()
+    summarize_trace(trace, via_dict)
+    via_stream = io.StringIO()
+    summarize_trace_events(
+        iter_trace_events(io.StringIO(json.dumps(trace)), chunk_size=11), via_stream
+    )
+    assert via_stream.getvalue() == via_dict.getvalue()
+    assert "exec" in via_dict.getvalue()
