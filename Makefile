@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint check accel bench bench-check bench-update bench-macro bench-macro-update schema-check trace-demo chaos chaos-runtime
+.PHONY: test lint audit check accel bench bench-check bench-update bench-macro bench-macro-update schema-check trace-demo chaos chaos-runtime
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,11 +21,19 @@ lint:
 		echo "ruff not installed; skipped (pip install -e '.[test]')"; \
 	fi
 
-# One command to gate a PR locally: invariants, tests (which include
-# the exporter schema/golden contract), runtime chaos parity, perf
-# regressions, and the 1k macro tier (10k/100k are opt-in:
-# `FRIEDA_MACRO_TIERS=1k,10k make bench-macro`).
-check: lint test schema-check chaos-runtime bench-check bench-macro
+# frieda-audit: the whole-program pass on top of frieda-lint — call-
+# graph IO/wall-clock taint from the sim packages, thread lock
+# discipline, asyncio discipline, protocol exhaustiveness. The summary
+# cache makes incremental re-runs parse only edited files.
+audit:
+	$(PYTHON) -m repro.analysis src --project \
+		--cache build/audit-cache.json --baseline lint-baseline.json
+
+# One command to gate a PR locally: invariants (per-file + whole-
+# program), tests (which include the exporter schema/golden contract),
+# runtime chaos parity, perf regressions, and the 1k macro tier
+# (10k/100k are opt-in: `FRIEDA_MACRO_TIERS=1k,10k make bench-macro`).
+check: lint audit test schema-check chaos-runtime bench-check bench-macro
 
 # Build the optional C kernel accelerator in place. Soft-fails: without
 # a compiler the pure-Python kernel serves every caller (same

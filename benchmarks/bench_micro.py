@@ -213,6 +213,22 @@ def test_chrome_trace_export_10k_spans(benchmark):
     assert benchmark(export) > 100_000
 
 
+# Informational (not a guarded group): wall time of the cacheless
+# whole-program audit over the full tree — parse, summary extraction,
+# call graph, all per-file and project rule packs. Tracks how the
+# audit cost scales as the codebase grows.
+@pytest.mark.benchmark(group="micro-audit")
+def test_whole_program_audit_full_tree(benchmark):
+    from repro.analysis.project import audit_paths
+
+    def run():
+        findings, project = audit_paths(["src"])
+        assert not findings
+        return project.stats["files"]
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) > 100
+
+
 @pytest.mark.benchmark(group="micro-protocol")
 def test_message_codec_round_trip(benchmark):
     message = SetPartitionInfo(

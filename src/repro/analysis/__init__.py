@@ -10,17 +10,32 @@ Rule packs (see ``python -m repro.analysis --list-rules``):
 - API misuse (``instant-trigger``, ``double-trigger``) — patterns the
   kernel raises on at runtime, caught before any run.
 
-See DESIGN.md §"Enforced invariants" for rationale and pragma syntax.
+Whole-program packs (``--project`` / ``make audit``) run over a parsed
+:class:`~repro.analysis.project.ProjectContext` instead of one file:
+
+- taint (``transitive-wall-clock``, ``transitive-real-io``) — sim code
+  must not reach clocks/sleeps/IO through any helper chain,
+- concurrency (``lock-outlier``, ``async-blocking``,
+  ``async-unawaited``, ``async-shared-mutation``) — inferred lock
+  discipline in the threaded runtime, event-loop discipline in the TCP
+  runtime,
+- protocol (``protocol-exhaustive``, ``protocol-dead-kind``) — every
+  sent frame kind is dispatched somewhere and dead kinds are flagged.
+
+See DESIGN.md §"Enforced invariants" and §14 "Whole-program analysis"
+for rationale and pragma syntax.
 """
 
 from repro.analysis.framework import (
     SIM_PACKAGES,
     FileContext,
     Finding,
+    ProjectRule,
     Rule,
     analyze_file,
     analyze_paths,
     analyze_source,
+    iter_project_rules,
     iter_rules,
 )
 
@@ -28,9 +43,11 @@ __all__ = [
     "SIM_PACKAGES",
     "FileContext",
     "Finding",
+    "ProjectRule",
     "Rule",
     "analyze_file",
     "analyze_paths",
     "analyze_source",
+    "iter_project_rules",
     "iter_rules",
 ]

@@ -2,7 +2,10 @@
 
 Exit codes: 0 = clean (or all findings baselined), 1 = fresh findings,
 2 = usage error. ``make lint`` runs this over ``src/`` with the
-repository baseline (``lint-baseline.json``, kept empty).
+repository baseline (``lint-baseline.json``, kept empty); ``make
+audit`` adds ``--project`` for the whole-program packs (call-graph
+taint, lock discipline, asyncio discipline, protocol exhaustiveness)
+with a content-hash cache for fast incremental re-runs.
 """
 
 from __future__ import annotations
@@ -10,11 +13,17 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis.framework import analyze_paths, iter_python_files
+from repro.analysis.framework import (
+    all_rule_ids,
+    analyze_paths,
+    iter_python_files,
+    iter_rules,
+)
 from repro.analysis.reporting import (
     load_baseline,
     render_json,
     render_rules,
+    render_stats,
     render_text,
     save_baseline,
     split_by_baseline,
@@ -53,6 +62,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="write current findings to --baseline and exit 0",
     )
     parser.add_argument(
+        "--project",
+        action="store_true",
+        help=(
+            "run the whole-program audit: per-file rules plus the "
+            "call-graph taint, concurrency, and protocol packs"
+        ),
+    )
+    parser.add_argument(
+        "--cache",
+        default=None,
+        metavar="FILE",
+        help=(
+            "content-hash summary cache for --project; unchanged files "
+            "are not re-parsed"
+        ),
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="ID",
+        dest="rules",
+        help="only report findings from this rule id (repeatable)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule wall time after the report",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="list rule ids and descriptions, then exit",
@@ -68,9 +107,36 @@ def main(argv: list[str] | None = None) -> int:
     if args.write_baseline and not args.baseline:
         print("--write-baseline requires --baseline FILE", file=sys.stderr)
         return 2
+    if args.rules:
+        unknown = sorted(set(args.rules) - all_rule_ids())
+        if unknown:
+            print(
+                f"unknown rule id(s): {', '.join(unknown)} "
+                "(see --list-rules)",
+                file=sys.stderr,
+            )
+            return 2
 
+    timings: dict[str, float] | None = {} if args.stats else None
     files_scanned = sum(1 for _ in iter_python_files(args.paths))
-    findings = analyze_paths(args.paths)
+
+    if args.project:
+        from repro.analysis.project import audit_paths
+
+        findings, _project = audit_paths(
+            args.paths, cache_path=args.cache, timings=timings
+        )
+        if args.rules:
+            # The cache stores per-file findings for *all* rules, so a
+            # filtered run narrows the report, not the analysis — a
+            # later unfiltered run still reuses every cached summary.
+            findings = [f for f in findings if f.rule in args.rules]
+    else:
+        selected = None
+        if args.rules:
+            selected = [r for r in iter_rules() if r.id in args.rules]
+        findings = analyze_paths(args.paths, selected, timings=timings)
+
     fresh, known = split_by_baseline(findings, load_baseline(args.baseline))
 
     if args.write_baseline:
@@ -85,6 +151,9 @@ def main(argv: list[str] | None = None) -> int:
         files_scanned=files_scanned,
         stream=sys.stdout,
     )
+    if timings is not None:
+        # JSON mode keeps stdout machine-readable; stats go to stderr.
+        render_stats(timings, sys.stderr if args.format == "json" else sys.stdout)
     return 1 if fresh else 0
 
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import ast
 import os
 import re
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -105,7 +106,27 @@ class Rule:
         raise NotImplementedError
 
 
+class ProjectRule:
+    """Base class for whole-program rules.
+
+    Where :class:`Rule` sees one file's AST, a project rule sees the
+    :class:`repro.analysis.project.ProjectContext` — every module
+    summary plus the derived call graph — and can emit findings that
+    depend on cross-file facts (transitive reachability, lock
+    discipline inferred over a whole file, protocol traffic between
+    modules). Findings still point at one concrete source line, so the
+    existing pragma/baseline machinery applies unchanged.
+    """
+
+    id: str = ""
+    description: str = ""
+
+    def check_project(self, project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
 _REGISTRY: dict[str, Rule] = {}
+_PROJECT_REGISTRY: dict[str, ProjectRule] = {}
 
 
 def register(cls: type[Rule]) -> type[Rule]:
@@ -119,15 +140,39 @@ def register(cls: type[Rule]) -> type[Rule]:
     return cls
 
 
+def register_project(cls: type[ProjectRule]) -> type[ProjectRule]:
+    """Class decorator adding a whole-program rule to the registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"project rule {cls.__name__} has no id")
+    if rule.id in _PROJECT_REGISTRY or rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _PROJECT_REGISTRY[rule.id] = rule
+    return cls
+
+
 def iter_rules() -> list[Rule]:
     """All registered rules, sorted by id."""
     _ensure_rules_loaded()
     return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
 
 
+def iter_project_rules() -> list[ProjectRule]:
+    """All registered whole-program rules, sorted by id."""
+    _ensure_project_rules_loaded()
+    return [_PROJECT_REGISTRY[rule_id] for rule_id in sorted(_PROJECT_REGISTRY)]
+
+
 def get_rule(rule_id: str) -> Rule:
     _ensure_rules_loaded()
     return _REGISTRY[rule_id]
+
+
+def all_rule_ids() -> set[str]:
+    """Every known rule id, per-file and whole-program."""
+    _ensure_rules_loaded()
+    _ensure_project_rules_loaded()
+    return set(_REGISTRY) | set(_PROJECT_REGISTRY)
 
 
 def _ensure_rules_loaded() -> None:
@@ -140,6 +185,15 @@ def _ensure_rules_loaded() -> None:
         rules_determinism,
         rules_hygiene,
         rules_process,
+    )
+
+
+def _ensure_project_rules_loaded() -> None:
+    from repro.analysis import (  # noqa: F401
+        rules_async,
+        rules_locks,
+        rules_protocol,
+        rules_taint,
     )
 
 
@@ -307,12 +361,21 @@ def load_context(
     )
 
 
-def run_rules(ctx: FileContext, rules: Sequence[Rule] | None = None) -> list[Finding]:
+def run_rules(
+    ctx: FileContext,
+    rules: Sequence[Rule] | None = None,
+    *,
+    timings: dict[str, float] | None = None,
+) -> list[Finding]:
     findings: list[Finding] = []
     for rule in rules if rules is not None else iter_rules():
-        for finding in rule.check(ctx):
-            if not ctx.suppressed(finding):
-                findings.append(finding)
+        if timings is not None:
+            started = time.perf_counter()  # frieda: allow[wall-clock] -- lint --stats timing
+        checked = [f for f in rule.check(ctx) if not ctx.suppressed(f)]
+        if timings is not None:
+            elapsed = time.perf_counter() - started  # frieda: allow[wall-clock] -- lint --stats timing
+            timings[rule.id] = timings.get(rule.id, 0.0) + elapsed
+        findings.extend(checked)
     return sorted(findings)
 
 
@@ -351,7 +414,10 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
 
 
 def analyze_paths(
-    paths: Sequence[str], rules: Sequence[Rule] | None = None
+    paths: Sequence[str],
+    rules: Sequence[Rule] | None = None,
+    *,
+    timings: dict[str, float] | None = None,
 ) -> list[Finding]:
     """Analyze every ``.py`` file under ``paths`` (files or directories)."""
     findings: list[Finding] = []
@@ -362,5 +428,5 @@ def analyze_paths(
         with open(file_path, "r", encoding="utf-8") as handle:
             source = handle.read()
         ctx = load_context(rel, source=source)
-        findings.extend(run_rules(ctx, rules))
+        findings.extend(run_rules(ctx, rules, timings=timings))
     return sorted(findings)

@@ -1,0 +1,1122 @@
+"""frieda-audit whole-program context: parse once, analyze across files.
+
+The per-file rules in this package see one ``ast`` at a time, which is
+the wrong granularity for three contracts the architecture depends on:
+*transitive* boundary purity (a sim process body calling a helper that
+calls ``time.time`` is just as broken as calling it directly), lock
+discipline across the threads of ``repro.runtime.local``, and protocol
+exhaustiveness between the two ends of the TCP wire. This module
+parses the whole tree once into :class:`ModuleSummary` records — a
+JSON-serializable digest of exactly the facts the whole-program packs
+need (symbol table, alias-resolved call records, lock-guarded access
+sites, async ordering facts, protocol message traffic) — and derives a
+conservative call graph over them.
+
+Summaries are cached by content hash (:func:`ProjectContext.load` with
+``cache_path``): an unchanged file is never re-parsed, and its per-file
+rule findings are replayed from the cache, so an incremental audit
+re-analyzes only the edited components. The cache key includes a
+fingerprint of this package's own sources, so changing a rule
+invalidates every cached verdict.
+
+Soundness caveats (documented, deliberate): calls through values whose
+type the extractor cannot see (arbitrary ``obj.method()``, callables
+passed as arguments, ``getattr``) produce no edges, so reachability is
+an under-approximation there; conversely name resolution never proves
+a call *cannot* happen, so the packs over-approximate within what they
+can resolve. See DESIGN.md §14.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.analysis.framework import (
+    Finding,
+    Rule,
+    canonical_name,
+    import_aliases,
+    iter_python_files,
+    load_context,
+    module_for_path,
+    parse_pragmas,
+    run_rules,
+)
+
+#: Bump when the summary layout changes; stale caches are discarded.
+CACHE_VERSION = 1
+
+#: Names of synchronization primitives whose holder name defines the
+#: lock discipline the concurrency pack infers.
+_LOCK_FACTORIES = {
+    "threading.Condition",
+    "threading.Lock",
+    "threading.RLock",
+}
+
+#: Method names that mutate a container/attribute in place. Used by the
+#: async shared-state pack to recognize writes spelled as method calls.
+_MUTATOR_METHODS = {
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popitem",
+    "remove",
+    "setdefault",
+    "update",
+}
+
+
+# -- summary ----------------------------------------------------------------
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qual: str  # dotted within the module, e.g. "Master.serve" or "run.helper"
+    line: int
+    is_async: bool
+    cls: str | None  # immediately enclosing class name, if any
+
+    def to_json(self) -> dict:
+        return {
+            "qual": self.qual,
+            "line": self.line,
+            "is_async": self.is_async,
+            "cls": self.cls,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FunctionInfo":
+        return cls(data["qual"], data["line"], data["is_async"], data["cls"])
+
+
+@dataclass
+class CallRecord:
+    """One call site, with the callee name resolved as far as aliases,
+    local variable types, and ``self`` attributes allow."""
+
+    caller: str  # qual of the enclosing function, or "<module>"
+    name: str  # canonical dotted callee ("time.time", "self.beat", "helper")
+    line: int
+    awaited: bool = False
+    discarded: bool = False  # bare expression statement
+
+    def to_json(self) -> list:
+        return [self.caller, self.name, self.line, self.awaited, self.discarded]
+
+    @classmethod
+    def from_json(cls, data: list) -> "CallRecord":
+        return cls(*data)
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the whole-program packs need from one source file."""
+
+    module: str
+    path: str
+    sha: str
+    functions: list[FunctionInfo] = field(default_factory=list)
+    #: class name -> {"line", "bases" (canonical dotted), "methods"}
+    classes: dict[str, dict] = field(default_factory=dict)
+    calls: list[CallRecord] = field(default_factory=list)
+    #: lock pack: condition/lock variable names and shared-root accesses
+    #: inside concurrent functions: [root, line, guarded, scope].
+    lock_conds: list[str] = field(default_factory=list)
+    lock_accesses: list[list] = field(default_factory=list)
+    #: async pack: [attr, check_line, write_line, scope] candidates where
+    #: a checked shared attribute is written after an await.
+    async_shared: list[list] = field(default_factory=list)
+    #: protocol pack: message classes [name, msg_type, line]; isinstance
+    #: checks [class, line, scope]; channel sends [name, line, scope];
+    #: raises [exc, line, scope]; factories {func: [class, ...]}.
+    msg_classes: list[list] = field(default_factory=list)
+    isinstance_checks: list[list] = field(default_factory=list)
+    sends: list[list] = field(default_factory=list)
+    raises: list[list] = field(default_factory=list)
+    factories: dict[str, list[str]] = field(default_factory=dict)
+    line_pragmas: dict[int, set[str]] = field(default_factory=dict)
+    file_pragmas: set[str] = field(default_factory=set)
+
+    def in_package(self, *packages: str) -> bool:
+        return any(
+            self.module == pkg or self.module.startswith(pkg + ".")
+            for pkg in packages
+        )
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.file_pragmas:
+            return True
+        return rule in self.line_pragmas.get(line, set())
+
+    def to_json(self) -> dict:
+        return {
+            "module": self.module,
+            "path": self.path,
+            "sha": self.sha,
+            "functions": [f.to_json() for f in self.functions],
+            "classes": self.classes,
+            "calls": [c.to_json() for c in self.calls],
+            "lock_conds": self.lock_conds,
+            "lock_accesses": self.lock_accesses,
+            "async_shared": self.async_shared,
+            "msg_classes": self.msg_classes,
+            "isinstance_checks": self.isinstance_checks,
+            "sends": self.sends,
+            "raises": self.raises,
+            "factories": self.factories,
+            "line_pragmas": {str(k): sorted(v) for k, v in self.line_pragmas.items()},
+            "file_pragmas": sorted(self.file_pragmas),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ModuleSummary":
+        return cls(
+            module=data["module"],
+            path=data["path"],
+            sha=data["sha"],
+            functions=[FunctionInfo.from_json(f) for f in data["functions"]],
+            classes=data["classes"],
+            calls=[CallRecord.from_json(c) for c in data["calls"]],
+            lock_conds=data["lock_conds"],
+            lock_accesses=data["lock_accesses"],
+            async_shared=data["async_shared"],
+            msg_classes=data["msg_classes"],
+            isinstance_checks=data["isinstance_checks"],
+            sends=data["sends"],
+            raises=data["raises"],
+            factories=data["factories"],
+            line_pragmas={
+                int(k): set(v) for k, v in data["line_pragmas"].items()
+            },
+            file_pragmas=set(data["file_pragmas"]),
+        )
+
+
+# -- extraction -------------------------------------------------------------
+
+class _Extractor:
+    """Single pass over one module's AST producing a ModuleSummary."""
+
+    def __init__(self, module: str, path: str, sha: str, tree: ast.Module, source: str):
+        self.summary = ModuleSummary(module=module, path=path, sha=sha)
+        line_pragmas, file_pragmas = parse_pragmas(source)
+        self.summary.line_pragmas = line_pragmas
+        self.summary.file_pragmas = file_pragmas
+        self.tree = tree
+        self.aliases = import_aliases(tree)
+        self.module = module
+        # First pass: class inventory + lock variable names, so the main
+        # walk can resolve `self.x.m()` receivers and guard scopes.
+        self.self_attr_types: dict[str, dict[str, str]] = {}
+        self._collect_classes()
+        self._collect_lock_conds()
+
+    # .. first pass .........................................................
+    def _collect_classes(self) -> None:
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = [
+                child.name
+                for child in node.body
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+            bases = []
+            for base in node.bases:
+                dotted = canonical_name(base, self.aliases)
+                if dotted:
+                    bases.append(dotted)
+            self.summary.classes[node.name] = {
+                "line": node.lineno,
+                "bases": bases,
+                "methods": methods,
+            }
+            # Protocol pack: a class with a ``msg_type`` class attribute
+            # is a wire message kind (repro.core.messages convention).
+            for child in node.body:
+                targets: list[ast.expr] = []
+                value: ast.expr | None = None
+                if isinstance(child, ast.Assign):
+                    targets, value = child.targets, child.value
+                elif isinstance(child, ast.AnnAssign) and child.value is not None:
+                    targets, value = [child.target], child.value
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id == "msg_type":
+                        kind = (
+                            value.value
+                            if isinstance(value, ast.Constant)
+                            and isinstance(value.value, str)
+                            else ""
+                        )
+                        self.summary.msg_classes.append(
+                            [node.name, kind, node.lineno]
+                        )
+            # `self.x = SomeClass(...)` anywhere in the class body gives
+            # later `self.x.m()` calls a resolvable receiver type.
+            attr_types: dict[str, str] = {}
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Assign) or not isinstance(
+                    sub.value, ast.Call
+                ):
+                    continue
+                ctor = canonical_name(sub.value.func, self.aliases)
+                if not ctor:
+                    continue
+                for target in sub.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        attr_types[target.attr] = ctor
+            self.self_attr_types[node.name] = attr_types
+
+    def _collect_lock_conds(self) -> None:
+        conds: set[str] = set()
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.Assign) or not isinstance(node.value, ast.Call):
+                continue
+            ctor = canonical_name(node.value.func, self.aliases)
+            if ctor in _LOCK_FACTORIES:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        conds.add(target.id)
+        self.summary.lock_conds = sorted(conds)
+
+    # .. main pass ..........................................................
+    def run(self) -> ModuleSummary:
+        self._walk_body(
+            self.tree.body,
+            qual="<module>",
+            cls=None,
+            params=frozenset(),
+            guard=0,
+            local_types={},
+            concurrent=False,
+        )
+        return self.summary
+
+    def _is_cond(self, name: str) -> bool:
+        return name in self.summary.lock_conds
+
+    def _function_is_concurrent(
+        self, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> bool:
+        """Part of the inferred lock discipline: binds a known condition
+        as a parameter, or acquires one in its body."""
+        arg_names = {a.arg for a in fn.args.args + fn.args.kwonlyargs}
+        if arg_names & set(self.summary.lock_conds):
+            return True
+        for node in ast.walk(fn):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Name) and self._is_cond(expr.id):
+                        return True
+        return False
+
+    def _callee_name(
+        self, func: ast.expr, cls: str | None, local_types: dict[str, str]
+    ) -> str | None:
+        """Resolve a call's target expression to a dotted name."""
+        if isinstance(func, ast.Name):
+            return canonical_name(func, self.aliases)
+        if isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Name):
+                if value.id == "self" and cls is not None:
+                    return f"self.{func.attr}"
+                receiver = local_types.get(value.id)
+                if receiver is not None:
+                    return f"{receiver}.{func.attr}"
+            elif (
+                isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+                and cls is not None
+            ):
+                receiver = self.self_attr_types.get(cls, {}).get(value.attr)
+                if receiver is not None:
+                    return f"{receiver}.{func.attr}"
+            return canonical_name(func, self.aliases)
+        return None
+
+    def _walk_body(
+        self,
+        body: Sequence[ast.stmt],
+        *,
+        qual: str,
+        cls: str | None,
+        params: frozenset[str],
+        guard: int,
+        local_types: dict[str, str],
+        concurrent: bool,
+    ) -> None:
+        for stmt in body:
+            self._walk_node(
+                stmt,
+                qual=qual,
+                cls=cls,
+                params=params,
+                guard=guard,
+                local_types=local_types,
+                concurrent=concurrent,
+            )
+
+    def _walk_node(
+        self,
+        node: ast.AST,
+        *,
+        qual: str,
+        cls: str | None,
+        params: frozenset[str],
+        guard: int,
+        local_types: dict[str, str],
+        concurrent: bool,
+        awaited: bool = False,
+        discarded: bool = False,
+    ) -> None:
+        kwargs = dict(
+            qual=qual,
+            cls=cls,
+            params=params,
+            guard=guard,
+            local_types=local_types,
+            concurrent=concurrent,
+        )
+        if isinstance(node, ast.ClassDef):
+            self._walk_body(
+                node.body,
+                qual="<module>",  # class body statements run at import
+                cls=node.name,
+                params=params,
+                guard=guard,
+                local_types={},
+                concurrent=concurrent,
+            )
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn_qual = node.name
+            if cls is not None:
+                fn_qual = f"{cls}.{node.name}"
+            if qual not in ("<module>",) and cls is None:
+                fn_qual = f"{qual}.{node.name}"
+            elif qual not in ("<module>",) and cls is not None and "." in qual:
+                fn_qual = f"{qual}.{node.name}"
+            is_async = isinstance(node, ast.AsyncFunctionDef)
+            self.summary.functions.append(
+                FunctionInfo(fn_qual, node.lineno, is_async, cls)
+            )
+            own_params = frozenset(
+                a.arg
+                for a in node.args.args + node.args.kwonlyargs + node.args.posonlyargs
+            )
+            fn_concurrent = self._function_is_concurrent(node)
+            self._collect_factory(node, fn_qual, local_types)
+            if is_async:
+                self._collect_async_shared(node, fn_qual)
+            self._walk_body(
+                node.body,
+                qual=fn_qual,
+                cls=cls,
+                params=params | own_params,
+                guard=0,
+                local_types={},
+                concurrent=fn_concurrent,
+            )
+            return
+        if isinstance(node, ast.With):
+            inner_guard = guard
+            for item in node.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Name) and self._is_cond(expr.id):
+                    inner_guard += 1
+                else:
+                    self._walk_node(expr, **kwargs)
+                if item.optional_vars is not None:
+                    self._walk_node(item.optional_vars, **kwargs)
+            self._walk_body(
+                node.body,
+                qual=qual,
+                cls=cls,
+                params=params,
+                guard=inner_guard,
+                local_types=local_types,
+                concurrent=concurrent,
+            )
+            return
+        if isinstance(node, ast.Await):
+            if isinstance(node.value, ast.Call):
+                self._walk_node(node.value, **kwargs, awaited=True)
+            else:
+                self._walk_node(node.value, **kwargs)
+            return
+        if isinstance(node, ast.Expr):
+            if isinstance(node.value, ast.Call):
+                self._walk_node(node.value, **kwargs, discarded=True)
+            elif isinstance(node.value, ast.Await) and isinstance(
+                node.value.value, ast.Call
+            ):
+                self._walk_node(node.value.value, **kwargs, awaited=True)
+            else:
+                self._walk_node(node.value, **kwargs)
+            return
+        if isinstance(node, ast.Assign):
+            # Best-effort local type tracking: `x = SomeClass(...)`.
+            if isinstance(node.value, ast.Call):
+                ctor = self._callee_name(node.value.func, cls, local_types)
+                if ctor is not None:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            local_types[target.id] = ctor
+        if isinstance(node, ast.Call):
+            self._record_call(node, qual, cls, local_types, awaited, discarded)
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                self._record_access_from_expr(func, params, guard, qual, concurrent)
+                self._walk_node(func.value, **kwargs)
+            elif not isinstance(func, ast.Name):
+                self._walk_node(func, **kwargs)
+            for child in list(node.args) + [kw.value for kw in node.keywords]:
+                self._walk_node(child, **kwargs)
+            return
+        if isinstance(node, ast.Raise):
+            exc = node.exc
+            name = None
+            if isinstance(exc, ast.Call):
+                name = self._callee_name(exc.func, cls, local_types)
+                self._walk_node(exc, **kwargs)
+            elif exc is not None:
+                name = canonical_name(exc, self.aliases)
+            if name:
+                self.summary.raises.append([name, node.lineno, qual])
+            if node.cause is not None:
+                self._walk_node(node.cause, **kwargs)
+            return
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            self._record_access_from_expr(node, params, guard, qual, concurrent)
+            for child in ast.iter_child_nodes(node):
+                self._walk_node(child, **kwargs)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._walk_node(child, **kwargs)
+
+    # .. record helpers .....................................................
+    def _record_call(
+        self,
+        node: ast.Call,
+        qual: str,
+        cls: str | None,
+        local_types: dict[str, str],
+        awaited: bool,
+        discarded: bool,
+    ) -> None:
+        name = self._callee_name(node.func, cls, local_types)
+        if name == "isinstance" and len(node.args) == 2:
+            for target in self._isinstance_targets(node.args[1]):
+                self.summary.isinstance_checks.append(
+                    [target, node.lineno, qual]
+                )
+        if name is not None:
+            self.summary.calls.append(
+                CallRecord(qual, name, node.lineno, awaited, discarded)
+            )
+        # `channel.send(Message(...))` / `channel.send(factory(...))`
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "send"
+            and node.args
+        ):
+            arg = node.args[0]
+            sent: str | None = None
+            if isinstance(arg, ast.Call):
+                sent = self._callee_name(arg.func, cls, local_types)
+            elif isinstance(arg, ast.Name):
+                sent = local_types.get(arg.id)
+            if sent is not None:
+                self.summary.sends.append([sent, node.lineno, qual])
+
+    def _isinstance_targets(self, node: ast.expr) -> Iterator[str]:
+        if isinstance(node, ast.Tuple):
+            for element in node.elts:
+                yield from self._isinstance_targets(element)
+        else:
+            dotted = canonical_name(node, self.aliases)
+            if dotted:
+                yield dotted
+
+    def _record_access_from_expr(
+        self,
+        node: ast.expr,
+        params: frozenset[str],
+        guard: int,
+        qual: str,
+        concurrent: bool,
+    ) -> None:
+        """Lock pack: attribute/subscript access on a shared root name."""
+        if not concurrent or not self.summary.lock_conds:
+            return
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            root = node.value
+            if (
+                isinstance(root, ast.Name)
+                and root.id in params
+                and not self._is_cond(root.id)
+            ):
+                self.summary.lock_accesses.append(
+                    [root.id, node.lineno, guard > 0, qual]
+                )
+
+    def _collect_factory(
+        self,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        qual: str,
+        local_types: dict[str, str],
+    ) -> None:
+        """Record classes a function constructs in its return statements
+        (``def file_data_message(...): return FileData(...)``)."""
+        constructed: list[str] = []
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Return) and isinstance(node.value, ast.Call):
+                name = self._callee_name(node.value.func, None, local_types)
+                if name is not None:
+                    constructed.append(name)
+        if constructed:
+            self.summary.factories[qual] = constructed
+
+    # .. async shared-state ordering ........................................
+    def _collect_async_shared(
+        self, fn: ast.AsyncFunctionDef, qual: str
+    ) -> None:
+        """Check-then-act candidates on ``self.X`` across await points.
+
+        Two shapes (see rules_async):
+
+        - guarded: ``if <reads self.X>:`` whose body awaits *before*
+          writing ``self.X`` — another coroutine can interleave at the
+          await and invalidate the check;
+        - sibling: a check statement, a later statement containing an
+          await, then a still-later write to the same attribute in the
+          same suite.
+        """
+        for suite in _statement_suites(fn):
+            checks: list[tuple[str, int, int]] = []  # (attr, line, index)
+            await_after: dict[int, int] = {}  # check index -> first await idx
+            for idx, stmt in enumerate(suite):
+                if isinstance(stmt, (ast.If, ast.While)):
+                    attrs = _self_attr_reads(stmt.test)
+                    for attr in attrs:
+                        checks.append((attr, stmt.lineno, idx))
+                    # guarded shape: scan the body linearly
+                    for attr in attrs:
+                        hit = _await_before_write(stmt.body, attr)
+                        if hit is not None:
+                            self.summary.async_shared.append(
+                                [attr, stmt.lineno, hit, qual]
+                            )
+                if _contains_await(stmt):
+                    for c_idx, (_, _, idx0) in enumerate(checks):
+                        if idx > idx0 and c_idx not in await_after:
+                            await_after[c_idx] = idx
+                for attr_written, line in _self_attr_writes_toplevel(stmt):
+                    for c_idx, (attr, _check_line, idx0) in enumerate(checks):
+                        if (
+                            attr == attr_written
+                            and c_idx in await_after
+                            and idx > await_after[c_idx]
+                        ):
+                            self.summary.async_shared.append(
+                                [attr, checks[c_idx][1], line, qual]
+                            )
+
+
+def _statement_suites(fn: ast.AST) -> Iterator[list[ast.stmt]]:
+    """Every statement list under ``fn``, excluding nested functions."""
+    stack: list[ast.AST] = [fn]
+    while stack:
+        node = stack.pop()
+        for attr in ("body", "orelse", "finalbody"):
+            suite = getattr(node, attr, None)
+            if isinstance(suite, list) and suite and isinstance(suite[0], ast.stmt):
+                yield suite
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                stack.append(child)
+
+
+def _self_attr_reads(node: ast.expr) -> set[str]:
+    attrs: set[str] = set()
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == "self"
+        ):
+            attrs.add(sub.attr)
+    return attrs
+
+
+def _write_target_attr(node: ast.stmt) -> list[tuple[str, int]]:
+    """Self-attribute writes spelled as this single statement."""
+    writes: list[tuple[str, int]] = []
+
+    def attr_of(target: ast.expr) -> str | None:
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return target.attr
+        return None
+
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            attr = attr_of(target)
+            if attr:
+                writes.append((attr, node.lineno))
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        attr = attr_of(node.target)
+        if attr:
+            writes.append((attr, node.lineno))
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            attr = attr_of(target)
+            if attr:
+                writes.append((attr, node.lineno))
+    elif isinstance(node, ast.Expr):
+        call = node.value
+        if isinstance(call, ast.Await):
+            call = call.value
+        if (
+            isinstance(call, ast.Call)
+            and isinstance(call.func, ast.Attribute)
+            and call.func.attr in _MUTATOR_METHODS
+        ):
+            attr = attr_of(call.func.value)
+            if attr:
+                writes.append((attr, node.lineno))
+    return writes
+
+
+def _self_attr_writes_toplevel(stmt: ast.stmt) -> list[tuple[str, int]]:
+    return _write_target_attr(stmt)
+
+
+def _contains_await(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Await):
+            return True
+    return False
+
+
+def _await_before_write(body: list[ast.stmt], attr: str) -> int | None:
+    """Line of the first write to ``self.attr`` after an await, scanning
+    ``body`` recursively in source order; None when the pattern is absent."""
+    seen_await = False
+    for stmt in body:
+        for sub in _linearize(stmt):
+            if isinstance(sub, ast.Await):
+                seen_await = True
+                continue
+            if isinstance(sub, ast.stmt) and seen_await:
+                for written, line in _write_target_attr(sub):
+                    if written == attr:
+                        return line
+    return None
+
+
+def _linearize(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Statements and awaits under ``stmt`` in source order, skipping
+    nested function bodies."""
+    yield stmt
+    for child in ast.iter_child_nodes(stmt):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(child, ast.stmt):
+            yield from _linearize(child)
+        else:
+            for sub in ast.walk(child):
+                if isinstance(sub, ast.Await):
+                    yield sub
+
+
+def extract_summary(
+    module: str, path: str, sha: str, tree: ast.Module, source: str
+) -> ModuleSummary:
+    return _Extractor(module, path, sha, tree, source).run()
+
+
+# -- call graph -------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FuncKey:
+    module: str
+    qual: str
+
+    def render(self) -> str:
+        if self.qual == "<module>":
+            return self.module
+        return f"{self.module}.{self.qual}"
+
+
+class CallGraph:
+    """Conservative call graph over the project's summaries."""
+
+    def __init__(self, summaries: dict[str, ModuleSummary]):
+        self.summaries = summaries
+        self.by_module: dict[str, ModuleSummary] = {
+            s.module: s for s in summaries.values()
+        }
+        self.functions: dict[FuncKey, FunctionInfo] = {}
+        for summary in summaries.values():
+            for info in summary.functions:
+                self.functions[FuncKey(summary.module, info.qual)] = info
+        self._module_names = sorted(self.by_module, key=len, reverse=True)
+        #: edges: caller FuncKey -> list of (callee FuncKey, call line)
+        self.edges: dict[FuncKey, list[tuple[FuncKey, int]]] = {}
+        self._build_edges()
+
+    # .. resolution .........................................................
+    def _split_module(self, dotted: str) -> tuple[str, str] | None:
+        """Longest known-module prefix of a dotted name, plus remainder."""
+        for name in self._module_names:
+            if dotted == name:
+                return name, "<module>"
+            if dotted.startswith(name + "."):
+                return name, dotted[len(name) + 1 :]
+        return None
+
+    def _lookup(self, module: str, qual: str) -> FuncKey | None:
+        key = FuncKey(module, qual)
+        if key in self.functions:
+            return key
+        summary = self.by_module.get(module)
+        if summary is None:
+            return None
+        # A class name resolves to its constructor when defined.
+        if qual in summary.classes:
+            init = FuncKey(module, f"{qual}.__init__")
+            if init in self.functions:
+                return init
+            return None
+        # "Class.method" through base classes.
+        if "." in qual:
+            cls_name, _, method = qual.rpartition(".")
+            if cls_name in summary.classes:
+                return self._lookup_method(module, cls_name, method)
+        return None
+
+    def _lookup_method(
+        self, module: str, cls_name: str, method: str, depth: int = 0
+    ) -> FuncKey | None:
+        if depth > 8:
+            return None
+        summary = self.by_module.get(module)
+        if summary is None or cls_name not in summary.classes:
+            return None
+        info = summary.classes[cls_name]
+        if method in info["methods"]:
+            return FuncKey(module, f"{cls_name}.{method}")
+        for base in info["bases"]:
+            split = self._split_module(base)
+            if split is None:
+                # Same-module base written as a bare name.
+                if base in summary.classes:
+                    found = self._lookup_method(module, base, method, depth + 1)
+                    if found is not None:
+                        return found
+                continue
+            base_module, base_qual = split
+            found = self._lookup_method(base_module, base_qual, method, depth + 1)
+            if found is not None:
+                return found
+        return None
+
+    def resolve(self, summary: ModuleSummary, call: CallRecord) -> FuncKey | None:
+        """Resolve one call record to a known function, or None."""
+        name = call.name
+        if name.startswith("self."):
+            info = self._caller_class(summary, call.caller)
+            if info is None:
+                return None
+            return self._lookup_method(summary.module, info, name[5:])
+        if "." not in name:
+            # Bare name: innermost enclosing scope first, then module level.
+            scope = call.caller
+            while scope and scope != "<module>":
+                candidate = self._lookup(summary.module, f"{scope}.{name}")
+                if candidate is not None:
+                    return candidate
+                scope, _, _ = scope.rpartition(".")
+            return self._lookup(summary.module, name)
+        split = self._split_module(name)
+        if split is not None:
+            module, qual = split
+            if qual == "<module>":
+                return None
+            return self._lookup(module, qual)
+        # "Class.method" or "var-typed" names inside this module.
+        return self._lookup(summary.module, name)
+
+    def _caller_class(self, summary: ModuleSummary, caller: str) -> str | None:
+        for info in summary.functions:
+            if info.qual == caller:
+                return info.cls
+        return None
+
+    def _build_edges(self) -> None:
+        for summary in self.summaries.values():
+            for call in summary.calls:
+                target = self.resolve(summary, call)
+                if target is None:
+                    continue
+                source = FuncKey(summary.module, call.caller)
+                self.edges.setdefault(source, []).append((target, call.line))
+
+    # .. reachability .......................................................
+    def reach_from(
+        self,
+        roots: Iterable[FuncKey],
+        *,
+        skip: Callable[[FuncKey], bool] | None = None,
+    ) -> dict[FuncKey, tuple[FuncKey | None, int]]:
+        """BFS from ``roots``: visited -> (predecessor, call line).
+
+        ``skip`` prunes traversal *through* a node (it is still recorded
+        as visited when reached) — used to stop at async boundaries.
+        """
+        visited: dict[FuncKey, tuple[FuncKey | None, int]] = {}
+        frontier: list[FuncKey] = []
+        for root in roots:
+            if root not in visited:
+                visited[root] = (None, 0)
+                frontier.append(root)
+        while frontier:
+            nxt: list[FuncKey] = []
+            for node in frontier:
+                if skip is not None and visited[node][0] is not None and skip(node):
+                    continue
+                for target, line in self.edges.get(node, ()):
+                    if target not in visited:
+                        visited[target] = (node, line)
+                        nxt.append(target)
+            frontier = nxt
+        return visited
+
+    def witness(
+        self, visited: dict[FuncKey, tuple[FuncKey | None, int]], node: FuncKey
+    ) -> list[FuncKey]:
+        """Path root -> ... -> node from a reach_from result."""
+        path = [node]
+        while True:
+            pred, _ = visited[path[-1]]
+            if pred is None:
+                break
+            path.append(pred)
+        return list(reversed(path))
+
+
+# -- project context + cache ------------------------------------------------
+
+def _sha1(text: str) -> str:
+    return hashlib.sha1(text.encode("utf-8")).hexdigest()
+
+
+def _analysis_fingerprint() -> str:
+    """Content hash of this package's sources: rule changes invalidate
+    every cached summary and cached per-file verdict."""
+    package_dir = os.path.dirname(os.path.abspath(__file__))
+    digest = hashlib.sha1()
+    for name in sorted(os.listdir(package_dir)):
+        if not name.endswith(".py"):
+            continue
+        with open(os.path.join(package_dir, name), "rb") as handle:
+            digest.update(name.encode())
+            digest.update(handle.read())
+    return digest.hexdigest()
+
+
+class ProjectContext:
+    """All module summaries plus per-file findings for one tree."""
+
+    def __init__(self) -> None:
+        self.summaries: dict[str, ModuleSummary] = {}  # by path
+        self.file_findings: list[Finding] = []
+        self.stats = {"files": 0, "extracted": 0, "reused": 0}
+        self._graph: CallGraph | None = None
+
+    @property
+    def graph(self) -> CallGraph:
+        if self._graph is None:
+            self._graph = CallGraph(self.summaries)
+        return self._graph
+
+    def by_module(self, module: str) -> ModuleSummary | None:
+        for summary in self.summaries.values():
+            if summary.module == module:
+                return summary
+        return None
+
+    def suppressed(self, finding: Finding) -> bool:
+        summary = self.summaries.get(finding.path)
+        if summary is None:
+            return False
+        return summary.suppressed(finding.rule, finding.line)
+
+    # .. constructors .......................................................
+    @classmethod
+    def from_sources(
+        cls, sources: dict[str, str], *, run_file_rules: bool = False
+    ) -> "ProjectContext":
+        """Build a project from ``{dotted module: source}`` (tests)."""
+        project = cls()
+        for module, source in sources.items():
+            path = module.replace(".", "/") + ".py"
+            tree = ast.parse(source, filename=path)
+            summary = extract_summary(module, path, _sha1(source), tree, source)
+            project.summaries[path] = summary
+            project.stats["files"] += 1
+            project.stats["extracted"] += 1
+            if run_file_rules:
+                ctx = load_context(path, source=source, module=module)
+                project.file_findings.extend(run_rules(ctx))
+        project.file_findings.sort()
+        return project
+
+    @classmethod
+    def load(
+        cls,
+        paths: Sequence[str],
+        *,
+        cache_path: str | None = None,
+        rules: Sequence[Rule] | None = None,
+        timings: dict[str, float] | None = None,
+    ) -> "ProjectContext":
+        """Parse every ``.py`` under ``paths``; reuse cached summaries
+        and per-file findings for files whose content hash is unchanged."""
+        project = cls()
+        cache = _load_cache(cache_path)
+        cached_files = cache.get("files", {})
+        fresh_cache: dict[str, dict] = {}
+        for file_path in iter_python_files(paths):
+            rel = os.path.relpath(file_path).replace(os.sep, "/")
+            with open(file_path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            sha = _sha1(source)
+            project.stats["files"] += 1
+            entry = cached_files.get(rel)
+            if entry is not None and entry.get("sha") == sha:
+                summary = ModuleSummary.from_json(entry["summary"])
+                findings = [
+                    Finding(path, line, rule, message)
+                    for path, line, rule, message in entry["findings"]
+                ]
+                project.stats["reused"] += 1
+            else:
+                tree = ast.parse(source, filename=rel)
+                module = module_for_path(rel)
+                summary = extract_summary(module, rel, sha, tree, source)
+                ctx = load_context(rel, source=source, module=module)
+                findings = run_rules(ctx, rules, timings=timings)
+                project.stats["extracted"] += 1
+            project.summaries[rel] = summary
+            project.file_findings.extend(findings)
+            fresh_cache[rel] = {
+                "sha": sha,
+                "summary": summary.to_json(),
+                "findings": [
+                    [f.path, f.line, f.rule, f.message] for f in findings
+                ],
+            }
+        project.file_findings.sort()
+        if cache_path is not None:
+            _save_cache(cache_path, fresh_cache)
+        return project
+
+
+def run_project_rules(
+    project: ProjectContext,
+    rules: Sequence | None = None,
+    *,
+    timings: dict[str, float] | None = None,
+) -> list[Finding]:
+    """Run whole-program rules over a loaded project.
+
+    Pragma suppression happens inside each rule (against the owning
+    module's summary), so everything returned here is a live finding.
+    """
+    from repro.analysis.framework import iter_project_rules
+    import time
+
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else iter_project_rules():
+        if timings is not None:
+            started = time.perf_counter()  # frieda: allow[wall-clock] -- lint --stats timing
+        checked = list(rule.check_project(project))
+        if timings is not None:
+            elapsed = time.perf_counter() - started  # frieda: allow[wall-clock] -- lint --stats timing
+            timings[rule.id] = timings.get(rule.id, 0.0) + elapsed
+        findings.extend(checked)
+    return sorted(findings)
+
+
+def audit_paths(
+    paths: Sequence[str],
+    *,
+    cache_path: str | None = None,
+    timings: dict[str, float] | None = None,
+) -> tuple[list[Finding], ProjectContext]:
+    """The full frieda-audit pass: per-file rules plus project rules.
+
+    Returns ``(findings, project)`` — findings combine both layers,
+    sorted; the project is exposed for stats (cache reuse counts).
+    """
+    project = ProjectContext.load(paths, cache_path=cache_path, timings=timings)
+    findings = list(project.file_findings)
+    findings.extend(run_project_rules(project, timings=timings))
+    return sorted(findings), project
+
+
+def _load_cache(cache_path: str | None) -> dict:
+    if cache_path is None or not os.path.exists(cache_path):
+        return {}
+    try:
+        with open(cache_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (json.JSONDecodeError, OSError):
+        return {}
+    if payload.get("version") != CACHE_VERSION:
+        return {}
+    if payload.get("fingerprint") != _analysis_fingerprint():
+        return {}
+    return payload
+
+
+def _save_cache(cache_path: str, files: dict[str, dict]) -> None:
+    payload = {
+        "version": CACHE_VERSION,
+        "fingerprint": _analysis_fingerprint(),
+        "files": files,
+    }
+    directory = os.path.dirname(cache_path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(cache_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+        handle.write("\n")

@@ -14,7 +14,7 @@ import json
 import os
 from typing import Sequence, TextIO
 
-from repro.analysis.framework import Finding, iter_rules
+from repro.analysis.framework import Finding, iter_project_rules, iter_rules
 
 
 def render_text(
@@ -62,6 +62,18 @@ def render_json(
 def render_rules(stream: TextIO) -> None:
     for rule in iter_rules():
         stream.write(f"{rule.id}\n    {rule.description}\n")
+    for rule in iter_project_rules():
+        stream.write(f"{rule.id} [project]\n    {rule.description}\n")
+
+
+def render_stats(timings: dict[str, float], stream: TextIO) -> None:
+    """Per-rule wall time table for ``--stats``, slowest first."""
+    if not timings:
+        return
+    width = max(len(rule_id) for rule_id in timings)
+    stream.write(f"{'rule':<{width}} {'time':>10}\n")
+    for rule_id, seconds in sorted(timings.items(), key=lambda kv: -kv[1]):
+        stream.write(f"{rule_id:<{width}} {seconds * 1e3:>8.1f}ms\n")
 
 
 # -- baseline ---------------------------------------------------------------

@@ -1,0 +1,140 @@
+"""Asyncio discipline pack for the TCP runtime.
+
+``repro.runtime.tcp`` runs master and workers as coroutines on one
+event loop. Three bug classes that type checkers and per-file lint
+miss:
+
+- ``async-blocking`` — a blocking call (``time.sleep``, ``open``,
+  ``os.makedirs``, subprocess/socket module calls) executed on the
+  event loop, either directly in an ``async def`` or through any chain
+  of *sync* helpers it calls. Offloading via ``run_in_executor``
+  naturally breaks the chain (the callee is passed, not called).
+- ``async-unawaited`` — a bare-statement call of an in-project
+  coroutine function whose result is discarded without ``await``: the
+  coroutine never runs, which Python only reports as a runtime warning
+  after the fact.
+- ``async-shared-mutation`` — check-then-act on ``self.<attr>`` with an
+  ``await`` between the check and the write. Single-threaded asyncio
+  still interleaves at every await; state checked before one can be
+  stale after it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.framework import Finding, ProjectRule, register_project
+from repro.analysis.rules_boundary import _FORBIDDEN_CALLS
+
+#: Module roots whose calls block the event loop.
+_BLOCKING_ROOTS = {"subprocess", "shutil", "socket", "requests"}
+
+
+def _is_blocking(name: str) -> bool:
+    if name in ("open", "time.sleep") or name in _FORBIDDEN_CALLS:
+        return True
+    return name.split(".", 1)[0] in _BLOCKING_ROOTS
+
+
+@register_project
+class AsyncBlockingRule(ProjectRule):
+    id = "async-blocking"
+    description = (
+        "no blocking calls (sleep/open/os.makedirs/subprocess) on the "
+        "event loop, directly or through sync helpers"
+    )
+
+    def check_project(self, project) -> Iterable[Finding]:
+        graph = project.graph
+        roots = [
+            key for key, info in graph.functions.items() if info.is_async
+        ]
+        # Traversal stops at async callees: blocking work inside another
+        # coroutine is reported from that coroutine (its own root), not
+        # through every caller that awaits it.
+        visited = graph.reach_from(
+            roots, skip=lambda key: graph.functions[key].is_async
+        )
+        seen: set[tuple[str, int, str]] = set()
+        for key in visited:
+            summary = graph.by_module.get(key.module)
+            if summary is None:
+                continue
+            for call in summary.calls:
+                if call.caller != key.qual or not _is_blocking(call.name):
+                    continue
+                site = (summary.path, call.line, call.name)
+                if site in seen:
+                    continue
+                seen.add(site)
+                if summary.suppressed(self.id, call.line):
+                    continue
+                chain = " -> ".join(
+                    node.render() for node in graph.witness(visited, key)
+                )
+                yield Finding(
+                    summary.path,
+                    call.line,
+                    self.id,
+                    f"blocking call {call.name}() on the event loop: "
+                    f"{chain} -> {call.name}",
+                )
+
+
+@register_project
+class AsyncUnawaitedRule(ProjectRule):
+    id = "async-unawaited"
+    description = (
+        "calling a coroutine function as a bare statement discards the "
+        "coroutine without running it; await it or create a task"
+    )
+
+    def check_project(self, project) -> Iterable[Finding]:
+        graph = project.graph
+        for summary in project.summaries.values():
+            for call in summary.calls:
+                if not call.discarded or call.awaited:
+                    continue
+                target = graph.resolve(summary, call)
+                if target is None:
+                    continue
+                info = graph.functions.get(target)
+                if info is None or not info.is_async:
+                    continue
+                if summary.suppressed(self.id, call.line):
+                    continue
+                yield Finding(
+                    summary.path,
+                    call.line,
+                    self.id,
+                    f"coroutine {target.render()}() called without await; "
+                    "the call returns an unscheduled coroutine object",
+                )
+
+
+@register_project
+class AsyncSharedMutationRule(ProjectRule):
+    id = "async-shared-mutation"
+    description = (
+        "self-attribute checked before an await and written after it; "
+        "other coroutines interleave at every await point"
+    )
+
+    def check_project(self, project) -> Iterable[Finding]:
+        for summary in project.summaries.values():
+            seen: set[tuple[str, int]] = set()
+            for attr, check_line, write_line, scope in summary.async_shared:
+                site = (attr, check_line)
+                if site in seen:
+                    continue
+                seen.add(site)
+                if summary.suppressed(self.id, check_line):
+                    continue
+                yield Finding(
+                    summary.path,
+                    check_line,
+                    self.id,
+                    f"self.{attr} checked here but written at line "
+                    f"{write_line} after an await in {scope}; the check "
+                    "can be stale by the time of the write",
+                )

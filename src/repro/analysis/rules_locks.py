@@ -1,0 +1,70 @@
+"""Thread lock-discipline pack.
+
+``repro.runtime.local`` runs one scheduler, N worker threads, and a
+watchdog over shared mutable state (scheduler queues, the heartbeat
+monitor), all serialized by a single ``threading.Condition``. The
+convention is easy to state and easy to violate silently: *every*
+access to the shared objects from a concurrent function happens inside
+``with wakeup:``. A missed guard is not a crash — it is an
+occasionally-wrong worker count under chaos testing.
+
+Rule ``lock-outlier`` infers the discipline instead of hardcoding it:
+within a module that creates a ``threading.Condition``/``Lock``, the
+functions that *participate* in locking (bind the condition as a
+parameter or acquire it) are the concurrent ones; attribute/subscript
+accesses on their shared parameters are tallied guarded vs unguarded;
+when a parameter is guarded at a clear majority of sites (and at least
+twice), each unguarded site is flagged as an outlier. Deliberate
+unguarded reads (immutable config snapshots) carry a line pragma with
+the justification.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.framework import Finding, ProjectRule, register_project
+
+
+@register_project
+class LockOutlierRule(ProjectRule):
+    id = "lock-outlier"
+    description = (
+        "shared objects guarded by a Condition/Lock at most sites must "
+        "be guarded at all sites in concurrent functions"
+    )
+
+    #: A root is considered lock-disciplined when it has at least this
+    #: many guarded accesses and strictly more guarded than unguarded.
+    min_guarded = 2
+
+    def check_project(self, project) -> Iterable[Finding]:
+        for summary in project.summaries.values():
+            if not summary.lock_conds:
+                continue
+            tally: dict[str, dict[bool, set[int]]] = {}
+            for root, line, guarded, _scope in summary.lock_accesses:
+                sites = tally.setdefault(root, {True: set(), False: set()})
+                sites[bool(guarded)].add(line)
+            conds = ", ".join(summary.lock_conds)
+            for root, sites in sorted(tally.items()):
+                guarded, unguarded = sites[True], sites[False]
+                # A line with both guarded and unguarded records (e.g.
+                # re-read after release) counts as guarded for the vote
+                # but still flags nothing on its own.
+                unguarded -= guarded
+                if len(guarded) < self.min_guarded:
+                    continue
+                if len(guarded) <= len(unguarded):
+                    continue
+                for line in sorted(unguarded):
+                    if summary.suppressed(self.id, line):
+                        continue
+                    yield Finding(
+                        summary.path,
+                        line,
+                        self.id,
+                        f"access to shared {root!r} outside 'with {conds}' "
+                        f"(guarded at {len(guarded)} site(s), unguarded "
+                        f"here) in a concurrent function",
+                    )

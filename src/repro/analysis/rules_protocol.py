@@ -1,0 +1,190 @@
+"""Protocol exhaustiveness pack.
+
+The wire protocol (``repro.core.messages``, Fig 4 of the paper) is a
+closed set of frame kinds — dataclasses carrying a ``msg_type`` class
+attribute. The TCP master and worker loops dispatch on those kinds
+with ``isinstance`` chains; an unhandled kind is silently dropped (or
+worse, trips a generic error far from the cause). Three structural
+checks, none of which hardcode kind names:
+
+- ``protocol-exhaustive`` — every kind that is actually *sent* on a
+  channel somewhere in the project must be ``isinstance``-handled in at
+  least one function other than its senders; and every dispatch chain
+  (a function testing two or more message kinds) must end in an
+  explicit default (a ``raise``), so a future kind fails loudly instead
+  of falling through.
+- ``protocol-dead-kind`` — a kind that is never constructed outside its
+  defining module, never sent, and never dispatched on is dead weight;
+  either wire it up or annotate why it is reserved.
+
+Sends are recognized through factory helpers too: a function whose
+return statements construct a message class (``file_data_message``)
+marks that class as sent when its result is passed to ``.send()``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.framework import Finding, ProjectRule, register_project
+
+
+def _kind_table(project) -> dict[str, tuple[str, str, int]]:
+    """``class name -> (module, path, def line)`` for message classes.
+
+    A message class that other message classes inherit from (the
+    ``Message`` base) is abstract protocol surface, not a wire kind.
+    """
+    kinds: dict[str, tuple[str, str, int]] = {}
+    bases: set[str] = set()
+    for summary in project.summaries.values():
+        for name, _msg_type, line in summary.msg_classes:
+            kinds[name] = (summary.module, summary.path, line)
+            info = summary.classes.get(name)
+            if info:
+                bases.update(_last(base) for base in info["bases"])
+    for base in bases:
+        kinds.pop(base, None)
+    return kinds
+
+
+def _last(name: str) -> str:
+    return name.rsplit(".", 1)[-1]
+
+
+def _factory_products(project, dotted: str) -> list[str]:
+    """Message classes a factory function's returns construct."""
+    split = project.graph._split_module(dotted)
+    if split is None:
+        return []
+    module, qual = split
+    summary = project.graph.by_module.get(module)
+    if summary is None:
+        return []
+    return [_last(name) for name in summary.factories.get(qual, [])]
+
+
+def _sent_kinds(project, kinds: dict) -> dict[str, list[tuple[str, int, str, str]]]:
+    """``kind -> [(path, line, scope, module)]`` for every channel send."""
+    sent: dict[str, list[tuple[str, int, str, str]]] = {}
+    for summary in project.summaries.values():
+        for name, line, scope in summary.sends:
+            candidates = [_last(name)]
+            candidates += _factory_products(project, name)
+            for candidate in candidates:
+                if candidate in kinds:
+                    sent.setdefault(candidate, []).append(
+                        (summary.path, line, scope, summary.module)
+                    )
+    return sent
+
+
+@register_project
+class ProtocolExhaustiveRule(ProjectRule):
+    id = "protocol-exhaustive"
+    description = (
+        "every sent message kind is isinstance-handled by a receiver, "
+        "and every dispatch chain has an explicit default raise"
+    )
+
+    def check_project(self, project) -> Iterable[Finding]:
+        kinds = _kind_table(project)
+        if not kinds:
+            return
+        sent = _sent_kinds(project, kinds)
+        # kind -> set of (module, scope) where it is dispatched on
+        handled: dict[str, set[tuple[str, str]]] = {}
+        # (module, scope) -> kinds tested there, for the default check
+        chains: dict[tuple[str, str], set[str]] = {}
+        raises: set[tuple[str, str]] = set()
+        scope_meta: dict[tuple[str, str], tuple[str, int]] = {}
+        for summary in project.summaries.values():
+            for name, line, scope in summary.isinstance_checks:
+                candidate = _last(name)
+                if candidate not in kinds:
+                    continue
+                key = (summary.module, scope)
+                handled.setdefault(candidate, set()).add(key)
+                chains.setdefault(key, set()).add(candidate)
+                scope_meta.setdefault(key, (summary.path, line))
+            for _name, _line, scope in summary.raises:
+                raises.add((summary.module, scope))
+            for info in summary.functions:
+                scope_meta.setdefault(
+                    (summary.module, info.qual), (summary.path, info.line)
+                )
+
+        for kind, send_sites in sorted(sent.items()):
+            send_scopes = {(module, scope) for _p, _l, scope, module in send_sites}
+            receivers = handled.get(kind, set()) - send_scopes
+            if receivers:
+                continue
+            path, line, _scope, _module = send_sites[0]
+            summary = project.summaries.get(path)
+            if summary is not None and summary.suppressed(self.id, line):
+                continue
+            yield Finding(
+                path,
+                line,
+                self.id,
+                f"message kind {kind} is sent here but no dispatch chain "
+                "outside its senders handles it (isinstance check missing)",
+            )
+
+        for key, tested in sorted(chains.items()):
+            if len(tested) < 2 or key in raises:
+                continue
+            path, line = scope_meta[key]
+            summary = project.summaries.get(path)
+            if summary is not None and summary.suppressed(self.id, line):
+                continue
+            module, scope = key
+            yield Finding(
+                path,
+                line,
+                self.id,
+                f"dispatch chain in {module}.{scope} tests "
+                f"{len(tested)} message kinds ({', '.join(sorted(tested))}) "
+                "but has no default raise for unexpected frames",
+            )
+
+
+@register_project
+class ProtocolDeadKindRule(ProjectRule):
+    id = "protocol-dead-kind"
+    description = (
+        "message kinds never constructed outside their defining module, "
+        "never sent, and never dispatched on are dead protocol surface"
+    )
+
+    def check_project(self, project) -> Iterable[Finding]:
+        kinds = _kind_table(project)
+        if not kinds:
+            return
+        sent = set(_sent_kinds(project, kinds))
+        dispatched: set[str] = set()
+        constructed: set[str] = set()
+        for summary in project.summaries.values():
+            for name, _line, _scope in summary.isinstance_checks:
+                if _last(name) in kinds:
+                    dispatched.add(_last(name))
+            for call in summary.calls:
+                candidate = _last(call.name)
+                if candidate not in kinds:
+                    continue
+                defining_module = kinds[candidate][0]
+                if summary.module != defining_module:
+                    constructed.add(candidate)
+        for kind, (module, path, line) in sorted(kinds.items()):
+            if kind in sent or kind in dispatched or kind in constructed:
+                continue
+            summary = project.summaries.get(path)
+            if summary is not None and summary.suppressed(self.id, line):
+                continue
+            yield Finding(
+                path,
+                line,
+                self.id,
+                f"message kind {kind} ({module}) is never sent, handled, "
+                "or constructed outside its defining module",
+            )

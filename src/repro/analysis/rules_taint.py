@@ -1,0 +1,170 @@
+"""Whole-program boundary taint pack.
+
+The per-file ``real-io``/``wall-clock`` rules stop at module edges: a
+sim process body that calls a helper in ``repro.util`` which calls
+``time.time()`` passes both (the sim file contains no clock read, the
+helper is outside the sim packages). These rules close the gap by
+walking the project call graph from every function in the simulation
+root packages and flagging reachable *sink* calls in non-sim modules,
+with the full witness chain in the message.
+
+Division of labor: a sink physically inside a sim package is already
+the per-file rules' jurisdiction and is *not* re-reported here — this
+pack only reports sinks that per-file analysis structurally cannot see
+(outside the sim packages, reached transitively). A line pragma for
+either the transitive id or the matching per-file id (``real-io``,
+``wall-clock``, ``real-sleep``) suppresses a sink site, so a helper
+that is deliberately impure for its non-sim callers carries exactly
+one annotation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.framework import (
+    SIM_PACKAGES,
+    Finding,
+    ProjectRule,
+    register_project,
+)
+from repro.analysis.rules_boundary import _FORBIDDEN_CALLS
+from repro.analysis.rules_determinism import _WALL_CLOCK
+
+#: Packages whose code runs inside the simulated plane and must be
+#: transitively pure. ``repro.core``/``repro.data`` are shared with the
+#: real runtime, so they are sim for the per-file rule but not taint
+#: roots; anything they reach is still caught when a sim root reaches
+#: it through them.
+TAINT_ROOT_PACKAGES = ("repro.sim", "repro.engines.simulated", "repro.cloud")
+
+#: Module roots whose calls count as real I/O wherever they appear.
+_IO_MODULE_ROOTS = {
+    "socket",
+    "subprocess",
+    "threading",
+    "multiprocessing",
+    "shutil",
+    "tempfile",
+    "requests",
+    "urllib",
+    "http",
+    "ftplib",
+    "paramiko",
+}
+
+_WALL_SINKS = _WALL_CLOCK | {"time.sleep"}
+
+
+def _matches(dotted: str, patterns: Iterable[str]) -> bool:
+    return any(
+        dotted == pattern or dotted.endswith("." + pattern) for pattern in patterns
+    )
+
+
+def _is_wall_sink(name: str) -> bool:
+    return _matches(name, _WALL_SINKS)
+
+
+def _is_io_sink(name: str) -> bool:
+    if name == "open" or name in _FORBIDDEN_CALLS:
+        return True
+    return name.split(".", 1)[0] in _IO_MODULE_ROOTS
+
+
+class _TransitiveSinkRule(ProjectRule):
+    """Shared driver: BFS from sim roots, report sink calls."""
+
+    #: per-file rule ids whose pragmas also suppress this rule's sites
+    base_ids: tuple[str, ...] = ()
+
+    def is_sink(self, name: str) -> bool:
+        raise NotImplementedError
+
+    def sink_label(self) -> str:
+        raise NotImplementedError
+
+    def check_project(self, project) -> Iterable[Finding]:
+        graph = project.graph
+        roots = [
+            key
+            for key, _info in graph.functions.items()
+            if _in_packages(key.module, TAINT_ROOT_PACKAGES)
+        ]
+        roots += [
+            _module_key(summary.module)
+            for summary in project.summaries.values()
+            if _in_packages(summary.module, TAINT_ROOT_PACKAGES)
+        ]
+        visited = graph.reach_from(roots)
+        seen: set[tuple[str, int, str]] = set()
+        for key in visited:
+            summary = graph.by_module.get(key.module)
+            if summary is None or summary.in_package(*SIM_PACKAGES):
+                continue  # sim-internal sinks are the per-file rules' job
+            for call in summary.calls:
+                if call.caller != key.qual or not self.is_sink(call.name):
+                    continue
+                site = (summary.path, call.line, call.name)
+                if site in seen:
+                    continue
+                seen.add(site)
+                if any(
+                    summary.suppressed(rule_id, call.line)
+                    for rule_id in (self.id,) + self.base_ids
+                ):
+                    continue
+                chain = " -> ".join(
+                    node.render() for node in graph.witness(visited, key)
+                )
+                yield Finding(
+                    summary.path,
+                    call.line,
+                    self.id,
+                    f"{self.sink_label()} {call.name}() reachable from "
+                    f"simulation code: {chain} -> {call.name}",
+                )
+
+
+def _in_packages(module: str, packages: tuple[str, ...]) -> bool:
+    return any(
+        module == pkg or module.startswith(pkg + ".") for pkg in packages
+    )
+
+
+def _module_key(module: str):
+    from repro.analysis.project import FuncKey
+
+    return FuncKey(module, "<module>")
+
+
+@register_project
+class TransitiveWallClockRule(_TransitiveSinkRule):
+    id = "transitive-wall-clock"
+    description = (
+        "no real clock reads or sleeps reachable from sim packages "
+        "through any helper chain (call-graph extension of wall-clock)"
+    )
+    base_ids = ("wall-clock", "real-sleep")
+
+    def is_sink(self, name: str) -> bool:
+        return _is_wall_sink(name)
+
+    def sink_label(self) -> str:
+        return "real-time call"
+
+
+@register_project
+class TransitiveRealIoRule(_TransitiveSinkRule):
+    id = "transitive-real-io"
+    description = (
+        "no file/socket/process I/O reachable from sim packages "
+        "through any helper chain (call-graph extension of real-io)"
+    )
+    base_ids = ("real-io",)
+
+    def is_sink(self, name: str) -> bool:
+        return _is_io_sink(name)
+
+    def sink_label(self) -> str:
+        return "real I/O call"

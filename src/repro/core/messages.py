@@ -73,7 +73,7 @@ class SetPartitionInfo(Message):
 
 @_register
 @dataclass(frozen=True)
-class ForkRemoteWorkers(Message):
+class ForkRemoteWorkers(Message):  # frieda: allow[protocol-dead-kind] -- Fig 2a controller-plane kind, reserved for the multi-tenant service arc
     """Controller action: spawn workers on nodes (Fig 2a)."""
 
     msg_type: ClassVar[str] = "FORK_REMOTE_WORKERS"
@@ -220,7 +220,7 @@ class WorkerFailed(Message):
 
 @_register
 @dataclass(frozen=True)
-class AddWorker(Message):
+class AddWorker(Message):  # frieda: allow[protocol-dead-kind] -- elastic add (SV-A), reserved for the multi-tenant service arc
     """User/controller: elastically add a worker (§V-A Elastic)."""
 
     msg_type: ClassVar[str] = "ADD_WORKER"
@@ -230,7 +230,7 @@ class AddWorker(Message):
 
 @_register
 @dataclass(frozen=True)
-class RemoveWorker(Message):
+class RemoveWorker(Message):  # frieda: allow[protocol-dead-kind] -- elastic drain, reserved for the multi-tenant service arc
     """User/controller: drain and remove a worker."""
 
     msg_type: ClassVar[str] = "REMOVE_WORKER"
@@ -240,7 +240,7 @@ class RemoveWorker(Message):
 
 @_register
 @dataclass(frozen=True)
-class ConfigUpdate(Message):
+class ConfigUpdate(Message):  # frieda: allow[protocol-dead-kind] -- SII-D live reconfiguration, reserved for the multi-tenant service arc
     """Controller → master over the open channel (§II-D): change the
     execution configuration at run time without restarting the master."""
 

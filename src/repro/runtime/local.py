@@ -289,8 +289,8 @@ class ThreadedEngine:
         def report_loss(wid: str, reason: str) -> None:
             handled.add(wid)
             tel.event("node.declared_dead", wid, track="control")
-            controller.log(clock(), "NODE_DECLARED_DEAD", f"{wid}: {reason}")
             with wakeup:
+                controller.log(clock(), "NODE_DECLARED_DEAD", f"{wid}: {reason}")
                 requeued = scheduler.worker_lost(wid, reason)
                 controller.on_worker_failed(
                     WorkerFailed(
@@ -311,14 +311,18 @@ class ThreadedEngine:
                 if status.get(wid) == "crashed":
                     # Abrupt thread death — the connection-loss twin.
                     if monitor is not None:
-                        monitor.forget(wid)
+                        with wakeup:
+                            monitor.forget(wid)
                     report_loss(wid, "worker thread died")
                 elif monitor is not None:
                     # Graceful drain: silence after exit is not death.
                     handled.add(wid)
-                    monitor.forget(wid)
+                    with wakeup:
+                        monitor.forget(wid)
             if monitor is not None:
-                for wid, state in monitor.sweep(clock()).items():
+                with wakeup:
+                    swept = monitor.sweep(clock())
+                for wid, state in swept.items():
                     if state is Liveness.DEAD and wid not in handled:
                         report_loss(wid, "missed heartbeats")
             with wakeup:
@@ -398,16 +402,18 @@ class ThreadedEngine:
         records: list[TaskRecord] = []
         transfer_seconds = 0.0
         busy_seconds = 0.0
-        retry = scheduler.retry_policy
+        retry = scheduler.retry_policy  # frieda: allow[lock-outlier] -- frozen policy snapshot, set before threads start
         status = status if status is not None else {}
         # Park timeout that keeps an idle worker alive in the monitor.
-        self_beat = monitor.config.suspect_after if monitor is not None else 2.0
+        self_beat = monitor.config.suspect_after if monitor is not None else 2.0  # frieda: allow[lock-outlier] -- frozen HeartbeatConfig read, set before threads start
         while True:
-            if monitor is not None:
-                # Beats happen between tasks: a thread wedged inside a
-                # draw-execute cycle goes silent and is declared dead.
-                monitor.beat(wid, clock())
             with wakeup:
+                if monitor is not None:
+                    # Beats happen between tasks: a thread wedged inside
+                    # a draw-execute cycle goes silent and is declared
+                    # dead. Beating under the condition serializes the
+                    # monitor map against the watchdog sweep.
+                    monitor.beat(wid, clock())
                 if scheduler.done:
                     break
                 assignment = scheduler.next_for(logic.worker_id)
@@ -447,7 +453,7 @@ class ThreadedEngine:
             )
             # Lazy staging (real-time): copy missing inputs now.
             missing = logic.missing_files(group.file_names)
-            if missing and not controller.strategy.data_local_to_workers:
+            if missing and not controller.strategy.data_local_to_workers:  # frieda: allow[lock-outlier] -- frozen ExecutionStrategy read, never mutated after run() starts
                 fetch_at = tel.clock()
                 t0 = time.monotonic()
                 for file in group.files:

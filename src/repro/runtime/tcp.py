@@ -783,6 +783,19 @@ class _FramePump:
         self.task.cancel()
 
 
+def _write_payload(scratch_dir: str, file_name: str, payload: bytes) -> None:
+    """Spill one received file to worker scratch, synchronously.
+
+    Deliberately NOT offloaded to an executor: spills are bounded by
+    one frame, and yielding between a staged frame and the worker's
+    next request reorders task assignment across workers — the fault
+    tests pin which worker is handed which task, and the paper's
+    protocol assumes a worker drains each push before asking for more.
+    """
+    with open(os.path.join(scratch_dir, file_name), "wb") as fh:  # frieda: allow[async-blocking] -- deliberate: frame-sized spill; yielding here reorders task assignment (see docstring)
+        fh.write(payload)
+
+
 async def _heartbeat_loop(channel: Channel, wid: str, interval: float) -> None:
     seq = 0
     try:
@@ -818,7 +831,7 @@ async def _worker_client(
     released at end of run), or ``"disconnected"`` (master/connection
     loss — handled cleanly, never raises through the engine).
     """
-    os.makedirs(scratch_dir, exist_ok=True)
+    os.makedirs(scratch_dir, exist_ok=True)  # frieda: allow[async-blocking] -- one-time mkdir before any frame is in flight
     logic = WorkerLogic(wid, wid, command, scratch_dir=scratch_dir)
     reader, writer = await asyncio.open_connection(host, port)
     channel: Channel = (
@@ -932,8 +945,7 @@ async def _worker_client(
                     return "crashed"
                 if hang_on_task is not None and message.task_id == hang_on_task:
                     return await go_hang()
-                with open(os.path.join(scratch_dir, message.file_name), "wb") as fh:
-                    fh.write(payload)
+                _write_payload(scratch_dir, message.file_name, payload)
                 logic.receive_file(message.file_name)
                 continue
             if not isinstance(message, FileMetadata):
@@ -950,8 +962,7 @@ async def _worker_client(
                 )
                 if not isinstance(data_msg, FileData):
                     raise ProtocolError("expected FILE_DATA for missing inputs")
-                with open(os.path.join(scratch_dir, data_msg.file_name), "wb") as fh:
-                    fh.write(payload)
+                _write_payload(scratch_dir, data_msg.file_name, payload)
                 logic.receive_file(data_msg.file_name)
             start = time.monotonic()
             logic.begin_task(message.task_id, message.file_names, start)

@@ -1,0 +1,31 @@
+"""Asyncio pack true positives (module: repro.runtime.fixture_async):
+blocking on the loop (direct and through a sync helper), a discarded
+coroutine, and check-then-act on shared state across an await."""
+
+import asyncio
+import time
+
+
+class Inbox:
+    def __init__(self):
+        self.pending = []
+
+    async def drain(self):
+        if self.pending:
+            await asyncio.sleep(0)
+            self.pending.pop()
+
+
+def read_all(path):
+    with open(path) as fh:
+        return fh.read()
+
+
+async def tick():
+    return 1
+
+
+async def runner(path):
+    tick()
+    time.sleep(0.1)
+    return read_all(path)

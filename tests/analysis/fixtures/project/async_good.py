@@ -1,0 +1,19 @@
+"""Clean asyncio patterns (module: repro.runtime.fixture_async_ok):
+executor offload, awaited coroutines, re-check after the await."""
+
+import asyncio
+
+
+def read_all(path):
+    with open(path) as fh:  # frieda: allow[async-blocking] -- runs on the executor, not the loop
+        return fh.read()
+
+
+async def tick():
+    return 1
+
+
+async def runner(path):
+    await tick()
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, read_all, path)

@@ -1,0 +1,19 @@
+"""Lock-discipline outlier (module: repro.runtime.fixture_locks):
+``scheduler`` is guarded by ``wakeup`` at two sites but touched bare at
+a third."""
+
+import threading
+
+
+def setup():
+    wakeup = threading.Condition()
+    return wakeup
+
+
+def worker(scheduler, wakeup):
+    with wakeup:
+        scheduler.queue.append(1)
+    with wakeup:
+        if scheduler.done:
+            return
+    scheduler.count += 1

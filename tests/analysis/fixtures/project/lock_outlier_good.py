@@ -1,0 +1,18 @@
+"""Consistent lock discipline (module: repro.runtime.fixture_locks_ok)."""
+
+import threading
+
+
+def setup():
+    wakeup = threading.Condition()
+    return wakeup
+
+
+def worker(scheduler, wakeup):
+    with wakeup:
+        scheduler.queue.append(1)
+    with wakeup:
+        if scheduler.done:
+            return
+    with wakeup:
+        scheduler.count += 1

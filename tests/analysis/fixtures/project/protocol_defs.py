@@ -1,0 +1,27 @@
+"""Frame kinds for the protocol fixtures (module: repro.core.fixture_protocol)."""
+
+from typing import ClassVar
+
+
+class Frame:
+    msg_type: ClassVar[str] = "FRAME"
+
+
+class Ping(Frame):
+    msg_type: ClassVar[str] = "PING"
+
+
+class Pong(Frame):
+    msg_type: ClassVar[str] = "PONG"
+
+
+class Halt(Frame):
+    msg_type: ClassVar[str] = "HALT"
+
+
+class Nack(Frame):
+    msg_type: ClassVar[str] = "NACK"
+
+
+class Reserved(Frame):
+    msg_type: ClassVar[str] = "RESERVED"

@@ -1,0 +1,20 @@
+"""Protocol pack true positives (module: repro.runtime.fixture_protocol_peers):
+``Nack`` is sent but dispatched nowhere, and the worker's two-kind
+dispatch chain has no default raise; ``Reserved`` is dead."""
+
+from repro.core.fixture_protocol import Halt, Nack, Ping, Pong
+
+
+async def master(channel, message):
+    if isinstance(message, Pong):
+        pass
+    await channel.send(Ping())
+    await channel.send(Halt())
+    await channel.send(Nack())
+
+
+async def worker(channel, message):
+    if isinstance(message, Ping):
+        await channel.send(Pong())
+    elif isinstance(message, Halt):
+        return

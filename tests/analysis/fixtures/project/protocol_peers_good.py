@@ -1,0 +1,20 @@
+"""Exhaustive protocol handling (module: repro.runtime.fixture_protocol_peers_ok):
+every sent kind dispatched, dispatch chain ends in a default raise."""
+
+from repro.core.fixture_protocol import Halt, Ping, Pong
+
+
+async def master(channel, message):
+    if isinstance(message, Pong):
+        pass
+    await channel.send(Ping())
+    await channel.send(Halt())
+
+
+async def worker(channel, message):
+    if isinstance(message, Ping):
+        await channel.send(Pong())
+    elif isinstance(message, Halt):
+        return
+    else:
+        raise ValueError(f"unexpected frame {message!r}")

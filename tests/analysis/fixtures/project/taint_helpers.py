@@ -1,0 +1,16 @@
+"""Impure helpers outside the sim packages (module: repro.util.fixture_taint_helpers)."""
+
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def spill(path, data):
+    with open(path, "w") as fh:
+        fh.write(data)
+
+
+def pure(x):
+    return x + 1

@@ -1,0 +1,11 @@
+"""Sim process body reaching real time and IO through helpers
+(module: repro.sim.fixture_taint): the per-file rules see nothing here,
+the taint pack reports both sinks with witness chains."""
+
+from repro.util.fixture_taint_helpers import pure, spill, stamp
+
+
+def process(env):
+    t = stamp()
+    spill("out.txt", "x")
+    return pure(t)

@@ -1,0 +1,7 @@
+"""Sim module that only reaches pure helpers (module: repro.sim.fixture_taint_ok)."""
+
+from repro.util.fixture_taint_helpers import pure
+
+
+def process(env):
+    return pure(1)

@@ -1,0 +1,227 @@
+"""ProjectContext: extraction, call-graph resolution, summary cache."""
+
+from __future__ import annotations
+
+import json
+import os
+import textwrap
+
+from repro.analysis.project import (
+    FuncKey,
+    ModuleSummary,
+    ProjectContext,
+)
+
+
+def _project(**modules: str) -> ProjectContext:
+    return ProjectContext.from_sources(
+        {name: textwrap.dedent(src) for name, src in modules.items()}
+    )
+
+
+# -- symbol table -----------------------------------------------------------
+
+def test_extractor_collects_functions_classes_and_methods():
+    project = _project(
+        **{
+            "repro.x.mod": """
+            class Box:
+                def __init__(self):
+                    self.n = 0
+
+                def bump(self):
+                    self.n += 1
+
+            def top():
+                def inner():
+                    pass
+                return inner
+            """
+        }
+    )
+    summary = project.by_module("repro.x.mod")
+    quals = {f.qual for f in summary.functions}
+    assert quals == {"Box.__init__", "Box.bump", "top", "top.inner"}
+    assert summary.classes["Box"]["methods"] == ["__init__", "bump"]
+    assert project.by_module("repro.x.nope") is None
+
+
+def test_summary_json_round_trip():
+    project = _project(
+        **{
+            "repro.x.rt": """
+            import time
+
+            def f():
+                return time.time()
+            """
+        }
+    )
+    summary = project.by_module("repro.x.rt")
+    clone = ModuleSummary.from_json(summary.to_json())
+    assert clone.module == summary.module
+    assert [f.qual for f in clone.functions] == ["f"]
+    assert [(c.caller, c.name) for c in clone.calls] == [("f", "time.time")]
+
+
+# -- call resolution --------------------------------------------------------
+
+def test_cross_module_and_alias_resolution():
+    project = _project(
+        **{
+            "repro.a.caller": """
+            from repro.b.helpers import work as w
+
+            def go():
+                w()
+            """,
+            "repro.b.helpers": """
+            def work():
+                pass
+            """,
+        }
+    )
+    graph = project.graph
+    edges = graph.edges[FuncKey("repro.a.caller", "go")]
+    assert [target.render() for target, _line in edges] == [
+        "repro.b.helpers.work"
+    ]
+
+
+def test_self_method_and_constructor_resolution():
+    project = _project(
+        **{
+            "repro.a.objs": """
+            class Engine:
+                def __init__(self):
+                    self.steps = 0
+
+                def run(self):
+                    self.step()
+
+                def step(self):
+                    self.steps += 1
+
+            def main():
+                engine = Engine()
+                engine.run()
+            """
+        }
+    )
+    graph = project.graph
+    run_edges = graph.edges[FuncKey("repro.a.objs", "Engine.run")]
+    assert [t.qual for t, _ in run_edges] == ["Engine.step"]
+    main_edges = {t.qual for t, _ in graph.edges[FuncKey("repro.a.objs", "main")]}
+    # Engine() resolves to the constructor; engine.run() through the
+    # tracked local variable type.
+    assert main_edges == {"Engine.__init__", "Engine.run"}
+
+
+def test_method_resolution_through_base_class():
+    project = _project(
+        **{
+            "repro.a.base": """
+            class Base:
+                def shared(self):
+                    pass
+            """,
+            "repro.a.sub": """
+            from repro.a.base import Base
+
+            class Sub(Base):
+                def go(self):
+                    self.shared()
+            """,
+        }
+    )
+    graph = project.graph
+    edges = graph.edges[FuncKey("repro.a.sub", "Sub.go")]
+    assert [t.render() for t, _ in edges] == ["repro.a.base.Base.shared"]
+
+
+def test_reachability_witness_path():
+    project = _project(
+        **{
+            "repro.a.chain": """
+            def a():
+                b()
+
+            def b():
+                c()
+
+            def c():
+                pass
+            """
+        }
+    )
+    graph = project.graph
+    visited = graph.reach_from([FuncKey("repro.a.chain", "a")])
+    path = graph.witness(visited, FuncKey("repro.a.chain", "c"))
+    assert [k.qual for k in path] == ["a", "b", "c"]
+
+
+# -- cache ------------------------------------------------------------------
+
+def _write_tree(root) -> dict[str, str]:
+    pkg = root / "src" / "repro" / "tmpcache"
+    pkg.mkdir(parents=True)
+    files = {
+        "alpha.py": "def alpha():\n    return 1\n",
+        "beta.py": "def beta():\n    return 2\n",
+        "gamma.py": "def gamma():\n    return 3\n",
+    }
+    for name, source in files.items():
+        (pkg / name).write_text(source)
+    return files
+
+
+def test_cache_reuses_unchanged_files_and_invalidates_edited_one(tmp_path):
+    _write_tree(tmp_path)
+    tree = str(tmp_path / "src")
+    cache = str(tmp_path / "audit-cache.json")
+
+    first = ProjectContext.load([tree], cache_path=cache)
+    assert first.stats == {"files": 3, "extracted": 3, "reused": 0}
+    assert os.path.exists(cache)
+
+    second = ProjectContext.load([tree], cache_path=cache)
+    assert second.stats == {"files": 3, "extracted": 0, "reused": 3}
+
+    edited = tmp_path / "src" / "repro" / "tmpcache" / "beta.py"
+    edited.write_text("def beta():\n    return 20\n")
+    third = ProjectContext.load([tree], cache_path=cache)
+    assert third.stats == {"files": 3, "extracted": 1, "reused": 2}
+    assert third.by_module("repro.tmpcache.beta") is not None
+
+
+def test_cache_replays_per_file_findings_without_reparsing(tmp_path):
+    pkg = tmp_path / "src" / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (pkg / "dirty.py").write_text(
+        "import time\n\ndef now():\n    return time.time()\n"
+    )
+    tree = str(tmp_path / "src")
+    cache = str(tmp_path / "cache.json")
+
+    first = ProjectContext.load([tree], cache_path=cache)
+    second = ProjectContext.load([tree], cache_path=cache)
+    assert second.stats["reused"] == 1
+    assert [f.key for f in second.file_findings] == [
+        f.key for f in first.file_findings
+    ]
+    assert any(f.rule == "wall-clock" for f in second.file_findings)
+
+
+def test_cache_discarded_when_fingerprint_changes(tmp_path):
+    _write_tree(tmp_path)
+    tree = str(tmp_path / "src")
+    cache = str(tmp_path / "cache.json")
+    ProjectContext.load([tree], cache_path=cache)
+
+    payload = json.loads(open(cache).read())
+    payload["fingerprint"] = "stale"
+    open(cache, "w").write(json.dumps(payload))
+
+    again = ProjectContext.load([tree], cache_path=cache)
+    assert again.stats["reused"] == 0
+    assert again.stats["extracted"] == 3

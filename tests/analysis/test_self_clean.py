@@ -42,3 +42,20 @@ def test_baseline_carries_no_stale_debt():
     baseline = load_baseline(os.path.join(REPO_ROOT, "lint-baseline.json"))
     stale = baseline - findings
     assert stale == set(), f"stale baseline entries: {sorted(stale)}"
+
+
+def test_src_is_clean_under_the_whole_program_audit():
+    # The `make audit` gate as a tier-1 test: per-file rules plus the
+    # call-graph taint, concurrency, and protocol packs, zero findings.
+    from repro.analysis.project import audit_paths
+
+    cwd = os.getcwd()
+    os.chdir(REPO_ROOT)
+    try:
+        findings, project = audit_paths(["src"])
+    finally:
+        os.chdir(cwd)
+    baseline = load_baseline(os.path.join(REPO_ROOT, "lint-baseline.json"))
+    fresh, _known = split_by_baseline(findings, baseline)
+    assert fresh == [], "\n" + "\n".join(f.render() for f in fresh)
+    assert project.stats["files"] > 100  # the pass saw the whole tree
