@@ -45,12 +45,16 @@ bench: accel
 	$(PYTHON) -m benchmarks.run_bench
 
 # Produce a small Fig 6 trace and summarize it — the quickest way to
-# see the telemetry pipeline end to end. Open trace-demo.json at
+# see the telemetry pipeline end to end. Artifacts land in build/
+# (never committed); open build/trace-demo.json at
 # https://ui.perfetto.dev for the interactive view.
 trace-demo:
+	mkdir -p build
 	$(PYTHON) -m repro.experiments fig6 --scale 0.1 \
-		--trace trace-demo.json --metrics trace-demo-metrics.json
-	$(PYTHON) -m repro trace summarize trace-demo.json
+		--trace build/trace-demo.json --metrics build/trace-demo-metrics.json
+	$(PYTHON) -m repro trace summarize build/trace-demo.json
+	$(PYTHON) -m repro report build/trace-demo.json \
+		--metrics build/trace-demo-metrics.json
 
 bench-check: accel
 	$(PYTHON) -m benchmarks.run_bench --check
@@ -72,7 +76,7 @@ bench-macro-update: accel
 chaos-runtime:
 	$(PYTHON) -m pytest tests/integration/test_chaos_parity.py \
 		tests/runtime/test_tcp_faults.py tests/runtime/test_local_faults.py \
-		tests/runtime/test_faults.py -x -q
+		tests/runtime/test_faults.py tests/runtime/test_telemetry_ship.py -x -q
 
 # Seeded chaos sweep (VM failures + link faults + transfer faults) run
 # twice; the digests must match byte-for-byte or determinism regressed.

@@ -327,3 +327,56 @@ def test_transfer_service_retry_storm(benchmark):
         return len(service.results)
 
     assert benchmark(run) == 500
+
+
+@pytest.mark.benchmark(group="micro-telemetry")
+def test_telemetry_ship_encode_batches(benchmark):
+    """The TCP worker flush path, telemetry enabled: 1k task/exec span
+    pairs plus metric observations recorded on a worker hub, drained
+    through the shipper in 10 batches and encoded to TELEMETRY frame
+    payload bytes."""
+    from repro.telemetry import Telemetry
+    from repro.telemetry.shipping import TelemetryShipper, encode_batch
+
+    def ship():
+        tel = Telemetry(clock=lambda: 0.0, record=True, run="w0")
+        shipper = TelemetryShipper(tel)
+        hist = tel.metrics.histogram("task.exec_seconds")
+        tasks = tel.metrics.counter("worker.tasks", ok=True)
+        payload_bytes = 0
+        for i in range(1_000):
+            task = tel.span_complete(
+                "task", float(i), float(i + 1), track="worker:w0", task=i
+            )
+            tel.span_complete(
+                "exec", float(i), float(i + 1), parent=task, track="worker:w0"
+            )
+            hist.observe(1.0)
+            tasks.inc()
+            if i % 100 == 99:
+                payload_bytes += len(encode_batch(shipper.take_batch()))
+        return payload_bytes
+
+    assert benchmark(ship) > 10_000
+
+
+@pytest.mark.benchmark(group="micro-telemetry")
+def test_telemetry_disabled_span_path(benchmark):
+    """The same instrumentation sequence against ``NULL_TELEMETRY`` —
+    the disabled path every untraced run takes. Guards the zero-cost
+    contract: no record allocation, no batches, just no-op calls."""
+    from repro.telemetry import NULL_TELEMETRY as tel
+
+    def emit():
+        hist = tel.metrics.histogram("task.exec_seconds")
+        tasks = tel.metrics.counter("worker.tasks", ok=True)
+        n = 0
+        for i in range(1_000):
+            with tel.span("task", track="worker:w0", task=i):
+                with tel.span("exec", track="worker:w0"):
+                    n += 1
+            hist.observe(1.0)
+            tasks.inc()
+        return n
+
+    assert benchmark(emit) == 1_000

@@ -14,7 +14,10 @@ Subcommands:
 - ``strategies`` — list strategies and groupings with their semantics,
 - ``advise`` — ask the adaptive advisor for a strategy given workload
   features,
-- ``trace`` — inspect exported trace-event JSON (``trace summarize``).
+- ``trace`` — inspect exported trace-event JSON (``trace summarize``,
+  ``trace diff``),
+- ``report`` — operator report (worker utilization, latency
+  percentiles, SLO breaches) from a ``--trace`` export.
 """
 
 from __future__ import annotations
@@ -70,7 +73,15 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="OUT.json",
         default="",
         help="record a Chrome/Perfetto trace-event JSON of the run "
-        "(threaded engine only; open in ui.perfetto.dev)",
+        "(open in ui.perfetto.dev; with --engine tcp, workers ship "
+        "their spans to the master over TELEMETRY frames)",
+    )
+    run.add_argument(
+        "--metrics-out",
+        metavar="OUT.json",
+        default="",
+        help="with --trace: also write the metrics snapshot "
+        "(counters/gauges/histograms with p50/p95/p99) here",
     )
 
     sub.add_parser("strategies", help="list strategies and groupings")
@@ -86,9 +97,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--task-cost-cv", type=float, default=0.0, help="per-task cost variability"
     )
 
-    from repro.telemetry.cli import add_trace_parser
+    from repro.telemetry.cli import add_report_parser, add_trace_parser
 
     add_trace_parser(sub)
+    add_report_parser(sub)
     return parser
 
 
@@ -129,11 +141,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 )
 
         command = CommandTemplate(function=run_shell, name=args.command.split()[0])
-        engine = TcpEngine(num_workers=args.workers)
+        # Tracing turns heartbeats on: the beats carry the send/receive
+        # pairs that clock-align worker spans (and the RTT histogram).
+        engine = TcpEngine(
+            num_workers=args.workers,
+            heartbeat_interval=0.5 if args.trace else 0.0,
+        )
 
     telemetry = None
     run_kwargs = {}
-    if args.trace and args.engine == "local":
+    if args.trace:
         from repro.telemetry import Telemetry
 
         telemetry = Telemetry(record=True)
@@ -147,10 +164,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         **run_kwargs,
     )
     if telemetry is not None:
-        from repro.telemetry import write_chrome_trace
+        from repro.telemetry import write_chrome_trace, write_metrics_json
 
         write_chrome_trace(telemetry, args.trace)
         print(f"trace written to {args.trace} ({len(telemetry.spans)} spans)")
+        if args.metrics_out:
+            write_metrics_json(telemetry.metrics, args.metrics_out)
+            print(f"metrics written to {args.metrics_out}")
     print(outcome.summary_line())
     if args.timeline:
         from repro.experiments.report import timeline
@@ -209,6 +229,10 @@ def main(argv: list[str] | None = None) -> int:
             from repro.telemetry.cli import run_trace_command
 
             return run_trace_command(args)
+        if args.subcommand == "report":
+            from repro.telemetry.cli import run_report_command
+
+            return run_report_command(args)
     except FriedaError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -102,6 +102,9 @@ class ConnectionAck(Message):
     worker_id: str = ""
     accepted: bool = True
     reason: str = ""
+    #: Whether the master wants this worker to run a local telemetry hub
+    #: and ship batched spans/metrics back in ``TELEMETRY`` frames.
+    ship_telemetry: bool = False
 
 
 @_register
@@ -177,6 +180,29 @@ class Heartbeat(Message):
     msg_type: ClassVar[str] = "HEARTBEAT"
     worker_id: str = ""
     seq: int = 0
+    #: Send time on the *worker's* clock (negative = not reported).
+    #: The master pairs this with its own receive time to estimate the
+    #: worker→master clock offset for trace merging.
+    sent_at: float = -1.0
+    #: Most recent heartbeat round-trip time measured by the worker from
+    #: a :class:`HeartbeatAck` (negative = no measurement yet).
+    rtt: float = -1.0
+
+
+@_register
+@dataclass(frozen=True)
+class HeartbeatAck(Message):
+    """Master → worker: echo of a heartbeat for RTT measurement.
+
+    Carries the beat's ``seq`` and the worker-clock ``sent_at`` back so
+    the worker can compute a round trip entirely on its own clock and
+    report it in the next :class:`Heartbeat`.
+    """
+
+    msg_type: ClassVar[str] = "HEARTBEAT_ACK"
+    worker_id: str = ""
+    seq: int = 0
+    sent_at: float = -1.0
 
 
 @_register
@@ -195,6 +221,28 @@ class ResendFile(Message):
     file_name: str = ""
     task_id: int = -1
     reason: str = "checksum mismatch"
+
+
+@_register
+@dataclass(frozen=True)
+class TelemetryBatch(Message):
+    """Worker → master: a batch of locally-recorded telemetry.
+
+    The JSON body is only the envelope; the batch itself (spans, events,
+    and metric deltas, encoded by :mod:`repro.telemetry.shipping`)
+    travels as a binary frame payload referenced by ``payload_len`` and
+    CRC-checked like ``FILE_DATA``. Telemetry is lossy-tolerant: a batch
+    that fails verification is dropped and counted, never retransmitted.
+    """
+
+    msg_type: ClassVar[str] = "TELEMETRY"
+    worker_id: str = ""
+    #: Monotonic per-worker batch sequence number; the master folds
+    #: batches in ``(worker_id, seq)`` order so merges are deterministic.
+    seq: int = 0
+    payload_len: int = 0
+    #: CRC32 of the payload (8 hex digits); empty disables verification.
+    checksum: str = ""
 
 
 @_register

@@ -57,8 +57,12 @@ class HeartbeatMonitor:
         self._m_suspected = metrics.counter("heartbeat.suspected")
         self._m_dead = metrics.counter("heartbeat.dead")
         self._m_stale = metrics.counter("heartbeat.stale")
+        # Round-trip times ride in on the beats that carry a measurement
+        # (workers report the RTT of their last acked beat); the
+        # histogram surfaces p50/p95/p99 through the metrics export.
+        self._h_rtt = metrics.histogram("heartbeat.rtt_seconds")
 
-    def beat(self, component: str, now: float) -> None:
+    def beat(self, component: str, now: float, rtt: float | None = None) -> None:
         """Record a heartbeat. A beat resurrects a suspected component
         but never a declared-dead one (it must re-register).
 
@@ -66,9 +70,15 @@ class HeartbeatMonitor:
         threads can read the clock and race to ``beat()``, so a stale
         timestamp is benign — it carries no new information. Last-heard
         keeps the max; stale beats are counted in ``heartbeat.stale``.
+
+        ``rtt`` is an optional round-trip measurement carried by the
+        beat; it is recorded even for beats that arrive stale (the
+        measurement is real regardless of delivery order).
         """
         if component in self._declared_dead:
             return
+        if rtt is not None and rtt >= 0:
+            self._h_rtt.observe(rtt)
         previous = self._last_heard.get(component)
         if previous is not None and now < previous:
             self._m_stale.inc()

@@ -56,13 +56,19 @@ class MasterScheduler:
         retry_policy: RetryPolicy | None = None,
         fault_tracker: FaultTracker | None = None,
         metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] | None = None,
     ):
         self.strategy = strategy
         self.retry_policy = retry_policy or RetryPolicy.paper_faithful()
         self.faults = fault_tracker or FaultTracker()
         # The scheduler stays a pure state machine: metrics are plain
         # counters, cached here so assignment paths pay one method call.
+        # ``clock`` is injected, never read ambiently — with it the
+        # scheduler derives the latency-percentile signals (queue wait,
+        # task latency, queue depth, completion rate) for every engine
+        # from one implementation; without it those stay silent.
         metrics = metrics if metrics is not None else NULL_METRICS
+        self._clock = clock
         self._m_assigned = metrics.counter("scheduler.assigned")
         self._m_completed = metrics.counter("scheduler.completed")
         self._m_duplicates = metrics.counter("scheduler.duplicate_results")
@@ -72,7 +78,15 @@ class MasterScheduler:
         self._m_workers_lost = metrics.counter("scheduler.workers_lost")
         self._m_speculated = metrics.counter("scheduler.speculated")
         self._m_partitions = metrics.counter("scheduler.partition_passes")
+        self._h_queue_wait = metrics.histogram("queue.wait_seconds")
+        self._h_latency = metrics.histogram("task.latency_seconds")
+        self._g_depth = metrics.gauge("queue.depth")
+        self._g_completion = metrics.gauge("run.completion_rate")
         self._groups = list(groups)
+        self._pending = len(self._groups)
+        self._g_depth.set(self._pending)
+        self._ready_at: dict[int, float] = {}
+        self._assigned_at: dict[tuple[str, int], float] = {}
         self._attempts: dict[int, int] = {g.index: 0 for g in self._groups}
         self._queue: Deque[TaskGroup] = deque(self._groups)
         self._static_chunks: dict[str, Deque[TaskGroup]] = {}
@@ -129,6 +143,8 @@ class MasterScheduler:
         )
         self._in_flight[(worker_id, copy.task_id)] = copy
         self._m_speculated.inc()
+        if self._clock is not None:
+            self._assigned_at[(worker_id, copy.task_id)] = self._clock()
         return copy
 
     # -- partitioning -------------------------------------------------------
@@ -154,6 +170,7 @@ class MasterScheduler:
         """
         if not self.strategy.static_assignment:
             self._partitioned = True
+            self._mark_ready(self._queue)
             return
         ids = list(worker_ids) if worker_ids is not None else list(self._workers)
         if not ids:
@@ -195,6 +212,15 @@ class MasterScheduler:
             raise ProtocolError(f"unknown chunking discipline {chunking!r}")
         self._partitioned = True
         self._m_partitions.inc()
+        self._mark_ready(self._groups)
+
+    def _mark_ready(self, groups: Iterable[TaskGroup]) -> None:
+        """Stamp when tasks became eligible for assignment (clock only)."""
+        if self._clock is None:
+            return
+        now = self._clock()
+        for group in groups:
+            self._ready_at[group.index] = now
 
     def planned_chunk(self, worker_id: str) -> tuple[TaskGroup, ...]:
         """The chunk reserved for a worker (static strategies)."""
@@ -229,6 +255,13 @@ class MasterScheduler:
         )
         self._in_flight[(worker_id, group.index)] = assignment
         self._m_assigned.inc()
+        self._pending -= 1
+        self._g_depth.set(self._pending)
+        if self._clock is not None:
+            now = self._clock()
+            ready = self._ready_at.pop(group.index, now)
+            self._h_queue_wait.observe(now - ready)
+            self._assigned_at[(worker_id, group.index)] = now
         return assignment
 
     def has_in_flight(self, worker_id: str, task_id: int) -> bool:
@@ -280,9 +313,13 @@ class MasterScheduler:
             newly_lost.append(assignment)
             self._m_lost.inc()
         self._in_flight.clear()
+        self._assigned_at.clear()
+        self._ready_at.clear()
         self._queue.clear()
         for chunk in self._static_chunks.values():
             chunk.clear()
+        self._pending = 0
+        self._g_depth.set(0)
         return newly_lost
 
     # -- completion/failure ------------------------------------------------
@@ -296,16 +333,22 @@ class MasterScheduler:
 
     def report_success(self, worker_id: str, task_id: int) -> None:
         assignment = self._pop_in_flight(worker_id, task_id)
+        assigned_at = self._assigned_at.pop((worker_id, task_id), None)
         if task_id in self.completed:
             # A speculative copy lost the race; discard its result.
             self._m_duplicates.inc()
             return
         self.completed[task_id] = assignment
         self._m_completed.inc()
+        if self._clock is not None and assigned_at is not None:
+            self._h_latency.observe(self._clock() - assigned_at)
+        if self._groups:
+            self._g_completion.set(len(self.completed) / len(self._groups))
 
     def report_error(self, worker_id: str, task_id: int, message: str = "") -> bool:
         """Task exited with an error; returns True if it will be retried."""
         assignment = self._pop_in_flight(worker_id, task_id)
+        self._assigned_at.pop((worker_id, task_id), None)
         self.faults.record_error(worker_id, message)
         self._m_errors.inc()
         if task_id in self.completed:
@@ -332,8 +375,10 @@ class MasterScheduler:
         ]
         for assignment in stranded:
             del self._in_flight[(worker_id, assignment.task_id)]
+            self._assigned_at.pop((worker_id, assignment.task_id), None)
         # Tasks reserved for the dead worker but never started:
         reserved = list(self._static_chunks.pop(worker_id, ()))
+        self._pending -= len(reserved)
         requeued: list[Assignment] = []
         for assignment in stranded:
             if assignment.task_id in self.completed or any(
@@ -361,9 +406,14 @@ class MasterScheduler:
             else:
                 self.lost_tasks.append(pseudo)
                 self._m_lost.inc()
+        self._g_depth.set(self._pending)
         return requeued
 
     def _requeue(self, assignment: Assignment) -> None:
+        self._pending += 1
+        self._g_depth.set(self._pending)
+        if self._clock is not None:
+            self._ready_at[assignment.task_id] = self._clock()
         if self.strategy.static_assignment:
             # Rebalance onto the healthy worker with the shortest chunk.
             healthy = [
@@ -389,6 +439,11 @@ class MasterScheduler:
     @property
     def in_flight_count(self) -> int:
         return len(self._in_flight)
+
+    @property
+    def pending_count(self) -> int:
+        """Tasks queued or reserved but not yet handed to a worker."""
+        return self._pending
 
     @property
     def has_queued_work(self) -> bool:

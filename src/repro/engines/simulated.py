@@ -56,6 +56,7 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.runtime.faults import ANY_TASK
 from repro.sim.kernel import Environment, Event, Interrupt
 from repro.sim.monitor import Monitor, MonitorSink
+from repro.telemetry.slo import SloEvaluator, SloProbe
 from repro.telemetry.spans import SpanHandle, Telemetry
 from repro.transfer.base import TransferProtocol, TransferRequest, TransferResult
 from repro.transfer.retry import TransferRetryPolicy
@@ -122,6 +123,14 @@ class SimulationOptions:
     transfer_retry: TransferRetryPolicy = field(
         default_factory=TransferRetryPolicy.paper_faithful
     )
+    #: Declarative SLO probes evaluated over the live metrics registry
+    #: at ``sample_interval`` ticks (edge-triggered ``slo.breach`` /
+    #: ``slo.recovered`` events) plus once when the run resolves.
+    slo_probes: tuple["SloProbe", ...] = ()
+    #: Queue-depth / SLO sampling period in sim seconds. 0 picks a
+    #: default: the heartbeat interval when liveness is on, else 1.0.
+    #: Sampling runs only when probes are set or telemetry records.
+    sample_interval: float = 0.0
     seed: int = 0
 
 
@@ -369,6 +378,11 @@ class _SimulatedRun:
         self.telemetry = tel
         self._run_span: Optional[SpanHandle] = None
         self._h_exec = tel.metrics.histogram("task.exec_seconds")
+        self.slo = (
+            SloEvaluator(self.options.slo_probes, tel)
+            if self.options.slo_probes
+            else None
+        )
         self.elasticity_mgr = ElasticityManager(
             policy=self.options.autoscale_policy, metrics=tel.metrics
         )
@@ -561,6 +575,7 @@ class _SimulatedRun:
             retry_policy=self.retry_policy,
             fault_tracker=self.controller.fault_tracker,
             metrics=tel.metrics,
+            clock=lambda: env.now,
         )
         # Detection → rescale: the moment fault isolation empties a
         # node, the elasticity manager learns true capacity.
@@ -628,6 +643,9 @@ class _SimulatedRun:
             )
             # frieda: allow[dropped-event] -- fire-and-forget daemon; joined via run_done
             env.process(self._heartbeat_sweep(), name="heartbeat-sweep")
+        if self.slo is not None or tel.record:
+            # frieda: allow[dropped-event] -- fire-and-forget daemon; joined via run_done
+            env.process(self._observe_loop(), name="observe")
         if self.failure_schedule is not None or self.failure_mttf is not None:
             FailureInjector(
                 env,
@@ -663,6 +681,9 @@ class _SimulatedRun:
         self._maybe_finish()
         yield self.run_done
         self.end_time = env.now
+        if self.slo is not None:
+            # Final look at the fully settled registry.
+            self.slo.evaluate(env.now)
         for vm in cluster.vms.values():
             vm.terminate()
         self._run_span.end(tasks=len(self.scheduler.completed))
@@ -799,6 +820,31 @@ class _SimulatedRun:
                 self._nodes_declared_dead.add(node_id)
                 self._declare_node_dead(node_id)
             self._maybe_finish()
+
+    def _observe_loop(self):
+        """Time-sampled observability: queue-depth gauge events and SLO
+        probe evaluation at a fixed sim-time cadence. Deterministic —
+        samples land at ``start + k * interval`` in simulated time (no
+        wall-clock reads), so same-seed runs produce byte-identical
+        merged traces."""
+        interval = self.options.sample_interval
+        if interval <= 0:
+            interval = (
+                self.options.heartbeat_interval
+                if self.options.heartbeat_interval > 0
+                else 1.0
+            )
+        tel = self.telemetry
+        while not self.run_done.triggered:
+            yield self.env.timeout(interval)
+            if self.run_done.triggered:
+                return
+            if tel.record:
+                tel.event(
+                    "queue.depth", self.scheduler.pending_count, track="control"
+                )
+            if self.slo is not None:
+                self.slo.evaluate(self.env.now)
 
     def _node_connection_lost(self, node_id: str) -> bool:
         """Every clone on the node already reported loss (crash path)."""
@@ -1355,6 +1401,14 @@ class _SimulatedRun:
                     else 0
                 ),
                 "nodes_declared_dead": sorted(self._nodes_declared_dead),
+                "slo_breaches": (
+                    [
+                        (b.probe, b.signal, b.value, b.threshold)
+                        for b in self.slo.breaches
+                    ]
+                    if self.slo
+                    else []
+                ),
                 "metrics": self.telemetry.metrics.snapshot(),
             },
         )

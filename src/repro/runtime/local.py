@@ -42,6 +42,7 @@ from repro.data.partition import PartitionScheme
 from repro.errors import ConfigurationError
 from repro.runtime.faults import ANY_TASK
 from repro.telemetry.metrics import Histogram
+from repro.telemetry.slo import SloEvaluator, SloProbe
 from repro.telemetry.spans import NULL_TELEMETRY, SpanHandle, Telemetry
 
 
@@ -103,12 +104,16 @@ class ThreadedEngine:
         crash_worker_on_task: dict[str, int] | None = None,
         hang_worker_on_task: dict[str, int] | None = None,
         telemetry: Telemetry | None = None,
+        slo_probes: Sequence[SloProbe] = (),
     ) -> RunOutcome:
         """Run a data-parallel program over real input files.
 
         ``telemetry`` attaches the same hub the simulated plane uses;
         spans are stamped with wall seconds relative to run start so a
         real run's trace opens in the same viewer as a simulated one.
+        ``slo_probes`` are evaluated on watchdog ticks over the live
+        metrics (edge-triggered ``slo.breach`` / ``slo.recovered``
+        events), with a final evaluation when the run resolves.
 
         Chaos hooks (mirroring :class:`~repro.runtime.tcp.TcpEngine`):
         ``crash_worker_on_task`` maps a worker id to a task id — the
@@ -138,10 +143,19 @@ class ThreadedEngine:
             retry_policy=retry_policy,
             isolate_after=isolate_after,
         )
-        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        if telemetry is not None:
+            tel = telemetry
+        elif slo_probes:
+            # Probes resolve against live metrics; a private
+            # non-recording hub keeps the gauges real without paying
+            # for span retention.
+            tel = Telemetry()
+        else:
+            tel = NULL_TELEMETRY
         t_base = time.monotonic()
+        clock = lambda: time.monotonic() - t_base  # noqa: E731
         tel.bind(
-            clock=lambda: time.monotonic() - t_base,
+            clock=clock,
             run=f"{dataset.name}:{controller.strategy.kind.value}",
         )
         groups = controller.generate_partitions(dataset)
@@ -151,7 +165,9 @@ class ThreadedEngine:
             retry_policy=retry_policy,
             fault_tracker=controller.fault_tracker,
             metrics=tel.metrics,
+            clock=clock,
         )
+        slo = SloEvaluator(tuple(slo_probes), tel) if slo_probes else None
         # One condition guards all scheduler state: workers that find no
         # runnable task sleep on it and are woken when a peer reports an
         # outcome (the only transition that can create new work).
@@ -197,7 +213,6 @@ class ThreadedEngine:
                 if self.heartbeat_interval > 0
                 else None
             )
-            clock = lambda: time.monotonic() - t_base  # noqa: E731
             hang_release = threading.Event()
             status: dict[str, str] = {}
             outcomes: dict[str, _WorkerOutcome] = {}
@@ -234,8 +249,12 @@ class ThreadedEngine:
                 status[wid] = "running"
                 threads[wid].start()
             self._watchdog(
-                threads, scheduler, controller, wakeup, monitor, clock, status, hang_release, tel
+                threads, scheduler, controller, wakeup, monitor, clock, status,
+                hang_release, tel, slo,
             )
+        if slo is not None:
+            # Final look at the fully settled registry.
+            slo.evaluate(clock())
         makespan = time.monotonic() - started
         records = [r for o in outcomes.values() for r in o.records]
         records.sort(key=lambda r: (r.start, r.task_id))
@@ -260,6 +279,13 @@ class ThreadedEngine:
             task_records=records,
             worker_busy={wid: o.busy_seconds for wid, o in outcomes.items()},
             controller_events=list(controller.events),
+            extra={
+                "slo_breaches": (
+                    [(b.probe, b.signal, b.value, b.threshold) for b in slo.breaches]
+                    if slo
+                    else []
+                ),
+            },
         )
 
     # -- supervision ---------------------------------------------------------
@@ -274,6 +300,7 @@ class ThreadedEngine:
         status: dict[str, str],
         hang_release: threading.Event,
         tel: Telemetry,
+        slo: SloEvaluator | None = None,
     ) -> None:
         """Replace the blind ``join()`` loop: watch for worker deaths.
 
@@ -304,7 +331,21 @@ class ThreadedEngine:
                 wakeup.notify_all()
 
         interval = self.heartbeat_interval if monitor is not None else 0.02
+        # Queue depth is time-sampled (not per-event) so trace size scales
+        # with run length, not task count; SLOs ride the same cadence.
+        sample_every = max(interval, 0.25)
+        last_sample = clock() - sample_every
         while True:
+            now = clock()
+            if now - last_sample >= sample_every:
+                last_sample = now
+                if tel.record:
+                    with wakeup:
+                        depth = scheduler.pending_count
+                    tel.event("queue.depth", depth, track="control")
+                if slo is not None:
+                    with wakeup:
+                        slo.evaluate(now)
             for wid, thread in threads.items():
                 if thread.is_alive() or wid in handled:
                     continue

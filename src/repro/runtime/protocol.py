@@ -1,18 +1,19 @@
 """Wire protocol for the TCP runtime.
 
 Frames are length-prefixed: a 4-byte big-endian length followed by the
-JSON-encoded message (see :mod:`repro.core.messages`). A ``FILE_DATA``
-message whose ``payload_len`` is nonzero is immediately followed by
-exactly ``payload_len`` raw bytes (the file contents) — binary payloads
-never pass through JSON.
+JSON-encoded message (see :mod:`repro.core.messages`). A
+*payload-bearing* message (``FILE_DATA`` file contents, ``TELEMETRY``
+batch bodies) whose ``payload_len`` is nonzero is immediately followed
+by exactly ``payload_len`` raw bytes — binary payloads never pass
+through JSON.
 
-Integrity: a ``FILE_DATA`` frame built with :func:`file_data_message`
-carries a CRC32 of its payload. :func:`read_frame` verifies it after
-fully consuming the frame and raises
-:class:`~repro.errors.ChecksumError` on mismatch — the stream stays
-correctly framed, so the receiver can keep reading and ask the sender
-for a retransmit (``RESEND_FILE``) instead of tearing the connection
-down.
+Integrity: a payload frame built with :func:`file_data_message` or
+:func:`telemetry_batch_message` carries a CRC32 of its payload.
+:func:`read_frame` verifies it after fully consuming the frame and
+raises :class:`~repro.errors.ChecksumError` on mismatch — the stream
+stays correctly framed, so the receiver can keep reading and either ask
+the sender for a retransmit (``RESEND_FILE``) or drop the batch
+(telemetry is lossy-tolerant) instead of tearing the connection down.
 """
 
 from __future__ import annotations
@@ -22,11 +23,21 @@ import struct
 import zlib
 from typing import Optional
 
-from repro.core.messages import FileData, Message, decode_message, encode_message
+from repro.core.messages import (
+    FileData,
+    Message,
+    TelemetryBatch,
+    decode_message,
+    encode_message,
+)
 from repro.errors import ChecksumError, ProtocolError
 
 #: Frames above this size are rejected (corrupt length prefix guard).
 MAX_FRAME = 64 * 1024 * 1024
+
+#: Message kinds that may be followed by a binary payload of
+#: ``payload_len`` bytes checksummed by ``checksum``.
+PAYLOAD_KINDS = (FileData, TelemetryBatch)
 
 _LEN = struct.Struct(">I")
 
@@ -46,8 +57,18 @@ def file_data_message(task_id: int, file_name: str, payload: bytes) -> FileData:
     )
 
 
+def telemetry_batch_message(worker_id: str, seq: int, payload: bytes) -> TelemetryBatch:
+    """Build a checksummed ``TELEMETRY`` header for an encoded batch."""
+    return TelemetryBatch(
+        worker_id=worker_id,
+        seq=seq,
+        payload_len=len(payload),
+        checksum=payload_checksum(payload),
+    )
+
+
 def _verify_payload(message: Message, payload: bytes) -> None:
-    if isinstance(message, FileData) and message.checksum:
+    if isinstance(message, PAYLOAD_KINDS) and message.checksum:
         actual = payload_checksum(payload)
         if actual != message.checksum:
             raise ChecksumError(message, expected=message.checksum, actual=actual)
@@ -55,11 +76,14 @@ def _verify_payload(message: Message, payload: bytes) -> None:
 
 def write_frame(writer: asyncio.StreamWriter, message: Message, payload: bytes = b"") -> None:
     """Queue one message (and its optional binary payload) on a writer."""
-    if payload and not isinstance(message, FileData):
-        raise ProtocolError("binary payloads are only valid after FILE_DATA")
-    if isinstance(message, FileData) and message.payload_len != len(payload):
+    if payload and not isinstance(message, PAYLOAD_KINDS):
         raise ProtocolError(
-            f"FILE_DATA payload_len={message.payload_len} but payload is {len(payload)} bytes"
+            "binary payloads are only valid after FILE_DATA or TELEMETRY"
+        )
+    if isinstance(message, PAYLOAD_KINDS) and message.payload_len != len(payload):
+        raise ProtocolError(
+            f"{message.msg_type} payload_len={message.payload_len}"
+            f" but payload is {len(payload)} bytes"
         )
     body = encode_message(message)
     if len(body) > MAX_FRAME:
@@ -71,7 +95,7 @@ def write_frame(writer: asyncio.StreamWriter, message: Message, payload: bytes =
 
 
 async def read_frame(reader: asyncio.StreamReader) -> tuple[Message, bytes]:
-    """Read one message (+ payload if FILE_DATA); raises on EOF/corruption.
+    """Read one message (+ payload if payload-bearing); raises on EOF/corruption.
 
     A checksummed payload that fails verification raises
     :class:`ChecksumError` *after* the whole frame has been consumed,
@@ -84,7 +108,7 @@ async def read_frame(reader: asyncio.StreamReader) -> tuple[Message, bytes]:
     body = await reader.readexactly(length)
     message = decode_message(body)
     payload = b""
-    if isinstance(message, FileData) and message.payload_len > 0:
+    if isinstance(message, PAYLOAD_KINDS) and message.payload_len > 0:
         if message.payload_len > MAX_FRAME:
             raise ProtocolError(f"payload length {message.payload_len} exceeds maximum")
         payload = await reader.readexactly(message.payload_len)
@@ -152,7 +176,7 @@ class FrameReader:
             body = bytes(self._buffer[_LEN.size : _LEN.size + length])
             message = decode_message(body)
             need = 0
-            if isinstance(message, FileData):
+            if isinstance(message, PAYLOAD_KINDS):
                 need = message.payload_len
             total = _LEN.size + length + need
             if len(self._buffer) < total:

@@ -60,11 +60,13 @@ from repro.core.messages import (
     FileData,
     FileMetadata,
     Heartbeat,
+    HeartbeatAck,
     Message,
     NoMoreData,
     RegisterWorker,
     RequestData,
     ResendFile,
+    TelemetryBatch,
     WorkerFailed,
 )
 from repro.core.monitoring import HeartbeatConfig, HeartbeatMonitor, Liveness
@@ -76,7 +78,9 @@ from repro.data.partition import PartitionScheme
 from repro.errors import ChecksumError, ConfigurationError, ProtocolError
 from repro.runtime.faults import ANY_TASK, FaultScript, FaultyChannel
 from repro.runtime.local import _as_dataset
-from repro.runtime.protocol import Channel, file_data_message
+from repro.runtime.protocol import Channel, file_data_message, telemetry_batch_message
+from repro.telemetry.shipping import TelemetryMerger, TelemetryShipper, decode_batch, encode_batch
+from repro.telemetry.slo import SloEvaluator, SloProbe
 from repro.telemetry.spans import NULL_TELEMETRY, Telemetry
 
 _CONNECTION_ERRORS = (
@@ -102,6 +106,7 @@ class TcpEngine:
         heartbeat_config: HeartbeatConfig | None = None,
         reply_timeout: float = 0.0,
         max_payload_retries: int = 3,
+        telemetry_interval: float = 0.25,
     ):
         """``registration_window`` bounds how long the master waits for
         the expected workers before partitioning over whoever arrived
@@ -112,6 +117,9 @@ class TcpEngine:
         worker re-request after silence instead of blocking forever
         (required for ``drop`` fault rules); ``max_payload_retries``
         bounds per-file retransmits and re-requests.
+        ``telemetry_interval`` is the period of worker telemetry flushes
+        (and of SLO/queue-depth sampling when heartbeats are off); it
+        only matters when a recording hub is passed to :meth:`run`.
         """
         if num_workers < 1:
             raise ConfigurationError("num_workers must be >= 1")
@@ -126,6 +134,9 @@ class TcpEngine:
         self.heartbeat_config = heartbeat_config
         self.reply_timeout = reply_timeout
         self.max_payload_retries = max_payload_retries
+        if telemetry_interval <= 0:
+            raise ConfigurationError("telemetry_interval must be > 0")
+        self.telemetry_interval = telemetry_interval
 
     def run(
         self,
@@ -144,8 +155,17 @@ class TcpEngine:
         crash_master_after_tasks: int | None = None,
         fault_script: FaultScript | None = None,
         telemetry: Telemetry | None = None,
+        slo_probes: Sequence[SloProbe] = (),
     ) -> RunOutcome:
         """Run the workload over TCP; returns a :class:`RunOutcome`.
+
+        With a *recording* ``telemetry`` hub, every worker runs its own
+        hub on its own clock and ships batched spans/metrics back in
+        ``TELEMETRY`` frames; the master folds them into per-worker
+        tracks (clock-aligned from heartbeat pairs) at drain.
+        ``slo_probes`` are evaluated over the live metrics stream at
+        sweep ticks and task completions, emitting ``slo.breach`` /
+        ``slo.recovered`` events.
 
         Testing hooks (all deterministic, none active by default):
 
@@ -198,6 +218,7 @@ class TcpEngine:
                     crash_master_after_tasks,
                     fault_script,
                     telemetry,
+                    tuple(slo_probes),
                 ),
                 timeout=self.run_timeout,
             )
@@ -220,8 +241,17 @@ class TcpEngine:
         crash_master_after_tasks: int | None,
         fault_script: FaultScript | None,
         telemetry: Telemetry | None,
+        slo_probes: tuple[SloProbe, ...],
     ) -> RunOutcome:
-        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        if telemetry is not None:
+            tel = telemetry
+        elif slo_probes:
+            # Probes resolve against live metrics; a private
+            # non-recording hub keeps the gauges real without paying
+            # for span retention.
+            tel = Telemetry()
+        else:
+            tel = NULL_TELEMETRY
         t_base = time.monotonic()
 
         def clock() -> float:
@@ -244,6 +274,7 @@ class TcpEngine:
             retry_policy=retry_policy,
             fault_tracker=controller.fault_tracker,
             metrics=tel.metrics,
+            clock=clock,
         )
         worker_ids = [f"tcp:{i}" for i in range(self.num_workers)]
         expected = [w for w in worker_ids if w not in pre_register_crashes]
@@ -266,6 +297,9 @@ class TcpEngine:
             telemetry=tel,
             fault_script=fault_script,
             crash_after_tasks=crash_master_after_tasks,
+            merger=TelemetryMerger(tel) if tel.record else None,
+            slo=SloEvaluator(slo_probes, tel) if slo_probes else None,
+            observe_interval=self.telemetry_interval,
         )
         controller.fault_tracker.on_isolate = master.on_worker_isolated
         server = await asyncio.start_server(master.handle_client, self.host, 0)
@@ -304,6 +338,7 @@ class TcpEngine:
                 reply_timeout=self.reply_timeout,
                 max_payload_retries=self.max_payload_retries,
                 fault_script=fault_script,
+                telemetry_interval=self.telemetry_interval,
             )
             delay = respawn_map.get(wid)
             if status == "crashed" and delay is not None and not master.run_done.is_set():
@@ -321,6 +356,7 @@ class TcpEngine:
                     reply_timeout=self.reply_timeout,
                     max_payload_retries=self.max_payload_retries,
                     fault_script=fault_script,
+                    telemetry_interval=self.telemetry_interval,
                 )
 
         with tempfile.TemporaryDirectory(dir=self.scratch_root, prefix="frieda-tcp-") as root:
@@ -329,11 +365,24 @@ class TcpEngine:
                 await asyncio.gather(*workers)
             finally:
                 master.run_done.set()
-                for task in (supervisor, releaser):
+                for task in (supervisor, releaser, *master._ack_tasks):
                     task.cancel()
-                await asyncio.gather(supervisor, releaser, return_exceptions=True)
+                await asyncio.gather(
+                    supervisor, releaser, *master._ack_tasks,
+                    return_exceptions=True,
+                )
                 server.close()
                 await server.wait_closed()
+                # Let handlers finish their teardown (drain, close);
+                # all channels are gone, so this is fast — the bound is
+                # a backstop, not a budget.
+                if master._client_tasks:
+                    await asyncio.wait(set(master._client_tasks), timeout=2.0)
+                    for pending in master._client_tasks:
+                        pending.cancel()
+                    await asyncio.gather(
+                        *master._client_tasks, return_exceptions=True
+                    )
         if master.error is not None:
             raise master.error
         if master.crashed:
@@ -345,6 +394,14 @@ class TcpEngine:
                     f"{len(abandoned)} tasks stranded by master loss",
                 )
         makespan = time.monotonic() - started
+        # Fold worker telemetry streams into the run hub (per-worker
+        # tracks, clock-aligned; conflict-free metric merge), then give
+        # the SLO probes a final look at the fully merged registry.
+        clock_offsets: dict[str, float] = {}
+        if master.merger is not None:
+            clock_offsets = master.merger.fold()
+        if master.slo is not None:
+            master.slo.evaluate(clock())
         summary = scheduler.summary()
         run_span.end(tasks=summary["completed"])
         records.sort(key=lambda r: (r.start, r.task_id))
@@ -371,6 +428,19 @@ class TcpEngine:
                 "master_crashed": master.crashed,
                 "injected_faults": list(fault_script.injected) if fault_script else [],
                 "elasticity_events": list(elasticity.events),
+                "telemetry_batches": (
+                    master.merger.batches_received if master.merger else 0
+                ),
+                "telemetry_batches_dropped": master.batches_dropped,
+                "clock_offsets": clock_offsets,
+                "slo_breaches": (
+                    [
+                        (b.probe, b.signal, b.value, b.threshold)
+                        for b in master.slo.breaches
+                    ]
+                    if master.slo
+                    else []
+                ),
             },
         )
 
@@ -393,6 +463,9 @@ class _Master:
         telemetry: Telemetry,
         fault_script: FaultScript | None = None,
         crash_after_tasks: int | None = None,
+        merger: TelemetryMerger | None = None,
+        slo: SloEvaluator | None = None,
+        observe_interval: float = 0.25,
     ):
         self.controller = controller
         self.scheduler = scheduler
@@ -406,6 +479,12 @@ class _Master:
         self.telemetry = telemetry
         self.fault_script = fault_script
         self.crash_after_tasks = crash_after_tasks
+        self.merger = merger
+        self.slo = slo
+        self.observe_interval = observe_interval
+        self.batches_dropped = 0
+        self._ack_tasks: set[asyncio.Task] = set()
+        self._client_tasks: set[asyncio.Task] = set()
         self.registered: set[str] = set()
         self.channels: dict[str, Channel] = {}
         self.sent_files: dict[str, set[str]] = {}
@@ -426,18 +505,23 @@ class _Master:
 
     # -- supervision ---------------------------------------------------
     async def supervise(self) -> None:
-        """Registration window, then the heartbeat sweep loop."""
+        """Registration window, then the sweep/observe loop."""
         try:
             await self._registration_phase()
-            if self.heartbeats is None:
+            if self.heartbeats is None and self.slo is None and self.merger is None:
                 return
+            interval = (
+                self.heartbeat_interval
+                if self.heartbeats is not None
+                else self.observe_interval
+            )
             while not self.run_done.is_set():
                 try:
-                    await asyncio.wait_for(
-                        self.run_done.wait(), timeout=self.heartbeat_interval
-                    )
+                    await asyncio.wait_for(self.run_done.wait(), timeout=interval)
                 except asyncio.TimeoutError:
-                    self._sweep()
+                    if self.heartbeats is not None:
+                        self._sweep()
+                    self._observe(sample=True)
         except asyncio.CancelledError:
             raise
         except BaseException as exc:  # surface master bugs to the engine
@@ -512,6 +596,36 @@ class _Master:
         if self._partitioned and self.scheduler.done:
             self.run_done.set()
 
+    def _observe(self, *, sample: bool) -> None:
+        """SLO evaluation plus (on sweep ticks) queue-depth sampling."""
+        now = self.clock()
+        if sample and self.telemetry.record:
+            self.telemetry.event(
+                "queue.depth", self.scheduler.pending_count, track="control"
+            )
+        if self.slo is not None:
+            self.slo.evaluate(now)
+
+    def _ack_heartbeat(self, channel: Channel, beat: Heartbeat) -> None:
+        """Echo a beat back (fire-and-forget) so the worker can measure
+        a round trip entirely on its own clock."""
+
+        async def _send() -> None:
+            try:
+                await channel.send(
+                    HeartbeatAck(
+                        worker_id=beat.worker_id,
+                        seq=beat.seq,
+                        sent_at=beat.sent_at,
+                    )
+                )
+            except _CONNECTION_ERRORS + (OSError,):
+                pass
+
+        task = asyncio.create_task(_send())
+        self._ack_tasks.add(task)
+        task.add_done_callback(self._ack_tasks.discard)
+
     def on_worker_isolated(self, wid: str, health: object) -> None:
         """FaultTracker callback: isolation is a capacity change."""
         if wid in self.elasticity.active_nodes:
@@ -554,6 +668,12 @@ class _Master:
         return Channel(reader, writer)
 
     async def handle_client(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        # Track the handler so the engine can wait for connection
+        # teardown (telemetry drain outlives the worker's exit).
+        task = asyncio.current_task()
+        if task is not None:
+            self._client_tasks.add(task)
+            task.add_done_callback(self._client_tasks.discard)
         channel = self._make_channel(reader, writer)
         wid = ""
         pump: Optional[_FramePump] = None
@@ -594,13 +714,30 @@ class _Master:
                 self.late_joins.add(wid)
                 self.controller.log(now, "WORKER_JOINED_LATE", wid)
             self._registration_changed.set()
-            await channel.send(ConnectionAck(worker_id=wid, accepted=True))
+            await channel.send(
+                ConnectionAck(
+                    worker_id=wid,
+                    accepted=True,
+                    ship_telemetry=self.merger is not None,
+                )
+            )
 
             def on_frame(message: Message, wid: str = wid) -> None:
                 # Liveness is recorded at read time, independent of how
                 # busy the serving loop is: any frame is proof of life.
+                now = self.clock()
+                if isinstance(message, Heartbeat):
+                    if self.heartbeats is not None:
+                        rtt = message.rtt if message.rtt >= 0 else None
+                        self.heartbeats.beat(wid, now, rtt=rtt)
+                    if self.merger is not None:
+                        # Each beat is one (worker send, master receive)
+                        # pair for the min-delay clock aligner.
+                        self.merger.observe_clock(wid, message.sent_at, now)
+                    self._ack_heartbeat(channel, message)
+                    return
                 if self.heartbeats is not None:
-                    self.heartbeats.beat(wid, self.clock())
+                    self.heartbeats.beat(wid, now)
 
             pump = _FramePump(channel, on_message=on_frame)
             # Static strategies: partition once the registration window
@@ -657,7 +794,16 @@ class _Master:
 
     async def _serve(self, wid: str, channel: Channel, pump: "_FramePump") -> None:
         while True:
-            message, _ = await pump.get()
+            try:
+                message, payload = await pump.get()
+            except ChecksumError as err:
+                if isinstance(err.frame, TelemetryBatch):
+                    # Telemetry is lossy-tolerant: drop the corrupt
+                    # batch and keep serving — never a retransmit.
+                    self.batches_dropped += 1
+                    self.telemetry.metrics.counter("telemetry.batches_dropped").inc()
+                    continue
+                raise
             now = self.clock()
             if isinstance(message, RequestData):
                 assignment = self.scheduler.assignment_in_flight(wid)
@@ -676,6 +822,7 @@ class _Master:
                         # its silence after exit is not a false death.
                         self.heartbeats.forget(wid)
                     await channel.send(NoMoreData(worker_id=wid))
+                    await self._drain_telemetry(wid, pump)
                     return
                 group = assignment.group
                 already = self.sent_files.get(wid, set())
@@ -727,9 +874,50 @@ class _Master:
                 else:
                     self.controller.on_worker_error(wid, message.error, now)
                     self.scheduler.report_error(wid, message.task_id, message.error)
+                self._observe(sample=False)
                 self._maybe_finish()
+            elif isinstance(message, TelemetryBatch):
+                if self.merger is not None:
+                    try:
+                        self.merger.add_batch(wid, decode_batch(payload))
+                    except ProtocolError:
+                        self.batches_dropped += 1
+                        self.telemetry.metrics.counter(
+                            "telemetry.batches_dropped"
+                        ).inc()
             else:
                 raise ProtocolError(f"unexpected message from worker: {message.msg_type}")
+
+    async def _drain_telemetry(self, wid: str, pump: "_FramePump") -> None:
+        """Collect the worker's final telemetry flush after ``NO_MORE_DATA``.
+
+        A shipping worker sends one last batch and then closes; wait for
+        frames until the close (or a bounded silence) so drain-time
+        records are not lost to the connection teardown race.
+        """
+        if self.merger is None:
+            return
+        while True:
+            try:
+                message, payload = await pump.get(
+                    timeout=max(1.0, 4 * self.observe_interval)
+                )
+            except ChecksumError as err:
+                if isinstance(err.frame, TelemetryBatch):
+                    self.batches_dropped += 1
+                    self.telemetry.metrics.counter("telemetry.batches_dropped").inc()
+                    continue
+                return
+            except _CONNECTION_ERRORS + (asyncio.TimeoutError,):
+                return
+            if isinstance(message, TelemetryBatch):
+                try:
+                    self.merger.add_batch(wid, decode_batch(payload))
+                except ProtocolError:
+                    self.batches_dropped += 1
+                    self.telemetry.metrics.counter("telemetry.batches_dropped").inc()
+            # Any other late frame is noise at drain; keep waiting for
+            # the close so the final batch is never abandoned.
 
 
 class _FramePump:
@@ -742,16 +930,19 @@ class _FramePump:
     pump records a beat the moment any frame arrives (``on_message``)
     even while the serving loop is staging files or parked waiting for
     work. Checksum and connection errors travel through the queue in
-    order; ``Heartbeat`` frames are swallowed after the callback.
+    order; ``swallow``-ed kinds (heartbeats, heartbeat acks) are
+    consumed right after the callback and never reach the queue.
     """
 
     def __init__(
         self,
         channel: Channel,
         on_message: Optional[Callable[[Message], None]] = None,
+        swallow: tuple[type, ...] = (Heartbeat,),
     ):
         self.queue: asyncio.Queue = asyncio.Queue()
         self._on_message = on_message
+        self._swallow = swallow
         self.task = asyncio.create_task(self._pump(channel))
 
     async def _pump(self, channel: Channel) -> None:
@@ -766,8 +957,8 @@ class _FramePump:
                 return
             if self._on_message is not None:
                 self._on_message(item[0])
-                if isinstance(item[0], Heartbeat):
-                    continue
+            if isinstance(item[0], self._swallow):
+                continue
             await self.queue.put(item)
 
     async def get(self, timeout: float = 0.0) -> tuple[Message, bytes]:
@@ -796,11 +987,27 @@ def _write_payload(scratch_dir: str, file_name: str, payload: bytes) -> None:
         fh.write(payload)
 
 
-async def _heartbeat_loop(channel: Channel, wid: str, interval: float) -> None:
+async def _heartbeat_loop(
+    channel: Channel,
+    wid: str,
+    interval: float,
+    wclock: Callable[[], float],
+    rtt_box: dict[str, float],
+) -> None:
+    """Beat at ``interval``, stamping each beat with the worker-clock
+    send time (for master-side clock alignment) and the most recent
+    acked round trip (for the master's RTT histogram)."""
     seq = 0
     try:
         while True:
-            await channel.send(Heartbeat(worker_id=wid, seq=seq))
+            await channel.send(
+                Heartbeat(
+                    worker_id=wid,
+                    seq=seq,
+                    sent_at=wclock(),
+                    rtt=rtt_box.get("rtt", -1.0),
+                )
+            )
             seq += 1
             await asyncio.sleep(interval)
     except _CONNECTION_ERRORS + (OSError,):
@@ -823,6 +1030,7 @@ async def _worker_client(
     reply_timeout: float = 0.0,
     max_payload_retries: int = 3,
     fault_script: FaultScript | None = None,
+    telemetry_interval: float = 0.25,
 ) -> str:
     """One worker: register, then the request/execute/report loop.
 
@@ -830,6 +1038,10 @@ async def _worker_client(
     ``"crashed"`` (injected crash), ``"hung"`` (injected hang,
     released at end of run), or ``"disconnected"`` (master/connection
     loss — handled cleanly, never raises through the engine).
+
+    When the master's ``CONNECTION_ACK`` asks for telemetry, the worker
+    runs a local recording hub on its *own* clock and ships batches on
+    ``telemetry_interval``, after every completed task, and at drain.
     """
     os.makedirs(scratch_dir, exist_ok=True)  # frieda: allow[async-blocking] -- one-time mkdir before any frame is in flight
     logic = WorkerLogic(wid, wid, command, scratch_dir=scratch_dir)
@@ -841,6 +1053,36 @@ async def _worker_client(
     )
     beat_task: asyncio.Task | None = None
     pump: _FramePump | None = None
+    flush_task: asyncio.Task | None = None
+    # The worker's own clock base — deliberately NOT the master's. All
+    # local telemetry and heartbeat ``sent_at`` stamps use this clock;
+    # the master aligns them from the heartbeat pairs at merge time.
+    w_base = time.monotonic()
+
+    def wclock() -> float:
+        return time.monotonic() - w_base
+
+    wtel: Telemetry = NULL_TELEMETRY
+    shipper: TelemetryShipper | None = None
+    rtt_box: dict[str, float] = {}
+    track = f"worker:{wid}"
+
+    async def ship() -> None:
+        if shipper is None:
+            return
+        batch = shipper.take_batch()
+        if batch is None:
+            return
+        blob = encode_batch(batch)
+        await channel.send(telemetry_batch_message(wid, batch["seq"], blob), blob)
+
+    async def flush_loop() -> None:
+        try:
+            while True:
+                await asyncio.sleep(telemetry_interval)
+                await ship()
+        except _CONNECTION_ERRORS + (OSError,):
+            return
 
     async def go_hang() -> str:
         # A wedged process: beats stop, the connection stays open, no
@@ -859,11 +1101,24 @@ async def _worker_client(
         if not isinstance(ack, ConnectionAck) or not ack.accepted:
             reason = getattr(ack, "reason", "") or "unknown"
             raise ProtocolError(f"registration rejected for {wid}: {reason}")
+        if ack.ship_telemetry:
+            # Local recording hub on the worker's own clock; the run
+            # label is replaced by the master's when batches are folded.
+            wtel = Telemetry(clock=wclock, record=True, run=wid)
+            shipper = TelemetryShipper(wtel)
+            flush_task = asyncio.create_task(flush_loop())
         if heartbeat_interval > 0:
             beat_task = asyncio.create_task(
-                _heartbeat_loop(channel, wid, heartbeat_interval)
+                _heartbeat_loop(channel, wid, heartbeat_interval, wclock, rtt_box)
             )
-        pump = _FramePump(channel)
+
+        def on_ack(message: Message) -> None:
+            # The master echoes our send stamp; the difference on our
+            # own clock is a clean round trip (no cross-clock math).
+            if isinstance(message, HeartbeatAck) and message.sent_at >= 0:
+                rtt_box["rtt"] = wclock() - message.sent_at
+
+        pump = _FramePump(channel, on_message=on_ack, swallow=(Heartbeat, HeartbeatAck))
         loop = asyncio.get_running_loop()
         resend_counts: dict[str, int] = {}
 
@@ -936,6 +1191,9 @@ async def _worker_client(
                 await channel.send(RequestData(worker_id=wid))
                 continue
             if isinstance(message, NoMoreData):
+                # Final flush: the master holds the connection open
+                # until this batch (or the close) arrives.
+                await ship()
                 return "completed"
             if isinstance(message, FileData):
                 # Unsolicited staging push — store it; the outstanding
@@ -955,18 +1213,29 @@ async def _worker_client(
                 return "crashed"
             if hang_on_task is not None and hang_on_task in (message.task_id, ANY_TASK):
                 return await go_hang()
+            task_span = wtel.span(
+                "task", track=track, task=message.task_id, attempt=message.attempt
+            )
             # Wait until every input for this task has arrived.
-            while logic.missing_files(message.file_names):
-                data_msg, payload = await recv_checked(
-                    expect_files_for=message.file_names, task_id=message.task_id
+            if logic.missing_files(message.file_names):
+                fetch_span = wtel.span(
+                    "fetch", parent=task_span, track=track, task=message.task_id
                 )
-                if not isinstance(data_msg, FileData):
-                    raise ProtocolError("expected FILE_DATA for missing inputs")
-                _write_payload(scratch_dir, data_msg.file_name, payload)
-                logic.receive_file(data_msg.file_name)
+                while logic.missing_files(message.file_names):
+                    data_msg, payload = await recv_checked(
+                        expect_files_for=message.file_names, task_id=message.task_id
+                    )
+                    if not isinstance(data_msg, FileData):
+                        raise ProtocolError("expected FILE_DATA for missing inputs")
+                    _write_payload(scratch_dir, data_msg.file_name, payload)
+                    logic.receive_file(data_msg.file_name)
+                fetch_span.end()
             start = time.monotonic()
             logic.begin_task(message.task_id, message.file_names, start)
             paths = [logic.resolve_path(n) for n in message.file_names]
+            exec_span = wtel.span(
+                "exec", parent=task_span, track=track, task=message.task_id
+            )
             ok, error = True, ""
             try:
                 # Run the program off the event loop.
@@ -974,6 +1243,10 @@ async def _worker_client(
             except Exception as exc:
                 ok, error = False, f"{type(exc).__name__}: {exc}"
             end = time.monotonic()
+            exec_span.end(ok=ok)
+            task_span.end(ok=ok)
+            wtel.metrics.histogram("task.exec_seconds").observe(end - start)
+            wtel.metrics.counter("worker.tasks", ok=ok).inc()
             logic.finish_task(end, ok=ok, error=error)
             records.append(
                 TaskRecord(
@@ -996,12 +1269,16 @@ async def _worker_client(
                     error=error,
                 )
             )
+            await ship()
             requested = False
     except _CONNECTION_ERRORS:
         # Master loss (or our own injected truncate): unwind cleanly —
         # the engine accounts stranded tasks as lost, no traceback.
         return "disconnected"
     finally:
+        if flush_task is not None:
+            flush_task.cancel()
+            await asyncio.gather(flush_task, return_exceptions=True)
         if beat_task is not None:
             beat_task.cancel()
             await asyncio.gather(beat_task, return_exceptions=True)

@@ -32,6 +32,14 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     NULL_METRICS,
 )
+from repro.telemetry.shipping import (
+    ClockAligner,
+    TelemetryMerger,
+    TelemetryShipper,
+    decode_batch,
+    encode_batch,
+)
+from repro.telemetry.slo import SloBreach, SloEvaluator, SloProbe
 from repro.telemetry.spans import (
     EventRecord,
     NULL_TELEMETRY,
@@ -43,6 +51,7 @@ from repro.telemetry.spans import (
 )
 
 __all__ = [
+    "ClockAligner",
     "Counter",
     "DEFAULT_BUCKETS",
     "EventRecord",
@@ -52,13 +61,20 @@ __all__ = [
     "NULL_METRICS",
     "NULL_TELEMETRY",
     "NullTelemetry",
+    "SloBreach",
+    "SloEvaluator",
+    "SloProbe",
     "SpanHandle",
     "SpanRecord",
     "Telemetry",
+    "TelemetryMerger",
+    "TelemetryShipper",
     "TelemetrySink",
     "chrome_trace",
+    "decode_batch",
     "dump_chrome_trace",
     "dump_metrics_json",
+    "encode_batch",
     "summarize_trace",
     "write_chrome_trace",
     "write_metrics_json",

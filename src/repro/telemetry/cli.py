@@ -1,4 +1,4 @@
-"""``repro trace`` subcommand implementations.
+"""``repro trace`` / ``repro report`` subcommand implementations.
 
 Kept separate from the main CLI module so the exporter/summary logic
 is importable without argparse, and so the no-print lint exemption for
@@ -13,6 +13,7 @@ import sys
 from typing import Sequence
 
 from repro.telemetry.export import iter_trace_events, summarize_trace_events
+from repro.telemetry.report import build_report, diff_traces, render_report
 
 
 def add_trace_parser(subparsers: argparse._SubParsersAction) -> None:
@@ -24,11 +25,37 @@ def add_trace_parser(subparsers: argparse._SubParsersAction) -> None:
         "summarize", help="human summary of a --trace output file"
     )
     summarize.add_argument("path", help="trace-event JSON file to summarize")
+    diff = actions.add_parser(
+        "diff", help="structural diff of two trace exports"
+    )
+    diff.add_argument("path_a", help="first trace-event JSON file")
+    diff.add_argument("path_b", help="second trace-event JSON file")
+    diff.add_argument(
+        "--tolerance-us",
+        type=float,
+        default=0.0,
+        help="ignore total-duration drift up to this many microseconds "
+        "(0 = exact; use for wall-clock runs)",
+    )
+
+
+def add_report_parser(subparsers: argparse._SubParsersAction) -> None:
+    parser = subparsers.add_parser(
+        "report", help="operator report from a trace export"
+    )
+    parser.add_argument("trace", help="trace-event JSON file (--trace output)")
+    parser.add_argument(
+        "--metrics",
+        default="",
+        help="matching metrics JSON snapshot (adds latency percentiles)",
+    )
 
 
 def run_trace_command(args: argparse.Namespace) -> int:
     if args.trace_action == "summarize":
         return summarize_command(args.path)
+    if args.trace_action == "diff":
+        return diff_command(args.path_a, args.path_b, args.tolerance_us)
     raise SystemExit(f"unknown trace action {args.trace_action!r}")
 
 
@@ -51,6 +78,52 @@ def summarize_command(path: str, stream=None) -> int:
     return 0
 
 
+def diff_command(
+    path_a: str, path_b: str, tolerance_us: float = 0.0, stream=None
+) -> int:
+    """``repro trace diff A B``: 0 identical, 1 differ, 2 unreadable."""
+    stream = stream if stream is not None else sys.stdout
+    try:
+        with open(path_a, "r", encoding="utf-8") as ha, open(
+            path_b, "r", encoding="utf-8"
+        ) as hb:
+            return diff_traces(
+                iter_trace_events(ha),
+                iter_trace_events(hb),
+                stream,
+                tolerance_us=tolerance_us,
+            )
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, ValueError) as exc:
+        print(f"error: not a trace-event JSON file: {exc}", file=sys.stderr)
+        return 2
+
+
+def run_report_command(args: argparse.Namespace) -> int:
+    return report_command(args.trace, args.metrics)
+
+
+def report_command(trace_path: str, metrics_path: str = "", stream=None) -> int:
+    stream = stream if stream is not None else sys.stdout
+    metrics = None
+    try:
+        if metrics_path:
+            with open(metrics_path, "r", encoding="utf-8") as handle:
+                metrics = json.load(handle)
+        with open(trace_path, "r", encoding="utf-8") as handle:
+            report = build_report(iter_trace_events(handle))
+    except OSError as exc:
+        print(f"error: cannot read {exc.filename}: {exc}", file=sys.stderr)
+        return 2
+    except (json.JSONDecodeError, ValueError) as exc:
+        print(f"error: not a valid export: {exc}", file=sys.stderr)
+        return 2
+    render_report(report, stream, metrics=metrics)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-trace", description="trace inspection tools"
@@ -58,6 +131,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="trace_action", required=True)
     summarize = sub.add_parser("summarize")
     summarize.add_argument("path")
+    diff = sub.add_parser("diff")
+    diff.add_argument("path_a")
+    diff.add_argument("path_b")
+    diff.add_argument("--tolerance-us", type=float, default=0.0)
     return run_trace_command(parser.parse_args(argv))
 
 

@@ -97,6 +97,48 @@ class Histogram:
         self.count += 1
         self.sum += value
 
+    def absorb(self, counts: Iterable[int], count: int, total: float) -> None:
+        """Fold another histogram's raw state into this one.
+
+        The donor must share this histogram's bucket boundaries (the
+        telemetry merger enforces that); bucket-wise addition makes the
+        merge associative and order-independent — a G-counter per slot.
+        """
+        other = list(counts)
+        if len(other) != len(self.counts):
+            raise ValueError(
+                f"histogram {self.name} absorb: {len(other)} slots"
+                f" vs {len(self.counts)}"
+            )
+        for i, c in enumerate(other):
+            self.counts[i] += c
+        self.count += count
+        self.sum += total
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile by linear interpolation within buckets.
+
+        Deterministic pure-arithmetic estimate from the fixed bucket
+        counts (Prometheus ``histogram_quantile`` style). The overflow
+        bucket has no upper bound, so mass there clamps to the last
+        boundary. Returns 0.0 when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, c in enumerate(self.counts):
+            cumulative += c
+            if c and cumulative >= target:
+                if i == len(self.buckets):
+                    return self.buckets[-1]
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                upper = self.buckets[i]
+                return lower + (upper - lower) * ((target - (cumulative - c)) / c)
+        return self.buckets[-1]
+
 
 class MetricsRegistry:
     """Named instruments, created on first use and shared thereafter.
@@ -144,6 +186,32 @@ class MetricsRegistry:
     def __len__(self) -> int:
         return len(self._counters) + len(self._gauges) + len(self._histograms)
 
+    def resolve_signal(self, signal: str) -> float | None:
+        """Resolve a dotted signal name to a current value, or ``None``.
+
+        Resolution order: exact gauge key, exact counter key, then
+        histogram-derived forms ``<hist>.pNN`` (quantile), ``<hist>.mean``
+        and ``<hist>.count``.  ``None`` means "no such instrument yet" —
+        SLO probes treat that as not-yet-evaluable rather than a breach.
+        """
+        gauge = self._gauges.get(signal)
+        if gauge is not None:
+            return gauge.value
+        counter = self._counters.get(signal)
+        if counter is not None:
+            return counter.value
+        base, _, suffix = signal.rpartition(".")
+        hist = self._histograms.get(base) if base else None
+        if hist is None:
+            return None
+        if len(suffix) > 1 and suffix[0] == "p" and suffix[1:].isdigit():
+            return hist.quantile(int(suffix[1:]) / 100.0)
+        if suffix == "mean":
+            return hist.sum / hist.count if hist.count else 0.0
+        if suffix == "count":
+            return float(hist.count)
+        return None
+
     def snapshot(self) -> dict[str, Any]:
         """Plain-dict view with sorted keys; safe to ``json.dumps``."""
         return {
@@ -157,6 +225,9 @@ class MetricsRegistry:
                     "counts": list(h.counts),
                     "count": h.count,
                     "sum": h.sum,
+                    "p50": h.quantile(0.50),
+                    "p95": h.quantile(0.95),
+                    "p99": h.quantile(0.99),
                 }
                 for k, h in sorted(self._histograms.items())
             },
@@ -185,6 +256,12 @@ class _NullInstrument:
 
     def observe(self, value: float) -> None:
         pass
+
+    def absorb(self, counts: Iterable[int], count: int, total: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
 
 
 _NULL_INSTRUMENT = _NullInstrument()

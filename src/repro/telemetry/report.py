@@ -1,0 +1,281 @@
+"""Run reports and trace diffs over exported telemetry artifacts.
+
+``repro report`` digests a ``--trace`` export (plus, optionally, the
+matching metrics JSON) into the questions an operator actually asks:
+how busy was each worker, where did the time go, what were the latency
+percentiles, did any SLO probe fire.  ``repro trace diff`` compares two
+trace exports structurally — the tool behind the determinism contract
+(same seed ⇒ byte-identical export) and behind "what changed between
+these two runs".
+
+Both read the Trace Event Format written by
+:func:`repro.telemetry.export.write_chrome_trace` in a single pass with
+bounded state, so multi-GB macro-run exports stream fine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, TextIO
+
+_US = 1e6
+
+#: Histograms surfaced in the report's percentile table, in print order.
+LATENCY_SIGNALS = (
+    "task.latency_seconds",
+    "queue.wait_seconds",
+    "task.exec_seconds",
+    "heartbeat.rtt_seconds",
+)
+
+
+@dataclass
+class WorkerStats:
+    """Aggregates for one ``worker:*`` track."""
+
+    tasks: int = 0
+    failed: int = 0
+    exec_us: float = 0.0
+    fetch_us: float = 0.0
+    first_us: float = float("inf")
+    last_us: float = 0.0
+    clock_offset: float | None = None
+
+    def absorb_span(self, name: str, ts: float, dur: float, args: dict) -> None:
+        self.first_us = min(self.first_us, ts)
+        self.last_us = max(self.last_us, ts + dur)
+        if name == "task":
+            self.tasks += 1
+            if args.get("ok") is False:
+                self.failed += 1
+        elif name == "exec":
+            self.exec_us += dur
+        elif name == "fetch":
+            self.fetch_us += dur
+
+
+@dataclass
+class TraceReport:
+    """Everything ``repro report`` prints, as plain data."""
+
+    runs: list[str] = field(default_factory=list)
+    span_us: float = 0.0  # run wall span (first start .. last end)
+    workers: dict[str, WorkerStats] = field(default_factory=dict)
+    retransmits: int = 0
+    breaches: list[dict[str, Any]] = field(default_factory=list)
+    recoveries: int = 0
+    queue_samples: int = 0
+    queue_peak: float = 0.0
+    events: int = 0
+
+
+def build_report(events: Iterable[dict[str, Any]]) -> TraceReport:
+    """Fold a trace-event stream into a :class:`TraceReport`.
+
+    Single pass, state bounded by the number of tracks — never by the
+    number of spans.
+    """
+    report = TraceReport()
+    track_names: dict[tuple[int, int], str] = {}
+    lo, hi = float("inf"), 0.0
+
+    def worker_for(pid: int, tid: int) -> WorkerStats | None:
+        track = track_names.get((pid, tid), "")
+        if not track.startswith("worker:"):
+            return None
+        return report.workers.setdefault(track[len("worker:"):], WorkerStats())
+
+    for ev in events:
+        report.events += 1
+        ph = ev.get("ph")
+        args = ev.get("args", {})
+        if ph == "M":
+            if ev.get("name") == "process_name":
+                report.runs.append(args.get("name", "?"))
+            elif ev.get("name") == "thread_name":
+                track_names[(ev["pid"], ev["tid"])] = args.get("name", "")
+        elif ph == "X":
+            ts, dur = ev.get("ts", 0.0), ev.get("dur", 0.0)
+            lo, hi = min(lo, ts), max(hi, ts + dur)
+            stats = worker_for(ev["pid"], ev["tid"])
+            if stats is not None:
+                stats.absorb_span(ev["name"], ts, dur, args)
+            elif ev["name"] == "retransmit":
+                report.retransmits += 1
+        elif ph == "i":
+            name = ev["name"]
+            if name == "slo.breach":
+                report.breaches.append(
+                    {
+                        "time_s": ev.get("ts", 0.0) / _US,
+                        "probe": args.get("probe", "?"),
+                        "signal": args.get("signal", "?"),
+                        "value": args.get("value"),
+                        "threshold": args.get("threshold"),
+                    }
+                )
+            elif name == "slo.recovered":
+                report.recoveries += 1
+            elif name == "queue.depth":
+                report.queue_samples += 1
+                value = args.get("value")
+                if isinstance(value, (int, float)):
+                    report.queue_peak = max(report.queue_peak, value)
+            elif name == "clock.offset":
+                stats = worker_for(ev["pid"], ev["tid"])
+                if stats is not None:
+                    stats.clock_offset = args.get("value")
+    if lo != float("inf"):
+        report.span_us = hi - lo
+    return report
+
+
+def render_report(
+    report: TraceReport, stream: TextIO, metrics: dict[str, Any] | None = None
+) -> None:
+    """Print a :class:`TraceReport` (plus optional metrics snapshot)."""
+    runs = ", ".join(report.runs) or "?"
+    stream.write(
+        f"run {runs}: {report.events} events, "
+        f"{report.span_us / _US:.3f}s traced\n"
+    )
+    if report.workers:
+        stream.write("\nworkers:\n")
+        stream.write(
+            f"  {'worker':<14} {'tasks':>6} {'failed':>6} {'exec_s':>9}"
+            f" {'fetch_s':>9} {'util%':>6} {'clk_off_s':>10}\n"
+        )
+        wall = report.span_us or 1.0
+        for wid in sorted(report.workers):
+            w = report.workers[wid]
+            util = 100.0 * w.exec_us / wall
+            offset = f"{w.clock_offset:.4f}" if w.clock_offset is not None else "-"
+            stream.write(
+                f"  {wid:<14} {w.tasks:>6} {w.failed:>6}"
+                f" {w.exec_us / _US:>9.3f} {w.fetch_us / _US:>9.3f}"
+                f" {util:>6.1f} {offset:>10}\n"
+            )
+    if metrics is not None:
+        hists = metrics.get("histograms", {})
+        rows = [(n, hists[n]) for n in LATENCY_SIGNALS if n in hists]
+        if rows:
+            stream.write("\nlatency percentiles (s):\n")
+            stream.write(
+                f"  {'signal':<24} {'count':>7} {'p50':>9} {'p95':>9} {'p99':>9}\n"
+            )
+            for name, h in rows:
+                stream.write(
+                    f"  {name:<24} {h.get('count', 0):>7}"
+                    f" {h.get('p50', 0.0):>9.4f} {h.get('p95', 0.0):>9.4f}"
+                    f" {h.get('p99', 0.0):>9.4f}\n"
+                )
+        counters = metrics.get("counters", {})
+        dropped = counters.get("telemetry.batches_dropped", 0)
+        if dropped:
+            stream.write(f"\ntelemetry batches dropped: {dropped}\n")
+    if report.retransmits:
+        stream.write(f"\nretransmits: {report.retransmits}\n")
+    if report.queue_samples:
+        stream.write(
+            f"queue depth: peak {report.queue_peak:g}"
+            f" over {report.queue_samples} samples\n"
+        )
+    if report.breaches or report.recoveries:
+        stream.write(
+            f"\nSLO: {len(report.breaches)} breach(es),"
+            f" {report.recoveries} recovery(ies)\n"
+        )
+        for b in report.breaches[:10]:
+            stream.write(
+                f"  t={b['time_s']:.3f}s {b['probe']}: {b['signal']}"
+                f" = {b['value']} (threshold {b['threshold']})\n"
+            )
+        if len(report.breaches) > 10:
+            stream.write(f"  ... {len(report.breaches) - 10} more\n")
+    elif report.queue_samples or report.workers:
+        stream.write("\nSLO: no breaches\n")
+
+
+# -- trace diff --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _SideDigest:
+    """Order-insensitive structural digest of one trace."""
+
+    spans: dict[tuple[str, str], tuple[int, float]]  # (track, name) → (n, Σdur)
+    instants: dict[tuple[str, str], int]
+    tracks: frozenset[str]
+
+
+def _digest(events: Iterable[dict[str, Any]]) -> _SideDigest:
+    track_names: dict[tuple[int, int], str] = {}
+    spans: dict[tuple[str, str], tuple[int, float]] = {}
+    instants: dict[tuple[str, str], int] = {}
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M" and ev.get("name") == "thread_name":
+            track_names[(ev["pid"], ev["tid"])] = ev.get("args", {}).get("name", "")
+        elif ph == "X":
+            track = track_names.get((ev["pid"], ev["tid"]), "?")
+            n, total = spans.get((track, ev["name"]), (0, 0.0))
+            spans[(track, ev["name"])] = (n + 1, total + ev.get("dur", 0.0))
+        elif ph == "i":
+            track = track_names.get((ev["pid"], ev["tid"]), "?")
+            key = (track, ev["name"])
+            instants[key] = instants.get(key, 0) + 1
+    tracks = frozenset(track_names.values())
+    return _SideDigest(spans, instants, tracks)
+
+
+def diff_traces(
+    events_a: Iterable[dict[str, Any]],
+    events_b: Iterable[dict[str, Any]],
+    stream: TextIO,
+    *,
+    tolerance_us: float = 0.0,
+) -> int:
+    """Structural diff of two trace-event streams.
+
+    Compares tracks, span counts and total durations (within
+    ``tolerance_us``), and instant-event counts — not raw bytes, so two
+    runs that differ only in event *order* compare equal.  Returns 0
+    when equivalent, 1 when they differ (the shell-friendly contract).
+    """
+    a, b = _digest(events_a), _digest(events_b)
+    differences = 0
+
+    for track in sorted(a.tracks - b.tracks):
+        stream.write(f"- track {track!r} only in first trace\n")
+        differences += 1
+    for track in sorted(b.tracks - a.tracks):
+        stream.write(f"+ track {track!r} only in second trace\n")
+        differences += 1
+
+    for key in sorted(set(a.spans) | set(b.spans)):
+        track, name = key
+        na, ta = a.spans.get(key, (0, 0.0))
+        nb, tb = b.spans.get(key, (0, 0.0))
+        if na != nb:
+            stream.write(
+                f"~ span {track}/{name}: count {na} -> {nb}\n"
+            )
+            differences += 1
+        elif abs(ta - tb) > tolerance_us:
+            stream.write(
+                f"~ span {track}/{name}: total "
+                f"{ta / _US:.6f}s -> {tb / _US:.6f}s\n"
+            )
+            differences += 1
+
+    for key in sorted(set(a.instants) | set(b.instants)):
+        track, name = key
+        ca, cb = a.instants.get(key, 0), b.instants.get(key, 0)
+        if ca != cb:
+            stream.write(f"~ event {track}/{name}: count {ca} -> {cb}\n")
+            differences += 1
+
+    if differences == 0:
+        stream.write("traces are structurally identical\n")
+        return 0
+    stream.write(f"{differences} difference(s)\n")
+    return 1

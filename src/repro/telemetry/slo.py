@@ -1,0 +1,146 @@
+"""Declarative SLO probes over the live telemetry stream.
+
+A :class:`SloProbe` states a requirement over one metric signal —
+``p99 task latency < 0.5 s``, ``queue depth < 100``, ``completion rate
+>= 0.95`` — and a :class:`SloEvaluator` checks all probes against the
+run's :class:`~repro.telemetry.metrics.MetricsRegistry` whenever the
+engine ticks it (heartbeat sweeps, task completions, end of run).
+
+Evaluation is edge-triggered: the first failing check emits one
+``slo.breach`` event, and the first passing check after a breach emits
+``slo.recovered`` — the event stream carries state *transitions*, not
+per-tick spam, which is exactly the shape a steering policy wants to
+consume.  A signal that does not resolve yet (no observations) is
+skipped, never breached: an empty run is not a failing run.
+
+Everything is deterministic: signals come from the deterministic
+registry, evaluation times from the engine clock, and probes evaluate
+in declaration order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.telemetry.spans import Telemetry
+
+_OPS: dict[str, Callable[[float, float], bool]] = {
+    "<": lambda v, t: v < t,
+    "<=": lambda v, t: v <= t,
+    ">": lambda v, t: v > t,
+    ">=": lambda v, t: v >= t,
+}
+
+
+@dataclass(frozen=True)
+class SloProbe:
+    """One requirement: ``signal OP threshold`` must hold.
+
+    ``signal`` uses the registry's resolution grammar
+    (:meth:`~repro.telemetry.metrics.MetricsRegistry.resolve_signal`):
+    gauge/counter keys verbatim, or ``<histogram>.p99`` style derived
+    quantiles.
+    """
+
+    name: str
+    signal: str
+    op: str
+    threshold: float
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ConfigurationError(
+                f"SLO probe {self.name!r}: unknown op {self.op!r};"
+                f" expected one of {sorted(_OPS)}"
+            )
+        if not self.name or not self.signal:
+            raise ConfigurationError("SLO probes need a name and a signal")
+
+    def holds(self, value: float) -> bool:
+        return _OPS[self.op](value, self.threshold)
+
+    def describe(self) -> str:
+        return f"{self.signal} {self.op} {self.threshold:g}"
+
+
+@dataclass(frozen=True)
+class SloBreach:
+    """One recorded breach transition (for reports and outcomes)."""
+
+    time: float
+    probe: str
+    signal: str
+    value: float
+    threshold: float
+
+
+class SloEvaluator:
+    """Evaluates a probe set against a hub's metrics; emits transitions.
+
+    The evaluator never reads a clock itself — callers pass ``now`` so
+    the simulated engine keeps virtual time and determinism.
+    """
+
+    def __init__(
+        self,
+        probes: Sequence[SloProbe],
+        telemetry: Telemetry,
+        *,
+        track: str = "slo",
+    ) -> None:
+        names = [p.name for p in probes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate SLO probe names in {names}")
+        self.probes = tuple(probes)
+        self._tel = telemetry
+        self._track = track
+        self._breached: set[str] = set()
+        self.breaches: list[SloBreach] = []
+        self.evaluations = 0
+
+    @property
+    def active_breaches(self) -> frozenset[str]:
+        return frozenset(self._breached)
+
+    def evaluate(self, now: float) -> dict[str, tuple[float, bool]]:
+        """Check every probe; returns ``{name: (value, ok)}`` for the
+        probes whose signal resolved."""
+        tel = self._tel
+        results: dict[str, tuple[float, bool]] = {}
+        for probe in self.probes:
+            value = tel.metrics.resolve_signal(probe.signal)
+            if value is None:
+                continue
+            self.evaluations += 1
+            ok = probe.holds(value)
+            results[probe.name] = (value, ok)
+            if not ok and probe.name not in self._breached:
+                self._breached.add(probe.name)
+                self.breaches.append(
+                    SloBreach(now, probe.name, probe.signal, value, probe.threshold)
+                )
+                tel.metrics.counter("slo.breaches").inc()
+                tel.event(
+                    "slo.breach",
+                    value,
+                    time=now,
+                    track=self._track,
+                    probe=probe.name,
+                    signal=probe.signal,
+                    threshold=probe.threshold,
+                )
+            elif ok and probe.name in self._breached:
+                self._breached.discard(probe.name)
+                tel.metrics.counter("slo.recoveries").inc()
+                tel.event(
+                    "slo.recovered",
+                    value,
+                    time=now,
+                    track=self._track,
+                    probe=probe.name,
+                    signal=probe.signal,
+                    threshold=probe.threshold,
+                )
+        return results

@@ -1,0 +1,17 @@
+"""Protocol pack true positive (module:
+repro.runtime.fixture_protocol_tel_peers): the worker ships
+``TelemetryFrame`` through a factory helper, but no dispatch chain on
+the master side ever handles the kind — the batches vanish silently.
+"""
+
+from repro.core.fixture_protocol_tel import Ack, telemetry_message
+
+
+async def worker(channel):
+    await channel.send(telemetry_message("w0", 1))
+
+
+async def master(channel, message):
+    if isinstance(message, Ack):
+        return
+    raise ValueError("unexpected frame")

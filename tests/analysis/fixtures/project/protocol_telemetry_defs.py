@@ -1,0 +1,22 @@
+"""Telemetry frame kinds for the protocol fixtures
+(module: repro.core.fixture_protocol_tel)."""
+
+from typing import ClassVar
+
+
+class Frame:
+    msg_type: ClassVar[str] = "FRAME"
+
+
+class TelemetryFrame(Frame):
+    msg_type: ClassVar[str] = "TELEMETRY"
+    worker_id: str = ""
+    seq: int = 0
+
+
+class Ack(Frame):
+    msg_type: ClassVar[str] = "ACK"
+
+
+def telemetry_message(worker_id, seq):
+    return TelemetryFrame(worker_id=worker_id, seq=seq)

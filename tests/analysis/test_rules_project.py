@@ -143,3 +143,17 @@ def test_protocol_pack_clean_when_every_kind_is_dispatched():
     # Nack/Reserved stay dead without the bad peer module.
     dead_kinds = {f.message.split()[2] for f in _findings(project, "protocol-dead-kind")}
     assert dead_kinds == {"Nack", "Reserved"}
+
+
+def test_protocol_pack_flags_undispatched_telemetry_frame():
+    # The telemetry plane regression this guards: a worker ships
+    # TELEMETRY frames via a factory helper, the master never
+    # isinstance-dispatches the kind, and every batch silently vanishes.
+    project = _load(
+        ("repro.core.fixture_protocol_tel", "protocol_telemetry_defs.py"),
+        ("repro.runtime.fixture_protocol_tel_peers", "protocol_telemetry_bad.py"),
+    )
+    exhaustive = _findings(project, "protocol-exhaustive")
+    unhandled = [f for f in exhaustive if "TelemetryFrame" in f.message]
+    assert len(unhandled) == 1
+    assert "no dispatch chain" in unhandled[0].message

@@ -179,3 +179,60 @@ class TestPayloadChecksum:
 
         with pytest.raises(ChecksumError):
             asyncio.run(scenario())
+
+
+class TestTelemetryFrames:
+    def _shipped_blob(self):
+        from repro.telemetry.shipping import TelemetryShipper, encode_batch
+        from repro.telemetry.spans import Telemetry
+
+        tel = Telemetry(clock=lambda: 0.0, record=True, run="w0")
+        with tel.span("task", track="worker:w0", task=1):
+            pass
+        tel.metrics.counter("worker.tasks", ok=True).inc()
+        batch = TelemetryShipper(tel).take_batch()
+        return batch, encode_batch(batch)
+
+    def test_telemetry_batch_round_trips_with_payload(self):
+        from repro.runtime.protocol import telemetry_batch_message
+        from repro.telemetry.shipping import decode_batch
+
+        batch, blob = self._shipped_blob()
+        writer = _FakeWriter()
+        write_frame(writer, telemetry_batch_message("w0", batch["seq"], blob), blob)
+        reader = FrameReader()
+        reader.feed(bytes(writer.data))
+        message, payload = reader.pop()
+        assert message.msg_type == "TELEMETRY"
+        assert message.worker_id == "w0"
+        assert message.seq == batch["seq"]
+        assert message.payload_len == len(blob)
+        assert decode_batch(payload) == batch
+
+    def test_corrupted_telemetry_payload_raises_checksum_error(self):
+        from repro.errors import ChecksumError
+        from repro.runtime.protocol import telemetry_batch_message
+
+        _, blob = self._shipped_blob()
+        writer = _FakeWriter()
+        write_frame(writer, telemetry_batch_message("w0", 1, blob), blob)
+        corrupted = bytearray(writer.data)
+        corrupted[-3] ^= 0xFF
+        # A clean frame behind the bad one must still decode: telemetry
+        # loss never desynchronizes the stream.
+        writer2 = _FakeWriter()
+        write_frame(writer2, RequestData(worker_id="w1"))
+
+        reader = FrameReader()
+        with pytest.raises(ChecksumError) as err:
+            reader.feed(bytes(corrupted) + bytes(writer2.data))
+        assert err.value.frame.msg_type == "TELEMETRY"
+        reader.feed(b"")
+        message, _ = reader.pop()
+        assert isinstance(message, RequestData)
+
+    def test_telemetry_batch_is_a_payload_kind(self):
+        from repro.core.messages import TelemetryBatch
+        from repro.runtime.protocol import PAYLOAD_KINDS
+
+        assert TelemetryBatch in PAYLOAD_KINDS

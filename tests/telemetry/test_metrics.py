@@ -92,6 +92,11 @@ class TestSnapshot:
             "counts": [1, 0],
             "count": 1,
             "sum": 0.5,
+            # One observation in (0, 1.0]: every quantile interpolates
+            # inside that bucket.
+            "p50": 0.5,
+            "p95": 0.95,
+            "p99": 0.99,
         }
 
     def test_len_counts_instruments(self):

@@ -1,0 +1,152 @@
+"""Tests for ``repro report`` and ``repro trace diff``."""
+
+import io
+import json
+
+from repro.telemetry.cli import diff_command, report_command
+from repro.telemetry.export import (
+    chrome_trace,
+    write_chrome_trace,
+    write_metrics_json,
+)
+from repro.telemetry.report import build_report, diff_traces
+from repro.telemetry.spans import Telemetry
+
+
+def make_master_trace():
+    """A merged-looking hub: control track + two worker tracks + SLO."""
+    state = {"now": 0.0}
+    tel = Telemetry(clock=lambda: state["now"], record=True, run="demo")
+    run = tel.span("run", track="control")
+    for wid, start in (("w0", 1.0), ("w1", 2.0)):
+        state["now"] = start
+        task = tel.span("task", track=f"worker:{wid}", task=1, ok=True)
+        state["now"] = start + 0.5
+        fetch = tel.span("fetch", parent=task, track=f"worker:{wid}")
+        state["now"] = start + 1.0
+        fetch.end()
+        exec_span = tel.span("exec", parent=task, track=f"worker:{wid}")
+        state["now"] = start + 3.0
+        exec_span.end()
+        task.end()
+        tel.event("clock.offset", 0.25, time=start, track=f"worker:{wid}", worker=wid)
+    state["now"] = 6.0
+    tel.span_complete("retransmit", 5.0, 5.1, track="control", worker="w1")
+    tel.event("queue.depth", 4, time=1.5, track="control")
+    tel.event("queue.depth", 1, time=3.0, track="control")
+    tel.event(
+        "slo.breach", 9.9, time=4.0, track="slo",
+        probe="lat", signal="task.latency_seconds.p99", threshold=1.0,
+    )
+    run.end()
+    return tel
+
+
+class TestBuildReport:
+    def test_per_worker_aggregates(self):
+        tel = make_master_trace()
+        report = build_report(chrome_trace(tel)["traceEvents"])
+        assert report.runs == ["demo"]
+        assert sorted(report.workers) == ["w0", "w1"]
+        w0 = report.workers["w0"]
+        assert w0.tasks == 1
+        assert w0.failed == 0
+        assert w0.exec_us == 2.0e6
+        assert w0.fetch_us == 0.5e6
+        assert w0.clock_offset == 0.25
+        assert report.retransmits == 1
+        assert report.queue_samples == 2
+        assert report.queue_peak == 4
+        assert len(report.breaches) == 1
+        assert report.breaches[0]["probe"] == "lat"
+
+    def test_failed_task_counted(self):
+        tel = Telemetry(clock=lambda: 0.0, record=True, run="r")
+        tel.span_complete("task", 0.0, 1.0, track="worker:w", ok=False)
+        report = build_report(chrome_trace(tel)["traceEvents"])
+        assert report.workers["w"].failed == 1
+
+
+class TestReportCommand:
+    def test_end_to_end_with_metrics(self, tmp_path):
+        tel = make_master_trace()
+        tel.metrics.histogram("task.latency_seconds", buckets=(1.0, 10.0)).observe(3.0)
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        write_chrome_trace(tel, str(trace_path))
+        write_metrics_json(tel.metrics, str(metrics_path))
+        out = io.StringIO()
+        assert report_command(str(trace_path), str(metrics_path), stream=out) == 0
+        text = out.getvalue()
+        assert "w0" in text and "w1" in text
+        assert "task.latency_seconds" in text
+        assert "p99" in text
+        assert "1 breach(es)" in text
+
+    def test_unreadable_file_is_error(self, tmp_path):
+        assert report_command(str(tmp_path / "missing.json"), stream=io.StringIO()) == 2
+
+    def test_not_a_trace_is_error(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"not": "a trace"}')
+        assert report_command(str(path), stream=io.StringIO()) == 2
+
+
+class TestTraceDiff:
+    def test_identical_traces_compare_equal(self):
+        events = chrome_trace(make_master_trace())["traceEvents"]
+        out = io.StringIO()
+        assert diff_traces(iter(events), iter(list(events)), out) == 0
+        assert "identical" in out.getvalue()
+
+    def test_span_count_difference_reported(self):
+        tel_a = make_master_trace()
+        tel_b = make_master_trace()
+        tel_b.span_complete("task", 7.0, 8.0, track="worker:w0", task=9)
+        out = io.StringIO()
+        rc = diff_traces(
+            chrome_trace(tel_a)["traceEvents"],
+            chrome_trace(tel_b)["traceEvents"],
+            out,
+        )
+        assert rc == 1
+        assert "worker:w0/task: count 1 -> 2" in out.getvalue()
+
+    def test_missing_track_reported(self):
+        tel_a = make_master_trace()
+        tel_b = Telemetry(clock=lambda: 0.0, record=True, run="demo")
+        tel_b.span_complete("run", 0.0, 1.0, track="control")
+        out = io.StringIO()
+        rc = diff_traces(
+            chrome_trace(tel_a)["traceEvents"],
+            chrome_trace(tel_b)["traceEvents"],
+            out,
+        )
+        assert rc == 1
+        assert "only in first trace" in out.getvalue()
+
+    def test_duration_drift_within_tolerance_ignored(self):
+        tel_a = Telemetry(clock=lambda: 0.0, record=True, run="r")
+        tel_a.span_complete("exec", 0.0, 1.0, track="worker:w")
+        tel_b = Telemetry(clock=lambda: 0.0, record=True, run="r")
+        tel_b.span_complete("exec", 0.0, 1.0001, track="worker:w")
+        a = chrome_trace(tel_a)["traceEvents"]
+        b = chrome_trace(tel_b)["traceEvents"]
+        assert diff_traces(iter(a), iter(b), io.StringIO()) == 1
+        assert (
+            diff_traces(iter(a), iter(b), io.StringIO(), tolerance_us=200.0) == 0
+        )
+
+    def test_diff_command_reads_files(self, tmp_path):
+        tel = make_master_trace()
+        pa, pb = tmp_path / "a.json", tmp_path / "b.json"
+        write_chrome_trace(tel, str(pa))
+        write_chrome_trace(tel, str(pb))
+        assert diff_command(str(pa), str(pb), stream=io.StringIO()) == 0
+
+    def test_diff_command_bad_file(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("[]")
+        good = tmp_path / "g.json"
+        write_chrome_trace(make_master_trace(), str(good))
+        assert diff_command(str(path), str(good), stream=io.StringIO()) == 2

@@ -1,0 +1,92 @@
+"""Unit tests for declarative SLO probes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.slo import SloEvaluator, SloProbe
+from repro.telemetry.spans import Telemetry
+
+
+def make_hub():
+    return Telemetry(clock=lambda: 0.0, record=True)
+
+
+class TestSloProbe:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SloProbe("p", "sig", "!=", 1.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SloProbe("", "sig", "<", 1.0)
+
+    def test_holds(self):
+        assert SloProbe("p", "s", "<", 1.0).holds(0.5)
+        assert not SloProbe("p", "s", "<", 1.0).holds(1.0)
+        assert SloProbe("p", "s", ">=", 0.95).holds(0.95)
+
+    def test_describe(self):
+        assert SloProbe("p", "queue.depth", "<", 100).describe() == "queue.depth < 100"
+
+
+class TestSloEvaluator:
+    def test_duplicate_names_rejected(self):
+        tel = make_hub()
+        probes = [SloProbe("p", "a", "<", 1), SloProbe("p", "b", "<", 1)]
+        with pytest.raises(ConfigurationError):
+            SloEvaluator(probes, tel)
+
+    def test_unresolvable_signal_skipped_not_breached(self):
+        tel = make_hub()
+        ev = SloEvaluator([SloProbe("p", "missing.gauge", "<", 1)], tel)
+        assert ev.evaluate(1.0) == {}
+        assert ev.breaches == []
+        assert ev.evaluations == 0
+
+    def test_breach_and_recovery_are_edge_triggered(self):
+        tel = make_hub()
+        depth = tel.metrics.gauge("queue.depth")
+        ev = SloEvaluator([SloProbe("depth", "queue.depth", "<", 10)], tel)
+
+        depth.set(50)
+        assert ev.evaluate(1.0)["depth"] == (50, False)
+        ev.evaluate(2.0)  # still breached: no second event
+        depth.set(3)
+        assert ev.evaluate(3.0)["depth"] == (3, True)
+        ev.evaluate(4.0)  # still healthy: no second recovery
+
+        keys = [e.key for e in tel.events]
+        assert keys.count("slo.breach") == 1
+        assert keys.count("slo.recovered") == 1
+        assert tel.metrics.counter("slo.breaches").value == 1
+        assert tel.metrics.counter("slo.recoveries").value == 1
+        assert len(ev.breaches) == 1
+        breach = ev.breaches[0]
+        assert (breach.time, breach.value, breach.threshold) == (1.0, 50, 10)
+        assert ev.active_breaches == frozenset()
+
+    def test_histogram_quantile_signal(self):
+        tel = make_hub()
+        hist = tel.metrics.histogram("task.latency_seconds", buckets=(1.0, 10.0))
+        for _ in range(100):
+            hist.observe(5.0)
+        ev = SloEvaluator(
+            [SloProbe("lat", "task.latency_seconds.p99", "<", 2.0)], tel
+        )
+        results = ev.evaluate(1.0)
+        value, ok = results["lat"]
+        assert not ok and value > 2.0
+        assert ev.active_breaches == frozenset({"lat"})
+
+    def test_events_carry_probe_tags(self):
+        tel = make_hub()
+        tel.metrics.gauge("g").set(5)
+        ev = SloEvaluator([SloProbe("p", "g", "<", 1)], tel, track="slo")
+        ev.evaluate(2.0)
+        event = [e for e in tel.events if e.key == "slo.breach"][0]
+        tags = dict(event.tags)
+        assert tags["probe"] == "p"
+        assert tags["signal"] == "g"
+        assert tags["threshold"] == 1
+        assert event.track == "slo"
+        assert event.time == 2.0
