@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint audit check accel bench bench-check bench-update bench-macro bench-macro-update schema-check trace-demo chaos chaos-runtime
+.PHONY: test lint audit check accel bench bench-check bench-update bench-macro bench-macro-update schema-check trace-demo chaos chaos-runtime service-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,11 +29,24 @@ audit:
 	$(PYTHON) -m repro.analysis src --project \
 		--cache build/audit-cache.json --baseline lint-baseline.json
 
+# Multi-tenant control plane: the full service suite (admission,
+# fair-share, quotas, leases, HTTP front end) plus the deterministic
+# 120-tenant load on the simulated plane — run twice so a determinism
+# regression in the service path fails loudly here, not in CI.
+service-check:
+	$(PYTHON) -m pytest tests/service -x -q
+	$(PYTHON) -c "from repro.service.sim import run_service_load; \
+		a = run_service_load(120, seed=0); b = run_service_load(120, seed=0); \
+		assert a.rejected == 0 and len(a.per_job) == 120, 'admission regressed'; \
+		assert a.digest == b.digest, 'service load not deterministic'; \
+		import sys; sys.stdout.write('service load reproducible: ' + a.digest[:16] + chr(10))"
+
 # One command to gate a PR locally: invariants (per-file + whole-
 # program), tests (which include the exporter schema/golden contract),
-# runtime chaos parity, perf regressions, and the 1k macro tier
+# runtime chaos parity, perf regressions, the service control plane,
+# and the 1k macro tier
 # (10k/100k are opt-in: `FRIEDA_MACRO_TIERS=1k,10k make bench-macro`).
-check: lint audit test schema-check chaos-runtime bench-check bench-macro
+check: lint audit test schema-check chaos-runtime service-check bench-check bench-macro
 
 # Build the optional C kernel accelerator in place. Soft-fails: without
 # a compiler the pure-Python kernel serves every caller (same

@@ -35,8 +35,15 @@ from repro.analysis.rules_determinism import _WALL_CLOCK
 #: transitively pure. ``repro.core``/``repro.data`` are shared with the
 #: real runtime, so they are sim for the per-file rule but not taint
 #: roots; anything they reach is still caught when a sim root reaches
-#: it through them.
-TAINT_ROOT_PACKAGES = ("repro.sim", "repro.engines.simulated", "repro.cloud")
+#: it through them.  ``repro.service.sim`` is the deterministic service
+#: harness: it must never reach the asyncio/HTTP drivers, so it is a
+#: root too — the service core it drives gets swept along.
+TAINT_ROOT_PACKAGES = (
+    "repro.sim",
+    "repro.engines.simulated",
+    "repro.cloud",
+    "repro.service.sim",
+)
 
 #: Module roots whose calls count as real I/O wherever they appear.
 _IO_MODULE_ROOTS = {

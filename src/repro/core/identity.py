@@ -1,0 +1,61 @@
+"""Worker identity policy shared by every engine.
+
+:class:`MasterScheduler.register_worker` treats a duplicate id as a
+protocol error — the paper's master keys all bookkeeping by worker id,
+so a crashed worker that reconnects under its old name would inherit
+stale fault state and in-flight accounting.  Every engine therefore
+mints a *fresh* id for each crash→rejoin cycle, and they must mint the
+same way: in the multi-tenant service one physical worker serves many
+jobs, so an id minted by one engine's rejoin path must never collide
+with a registration another job already holds.
+
+The policy is ``<base>:r<generation>``: ``worker:tcp:0`` rejoins as
+``worker:tcp:0:r1``, then ``worker:tcp:0:r2``, and so on.  The base
+survives every generation, so telemetry can group a worker's lives, and
+the generation is strictly increasing per base, so no id is ever issued
+twice by one minter.
+"""
+
+from __future__ import annotations
+
+import re
+
+_REJOIN_SUFFIX = re.compile(r"^(?P<base>.+):r(?P<gen>\d+)$")
+
+
+def split_rejoin_id(worker_id: str) -> tuple[str, int]:
+    """``("worker:tcp:0", 2)`` for ``"worker:tcp:0:r2"``; generation 0
+    for an id with no rejoin suffix."""
+    match = _REJOIN_SUFFIX.match(worker_id)
+    if match is None:
+        return worker_id, 0
+    return match.group("base"), int(match.group("gen"))
+
+
+def scratch_name(worker_id: str) -> str:
+    """Filesystem-safe name for a worker's scratch directory."""
+    return worker_id.replace(":", "_")
+
+
+class RejoinIdMinter:
+    """Mints fresh per-generation worker ids for crash→rejoin cycles.
+
+    One minter per run (or per service worker pool): it remembers the
+    highest generation issued per base, so a worker that crashes twice
+    gets ``:r1`` then ``:r2`` even if the caller passes the original id
+    both times.
+    """
+
+    def __init__(self) -> None:
+        self._generation: dict[str, int] = {}
+
+    def mint(self, worker_id: str) -> str:
+        """A fresh id for the next life of ``worker_id``.
+
+        Accepts either the base id or a previously minted one — both
+        advance the same base's generation.
+        """
+        base, gen = split_rejoin_id(worker_id)
+        nxt = max(self._generation.get(base, 0), gen) + 1
+        self._generation[base] = nxt
+        return f"{base}:r{nxt}"

@@ -85,6 +85,10 @@ class MasterScheduler:
         self._groups = list(groups)
         self._pending = len(self._groups)
         self._g_depth.set(self._pending)
+        if not self._groups:
+            # An empty workload is trivially complete; without this a
+            # zero-task job would report 0% completion forever.
+            self._g_completion.set(1.0)
         self._ready_at: dict[int, float] = {}
         self._assigned_at: dict[tuple[str, int], float] = {}
         self._attempts: dict[int, int] = {g.index: 0 for g in self._groups}
@@ -175,6 +179,23 @@ class MasterScheduler:
         ids = list(worker_ids) if worker_ids is not None else list(self._workers)
         if not ids:
             raise ProtocolError("cannot partition among zero workers")
+        # A worker that was lost or isolated before partition time can
+        # never serve a chunk (next_for refuses isolated workers), so
+        # reserving work for it would strand those tasks outside every
+        # accounting bucket and freeze queue.depth above zero — real in
+        # the TCP plane, where a worker can register inside the window
+        # and die before it closes.
+        healthy = [w for w in ids if not self.faults.is_isolated(w)]
+        if not healthy:
+            # Every candidate is already gone: leave the work on the
+            # overflow queue for late elastic joiners instead of carving
+            # chunks nobody can serve.
+            self._static_chunks = {}
+            self._partitioned = True
+            self._m_partitions.inc()
+            self._mark_ready(self._queue)
+            return
+        ids = healthy
         # Under static assignment the chunks own the work; the global
         # queue only ever holds retry requeues that no chunk can take.
         self._queue.clear()
@@ -227,6 +248,16 @@ class MasterScheduler:
         return tuple(self._static_chunks.get(worker_id, ()))
 
     # -- assignment -----------------------------------------------------------
+    def peek_pending(self) -> Optional[TaskGroup]:
+        """The task group the pull queue would serve next, without
+        drawing it.
+
+        The service layer prices admission against per-tenant byte
+        quotas before leasing a worker; peeking lets it see the next
+        task's size without committing an assignment.
+        """
+        return self._queue[0] if self._queue else None
+
     def next_for(self, worker_id: str) -> Optional[Assignment]:
         """Hand the next task group to ``worker_id`` (None = drained).
 
@@ -350,6 +381,15 @@ class MasterScheduler:
         assignment = self._pop_in_flight(worker_id, task_id)
         self._assigned_at.pop((worker_id, task_id), None)
         self.faults.record_error(worker_id, message)
+        if self.faults.is_isolated(worker_id):
+            # Isolation by error count is a capacity loss too: the
+            # worker's remaining reserved chunk can never be served
+            # (next_for refuses isolated workers), so drain it through
+            # the same retry/lost accounting a dead worker gets —
+            # otherwise those tasks vanish from every bucket and the
+            # queue.depth gauge stays frozen above zero.
+            self._drain_reserved(worker_id)
+            self._g_depth.set(self._pending)
         self._m_errors.inc()
         if task_id in self.completed:
             return False  # a speculative copy failed after the original won
@@ -376,9 +416,6 @@ class MasterScheduler:
         for assignment in stranded:
             del self._in_flight[(worker_id, assignment.task_id)]
             self._assigned_at.pop((worker_id, assignment.task_id), None)
-        # Tasks reserved for the dead worker but never started:
-        reserved = list(self._static_chunks.pop(worker_id, ()))
-        self._pending -= len(reserved)
         requeued: list[Assignment] = []
         for assignment in stranded:
             if assignment.task_id in self.completed or any(
@@ -392,13 +429,27 @@ class MasterScheduler:
             else:
                 self.lost_tasks.append(assignment)
                 self._m_lost.inc()
+        requeued.extend(self._drain_reserved(worker_id))
+        self._g_depth.set(self._pending)
+        return requeued
+
+    def _drain_reserved(self, worker_id: str) -> list[Assignment]:
+        """Redistribute a gone worker's still-reserved chunk.
+
+        Tasks reserved for a worker that died or was isolated never
+        started; each goes back through the retry policy (a lost
+        reservation consumes an attempt, mirroring the in-flight path,
+        so repeated worker loss exhausts ``max_attempts`` instead of
+        requeueing forever) or is recorded lost.  Callers refresh the
+        ``queue.depth`` gauge afterwards.
+        """
+        reserved = list(self._static_chunks.pop(worker_id, ()))
+        self._pending -= len(reserved)
+        requeued: list[Assignment] = []
         for group in reserved:
             attempt = self._attempts[group.index]
             pseudo = Assignment(group=group, worker_id=worker_id, attempt=attempt)
             if self.retry_policy.should_retry(attempt, worker_loss=True):
-                # A lost reservation consumes an attempt (mirroring the
-                # stranded path above), so repeated worker loss exhausts
-                # max_attempts instead of requeueing forever.
                 self._attempts[group.index] = attempt + 1
                 self._requeue(pseudo)
                 requeued.append(pseudo)
@@ -406,7 +457,6 @@ class MasterScheduler:
             else:
                 self.lost_tasks.append(pseudo)
                 self._m_lost.inc()
-        self._g_depth.set(self._pending)
         return requeued
 
     def _requeue(self, assignment: Assignment) -> None:

@@ -32,6 +32,7 @@ from repro.core.commands import CommandTemplate
 from repro.core.controller import ControllerLogic
 from repro.core.fault import RetryPolicy
 from repro.core.framework import RunOutcome, TaskRecord
+from repro.core.identity import RejoinIdMinter, scratch_name
 from repro.core.messages import WorkerFailed
 from repro.core.monitoring import HeartbeatConfig, HeartbeatMonitor, Liveness
 from repro.core.scheduler import MasterScheduler
@@ -103,6 +104,7 @@ class ThreadedEngine:
         isolate_after: int = 1,
         crash_worker_on_task: dict[str, int] | None = None,
         hang_worker_on_task: dict[str, int] | None = None,
+        respawn_after_crash: dict[str, float] | None = None,
         telemetry: Telemetry | None = None,
         slo_probes: Sequence[SloProbe] = (),
     ) -> RunOutcome:
@@ -121,6 +123,10 @@ class ThreadedEngine:
         (:data:`~repro.runtime.faults.ANY_TASK` = its first draw);
         ``hang_worker_on_task`` wedges the thread instead (alive, no
         beats) and requires ``heartbeat_interval`` > 0.
+        ``respawn_after_crash`` maps a worker id to a delay: that many
+        seconds after its crash is detected, a replacement thread joins
+        under a fresh id minted by the shared rejoin policy
+        (``local:0`` → ``local:0:r1``), mirroring the TCP engine.
         """
         if callable(command) and not isinstance(command, CommandTemplate):
             command = CommandTemplate(function=command)
@@ -128,6 +134,7 @@ class ThreadedEngine:
             command = CommandTemplate(template=command)
         crash_map = crash_worker_on_task or {}
         hang_map = hang_worker_on_task or {}
+        respawn_map = respawn_after_crash or {}
         if hang_map and self.heartbeat_interval <= 0:
             raise ConfigurationError(
                 "hung workers are undetectable without heartbeats: "
@@ -243,6 +250,50 @@ class ThreadedEngine:
                 )
                 for wid in worker_ids
             }
+            minter = RejoinIdMinter()
+
+            def spawn_replacement(dead_wid: str) -> str:
+                """A crashed worker rejoins under a fresh minted id —
+                the same ``base:rN`` policy the TCP engine applies."""
+                fresh = minter.mint(dead_wid)
+                logic = WorkerLogic(
+                    fresh,
+                    "localhost",
+                    command,
+                    scratch_dir=os.path.join(root, scratch_name(fresh)),
+                )
+                os.makedirs(logic.scratch_dir, exist_ok=True)
+                if controller.strategy.data_local_to_workers:
+                    for file in dataset:
+                        logic.receive_file(file.name)
+                        if file.path is not None:
+                            logic.path_overrides[file.name] = file.path
+                logics[fresh] = logic
+                thread = threading.Thread(
+                    target=self._worker_main,
+                    args=(
+                        logic, scheduler, controller, wakeup, dataset,
+                        outcomes, tel, run_span, h_exec,
+                    ),
+                    kwargs=dict(
+                        monitor=monitor,
+                        clock=clock,
+                        hang_release=hang_release,
+                        status=status,
+                    ),
+                    name=f"frieda-{fresh}",
+                    daemon=True,
+                )
+                with wakeup:
+                    scheduler.register_worker(fresh)
+                    if monitor is not None:
+                        monitor.beat(fresh, clock())
+                status[fresh] = "running"
+                threads[fresh] = thread
+                tel.event("node.respawned", fresh, track="control")
+                thread.start()
+                return fresh
+
             for wid in worker_ids:
                 if monitor is not None:
                     monitor.beat(wid, clock())
@@ -251,6 +302,7 @@ class ThreadedEngine:
             self._watchdog(
                 threads, scheduler, controller, wakeup, monitor, clock, status,
                 hang_release, tel, slo,
+                respawn_map=respawn_map, spawn_replacement=spawn_replacement,
             )
         if slo is not None:
             # Final look at the fully settled registry.
@@ -301,6 +353,8 @@ class ThreadedEngine:
         hang_release: threading.Event,
         tel: Telemetry,
         slo: SloEvaluator | None = None,
+        respawn_map: dict[str, float] | None = None,
+        spawn_replacement: Callable[[str], str] | None = None,
     ) -> None:
         """Replace the blind ``join()`` loop: watch for worker deaths.
 
@@ -312,6 +366,8 @@ class ThreadedEngine:
         path, then idle peers are woken to absorb the requeued work.
         """
         handled: set[str] = set()
+        respawn_map = respawn_map or {}
+        due_respawns: list[tuple[float, str]] = []
 
         def report_loss(wid: str, reason: str) -> None:
             handled.add(wid)
@@ -346,7 +402,7 @@ class ThreadedEngine:
                 if slo is not None:
                     with wakeup:
                         slo.evaluate(now)
-            for wid, thread in threads.items():
+            for wid, thread in list(threads.items()):
                 if thread.is_alive() or wid in handled:
                     continue
                 if status.get(wid) == "crashed":
@@ -355,6 +411,8 @@ class ThreadedEngine:
                         with wakeup:
                             monitor.forget(wid)
                     report_loss(wid, "worker thread died")
+                    if wid in respawn_map and spawn_replacement is not None:
+                        due_respawns.append((now + respawn_map[wid], wid))
                 elif monitor is not None:
                     # Graceful drain: silence after exit is not death.
                     handled.add(wid)
@@ -366,12 +424,22 @@ class ThreadedEngine:
                 for wid, state in swept.items():
                     if state is Liveness.DEAD and wid not in handled:
                         report_loss(wid, "missed heartbeats")
+            if due_respawns:
+                with wakeup:
+                    resolved = scheduler.done
+                if resolved:
+                    due_respawns.clear()
+                else:
+                    ready = [d for d in due_respawns if d[0] <= now]
+                    due_respawns = [d for d in due_respawns if d[0] > now]
+                    for _due, wid in ready:
+                        spawn_replacement(wid)
             with wakeup:
                 if scheduler.done:
                     # Run resolved: release wedged threads so they exit.
                     hang_release.set()
                     wakeup.notify_all()
-            if not any(t.is_alive() for t in threads.values()):
+            if not any(t.is_alive() for t in threads.values()) and not due_respawns:
                 break
             time.sleep(min(interval, 0.05))  # frieda: allow[real-sleep] -- watchdog pacing on real threads
         for thread in threads.values():

@@ -54,6 +54,7 @@ from repro.core.controller import ControllerLogic
 from repro.core.elasticity import ElasticityManager
 from repro.core.fault import RetryPolicy
 from repro.core.framework import RunOutcome, TaskRecord
+from repro.core.identity import RejoinIdMinter, scratch_name
 from repro.core.messages import (
     ConnectionAck,
     ExecStatus,
@@ -321,6 +322,9 @@ class TcpEngine:
             hang_release.set()
 
         releaser = asyncio.create_task(release_when_done())
+        # Shared crash→rejoin id policy: fresh ``base:rN`` per life, the
+        # same discipline the threaded engine uses (core/identity.py).
+        minter = RejoinIdMinter()
 
         async def lifecycle(wid: str, root: str) -> None:
             status = await _worker_client(
@@ -345,12 +349,13 @@ class TcpEngine:
                 await asyncio.sleep(delay)
                 if master.run_done.is_set():
                     return
+                fresh = minter.mint(wid)
                 await _worker_client(
-                    f"{wid}:r1",
+                    fresh,
                     self.host,
                     port,
                     command,
-                    os.path.join(root, wid.replace(":", "_") + "_r1"),
+                    os.path.join(root, scratch_name(fresh)),
                     records,
                     heartbeat_interval=self.heartbeat_interval,
                     reply_timeout=self.reply_timeout,

@@ -1,0 +1,45 @@
+"""Multi-tenant control plane: many jobs over one shared worker pool.
+
+The pure state machine lives in :mod:`repro.service.core`
+(:class:`ControlPlaneService` — admission, weighted fair-share,
+per-tenant quotas, worker leases).  Drivers: the deterministic
+discrete-event harness in :mod:`repro.service.sim` (the CI acceptance
+path), and the asyncio runtime in :mod:`repro.service.aio` backing the
+HTTP/JSON front end in :mod:`repro.service.http`.
+
+Import note: :mod:`~repro.service.core`, :mod:`~repro.service.sim`,
+and this package root stay wall-clock free; only the drivers under
+``aio``/``http`` touch real time, and nothing here imports them —
+that is what keeps the simulated path taint-clean under frieda-audit.
+"""
+
+from repro.service.admission import AdmissionController, Decision, TenantQuota, Verdict
+from repro.service.core import ControlPlaneService
+from repro.service.fairshare import FairShareScheduler
+from repro.service.jobs import Job, JobSpec, JobState, outcome_digest
+from repro.service.pool import Lease, WorkerPool
+from repro.service.sim import (
+    ServiceLoadResult,
+    ServiceSimulation,
+    run_service_load,
+    synthetic_tenants,
+)
+
+__all__ = [
+    "AdmissionController",
+    "ControlPlaneService",
+    "Decision",
+    "FairShareScheduler",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "Lease",
+    "ServiceLoadResult",
+    "ServiceSimulation",
+    "TenantQuota",
+    "Verdict",
+    "WorkerPool",
+    "outcome_digest",
+    "run_service_load",
+    "synthetic_tenants",
+]

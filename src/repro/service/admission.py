@@ -1,0 +1,135 @@
+"""Admission control: decide a submission's fate before it holds state.
+
+Three verdicts, in the spirit of classic admission-controlled queueing
+systems: ADMIT (run now), PARK (hold in the backlog until capacity
+frees), REJECT (never runnable, or the backlog itself is full — the
+caller should back off).  Rejection is deliberate load shedding: a
+bounded backlog keeps the service's memory and the tenants' latency
+promises honest under overload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.service.jobs import JobSpec
+from repro.telemetry.metrics import MetricsRegistry, NULL_METRICS
+
+
+class Verdict(str, Enum):
+    ADMIT = "admit"
+    PARK = "park"
+    REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant resource limits, enforced at admission and lease time.
+
+    ``max_concurrent_tasks`` bounds how many workers a tenant can hold
+    at once (across all its jobs); ``max_inflight_bytes`` bounds the
+    bytes those leases may cover; the job-count limits bound how many
+    jobs a tenant may have running or parked.
+    """
+
+    max_concurrent_tasks: int = 8
+    max_inflight_bytes: float = float("inf")
+    max_running_jobs: int = 4
+    max_parked_jobs: int = 16
+
+
+@dataclass(frozen=True)
+class Decision:
+    verdict: Verdict
+    reason: str
+
+
+class AdmissionController:
+    """Stateless policy over the service's live counts.
+
+    The service asks on every submit and whenever capacity frees (to
+    promote parked jobs); the controller never mutates anything except
+    its verdict counters.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_running_jobs: int = 16,
+        max_parked_jobs: int = 64,
+        default_quota: TenantQuota | None = None,
+        quotas: dict[str, TenantQuota] | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.max_running_jobs = max_running_jobs
+        self.max_parked_jobs = max_parked_jobs
+        self.default_quota = default_quota or TenantQuota()
+        self._quotas = dict(quotas or {})
+        metrics = metrics if metrics is not None else NULL_METRICS
+        self._m_admitted = metrics.counter("service.admission.admitted")
+        self._m_parked = metrics.counter("service.admission.parked")
+        self._m_rejected = metrics.counter("service.admission.rejected")
+
+    def quota(self, tenant: str) -> TenantQuota:
+        return self._quotas.get(tenant, self.default_quota)
+
+    def decide(
+        self,
+        spec: JobSpec,
+        *,
+        running_jobs: int,
+        parked_jobs: int,
+        tenant_running: int,
+        tenant_parked: int,
+    ) -> Decision:
+        """Verdict for one submission given the service's live counts."""
+        quota = self.quota(spec.tenant)
+        oversized = [
+            g.index for g in spec.groups if g.total_size > quota.max_inflight_bytes
+        ]
+        if oversized:
+            # No lease could ever cover this task: parking it would
+            # wedge the backlog, so shed it now with a precise reason.
+            self._m_rejected.inc()
+            return Decision(
+                Verdict.REJECT,
+                f"task {oversized[0]} exceeds tenant byte quota "
+                f"({quota.max_inflight_bytes:g})",
+            )
+        if (
+            running_jobs < self.max_running_jobs
+            and tenant_running < quota.max_running_jobs
+        ):
+            self._m_admitted.inc()
+            return Decision(Verdict.ADMIT, "capacity available")
+        if parked_jobs >= self.max_parked_jobs:
+            self._m_rejected.inc()
+            return Decision(
+                Verdict.REJECT, f"service backlog full ({self.max_parked_jobs} parked)"
+            )
+        if tenant_parked >= quota.max_parked_jobs:
+            self._m_rejected.inc()
+            return Decision(
+                Verdict.REJECT,
+                f"tenant backlog full ({quota.max_parked_jobs} parked)",
+            )
+        self._m_parked.inc()
+        if tenant_running >= quota.max_running_jobs:
+            return Decision(
+                Verdict.PARK,
+                f"tenant at max running jobs ({quota.max_running_jobs})",
+            )
+        return Decision(
+            Verdict.PARK, f"service at max running jobs ({self.max_running_jobs})"
+        )
+
+    def may_promote(
+        self, tenant: str, *, running_jobs: int, tenant_running: int
+    ) -> bool:
+        """Whether a parked job of ``tenant`` could start right now."""
+        quota = self.quota(tenant)
+        return (
+            running_jobs < self.max_running_jobs
+            and tenant_running < quota.max_running_jobs
+        )

@@ -1,0 +1,406 @@
+"""The multi-tenant control plane: many jobs over one worker pool.
+
+``ControlPlaneService`` is a pure state machine, like the scheduler it
+multiplexes: the clock is injected and every decision is deterministic
+given the call sequence, so the simulated driver can replay a load of
+hundreds of tenants to byte-identical per-job digests, while the
+asyncio driver runs the same logic on the real clock.
+
+Division of labour per submission:
+
+- :class:`~repro.service.admission.AdmissionController` decides
+  admit/park/reject against pool and tenant quotas;
+- each admitted job gets its own
+  :class:`~repro.core.scheduler.MasterScheduler` (pull discipline),
+  its own :class:`~repro.core.fault.FaultTracker`, and a
+  ``job.<id>.``-prefixed metrics view — per-job signals without any
+  cross-job gauge collisions;
+- :class:`~repro.service.fairshare.FairShareScheduler` picks which
+  job's queue the next free worker serves;
+- :class:`~repro.service.pool.WorkerPool` tracks leases, so a worker
+  crash touches exactly the owning job's tasks and nothing else.
+
+Drivers call :meth:`lease` / :meth:`complete` / :meth:`worker_crashed`;
+tenants (via HTTP or directly) call :meth:`submit` / :meth:`status` /
+:meth:`cancel` / :meth:`list_jobs`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional, Sequence
+
+from repro.core.fault import FaultTracker, RetryPolicy
+from repro.core.scheduler import MasterScheduler
+from repro.core.strategies import StrategyKind, strategy_for
+from repro.service.admission import AdmissionController, Decision, TenantQuota, Verdict
+from repro.service.fairshare import FairShareScheduler
+from repro.service.jobs import Job, JobSpec, JobState, outcome_digest
+from repro.service.pool import Lease, WorkerPool
+from repro.telemetry.metrics import MetricsRegistry, NULL_METRICS
+
+
+class _TenantState:
+    """Live per-tenant accounting the quotas are enforced against."""
+
+    __slots__ = ("inflight_tasks", "inflight_bytes", "running_jobs", "parked_jobs")
+
+    def __init__(self) -> None:
+        self.inflight_tasks = 0
+        self.inflight_bytes = 0.0
+        self.running_jobs = 0
+        self.parked_jobs = 0
+
+
+class ControlPlaneService:
+    """Admission + fair-share + quotas over a shared worker pool."""
+
+    def __init__(
+        self,
+        worker_ids: Sequence[str],
+        *,
+        clock: Callable[[], float],
+        metrics: MetricsRegistry | None = None,
+        weights: dict[str, float] | None = None,
+        quotas: dict[str, TenantQuota] | None = None,
+        default_quota: TenantQuota | None = None,
+        max_running_jobs: int = 16,
+        max_parked_jobs: int = 64,
+        retry_policy: RetryPolicy | None = None,
+        isolate_after: int = 2,
+    ) -> None:
+        self._clock = clock
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.pool = WorkerPool(list(worker_ids), metrics=self.metrics)
+        self.fair = FairShareScheduler(weights, metrics=self.metrics)
+        self.admission = AdmissionController(
+            max_running_jobs=max_running_jobs,
+            max_parked_jobs=max_parked_jobs,
+            default_quota=default_quota,
+            quotas=quotas,
+            metrics=self.metrics,
+        )
+        self.retry_policy = retry_policy or RetryPolicy.resilient()
+        self.isolate_after = isolate_after
+        self._jobs: dict[str, Job] = {}
+        self._parked: deque[str] = deque()
+        self._tenants: dict[str, _TenantState] = {}
+        self._next_id = 1
+        self._running = 0
+        self._m_submitted = self.metrics.counter("service.jobs.submitted")
+        self._m_completed = self.metrics.counter("service.jobs.completed")
+        self._m_cancelled = self.metrics.counter("service.jobs.cancelled")
+        self._m_leases = self.metrics.counter("service.leases.granted")
+        self._m_stale = self.metrics.counter("service.leases.stale_reports")
+        self._g_running = self.metrics.gauge("service.jobs.running")
+        self._g_parked = self.metrics.gauge("service.jobs.parked")
+
+    # -- tenant bookkeeping --------------------------------------------------
+    def _tenant(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = self._tenants[tenant] = _TenantState()
+        return state
+
+    def _refresh_job_gauges(self) -> None:
+        self._g_running.set(self._running)
+        self._g_parked.set(len(self._parked))
+
+    # -- submission ----------------------------------------------------------
+    def submit(self, spec: JobSpec) -> dict[str, Any]:
+        """Admit, park, or reject a submission.
+
+        Returns a JSON-safe ticket: ``{"job_id", "verdict", "reason"}``
+        with ``job_id`` ``None`` on rejection.
+        """
+        self._m_submitted.inc()
+        tenant = self._tenant(spec.tenant)
+        decision: Decision = self.admission.decide(
+            spec,
+            running_jobs=self._running,
+            parked_jobs=len(self._parked),
+            tenant_running=tenant.running_jobs,
+            tenant_parked=tenant.parked_jobs,
+        )
+        if decision.verdict is Verdict.REJECT:
+            return {
+                "job_id": None,
+                "verdict": decision.verdict.value,
+                "reason": decision.reason,
+            }
+        job_id = str(self._next_id)
+        self._next_id += 1
+        view = self.metrics.view(f"job.{job_id}.")
+        scheduler = MasterScheduler(
+            spec.groups,
+            strategy_for(StrategyKind.REAL_TIME),
+            retry_policy=self.retry_policy,
+            fault_tracker=FaultTracker(isolate_after=self.isolate_after),
+            metrics=view,
+            clock=self._clock,
+        )
+        scheduler.partition_among([])  # pull: marks everything ready
+        now = self._clock()
+        job = Job(
+            id=job_id,
+            spec=spec,
+            scheduler=scheduler,
+            state=JobState.PARKED,
+            submitted_at=now,
+        )
+        self._jobs[job_id] = job
+        if decision.verdict is Verdict.ADMIT:
+            self._start(job)
+        else:
+            tenant.parked_jobs += 1
+            self._parked.append(job_id)
+        self._refresh_job_gauges()
+        return {
+            "job_id": job_id,
+            "verdict": decision.verdict.value,
+            "reason": decision.reason,
+        }
+
+    def _start(self, job: Job) -> None:
+        job.state = JobState.RUNNING
+        job.started_at = self._clock()
+        self._tenant(job.tenant).running_jobs += 1
+        self._running += 1
+        if job.scheduler.done:
+            # Empty workload: trivially complete, never holds a worker.
+            self._finish(job)
+
+    def _finish(self, job: Job) -> None:
+        job.state = JobState.DONE
+        job.finished_at = self._clock()
+        self._tenant(job.tenant).running_jobs -= 1
+        self._running -= 1
+        self._m_completed.inc()
+        self._promote_parked()
+        self._refresh_job_gauges()
+
+    def _promote_parked(self) -> None:
+        """Start parked jobs that now fit, oldest first.
+
+        A tenant at its own quota is skipped rather than blocking the
+        head of the line; the scan repeats until a full pass promotes
+        nothing, so one freed slot can start several small tenants.
+        """
+        while True:
+            promoted = False
+            for job_id in list(self._parked):
+                job = self._jobs[job_id]
+                tenant = self._tenant(job.tenant)
+                if self.admission.may_promote(
+                    job.tenant,
+                    running_jobs=self._running,
+                    tenant_running=tenant.running_jobs,
+                ):
+                    self._parked.remove(job_id)
+                    tenant.parked_jobs -= 1
+                    self._start(job)
+                    promoted = True
+                    break
+            if not promoted:
+                return
+
+    # -- introspection -------------------------------------------------------
+    def status(self, job_id: str) -> Optional[dict[str, Any]]:
+        job = self._jobs.get(job_id)
+        if job is None:
+            return None
+        status = job.status()
+        status["fair_share_usage"] = self.fair.usage(job.tenant)
+        if job.state in (JobState.DONE, JobState.CANCELLED):
+            status["digest"] = outcome_digest(job)
+        return status
+
+    def list_jobs(self) -> list[dict[str, Any]]:
+        return [
+            {
+                "job_id": job.id,
+                "tenant": job.tenant,
+                "name": job.spec.name,
+                "state": job.state.value,
+            }
+            for job in self._jobs.values()
+        ]
+
+    def job(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    @property
+    def idle(self) -> bool:
+        """No runnable work and no outstanding leases."""
+        if any(job.leases for job in self._jobs.values()):
+            return False
+        return not any(
+            job.state is JobState.RUNNING and job.scheduler.has_queued_work
+            for job in self._jobs.values()
+        )
+
+    # -- cancellation --------------------------------------------------------
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job; True if it was still active.
+
+        Pending tasks are abandoned immediately.  Leases already out
+        with workers drain normally — their reports are discarded, but
+        the worker-seconds are still charged to the tenant (the
+        capacity was consumed either way).
+        """
+        job = self._jobs.get(job_id)
+        if job is None or not job.active:
+            return False
+        was_parked = job.state is JobState.PARKED
+        job.scheduler.abandon_outstanding("cancelled by tenant")
+        job.state = JobState.CANCELLED
+        job.finished_at = self._clock()
+        tenant = self._tenant(job.tenant)
+        if was_parked:
+            self._parked.remove(job_id)
+            tenant.parked_jobs -= 1
+        else:
+            tenant.running_jobs -= 1
+            self._running -= 1
+        self._m_cancelled.inc()
+        self._promote_parked()
+        self._refresh_job_gauges()
+        return True
+
+    # -- the lease cycle -----------------------------------------------------
+    def _candidates(self) -> list[tuple[str, str]]:
+        """Jobs a worker could serve right now: running, work queued,
+        tenant within task-count and byte quotas."""
+        out: list[tuple[str, str]] = []
+        for job in self._jobs.values():
+            if job.state is not JobState.RUNNING:
+                continue
+            head = job.scheduler.peek_pending()
+            if head is None:
+                continue
+            tenant = self._tenant(job.tenant)
+            quota = self.admission.quota(job.tenant)
+            if tenant.inflight_tasks >= quota.max_concurrent_tasks:
+                continue
+            if tenant.inflight_bytes + head.total_size > quota.max_inflight_bytes:
+                continue
+            out.append((job.tenant, job.id))
+        return out
+
+    def lease(self, worker_id: str) -> Optional[Lease]:
+        """Lease one task of the fair-share winner to a free worker.
+
+        ``None`` when nothing is runnable (every queue empty or every
+        tenant quota-bound).
+        """
+        candidates = [
+            (tenant, job_id)
+            for tenant, job_id in self._candidates()
+            # A worker error-isolated by one job is only dead *to that
+            # job*; it must stay leasable to every other tenant.
+            if not self._jobs[job_id].scheduler.faults.is_isolated(worker_id)
+        ]
+        picked = self.fair.pick(candidates)
+        if picked is None:
+            return None
+        _tenant_name, job_id = picked
+        job = self._jobs[job_id]
+        if worker_id not in job.workers_seen:
+            job.scheduler.register_worker(worker_id)
+            job.workers_seen.add(worker_id)
+        assignment = job.scheduler.next_for(worker_id)
+        if assignment is None:
+            return None
+        lease = Lease(
+            worker_id=worker_id,
+            job_id=job_id,
+            tenant=job.tenant,
+            task_id=assignment.task_id,
+            attempt=assignment.attempt,
+            group=assignment.group,
+            leased_at=self._clock(),
+        )
+        self.pool.acquire(lease)
+        job.leases[(worker_id, lease.task_id)] = lease
+        tenant = self._tenant(job.tenant)
+        tenant.inflight_tasks += 1
+        tenant.inflight_bytes += lease.size
+        self._m_leases.inc()
+        return lease
+
+    def lease_free_workers(self) -> list[Lease]:
+        """One assignment pass: lease every free worker that can serve
+        something, in sorted worker order (deterministic)."""
+        leases = []
+        for worker_id in self.pool.free_workers():
+            lease = self.lease(worker_id)
+            if lease is not None:
+                leases.append(lease)
+        return leases
+
+    def _release(self, lease: Lease, *, charge: bool) -> None:
+        tenant = self._tenant(lease.tenant)
+        tenant.inflight_tasks -= 1
+        tenant.inflight_bytes -= lease.size
+        if charge:
+            self.fair.charge(lease.tenant, self._clock() - lease.leased_at)
+
+    def complete(self, lease: Lease, *, ok: bool = True, error: str = "") -> bool:
+        """A worker finished its leased task.
+
+        Returns False (and counts a stale report) when the lease is no
+        longer live — the worker was declared crashed first, the usual
+        race in any distributed plane.  Cancelled jobs' leases release
+        the worker and charge usage but never touch the scheduler: its
+        accounting was already closed by :meth:`cancel`.
+        """
+        job = self._jobs[lease.job_id]
+        if job.leases.get((lease.worker_id, lease.task_id)) is not lease:
+            self._m_stale.inc()
+            return False
+        del job.leases[(lease.worker_id, lease.task_id)]
+        self.pool.release(lease.worker_id)
+        self._release(lease, charge=True)
+        if job.state is JobState.RUNNING:
+            if ok:
+                job.scheduler.report_success(lease.worker_id, lease.task_id)
+                job.completions.append(
+                    [lease.task_id, lease.worker_id, lease.attempt, self._clock()]
+                )
+            else:
+                job.scheduler.report_error(lease.worker_id, lease.task_id, error)
+            if job.scheduler.done and not job.leases:
+                self._finish(job)
+        return True
+
+    def worker_crashed(self, worker_id: str) -> dict[str, Any]:
+        """A worker died.  Requeues its leased tasks into the owning
+        jobs only, records the loss in every job that knew the worker
+        (their fault trackers must reflect reality), and returns the
+        replacement worker id minted by the shared rejoin policy.
+        """
+        lease, replacement = self.pool.crash(worker_id)
+        requeued: list[int] = []
+        if lease is not None:
+            job = self._jobs[lease.job_id]
+            del job.leases[(worker_id, lease.task_id)]
+            # The tenant consumed the capacity until the crash.
+            self._release(lease, charge=True)
+        for job in self._jobs.values():
+            if worker_id not in job.workers_seen:
+                continue
+            for assignment in job.scheduler.worker_lost(worker_id, "worker crashed"):
+                requeued.append(assignment.task_id)
+            if (
+                job.state is JobState.RUNNING
+                and job.scheduler.done
+                and not job.leases
+            ):
+                # Retries exhausted by the loss: the job just resolved.
+                self._finish(job)
+        return {
+            "worker_id": worker_id,
+            "replacement": replacement,
+            "owning_job": lease.job_id if lease is not None else None,
+            "requeued_tasks": requeued,
+        }

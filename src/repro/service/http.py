@@ -1,0 +1,158 @@
+"""Async HTTP/JSON front end for the control-plane service.
+
+Stdlib-only (``asyncio`` streams + hand-rolled HTTP/1.1 framing — no
+new dependencies), exposing the tenant workflow:
+
+- ``POST /jobs``              submit ``{"tenant", "name", "tasks": [...]}``
+- ``GET  /jobs``              list every job
+- ``GET  /jobs/<id>``         one job's status (live metrics included)
+- ``POST /jobs/<id>/cancel``  cancel a running or parked job
+
+Responses are always JSON.  Submission maps the admission verdict onto
+status codes: 202 for admit/park (the ticket says which), 429 for
+reject — the back-off signal load shedding wants tenants to see.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Optional
+
+from repro.service.aio import AsyncServiceRuntime
+from repro.service.jobs import JobSpec
+
+_MAX_BODY = 4 * 1024 * 1024
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+}
+
+
+def spec_from_json(body: dict[str, Any]) -> JobSpec:
+    """Build a :class:`JobSpec` from the submit payload.
+
+    ``tasks`` is a list of byte sizes, or of ``{"size": n}`` objects —
+    one task group per entry.
+    """
+    tenant = body.get("tenant")
+    name = body.get("name")
+    tasks = body.get("tasks")
+    if not isinstance(tenant, str) or not tenant:
+        raise ValueError("'tenant' must be a non-empty string")
+    if not isinstance(name, str) or not name:
+        raise ValueError("'name' must be a non-empty string")
+    if not isinstance(tasks, list) or not tasks:
+        raise ValueError("'tasks' must be a non-empty list")
+    sizes: list[float] = []
+    for i, task in enumerate(tasks):
+        if isinstance(task, (int, float)) and task >= 0:
+            sizes.append(float(task))
+        elif isinstance(task, dict) and isinstance(task.get("size"), (int, float)):
+            sizes.append(float(task["size"]))
+        else:
+            raise ValueError(f"task {i} must be a size or {{'size': n}}")
+    kind = body.get("kind", "compute")
+    if kind not in ("compute", "transfer"):
+        raise ValueError("'kind' must be 'compute' or 'transfer'")
+    cost = body.get("cost", 1.0)
+    if not isinstance(cost, (int, float)) or cost <= 0:
+        raise ValueError("'cost' must be a positive number")
+    return JobSpec.from_sizes(tenant, name, sizes, kind=kind, cost=float(cost))
+
+
+class ServiceHttpServer:
+    """Minimal HTTP/1.1 server over an :class:`AsyncServiceRuntime`."""
+
+    def __init__(self, runtime: AsyncServiceRuntime) -> None:
+        self.runtime = runtime
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.port: Optional[int] = None
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        self._server = await asyncio.start_server(self._handle, host, port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            status, payload = await self._serve_one(reader)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            writer.close()
+            return
+        body = json.dumps(payload).encode()
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode() + body)
+        await writer.drain()
+        writer.close()
+
+    async def _serve_one(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[int, dict[str, Any]]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        parts = request_line.split(" ")
+        if len(parts) != 3:
+            return 400, {"error": "malformed request line"}
+        method, path, _version = parts
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            key, _, value = line.partition(":")
+            if key.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, {"error": "bad content-length"}
+        if content_length > _MAX_BODY:
+            return 413, {"error": "body too large"}
+        raw = await reader.readexactly(content_length) if content_length else b""
+        return self._route(method, path, raw)
+
+    def _route(
+        self, method: str, path: str, raw: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        if path == "/jobs" and method == "POST":
+            try:
+                body = json.loads(raw or b"{}")
+                spec = spec_from_json(body)
+            except (ValueError, TypeError) as exc:
+                return 400, {"error": str(exc)}
+            ticket = self.runtime.submit(spec)
+            return (429 if ticket["verdict"] == "reject" else 202), ticket
+        if path == "/jobs" and method == "GET":
+            return 200, {"jobs": self.runtime.list_jobs()}
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/") :]
+            if rest.endswith("/cancel") and method == "POST":
+                job_id = rest[: -len("/cancel")]
+                if self.runtime.status(job_id) is None:
+                    return 404, {"error": f"no such job {job_id!r}"}
+                return 200, {
+                    "job_id": job_id,
+                    "cancelled": self.runtime.cancel(job_id),
+                }
+            if method == "GET":
+                status = self.runtime.status(rest)
+                if status is None:
+                    return 404, {"error": f"no such job {rest!r}"}
+                return 200, status
+        return 405, {"error": f"unsupported {method} {path}"}

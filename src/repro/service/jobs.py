@@ -1,0 +1,134 @@
+"""Job records for the multi-tenant control plane.
+
+A *job* is one data-parallel run — the unit the single-run engines call
+"the run" — demoted to a handle the service can hold many of: its own
+:class:`~repro.core.scheduler.MasterScheduler` (pull discipline), its
+own :class:`~repro.core.fault.FaultTracker`, and a prefixed metrics
+view (``job.<id>.queue.depth`` …) over the service registry, so two
+jobs' gauges can never collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+from repro.core.scheduler import MasterScheduler
+from repro.data.files import DataFile
+from repro.data.partition import TaskGroup
+
+
+class JobState(str, Enum):
+    """Lifecycle of an admitted job (rejected submissions are never
+    stored, so there is no REJECTED state)."""
+
+    #: Admitted but waiting for capacity; holds no workers.
+    PARKED = "parked"
+    #: Eligible for fair-share leasing.
+    RUNNING = "running"
+    #: Every task resolved (completed, failed, or lost).
+    DONE = "done"
+    #: Cancelled by the tenant; outstanding leases drain without effect.
+    CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What a tenant submits.
+
+    ``kind`` and ``cost`` are advisory: the service core treats them as
+    opaque, but drivers use them to model contention (a transfer-heavy
+    job's task time scales with bytes; a compute-heavy one's does not).
+    """
+
+    tenant: str
+    name: str
+    groups: tuple[TaskGroup, ...]
+    kind: str = "compute"
+    cost: float = 1.0
+
+    @staticmethod
+    def from_sizes(
+        tenant: str,
+        name: str,
+        sizes: "list[float] | tuple[float, ...]",
+        *,
+        kind: str = "compute",
+        cost: float = 1.0,
+    ) -> "JobSpec":
+        """Build a spec from per-task byte sizes (one file per task)."""
+        groups = tuple(
+            TaskGroup(
+                index=i,
+                files=(DataFile(name=f"{name}.{i}", size=int(size)),),
+            )
+            for i, size in enumerate(sizes)
+        )
+        return JobSpec(tenant=tenant, name=name, groups=groups, kind=kind, cost=cost)
+
+
+@dataclass
+class Job:
+    """One admitted job's live state inside the service."""
+
+    id: str
+    spec: JobSpec
+    scheduler: MasterScheduler
+    state: JobState
+    submitted_at: float
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Workers this job's scheduler knows (registered on first lease).
+    workers_seen: set = field(default_factory=set)
+    #: Outstanding leases keyed ``(worker_id, task_id)``.
+    leases: dict = field(default_factory=dict)
+    #: ``(task_id, worker_id, attempt, finished_at)`` per completion,
+    #: in completion order — the job's reproducibility witness.
+    completions: list = field(default_factory=list)
+
+    @property
+    def tenant(self) -> str:
+        return self.spec.tenant
+
+    @property
+    def active(self) -> bool:
+        return self.state in (JobState.PARKED, JobState.RUNNING)
+
+    def status(self) -> dict[str, Any]:
+        """Plain-dict view for the status endpoint (JSON-safe)."""
+        return {
+            "job_id": self.id,
+            "tenant": self.tenant,
+            "name": self.spec.name,
+            "kind": self.spec.kind,
+            "state": self.state.value,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "summary": self.scheduler.summary(),
+            "leases": len(self.leases),
+        }
+
+
+def outcome_digest(job: Job) -> str:
+    """A byte-stable fingerprint of everything that happened to a job.
+
+    Same seed → same digest is the service's determinism contract: the
+    digest covers the per-task placement and timing, not just the
+    counts, so any divergence in scheduling order is caught.
+    """
+    payload = {
+        "job": job.id,
+        "tenant": job.tenant,
+        "name": job.spec.name,
+        "state": job.state.value,
+        "summary": job.scheduler.summary(),
+        "started": job.started_at,
+        "finished": job.finished_at,
+        "completions": job.completions,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()

@@ -1,0 +1,232 @@
+"""Deterministic service-mode harness on the simulated plane.
+
+Drives a :class:`~repro.service.core.ControlPlaneService` with a
+discrete-event loop on virtual time: hundreds of synthetic tenants
+submit jobs, free workers are leased through fair-share, completions
+and scripted worker crashes fire as events.  Everything is derived
+from one root seed (:mod:`repro.util.seeding` streams — no global
+RNG, no wall clock), so the same seed replays to byte-identical
+per-job outcome digests — the service's CI acceptance contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.service.admission import TenantQuota
+from repro.service.core import ControlPlaneService
+from repro.service.jobs import JobSpec, outcome_digest
+from repro.service.pool import Lease
+from repro.telemetry.metrics import MetricsRegistry
+from repro.util.seeding import make_rng
+
+
+def synthetic_tenants(
+    count: int,
+    *,
+    seed: int,
+    tasks_per_job: tuple[int, int] = (2, 4),
+    task_bytes: tuple[int, int] = (64 * 1024, 1024 * 1024),
+) -> list[JobSpec]:
+    """One job per synthetic tenant, alternating compute- and
+    transfer-heavy profiles, sizes drawn from seeded streams."""
+    specs: list[JobSpec] = []
+    for i in range(count):
+        rng = make_rng(seed, "service.tenant", i)
+        n_tasks = int(rng.integers(tasks_per_job[0], tasks_per_job[1] + 1))
+        sizes = [
+            int(rng.integers(task_bytes[0], task_bytes[1] + 1))
+            for _ in range(n_tasks)
+        ]
+        kind = "compute" if i % 2 == 0 else "transfer"
+        cost = float(0.5 + rng.random())
+        specs.append(
+            JobSpec.from_sizes(
+                f"tenant-{i:03d}", f"load-{i:03d}", sizes, kind=kind, cost=cost
+            )
+        )
+    return specs
+
+
+def task_duration(lease: Lease, spec: JobSpec, *, seed: int) -> float:
+    """Virtual seconds one leased task takes.
+
+    Compute-heavy tasks cost ``spec.cost`` regardless of input size;
+    transfer-heavy tasks scale with bytes (1 MiB ≈ ``spec.cost``
+    seconds).  A ±20% jitter stream keyed by (job, task, attempt)
+    keeps durations varied but exactly reproducible.
+    """
+    rng = make_rng(
+        seed, "service.duration", lease.job_id, lease.task_id, lease.attempt
+    )
+    if spec.kind == "transfer":
+        base = spec.cost * (lease.size / (1024.0 * 1024.0))
+    else:
+        base = spec.cost
+    return max(1e-6, base * (0.8 + 0.4 * float(rng.random())))
+
+
+@dataclass
+class ServiceLoadResult:
+    """What one simulated service run produced."""
+
+    tickets: list[dict[str, Any]]
+    admitted: int
+    parked: int
+    rejected: int
+    makespan: float
+    #: job_id → {tenant, state, summary, makespan, digest}
+    per_job: dict[str, dict[str, Any]]
+    #: sha256 over every per-job digest — the one-line reproducibility
+    #: witness for the whole load.
+    digest: str = ""
+    crash_reports: list[dict[str, Any]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        canonical = json.dumps(
+            {job_id: info["digest"] for job_id, info in self.per_job.items()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        self.digest = hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ServiceSimulation:
+    """Discrete-event driver: submit events, completions, crashes.
+
+    ``crash_script`` is a sequence of ``(virtual_time, worker_id)``
+    pairs; each kills that worker at that instant — its leases requeue
+    into their owning jobs and a minted replacement joins the pool.
+    """
+
+    _SUBMIT, _CRASH, _COMPLETE = 0, 1, 2
+
+    def __init__(
+        self,
+        specs: Sequence[JobSpec],
+        *,
+        num_workers: int = 8,
+        seed: int = 0,
+        arrival_spacing: float = 0.0,
+        crash_script: Sequence[tuple[float, str]] = (),
+        weights: dict[str, float] | None = None,
+        quotas: dict[str, TenantQuota] | None = None,
+        default_quota: TenantQuota | None = None,
+        max_running_jobs: int = 16,
+        max_parked_jobs: int = 10_000,
+        metrics: MetricsRegistry | None = None,
+        fail_tasks: frozenset[tuple[str, int]] = frozenset(),
+        trace_usage: bool = False,
+    ) -> None:
+        self._specs = list(specs)
+        self._seed = seed
+        self._now = 0.0
+        self._seq = 0
+        self._events: list[tuple[float, int, int, Any]] = []
+        self.service = ControlPlaneService(
+            [f"sim:{i:03d}" for i in range(num_workers)],
+            clock=lambda: self._now,
+            metrics=metrics,
+            weights=weights,
+            quotas=quotas,
+            default_quota=default_quota,
+            max_running_jobs=max_running_jobs,
+            max_parked_jobs=max_parked_jobs,
+        )
+        self._spec_of: dict[str, JobSpec] = {}
+        self._fail_tasks = fail_tasks
+        self._trace_usage = trace_usage
+        #: ``(virtual_time, {tenant: worker_seconds})`` after each
+        #: completion, when ``trace_usage`` — how the fair-share tests
+        #: observe delivered shares *during* contention (the end state
+        #: always equals total demand, which proves nothing).
+        self.usage_trace: list[tuple[float, dict[str, float]]] = []
+        for i, spec in enumerate(self._specs):
+            self._push(i * arrival_spacing, self._SUBMIT, spec)
+        for when, worker_id in crash_script:
+            self._push(when, self._CRASH, worker_id)
+
+    def _push(self, when: float, kind: int, payload: Any) -> None:
+        heapq.heappush(self._events, (when, self._seq, kind, payload))
+        self._seq += 1
+
+    def _assign(self) -> None:
+        for lease in self.service.lease_free_workers():
+            spec = self._spec_of[lease.job_id]
+            duration = task_duration(lease, spec, seed=self._seed)
+            self._push(self._now + duration, self._COMPLETE, lease)
+
+    def run(self) -> ServiceLoadResult:
+        tickets: list[dict[str, Any]] = []
+        crash_reports: list[dict[str, Any]] = []
+        while self._events:
+            when, _seq, kind, payload = heapq.heappop(self._events)
+            self._now = when
+            if kind == self._SUBMIT:
+                ticket = self.service.submit(payload)
+                tickets.append(ticket)
+                if ticket["job_id"] is not None:
+                    self._spec_of[ticket["job_id"]] = payload
+            elif kind == self._CRASH:
+                lease = self.service.pool.lease_of(payload)
+                if lease is not None or payload in self.service.pool.free_workers():
+                    crash_reports.append(self.service.worker_crashed(payload))
+            else:
+                lease = payload
+                ok = (lease.job_id, lease.task_id) not in self._fail_tasks or (
+                    lease.attempt > 1
+                )
+                self.service.complete(
+                    lease, ok=ok, error="" if ok else "injected task failure"
+                )
+                if self._trace_usage:
+                    tenants = sorted({s.tenant for s in self._specs})
+                    self.usage_trace.append(
+                        (
+                            self._now,
+                            {t: self.service.fair.usage(t) for t in tenants},
+                        )
+                    )
+            self._assign()
+        per_job: dict[str, dict[str, Any]] = {}
+        for row in self.service.list_jobs():
+            job = self.service.job(row["job_id"])
+            makespan: Optional[float] = None
+            if job.started_at is not None and job.finished_at is not None:
+                makespan = job.finished_at - job.started_at
+            per_job[job.id] = {
+                "tenant": job.tenant,
+                "state": job.state.value,
+                "summary": job.scheduler.summary(),
+                "makespan": makespan,
+                "digest": outcome_digest(job),
+            }
+        return ServiceLoadResult(
+            tickets=tickets,
+            admitted=sum(1 for t in tickets if t["verdict"] == "admit"),
+            parked=sum(1 for t in tickets if t["verdict"] == "park"),
+            rejected=sum(1 for t in tickets if t["verdict"] == "reject"),
+            makespan=self._now,
+            per_job=per_job,
+            crash_reports=crash_reports,
+        )
+
+
+def run_service_load(
+    num_tenants: int = 120,
+    *,
+    seed: int = 0,
+    num_workers: int = 12,
+    **kwargs: Any,
+) -> ServiceLoadResult:
+    """The acceptance experiment: ``num_tenants`` synthetic tenants
+    through one service on the simulated plane."""
+    specs = synthetic_tenants(num_tenants, seed=seed)
+    sim = ServiceSimulation(
+        specs, num_workers=num_workers, seed=seed, **kwargs
+    )
+    return sim.run()

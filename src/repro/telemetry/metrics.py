@@ -233,6 +233,78 @@ class MetricsRegistry:
             },
         }
 
+    def view(self, prefix: str) -> "MetricsRegistry":
+        """A namespaced view over this registry.
+
+        Every instrument the view creates lands in *this* registry under
+        ``prefix + name`` — one flat export with sorted keys — while the
+        view itself reads and resolves names with the prefix stripped.
+        The multi-tenant service gives each job ``view(f"job.{id}.")``
+        so shared components (scheduler gauges, fault counters) keep
+        their single-run instrument names but never collide across
+        concurrent jobs.
+        """
+        return PrefixedMetricsRegistry(self, prefix)
+
+
+class PrefixedMetricsRegistry(MetricsRegistry):
+    """A registry view that prefixes every instrument name.
+
+    Storage lives in the parent (views are cheap and never own state);
+    nesting composes: ``reg.view("job.7.").view("stage.")`` writes
+    ``job.7.stage.<name>``.
+    """
+
+    def __init__(self, parent: MetricsRegistry, prefix: str) -> None:
+        self._parent = parent
+        self._prefix = prefix
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._parent.counter(self._prefix + name, **labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._parent.gauge(self._prefix + name, **labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] | None = None,
+        **labels: Any,
+    ) -> Histogram:
+        return self._parent.histogram(self._prefix + name, buckets, **labels)
+
+    def resolve_signal(self, signal: str) -> float | None:
+        return self._parent.resolve_signal(self._prefix + signal)
+
+    def __len__(self) -> int:
+        counted = 0
+        for group in ("_counters", "_gauges", "_histograms"):
+            counted += sum(
+                1
+                for key in getattr(self._parent, group)
+                if key.startswith(self._prefix)
+            )
+        return counted
+
+    def snapshot(self) -> dict[str, Any]:
+        """The parent's snapshot restricted to this namespace, with the
+        prefix stripped — a job's status block reads ``queue.depth``,
+        not ``job.42.queue.depth``."""
+        full = self._parent.snapshot()
+        n = len(self._prefix)
+        return {
+            group: {
+                key[n:]: value
+                for key, value in full[group].items()
+                if key.startswith(self._prefix)
+            }
+            for group in ("counters", "gauges", "histograms")
+        }
+
 
 class _NullInstrument:
     """Shared no-op counter/gauge/histogram for disabled telemetry."""
@@ -288,6 +360,9 @@ class NullMetricsRegistry(MetricsRegistry):
         **labels: Any,
     ) -> Histogram:
         return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def view(self, prefix: str) -> "MetricsRegistry":
+        return self
 
 
 #: Shared inert registry; never holds state, safe to use as a default.

@@ -38,6 +38,7 @@ import json
 from typing import Any
 
 from repro.errors import ProtocolError
+from repro.telemetry.metrics import MetricsRegistry, NULL_METRICS
 from repro.telemetry.spans import Telemetry
 
 #: Format tag inside every encoded batch; bump on layout changes.
@@ -159,23 +160,57 @@ class ClockAligner:
     Delay is nonnegative, so the minimum over all pairs is the tightest
     upper bound on the worker→master clock offset — the classic NTP-style
     one-way estimator, computed purely from values already on the wire.
+
+    **Degraded edges.** The estimator is only meaningful with at least
+    :data:`MIN_PAIRS` observations (a single pair cannot separate offset
+    from delay) and a nonnegative minimum delta (a negative one means
+    the pair itself is inconsistent — e.g. a worker clock stepped
+    backwards mid-run — so "offset + nonnegative delay" no longer
+    describes it).  Both cases degrade to offset 0.0 — timestamps pass
+    through unshifted rather than shifted by a misleading estimate —
+    and each degraded :meth:`offset` decision increments the
+    ``telemetry.unaligned`` counter so merged traces are auditable.
     """
 
-    def __init__(self) -> None:
+    #: Fewest heartbeat pairs before the min-delay estimate is trusted.
+    MIN_PAIRS = 2
+
+    def __init__(self, metrics: "MetricsRegistry | None" = None) -> None:
         self._best: dict[str, float] = {}
+        self._pairs: dict[str, int] = {}
+        self._m_unaligned = (
+            metrics if metrics is not None else NULL_METRICS
+        ).counter("telemetry.unaligned")
 
     def observe(self, worker_id: str, sent_at: float, recv_at: float) -> None:
         if sent_at < 0:
             return
         delta = recv_at - sent_at
+        self._pairs[worker_id] = self._pairs.get(worker_id, 0) + 1
         best = self._best.get(worker_id)
         if best is None or delta < best:
             self._best[worker_id] = delta
 
     def offset(self, worker_id: str) -> float:
         """Seconds to add to a worker timestamp to place it on the
-        master clock; 0.0 when no pair was ever observed."""
-        return self._best.get(worker_id, 0.0)
+        master clock; 0.0 (counted as ``telemetry.unaligned``) when the
+        estimate is untrustworthy — fewer than :data:`MIN_PAIRS` pairs
+        observed, or a negative minimum delta.  This is the decision
+        point: call it once per worker per merge, as the fold does.
+        """
+        best = self._best.get(worker_id)
+        if (
+            best is None
+            or self._pairs.get(worker_id, 0) < self.MIN_PAIRS
+            or best < 0
+        ):
+            self._m_unaligned.inc()
+            return 0.0
+        return best
+
+    def pairs(self, worker_id: str) -> int:
+        """How many usable heartbeat pairs were observed for a worker."""
+        return self._pairs.get(worker_id, 0)
 
     def known(self) -> dict[str, float]:
         return dict(self._best)
@@ -195,7 +230,7 @@ class TelemetryMerger:
     def __init__(self, telemetry: Telemetry) -> None:
         self._tel = telemetry
         self._batches: dict[str, dict[int, dict[str, Any]]] = {}
-        self.aligner = ClockAligner()
+        self.aligner = ClockAligner(metrics=telemetry.metrics)
         self.batches_received = 0
         self.merge_conflicts = 0
 

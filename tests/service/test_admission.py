@@ -1,0 +1,118 @@
+"""Admission control: admit / park / reject and parked promotion."""
+
+from repro.service.admission import AdmissionController, TenantQuota, Verdict
+from repro.service.core import ControlPlaneService
+from repro.service.jobs import JobSpec, JobState
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def spec(tenant="t", name="j", sizes=(100, 100), **kw):
+    return JobSpec.from_sizes(tenant, name, list(sizes), **kw)
+
+
+class TestController:
+    def test_admits_under_capacity(self):
+        ctl = AdmissionController(max_running_jobs=2)
+        d = ctl.decide(spec(), running_jobs=1, parked_jobs=0, tenant_running=0, tenant_parked=0)
+        assert d.verdict is Verdict.ADMIT
+
+    def test_parks_when_service_saturated(self):
+        ctl = AdmissionController(max_running_jobs=2)
+        d = ctl.decide(spec(), running_jobs=2, parked_jobs=0, tenant_running=0, tenant_parked=0)
+        assert d.verdict is Verdict.PARK
+        assert "max running" in d.reason
+
+    def test_parks_when_tenant_at_job_quota(self):
+        ctl = AdmissionController(
+            max_running_jobs=100, default_quota=TenantQuota(max_running_jobs=1)
+        )
+        d = ctl.decide(spec(), running_jobs=3, parked_jobs=0, tenant_running=1, tenant_parked=0)
+        assert d.verdict is Verdict.PARK
+        assert "tenant" in d.reason
+
+    def test_rejects_when_backlog_full(self):
+        ctl = AdmissionController(max_running_jobs=1, max_parked_jobs=2)
+        d = ctl.decide(spec(), running_jobs=1, parked_jobs=2, tenant_running=0, tenant_parked=0)
+        assert d.verdict is Verdict.REJECT
+
+    def test_rejects_when_tenant_backlog_full(self):
+        ctl = AdmissionController(
+            max_running_jobs=1,
+            max_parked_jobs=100,
+            default_quota=TenantQuota(max_parked_jobs=1),
+        )
+        d = ctl.decide(spec(), running_jobs=1, parked_jobs=3, tenant_running=1, tenant_parked=1)
+        assert d.verdict is Verdict.REJECT
+
+    def test_rejects_task_that_can_never_fit_byte_quota(self):
+        ctl = AdmissionController(
+            default_quota=TenantQuota(max_inflight_bytes=50)
+        )
+        d = ctl.decide(
+            spec(sizes=(10, 100)), running_jobs=0, parked_jobs=0,
+            tenant_running=0, tenant_parked=0,
+        )
+        assert d.verdict is Verdict.REJECT
+        assert "byte quota" in d.reason
+
+    def test_verdict_counters(self):
+        metrics = MetricsRegistry()
+        ctl = AdmissionController(max_running_jobs=1, max_parked_jobs=1, metrics=metrics)
+        ctl.decide(spec(), running_jobs=0, parked_jobs=0, tenant_running=0, tenant_parked=0)
+        ctl.decide(spec(), running_jobs=1, parked_jobs=0, tenant_running=1, tenant_parked=0)
+        ctl.decide(spec(), running_jobs=1, parked_jobs=1, tenant_running=1, tenant_parked=1)
+        assert metrics.counter("service.admission.admitted").value == 1
+        assert metrics.counter("service.admission.parked").value == 1
+        assert metrics.counter("service.admission.rejected").value == 1
+
+
+class TestServiceAdmissionFlow:
+    def make_service(self, **kw):
+        clock = {"now": 0.0}
+        svc = ControlPlaneService(
+            ["w:0", "w:1"], clock=lambda: clock["now"], **kw
+        )
+        return svc, clock
+
+    def test_parked_job_promotes_when_capacity_frees(self):
+        svc, _clock = self.make_service(max_running_jobs=1)
+        first = svc.submit(spec(name="first"))
+        second = svc.submit(spec(name="second"))
+        assert first["verdict"] == "admit"
+        assert second["verdict"] == "park"
+        assert svc.job(second["job_id"]).state is JobState.PARKED
+        # Drain the first job; its completion must promote the second.
+        while True:
+            leases = svc.lease_free_workers()
+            if not leases:
+                break
+            for lease in leases:
+                svc.complete(lease)
+        assert svc.job(first["job_id"]).state is JobState.DONE
+        assert svc.job(second["job_id"]).state is JobState.DONE
+
+    def test_rejected_submission_stores_nothing(self):
+        svc, _clock = self.make_service(max_running_jobs=1, max_parked_jobs=0)
+        svc.submit(spec(name="first"))
+        ticket = svc.submit(spec(name="second"))
+        assert ticket["verdict"] == "reject"
+        assert ticket["job_id"] is None
+        assert len(svc.list_jobs()) == 1
+
+    def test_tenant_quota_does_not_block_other_tenants(self):
+        svc, _clock = self.make_service(
+            max_running_jobs=10,
+            default_quota=TenantQuota(max_running_jobs=1),
+        )
+        a1 = svc.submit(spec(tenant="a", name="a1"))
+        a2 = svc.submit(spec(tenant="a", name="a2"))
+        b1 = svc.submit(spec(tenant="b", name="b1"))
+        assert a1["verdict"] == "admit"
+        assert a2["verdict"] == "park"
+        assert b1["verdict"] == "admit"
+
+    def test_empty_job_completes_immediately(self):
+        svc, _clock = self.make_service()
+        ticket = svc.submit(JobSpec(tenant="t", name="empty", groups=()))
+        assert ticket["verdict"] == "admit"
+        assert svc.job(ticket["job_id"]).state is JobState.DONE

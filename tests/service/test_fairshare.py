@@ -1,0 +1,93 @@
+"""Weighted fair-share: unit picks and delivered-share ratios."""
+
+import pytest
+
+from repro.service.fairshare import FairShareScheduler
+from repro.service.jobs import JobSpec
+from repro.service.sim import ServiceSimulation
+
+
+class TestPick:
+    def test_least_normalized_usage_wins(self):
+        fair = FairShareScheduler({"a": 1.0, "b": 1.0})
+        fair.charge("a", 10.0)
+        assert fair.pick([("a", "1"), ("b", "2")]) == ("b", "2")
+
+    def test_weight_scales_usage(self):
+        fair = FairShareScheduler({"a": 2.0, "b": 1.0})
+        fair.charge("a", 10.0)
+        fair.charge("b", 6.0)
+        # a: 10/2 = 5 < b: 6/1 = 6 — the heavier tenant still wins.
+        assert fair.pick([("a", "1"), ("b", "2")]) == ("a", "1")
+
+    def test_tie_breaks_deterministically(self):
+        fair = FairShareScheduler()
+        assert fair.pick([("b", "2"), ("a", "9"), ("a", "3")]) == ("a", "3")
+
+    def test_empty_candidates(self):
+        assert FairShareScheduler().pick([]) is None
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ValueError):
+            FairShareScheduler({"a": 0.0})
+        with pytest.raises(ValueError):
+            FairShareScheduler().charge("a", -1.0)
+
+
+def contended_usage(sim, result):
+    """Fair-share usage snapshot while every tenant was still
+    backlogged: the trace entry just before the first job finished."""
+    first_finish = min(
+        info["makespan"] for info in result.per_job.values()
+    )
+    snapshot = None
+    for when, usage in sim.usage_trace:
+        if when >= first_finish:
+            break
+        snapshot = usage
+    assert snapshot is not None
+    return snapshot
+
+
+class TestDeliveredShares:
+    """The two-job compute-vs-transfer A/B shape from the issue."""
+
+    def ab_specs(self):
+        # Tenant a: many cheap compute tasks. Tenant b: fewer large
+        # transfer tasks (1 MiB ≈ 1 virtual second each). Both are
+        # backlogged long enough to observe steady-state shares.
+        return [
+            JobSpec.from_sizes("a", "compute", [1024] * 60, kind="compute", cost=1.0),
+            JobSpec.from_sizes(
+                "b", "transfer", [1024 * 1024] * 60, kind="transfer", cost=1.0
+            ),
+        ]
+
+    def run_ab(self, weights):
+        sim = ServiceSimulation(
+            self.ab_specs(),
+            num_workers=4,
+            seed=11,
+            weights=weights,
+            trace_usage=True,
+        )
+        result = sim.run()
+        assert all(info["state"] == "done" for info in result.per_job.values())
+        return contended_usage(sim, result)
+
+    def test_equal_weights_split_worker_seconds_evenly(self):
+        usage = self.run_ab({"a": 1.0, "b": 1.0})
+        ratio = usage["a"] / usage["b"]
+        # Compute tasks are short and transfer tasks long, yet the
+        # delivered worker-seconds converge to the weight ratio.
+        assert 0.7 <= ratio <= 1.4
+
+    def test_weighted_tenant_gets_proportionally_more(self):
+        usage = self.run_ab({"a": 3.0, "b": 1.0})
+        ratio = usage["a"] / usage["b"]
+        assert 2.2 <= ratio <= 3.9
+
+    def test_share_ratio_flips_with_the_weights(self):
+        usage = self.run_ab({"a": 1.0, "b": 3.0})
+        ratio = usage["b"] / usage["a"]
+        assert 1.8 <= ratio <= 3.9

@@ -1,0 +1,167 @@
+"""HTTP/JSON front end: the tenant submit/status/cancel workflow.
+
+No pytest-asyncio in the image — each test drives its own loop with
+``asyncio.run``.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service.aio import AsyncServiceRuntime
+from repro.service.http import ServiceHttpServer, spec_from_json
+
+
+class TestSpecFromJson:
+    def test_accepts_sizes_and_objects(self):
+        spec = spec_from_json(
+            {"tenant": "t", "name": "j", "tasks": [10, {"size": 20}]}
+        )
+        assert spec.tenant == "t"
+        assert [g.total_size for g in spec.groups] == [10, 20]
+
+    def test_rejects_bad_payloads(self):
+        bad = [
+            {},
+            {"tenant": "", "name": "j", "tasks": [1]},
+            {"tenant": "t", "name": "j", "tasks": []},
+            {"tenant": "t", "name": "j", "tasks": ["x"]},
+            {"tenant": "t", "name": "j", "tasks": [1], "kind": "magic"},
+            {"tenant": "t", "name": "j", "tasks": [1], "cost": -1},
+        ]
+        for body in bad:
+            with pytest.raises(ValueError):
+                spec_from_json(body)
+
+
+async def request(port, method, path, body=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = json.dumps(body).encode() if body is not None else b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: localhost\r\nContent-Length: {len(payload)}\r\n\r\n"
+    )
+    writer.write(head.encode() + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    status_line, _, rest = raw.partition(b"\r\n")
+    status = int(status_line.split(b" ")[1])
+    _headers, _, body_bytes = rest.partition(b"\r\n\r\n")
+    return status, json.loads(body_bytes)
+
+
+def serve(scenario, **runtime_kw):
+    """Start a server on an ephemeral port, run the scenario, stop."""
+
+    async def main():
+        runtime = AsyncServiceRuntime(num_workers=2, **runtime_kw)
+        server = ServiceHttpServer(runtime)
+        port = await server.start()
+        try:
+            return await scenario(port, runtime)
+        finally:
+            await server.close()
+            await runtime.drain()
+
+    return asyncio.run(main())
+
+
+class TestEndpoints:
+    def test_submit_status_cancel_list_workflow(self):
+        async def scenario(port, runtime):
+            status, ticket = await request(
+                port, "POST", "/jobs",
+                {"tenant": "acme", "name": "etl", "tasks": [64, 64]},
+            )
+            assert status == 202
+            assert ticket["verdict"] == "admit"
+            job_id = ticket["job_id"]
+
+            status, info = await request(port, "GET", f"/jobs/{job_id}")
+            assert status == 200
+            assert info["tenant"] == "acme"
+            assert info["state"] in ("running", "done")
+
+            status, listing = await request(port, "GET", "/jobs")
+            assert status == 200
+            assert [j["job_id"] for j in listing["jobs"]] == [job_id]
+
+            status, cancelled = await request(
+                port, "POST", f"/jobs/{job_id}/cancel"
+            )
+            assert status == 200
+            await runtime.drain()
+            status, info = await request(port, "GET", f"/jobs/{job_id}")
+            assert info["state"] in ("done", "cancelled")
+
+        serve(scenario)
+
+    def test_validation_and_unknown_job_errors(self):
+        async def scenario(port, _runtime):
+            status, body = await request(
+                port, "POST", "/jobs", {"tenant": "t", "name": "j", "tasks": []}
+            )
+            assert status == 400
+            assert "tasks" in body["error"]
+            status, _body = await request(port, "GET", "/jobs/999")
+            assert status == 404
+            status, _body = await request(port, "POST", "/jobs/999/cancel")
+            assert status == 404
+            status, _body = await request(port, "DELETE", "/jobs")
+            assert status == 405
+
+        serve(scenario)
+
+    def test_reject_maps_to_429(self):
+        async def scenario(port, _runtime):
+            tickets = []
+            for i in range(3):
+                status, ticket = await request(
+                    port, "POST", "/jobs",
+                    {"tenant": "t", "name": f"j{i}", "tasks": [1024] * 4},
+                )
+                tickets.append((status, ticket["verdict"]))
+            assert tickets[0] == (202, "admit")
+            assert tickets[1] == (202, "park")
+            assert tickets[2] == (429, "reject")
+
+        serve(
+            scenario,
+            max_running_jobs=1,
+            max_parked_jobs=1,
+            duration_fn=lambda lease, spec: 0.2,
+        )
+
+    def test_jobs_complete_over_http_runtime(self):
+        async def scenario(port, runtime):
+            _status, ticket = await request(
+                port, "POST", "/jobs",
+                {"tenant": "t", "name": "quick", "tasks": [10, 10, 10]},
+            )
+            await runtime.drain()
+            status, info = await request(port, "GET", f"/jobs/{ticket['job_id']}")
+            assert status == 200
+            assert info["state"] == "done"
+            assert info["summary"]["completed"] == 3
+
+        serve(scenario, duration_fn=lambda lease, spec: 0.001)
+
+
+
+class TestRuntimeFairness:
+    def test_two_tenants_share_the_pool(self):
+        async def scenario(port, runtime):
+            for tenant in ("a", "b"):
+                await request(
+                    port, "POST", "/jobs",
+                    {"tenant": tenant, "name": "load", "tasks": [10] * 6},
+                )
+            await runtime.drain()
+            _status, listing = await request(port, "GET", "/jobs")
+            assert all(j["state"] == "done" for j in listing["jobs"])
+            assert runtime.service.fair.usage("a") > 0
+            assert runtime.service.fair.usage("b") > 0
+
+        serve(scenario, duration_fn=lambda lease, spec: 0.002)

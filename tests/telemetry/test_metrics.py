@@ -118,3 +118,53 @@ class TestNullRegistry:
             "gauges": {},
             "histograms": {},
         }
+
+    def test_view_is_still_null(self):
+        view = NULL_METRICS.view("job.1.")
+        view.counter("x").inc()
+        assert len(NULL_METRICS) == 0
+
+
+class TestPrefixedView:
+    def test_instruments_land_in_parent_under_prefix(self):
+        parent = MetricsRegistry()
+        view = parent.view("job.7.")
+        view.counter("scheduler.assigned").inc(3)
+        view.gauge("queue.depth").set(4)
+        view.histogram("task.latency_seconds").observe(0.5)
+        snap = parent.snapshot()
+        assert snap["counters"] == {"job.7.scheduler.assigned": 3}
+        assert snap["gauges"] == {"job.7.queue.depth": 4}
+        assert list(snap["histograms"]) == ["job.7.task.latency_seconds"]
+
+    def test_same_name_in_two_views_never_collides(self):
+        parent = MetricsRegistry()
+        a = parent.view("job.a.")
+        b = parent.view("job.b.")
+        a.gauge("queue.depth").set(1)
+        b.gauge("queue.depth").set(9)
+        assert parent.gauge("job.a.queue.depth").value == 1
+        assert parent.gauge("job.b.queue.depth").value == 9
+
+    def test_view_resolves_signals_in_its_namespace(self):
+        parent = MetricsRegistry()
+        view = parent.view("job.7.")
+        view.gauge("queue.depth").set(2)
+        assert view.resolve_signal("queue.depth") == 2
+        assert parent.resolve_signal("job.7.queue.depth") == 2
+        assert view.resolve_signal("missing") is None
+
+    def test_view_snapshot_strips_prefix(self):
+        parent = MetricsRegistry()
+        parent.counter("other").inc()
+        view = parent.view("job.7.")
+        view.counter("scheduler.completed").inc(2)
+        snap = view.snapshot()
+        assert snap["counters"] == {"scheduler.completed": 2}
+        assert len(view) == 1
+
+    def test_views_nest(self):
+        parent = MetricsRegistry()
+        inner = parent.view("job.7.").view("stage.")
+        inner.counter("x").inc()
+        assert parent.counter("job.7.stage.x").value == 1

@@ -4,6 +4,7 @@ clock aligner, and merger."""
 import pytest
 
 from repro.errors import ProtocolError
+from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.shipping import (
     BATCH_VERSION,
     ClockAligner,
@@ -120,6 +121,54 @@ class TestClockAligner:
 
     def test_unknown_worker_offset_is_zero(self):
         assert ClockAligner().offset("nope") == 0.0
+
+    def test_single_pair_degrades_to_zero_and_counts(self):
+        """One pair cannot separate offset from delay: degrade, count."""
+        metrics = MetricsRegistry()
+        aligner = ClockAligner(metrics=metrics)
+        aligner.observe("w", 1.0, 11.3)
+        assert aligner.pairs("w") == 1
+        assert aligner.offset("w") == 0.0
+        assert metrics.counter("telemetry.unaligned").value == 1
+
+    def test_zero_pairs_degrades_and_counts(self):
+        metrics = MetricsRegistry()
+        aligner = ClockAligner(metrics=metrics)
+        assert aligner.offset("w") == 0.0
+        assert metrics.counter("telemetry.unaligned").value == 1
+
+    def test_negative_min_delta_degrades_and_counts(self):
+        """A worker clock stepping backwards mid-run produces a negative
+        minimum delta; the estimate is inconsistent, not just skewed."""
+        metrics = MetricsRegistry()
+        aligner = ClockAligner(metrics=metrics)
+        aligner.observe("w", 1.0, 11.0)
+        aligner.observe("w", 20.0, 12.0)  # delta -8: clock stepped back
+        assert aligner.pairs("w") == 2
+        assert aligner.offset("w") == 0.0
+        assert metrics.counter("telemetry.unaligned").value == 1
+
+    def test_two_good_pairs_align(self):
+        metrics = MetricsRegistry()
+        aligner = ClockAligner(metrics=metrics)
+        aligner.observe("w", 1.0, 11.3)
+        aligner.observe("w", 2.0, 12.1)
+        assert aligner.offset("w") == pytest.approx(10.1)
+        assert metrics.counter("telemetry.unaligned").value == 0
+
+    def test_merger_counts_unaligned_in_run_metrics(self):
+        """A fold over a worker with one heartbeat pair must leave the
+        degradation visible in the merged registry."""
+        master = Telemetry(record=True, clock=lambda: 0.0)
+        merger = TelemetryMerger(master)
+        worker = Telemetry(record=True, clock=lambda: 1.0)
+        worker.event("worker.start", 1)
+        shipper = TelemetryShipper(worker)
+        merger.add_batch("w0", shipper.take_batch())
+        merger.observe_clock("w0", 1.0, 51.2)  # only one pair
+        offsets = merger.fold()
+        assert offsets == {"w0": 0.0}
+        assert master.metrics.counter("telemetry.unaligned").value == 1
 
 
 class TestMerger:
