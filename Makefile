@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint audit check accel bench bench-check bench-update bench-macro bench-macro-update schema-check trace-demo chaos chaos-runtime service-check
+.PHONY: test lint audit check accel bench bench-check bench-update bench-macro bench-macro-update schema-check trace-demo chaos chaos-runtime service-check recovery-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -41,12 +41,31 @@ service-check:
 		assert a.digest == b.digest, 'service load not deterministic'; \
 		import sys; sys.stdout.write('service load reproducible: ' + a.digest[:16] + chr(10))"
 
+# Crash-consistency gate: the 120-tenant load with the control plane
+# killed twice mid-run and recovered from its write-ahead journal.
+# Run twice and diffed (the kill-recover path itself must be
+# deterministic), then checked against the uninterrupted same-seed run:
+# per-job task outcomes must be byte-identical — a master crash may
+# reshuffle timing, never results.
+recovery-check:
+	$(PYTHON) -m pytest tests/service/test_journal.py \
+		tests/service/test_recovery.py tests/service/test_kill_master.py -x -q
+	$(PYTHON) -c "from repro.service.sim import run_service_load; \
+		kills = [4.0, 11.0]; \
+		a = run_service_load(120, seed=0, master_kill_script=kills); \
+		b = run_service_load(120, seed=0, master_kill_script=kills); \
+		c = run_service_load(120, seed=0); \
+		assert a.recoveries == 2, 'master kills not exercised'; \
+		assert a.digest == b.digest, 'kill-recover run not deterministic'; \
+		assert a.outcome_digest == c.outcome_digest, 'crash changed job outcomes'; \
+		import sys; sys.stdout.write('kill-recover outcome parity: ' + a.outcome_digest[:16] + chr(10))"
+
 # One command to gate a PR locally: invariants (per-file + whole-
 # program), tests (which include the exporter schema/golden contract),
 # runtime chaos parity, perf regressions, the service control plane,
 # and the 1k macro tier
 # (10k/100k are opt-in: `FRIEDA_MACRO_TIERS=1k,10k make bench-macro`).
-check: lint audit test schema-check chaos-runtime service-check bench-check bench-macro
+check: lint audit test schema-check chaos-runtime service-check recovery-check bench-check bench-macro
 
 # Build the optional C kernel accelerator in place. Soft-fails: without
 # a compiler the pure-Python kernel serves every caller (same

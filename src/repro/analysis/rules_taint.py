@@ -43,6 +43,11 @@ TAINT_ROOT_PACKAGES = (
     "repro.engines.simulated",
     "repro.cloud",
     "repro.service.sim",
+    # The journal replay path: recovery must be a pure function of the
+    # journal bytes, so nothing reachable from the codec may do real
+    # I/O (the file-backed store lives in repro.service.journalfs,
+    # outside this root, and is injected by the drivers).
+    "repro.service.journal",
 )
 
 #: Module roots whose calls count as real I/O wherever they appear.

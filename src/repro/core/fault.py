@@ -130,3 +130,34 @@ class FaultTracker:
     @property
     def total_errors(self) -> int:
         return sum(h.errors for h in self._health.values())
+
+    # -- durability ---------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot (``on_isolate`` is wiring, not state —
+        the owner re-attaches it after :meth:`from_state`)."""
+        return {
+            "isolate_after": self.isolate_after,
+            "health": [
+                {
+                    "worker": h.worker_id,
+                    "errors": h.errors,
+                    "lost": h.lost,
+                    "isolated": h.isolated,
+                    "messages": list(h.error_messages),
+                }
+                for h in self._health.values()
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FaultTracker":
+        tracker = cls(isolate_after=int(state["isolate_after"]))
+        for entry in state["health"]:
+            tracker._health[entry["worker"]] = WorkerHealth(
+                worker_id=entry["worker"],
+                errors=int(entry["errors"]),
+                lost=bool(entry["lost"]),
+                isolated=bool(entry["isolated"]),
+                error_messages=list(entry["messages"]),
+            )
+        return tracker

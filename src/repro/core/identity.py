@@ -59,3 +59,20 @@ class RejoinIdMinter:
         nxt = max(self._generation.get(base, 0), gen) + 1
         self._generation[base] = nxt
         return f"{base}:r{nxt}"
+
+    # -- durability ---------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot of the issued generations.
+
+        The minter's no-id-twice guarantee must survive a control-plane
+        restart: a recovered service that forgot generation counters
+        would re-issue ``:r1`` for a base that already has an ``:r1``
+        registered in some job's scheduler.
+        """
+        return dict(self._generation)
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RejoinIdMinter":
+        minter = cls()
+        minter._generation = {str(k): int(v) for k, v in state.items()}
+        return minter

@@ -75,6 +75,7 @@ class MasterScheduler:
         self._m_errors = metrics.counter("scheduler.task_errors")
         self._m_retried = metrics.counter("scheduler.retried")
         self._m_lost = metrics.counter("scheduler.tasks_lost")
+        self._m_rescinded = metrics.counter("scheduler.rescinded")
         self._m_workers_lost = metrics.counter("scheduler.workers_lost")
         self._m_speculated = metrics.counter("scheduler.speculated")
         self._m_partitions = metrics.counter("scheduler.partition_passes")
@@ -402,6 +403,32 @@ class MasterScheduler:
         self.failed_tasks.append(assignment)
         return False
 
+    def rescind(self, worker_id: str, task_id: int) -> Optional[Assignment]:
+        """Take back an in-flight assignment as if it was never made.
+
+        The master-failover primitive: a recovered control plane fences
+        a stale-epoch report, and the fenced attempt must not count
+        against the task's retry budget — the *master* failed, not the
+        task or the worker.  The attempt counter is rolled back and the
+        group requeued, so the next ``next_for`` re-issues the same
+        attempt number (which keeps seeded per-attempt streams, fault
+        injection included, byte-identical to an uninterrupted run).
+
+        Returns the requeued assignment, or ``None`` when the task
+        already resolved through another path (then only the in-flight
+        entry is dropped).
+        """
+        assignment = self._pop_in_flight(worker_id, task_id)
+        self._assigned_at.pop((worker_id, task_id), None)
+        self._attempts[task_id] -= 1
+        self._m_rescinded.inc()
+        if task_id in self.completed or any(
+            t == task_id for (_w, t) in self._in_flight
+        ):
+            return None  # a speculative copy already carried the task
+        self._requeue(assignment)
+        return assignment
+
     def worker_lost(self, worker_id: str, message: str = "") -> list[Assignment]:
         """A worker's VM/connection died. Returns the assignments requeued.
 
@@ -534,3 +561,99 @@ class MasterScheduler:
             "lost": len(self.lost_tasks),
             "in_flight": len(self._in_flight),
         }
+
+    # -- durability ----------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot of every mutable field.
+
+        Groups are *not* serialized — they are the job's spec, which the
+        owner re-supplies to :meth:`from_state`; assignments round-trip
+        as ``[task, worker, attempt]`` triples and rebind to the same
+        group objects.  Every ordered container keeps its order: the
+        queue decides who runs next, and restoring it shuffled would
+        break the byte-identical-replay contract.
+        """
+        return {
+            "attempts": [[t, n] for t, n in self._attempts.items()],
+            "queue": [g.index for g in self._queue],
+            "chunks": [
+                [w, [g.index for g in chunk]]
+                for w, chunk in self._static_chunks.items()
+            ],
+            "partitioned": self._partitioned,
+            "workers": list(self._workers),
+            "in_flight": [
+                [a.task_id, w, a.attempt] for (w, _t), a in self._in_flight.items()
+            ],
+            "completed": [
+                [a.task_id, a.worker_id, a.attempt] for a in self.completed.values()
+            ],
+            "failed": [
+                [a.task_id, a.worker_id, a.attempt] for a in self.failed_tasks
+            ],
+            "lost": [[a.task_id, a.worker_id, a.attempt] for a in self.lost_tasks],
+            "pending": self._pending,
+            "ready_at": [[t, at] for t, at in self._ready_at.items()],
+            "assigned_at": [
+                [w, t, at] for (w, t), at in self._assigned_at.items()
+            ],
+        }
+
+    @classmethod
+    def from_state(
+        cls,
+        state: dict,
+        groups: Sequence[TaskGroup],
+        strategy: DataManagementStrategy,
+        *,
+        retry_policy: RetryPolicy | None = None,
+        fault_tracker: FaultTracker | None = None,
+        metrics: MetricsRegistry | None = None,
+        clock: Callable[[], float] | None = None,
+    ) -> "MasterScheduler":
+        sched = cls(
+            groups,
+            strategy,
+            retry_policy=retry_policy,
+            fault_tracker=fault_tracker,
+            metrics=metrics,
+            clock=clock,
+        )
+        by_index = {g.index: g for g in sched._groups}
+
+        def assignment(task: int, worker: str, attempt: int) -> Assignment:
+            return Assignment(
+                group=by_index[task], worker_id=worker, attempt=attempt
+            )
+
+        sched._attempts = {int(t): int(n) for t, n in state["attempts"]}
+        sched._queue = deque(by_index[t] for t in state["queue"])
+        sched._static_chunks = {
+            w: deque(by_index[t] for t in ids) for w, ids in state["chunks"]
+        }
+        sched._partitioned = bool(state["partitioned"])
+        sched._workers = list(state["workers"])
+        sched._worker_set = set(sched._workers)
+        sched._in_flight = {
+            (w, int(t)): assignment(int(t), w, int(n))
+            for t, w, n in state["in_flight"]
+        }
+        sched.completed = {
+            int(t): assignment(int(t), w, int(n))
+            for t, w, n in state["completed"]
+        }
+        sched.failed_tasks = [
+            assignment(int(t), w, int(n)) for t, w, n in state["failed"]
+        ]
+        sched.lost_tasks = [
+            assignment(int(t), w, int(n)) for t, w, n in state["lost"]
+        ]
+        sched._pending = int(state["pending"])
+        sched._ready_at = {int(t): float(at) for t, at in state["ready_at"]}
+        sched._assigned_at = {
+            (w, int(t)): float(at) for w, t, at in state["assigned_at"]
+        }
+        sched._g_depth.set(sched._pending)
+        if sched._groups:
+            sched._g_completion.set(len(sched.completed) / len(sched._groups))
+        return sched

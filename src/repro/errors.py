@@ -66,6 +66,17 @@ class ConfigurationError(FriedaError):
     """Raised when a user-facing configuration is inconsistent."""
 
 
+class JournalError(FriedaError):
+    """Raised for control-plane journal misuse or unrecoverable damage.
+
+    Record-level damage (truncated tail, flipped CRC) is *not* an
+    error — recovery stops cleanly at the last valid record.  This is
+    for the cases with no valid prefix to fall back to: a file that was
+    never a journal, an unsupported version, or a replay whose rebuilt
+    state diverges from what the live service recorded.
+    """
+
+
 class TransferError(FriedaError):
     """Raised when a data transfer fails permanently."""
 

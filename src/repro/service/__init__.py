@@ -11,12 +11,27 @@ Import note: :mod:`~repro.service.core`, :mod:`~repro.service.sim`,
 and this package root stay wall-clock free; only the drivers under
 ``aio``/``http`` touch real time, and nothing here imports them —
 that is what keeps the simulated path taint-clean under frieda-audit.
+
+Durability: every state-changing service event appends to a
+write-ahead journal (:mod:`repro.service.journal`, pure codec;
+:mod:`repro.service.journalfs`, the file-backed store), and
+:meth:`ControlPlaneService.recover` rebuilds a killed control plane
+from it — replaying through the live code paths and fencing the dead
+incarnation's leases via the service epoch.
 """
 
 from repro.service.admission import AdmissionController, Decision, TenantQuota, Verdict
-from repro.service.core import ControlPlaneService
+from repro.service.core import ControlPlaneService, RecoveryReport
 from repro.service.fairshare import FairShareScheduler
-from repro.service.jobs import Job, JobSpec, JobState, outcome_digest
+from repro.service.jobs import Job, JobSpec, JobState, outcome_digest, task_outcome_digest
+from repro.service.journal import (
+    JournalDamage,
+    JournalImage,
+    JournalStore,
+    JournalWriter,
+    MemoryJournalStore,
+    read_journal,
+)
 from repro.service.pool import Lease, WorkerPool
 from repro.service.sim import (
     ServiceLoadResult,
@@ -33,13 +48,21 @@ __all__ = [
     "Job",
     "JobSpec",
     "JobState",
+    "JournalDamage",
+    "JournalImage",
+    "JournalStore",
+    "JournalWriter",
     "Lease",
+    "MemoryJournalStore",
+    "RecoveryReport",
     "ServiceLoadResult",
     "ServiceSimulation",
     "TenantQuota",
     "Verdict",
     "WorkerPool",
     "outcome_digest",
+    "read_journal",
     "run_service_load",
     "synthetic_tenants",
+    "task_outcome_digest",
 ]

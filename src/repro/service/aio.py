@@ -21,6 +21,7 @@ from typing import Any, Callable, Optional
 from repro.service.admission import TenantQuota
 from repro.service.core import ControlPlaneService
 from repro.service.jobs import JobSpec
+from repro.service.journal import JournalStore, JournalWriter
 from repro.service.pool import Lease
 from repro.telemetry.metrics import MetricsRegistry
 
@@ -32,6 +33,12 @@ class AsyncServiceRuntime:
     scale 0.01 → a 10 ms sleep); ``duration_fn`` overrides the model
     entirely.  Workers here are logical slots — the execution "work"
     is the scaled sleep, standing in for a real engine adapter.
+
+    ``journal_store`` attaches a write-ahead journal (typically a
+    :class:`~repro.service.journalfs.FileJournalStore`), making the
+    runtime crash-consistent: :meth:`recovered` rebuilds a new runtime
+    from the store after a kill, fencing whatever the dead incarnation
+    left in flight.
     """
 
     def __init__(
@@ -46,22 +53,69 @@ class AsyncServiceRuntime:
         default_quota: TenantQuota | None = None,
         max_running_jobs: int = 16,
         max_parked_jobs: int = 64,
+        journal_store: JournalStore | None = None,
+        snapshot_every: Optional[int] = None,
+        _service: Optional[ControlPlaneService] = None,
     ) -> None:
-        t0 = time.monotonic()
-        self.service = ControlPlaneService(
-            [f"aio:{i}" for i in range(num_workers)],
-            clock=lambda: time.monotonic() - t0,
-            metrics=metrics,
-            weights=weights,
-            quotas=quotas,
-            default_quota=default_quota,
-            max_running_jobs=max_running_jobs,
-            max_parked_jobs=max_parked_jobs,
-        )
+        if _service is not None:
+            self.service = _service
+        else:
+            journal = None
+            if journal_store is not None:
+                journal = JournalWriter(
+                    journal_store, snapshot_every=snapshot_every, metrics=metrics
+                )
+            t0 = time.monotonic()
+            self.service = ControlPlaneService(
+                [f"aio:{i}" for i in range(num_workers)],
+                clock=lambda: time.monotonic() - t0,
+                metrics=metrics,
+                weights=weights,
+                quotas=quotas,
+                default_quota=default_quota,
+                max_running_jobs=max_running_jobs,
+                max_parked_jobs=max_parked_jobs,
+                journal=journal,
+            )
         self._time_scale = time_scale
         self._duration_fn = duration_fn
         self._specs: dict[str, JobSpec] = {}
         self._tasks: set[asyncio.Task] = set()
+
+    @classmethod
+    def recovered(
+        cls,
+        journal_store: JournalStore,
+        *,
+        time_scale: float = 0.01,
+        duration_fn: Optional[Callable[[Lease, JobSpec], float]] = None,
+        metrics: MetricsRegistry | None = None,
+        snapshot_every: Optional[int] = None,
+        **config: Any,
+    ) -> "AsyncServiceRuntime":
+        """A new incarnation rebuilt from a dead one's journal.
+
+        The recovered clock restarts at zero — virtual time only has
+        to be monotonic within an incarnation, and replay drove the
+        rebuild on the journal's recorded timestamps.
+        """
+        t0 = time.monotonic()
+        service = ControlPlaneService.recover(
+            journal_store,
+            clock=lambda: time.monotonic() - t0,
+            metrics=metrics,
+            snapshot_every=snapshot_every,
+            **config,
+        )
+        runtime = cls(
+            time_scale=time_scale,
+            duration_fn=duration_fn,
+            _service=service,
+        )
+        for row in service.list_jobs():
+            job = service.job(row["job_id"])
+            runtime._specs[job.id] = job.spec
+        return runtime
 
     def _duration(self, lease: Lease) -> float:
         spec = self._specs[lease.job_id]

@@ -58,6 +58,19 @@ class FairShareScheduler:
             self._usage[tenant]
         )
 
+    # -- durability ---------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot: usage only (weights are deployment
+        configuration the owner re-supplies at recovery)."""
+        return {"usage": dict(self._usage)}
+
+    def restore_state(self, state: dict) -> None:
+        self._usage = {str(t): float(s) for t, s in state["usage"].items()}
+        for tenant, seconds in self._usage.items():
+            self._metrics.gauge(
+                "service.share.usage_seconds", tenant=tenant
+            ).set(seconds)
+
     def pick(
         self, candidates: Iterable[tuple[str, Hashable]]
     ) -> Optional[tuple[str, Hashable]]:

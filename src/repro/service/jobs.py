@@ -69,6 +69,38 @@ class JobSpec:
         )
         return JobSpec(tenant=tenant, name=name, groups=groups, kind=kind, cost=cost)
 
+    # -- durability ---------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe form for the write-ahead journal's submit records."""
+        return {
+            "tenant": self.tenant,
+            "name": self.name,
+            "kind": self.kind,
+            "cost": self.cost,
+            "groups": [
+                [g.index, [[f.name, f.size] for f in g.files]]
+                for g in self.groups
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "JobSpec":
+        return cls(
+            tenant=state["tenant"],
+            name=state["name"],
+            kind=state["kind"],
+            cost=float(state["cost"]),
+            groups=tuple(
+                TaskGroup(
+                    index=int(index),
+                    files=tuple(
+                        DataFile(name=name, size=int(size)) for name, size in files
+                    ),
+                )
+                for index, files in state["groups"]
+            ),
+        )
+
 
 @dataclass
 class Job:
@@ -113,6 +145,24 @@ class Job:
         }
 
 
+def job_state_to_dict(job: Job) -> dict:
+    """JSON-safe snapshot of a job's live state (minus its leases,
+    which the service serializes itself — lease objects are shared
+    between the job and the worker pool and must restore to one object,
+    not two)."""
+    return {
+        "id": job.id,
+        "spec": job.spec.to_state(),
+        "state": job.state.value,
+        "submitted_at": job.submitted_at,
+        "started_at": job.started_at,
+        "finished_at": job.finished_at,
+        "workers_seen": sorted(job.workers_seen),
+        "scheduler": job.scheduler.to_state(),
+        "completions": [list(row) for row in job.completions],
+    }
+
+
 def outcome_digest(job: Job) -> str:
     """A byte-stable fingerprint of everything that happened to a job.
 
@@ -129,6 +179,33 @@ def outcome_digest(job: Job) -> str:
         "started": job.started_at,
         "finished": job.finished_at,
         "completions": job.completions,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def task_outcome_digest(job: Job) -> str:
+    """A fingerprint of *what* the job produced, not *when* or *where*.
+
+    :func:`outcome_digest` covers placement and timing — the right
+    contract for "same seed, same schedule" determinism, but a master
+    crash legitimately reshuffles both: a fenced in-flight task reruns
+    later, possibly on a different worker.  What a crash must **never**
+    change is the outcome itself — which tasks completed, which failed,
+    which were lost, and how the job ended.  This digest covers exactly
+    that, so the kill-the-master harness can assert a crashed-and-
+    recovered run byte-identical to an uninterrupted one.
+    """
+    scheduler = job.scheduler
+    payload = {
+        "job": job.id,
+        "tenant": job.tenant,
+        "name": job.spec.name,
+        "state": job.state.value,
+        "total": len(job.spec.groups),
+        "completed": sorted(scheduler.completed),
+        "failed": sorted({a.task_id for a in scheduler.failed_tasks}),
+        "lost": sorted({a.task_id for a in scheduler.lost_tasks}),
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()

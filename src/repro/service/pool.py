@@ -24,7 +24,13 @@ from repro.telemetry.metrics import MetricsRegistry, NULL_METRICS
 
 @dataclass(frozen=True)
 class Lease:
-    """One worker executing one task of one job."""
+    """One worker executing one task of one job.
+
+    ``epoch`` is the service incarnation that granted the lease.  A
+    recovered control plane bumps its epoch, so any lease minted by a
+    previous incarnation identifies itself as stale the moment its
+    holder reports — the fencing token of classic lease-based designs.
+    """
 
     worker_id: str
     job_id: str
@@ -33,10 +39,36 @@ class Lease:
     attempt: int
     group: TaskGroup
     leased_at: float
+    epoch: int = 1
 
     @property
     def size(self) -> float:
         return float(self.group.total_size)
+
+    def to_state(self) -> dict:
+        """JSON-safe form (the group rebinds by task id on restore)."""
+        return {
+            "worker": self.worker_id,
+            "job": self.job_id,
+            "tenant": self.tenant,
+            "task": self.task_id,
+            "attempt": self.attempt,
+            "leased_at": self.leased_at,
+            "epoch": self.epoch,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict, group: TaskGroup) -> "Lease":
+        return cls(
+            worker_id=state["worker"],
+            job_id=state["job"],
+            tenant=state["tenant"],
+            task_id=int(state["task"]),
+            attempt=int(state["attempt"]),
+            group=group,
+            leased_at=float(state["leased_at"]),
+            epoch=int(state["epoch"]),
+        )
 
 
 class WorkerPool:
@@ -112,3 +144,29 @@ class WorkerPool:
         self._m_crashed.inc()
         self._refresh()
         return lease, replacement
+
+    # -- durability ---------------------------------------------------------
+    def to_state(self) -> dict:
+        """JSON-safe snapshot.  Busy leases serialize as references —
+        the service re-links them to the very lease objects it restores
+        into the owning jobs, so pool and job keep sharing one object
+        per lease, exactly as in a live service."""
+        return {
+            "free": list(self._free),
+            "busy": [[w, lease.job_id, lease.task_id] for w, lease in self._busy.items()],
+            "generations": self._minter.to_state(),
+        }
+
+    def restore_state(self, state: dict, leases: dict[tuple[str, str, int], Lease]) -> None:
+        """Rebuild free/busy/minter from a snapshot.
+
+        ``leases`` maps ``(worker, job, task)`` to the restored lease
+        objects (built by the service while restoring its jobs).
+        """
+        self._free = list(state["free"])
+        self._busy = {
+            w: leases[(w, job_id, int(task_id))]
+            for w, job_id, task_id in state["busy"]
+        }
+        self._minter = RejoinIdMinter.from_state(state["generations"])
+        self._refresh()

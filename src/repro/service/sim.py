@@ -19,7 +19,8 @@ from typing import Any, Optional, Sequence
 
 from repro.service.admission import TenantQuota
 from repro.service.core import ControlPlaneService
-from repro.service.jobs import JobSpec, outcome_digest
+from repro.service.jobs import JobSpec, outcome_digest, task_outcome_digest
+from repro.service.journal import JournalStore, JournalWriter, MemoryJournalStore
 from repro.service.pool import Lease
 from repro.telemetry.metrics import MetricsRegistry
 from repro.util.seeding import make_rng
@@ -84,7 +85,16 @@ class ServiceLoadResult:
     #: sha256 over every per-job digest — the one-line reproducibility
     #: witness for the whole load.
     digest: str = ""
+    #: sha256 over every per-job *task outcome* digest: what each job
+    #: produced, independent of placement and timing.  This is the
+    #: crash-transparency witness — a killed-and-recovered run must
+    #: match the uninterrupted same-seed run byte for byte here, even
+    #: though fenced reruns legitimately shift the timing digest.
+    outcome_digest: str = ""
     crash_reports: list[dict[str, Any]] = field(default_factory=list)
+    #: Scripted master kills the run survived (each one a journal
+    #: recovery and an epoch bump).
+    recoveries: int = 0
 
     def __post_init__(self) -> None:
         canonical = json.dumps(
@@ -93,6 +103,12 @@ class ServiceLoadResult:
             separators=(",", ":"),
         )
         self.digest = hashlib.sha256(canonical.encode()).hexdigest()
+        outcomes = json.dumps(
+            {job_id: info["outcome"] for job_id, info in self.per_job.items()},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        self.outcome_digest = hashlib.sha256(outcomes.encode()).hexdigest()
 
 
 class ServiceSimulation:
@@ -101,9 +117,19 @@ class ServiceSimulation:
     ``crash_script`` is a sequence of ``(virtual_time, worker_id)``
     pairs; each kills that worker at that instant — its leases requeue
     into their owning jobs and a minted replacement joins the pool.
+
+    ``master_kill_script`` is a sequence of virtual times at which the
+    *control plane itself* dies: the service object is discarded and a
+    new incarnation is rebuilt from the write-ahead journal
+    (``journal_store``, a :class:`MemoryJournalStore` by default when
+    kills are scripted).  Completion events already in the heap still
+    carry the dead incarnation's leases — exactly the late reports a
+    real recovered master receives — and get fenced by the epoch
+    check, requeued, and rerun on the same attempt number, so the
+    per-job task outcomes stay byte-identical to an uninterrupted run.
     """
 
-    _SUBMIT, _CRASH, _COMPLETE = 0, 1, 2
+    _SUBMIT, _CRASH, _COMPLETE, _KILL = 0, 1, 2, 3
 
     def __init__(
         self,
@@ -113,6 +139,9 @@ class ServiceSimulation:
         seed: int = 0,
         arrival_spacing: float = 0.0,
         crash_script: Sequence[tuple[float, str]] = (),
+        master_kill_script: Sequence[float] = (),
+        journal_store: JournalStore | None = None,
+        snapshot_every: Optional[int] = None,
         weights: dict[str, float] | None = None,
         quotas: dict[str, TenantQuota] | None = None,
         default_quota: TenantQuota | None = None,
@@ -127,16 +156,33 @@ class ServiceSimulation:
         self._now = 0.0
         self._seq = 0
         self._events: list[tuple[float, int, int, Any]] = []
-        self.service = ControlPlaneService(
-            [f"sim:{i:03d}" for i in range(num_workers)],
-            clock=lambda: self._now,
-            metrics=metrics,
+        self._metrics = metrics
+        if journal_store is None and master_kill_script:
+            journal_store = MemoryJournalStore()
+        self._store = journal_store
+        self._snapshot_every = snapshot_every
+        # Deployment configuration the operator re-supplies at every
+        # recovery (the journal holds state, never config).
+        self._service_config = dict(
             weights=weights,
             quotas=quotas,
             default_quota=default_quota,
             max_running_jobs=max_running_jobs,
             max_parked_jobs=max_parked_jobs,
         )
+        journal = None
+        if journal_store is not None:
+            journal = JournalWriter(
+                journal_store, snapshot_every=snapshot_every, metrics=metrics
+            )
+        self.service = ControlPlaneService(
+            [f"sim:{i:03d}" for i in range(num_workers)],
+            clock=lambda: self._now,
+            metrics=metrics,
+            journal=journal,
+            **self._service_config,
+        )
+        self.recoveries = 0
         self._spec_of: dict[str, JobSpec] = {}
         self._fail_tasks = fail_tasks
         self._trace_usage = trace_usage
@@ -149,6 +195,32 @@ class ServiceSimulation:
             self._push(i * arrival_spacing, self._SUBMIT, spec)
         for when, worker_id in crash_script:
             self._push(when, self._CRASH, worker_id)
+        for when in master_kill_script:
+            if self._store is None:
+                raise ValueError("master_kill_script requires a journal_store")
+            self._push(when, self._KILL, None)
+
+    def _kill_master(self) -> None:
+        """Drop the service on the floor and recover from the journal.
+
+        Nothing is flushed or handed over — the old object is simply
+        abandoned mid-load, which is the whole point of the chaos
+        harness.  The recovered incarnation re-learns the job specs
+        from its own rebuilt jobs.
+        """
+        self.service = ControlPlaneService.recover(
+            self._store,
+            clock=lambda: self._now,
+            metrics=self._metrics,
+            snapshot_every=self._snapshot_every,
+            **self._service_config,
+        )
+        self._spec_of = {
+            job.id: job.spec
+            for row in self.service.list_jobs()
+            for job in (self.service.job(row["job_id"]),)
+        }
+        self.recoveries += 1
 
     def _push(self, when: float, kind: int, payload: Any) -> None:
         heapq.heappush(self._events, (when, self._seq, kind, payload))
@@ -175,6 +247,8 @@ class ServiceSimulation:
                 lease = self.service.pool.lease_of(payload)
                 if lease is not None or payload in self.service.pool.free_workers():
                     crash_reports.append(self.service.worker_crashed(payload))
+            elif kind == self._KILL:
+                self._kill_master()
             else:
                 lease = payload
                 ok = (lease.job_id, lease.task_id) not in self._fail_tasks or (
@@ -204,6 +278,7 @@ class ServiceSimulation:
                 "summary": job.scheduler.summary(),
                 "makespan": makespan,
                 "digest": outcome_digest(job),
+                "outcome": task_outcome_digest(job),
             }
         return ServiceLoadResult(
             tickets=tickets,
@@ -213,6 +288,7 @@ class ServiceSimulation:
             makespan=self._now,
             per_job=per_job,
             crash_reports=crash_reports,
+            recoveries=self.recoveries,
         )
 
 

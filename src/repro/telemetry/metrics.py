@@ -33,6 +33,33 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
     100.0, 500.0, 1000.0, 5000.0,
 )
 
+#: The control plane's durability signals, as emitted by the journal
+#: writer (:mod:`repro.service.journal`) and the recovery/fencing paths
+#: (:mod:`repro.service.core`).  Collected here so dashboards and SLO
+#: probes have one authoritative list of names; every entry resolves
+#: through :meth:`MetricsRegistry.resolve_signal`.
+#:
+#: - ``service.journal.records``         counter — records appended
+#: - ``service.journal.snapshots``       counter — compactions taken
+#: - ``service.journal.records_dropped`` counter — damaged-tail truncations
+#: - ``service.journal.lag_records``     gauge — records since the last
+#:   snapshot: the replay debt a crash right now would incur, and the
+#:   signal an SLO probe should watch (a growing lag means slower
+#:   recovery)
+#: - ``service.recoveries``              counter — successful journal recoveries
+#: - ``service.epoch``                   gauge — current service incarnation
+#: - ``service.fenced_reports``          counter — stale-epoch lease reports
+#:   dropped and requeued
+DURABILITY_SIGNALS: tuple[str, ...] = (
+    "service.journal.records",
+    "service.journal.snapshots",
+    "service.journal.records_dropped",
+    "service.journal.lag_records",
+    "service.recoveries",
+    "service.epoch",
+    "service.fenced_reports",
+)
+
 
 def render_name(name: str, labels: dict[str, Any]) -> str:
     """``name{k=v,...}`` with sorted label keys; bare name if unlabelled."""

@@ -1,0 +1,118 @@
+"""Kill-the-master chaos: the PR's acceptance harness.
+
+A 120-tenant load on the simulated plane, the control plane killed by
+script at least twice mid-run and recovered from its write-ahead
+journal.  The contract: per-job *task outcomes* byte-identical to an
+uninterrupted same-seed run, stale-epoch reports observed and fenced,
+no task double-completed, none lost to the crashes.
+"""
+
+import pytest
+
+from repro.service.jobs import JobState
+from repro.service.sim import run_service_load
+from repro.telemetry.metrics import MetricsRegistry
+
+TENANTS = 120
+WORKERS = 12
+SEED = 2026
+KILLS = [4.0, 11.0]
+
+
+@pytest.fixture(scope="module")
+def uninterrupted():
+    return run_service_load(TENANTS, seed=SEED, num_workers=WORKERS)
+
+
+@pytest.fixture(scope="module")
+def chaos():
+    reg = MetricsRegistry()
+    result = run_service_load(
+        TENANTS,
+        seed=SEED,
+        num_workers=WORKERS,
+        master_kill_script=KILLS,
+        metrics=reg,
+    )
+    return result, reg
+
+
+class TestKillTheMaster:
+    def test_survived_the_scripted_kills(self, chaos):
+        result, reg = chaos
+        assert result.recoveries == len(KILLS) >= 2
+        assert reg.counter("service.recoveries").value == len(KILLS)
+        assert reg.gauge("service.epoch").value == len(KILLS) + 1
+
+    def test_fencing_was_exercised(self, chaos):
+        _result, reg = chaos
+        assert reg.counter("service.fenced_reports").value > 0
+
+    def test_every_job_still_resolves(self, chaos, uninterrupted):
+        result, _reg = chaos
+        assert len(result.per_job) == len(uninterrupted.per_job) == TENANTS
+        assert all(
+            info["state"] == JobState.DONE.value
+            for info in result.per_job.values()
+        )
+
+    def test_outcomes_byte_identical_to_uninterrupted_run(
+        self, chaos, uninterrupted
+    ):
+        result, _reg = chaos
+        assert result.outcome_digest == uninterrupted.outcome_digest
+        for job_id, info in result.per_job.items():
+            assert info["outcome"] == uninterrupted.per_job[job_id]["outcome"]
+
+    def test_no_double_completion_and_no_lost_tasks(self, chaos):
+        result, _reg = chaos
+        for info in result.per_job.values():
+            summary = info["summary"]
+            assert summary["completed"] == summary["total"]
+            assert summary["lost"] == 0
+            assert summary["failed"] == 0
+
+    def test_kill_run_itself_is_deterministic(self, chaos):
+        result, _reg = chaos
+        again = run_service_load(
+            TENANTS,
+            seed=SEED,
+            num_workers=WORKERS,
+            master_kill_script=KILLS,
+        )
+        assert again.digest == result.digest
+        assert again.outcome_digest == result.outcome_digest
+
+    def test_chaos_composes_with_worker_crashes(self, uninterrupted):
+        """Master kills and worker crashes in the same run: outcomes
+        must still match the same-seed run with the same *worker*
+        crashes but no master kills (worker crashes consume attempts,
+        so they are part of the workload, not the chaos)."""
+        crash_script = [(6.0, "sim:002"), (9.0, "sim:007")]
+        baseline = run_service_load(
+            TENANTS,
+            seed=SEED,
+            num_workers=WORKERS,
+            crash_script=crash_script,
+        )
+        chaotic = run_service_load(
+            TENANTS,
+            seed=SEED,
+            num_workers=WORKERS,
+            crash_script=crash_script,
+            master_kill_script=KILLS,
+        )
+        assert chaotic.recoveries == len(KILLS)
+        assert chaotic.outcome_digest == baseline.outcome_digest
+
+    def test_compaction_does_not_change_outcomes(self, chaos, uninterrupted):
+        result, _reg = chaos
+        compacted = run_service_load(
+            TENANTS,
+            seed=SEED,
+            num_workers=WORKERS,
+            master_kill_script=KILLS,
+            snapshot_every=64,
+        )
+        assert compacted.outcome_digest == uninterrupted.outcome_digest
+        assert compacted.digest == result.digest
